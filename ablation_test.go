@@ -1,0 +1,124 @@
+package credo
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: CUDA
+// block size (the paper fixes 1024 threads per block), damping, the
+// frontier work queues versus residual scheduling, and the AoS/SoA layout
+// measured in real wall time. Simulated device times are surfaced as
+// custom benchmark metrics (sim-ms/op).
+
+import (
+	"fmt"
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/cudabp"
+	"credo/internal/gen"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+)
+
+// BenchmarkAblationBlockSize sweeps the CUDA block size on the edge
+// paradigm, reporting simulated device milliseconds per run.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	base, err := gen.Synthetic(5000, 20000, gen.Config{Seed: 1, States: 2, Shared: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dim := range []int{128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("block%d", dim), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				dev := gpusim.NewDevice(gpusim.Pascal())
+				res, err := cudabp.RunEdge(base.Clone(), dev, cudabp.Options{
+					BlockDim: dim,
+					Options:  bp.Options{WorkQueue: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += res.SimTime.Seconds() * 1e3
+			}
+			b.ReportMetric(sim/float64(b.N), "sim-ms/op")
+		})
+	}
+}
+
+// BenchmarkAblationDamping measures the iteration cost of belief damping.
+func BenchmarkAblationDamping(b *testing.B) {
+	base, err := gen.PowerLaw(3000, 15000, gen.Config{Seed: 2, States: 3, Shared: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, damping := range []float32{0, 0.25, 0.5} {
+		b.Run(fmt.Sprintf("damping%.2f", damping), func(b *testing.B) {
+			var iters float64
+			for i := 0; i < b.N; i++ {
+				res := bp.RunNode(base.Clone(), bp.Options{Damping: damping})
+				iters += float64(res.Iterations)
+			}
+			b.ReportMetric(iters/float64(b.N), "iterations/op")
+		})
+	}
+}
+
+// BenchmarkAblationScheduling compares full sweeps, frontier work queues
+// (§3.5) and residual scheduling (the related-work discipline) on a
+// workload with localized evidence, reporting node updates applied.
+func BenchmarkAblationScheduling(b *testing.B) {
+	mk := func() *graph.Graph {
+		g, err := gen.PowerLaw(4000, 16000, gen.Config{Seed: 3, States: 2, Shared: true, UniformPriors: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = g.Observe(0, 1)
+		_ = g.Observe(1, 1)
+		return g
+	}
+	cases := []struct {
+		name string
+		run  func(*graph.Graph) bp.Result
+	}{
+		{"sweep", func(g *graph.Graph) bp.Result { return bp.RunNode(g, bp.Options{}) }},
+		{"workqueue", func(g *graph.Graph) bp.Result { return bp.RunNode(g, bp.Options{WorkQueue: true}) }},
+		{"residual", func(g *graph.Graph) bp.Result { return bp.RunResidual(g, bp.Options{}) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var updates float64
+			for i := 0; i < b.N; i++ {
+				res := tc.run(mk())
+				updates += float64(res.Ops.NodesProcessed)
+			}
+			b.ReportMetric(updates/float64(b.N), "node-updates/op")
+		})
+	}
+}
+
+// BenchmarkAblationLayout measures the real wall time of a belief sweep
+// under the AoS and SoA layouts of §3.4.
+func BenchmarkAblationLayout(b *testing.B) {
+	const n, states = 100000, 3
+	buf := make([]float32, states)
+	b.Run("AoS", func(b *testing.B) {
+		s := graph.NewAoSStore(n, states)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < n; v++ {
+				s.Load(v, buf)
+				buf[0] += 1e-9
+				s.Store(v, buf)
+			}
+		}
+	})
+	b.Run("SoA", func(b *testing.B) {
+		s := graph.NewSoAStore(n, states)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < n; v++ {
+				s.Load(v, buf)
+				buf[0] += 1e-9
+				s.Store(v, buf)
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package credo
+
+// One benchmark per paper table and figure (DESIGN.md §5), each printing
+// the same rows or series the paper reports, plus raw engine benchmarks
+// measuring real wall time of the Go implementations.
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks run the full harness at the CI tier; use
+// cmd/credobench for larger tiers.
+
+import (
+	"io"
+	"testing"
+
+	"credo/internal/bench"
+	"credo/internal/bp"
+	"credo/internal/cudabp"
+	"credo/internal/gen"
+	"credo/internal/gpusim"
+	"credo/internal/ompbp"
+)
+
+func benchConfig() bench.Config {
+	return bench.DefaultConfig(bench.TierCI)
+}
+
+// runExperiment executes one harness experiment per benchmark iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Suite regenerates Table 1 (the benchmark graph suite).
+func BenchmarkTable1Suite(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkAlgorithmComparison regenerates §2.1.1 (traditional vs loopy).
+func BenchmarkAlgorithmComparison(b *testing.B) { runExperiment(b, "algocmp") }
+
+// BenchmarkSharedMatrix regenerates §2.2 (shared joint matrix refinement).
+func BenchmarkSharedMatrix(b *testing.B) { runExperiment(b, "sharedmatrix") }
+
+// BenchmarkParsers regenerates §3.2.1 (BIF vs XML-BIF vs mtxbp).
+func BenchmarkParsers(b *testing.B) { runExperiment(b, "parsers") }
+
+// BenchmarkAoSvsSoA regenerates §3.4 (data layout cache behaviour).
+func BenchmarkAoSvsSoA(b *testing.B) { runExperiment(b, "aossoa") }
+
+// BenchmarkOpenMP regenerates §2.4 (OpenMP/OpenACC parallelization).
+func BenchmarkOpenMP(b *testing.B) { runExperiment(b, "openmp") }
+
+// BenchmarkFig7Runtimes regenerates Figure 7 (C and CUDA runtimes).
+func BenchmarkFig7Runtimes(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8SpeedupByBeliefs regenerates Figure 8 (speedup PDFs).
+func BenchmarkFig8SpeedupByBeliefs(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9WorkQueues regenerates Figure 9 (work-queue speedups).
+func BenchmarkFig9WorkQueues(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig4Covariances regenerates Figure 4 (feature covariances).
+func BenchmarkFig4Covariances(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5Importances regenerates Figure 5 (feature importances).
+func BenchmarkFig5Importances(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6DecisionTree regenerates Figure 6 (depth-2 tree).
+func BenchmarkFig6DecisionTree(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig10Classifiers regenerates Figure 10 (classifier comparison).
+func BenchmarkFig10Classifiers(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Credo regenerates Figure 11 (Credo vs C Edge, Pascal).
+func BenchmarkFig11Credo(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Volta regenerates Figure 12 (portability to Volta).
+func BenchmarkFig12Volta(b *testing.B) { runExperiment(b, "fig12") }
+
+// --- raw engine wall-time benchmarks ---
+
+func benchGraph(b *testing.B, states int) *Graph {
+	b.Helper()
+	g, err := gen.Synthetic(5000, 20000, gen.Config{Seed: 1, States: states, Shared: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEngineCEdge measures the sequential per-edge engine.
+func BenchmarkEngineCEdge(b *testing.B) {
+	for _, states := range []int{2, 32} {
+		b.Run(caseName(states), func(b *testing.B) {
+			g := benchGraph(b, states)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := g.Clone()
+				bp.RunEdge(c, bp.Options{WorkQueue: true})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCNode measures the sequential per-node engine.
+func BenchmarkEngineCNode(b *testing.B) {
+	for _, states := range []int{2, 32} {
+		b.Run(caseName(states), func(b *testing.B) {
+			g := benchGraph(b, states)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := g.Clone()
+				bp.RunNode(c, bp.Options{WorkQueue: true})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCUDANode measures the simulated-device per-node engine
+// (real goroutine parallelism; reported time is wall time, not SimTime).
+func BenchmarkEngineCUDANode(b *testing.B) {
+	g := benchGraph(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		dev := gpusim.NewDevice(gpusim.Pascal())
+		if _, err := cudabp.RunNode(c, dev, cudabp.Options{Options: bp.Options{WorkQueue: true}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOpenMP measures the goroutine-parallel edge engine.
+func BenchmarkEngineOpenMP(b *testing.B) {
+	g := benchGraph(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		ompbp.RunEdge(c, ompbp.Options{Threads: 4})
+	}
+}
+
+func caseName(states int) string {
+	switch states {
+	case 2:
+		return "binary"
+	case 3:
+		return "virus"
+	default:
+		return "image32"
+	}
+}

@@ -1,0 +1,269 @@
+// Command credo runs belief propagation on a belief network, choosing the
+// best implementation for the graph automatically (the Credo engine of the
+// paper) or using an explicitly requested one.
+//
+// Input is the streaming mtxbp format (a node file and an edge file), BIF,
+// or XML-BIF:
+//
+//	credo -nodes g.nodes.mtx -edges g.edges.mtx -observe 3:1 -top 5
+//	credo -bif family-out.bif -observe light-on:0
+//
+// The tool prints the selected implementation, convergence statistics and
+// the posterior marginals of the highest-entropy-change nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"credo/internal/bif"
+	"credo/internal/bp"
+	"credo/internal/core"
+	"credo/internal/features"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+	"credo/internal/ml"
+	"credo/internal/mtxbp"
+	"credo/internal/xmlbif"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "credo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("credo", flag.ContinueOnError)
+	nodesPath := fs.String("nodes", "", "mtxbp node file")
+	edgesPath := fs.String("edges", "", "mtxbp edge file")
+	bifPath := fs.String("bif", "", "BIF input file")
+	xmlPath := fs.String("xmlbif", "", "XML-BIF input file")
+	implName := fs.String("impl", "auto", "implementation: auto, cedge, cnode, cudaedge, cudanode")
+	gpuName := fs.String("gpu", "pascal", "device profile: pascal or volta")
+	threshold := fs.Float64("threshold", bp.DefaultThreshold, "convergence threshold")
+	maxIter := fs.Int("maxiter", bp.DefaultMaxIterations, "iteration cap")
+	queue := fs.Bool("queue", true, "enable the unconverged-element work queues")
+	mrf := fs.Bool("mrf", false, "treat the network as an undirected MRF: store each link as two directed edges so evidence flows against edge direction too (recommended for BIF inputs)")
+	explain := fs.Bool("explain", false, "print the graph's metadata, feature vector and the selection reasoning before running")
+	modelPath := fs.String("model", "", "load a trained selection forest (from credobench -train) to refine the Node/Edge choice")
+	savePath := fs.String("save", "", "write the posterior beliefs to this file in the mtxbp node format")
+	top := fs.Int("top", 10, "print the n nodes whose beliefs moved the most")
+	var observations multiFlag
+	fs.Var(&observations, "observe", "clamp a node, as node:state (repeatable; node is an id or a name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := load(*nodesPath, *edgesPath, *bifPath, *xmlPath)
+	if err != nil {
+		return err
+	}
+	if *mrf {
+		g, err = g.Undirected()
+		if err != nil {
+			return err
+		}
+	}
+	md := g.Stats()
+	fmt.Fprintf(out, "loaded graph: %d nodes, %d directed edges, %d beliefs\n", md.NumNodes, md.NumEdges, md.States)
+
+	prior := append([]float32(nil), g.Beliefs...)
+	for _, obs := range observations {
+		v, s, err := parseObservation(g, obs)
+		if err != nil {
+			return err
+		}
+		if err := g.Observe(v, s); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "observed %s = state %d\n", nodeName(g, v), s)
+	}
+
+	gpu := gpusim.Pascal()
+	switch strings.ToLower(*gpuName) {
+	case "pascal":
+	case "volta":
+		gpu = gpusim.Volta()
+	default:
+		return fmt.Errorf("unknown GPU profile %q", *gpuName)
+	}
+
+	var classifier ml.Classifier
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		forest, err := ml.LoadForest(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		classifier = forest
+	}
+
+	eng := core.Engine{
+		Selector: core.Selector{GPU: gpu, Classifier: classifier},
+		Options: bp.Options{
+			Threshold:     float32(*threshold),
+			MaxIterations: *maxIter,
+			WorkQueue:     *queue,
+		},
+	}
+
+	if *explain {
+		printExplanation(out, g, eng.Selector)
+	}
+
+	var rep core.Report
+	if *implName == "auto" {
+		rep, err = eng.Run(g)
+	} else {
+		impl, perr := parseImpl(*implName)
+		if perr != nil {
+			return perr
+		}
+		rep, err = eng.RunWith(g, impl)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "implementation: %s\n", rep.Implementation)
+	fmt.Fprintf(out, "iterations: %d, converged: %v, final delta: %g\n",
+		rep.Result.Iterations, rep.Result.Converged, rep.Result.FinalDelta)
+	fmt.Fprintf(out, "modelled execution time: %v\n", rep.EstimatedTime)
+	if rep.DeviceStats != nil {
+		fmt.Fprintf(out, "device: %d kernels, %d B to device, %d atomics\n",
+			rep.DeviceStats.KernelsLaunched, rep.DeviceStats.BytesToDevice, rep.DeviceStats.Atomics)
+	}
+
+	printTopMoved(out, g, prior, *top)
+
+	if *savePath != "" {
+		sf, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := mtxbp.WriteNodeBeliefs(sf, g); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "posteriors written to %s\n", *savePath)
+	}
+	return nil
+}
+
+func load(nodesPath, edgesPath, bifPath, xmlPath string) (*graph.Graph, error) {
+	switch {
+	case bifPath != "":
+		return bif.ParseFile(bifPath)
+	case xmlPath != "":
+		return xmlbif.ParseFile(xmlPath)
+	case nodesPath != "" && edgesPath != "":
+		return mtxbp.ReadFiles(nodesPath, edgesPath)
+	default:
+		return nil, fmt.Errorf("need -nodes and -edges, or -bif, or -xmlbif")
+	}
+}
+
+func parseImpl(name string) (core.Implementation, error) {
+	switch strings.ToLower(name) {
+	case "cedge":
+		return core.CEdge, nil
+	case "cnode":
+		return core.CNode, nil
+	case "cudaedge":
+		return core.CUDAEdge, nil
+	case "cudanode":
+		return core.CUDANode, nil
+	}
+	return 0, fmt.Errorf("unknown implementation %q", name)
+}
+
+func parseObservation(g *graph.Graph, s string) (int32, int, error) {
+	name, stateStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("observation %q is not node:state", s)
+	}
+	state, err := strconv.Atoi(stateStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("observation %q: bad state: %w", s, err)
+	}
+	if id, err := strconv.Atoi(name); err == nil {
+		return int32(id), state, nil
+	}
+	for i, n := range g.Names {
+		if n == name {
+			return int32(i), state, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("observation %q: no node named %q", s, name)
+}
+
+func nodeName(g *graph.Graph, v int32) string {
+	if int(v) < len(g.Names) && g.Names[v] != "" {
+		return g.Names[v]
+	}
+	return "node " + strconv.Itoa(int(v))
+}
+
+// printExplanation prints the metadata, the §3.7 feature vector and what
+// the selector would choose.
+func printExplanation(out io.Writer, g *graph.Graph, sel core.Selector) {
+	md := g.Stats()
+	fmt.Fprintf(out, "metadata: max in-degree %d, max out-degree %d, avg degree %.2f\n",
+		md.MaxInDegree, md.MaxOutDegree, md.AvgInDegree)
+	names := features.Names()
+	for i, v := range features.Vector(md) {
+		fmt.Fprintf(out, "feature %-18s = %.4g\n", names[i], v)
+	}
+	fp := g.MemoryFootprint()
+	fmt.Fprintf(out, "device footprint: %d bytes (VRAM %d)\n", fp, sel.GPU.VRAMBytes)
+	fmt.Fprintf(out, "selector would choose: %s\n", sel.Choose(md, fp))
+}
+
+// printTopMoved lists the nodes whose posterior shifted most from their
+// prior.
+func printTopMoved(out io.Writer, g *graph.Graph, prior []float32, top int) {
+	type moved struct {
+		v     int32
+		delta float32
+	}
+	ms := make([]moved, g.NumNodes)
+	for v := 0; v < g.NumNodes; v++ {
+		ms[v] = moved{int32(v), graph.L1Diff(g.Belief(int32(v)), prior[v*g.States:(v+1)*g.States])}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].delta > ms[j].delta })
+	if top > len(ms) {
+		top = len(ms)
+	}
+	fmt.Fprintf(out, "top %d nodes by posterior shift:\n", top)
+	for _, m := range ms[:top] {
+		fmt.Fprintf(out, "  %-20s Δ=%.4f  belief=%v\n", nodeName(g, m.v), m.delta, formatBelief(g.Belief(m.v)))
+	}
+}
+
+func formatBelief(b []float32) string {
+	parts := make([]string, len(b))
+	for i, v := range b {
+		parts[i] = strconv.FormatFloat(float64(v), 'f', 4, 32)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/ml"
+	"credo/internal/mtxbp"
+)
+
+func writeTestGraph(t *testing.T) (nodes, edges string) {
+	t.Helper()
+	g, err := gen.Synthetic(50, 200, gen.Config{Seed: 1, States: 2, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	nodes = filepath.Join(dir, "g.nodes.mtx")
+	edges = filepath.Join(dir, "g.edges.mtx")
+	if err := mtxbp.WriteFiles(nodes, edges, g); err != nil {
+		t.Fatal(err)
+	}
+	return nodes, edges
+}
+
+func TestRunMTXAuto(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-observe", "3:1", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"loaded graph: 50 nodes", "observed node 3 = state 1", "implementation: C Edge", "top 3 nodes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunForcedImplementations(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	for _, impl := range []string{"cedge", "cnode", "cudaedge", "cudanode"} {
+		var out bytes.Buffer
+		if err := run([]string{"-nodes", nodes, "-edges", edges, "-impl", impl}, &out); err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if strings.Contains(impl, "cuda") && !strings.Contains(out.String(), "device:") {
+			t.Errorf("%s: no device stats printed", impl)
+		}
+	}
+}
+
+func TestRunBIFByName(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.bif")
+	src := `network t { }
+variable rain { type discrete [ 2 ] { yes, no }; }
+variable wet { type discrete [ 2 ] { yes, no }; }
+probability ( rain ) { table 0.2, 0.8; }
+probability ( wet | rain ) { ( yes ) 0.9, 0.1; ( no ) 0.05, 0.95; }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-bif", path, "-observe", "wet:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "observed wet = state 0") {
+		t.Errorf("named observation missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	cases := [][]string{
+		{},                       // no input
+		{"-nodes", nodes},        // missing edge file
+		{"-bif", "/nonexistent"}, // missing file
+		{"-xmlbif", "/nonexistent"},
+		{"-nodes", nodes, "-edges", edges, "-impl", "fpga"},
+		{"-nodes", nodes, "-edges", edges, "-gpu", "tpu"},
+		{"-nodes", nodes, "-edges", edges, "-observe", "notanode:0"},
+		{"-nodes", nodes, "-edges", edges, "-observe", "3"},
+		{"-nodes", nodes, "-edges", edges, "-observe", "3:zz"},
+		{"-nodes", nodes, "-edges", edges, "-observe", "3:9"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestRunVoltaProfile(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-gpu", "volta", "-impl", "cudanode"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-explain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"feature num_nodes", "selector would choose", "device footprint"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMRFFlagDoublesEdges(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-mrf"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "400 directed edges") {
+		t.Errorf("mrf flag did not double edges:\n%s", out.String())
+	}
+}
+
+func TestModelFlag(t *testing.T) {
+	// Train a tiny forest directly and point credo at it.
+	X := [][]float64{{1, 1, 2, 1, 0.5}, {2, 0.5, 2, 1, 0.4}, {6, 0.25, 2, 5, 0.01}, {7, 0.25, 2, 9, 0.005}}
+	y := []int{1, 1, 0, 0}
+	forest := &ml.RandomForest{Trees: 5, MaxDepth: 3, Seed: 1}
+	if err := forest.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.SaveForest(f, forest); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-model", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "implementation:") {
+		t.Errorf("run output: %s", out.String())
+	}
+	// Missing / corrupt models error out.
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-model", "/nonexistent"}, &out); err == nil {
+		t.Error("missing model accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	_ = os.WriteFile(bad, []byte("{}"), 0o644)
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-model", bad}, &out); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}
+
+func TestSaveFlag(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	outPath := filepath.Join(t.TempDir(), "posteriors.mtx")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-observe", "0:1", "-save", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "%%MatrixMarket credo node beliefs") {
+		t.Errorf("saved file header wrong:\n%.80s", data)
+	}
+	if !strings.Contains(out.String(), "posteriors written") {
+		t.Errorf("missing save confirmation:\n%s", out.String())
+	}
+}

@@ -1,0 +1,121 @@
+// Command credobench regenerates the paper's tables and figures (the
+// experiment index of DESIGN.md §5) on the scaled benchmark tiers.
+//
+//	credobench -exp fig7 -tier small
+//	credobench -exp all -tier ci -o results.txt
+//
+// Every experiment prints the rows or series of its paper artifact next to
+// the paper's reported values so the shapes can be compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"credo/internal/bench"
+	"credo/internal/ml"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "credobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("credobench", flag.ContinueOnError)
+	expID := fs.String("exp", "all", "experiment id or 'all' (ids: "+idList()+")")
+	tierName := fs.String("tier", "small", "benchmark tier: ci, small or medium")
+	seed := fs.Int64("seed", 1, "generator seed")
+	outPath := fs.String("o", "", "also write the report to this file")
+	trainPath := fs.String("train", "", "instead of running experiments, train the selection forest on the tier's dataset and save it here (JSON, loadable by credo -model)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tier, err := bench.TierByName(*tierName)
+	if err != nil {
+		return err
+	}
+	cfg := bench.DefaultConfig(tier)
+	cfg.Seed = *seed
+
+	if *trainPath != "" {
+		return trainModel(*trainPath, cfg, stdout)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(stdout, f)
+	}
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (ids: %s)", id, idList())
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(out, cfg); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// trainModel builds the classifier dataset, trains the paper's tuned
+// random forest and saves it.
+func trainModel(path string, cfg bench.Config, out io.Writer) error {
+	ds, err := bench.BuildDataset(bench.Table1(), bench.UseCases(), cfg)
+	if err != nil {
+		return err
+	}
+	forest := &ml.RandomForest{Trees: 14, MaxDepth: 6, Seed: cfg.Seed}
+	if err := forest.Fit(ds.X, ds.Y); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ml.SaveForest(f, forest); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trained on %d labeled variants (tier %s); model saved to %s\n", len(ds.X), cfg.Tier.Name, path)
+	return nil
+}
+
+func idList() string {
+	var ids []string
+	for _, e := range bench.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ", ")
+}

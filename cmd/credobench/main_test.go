@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-tier", "ci"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "soc-twitter-2010") {
+		t.Errorf("table1 output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunMultipleExperimentsToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1,aossoa", "-tier", "ci", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "AoS") {
+		t.Errorf("file report incomplete:\n%s", data)
+	}
+	if out.String() != string(data) {
+		t.Error("stdout and file reports differ")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "fig99"},
+		{"-tier", "galactic"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestTrainAndUseModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	var out bytes.Buffer
+	if err := run([]string{"-train", path, "-tier", "ci"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "model saved to") {
+		t.Errorf("training output: %s", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credo/internal/bif"
+	"credo/internal/gen"
+	"credo/internal/mtxbp"
+	"credo/internal/xmlbif"
+)
+
+const sampleBIF = `network t { }
+variable a { type discrete [ 2 ] { y, n }; }
+variable b { type discrete [ 2 ] { y, n }; }
+probability ( a ) { table 0.3, 0.7; }
+probability ( b | a ) { ( y ) 0.9, 0.1; ( n ) 0.2, 0.8; }
+`
+
+func TestBIFToMTX(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "net.bif")
+	if err := os.WriteFile(in, []byte(sampleBIF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "net")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := mtxbp.ReadFiles(out+".nodes.mtx", out+".edges.mtx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 2 || g.NumEdges != 1 {
+		t.Fatalf("converted shape %d/%d", g.NumNodes, g.NumEdges)
+	}
+	if g.Matrix(0).At(0, 0) != 0.9 {
+		t.Errorf("CPT lost in conversion: %v", g.Matrix(0).At(0, 0))
+	}
+}
+
+func TestMTXToXMLBIFAndBack(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.DirectedTree(15, 2, gen.Config{Seed: 1, States: 2, UniformPriors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, ep := filepath.Join(dir, "g.nodes.mtx"), filepath.Join(dir, "g.edges.mtx")
+	if err := mtxbp.WriteFiles(np, ep, g); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g")
+	if err := run([]string{"-nodes", np, "-edges", ep, "-out", out, "-format", "xmlbif"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := xmlbif.ParseFile(out + ".xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes != 15 || got.NumEdges != 14 {
+		t.Fatalf("xml round trip shape %d/%d", got.NumNodes, got.NumEdges)
+	}
+	// And back to BIF.
+	if err := run([]string{"-nodes", np, "-edges", ep, "-out", out, "-format", "bif"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bif.ParseFile(out + ".bif"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "net.bif")
+	if err := os.WriteFile(in, []byte(sampleBIF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "net")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out, "-compress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".mtx.gz") {
+		t.Errorf("output not compressed: %s", buf.String())
+	}
+	if _, err := mtxbp.ReadFiles(out+".nodes.mtx.gz", out+".edges.mtx.gz"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	multi := filepath.Join(dir, "m")
+	// A multi-parent graph cannot round-trip to BIF.
+	g, err := gen.Synthetic(10, 40, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, ep := multi+".nodes.mtx", multi+".edges.mtx"
+	if err := mtxbp.WriteFiles(np, ep, g); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},
+		{"-in", filepath.Join(dir, "missing.bif"), "-out", multi},
+		{"-in", filepath.Join(dir, "noext"), "-out", multi},
+		{"-in", np, "-out", multi}, // .mtx is not a -in format
+		{"-nodes", np, "-edges", ep, "-out", multi, "-format", "bif"},
+		{"-nodes", np, "-edges", ep, "-out", multi, "-format", "csv"},
+		{"-nodes", np, "-edges", ep},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

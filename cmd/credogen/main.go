@@ -1,0 +1,154 @@
+// Command credogen generates synthetic belief networks — the workloads of
+// the paper's Table 1 benchmark suite — and writes them in the streaming
+// mtxbp format (or BIF / XML-BIF for trees).
+//
+//	credogen -kind synthetic -n 100000 -m 400000 -states 2 -out g
+//	credogen -kind kron -scale 16 -edgefactor 44 -states 3 -out k16
+//	credogen -kind tree -n 1000 -format bif -out t1000
+//
+// The mtxbp output is a pair of files <out>.nodes.mtx and <out>.edges.mtx.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"credo/internal/bif"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/mtxbp"
+	"credo/internal/xmlbif"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "credogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("credogen", flag.ContinueOnError)
+	kind := fs.String("kind", "synthetic", "topology: synthetic, kron, powerlaw, tree, dirtree, grid")
+	n := fs.Int("n", 1000, "node count (synthetic, powerlaw, tree, dirtree)")
+	m := fs.Int("m", 4000, "edge count (synthetic, powerlaw)")
+	scale := fs.Int("scale", 16, "kron: log2 of node count")
+	edgeFactor := fs.Int("edgefactor", 16, "kron: edges per node")
+	branching := fs.Int("branching", 2, "tree branching factor")
+	w := fs.Int("width", 32, "grid width")
+	h := fs.Int("height", 32, "grid height")
+	states := fs.Int("states", 2, "beliefs per node")
+	seed := fs.Int64("seed", 1, "generator seed")
+	shared := fs.Bool("shared", true, "use one shared joint probability matrix (paper §2.2)")
+	keep := fs.Float64("keep", 0.75, "diagonal weight of generated joint matrices")
+	format := fs.String("format", "mtx", "output format: mtx, bif, xmlbif")
+	stream := fs.Bool("stream", false, "stream the graph straight to disk (synthetic kind, mtx format only; never holds the graph in memory)")
+	out := fs.String("out", "graph", "output path prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := gen.Config{
+		Seed:   *seed,
+		States: *states,
+		Shared: *shared,
+		Keep:   float32(*keep),
+	}
+	if *format != "mtx" {
+		// BIF-family formats carry matrices per edge.
+		cfg.Shared = false
+	}
+
+	if *stream {
+		if *kind != "synthetic" || *format != "mtx" {
+			return fmt.Errorf("-stream supports -kind synthetic with -format mtx")
+		}
+		return streamSynthetic(*out, *n, *m, cfg)
+	}
+
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "synthetic":
+		g, err = gen.Synthetic(*n, *m, cfg)
+	case "kron":
+		g, err = gen.Kronecker(*scale, *edgeFactor, cfg)
+	case "powerlaw":
+		g, err = gen.PowerLaw(*n, *m, cfg)
+	case "tree":
+		g, err = gen.Tree(*n, *branching, cfg)
+	case "dirtree":
+		g, err = gen.DirectedTree(*n, *branching, cfg)
+	case "grid":
+		g, err = gen.Grid(*w, *h, cfg)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "mtx":
+		np, ep := *out+".nodes.mtx", *out+".edges.mtx"
+		if err := mtxbp.WriteFiles(np, ep, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s: %d nodes, %d directed edges, %d beliefs\n",
+			np, ep, g.NumNodes, g.NumEdges, g.States)
+	case "bif":
+		return writeOne(*out+".bif", g, bif.Write)
+	case "xmlbif":
+		return writeOne(*out+".xml", g, xmlbif.Write)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+// streamSynthetic generates and writes the graph without materializing it.
+func streamSynthetic(out string, n, m int, cfg gen.Config) error {
+	np, ep := out+".nodes.mtx", out+".edges.mtx"
+	nf, err := os.Create(np)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ef, err := os.Create(ep)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	var shared *graph.JointMatrix
+	if cfg.Shared {
+		m := graph.DiagonalJointMatrix(cfg.States, cfg.Keep)
+		shared = &m
+	}
+	w, err := mtxbp.NewStreamWriter(nf, ef, n, m, cfg.States, shared)
+	if err != nil {
+		return err
+	}
+	if err := gen.StreamSynthetic(w, n, m, cfg); err != nil {
+		return err
+	}
+	fmt.Printf("streamed %s and %s: %d nodes, %d directed edges, %d beliefs\n", np, ep, n, m, cfg.States)
+	return nil
+}
+
+func writeOne(path string, g *graph.Graph, write func(w io.Writer, g *graph.Graph) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes, %d directed edges, %d beliefs\n", path, g.NumNodes, g.NumEdges, g.States)
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"credo/internal/bif"
+	"credo/internal/mtxbp"
+	"credo/internal/xmlbif"
+)
+
+func TestGenerateMTX(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g")
+	if err := run([]string{"-kind", "synthetic", "-n", "100", "-m", "400", "-states", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := mtxbp.ReadFiles(out+".nodes.mtx", out+".edges.mtx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 100 || g.NumEdges != 400 || g.States != 3 {
+		t.Fatalf("generated %d/%d/%d", g.NumNodes, g.NumEdges, g.States)
+	}
+	if !g.SharedMatrix() {
+		t.Error("default generation should use the shared matrix")
+	}
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"synthetic", "kron", "powerlaw", "tree", "dirtree", "grid"} {
+		out := filepath.Join(dir, kind)
+		args := []string{"-kind", kind, "-n", "64", "-m", "200", "-scale", "6", "-edgefactor", "4",
+			"-width", "8", "-height", "8", "-out", out}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if _, err := os.Stat(out + ".nodes.mtx"); err != nil {
+			t.Errorf("%s: missing output: %v", kind, err)
+		}
+	}
+}
+
+func TestGenerateBIFAndXML(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t")
+	if err := run([]string{"-kind", "dirtree", "-n", "31", "-format", "bif", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bif.ParseFile(out + ".bif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 31 {
+		t.Errorf("BIF round trip: %d nodes", g.NumNodes)
+	}
+	if err := run([]string{"-kind", "dirtree", "-n", "15", "-format", "xmlbif", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err = xmlbif.ParseFile(out + ".xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 15 {
+		t.Errorf("XML-BIF round trip: %d nodes", g.NumNodes)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "mobius"},
+		{"-format", "csv"},
+		{"-kind", "synthetic", "-n", "0"},
+	} {
+		if err := run(append(args, "-out", filepath.Join(t.TempDir(), "x"))); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestStreamedGeneration(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "big")
+	if err := run([]string{"-kind", "synthetic", "-n", "5000", "-m", "20000", "-stream", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := mtxbp.ReadFiles(out+".nodes.mtx", out+".edges.mtx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 5000 || g.NumEdges != 20000 {
+		t.Fatalf("streamed %d/%d", g.NumNodes, g.NumEdges)
+	}
+	// Streaming is synthetic+mtx only.
+	if err := run([]string{"-kind", "kron", "-stream", "-out", out}); err == nil {
+		t.Error("streaming kron accepted")
+	}
+	if err := run([]string{"-kind", "synthetic", "-format", "bif", "-stream", "-out", out}); err == nil {
+		t.Error("streaming bif accepted")
+	}
+}

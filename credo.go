@@ -1,0 +1,161 @@
+// Package credo is a belief-propagation engine for small and massive
+// graphs, reproducing "Rumor Has It: Optimizing the Belief Propagation
+// Algorithm for Parallel Processing" (Trotter, Wood, Huang — ICPP
+// Workshops '20).
+//
+// The package is a façade over the internal subsystems:
+//
+//   - graphs are built with NewBuilder or loaded with LoadMTX / LoadBIF /
+//     LoadXMLBIF;
+//   - Engine runs loopy belief propagation, choosing among the four
+//     implementations (C Edge, C Node, CUDA Edge, CUDA Node) from the
+//     graph's metadata exactly as the paper's Credo system does;
+//   - ExactTree provides exact two-pass inference for acyclic networks;
+//   - the generators produce the synthetic workloads of the paper's
+//     benchmark suite.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results of every table and figure.
+package credo
+
+import (
+	"io"
+
+	"credo/internal/bif"
+	"credo/internal/bp"
+	"credo/internal/core"
+	"credo/internal/gen"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+	"credo/internal/mtxbp"
+	"credo/internal/xmlbif"
+)
+
+// Core graph types.
+type (
+	// Graph is a belief network prepared for propagation.
+	Graph = graph.Graph
+	// Builder constructs graphs node by node and edge by edge.
+	Builder = graph.Builder
+	// JointMatrix is the joint probability table p(dst|src) of an edge.
+	JointMatrix = graph.JointMatrix
+	// Metadata summarizes a graph's structural statistics.
+	Metadata = graph.Metadata
+)
+
+// Engine types.
+type (
+	// Engine runs BP with automatic implementation selection.
+	Engine = core.Engine
+	// Selector picks an implementation from graph metadata.
+	Selector = core.Selector
+	// Implementation identifies one of the four back ends.
+	Implementation = core.Implementation
+	// Report describes one engine execution.
+	Report = core.Report
+	// Options configures a propagation run.
+	Options = bp.Options
+	// Result reports a propagation outcome.
+	Result = bp.Result
+	// ArchProfile describes a simulated CUDA device.
+	ArchProfile = gpusim.ArchProfile
+)
+
+// The four implementations of the paper's §3.6.
+const (
+	CEdge    = core.CEdge
+	CNode    = core.CNode
+	CUDAEdge = core.CUDAEdge
+	CUDANode = core.CUDANode
+)
+
+// NewBuilder returns a graph builder for nodes of the given belief width.
+func NewBuilder(states int) *Builder { return graph.NewBuilder(states) }
+
+// NewJointMatrix allocates a rows x cols joint probability matrix.
+func NewJointMatrix(rows, cols int) JointMatrix { return graph.NewJointMatrix(rows, cols) }
+
+// DiagonalJointMatrix returns the "keep your neighbour's state with
+// probability keep" coupling of the paper's shared-matrix refinement.
+func DiagonalJointMatrix(states int, keep float32) JointMatrix {
+	return graph.DiagonalJointMatrix(states, keep)
+}
+
+// Pascal returns the GTX 1070 device profile of the paper's evaluation.
+func Pascal() ArchProfile { return gpusim.Pascal() }
+
+// Volta returns the V100 device profile of the paper's portability study.
+func Volta() ArchProfile { return gpusim.Volta() }
+
+// LoadMTX reads a belief network from the streaming mtxbp format: a node
+// reader and an edge reader (paper §3.2).
+func LoadMTX(nodes, edges io.Reader) (*Graph, error) { return mtxbp.Read(nodes, edges) }
+
+// LoadMTXFiles reads the mtxbp node and edge files at the given paths.
+func LoadMTXFiles(nodePath, edgePath string) (*Graph, error) {
+	return mtxbp.ReadFiles(nodePath, edgePath)
+}
+
+// SaveMTX writes a belief network in the streaming mtxbp format.
+func SaveMTX(nodes, edges io.Writer, g *Graph) error { return mtxbp.Write(nodes, edges, g) }
+
+// LoadBIF parses a Bayesian Interchange Format document.
+func LoadBIF(r io.Reader) (*Graph, error) { return bif.Parse(r) }
+
+// LoadXMLBIF parses an XMLBIF v0.3 document.
+func LoadXMLBIF(r io.Reader) (*Graph, error) { return xmlbif.Parse(r) }
+
+// Undirected returns the §3.3 MRF form of a directed network: every link
+// stored as two directed edges so loopy messages flow both ways.
+func Undirected(g *Graph) (*Graph, error) { return g.Undirected() }
+
+// ObserveSoft applies virtual (likelihood) evidence to a node without
+// clamping it.
+func ObserveSoft(g *Graph, v int32, likelihood []float32) error {
+	return g.ObserveSoft(v, likelihood)
+}
+
+// ExactTree runs exact two-pass sum-product BP on an acyclic network,
+// leaving exact marginals in the graph's beliefs.
+func ExactTree(g *Graph) error { return bp.ExactTree(g) }
+
+// RunNode executes loopy BP with per-node processing, single-threaded.
+func RunNode(g *Graph, opts Options) Result { return bp.RunNode(g, opts) }
+
+// RunEdge executes loopy BP with per-edge processing, single-threaded.
+func RunEdge(g *Graph, opts Options) Result { return bp.RunEdge(g, opts) }
+
+// RunResidual executes asynchronous residual-scheduled BP (the
+// related-work discipline of Gonzalez et al.).
+func RunResidual(g *Graph, opts Options) Result { return bp.RunResidual(g, opts) }
+
+// RunMaxProduct executes loopy max-product BP; DecodeMAP reads off the
+// approximate MAP assignment afterwards.
+func RunMaxProduct(g *Graph, opts Options) Result { return bp.RunMaxProduct(g, opts) }
+
+// DecodeMAP returns each node's argmax belief state.
+func DecodeMAP(g *Graph) []int { return bp.DecodeMAP(g) }
+
+// ExactMarginal computes the exact marginal of one node by variable
+// elimination — exponential in treewidth, exact on loopy graphs.
+func ExactMarginal(g *Graph, query int32) ([]float64, error) {
+	return bp.VariableElimination(g, query)
+}
+
+// GenConfig configures the synthetic generators.
+type GenConfig = gen.Config
+
+// Synthetic generates the paper's uniform-random NxM graph family.
+func Synthetic(n, m int, cfg GenConfig) (*Graph, error) { return gen.Synthetic(n, m, cfg) }
+
+// Kronecker generates an R-MAT graph matching the kron-g500 family.
+func Kronecker(scale, edgeFactor int, cfg GenConfig) (*Graph, error) {
+	return gen.Kronecker(scale, edgeFactor, cfg)
+}
+
+// PowerLaw generates a preferential-attachment graph standing in for the
+// social-network benchmarks.
+func PowerLaw(n, m int, cfg GenConfig) (*Graph, error) { return gen.PowerLaw(n, m, cfg) }
+
+// Grid generates a w x h lattice MRF (the image-correction topology).
+func Grid(w, h int, cfg GenConfig) (*Graph, error) { return gen.Grid(w, h, cfg) }

@@ -1,0 +1,86 @@
+package credo
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API: generate, save, load,
+// observe, run, inspect.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := Synthetic(200, 800, GenConfig{Seed: 1, States: 2, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, edges bytes.Buffer
+	if err := SaveMTX(&nodes, &edges, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadMTX(&nodes, &edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes != 200 || g2.NumEdges != 800 {
+		t.Fatalf("round trip shape %d/%d", g2.NumNodes, g2.NumEdges)
+	}
+	if err := g2.Observe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var eng Engine
+	rep, err := eng.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Implementation != CEdge {
+		t.Errorf("200-node graph selected %v, want C Edge", rep.Implementation)
+	}
+	if !rep.Result.Converged {
+		t.Error("run did not converge")
+	}
+}
+
+// TestFacadeExactTree checks the exact engine against the builder API.
+func TestFacadeExactTree(t *testing.T) {
+	b := NewBuilder(2)
+	root, _ := b.AddNode([]float32{0.3, 0.7})
+	leaf, _ := b.AddNode(nil)
+	m := DiagonalJointMatrix(2, 0.9)
+	if err := b.AddEdge(root, leaf, &m); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExactTree(g); err != nil {
+		t.Fatal(err)
+	}
+	// p(leaf=0) = 0.3·0.9 + 0.7·0.1 = 0.34.
+	if got := float64(g.Belief(leaf)[0]); math.Abs(got-0.34) > 1e-6 {
+		t.Errorf("leaf marginal = %v, want 0.34", got)
+	}
+}
+
+// TestFacadeRunnersAgree cross-checks the re-exported engines.
+func TestFacadeRunnersAgree(t *testing.T) {
+	g1, err := PowerLaw(300, 1500, GenConfig{Seed: 5, States: 3, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g1.Clone()
+	RunNode(g1, Options{})
+	RunEdge(g2, Options{})
+	for i := range g1.Beliefs {
+		if d := math.Abs(float64(g1.Beliefs[i] - g2.Beliefs[i])); d > 1e-3 {
+			t.Fatalf("node/edge beliefs differ by %v at %d", d, i)
+		}
+	}
+}
+
+// TestDeviceProfiles sanity-checks the re-exported architecture profiles.
+func TestDeviceProfiles(t *testing.T) {
+	if Pascal().Cores() != 1920 || Volta().Cores() != 5120 {
+		t.Error("device profiles do not match the paper's hardware")
+	}
+}

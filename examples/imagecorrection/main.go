@@ -1,0 +1,136 @@
+// Image correction — the paper's third use case (§4): a lattice MRF whose
+// nodes are pixels and whose beliefs range over intensity levels. A noisy
+// observation seeds each pixel's prior; loopy BP pulls pixels toward their
+// neighbourhood consensus, denoising the image.
+//
+// The example synthesizes a two-tone test pattern, corrupts it with
+// impulse noise, denoises it with the per-edge engine, and reports the
+// pixel error before and after.
+//
+//	go run ./examples/imagecorrection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+)
+
+const (
+	width  = 48
+	height = 24
+	levels = 16 // intensity levels (a belief per level)
+	noise  = 0.22
+)
+
+// pattern produces the clean test image: two tones split by a diagonal
+// band plus a bright rectangle.
+func pattern(x, y int) int {
+	switch {
+	case x > width/4 && x < width/2 && y > height/4 && y < 3*height/4:
+		return levels - 1
+	case (x+y)%int(width) < width/3:
+		return levels / 3
+	default:
+		return 2
+	}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// The lattice MRF with a smoothness coupling: neighbours agree with
+	// probability mass concentrated on the diagonal.
+	img, err := gen.Grid(width, height, gen.Config{
+		Seed:          3,
+		States:        levels,
+		Shared:        true,
+		Keep:          0.6,
+		UniformPriors: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed priors from the noisy observation: the observed level gets
+	// most of the mass, the rest spreads uniformly (the per-pixel error
+	// rate the paper's §2.2 single-estimate assumption describes).
+	truth := make([]int, width*height)
+	noisy := make([]int, width*height)
+	flipped := 0
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			id := y*width + x
+			truth[id] = pattern(x, y)
+			noisy[id] = truth[id]
+			if rng.Float64() < noise {
+				noisy[id] = rng.Intn(levels)
+				flipped++
+			}
+			p := img.Prior(int32(id))
+			for l := 0; l < levels; l++ {
+				p[l] = 0.25 / float32(levels-1)
+			}
+			p[noisy[id]] = 0.75
+		}
+	}
+	img.ResetBeliefs()
+
+	mp := img.Clone()
+	res := bp.RunEdge(img, bp.Options{WorkQueue: true})
+	// Loopy max-product oscillates on lattices; damping stabilizes it.
+	mpRes := bp.RunMaxProduct(mp, bp.Options{WorkQueue: true, Damping: 0.4})
+
+	decode := func(vals []int) int { // pixel error count against truth
+		errs := 0
+		for i, v := range vals {
+			if v != truth[i] {
+				errs++
+			}
+		}
+		return errs
+	}
+	denoised := make([]int, width*height)
+	for id := 0; id < width*height; id++ {
+		denoised[id] = argmax(img.Belief(int32(id)))
+	}
+	mapDecoded := bp.DecodeMAP(mp)
+
+	fmt.Printf("image %dx%d, %d levels, %d/%d pixels corrupted\n", width, height, levels, flipped, width*height)
+	fmt.Printf("sum-product: %d iterations, converged=%v\n", res.Iterations, res.Converged)
+	fmt.Printf("max-product: %d iterations, converged=%v\n", mpRes.Iterations, mpRes.Converged)
+	fmt.Printf("pixel errors: noisy %d -> sum-product %d -> max-product %d\n",
+		decode(noisy), decode(denoised), decode(mapDecoded))
+	fmt.Println("\nnoisy:")
+	render(noisy)
+	fmt.Println("\ndenoised:")
+	render(denoised)
+}
+
+func argmax(b []float32) int {
+	best := 0
+	for i, v := range b {
+		if v > b[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// render draws the image as ASCII intensity.
+func render(img []int) {
+	ramp := " .:-=+*#%@"
+	var sb strings.Builder
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			l := img[y*width+x] * (len(ramp) - 1) / (levels - 1)
+			sb.WriteByte(ramp[l])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Print(sb.String())
+}

@@ -1,0 +1,3 @@
+module credo
+
+go 1.22

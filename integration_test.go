@@ -1,0 +1,169 @@
+package credo
+
+// Integration tests across the full pipeline: generate → serialize → parse
+// → extract features → select implementation → propagate → validate, for
+// each of the paper's three use cases, plus the cross-format journey BIF →
+// mtxbp → engine.
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credo/internal/bench"
+	"credo/internal/bif"
+	"credo/internal/bp"
+	"credo/internal/core"
+	"credo/internal/features"
+	"credo/internal/gen"
+	"credo/internal/ml"
+	"credo/internal/mtxbp"
+)
+
+// TestPipelinePerUseCase runs the whole stack for the binary, virus and
+// image-correction belief widths.
+func TestPipelinePerUseCase(t *testing.T) {
+	for _, uc := range bench.UseCases() {
+		t.Run(uc.Name, func(t *testing.T) {
+			g, err := gen.PowerLaw(400, 1600, gen.Config{Seed: 11, States: uc.States, Shared: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Serialize through the streaming format (compressed).
+			dir := t.TempDir()
+			np := filepath.Join(dir, "g.nodes.mtx.gz")
+			ep := filepath.Join(dir, "g.edges.mtx.gz")
+			if err := mtxbp.WriteFiles(np, ep, g); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := mtxbp.ReadFiles(np, ep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Observe and propagate through the engine.
+			if err := loaded.Observe(0, uc.States-1); err != nil {
+				t.Fatal(err)
+			}
+			var eng core.Engine
+			rep, err := eng.Run(loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Result.Converged {
+				t.Errorf("did not converge: %+v", rep.Result)
+			}
+			if err := loaded.Validate(); err != nil {
+				t.Errorf("invalid beliefs after pipeline: %v", err)
+			}
+			// Feature extraction stays finite and the right shape.
+			feat := features.FromGraph(loaded)
+			if len(feat) != features.Count {
+				t.Errorf("feature vector length %d", len(feat))
+			}
+		})
+	}
+}
+
+// TestPipelineBIFToEngine follows a legacy BIF document into the engine.
+func TestPipelineBIFToEngine(t *testing.T) {
+	src := `network chain { }
+variable a { type discrete [ 2 ] { y, n }; }
+variable b { type discrete [ 2 ] { y, n }; }
+variable c { type discrete [ 2 ] { y, n }; }
+probability ( a ) { table 0.9, 0.1; }
+probability ( b | a ) { ( y ) 0.8, 0.2; ( n ) 0.3, 0.7; }
+probability ( c | b ) { ( y ) 0.8, 0.2; ( n ) 0.3, 0.7; }
+`
+	g, err := bif.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert through mtxbp and back — structure preserved.
+	var nodes, edges bytes.Buffer
+	if err := mtxbp.Write(&nodes, &edges, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := mtxbp.Read(&nodes, &edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng core.Engine
+	rep, err := eng.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Implementation != core.CEdge {
+		t.Errorf("3-node chain selected %v", rep.Implementation)
+	}
+	// Evidence at a strongly pushes c toward y.
+	if b := g2.Belief(2); b[0] <= 0.5 {
+		t.Errorf("chain posterior = %v; expected state y favored", b)
+	}
+}
+
+// TestPipelineTrainedSelectorEndToEnd builds a miniature dataset, trains
+// the paper's forest, and routes new graphs through the trained selector.
+func TestPipelineTrainedSelectorEndToEnd(t *testing.T) {
+	tier := bench.Tier{Name: "tiny", MaxNodes: 300, MaxEdges: 1500}
+	cfg := bench.DefaultConfig(tier)
+	specs := []bench.GraphSpec{}
+	for _, abbrev := range []string{"10x40", "1k4k", "100kx400k", "2Mx8M", "GO", "K16"} {
+		for _, s := range bench.Table1() {
+			if s.Abbrev == abbrev {
+				specs = append(specs, s)
+			}
+		}
+	}
+	ds, err := bench.BuildDataset(specs, bench.UseCases(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := &ml.RandomForest{Trees: 14, MaxDepth: 6, Seed: 1}
+	if err := forest.Fit(ds.X, ds.Y); err != nil {
+		t.Fatal(err)
+	}
+	eng := core.Engine{
+		Selector: core.Selector{Classifier: forest},
+		Options:  bp.Options{WorkQueue: true},
+	}
+	small, err := gen.Synthetic(150, 600, gen.Config{Seed: 3, States: 2, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Implementation.IsCUDA() {
+		t.Errorf("150-node graph routed to %v", rep.Implementation)
+	}
+	if !rep.Result.Converged {
+		t.Error("engine run did not converge")
+	}
+}
+
+// TestScaleSmoke propagates through a 100k-node / 400k-edge graph — the
+// paper's crossover scale — end to end with the work queues on. Skipped in
+// -short mode.
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-graph smoke test skipped in -short mode")
+	}
+	g, err := gen.Synthetic(100_000, 400_000, gen.Config{Seed: 42, States: 2, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Observe(0, 1)
+	res := bp.RunEdge(g, bp.Options{WorkQueue: true})
+	if !res.Converged {
+		t.Fatalf("100k-node graph did not converge: %+v", res)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	md := g.Stats()
+	if md.NumNodes != 100_000 || md.NumEdges != 400_000 {
+		t.Fatalf("stats %d/%d", md.NumNodes, md.NumEdges)
+	}
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/core"
+	"credo/internal/cudabp"
+	"credo/internal/features"
+	"credo/internal/gpusim"
+	"credo/internal/perfmodel"
+)
+
+// NumImpls is the number of Credo implementations measured per variant.
+const NumImpls = 4
+
+// ImplTime is one implementation's modelled result on one variant.
+type ImplTime struct {
+	// Time is the modelled full-scale execution time.
+	Time time.Duration
+	// Iterations is the measured iteration count at the scaled tier.
+	Iterations int
+	// OK is false when the implementation could not run (VRAM exceeded).
+	OK bool
+}
+
+// Measurement is the full record of one benchmark variant: one Table 1
+// graph under one use case.
+type Measurement struct {
+	Spec GraphSpec
+	Case UseCase
+
+	// ScaledNodes and ScaledEdges are the executed sizes.
+	ScaledNodes int
+	ScaledEdges int
+	// ScaleFactor is the full-scale/scaled extrapolation ratio.
+	ScaleFactor float64
+
+	// Feat is the §3.7 feature vector at full scale.
+	Feat []float64
+
+	// Times is indexed by core.Implementation.
+	Times [NumImpls]ImplTime
+
+	// CUDAExcluded marks variants whose full-scale footprint exceeds
+	// VRAM (the paper's TW and OR exclusions).
+	CUDAExcluded bool
+
+	// Best is the fastest runnable implementation and Label its paradigm.
+	Best  core.Implementation
+	Label features.Label
+}
+
+// Config bundles the environment a measurement runs under.
+type Config struct {
+	Tier Tier
+	CPU  perfmodel.CPUProfile
+	GPU  gpusim.ArchProfile
+	// Options are the propagation options; work queues default on, as in
+	// Credo's final configuration.
+	Options bp.Options
+	Seed    int64
+}
+
+// DefaultConfig returns the paper's §4 environment at the given tier:
+// i7-7700HQ host, Pascal GTX 1070 device, 0.001 threshold, 200-iteration
+// cap, work queues on.
+func DefaultConfig(t Tier) Config {
+	return Config{
+		Tier:    t,
+		CPU:     perfmodel.I7_7700HQ(),
+		GPU:     gpusim.Pascal(),
+		Options: bp.Options{WorkQueue: true},
+		Seed:    1,
+	}
+}
+
+// scaleOps extrapolates per-element operation counts by r, keeping
+// iteration counts (which are scale-invariant for a fixed topology family).
+func scaleOps(ops bp.OpCounts, r float64) bp.OpCounts {
+	s := func(v int64) int64 { return int64(math.Round(float64(v) * r)) }
+	return bp.OpCounts{
+		Iterations:     ops.Iterations,
+		NodesProcessed: s(ops.NodesProcessed),
+		EdgesProcessed: s(ops.EdgesProcessed),
+		MemLoads:       s(ops.MemLoads),
+		MemStores:      s(ops.MemStores),
+		MatrixOps:      s(ops.MatrixOps),
+		LogOps:         s(ops.LogOps),
+		AtomicOps:      s(ops.AtomicOps),
+		QueuePushes:    s(ops.QueuePushes),
+		RandomLoads:    s(ops.RandomLoads),
+	}
+}
+
+// scaleDeviceTime extrapolates a device run's simulated time to full
+// scale: size-proportional components (kernel work, transferred bytes)
+// scale by r; fixed costs (init, per-launch, per-transfer latency) do not.
+func scaleDeviceTime(st gpusim.Stats, gpu gpusim.ArchProfile, r float64) time.Duration {
+	transferBytes := float64(st.BytesToDevice+st.BytesToHost) / (gpu.PCIeBandwidthGBps * 1e9)
+	transferLatency := st.TransferTime - transferBytes
+	if transferLatency < 0 {
+		transferLatency = 0
+	}
+	secs := st.InitTime + st.LaunchTime + transferLatency +
+		r*(transferBytes+st.ComputeTime+st.MemoryTime+st.AtomicTime+st.SyncTime)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// MeasureVariant runs all four implementations on the scaled graph and
+// reports full-scale modelled times plus the derived label.
+func MeasureVariant(spec GraphSpec, uc UseCase, cfg Config) (Measurement, error) {
+	g, err := spec.Generate(uc.States, cfg.Tier, cfg.Seed)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: generate %s: %w", spec.Abbrev, err)
+	}
+	m := Measurement{
+		Spec:        spec,
+		Case:        uc,
+		ScaledNodes: g.NumNodes,
+		ScaledEdges: g.NumEdges,
+		ScaleFactor: spec.ScaleFactor(cfg.Tier),
+	}
+
+	// Features reflect the full-scale graph: node/edge counts from the
+	// spec, degree shape from the scaled instance (topology-preserved).
+	md := g.Stats()
+	md.NumNodes = spec.Nodes
+	md.NumEdges = spec.Edges
+	md.AvgInDegree = float64(spec.Edges) / float64(spec.Nodes)
+	scaleDeg := float64(spec.Nodes) / float64(g.NumNodes)
+	md.MaxInDegree = int(math.Round(float64(md.MaxInDegree) * scaleDeg))
+	md.MaxOutDegree = int(math.Round(float64(md.MaxOutDegree) * scaleDeg))
+	m.Feat = features.Vector(md)
+
+	r := m.ScaleFactor
+
+	// C implementations.
+	edgeRes := bp.RunEdge(g.Clone(), cfg.Options)
+	m.Times[core.CEdge] = ImplTime{
+		Time:       cfg.CPU.SequentialTime(scaleOps(edgeRes.Ops, r)),
+		Iterations: edgeRes.Iterations,
+		OK:         true,
+	}
+	nodeRes := bp.RunNode(g.Clone(), cfg.Options)
+	m.Times[core.CNode] = ImplTime{
+		Time:       cfg.CPU.SequentialTime(scaleOps(nodeRes.Ops, r)),
+		Iterations: nodeRes.Iterations,
+		OK:         true,
+	}
+
+	// CUDA implementations, gated on the full-scale footprint.
+	if spec.FullFootprint(uc.States) > cfg.GPU.VRAMBytes {
+		m.CUDAExcluded = true
+	} else {
+		copts := cudabp.Options{Options: cfg.Options}
+		devE := gpusim.NewDevice(cfg.GPU)
+		cuE, err := cudabp.RunEdge(g.Clone(), devE, copts)
+		if err != nil {
+			return m, fmt.Errorf("bench: cuda edge %s: %w", spec.Abbrev, err)
+		}
+		m.Times[core.CUDAEdge] = ImplTime{
+			Time:       scaleDeviceTime(devE.Stats(), cfg.GPU, r),
+			Iterations: cuE.Iterations,
+			OK:         true,
+		}
+		devN := gpusim.NewDevice(cfg.GPU)
+		cuN, err := cudabp.RunNode(g.Clone(), devN, copts)
+		if err != nil {
+			return m, fmt.Errorf("bench: cuda node %s: %w", spec.Abbrev, err)
+		}
+		m.Times[core.CUDANode] = ImplTime{
+			Time:       scaleDeviceTime(devN.Stats(), cfg.GPU, r),
+			Iterations: cuN.Iterations,
+			OK:         true,
+		}
+	}
+
+	m.Best = m.bestImpl()
+	if m.Best.IsNode() {
+		m.Label = features.LabelNode
+	} else {
+		m.Label = features.LabelEdge
+	}
+	return m, nil
+}
+
+func (m *Measurement) bestImpl() core.Implementation {
+	best := core.CEdge
+	for impl := core.Implementation(0); impl < NumImpls; impl++ {
+		t := m.Times[impl]
+		if !t.OK {
+			continue
+		}
+		if !m.Times[best].OK || t.Time < m.Times[best].Time {
+			best = impl
+		}
+	}
+	return best
+}
+
+// Speedup returns the ratio of the baseline implementation's time to the
+// candidate's (>1 means candidate is faster). Zero when either is absent.
+func (m *Measurement) Speedup(candidate, baseline core.Implementation) float64 {
+	c, b := m.Times[candidate], m.Times[baseline]
+	if !c.OK || !b.OK || c.Time <= 0 {
+		return 0
+	}
+	return b.Time.Seconds() / c.Time.Seconds()
+}
+
+// Dataset is the labeled classifier dataset plus its measurements.
+type Dataset struct {
+	X            [][]float64
+	Y            []int
+	Measurements []Measurement
+}
+
+// datasetCache memoizes full-suite datasets per environment so that the
+// classifier experiments (which all consume the same measurements) pay for
+// the sweep once per credobench invocation.
+var datasetCache sync.Map
+
+type datasetKey struct {
+	tier  string
+	seed  int64
+	gpu   string
+	cpu   string
+	queue bool
+}
+
+// BuildDataset measures every (spec, use case) variant. Variants whose
+// full-scale footprint exceeds VRAM are measured (C only) but excluded
+// from the classifier rows, matching the paper's 95-of-102 full dataset
+// (§4.3). Full-suite sweeps are memoized per environment.
+func BuildDataset(specs []GraphSpec, cases []UseCase, cfg Config) (*Dataset, error) {
+	var key datasetKey
+	cacheable := len(specs) == len(Table1()) && len(cases) == len(UseCases())
+	if cacheable {
+		key = datasetKey{cfg.Tier.Name, cfg.Seed, cfg.GPU.Name, cfg.CPU.Name, cfg.Options.WorkQueue}
+		if v, ok := datasetCache.Load(key); ok {
+			return v.(*Dataset), nil
+		}
+	}
+	ds, err := buildDataset(specs, cases, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		datasetCache.Store(key, ds)
+	}
+	return ds, nil
+}
+
+func buildDataset(specs []GraphSpec, cases []UseCase, cfg Config) (*Dataset, error) {
+	ds := &Dataset{}
+	for _, spec := range specs {
+		for _, uc := range cases {
+			m, err := MeasureVariant(spec, uc, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ds.Measurements = append(ds.Measurements, m)
+			if m.CUDAExcluded {
+				continue
+			}
+			ds.X = append(ds.X, m.Feat)
+			ds.Y = append(ds.Y, int(m.Label))
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// RunAccuracy measures the approximation quality of loopy BP — the
+// question the paper's correctness argument leans on implicitly when it
+// trades the exact two-pass algorithm for Algorithm 1. Small loopy graphs
+// where the junction tree is still tractable are solved exactly, then each
+// loopy engine's marginals are compared by mean total-variation distance.
+func RunAccuracy(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "Loopy BP approximation quality vs exact junction-tree marginals\n")
+	fmt.Fprintf(w, "%-26s %10s %12s %12s %12s\n",
+		"graph", "treewidth", "sum-product", "damped 0.5", "residual")
+	for _, tc := range []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"tree 63x2 (exact regime)", func() (*graph.Graph, error) {
+			return gen.Tree(63, 2, gen.Config{Seed: cfg.Seed, States: 2})
+		}},
+		{"grid 8x8 (loopy)", func() (*graph.Graph, error) {
+			return gen.Grid(8, 8, gen.Config{Seed: cfg.Seed, States: 2, Keep: 0.7})
+		}},
+		{"sparse random 40x60", func() (*graph.Graph, error) {
+			return gen.Synthetic(40, 60, gen.Config{Seed: cfg.Seed, States: 2})
+		}},
+		{"denser random 30x70", func() (*graph.Graph, error) {
+			return gen.Synthetic(30, 70, gen.Config{Seed: cfg.Seed + 1, States: 2})
+		}},
+	} {
+		g, err := tc.mk()
+		if err != nil {
+			return err
+		}
+		jt, err := bp.NewJunctionTree(g)
+		if err != nil {
+			fmt.Fprintf(w, "%-26s %10s (treewidth beyond the exact budget)\n", tc.name, "-")
+			continue
+		}
+		if err := jt.Calibrate(); err != nil {
+			return err
+		}
+		exact := make([][]float64, g.NumNodes)
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			m, err := jt.Marginal(v)
+			if err != nil {
+				return err
+			}
+			exact[v] = m
+		}
+
+		meanTV := func(run func(*graph.Graph, bp.Options) bp.Result, opts bp.Options) float64 {
+			c := g.Clone()
+			run(c, opts)
+			var sum float64
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				b := c.Belief(v)
+				var tv float64
+				for j := range b {
+					d := float64(b[j]) - exact[v][j]
+					if d < 0 {
+						d = -d
+					}
+					tv += d
+				}
+				sum += tv / 2
+			}
+			return sum / float64(g.NumNodes)
+		}
+
+		fmt.Fprintf(w, "%-26s %10d %12.4f %12.4f %12.4f\n",
+			tc.name, jt.Width()-1,
+			meanTV(bp.RunNode, bp.Options{}),
+			meanTV(bp.RunNode, bp.Options{Damping: 0.5}),
+			meanTV(bp.RunResidual, bp.Options{}),
+		)
+	}
+	fmt.Fprintln(w, "(mean total-variation distance per node; 0 = exact. Loopy BP is exact on")
+	fmt.Fprintln(w, " trees only when messages exclude the recipient — Algorithm 1 does not, so")
+	fmt.Fprintln(w, " even the tree row carries a small echo bias, which the paper accepts for")
+	fmt.Fprintln(w, " the scalability it buys.)")
+	return nil
+}

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"credo/internal/bif"
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/mtxbp"
+	"credo/internal/xmlbif"
+)
+
+// RunTable1 prints the benchmark suite with full-scale and tier-scaled
+// sizes (Table 1).
+func RunTable1(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "Table 1: benchmark graphs (tier %s)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "%-28s %-11s %5s %12s %14s %10s %12s\n",
+		"name", "abbrev", "kind", "nodes", "edges", "run-nodes", "run-edges")
+	kinds := map[Kind]string{Synthetic: "synth", Kron: "kron", Social: "social"}
+	for _, s := range sortedBySize(Table1()) {
+		n, e := s.ScaledSize(cfg.Tier)
+		fmt.Fprintf(w, "%-28s %-11s %5s %12d %14d %10d %12d\n",
+			s.Name, s.Abbrev, kinds[s.Kind], s.Nodes, s.Edges, n, e)
+	}
+	return nil
+}
+
+// RunAlgoCmp reproduces §2.1.1: the traditional level-ordered BP against
+// loopy BP by edge and by node on the synthetic family, single-threaded.
+// The paper measures the traditional algorithm 1032x/44x slower than
+// by-edge/by-node at 10kx40k, widening with size (avg ≈1014x / ≈300x).
+func RunAlgoCmp(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "§2.1.1 — traditional vs loopy BP (binary beliefs, tier %s, full-scale modelled times)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s %14s %14s\n",
+		"graph", "nodes", "traditional", "loopy-edge", "loopy-node", "trad/edge", "trad/node")
+	var edgeRatios, nodeRatios []float64
+	for _, s := range sortedBySize(Table1()) {
+		if s.Kind != Synthetic {
+			continue
+		}
+		g, err := s.Generate(2, cfg.Tier, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		r := s.ScaleFactor(cfg.Tier)
+		// The traditional algorithm's level determination is O(V·E) —
+		// superlinear — so its full-scale cost is re-derived from the
+		// full-scale sizes rather than scaled linearly.
+		tradRes := bp.RunTraditional(g.Clone(), cfg.Options)
+		levelLoads := 2 * int64(g.NumNodes) * int64(g.NumEdges)
+		sweeps := tradRes.Ops
+		sweeps.MemLoads -= levelLoads
+		tradOps := scaleOps(sweeps, r)
+		tradOps.MemLoads += 2 * int64(s.Nodes) * int64(s.Edges)
+		trad := cfg.CPU.SequentialTime(tradOps)
+
+		edge := cfg.CPU.SequentialTime(scaleOps(bp.RunEdge(g.Clone(), cfg.Options).Ops, r))
+		node := cfg.CPU.SequentialTime(scaleOps(bp.RunNode(g.Clone(), cfg.Options).Ops, r))
+		re := ratio(trad, edge)
+		rn := ratio(trad, node)
+		edgeRatios = append(edgeRatios, re)
+		nodeRatios = append(nodeRatios, rn)
+		fmt.Fprintf(w, "%-12s %12d %12s %12s %12s %14s %14s\n",
+			s.Abbrev, s.Nodes, fmtDur(trad), fmtDur(edge), fmtDur(node), fmtRatio(re), fmtRatio(rn))
+	}
+	fmt.Fprintf(w, "geo-mean slowdown of traditional BP: %s vs by-edge, %s vs by-node\n",
+		fmtRatio(geoMean(edgeRatios)), fmtRatio(geoMean(nodeRatios)))
+	fmt.Fprintln(w, "(paper: 1032x/44x at 10kx40k widening to 11427x/379x at 2Mx8M; avg ≈1014x / ≈300x)")
+	return nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a.Seconds() / b.Seconds()
+}
+
+// RunSharedMatrix reproduces §2.2: the single shared joint probability
+// matrix against per-edge matrices, for C Edge, CUDA Edge and CUDA Node.
+// The paper observes ≈2x for C and CUDA Edge and >25x for CUDA Node on the
+// larger graphs.
+func RunSharedMatrix(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "§2.2 — shared joint matrix speedup (binary beliefs, tier %s)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "%-12s %10s %12s %12s %12s\n", "graph", "nodes", "C Edge", "CUDA Edge", "CUDA Node")
+	var ce, cue, cun []float64
+	for _, s := range sortedBySize(Table1()) {
+		if s.Kind != Synthetic || s.Nodes > 800000 {
+			continue
+		}
+		sp, err := sharedMatrixSpeedups(s, cfg)
+		if err != nil {
+			return err
+		}
+		ce = append(ce, sp[0])
+		cue = append(cue, sp[1])
+		cun = append(cun, sp[2])
+		nodes, _ := s.ScaledSize(cfg.Tier)
+		fmt.Fprintf(w, "%-12s %10d %12s %12s %12s\n",
+			s.Abbrev, nodes, fmtRatio(sp[0]), fmtRatio(sp[1]), fmtRatio(sp[2]))
+	}
+	fmt.Fprintf(w, "geo-mean: C Edge %s, CUDA Edge %s, CUDA Node %s\n",
+		fmtRatio(geoMean(ce)), fmtRatio(geoMean(cue)), fmtRatio(geoMean(cun)))
+	fmt.Fprintln(w, "(paper: ≈2x for C and CUDA Edge; >25x for CUDA Node on larger graphs)")
+	return nil
+}
+
+// sharedMatrixSpeedups returns the per-edge-matrices/shared time ratios
+// for C Edge, CUDA Edge and CUDA Node, extrapolated to the benchmark's
+// full scale so that the fixed device overheads do not mask the kernel
+// effect.
+func sharedMatrixSpeedups(s GraphSpec, cfg Config) ([3]float64, error) {
+	nodes, edges := s.ScaledSize(cfg.Tier)
+	r := s.ScaleFactor(cfg.Tier)
+	base, err := gen.Synthetic(nodes, edges, gen.Config{Seed: cfg.Seed, States: 2, Shared: true})
+	if err != nil {
+		return [3]float64{}, err
+	}
+	measure := func(impl implRunner, shared bool) (time.Duration, error) {
+		g := base.Clone()
+		if !shared {
+			// The original mode: one matrix per edge. Every edge gets an
+			// identical copy so the propagation dynamics — and therefore
+			// the iteration counts — match the shared run exactly; only
+			// the storage and access costs differ (paper §2.2).
+			mats := make([]graph.JointMatrix, g.NumEdges)
+			for e := range mats {
+				m := graph.NewJointMatrix(g.States, g.States)
+				copy(m.Data, g.Shared.Data)
+				mats[e] = m
+			}
+			g.Shared = nil
+			g.EdgeMats = mats
+		}
+		return impl(g, cfg)
+	}
+	var out [3]float64
+	for i, impl := range []implRunner{cEdgeScaledRunner(r), cudaEdgeScaledRunner(r), cudaNodeScaledRunner(r)} {
+		ts, err := measure(impl, true)
+		if err != nil {
+			return out, err
+		}
+		tp, err := measure(impl, false)
+		if err != nil {
+			return out, err
+		}
+		out[i] = ratio(tp, ts)
+	}
+	return out, nil
+}
+
+// RunParsers reproduces §3.2.1: parse times of the same logical network in
+// BIF, XML-BIF and the streaming mtxbp format, measured with real wall
+// clocks (the parsers are real code, not models).
+func RunParsers(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "§3.2.1 — input format comparison (wall clock)\n")
+	fmt.Fprintf(w, "%-10s %10s | %12s %10s | %12s %10s | %12s %10s\n",
+		"nodes", "edges", "BIF", "size", "XML-BIF", "size", "mtxbp", "size")
+	sizes := []int{5, 1000, 10000, 100000}
+	for _, n := range sizes {
+		if n > cfg.Tier.MaxNodes*10 {
+			continue
+		}
+		g, err := gen.DirectedTree(n, 2, gen.Config{Seed: cfg.Seed, States: 2, UniformPriors: true})
+		if err != nil {
+			return err
+		}
+		var bifBuf, xmlBuf, nodeBuf, edgeBuf bytes.Buffer
+		if err := bif.Write(&bifBuf, g); err != nil {
+			return err
+		}
+		if err := xmlbif.Write(&xmlBuf, g); err != nil {
+			return err
+		}
+		if err := mtxbp.Write(&nodeBuf, &edgeBuf, g); err != nil {
+			return err
+		}
+		bifSrc, xmlSrc := bifBuf.Bytes(), xmlBuf.Bytes()
+		nodeSrc, edgeSrc := nodeBuf.Bytes(), edgeBuf.Bytes()
+
+		tBIF, err := timeIt(func() error {
+			_, err := bif.Parse(bytes.NewReader(bifSrc))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tXML, err := timeIt(func() error {
+			_, err := xmlbif.Parse(bytes.NewReader(xmlSrc))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tMTX, err := timeIt(func() error {
+			_, err := mtxbp.Read(bytes.NewReader(nodeSrc), bytes.NewReader(edgeSrc))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %10d | %12s %10d | %12s %10d | %12s %10d\n",
+			g.NumNodes, g.NumEdges, fmtDur(tBIF), len(bifSrc), fmtDur(tXML), len(xmlSrc),
+			fmtDur(tMTX), len(nodeSrc)+len(edgeSrc))
+	}
+	fmt.Fprintln(w, "(paper: family-out 162µs BIF / 638µs XML-BIF; 1k-node 21ms / 83ms / 2ms mtx; 100k 8.4s XML vs 0.28s mtx)")
+	return nil
+}
+
+// timeIt returns the minimum wall time of five runs of f.
+func timeIt(f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// RunAoSSoA reproduces §3.4: cache lines touched by the array-of-structs
+// versus struct-of-arrays belief layouts over a BP-like access pattern.
+// The paper's cachegrind study found ≈56% fewer data cache accesses for
+// AoS.
+func RunAoSSoA(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "§3.4 — AoS vs SoA belief storage (cache lines touched)\n")
+	fmt.Fprintf(w, "%-10s %8s %14s %14s %10s\n", "elements", "beliefs", "AoS lines", "SoA lines", "savings")
+	for _, tc := range []struct{ n, states int }{
+		{10, 2}, {1000, 2}, {100000, 2}, {1000, 3}, {1000, 32}, {100000, 32},
+	} {
+		if tc.n > cfg.Tier.MaxNodes*100 {
+			continue
+		}
+		aos := graph.NewAoSStore(tc.n, tc.states)
+		soa := graph.NewSoAStore(tc.n, tc.states)
+		buf := make([]float32, tc.states)
+		var aosLines, soaLines int
+		// One belief sweep: every element is read, updated and written,
+		// as in the combine stage.
+		for i := 0; i < tc.n; i++ {
+			aosLines += aos.Load(i, buf) + aos.Store(i, buf)
+			soaLines += soa.Load(i, buf) + soa.Store(i, buf)
+		}
+		savings := 100 * (1 - float64(aosLines)/float64(soaLines))
+		fmt.Fprintf(w, "%-10d %8d %14d %14d %9.1f%%\n", tc.n, tc.states, aosLines, soaLines, savings)
+	}
+	fmt.Fprintln(w, "(paper: AoS shows ≈56% fewer data cache reads and writes)")
+	return nil
+}

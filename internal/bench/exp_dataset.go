@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"credo/internal/core"
+	"credo/internal/features"
+)
+
+// RunDataset prints the full classifier dataset as CSV: one row per
+// benchmark variant with the §3.7 features, the four modelled times, the
+// winning implementation and the Node/Edge label. It is the raw material
+// behind Figures 4-6 and 10-12, exported for external analysis.
+func RunDataset(w io.Writer, cfg Config) error {
+	ds, err := BuildDataset(Table1(), UseCases(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, "graph,usecase,nodes,edges")
+	for _, n := range features.Names() {
+		fmt.Fprintf(w, ",%s", n)
+	}
+	fmt.Fprintln(w, ",c_edge_s,c_node_s,cuda_edge_s,cuda_node_s,cuda_excluded,best,label")
+	for _, m := range ds.Measurements {
+		fmt.Fprintf(w, "%s,%s,%d,%d", m.Spec.Abbrev, m.Case.Name, m.Spec.Nodes, m.Spec.Edges)
+		for _, f := range m.Feat {
+			fmt.Fprintf(w, ",%.6g", f)
+		}
+		for impl := core.Implementation(0); impl < NumImpls; impl++ {
+			if m.Times[impl].OK {
+				fmt.Fprintf(w, ",%.6g", m.Times[impl].Time.Seconds())
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintf(w, ",%v,%s,%s\n", m.CUDAExcluded, m.Best, m.Label)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"credo/internal/core"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+	"credo/internal/ml"
+	"credo/internal/perfmodel"
+	"credo/internal/viz"
+)
+
+// RunFig7 reproduces Figure 7: modelled full-scale runtimes of the four
+// implementations on the bold subset (binary beliefs) plus the AVG row
+// over every benchmark and use case.
+func RunFig7(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "Figure 7 — runtimes of the C and CUDA implementations (tier %s)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s %12s %12s\n",
+		"graph", "nodes", "C Edge", "C Node", "CUDA Edge", "CUDA Node", "best")
+	binary := UseCases()[0]
+	for _, s := range sortedBySize(boldSubset(Table1())) {
+		m, err := MeasureVariant(s, binary, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12d %12s %12s %12s %12s %12s\n",
+			s.Abbrev, s.Nodes,
+			fmtDur(m.Times[core.CEdge].Time), fmtDur(m.Times[core.CNode].Time),
+			fmtDur(m.Times[core.CUDAEdge].Time), fmtDur(m.Times[core.CUDANode].Time),
+			m.Best.String())
+	}
+
+	// AVG row across the full suite and use cases (geo-mean).
+	ds, err := BuildDataset(Table1(), UseCases(), cfg)
+	if err != nil {
+		return err
+	}
+	var times [NumImpls][]float64
+	for _, m := range ds.Measurements {
+		for impl := 0; impl < NumImpls; impl++ {
+			if m.Times[impl].OK {
+				times[impl] = append(times[impl], m.Times[impl].Time.Seconds())
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-12s %12s", "AVG", "")
+	for impl := 0; impl < NumImpls; impl++ {
+		fmt.Fprintf(w, " %11.3fs", geoMean(times[impl]))
+	}
+	fmt.Fprintln(w)
+
+	// The figure itself: log-scale runtime bars per benchmark.
+	var groups []viz.Group
+	for _, s := range sortedBySize(boldSubset(Table1())) {
+		m, err := MeasureVariant(s, binary, cfg)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, viz.Group{Label: s.Abbrev, Values: []float64{
+			m.Times[core.CEdge].Time.Seconds(),
+			m.Times[core.CNode].Time.Seconds(),
+			m.Times[core.CUDAEdge].Time.Seconds(),
+			m.Times[core.CUDANode].Time.Seconds(),
+		}})
+	}
+	fmt.Fprintln(w)
+	viz.GroupedLogBars(w, "Figure 7 (rendered): modelled runtimes, binary beliefs", "s",
+		[]string{"C Edge", "C Node", "CUDA Edge", "CUDA Node"}, groups)
+	fmt.Fprintln(w, "(paper: CUDA wins at >=100k nodes; CUDA Node up to 120x vs C Node, CUDA Edge ~3.4x vs C Edge)")
+	return nil
+}
+
+// RunFig8 reproduces Figure 8: the distribution of per-paradigm CUDA
+// speedups (CUDA vs the matching C implementation) by belief count.
+func RunFig8(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "Figure 8 — speedup distribution by belief count (tier %s)\n", cfg.Tier.Name)
+	ds, err := BuildDataset(Table1(), UseCases(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %8s | %10s %10s %10s | %10s %10s %10s\n",
+		"beliefs", "samples", "node p25", "node med", "node p75", "edge p25", "edge med", "edge p75")
+	for _, uc := range UseCases() {
+		var nodeSp, edgeSp []float64
+		for _, m := range ds.Measurements {
+			if m.Case.States != uc.States || m.CUDAExcluded {
+				continue
+			}
+			if sp := m.Speedup(core.CUDANode, core.CNode); sp > 0 {
+				nodeSp = append(nodeSp, sp)
+			}
+			if sp := m.Speedup(core.CUDAEdge, core.CEdge); sp > 0 {
+				edgeSp = append(edgeSp, sp)
+			}
+		}
+		np := percentiles(nodeSp)
+		ep := percentiles(edgeSp)
+		fmt.Fprintf(w, "%-8d %8d | %10s %10s %10s | %10s %10s %10s\n",
+			uc.States, len(nodeSp),
+			fmtRatio(np[0]), fmtRatio(np[1]), fmtRatio(np[2]),
+			fmtRatio(ep[0]), fmtRatio(ep[1]), fmtRatio(ep[2]))
+	}
+	// The figure: median speedups per belief width.
+	var nodeBars, edgeBars []viz.Bar
+	for _, uc := range UseCases() {
+		var nodeSp, edgeSp []float64
+		for _, m := range ds.Measurements {
+			if m.Case.States != uc.States || m.CUDAExcluded {
+				continue
+			}
+			if sp := m.Speedup(core.CUDANode, core.CNode); sp > 0 {
+				nodeSp = append(nodeSp, sp)
+			}
+			if sp := m.Speedup(core.CUDAEdge, core.CEdge); sp > 0 {
+				edgeSp = append(edgeSp, sp)
+			}
+		}
+		label := fmt.Sprintf("%d beliefs", uc.States)
+		nodeBars = append(nodeBars, viz.Bar{Label: label, Value: percentiles(nodeSp)[1]})
+		edgeBars = append(edgeBars, viz.Bar{Label: label, Value: percentiles(edgeSp)[1]})
+	}
+	fmt.Fprintln(w)
+	viz.BarChart(w, "Figure 8 (rendered): median CUDA Node speedup vs C Node", "x", nodeBars)
+	fmt.Fprintln(w)
+	viz.BarChart(w, "Figure 8 (rendered): median CUDA Edge speedup vs C Edge", "x", edgeBars)
+	fmt.Fprintln(w, "(paper: Node speedup peaks near 3 beliefs then declines to ~29x at 32; Edge rises steadily to ~10x)")
+	return nil
+}
+
+// percentiles returns the 25th, 50th and 75th percentiles.
+func percentiles(xs []float64) [3]float64 {
+	if len(xs) == 0 {
+		return [3]float64{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return [3]float64{pick(0.25), pick(0.5), pick(0.75)}
+}
+
+// RunFig9 reproduces Figure 9: the speedup the work queues deliver per
+// implementation at 32 beliefs, excluding the graphs that exceed VRAM.
+func RunFig9(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "Figure 9 — work-queue speedups at 32 beliefs (tier %s)\n", cfg.Tier.Name)
+	image := UseCases()[2]
+	on := cfg
+	on.Options.WorkQueue = true
+	off := cfg
+	off.Options.WorkQueue = false
+
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "graph", "C Edge", "C Node", "CUDA Edge", "CUDA Node")
+	var agg [NumImpls][]float64
+	for _, s := range sortedBySize(boldSubset(Table1())) {
+		if s.FullFootprint(image.States) > cfg.GPU.VRAMBytes {
+			continue // the paper's TW/OR exclusion
+		}
+		mOn, err := MeasureVariant(s, image, on)
+		if err != nil {
+			return err
+		}
+		mOff, err := MeasureVariant(s, image, off)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-12s", s.Abbrev)
+		for impl := 0; impl < NumImpls; impl++ {
+			sp := 0.0
+			if mOn.Times[impl].OK && mOff.Times[impl].OK && mOn.Times[impl].Time > 0 {
+				sp = mOff.Times[impl].Time.Seconds() / mOn.Times[impl].Time.Seconds()
+				agg[impl] = append(agg[impl], sp)
+			}
+			row += fmt.Sprintf(" %10s", fmtRatio(sp))
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "%-12s", "geo-mean")
+	for impl := 0; impl < NumImpls; impl++ {
+		fmt.Fprintf(w, " %10s", fmtRatio(geoMean(agg[impl])))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "(paper: C Edge ~0.98x, CUDA Edge ~1.3x, C Node ~87x, CUDA Node ~82x)")
+	return nil
+}
+
+// RunFig11 reproduces Figure 11: Credo's selected implementation against
+// the naive always-C-Edge policy, with all selection overheads included.
+func RunFig11(w io.Writer, cfg Config) error {
+	return runCredoVsCEdge(w, cfg, "Figure 11 — Credo vs C Edge (Pascal)")
+}
+
+// RunFig12 reproduces Figure 12: the same comparison on the Volta
+// p3.2xlarge, including the cross-architecture classifier F1.
+func RunFig12(w io.Writer, cfg Config) error {
+	// Train on the Pascal environment's labels.
+	pascalDS, err := BuildDataset(Table1(), UseCases(), cfg)
+	if err != nil {
+		return err
+	}
+	forest, err := trainForest(pascalDS, cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	volta := cfg
+	volta.GPU = gpusim.Volta()
+	volta.CPU = xeonProfile()
+	voltaDS, err := BuildDataset(Table1(), UseCases(), volta)
+	if err != nil {
+		return err
+	}
+
+	// Cross-architecture F1: Pascal-trained forest on Volta labels.
+	pred := make([]int, len(voltaDS.X))
+	for i, x := range voltaDS.X {
+		pred[i] = forest.Predict(x)
+	}
+	f1 := macroF1(voltaDS.Y, pred)
+	fmt.Fprintf(w, "Figure 12 — portability to Volta (tier %s)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "Pascal-trained random forest on Volta labels: F1 = %.1f%% (paper: 72.2%%)\n", 100*f1)
+
+	// Paradigm flips: fraction of variants where the winning CUDA
+	// paradigm changed between architectures.
+	flips, both := 0, 0
+	var pascalEdgeWins, voltaEdgeWins int
+	for i := range pascalDS.Measurements {
+		pm, vm := pascalDS.Measurements[i], voltaDS.Measurements[i]
+		if pm.CUDAExcluded || vm.CUDAExcluded {
+			continue
+		}
+		pEdge := pm.Speedup(core.CUDAEdge, core.CUDANode) > 1
+		vEdge := vm.Speedup(core.CUDAEdge, core.CUDANode) > 1
+		both++
+		if pEdge != vEdge {
+			flips++
+		}
+		if pEdge {
+			pascalEdgeWins++
+		}
+		if vEdge {
+			voltaEdgeWins++
+		}
+	}
+	fmt.Fprintf(w, "CUDA Edge wins: %d/%d on Pascal vs %d/%d on Volta (paper: Edge overtakes Node in 8.3%% more cases)\n",
+		pascalEdgeWins, both, voltaEdgeWins, both)
+
+	// Architecture speedups of the CUDA implementations.
+	var edgeImp, nodeImp []float64
+	for i := range pascalDS.Measurements {
+		pm, vm := pascalDS.Measurements[i], voltaDS.Measurements[i]
+		if pm.CUDAExcluded || vm.CUDAExcluded {
+			continue
+		}
+		if vm.Times[core.CUDAEdge].Time > 0 {
+			edgeImp = append(edgeImp, pm.Times[core.CUDAEdge].Time.Seconds()/vm.Times[core.CUDAEdge].Time.Seconds())
+		}
+		if vm.Times[core.CUDANode].Time > 0 {
+			nodeImp = append(nodeImp, pm.Times[core.CUDANode].Time.Seconds()/vm.Times[core.CUDANode].Time.Seconds())
+		}
+	}
+	fmt.Fprintf(w, "Volta vs Pascal: CUDA Edge %s, CUDA Node %s faster (paper: 3.2x and 3.8x)\n",
+		fmtRatio(geoMean(edgeImp)), fmtRatio(geoMean(nodeImp)))
+
+	fmt.Fprintln(w)
+	return runCredoVsCEdge(w, volta, "Figure 12 — Credo vs C Edge (Volta p3.2xlarge)")
+}
+
+// runCredoVsCEdge prints the Credo-vs-baseline table shared by Figures 11
+// and 12.
+func runCredoVsCEdge(w io.Writer, cfg Config, title string) error {
+	ds, err := BuildDataset(Table1(), UseCases(), cfg)
+	if err != nil {
+		return err
+	}
+	forest, err := trainForest(ds, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	sel := core.Selector{Classifier: forest, GPU: cfg.GPU}
+
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %8s %12s %12s %12s %10s\n", "graph", "beliefs", "C Edge", "Credo", "choice", "speedup")
+	var speedups []float64
+	var bars []viz.Bar
+	for _, m := range ds.Measurements {
+		if !m.Spec.Bold || m.Case.States != 2 {
+			continue
+		}
+		md := fullScaleMetadata(m)
+		choice := sel.Choose(md, m.Spec.FullFootprint(m.Case.States))
+		credoTime := m.Times[choice].Time
+		if !m.Times[choice].OK {
+			choice = core.CEdge
+			credoTime = m.Times[core.CEdge].Time
+		}
+		sp := ratio(m.Times[core.CEdge].Time, credoTime)
+		speedups = append(speedups, sp)
+		bars = append(bars, viz.Bar{Label: m.Spec.Abbrev, Value: sp})
+		fmt.Fprintf(w, "%-12s %8d %12s %12s %12s %10s\n",
+			m.Spec.Abbrev, m.Case.States, fmtDur(m.Times[core.CEdge].Time), fmtDur(credoTime),
+			choice.String(), fmtRatio(sp))
+	}
+	fmt.Fprintf(w, "geo-mean speedup of Credo over always-C-Edge: %s\n", fmtRatio(geoMean(speedups)))
+	fmt.Fprintln(w)
+	viz.BarChart(w, title+" (rendered): speedup over always-C-Edge", "x", bars)
+	fmt.Fprintln(w, "(paper: little gain below ~1k nodes, Node paradigm in the middle ground, CUDA from ~100k nodes)")
+	return nil
+}
+
+// fullScaleMetadata reconstructs the metadata the selector sees for a
+// measurement (full-scale counts, scaled degree shape).
+func fullScaleMetadata(m Measurement) (md graph.Metadata) {
+	md.NumNodes = m.Spec.Nodes
+	md.NumEdges = m.Spec.Edges
+	md.States = m.Case.States
+	md.AvgInDegree = float64(m.Spec.Edges) / float64(m.Spec.Nodes)
+	// Degree extremes re-derived from the skew/imbalance features.
+	if m.Feat[4] > 0 {
+		md.MaxInDegree = int(md.AvgInDegree / m.Feat[4])
+	}
+	if m.Feat[3] > 0 && md.MaxInDegree > 0 {
+		md.MaxOutDegree = int(float64(md.MaxInDegree) / m.Feat[3])
+	}
+	return md
+}
+
+// macroF1 is a thin alias for the ml package's scorer.
+func macroF1(yTrue, yPred []int) float64 { return ml.MacroF1(yTrue, yPred) }
+
+// xeonProfile returns the p3.2xlarge host CPU profile.
+func xeonProfile() perfmodel.CPUProfile { return perfmodel.XeonE5_2686() }

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"credo/internal/cudabp"
+	"credo/internal/gpusim"
+)
+
+// RunProfile reproduces the §4.1.1 overhead analysis: the nvprof-style
+// breakdown of where simulated device time goes, for the smallest
+// benchmark (the paper: memory management is 99.8% of execution) and for
+// graphs at or above the crossover (the paper: 71% on average).
+func RunProfile(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "§4.1.1 — device time breakdown (CUDA Node, binary beliefs, tier %s)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "%-12s %12s %10s %10s %10s %10s %10s %12s\n",
+		"graph", "sim total", "init", "transfer", "launch", "kernels", "overhead%", "paper")
+	var largeOverheads []float64
+	for _, abbrev := range []string{"10x40", "1k4k", "100kx400k", "600kx1200k", "2Mx8M", "LJ"} {
+		spec, ok := specByAbbrev(abbrev)
+		if !ok {
+			continue
+		}
+		g, err := spec.Generate(2, cfg.Tier, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		dev := gpusim.NewDevice(cfg.GPU)
+		if _, err := cudabp.RunNode(g, dev, cudabp.Options{Options: cfg.Options}); err != nil {
+			return err
+		}
+		st := dev.Stats()
+		// Extrapolate the size-proportional components to full scale, as
+		// everywhere else in the harness.
+		r := spec.ScaleFactor(cfg.Tier)
+		transferBytes := float64(st.BytesToDevice+st.BytesToHost) / (cfg.GPU.PCIeBandwidthGBps * 1e9)
+		transferLatency := st.TransferTime - transferBytes
+		if transferLatency < 0 {
+			transferLatency = 0
+		}
+		transfer := transferLatency + r*transferBytes
+		kernels := r * (st.ComputeTime + st.MemoryTime + st.AtomicTime + st.SyncTime)
+		overhead := st.InitTime + transfer + st.LaunchTime
+		total := overhead + kernels
+		frac := 100 * overhead / total
+		note := ""
+		switch abbrev {
+		case "10x40":
+			note = "99.8%"
+		case "100kx400k", "600kx1200k", "2Mx8M", "LJ":
+			note = "~71% avg"
+			largeOverheads = append(largeOverheads, frac)
+		}
+		fmt.Fprintf(w, "%-12s %12.1f %10.1f %10.1f %10.1f %10.1f %9.1f%% %12s\n",
+			abbrev, 1e3*total, 1e3*st.InitTime, 1e3*transfer, 1e3*st.LaunchTime,
+			1e3*kernels, frac, note)
+	}
+	if len(largeOverheads) > 0 {
+		var sum float64
+		for _, v := range largeOverheads {
+			sum += v
+		}
+		fmt.Fprintf(w, "mean overhead fraction at/above the crossover: %.1f%% (paper: 71%%)\n",
+			sum/float64(len(largeOverheads)))
+	}
+	fmt.Fprintln(w, "(all columns in simulated milliseconds; overhead = init + transfer + launch)")
+
+	// Per-kernel profile of one representative run.
+	spec, _ := specByAbbrev("2Mx8M")
+	g, err := spec.Generate(2, cfg.Tier, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	dev := gpusim.NewDevice(cfg.GPU)
+	if _, err := cudabp.RunEdge(g, dev, cudabp.Options{Options: cfg.Options}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nper-kernel profile of CUDA Edge on 2Mx8M (scaled execution):\n")
+	fmt.Fprintf(w, "%-16s %10s %12s %14s %14s %12s\n", "kernel", "launches", "sim-time", "ops", "bytes", "atomics")
+	for _, k := range dev.KernelProfile() {
+		fmt.Fprintf(w, "%-16s %10d %11.3fms %14d %14d %12d\n",
+			k.Name, k.Launches, 1e3*k.Time, k.Ops, k.Bytes, k.Atomics)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/cudabp"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+	"credo/internal/perfmodel"
+)
+
+// implRunner executes one implementation on a graph and returns its
+// modelled time at the graph's own size (no extrapolation).
+type implRunner func(g *graph.Graph, cfg Config) (time.Duration, error)
+
+func cEdgeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	res := bp.RunEdge(g, cfg.Options)
+	return cfg.CPU.SequentialTime(res.Ops), nil
+}
+
+func cNodeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	res := bp.RunNode(g, cfg.Options)
+	return cfg.CPU.SequentialTime(res.Ops), nil
+}
+
+func cudaEdgeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	dev := gpusim.NewDevice(cfg.GPU)
+	res, err := cudabp.RunEdge(g, dev, cudabp.Options{Options: cfg.Options})
+	if err != nil {
+		return 0, err
+	}
+	return res.SimTime, nil
+}
+
+func cudaNodeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	dev := gpusim.NewDevice(cfg.GPU)
+	res, err := cudabp.RunNode(g, dev, cudabp.Options{Options: cfg.Options})
+	if err != nil {
+		return 0, err
+	}
+	return res.SimTime, nil
+}
+
+// Scaled runner variants extrapolate the run to r times the executed size
+// (the full-scale modelled time of the dataset machinery).
+func cEdgeScaledRunner(r float64) implRunner {
+	return func(g *graph.Graph, cfg Config) (time.Duration, error) {
+		res := bp.RunEdge(g, cfg.Options)
+		return cfg.CPU.SequentialTime(scaleOps(res.Ops, r)), nil
+	}
+}
+
+func cudaEdgeScaledRunner(r float64) implRunner {
+	return func(g *graph.Graph, cfg Config) (time.Duration, error) {
+		dev := gpusim.NewDevice(cfg.GPU)
+		if _, err := cudabp.RunEdge(g, dev, cudabp.Options{Options: cfg.Options}); err != nil {
+			return 0, err
+		}
+		return scaleDeviceTime(dev.Stats(), cfg.GPU, r), nil
+	}
+}
+
+func cudaNodeScaledRunner(r float64) implRunner {
+	return func(g *graph.Graph, cfg Config) (time.Duration, error) {
+		dev := gpusim.NewDevice(cfg.GPU)
+		if _, err := cudabp.RunNode(g, dev, cudabp.Options{Options: cfg.Options}); err != nil {
+			return 0, err
+		}
+		return scaleDeviceTime(dev.Stats(), cfg.GPU, r), nil
+	}
+}
+
+// RunOpenMP reproduces §2.4: the OpenMP port's slowdowns at 2/4/8 threads
+// (with and without hyperthreading) and the OpenACC port's behaviour
+// against the CUDA baseline.
+func RunOpenMP(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "§2.4 — OpenMP parallelization (tier %s, binary beliefs)\n", cfg.Tier.Name)
+	fmt.Fprintf(w, "%-12s %12s %10s %10s %10s | %10s %10s\n",
+		"graph", "sequential", "2 thr", "4 thr", "8 thr", "2 noHT", "4 noHT")
+	slow := map[int][]float64{2: nil, 4: nil, 8: nil}
+	for _, s := range boldSubset(sortedBySize(Table1())) {
+		g, err := s.Generate(2, cfg.Tier, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		res := bp.RunEdge(g.Clone(), cfg.Options)
+		seq := cfg.CPU.SequentialTime(res.Ops)
+		row := fmt.Sprintf("%-12s %12s", s.Abbrev, fmtDur(seq))
+		for _, threads := range []int{2, 4, 8} {
+			par := cfg.CPU.ParallelTime(res.Ops, perfmodel.ParallelOptions{Threads: threads})
+			slowdown := ratio(par, seq)
+			slow[threads] = append(slow[threads], slowdown)
+			row += fmt.Sprintf(" %10s", fmtRatio(slowdown))
+		}
+		row += " |"
+		for _, threads := range []int{2, 4} {
+			par := cfg.CPU.ParallelTime(res.Ops, perfmodel.ParallelOptions{Threads: threads, HyperthreadingOff: true})
+			row += fmt.Sprintf(" %10s", fmtRatio(ratio(par, seq)))
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "geo-mean slowdowns: 2 thr %s, 4 thr %s, 8 thr %s\n",
+		fmtRatio(geoMean(slow[2])), fmtRatio(geoMean(slow[4])), fmtRatio(geoMean(slow[8])))
+	fmt.Fprintln(w, "(paper: 1.17x at 2, 1.65x at 4, 4.03x at 8; 1.1x/1.2x with HT off)")
+
+	// OpenACC against CUDA and C on mid-size graphs, extrapolated to the
+	// benchmarks' full scale.
+	fmt.Fprintf(w, "\n§2.4 — OpenACC vs CUDA (edge paradigm, full-scale modelled times)\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %12s %10s %10s\n",
+		"graph", "C Edge", "CUDA Edge", "ACC default", "ACC batched", "ACC iters", "CUDA iters")
+	for _, abbrev := range []string{"100kx400k", "2Mx8M", "K21"} {
+		spec, ok := specByAbbrev(abbrev)
+		if !ok {
+			continue
+		}
+		g, err := spec.Generate(2, cfg.Tier, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		r := spec.ScaleFactor(cfg.Tier)
+		cTime, err := cEdgeScaledRunner(r)(g.Clone(), cfg)
+		if err != nil {
+			return err
+		}
+		cuDev := gpusim.NewDevice(cfg.GPU)
+		cuRes, err := cudabp.RunEdge(g.Clone(), cuDev, cudabp.Options{Options: cfg.Options})
+		if err != nil {
+			return err
+		}
+		cuTime := scaleDeviceTime(cuDev.Stats(), cfg.GPU, r)
+		accDev := gpusim.NewDevice(cfg.GPU)
+		accRes, err := cudabp.RunOpenACCEdge(g.Clone(), accDev, cudabp.OpenACCOptions{Options: cudabp.Options{Options: cfg.Options}})
+		if err != nil {
+			return err
+		}
+		accTime := scaleDeviceTime(accDev.Stats(), cfg.GPU, r)
+		accDev2 := gpusim.NewDevice(cfg.GPU)
+		_, err = cudabp.RunOpenACCEdge(g.Clone(), accDev2, cudabp.OpenACCOptions{
+			Options:        cudabp.Options{Options: cfg.Options},
+			BatchTransfers: true,
+		})
+		if err != nil {
+			return err
+		}
+		accTime2 := scaleDeviceTime(accDev2.Stats(), cfg.GPU, r)
+		fmt.Fprintf(w, "%-12s %12s %12s %14s %12s %10d %10d\n",
+			spec.Abbrev, fmtDur(cTime), fmtDur(cuTime), fmtDur(accTime), fmtDur(accTime2),
+			accRes.Iterations, cuRes.Iterations)
+	}
+	fmt.Fprintln(w, "(paper: OpenACC at best 1.25x over C on K21, overruns iterations due to imprecise convergence)")
+	return nil
+}
+
+func specByAbbrev(abbrev string) (GraphSpec, bool) {
+	for _, s := range Table1() {
+		if s.Abbrev == abbrev {
+			return s, true
+		}
+	}
+	return GraphSpec{}, false
+}

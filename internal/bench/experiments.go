@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the -exp flag value (e.g. "fig7").
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Run executes the experiment and writes its table(s) to w.
+	Run func(w io.Writer, cfg Config) error
+}
+
+// Experiments returns every experiment in DESIGN.md §5 order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table 1: benchmark graph suite", Run: RunTable1},
+		{ID: "algocmp", Title: "§2.1.1: traditional vs loopy BP", Run: RunAlgoCmp},
+		{ID: "sharedmatrix", Title: "§2.2: shared joint matrix refinement", Run: RunSharedMatrix},
+		{ID: "parsers", Title: "§3.2.1: input format comparison", Run: RunParsers},
+		{ID: "aossoa", Title: "§3.4: AoS vs SoA data layout", Run: RunAoSSoA},
+		{ID: "openmp", Title: "§2.4: OpenMP and OpenACC parallelization", Run: RunOpenMP},
+		{ID: "fig7", Title: "Figure 7: C and CUDA runtimes", Run: RunFig7},
+		{ID: "fig8", Title: "Figure 8: speedup distribution by beliefs", Run: RunFig8},
+		{ID: "fig9", Title: "Figure 9: work-queue speedups", Run: RunFig9},
+		{ID: "fig4", Title: "Figure 4: feature/label covariances", Run: RunFig4},
+		{ID: "fig5", Title: "Figure 5: random-forest feature importances", Run: RunFig5},
+		{ID: "fig6", Title: "Figure 6: depth-2 decision tree", Run: RunFig6},
+		{ID: "fig10", Title: "Figure 10: classifier F1 vs training size", Run: RunFig10},
+		{ID: "profile", Title: "§4.1.1: device time breakdown", Run: RunProfile},
+		{ID: "dataset", Title: "classifier dataset export (CSV)", Run: RunDataset},
+		{ID: "convergence", Title: "convergence curves (§3.5 motivation)", Run: RunConvergence},
+		{ID: "ablations", Title: "design-choice ablations (damping, scheduling, fusion, block size)", Run: RunAblations},
+		{ID: "accuracy", Title: "loopy BP approximation quality vs exact inference", Run: RunAccuracy},
+		{ID: "fig11", Title: "Figure 11: Credo vs C Edge (Pascal)", Run: RunFig11},
+		{ID: "fig12", Title: "Figure 12: portability to Volta", Run: RunFig12},
+	}
+}
+
+// ByID resolves an experiment id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtDur renders a duration compactly for tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	}
+}
+
+// fmtRatio renders a speedup ratio.
+func fmtRatio(r float64) string {
+	if r == 0 {
+		return "-"
+	}
+	if r >= 100 {
+		return fmt.Sprintf("%.0fx", r)
+	}
+	return fmt.Sprintf("%.2fx", r)
+}
+
+// geoMean returns the geometric mean of positive values (zero entries are
+// skipped); 0 when none qualify.
+func geoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// boldSubset filters Table 1 down to the figures' rendered subset.
+func boldSubset(specs []GraphSpec) []GraphSpec {
+	var out []GraphSpec
+	for _, s := range specs {
+		if s.Bold {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// sortedBySize orders specs by full-scale node count ascending.
+func sortedBySize(specs []GraphSpec) []GraphSpec {
+	out := append([]GraphSpec(nil), specs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
+	return out
+}

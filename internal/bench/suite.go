@@ -1,0 +1,200 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation: the Table 1 benchmark suite, the
+// labeled dataset behind the classifier experiments, and one runner per
+// experiment (see DESIGN.md §5 for the index).
+//
+// Real-world graphs are replaced by parameter-matched synthetic stand-ins
+// (Kronecker for the kron-g500 family, preferential attachment for the
+// social and web networks) and all runs execute on a scaled tier whose
+// graphs preserve each benchmark's density and degree shape at a size a CI
+// machine can propagate through. Reported times are modelled: priced
+// operation counts for the C and OpenMP implementations, simulated device
+// time for the CUDA ones.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// Kind is a benchmark graph topology family.
+type Kind int
+
+// The three generator families standing in for Table 1's sources.
+const (
+	// Synthetic is the paper's uniform-random NxM family.
+	Synthetic Kind = iota
+	// Kron matches the kron-g500-lognNN generators.
+	Kron
+	// Social matches the social/web-network graphs via preferential
+	// attachment.
+	Social
+)
+
+// GraphSpec describes one Table 1 benchmark graph at full scale.
+type GraphSpec struct {
+	Name   string
+	Abbrev string
+	Kind   Kind
+	// Nodes and Edges are the full-scale counts from Table 1.
+	Nodes int
+	Edges int
+	// KronScale/KronEdgeFactor parameterize the Kron kind.
+	KronScale      int
+	KronEdgeFactor int
+	// Bold marks the rendered subset of Figures 7 and 9.
+	Bold bool
+}
+
+// Table1 returns the paper's 34 benchmark graphs (Table 1).
+func Table1() []GraphSpec {
+	return []GraphSpec{
+		{Name: "10_nodes_40_edges", Abbrev: "10x40", Kind: Synthetic, Nodes: 10, Edges: 40, Bold: true},
+		{Name: "100_nodes_400_edges", Abbrev: "100x400", Kind: Synthetic, Nodes: 100, Edges: 400},
+		{Name: "1000_nodes_4000_edges", Abbrev: "1k4k", Kind: Synthetic, Nodes: 1000, Edges: 4000, Bold: true},
+		{Name: "10000_nodes_40000_edges", Abbrev: "10kx40k", Kind: Synthetic, Nodes: 10000, Edges: 40000},
+		{Name: "hollywood-2009", Abbrev: "HO", Kind: Social, Nodes: 83832, Edges: 549038},
+		{Name: "kron-g500-logn16", Abbrev: "K16", Kind: Kron, Nodes: 55321, Edges: 2456398, KronScale: 16, KronEdgeFactor: 44, Bold: true},
+		{Name: "100000_nodes_400000_edges", Abbrev: "100kx400k", Kind: Synthetic, Nodes: 100000, Edges: 400000, Bold: true},
+		{Name: "kron-g500-logn17", Abbrev: "K17", Kind: Kron, Nodes: 131071, Edges: 5114375, KronScale: 17, KronEdgeFactor: 39},
+		{Name: "loc-gowalla", Abbrev: "GO", Kind: Social, Nodes: 196591, Edges: 1900654, Bold: true},
+		{Name: "200000_nodes_800000_edges", Abbrev: "200kx800k", Kind: Synthetic, Nodes: 200000, Edges: 800000},
+		{Name: "soc-google-plus", Abbrev: "GP", Kind: Social, Nodes: 211187, Edges: 1506896, Bold: true},
+		{Name: "kron-g500-logn18", Abbrev: "K18", Kind: Kron, Nodes: 262144, Edges: 10583222, KronScale: 18, KronEdgeFactor: 40},
+		{Name: "web-Stanford", Abbrev: "ST", Kind: Social, Nodes: 281903, Edges: 2312497, Bold: true},
+		{Name: "400000_nodes_1600000_edges", Abbrev: "400kx1600k", Kind: Synthetic, Nodes: 400000, Edges: 1600000},
+		{Name: "kron-g500-logn19", Abbrev: "K19", Kind: Kron, Nodes: 409175, Edges: 21781478, KronScale: 19, KronEdgeFactor: 53, Bold: true},
+		{Name: "soc-twitter-follows-mun", Abbrev: "TF", Kind: Social, Nodes: 465017, Edges: 835423},
+		{Name: "web-it-2004", Abbrev: "IT", Kind: Social, Nodes: 509338, Edges: 7178413, Bold: true},
+		{Name: "soc-delicious", Abbrev: "DE", Kind: Social, Nodes: 536108, Edges: 1365961},
+		{Name: "600000_nodes_1200000_edges", Abbrev: "600kx1200k", Kind: Synthetic, Nodes: 600000, Edges: 1200000, Bold: true},
+		{Name: "kron-g500-logn20", Abbrev: "K20", Kind: Kron, Nodes: 795241, Edges: 44620272, KronScale: 20, KronEdgeFactor: 56},
+		{Name: "800000_nodes_3200000_edges", Abbrev: "800kx3200k", Kind: Synthetic, Nodes: 800000, Edges: 3200000, Bold: true},
+		{Name: "1000000_nodes_4000000_edges", Abbrev: "1Mx4M", Kind: Synthetic, Nodes: 1000000, Edges: 4000000},
+		{Name: "com-youtube", Abbrev: "YO", Kind: Social, Nodes: 1134890, Edges: 2987624, Bold: true},
+		{Name: "kron-g500-logn21", Abbrev: "K21", Kind: Kron, Nodes: 1544087, Edges: 91042010, KronScale: 21, KronEdgeFactor: 59},
+		{Name: "soc-pokec-relationships", Abbrev: "PO", Kind: Social, Nodes: 1632803, Edges: 30622564, Bold: true},
+		{Name: "web-wiki-ch-internal", Abbrev: "WW", Kind: Social, Nodes: 1930275, Edges: 9359108},
+		{Name: "2000000_nodes_8000000_edges", Abbrev: "2Mx8M", Kind: Synthetic, Nodes: 2000000, Edges: 8000000, Bold: true},
+		{Name: "wiki-Talk", Abbrev: "WT", Kind: Social, Nodes: 2394385, Edges: 5021410},
+		{Name: "soc-orkut", Abbrev: "OR", Kind: Social, Nodes: 2997166, Edges: 106349209, Bold: true},
+		{Name: "wikipedia-link-en", Abbrev: "WL", Kind: Social, Nodes: 3371716, Edges: 31956268},
+		{Name: "soc-LiveJournal1", Abbrev: "LJ", Kind: Social, Nodes: 4846609, Edges: 68475391, Bold: true},
+		{Name: "tech-p2p", Abbrev: "TP", Kind: Social, Nodes: 5792297, Edges: 8105822},
+		{Name: "friendster", Abbrev: "FR", Kind: Social, Nodes: 8658744, Edges: 55170227, Bold: true},
+		{Name: "soc-twitter-2010", Abbrev: "TW", Kind: Social, Nodes: 21297772, Edges: 265025809, Bold: true},
+	}
+}
+
+// UseCase is one of the paper's three belief encodings (§4).
+type UseCase struct {
+	Name   string
+	States int
+}
+
+// UseCases returns the binary, virus and image-correction encodings.
+func UseCases() []UseCase {
+	return []UseCase{
+		{Name: "binary", States: 2},
+		{Name: "virus", States: 3},
+		{Name: "image", States: 32},
+	}
+}
+
+// Tier bounds the scaled benchmark size. Every graph keeps its topology
+// family; node and edge counts are capped (edge-heavy graphs like the
+// Kronecker family hit the edge cap first).
+type Tier struct {
+	Name     string
+	MaxNodes int
+	MaxEdges int
+}
+
+// The available tiers.
+var (
+	// TierCI keeps every run well under a second — the default for go test.
+	TierCI = Tier{Name: "ci", MaxNodes: 1_500, MaxEdges: 8_000}
+	// TierSmall is credobench's default: minutes for the full set.
+	TierSmall = Tier{Name: "small", MaxNodes: 15_000, MaxEdges: 80_000}
+	// TierMedium stresses the engines while staying laptop-feasible.
+	TierMedium = Tier{Name: "medium", MaxNodes: 150_000, MaxEdges: 800_000}
+)
+
+// TierByName resolves a tier name.
+func TierByName(name string) (Tier, error) {
+	switch name {
+	case "", "small":
+		return TierSmall, nil
+	case "ci":
+		return TierCI, nil
+	case "medium":
+		return TierMedium, nil
+	}
+	return Tier{}, fmt.Errorf("bench: unknown tier %q (want ci, small or medium)", name)
+}
+
+// ScaledSize returns the node and edge counts of the spec under the tier.
+func (s GraphSpec) ScaledSize(t Tier) (nodes, edges int) {
+	f := 1.0
+	if s.Nodes > t.MaxNodes {
+		f = float64(t.MaxNodes) / float64(s.Nodes)
+	}
+	if fe := float64(t.MaxEdges) / float64(s.Edges); s.Edges > t.MaxEdges && fe < f {
+		f = fe
+	}
+	nodes = int(math.Max(2, math.Round(float64(s.Nodes)*f)))
+	edges = int(math.Max(1, math.Round(float64(s.Edges)*f)))
+	return nodes, edges
+}
+
+// ScaleFactor returns full-scale edges divided by scaled edges — the
+// extrapolation ratio used to report full-scale modelled times from
+// scaled-tier executions.
+func (s GraphSpec) ScaleFactor(t Tier) float64 {
+	_, edges := s.ScaledSize(t)
+	return float64(s.Edges) / float64(edges)
+}
+
+// Generate builds the spec's graph at the tier's scale with the use case's
+// belief width. The shared-matrix refinement is on, as in Credo's final
+// configuration (§2.2).
+func (s GraphSpec) Generate(states int, t Tier, seed int64) (*graph.Graph, error) {
+	nodes, edges := s.ScaledSize(t)
+	cfg := gen.Config{Seed: seed, States: states, Shared: true}
+	switch s.Kind {
+	case Kron:
+		scale := int(math.Ceil(math.Log2(float64(nodes))))
+		if scale < 4 {
+			scale = 4
+		}
+		n := 1 << uint(scale)
+		ef := edges / n
+		if ef < 1 {
+			ef = 1
+		}
+		return gen.Kronecker(scale, ef, cfg)
+	case Social:
+		if nodes < 2 {
+			nodes = 2
+		}
+		return gen.PowerLaw(nodes, edges, cfg)
+	default:
+		return gen.Synthetic(nodes, edges, cfg)
+	}
+}
+
+// FullFootprint estimates the full-scale device footprint in bytes of the
+// benchmark at the given belief width — the quantity the VRAM admission
+// check uses, so that TW and OR are excluded exactly as in §4.2 even when
+// the executed graph is scaled down.
+func (s GraphSpec) FullFootprint(states int) int64 {
+	var f int64
+	f += int64(s.Nodes) * int64(states) * 4 * 3 // beliefs, priors, accumulators
+	f += int64(s.Edges) * int64(states) * 4     // messages
+	f += int64(s.Edges) * 12                    // endpoints + adjacency
+	f += int64(s.Nodes+s.Edges) * 8             // deltas + queues
+	return f
+}

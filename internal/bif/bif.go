@@ -1,0 +1,532 @@
+// Package bif implements a parser and writer for the Bayesian Interchange
+// Format (BIF), the context-free-grammar standard Credo's input comparison
+// (§3.2.1) measures against. Faithful to the paper's critique, the parser
+// loads the whole input into memory before tokenizing and walking the
+// grammar's production rules.
+//
+// The supported subset covers the constructs of the Bayesian Network
+// Repository files: network/variable/probability blocks, discrete variable
+// types with named states, prior tables and conditional entries. Because
+// Credo's graph model is pairwise (paper §2.1), a variable with several
+// parents is converted to one edge per parent whose matrix is the CPT
+// marginalized over the remaining parents under uniform assumptions.
+package bif
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"credo/internal/graph"
+)
+
+// Network is the raw parse of a BIF file before pairwise conversion.
+type Network struct {
+	Name      string
+	Variables []Variable
+	Probs     []Probability
+}
+
+// Variable is a discrete BIF variable declaration.
+type Variable struct {
+	Name   string
+	States []string
+}
+
+// Probability is one probability block: the child variable, its parents,
+// the unconditional table (roots) or per-parent-configuration rows.
+type Probability struct {
+	Child   string
+	Parents []string
+	// Table holds the flat `table ...` values: parent configurations vary
+	// slowest, child states fastest.
+	Table []float32
+	// Rows holds `( parentStates ) values ;` entries.
+	Rows []CondRow
+}
+
+// CondRow is a single conditional entry of a probability block.
+type CondRow struct {
+	ParentStates []string
+	Values       []float32
+}
+
+// Parse reads an entire BIF document and converts it to a pairwise belief
+// graph.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	n, err := ParseNetwork(r)
+	if err != nil {
+		return nil, err
+	}
+	return n.ToGraph()
+}
+
+// ParseFile parses the BIF file at path.
+func ParseFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// ParseNetwork reads an entire BIF document into its raw form.
+func ParseNetwork(r io.Reader) (*Network, error) {
+	// As in the formats the paper replaces, the whole file is loaded
+	// before parsing begins.
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bif: %w", err)
+	}
+	toks, err := tokenize(string(data))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.network()
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("bif: expected %q, got %q (token %d)", want, got, p.pos)
+	}
+	return nil
+}
+
+// skipBlock consumes a balanced { ... } block (for properties and other
+// ignored constructs).
+func (p *parser) skipBlock() error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t {
+		case "":
+			return fmt.Errorf("bif: unterminated block")
+		case "{":
+			depth++
+		case "}":
+			depth--
+		}
+	}
+	return nil
+}
+
+// skipStatement consumes tokens through the next semicolon.
+func (p *parser) skipStatement() error {
+	for {
+		t := p.next()
+		if t == ";" {
+			return nil
+		}
+		if t == "" {
+			return fmt.Errorf("bif: unterminated statement")
+		}
+	}
+}
+
+func (p *parser) network() (*Network, error) {
+	n := &Network{}
+	for p.peek() != "" {
+		switch kw := p.next(); kw {
+		case "network":
+			n.Name = p.next()
+			if err := p.skipBlock(); err != nil {
+				return nil, err
+			}
+		case "variable":
+			v, err := p.variable()
+			if err != nil {
+				return nil, err
+			}
+			n.Variables = append(n.Variables, v)
+		case "probability":
+			pr, err := p.probability()
+			if err != nil {
+				return nil, err
+			}
+			n.Probs = append(n.Probs, pr)
+		default:
+			return nil, fmt.Errorf("bif: unexpected top-level token %q", kw)
+		}
+	}
+	return n, nil
+}
+
+func (p *parser) variable() (Variable, error) {
+	v := Variable{Name: p.next()}
+	if v.Name == "" || v.Name == "{" {
+		return v, fmt.Errorf("bif: variable missing name")
+	}
+	if err := p.expect("{"); err != nil {
+		return v, err
+	}
+	for {
+		switch t := p.next(); t {
+		case "}":
+			if len(v.States) == 0 {
+				return v, fmt.Errorf("bif: variable %q has no discrete type", v.Name)
+			}
+			return v, nil
+		case "type":
+			if err := p.expect("discrete"); err != nil {
+				return v, err
+			}
+			if err := p.expect("["); err != nil {
+				return v, err
+			}
+			cnt, err := strconv.Atoi(p.next())
+			if err != nil {
+				return v, fmt.Errorf("bif: variable %q: bad state count: %w", v.Name, err)
+			}
+			if err := p.expect("]"); err != nil {
+				return v, err
+			}
+			if err := p.expect("{"); err != nil {
+				return v, err
+			}
+			for {
+				s := p.next()
+				if s == "}" {
+					break
+				}
+				if s == "," {
+					continue
+				}
+				if s == "" {
+					return v, fmt.Errorf("bif: variable %q: unterminated state list", v.Name)
+				}
+				v.States = append(v.States, s)
+			}
+			if len(v.States) != cnt {
+				return v, fmt.Errorf("bif: variable %q declares %d states but lists %d", v.Name, cnt, len(v.States))
+			}
+			if err := p.expect(";"); err != nil {
+				return v, err
+			}
+		case "property":
+			if err := p.skipStatement(); err != nil {
+				return v, err
+			}
+		case "":
+			return v, fmt.Errorf("bif: unterminated variable %q", v.Name)
+		default:
+			return v, fmt.Errorf("bif: variable %q: unexpected token %q", v.Name, t)
+		}
+	}
+}
+
+func (p *parser) probability() (Probability, error) {
+	var pr Probability
+	if err := p.expect("("); err != nil {
+		return pr, err
+	}
+	pr.Child = p.next()
+	switch t := p.next(); t {
+	case ")":
+	case "|":
+		for {
+			tok := p.next()
+			if tok == ")" {
+				break
+			}
+			if tok == "," {
+				continue
+			}
+			if tok == "" {
+				return pr, fmt.Errorf("bif: probability (%s): unterminated parent list", pr.Child)
+			}
+			pr.Parents = append(pr.Parents, tok)
+		}
+	default:
+		return pr, fmt.Errorf("bif: probability (%s): unexpected token %q", pr.Child, t)
+	}
+	if err := p.expect("{"); err != nil {
+		return pr, err
+	}
+	for {
+		switch t := p.next(); t {
+		case "}":
+			return pr, nil
+		case "table":
+			vals, err := p.values()
+			if err != nil {
+				return pr, err
+			}
+			pr.Table = vals
+		case "(":
+			var row CondRow
+			for {
+				tok := p.next()
+				if tok == ")" {
+					break
+				}
+				if tok == "," {
+					continue
+				}
+				if tok == "" {
+					return pr, fmt.Errorf("bif: probability (%s): unterminated condition", pr.Child)
+				}
+				row.ParentStates = append(row.ParentStates, tok)
+			}
+			vals, err := p.values()
+			if err != nil {
+				return pr, err
+			}
+			row.Values = vals
+			pr.Rows = append(pr.Rows, row)
+		case "property", "default":
+			if err := p.skipStatement(); err != nil {
+				return pr, err
+			}
+		case "":
+			return pr, fmt.Errorf("bif: unterminated probability (%s)", pr.Child)
+		default:
+			return pr, fmt.Errorf("bif: probability (%s): unexpected token %q", pr.Child, t)
+		}
+	}
+}
+
+// values parses a comma-separated float list terminated by a semicolon.
+func (p *parser) values() ([]float32, error) {
+	var vals []float32
+	for {
+		t := p.next()
+		switch t {
+		case ";":
+			return vals, nil
+		case ",":
+			continue
+		case "":
+			return nil, fmt.Errorf("bif: unterminated value list")
+		default:
+			f, err := strconv.ParseFloat(t, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bif: bad probability value %q: %w", t, err)
+			}
+			vals = append(vals, float32(f))
+		}
+	}
+}
+
+// ToGraph converts the raw network to a pairwise belief graph.
+func (n *Network) ToGraph() (*graph.Graph, error) {
+	if len(n.Variables) == 0 {
+		return nil, fmt.Errorf("bif: network %q declares no variables", n.Name)
+	}
+	states := len(n.Variables[0].States)
+	idx := make(map[string]int32, len(n.Variables))
+	stateIdx := make([]map[string]int, len(n.Variables))
+	for i, v := range n.Variables {
+		if len(v.States) != states {
+			return nil, fmt.Errorf("bif: variable %q has %d states; Credo requires a uniform belief width (%d)", v.Name, len(v.States), states)
+		}
+		if _, dup := idx[v.Name]; dup {
+			return nil, fmt.Errorf("bif: duplicate variable %q", v.Name)
+		}
+		idx[v.Name] = int32(i)
+		m := make(map[string]int, states)
+		for j, s := range v.States {
+			m[s] = j
+		}
+		stateIdx[i] = m
+	}
+
+	// Collect priors first so nodes can be added with them.
+	priors := make([][]float32, len(n.Variables))
+	type pendingEdge struct {
+		parent, child int32
+		mat           graph.JointMatrix
+	}
+	var edges []pendingEdge
+
+	for _, pr := range n.Probs {
+		child, ok := idx[pr.Child]
+		if !ok {
+			return nil, fmt.Errorf("bif: probability block for undeclared variable %q", pr.Child)
+		}
+		if len(pr.Parents) == 0 {
+			if len(pr.Table) != states {
+				return nil, fmt.Errorf("bif: prior for %q has %d values, want %d", pr.Child, len(pr.Table), states)
+			}
+			priors[child] = pr.Table
+			continue
+		}
+		cpt, err := pr.flatCPT(states, stateIdx, idx)
+		if err != nil {
+			return nil, err
+		}
+		for pi, pname := range pr.Parents {
+			parent, ok := idx[pname]
+			if !ok {
+				return nil, fmt.Errorf("bif: probability (%s) references undeclared parent %q", pr.Child, pname)
+			}
+			edges = append(edges, pendingEdge{
+				parent: parent,
+				child:  child,
+				mat:    marginalCPT(cpt, states, len(pr.Parents), pi),
+			})
+		}
+	}
+
+	b := graph.NewBuilder(states)
+	for i, v := range n.Variables {
+		if _, err := b.AddNamedNode(v.Name, priors[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.parent, e.child, &e.mat); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// flatCPT assembles the full conditional table indexed by parent
+// configuration (parents vary with the first parent slowest) with child
+// states fastest.
+func (pr *Probability) flatCPT(states int, stateIdx []map[string]int, idx map[string]int32) ([]float32, error) {
+	configs := 1
+	for range pr.Parents {
+		configs *= states
+	}
+	cpt := make([]float32, configs*states)
+	if pr.Table != nil {
+		if len(pr.Table) != len(cpt) {
+			return nil, fmt.Errorf("bif: probability (%s): table has %d values, want %d", pr.Child, len(pr.Table), len(cpt))
+		}
+		copy(cpt, pr.Table)
+		return cpt, nil
+	}
+	seen := make([]bool, configs)
+	for _, row := range pr.Rows {
+		if len(row.ParentStates) != len(pr.Parents) {
+			return nil, fmt.Errorf("bif: probability (%s): condition with %d states for %d parents", pr.Child, len(row.ParentStates), len(pr.Parents))
+		}
+		if len(row.Values) != states {
+			return nil, fmt.Errorf("bif: probability (%s): row has %d values, want %d", pr.Child, len(row.Values), states)
+		}
+		cfg := 0
+		for i, s := range row.ParentStates {
+			pv, ok := idx[pr.Parents[i]]
+			if !ok {
+				return nil, fmt.Errorf("bif: probability (%s): undeclared parent %q", pr.Child, pr.Parents[i])
+			}
+			si, ok := stateIdx[pv][s]
+			if !ok {
+				return nil, fmt.Errorf("bif: probability (%s): parent %q has no state %q", pr.Child, pr.Parents[i], s)
+			}
+			cfg = cfg*states + si
+		}
+		copy(cpt[cfg*states:(cfg+1)*states], row.Values)
+		seen[cfg] = true
+	}
+	for cfg, ok := range seen {
+		if !ok {
+			// Unspecified configurations default to uniform.
+			u := float32(1) / float32(states)
+			for j := 0; j < states; j++ {
+				cpt[cfg*states+j] = u
+			}
+		}
+	}
+	return cpt, nil
+}
+
+// marginalCPT reduces a multi-parent CPT to the pairwise matrix for parent
+// `which` by averaging over the configurations of the other parents.
+func marginalCPT(cpt []float32, states, numParents, which int) graph.JointMatrix {
+	m := graph.NewJointMatrix(states, states)
+	configs := len(cpt) / states
+	counts := make([]int, states)
+	// The parent `which` contributes digit (numParents-1-which) in the
+	// mixed-radix configuration index (first parent is slowest).
+	div := 1
+	for i := which + 1; i < numParents; i++ {
+		div *= states
+	}
+	for cfg := 0; cfg < configs; cfg++ {
+		pState := (cfg / div) % states
+		for j := 0; j < states; j++ {
+			m.Data[pState*states+j] += cpt[cfg*states+j]
+		}
+		counts[pState]++
+	}
+	for i := 0; i < states; i++ {
+		if counts[i] > 0 {
+			inv := 1 / float32(counts[i])
+			for j := 0; j < states; j++ {
+				m.Data[i*states+j] *= inv
+			}
+		}
+	}
+	m.NormalizeRows()
+	return m
+}
+
+// tokenize splits BIF source into tokens: identifiers/numbers, quoted
+// strings (quotes stripped) and single-character punctuation. // and /* */
+// comments are skipped.
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("bif: unterminated comment")
+			}
+			i += end + 4
+		case c == '"':
+			end := strings.IndexByte(src[i+1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("bif: unterminated string")
+			}
+			toks = append(toks, src[i+1:i+1+end])
+			i += end + 2
+		case strings.IndexByte("{}()[]|,;", c) >= 0:
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && strings.IndexByte("{}()[]|,; \t\n\r\"", src[j]) < 0 {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

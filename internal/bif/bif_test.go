@@ -1,0 +1,212 @@
+package bif
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+const familyOutBIF = `
+// The family-out network of the paper's Figure 1.
+network family_out {
+  property "example" ;
+}
+variable family-out {
+  type discrete [ 2 ] { true, false };
+}
+variable bowel-problem {
+  type discrete [ 2 ] { true, false };
+}
+variable light-on {
+  type discrete [ 2 ] { true, false };
+}
+variable dog-out {
+  type discrete [ 2 ] { true, false };
+}
+variable hear-bark {
+  type discrete [ 2 ] { true, false };
+}
+probability ( family-out ) {
+  table 0.15, 0.85;
+}
+probability ( bowel-problem ) {
+  table 0.01, 0.99;
+}
+probability ( light-on | family-out ) {
+  ( true ) 0.6, 0.4;
+  ( false ) 0.05, 0.95;
+}
+probability ( dog-out | family-out, bowel-problem ) {
+  ( true, true ) 0.99, 0.01;
+  ( true, false ) 0.90, 0.10;
+  ( false, true ) 0.97, 0.03;
+  ( false, false ) 0.3, 0.7;
+}
+probability ( hear-bark | dog-out ) {
+  ( true ) 0.7, 0.3;
+  ( false ) 0.01, 0.99;
+}
+`
+
+func TestParseFamilyOut(t *testing.T) {
+	g, err := Parse(strings.NewReader(familyOutBIF))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumNodes != 5 {
+		t.Fatalf("nodes = %d, want 5", g.NumNodes)
+	}
+	// dog-out has two parents -> two pairwise edges; total 4 edges.
+	if g.NumEdges != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Names[0] != "family-out" {
+		t.Errorf("name[0] = %q", g.Names[0])
+	}
+	// family-out prior must be preserved.
+	if got := g.Prior(0)[0]; math.Abs(float64(got)-0.15) > 1e-6 {
+		t.Errorf("family-out prior = %v, want 0.15", got)
+	}
+	// Marginalized dog-out|family-out CPT: avg of (0.99,0.90) = 0.945 for
+	// family-out=true.
+	var doEdge int32 = -1
+	for e := 0; e < g.NumEdges; e++ {
+		if g.Names[g.EdgeSrc[e]] == "family-out" && g.Names[g.EdgeDst[e]] == "dog-out" {
+			doEdge = int32(e)
+		}
+	}
+	if doEdge < 0 {
+		t.Fatal("missing family-out -> dog-out edge")
+	}
+	if got := g.Matrix(doEdge).At(0, 0); math.Abs(float64(got)-0.945) > 1e-5 {
+		t.Errorf("marginalized CPT (0,0) = %v, want 0.945", got)
+	}
+}
+
+func TestParseNetworkRaw(t *testing.T) {
+	n, err := ParseNetwork(strings.NewReader(familyOutBIF))
+	if err != nil {
+		t.Fatalf("ParseNetwork: %v", err)
+	}
+	if n.Name != "family_out" {
+		t.Errorf("network name = %q", n.Name)
+	}
+	if len(n.Variables) != 5 || len(n.Probs) != 5 {
+		t.Fatalf("got %d variables, %d probability blocks", len(n.Variables), len(n.Probs))
+	}
+	if n.Variables[0].States[0] != "true" {
+		t.Errorf("state name = %q", n.Variables[0].States[0])
+	}
+}
+
+func TestParseTableForm(t *testing.T) {
+	src := `
+network t { }
+variable a { type discrete [ 2 ] { y, n }; }
+variable b { type discrete [ 2 ] { y, n }; }
+probability ( a ) { table 0.3, 0.7; }
+probability ( b | a ) { table 0.9, 0.1, 0.2, 0.8; }
+`
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.NumEdges != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges)
+	}
+	m := g.Matrix(0)
+	if m.At(0, 0) != 0.9 || m.At(1, 1) != 0.8 {
+		t.Errorf("table CPT = %v %v", m.At(0, 0), m.At(1, 1))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"garbage", "hello world"},
+		{"no variables", "network x { }"},
+		{"bad state count", "network x { }\nvariable a { type discrete [ 3 ] { y, n }; }"},
+		{"mixed widths", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nvariable b { type discrete [ 3 ] { y, n, m }; }"},
+		{"undeclared child", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nprobability ( zz ) { table 0.5, 0.5; }"},
+		{"undeclared parent", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nprobability ( a | zz ) { ( y ) 0.5, 0.5; }"},
+		{"bad prior arity", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nprobability ( a ) { table 0.5; }"},
+		{"bad state in row", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nvariable b { type discrete [ 2 ] { y, n }; }\nprobability ( b | a ) { ( qq ) 0.5, 0.5; }"},
+		{"unterminated block", "network x { "},
+		{"unterminated comment", "/* oops"},
+		{"unterminated string", "network \"oops { }"},
+		{"duplicate variable", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nvariable a { type discrete [ 2 ] { y, n }; }"},
+		{"bad value", "network x { }\nvariable a { type discrete [ 2 ] { y, n }; }\nprobability ( a ) { table zz, 0.5; }"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.src)); err == nil {
+				t.Error("Parse accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	g, err := gen.DirectedTree(15, 2, gen.Config{Seed: 9, States: 2, UniformPriors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.NumNodes != g.NumNodes || got.NumEdges != g.NumEdges {
+		t.Fatalf("shape %d/%d, want %d/%d", got.NumNodes, got.NumEdges, g.NumNodes, g.NumEdges)
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		a, b := g.Matrix(int32(e)), got.Matrix(int32(e))
+		for i := range a.Data {
+			if d := float64(a.Data[i] - b.Data[i]); math.Abs(d) > 1e-5 {
+				t.Fatalf("edge %d matrix entry %d differs by %v", e, i, d)
+			}
+		}
+	}
+}
+
+func TestWriteRejectsMultiParent(t *testing.T) {
+	b := graph.NewBuilder(2)
+	for i := 0; i < 3; i++ {
+		_, _ = b.AddNode(nil)
+	}
+	m := graph.DiagonalJointMatrix(2, 0.8)
+	_ = b.AddEdge(0, 2, &m)
+	_ = b.AddEdge(1, 2, &m)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bytes.Buffer{}, g); err == nil {
+		t.Error("Write accepted a multi-parent node")
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := tokenize("a // line comment\nb /* block */ c \"quoted token\" ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "quoted token", ";"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}

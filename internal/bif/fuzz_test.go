@@ -1,0 +1,29 @@
+package bif
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the BIF parser never panics and that whatever it
+// accepts builds a structurally valid graph. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	f.Add(familyOutBIF)
+	f.Add("network x { }")
+	f.Add("network x { }\nvariable a { type discrete [ 2 ] { y, n }; }")
+	f.Add(`variable a { type discrete [ 1 ] { y }; } probability ( a ) { table 1.0; }`)
+	f.Add("/* unterminated")
+	f.Add(`network "quoted name" { property p; }`)
+	f.Add("probability ( | ) { }")
+	f.Add("variable v { type discrete [ 2 ] { a, b }; } probability ( v | v ) { table 1, 0, 0, 1; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid graph: %v\ninput: %q", err, src)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package bif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"credo/internal/graph"
+)
+
+// Write serializes g as a BIF document. Because a BIF probability block
+// enumerates a variable with its full parent set, Write requires every node
+// to have at most one parent (directed forests — the shape of the Bayesian
+// Network Repository inputs the paper benchmarks). Graphs with multi-parent
+// nodes should use the mtxbp format instead.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "network credo {\n}\n")
+	for v := 0; v < g.NumNodes; v++ {
+		if g.InDegree(int32(v)) > 1 {
+			return fmt.Errorf("bif: node %d has %d parents; BIF writer supports at most 1", v, g.InDegree(int32(v)))
+		}
+		fmt.Fprintf(bw, "variable %s {\n  type discrete [ %d ] { ", nodeName(g, v), g.States)
+		for j := 0; j < g.States; j++ {
+			if j > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, "s%d", j)
+		}
+		bw.WriteString(" };\n}\n")
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+		if lo == hi {
+			fmt.Fprintf(bw, "probability ( %s ) {\n  table ", nodeName(g, v))
+			writeValues(bw, g.Prior(int32(v)))
+			bw.WriteString(";\n}\n")
+			continue
+		}
+		e := g.InEdges[lo]
+		parent := g.EdgeSrc[e]
+		fmt.Fprintf(bw, "probability ( %s | %s ) {\n", nodeName(g, v), nodeName(g, int(parent)))
+		m := g.Matrix(e)
+		for i := 0; i < g.States; i++ {
+			fmt.Fprintf(bw, "  ( s%d ) ", i)
+			writeValues(bw, m.Row(i))
+			bw.WriteString(";\n")
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+func nodeName(g *graph.Graph, v int) string {
+	if v < len(g.Names) && g.Names[v] != "" {
+		return g.Names[v]
+	}
+	return "n" + strconv.Itoa(v)
+}
+
+func writeValues(bw *bufio.Writer, vals []float32) {
+	for i, f := range vals {
+		if i > 0 {
+			bw.WriteString(", ")
+		}
+		bw.WriteString(strconv.FormatFloat(float64(f), 'g', 7, 32))
+	}
+}

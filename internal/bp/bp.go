@@ -1,0 +1,182 @@
+// Package bp implements belief propagation over graph.Graph in the two
+// processing paradigms of the paper — per-node and per-edge loopy BP
+// (Algorithm 1) — plus the classical non-loopy two-pass algorithm used as
+// the §2.1.1 baseline and an exact sum-product engine for acyclic networks.
+//
+// Message convention (Equation 2): the message along directed edge e=(u,v)
+// is m_e[j] = Σ_i b_u[i]·J_e[i,j], normalized. A node's belief is its prior
+// multiplied by all incoming messages and re-normalized (marginalized).
+// Products are accumulated in log space so that high-degree nodes (the
+// power-law hubs of the social benchmarks) cannot underflow float32.
+package bp
+
+import (
+	"math"
+
+	"credo/internal/graph"
+)
+
+// Default parameters from the paper's evaluation (§4): convergence within
+// 0.001, cut off at 200 iterations.
+const (
+	DefaultThreshold     = 0.001
+	DefaultMaxIterations = 200
+)
+
+// Options configures a propagation run.
+type Options struct {
+	// Threshold is the global convergence bound: the run stops once the
+	// sum over nodes of the L1 belief change in one iteration falls below
+	// it. Zero means DefaultThreshold.
+	Threshold float32
+
+	// MaxIterations caps the number of iterations. Zero means
+	// DefaultMaxIterations.
+	MaxIterations int
+
+	// WorkQueue enables the unconverged-element queues of paper §3.5:
+	// after every iteration only nodes (or edges) whose last change
+	// exceeded QueueThreshold are reprocessed.
+	WorkQueue bool
+
+	// QueueThreshold is the per-element convergence bound used by the
+	// work queues: an element whose last change fell below it drops out
+	// of the queue. Zero means Threshold — the paper prunes elements at
+	// the same 0.001 bound it checks globally, which is what lets queue
+	// runs finish in a handful of iterations while the global sum over a
+	// large graph would keep a full sweep running toward the cap (§3.5,
+	// §4.2).
+	QueueThreshold float32
+
+	// RecordDeltas makes the engines append each iteration's global delta
+	// to Result.Deltas — the data behind convergence curves.
+	RecordDeltas bool
+
+	// Damping blends each new belief with the previous one:
+	// b ← (1−Damping)·b_new + Damping·b_old. Zero disables it. Damping is
+	// the standard stabilizer for loopy BP on graphs where synchronous
+	// updates oscillate; the ablation benchmark measures its cost.
+	Damping float32
+}
+
+func (o Options) withDefaults(numNodes int) Options {
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = DefaultMaxIterations
+	}
+	if o.QueueThreshold == 0 {
+		o.QueueThreshold = o.Threshold
+	}
+	return o
+}
+
+// OpCounts records the abstract operations performed by a run. The
+// perfmodel package prices these counts under a CPU or GPU architecture
+// profile to regenerate the paper's timing figures.
+type OpCounts struct {
+	Iterations     int64 // propagation iterations executed
+	NodesProcessed int64 // node belief recombinations
+	EdgesProcessed int64 // edge message computations
+	MemLoads       int64 // float32 loads from belief/message arrays
+	MemStores      int64 // float32 stores to belief/message arrays
+	MatrixOps      int64 // multiply-accumulate ops through joint matrices
+	LogOps         int64 // log/exp evaluations in the combine stage
+	AtomicOps      int64 // atomic accumulator updates (per float)
+	QueuePushes    int64 // work-queue enqueue operations
+	RandomLoads    int64 // random-order parent-state loads (node paradigm)
+}
+
+// Add accumulates other into c.
+func (c *OpCounts) Add(other OpCounts) {
+	c.Iterations += other.Iterations
+	c.NodesProcessed += other.NodesProcessed
+	c.EdgesProcessed += other.EdgesProcessed
+	c.MemLoads += other.MemLoads
+	c.MemStores += other.MemStores
+	c.MatrixOps += other.MatrixOps
+	c.LogOps += other.LogOps
+	c.AtomicOps += other.AtomicOps
+	c.QueuePushes += other.QueuePushes
+	c.RandomLoads += other.RandomLoads
+}
+
+// Result reports the outcome of a propagation run.
+type Result struct {
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Converged reports whether the run stopped because the global delta
+	// fell below the threshold (as opposed to hitting MaxIterations).
+	Converged bool
+	// FinalDelta is the global belief delta of the last iteration.
+	FinalDelta float32
+	// Deltas holds every iteration's global delta when
+	// Options.RecordDeltas is set.
+	Deltas []float32
+	// Ops are the abstract operation counts of the run.
+	Ops OpCounts
+}
+
+// logEps keeps log() finite: probabilities are clamped to at least logEps
+// before entering log space. exp(log(1e-30)) is still exactly zero mass
+// after normalization at float32 precision.
+const logEps = 1e-30
+
+// Logf is a float32 natural logarithm clamped at logEps, shared by every
+// engine so that log-domain accumulators agree bit-for-bit across
+// implementations.
+func Logf(x float32) float32 {
+	if x < logEps {
+		x = logEps
+	}
+	return float32(math.Log(float64(x)))
+}
+
+// ExpNormalize writes normalize(prior · exp(acc)) into dst using the
+// max-subtraction trick; dst, prior and acc must share one length.
+// Entirely zero rows degrade to uniform. It is the combine stage shared by
+// every engine.
+func ExpNormalize(dst, prior, acc []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, a := range acc {
+		if a > maxv {
+			maxv = a
+		}
+	}
+	var sum float32
+	for j := range dst {
+		v := prior[j] * float32(math.Exp(float64(acc[j]-maxv)))
+		dst[j] = v
+		sum += v
+	}
+	if sum <= 0 || math.IsNaN(float64(sum)) || math.IsInf(float64(sum), 0) {
+		u := float32(1) / float32(len(dst))
+		for j := range dst {
+			dst[j] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// Blend applies damping in place: b ← (1−d)·b + d·old. Both inputs are
+// distributions, so the result needs no renormalization.
+func Blend(b, old []float32, d float32) {
+	if d <= 0 {
+		return
+	}
+	for j := range b {
+		b[j] = (1-d)*b[j] + d*old[j]
+	}
+}
+
+// computeMessage fills msg with the normalized propagation of src through
+// m: msg[j] = Σ_i src[i]·m[i,j], normalized.
+func computeMessage(msg, src []float32, m *graph.JointMatrix) {
+	m.PropagateInto(msg, src)
+	graph.Normalize(msg)
+}

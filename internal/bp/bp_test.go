@@ -1,0 +1,258 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// chainGraph builds a 3-node directed chain 0→1→2 with the given coupling.
+func chainGraph(t *testing.T, states int, keep float32) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(states)
+	for i := 0; i < 3; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := graph.DiagonalJointMatrix(states, keep)
+	if err := b.AddEdge(0, 1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, &m); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func maxBeliefDiff(a, b *graph.Graph) float64 {
+	var maxd float64
+	for i := range a.Beliefs {
+		d := math.Abs(float64(a.Beliefs[i] - b.Beliefs[i]))
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+func TestNodeEdgeEquivalence(t *testing.T) {
+	for _, states := range []int{2, 3, 8} {
+		g1, err := gen.Synthetic(200, 800, gen.Config{Seed: 42, States: states})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := g1.Clone()
+		r1 := RunNode(g1, Options{})
+		r2 := RunEdge(g2, Options{})
+		if d := maxBeliefDiff(g1, g2); d > 1e-3 {
+			t.Errorf("states=%d: node/edge beliefs differ by %v", states, d)
+		}
+		if r1.Iterations == 0 || r2.Iterations == 0 {
+			t.Errorf("states=%d: zero iterations (%d/%d)", states, r1.Iterations, r2.Iterations)
+		}
+	}
+}
+
+func TestWorkQueueEquivalence(t *testing.T) {
+	g1, err := gen.Synthetic(300, 1200, gen.Config{Seed: 11, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g1.Clone()
+	g3 := g1.Clone()
+	g4 := g1.Clone()
+	RunNode(g1, Options{})
+	RunNode(g2, Options{WorkQueue: true})
+	RunEdge(g3, Options{})
+	RunEdge(g4, Options{WorkQueue: true})
+	if d := maxBeliefDiff(g1, g2); d > 5e-3 {
+		t.Errorf("node with/without queue differ by %v", d)
+	}
+	if d := maxBeliefDiff(g3, g4); d > 5e-3 {
+		t.Errorf("edge with/without queue differ by %v", d)
+	}
+}
+
+func TestWorkQueueReducesWork(t *testing.T) {
+	g1, err := gen.Synthetic(500, 2000, gen.Config{Seed: 5, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g1.Clone()
+	r1 := RunNode(g1, Options{})
+	r2 := RunNode(g2, Options{WorkQueue: true})
+	if r2.Ops.NodesProcessed >= r1.Ops.NodesProcessed {
+		t.Errorf("work queue did not reduce node processing: %d >= %d",
+			r2.Ops.NodesProcessed, r1.Ops.NodesProcessed)
+	}
+	if r2.Ops.QueuePushes == 0 {
+		t.Error("work queue recorded no pushes")
+	}
+}
+
+func TestConvergenceOnChain(t *testing.T) {
+	g := chainGraph(t, 2, 0.9)
+	if err := g.Observe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := RunNode(g, Options{})
+	if !res.Converged {
+		t.Fatalf("chain did not converge: %+v", res)
+	}
+	// Information must flow down the chain: node 2 leans toward state 0.
+	b := g.Belief(2)
+	if b[0] <= b[1] {
+		t.Errorf("node 2 belief %v does not lean toward observed state", b)
+	}
+	// Node 1 (closer to evidence) leans harder than node 2.
+	if g.Belief(1)[0] <= b[0] {
+		t.Errorf("belief should attenuate with distance: node1=%v node2=%v", g.Belief(1), b)
+	}
+}
+
+func TestObservedNodeStaysClamped(t *testing.T) {
+	g, err := gen.Synthetic(50, 200, gen.Config{Seed: 3, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Observe(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []func(*graph.Graph, Options) Result{RunNode, RunEdge} {
+		c := g.Clone()
+		run(c, Options{})
+		b := c.Belief(7)
+		if b[0] != 0 || b[1] != 0 || b[2] != 1 {
+			t.Errorf("observed node drifted to %v", b)
+		}
+	}
+}
+
+func TestBeliefsStayNormalized(t *testing.T) {
+	for _, run := range []struct {
+		name string
+		fn   func(*graph.Graph, Options) Result
+	}{{"node", RunNode}, {"edge", RunEdge}} {
+		t.Run(run.name, func(t *testing.T) {
+			g, err := gen.PowerLaw(300, 3000, gen.Config{Seed: 9, States: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.fn(g, Options{MaxIterations: 50})
+			if err := g.Validate(); err != nil {
+				t.Errorf("beliefs invalid after %s run: %v", run.name, err)
+			}
+		})
+	}
+}
+
+// TestHighDegreeHubNoUnderflow exercises the log-space accumulator: a hub
+// with thousands of in-edges must not collapse to uniform due to float32
+// underflow.
+func TestHighDegreeHubNoUnderflow(t *testing.T) {
+	b := graph.NewBuilder(2)
+	_ = b.SetShared(graph.DiagonalJointMatrix(2, 0.7))
+	hub, _ := b.AddNode([]float32{0.5, 0.5})
+	const leaves = 3000
+	for i := 0; i < leaves; i++ {
+		leaf, _ := b.AddNode([]float32{0.9, 0.1})
+		if err := b.AddEdge(leaf, hub, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunNode(g, Options{MaxIterations: 5})
+	hb := g.Belief(hub)
+	if !(hb[0] > 0.99) {
+		t.Errorf("hub belief %v; expected overwhelming evidence for state 0", hb)
+	}
+	if math.IsNaN(float64(hb[0])) {
+		t.Error("hub belief is NaN")
+	}
+}
+
+func TestSharedVsPerEdgeSameCoupling(t *testing.T) {
+	// A shared diagonal matrix and identical per-edge diagonal matrices
+	// must produce identical propagation.
+	mk := func(shared bool) *graph.Graph {
+		b := graph.NewBuilder(2)
+		m := graph.DiagonalJointMatrix(2, 0.8)
+		if shared {
+			_ = b.SetShared(m)
+		}
+		for i := 0; i < 10; i++ {
+			_, _ = b.AddNode([]float32{0.5, 0.5})
+		}
+		for i := 0; i < 9; i++ {
+			var mp *graph.JointMatrix
+			if !shared {
+				mm := graph.DiagonalJointMatrix(2, 0.8)
+				mp = &mm
+			}
+			_ = b.AddEdge(int32(i), int32(i+1), mp)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = g.Observe(0, 1)
+		return g
+	}
+	g1, g2 := mk(true), mk(false)
+	RunEdge(g1, Options{})
+	RunEdge(g2, Options{})
+	if d := maxBeliefDiff(g1, g2); d > 1e-6 {
+		t.Errorf("shared vs per-edge identical matrices differ by %v", d)
+	}
+}
+
+func TestMaxIterationsRespected(t *testing.T) {
+	g, err := gen.Synthetic(100, 500, gen.Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunNode(g, Options{MaxIterations: 3, Threshold: 1e-12})
+	if res.Iterations > 3 {
+		t.Errorf("ran %d iterations, cap was 3", res.Iterations)
+	}
+	if res.Converged && res.FinalDelta >= 1e-12 {
+		t.Error("reported convergence without meeting threshold")
+	}
+}
+
+func TestExpNormalize(t *testing.T) {
+	dst := make([]float32, 3)
+	ExpNormalize(dst, []float32{1, 1, 1}, []float32{0, 0, 0})
+	for _, v := range dst {
+		if math.Abs(float64(v)-1.0/3) > 1e-6 {
+			t.Fatalf("uniform case = %v", dst)
+		}
+	}
+	// Huge negative accumulators must not produce NaN.
+	ExpNormalize(dst, []float32{1, 1, 1}, []float32{-4000, -4000, -4000})
+	var sum float32
+	for _, v := range dst {
+		if math.IsNaN(float64(v)) {
+			t.Fatal("NaN from large negative accumulator")
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("sum = %v, want 1", sum)
+	}
+	// Zero prior mass everywhere degrades to uniform.
+	ExpNormalize(dst, []float32{0, 0, 0}, []float32{0, 0, 0})
+	if dst[0] != dst[1] || dst[1] != dst[2] {
+		t.Fatalf("zero-prior case = %v, want uniform", dst)
+	}
+}

@@ -1,0 +1,150 @@
+package bp
+
+import (
+	"credo/internal/graph"
+)
+
+// RunEdge executes loopy BP with per-edge processing (paper §3.3, "C Edge"):
+// each iteration walks the directed edges; an edge pulls only its source
+// node's state, sends it through the joint matrix, and folds the resulting
+// message into its destination's accumulator. Each node then finishes by
+// combining its accumulator with its prior. The accumulator is kept in log
+// space and updated incrementally (new-message minus old-message), which is
+// what lets the work queue skip quiescent edges without losing their
+// contribution.
+//
+// With the work queue enabled (§3.5), an iteration processes only the
+// frontier: edges whose source belief changed by more than QueueThreshold
+// in the previous iteration. The run converges when the frontier empties.
+//
+// In the single-threaded engine the accumulator updates are plain adds; the
+// parallel engines perform the same update atomically (the extra cost the
+// paper attributes to the edge paradigm).
+func RunEdge(g *graph.Graph, opts Options) Result {
+	opts = opts.withDefaults(g.NumNodes)
+	s := g.States
+	matLines := int64(0) // per-edge joint matrices cost a random gather each
+	if !g.SharedMatrix() {
+		matLines = int64((s*s*4 + 63) / 64)
+	}
+	prev := append([]float32(nil), g.Beliefs...)
+
+	// Log-domain accumulator per node, primed with the initial messages.
+	acc := make([]float32, g.NumNodes*s)
+	for e := 0; e < g.NumEdges; e++ {
+		dst := int(g.EdgeDst[e])
+		m := g.Message(int32(e))
+		for j := 0; j < s; j++ {
+			acc[dst*s+j] += Logf(m[j])
+		}
+	}
+
+	msg := make([]float32, s)
+
+	var res Result
+	var queue, next []int32
+	var inNext []bool
+	if opts.WorkQueue {
+		queue = make([]int32, 0, g.NumEdges)
+		next = make([]int32, 0, g.NumEdges)
+		inNext = make([]bool, g.NumEdges)
+		for e := 0; e < g.NumEdges; e++ {
+			queue = append(queue, int32(e))
+		}
+		res.Ops.QueuePushes += int64(g.NumEdges)
+	}
+
+	processEdge := func(e int32) {
+		res.Ops.EdgesProcessed++
+		src, dst := g.EdgeSrc[e], g.EdgeDst[e]
+		parent := prev[int(src)*s : int(src)*s+s]
+		computeMessage(msg, parent, g.Matrix(e))
+		old := g.Message(e)
+		a := acc[int(dst)*s : int(dst)*s+s]
+		for j := 0; j < s; j++ {
+			a[j] += Logf(msg[j]) - Logf(old[j])
+			old[j] = msg[j]
+		}
+		res.Ops.MemLoads += int64(2 * s) // source belief + old message
+		res.Ops.RandomLoads += matLines
+		res.Ops.MemStores += int64(2 * s)
+		res.Ops.MatrixOps += int64(s * s)
+		res.Ops.LogOps += int64(2 * s)
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		res.Ops.Iterations++
+		copy(prev, g.Beliefs)
+
+		if opts.WorkQueue {
+			for _, e := range queue {
+				processEdge(e)
+			}
+		} else {
+			for e := int32(0); e < int32(g.NumEdges); e++ {
+				processEdge(e)
+			}
+		}
+
+		// Combine stage: every node folds its accumulator with its prior.
+		var sum float32
+		combine := func(v int32) float32 {
+			if g.Observed[v] {
+				return 0
+			}
+			res.Ops.NodesProcessed++
+			b := g.Beliefs[int(v)*s : int(v)*s+s]
+			old := prev[int(v)*s : int(v)*s+s]
+			ExpNormalize(b, g.Priors[int(v)*s:int(v)*s+s], acc[int(v)*s:int(v)*s+s])
+			Blend(b, old, opts.Damping)
+			res.Ops.LogOps += int64(s)
+			res.Ops.MemLoads += int64(3 * s) // prior + accumulator + previous
+			res.Ops.MemStores += int64(s)
+			return graph.L1Diff(b, old)
+		}
+
+		if opts.WorkQueue {
+			next = next[:0]
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				d := combine(v)
+				sum += d
+				if d <= opts.QueueThreshold {
+					continue
+				}
+				// The node moved: its outgoing edges carry stale messages
+				// and join the next frontier.
+				lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+				for _, e := range g.OutEdges[lo:hi] {
+					if !inNext[e] {
+						inNext[e] = true
+						next = append(next, e)
+						res.Ops.QueuePushes++
+					}
+				}
+			}
+			for _, e := range next {
+				inNext[e] = false
+			}
+			queue, next = next, queue
+		} else {
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				sum += combine(v)
+			}
+		}
+
+		res.FinalDelta = sum
+		if opts.RecordDeltas {
+			res.Deltas = append(res.Deltas, sum)
+		}
+		if sum < opts.Threshold {
+			res.Converged = true
+			return res
+		}
+		if opts.WorkQueue && len(queue) == 0 {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

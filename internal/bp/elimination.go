@@ -1,0 +1,245 @@
+package bp
+
+import (
+	"fmt"
+	"sort"
+
+	"credo/internal/graph"
+)
+
+// maxFactorEntries bounds intermediate factor tables during variable
+// elimination; exceeding it means the graph's treewidth is too large for
+// exact inference (use loopy BP instead).
+const maxFactorEntries = 1 << 22
+
+// VariableElimination computes the exact marginal of node query under the
+// pairwise model p(x) ∝ Π_v prior_v(x_v) · Π_e J_e(x_src, x_dst), by
+// eliminating every other variable in min-degree order. Unlike ExactTree
+// it handles loopy graphs — it is the flat cousin of the junction-tree
+// compilation the paper's related work (Bistaffa et al.) runs on GPUs —
+// at a cost exponential in the graph's treewidth.
+func VariableElimination(g *graph.Graph, query int32) ([]float64, error) {
+	if query < 0 || int(query) >= g.NumNodes {
+		return nil, fmt.Errorf("bp: variable elimination: query %d out of range", query)
+	}
+	s := g.States
+
+	// Initial factors: one unary per node, one pairwise per edge.
+	var factors []*factor
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		f := &factor{vars: []int32{v}, table: make([]float64, s)}
+		for j, p := range g.Prior(v) {
+			f.table[j] = float64(p)
+		}
+		factors = append(factors, f)
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		src, dst := g.EdgeSrc[e], g.EdgeDst[e]
+		m := g.Matrix(int32(e))
+		var f *factor
+		if src == dst {
+			// Self-loop: the diagonal acts as an extra unary potential.
+			f = &factor{vars: []int32{src}, table: make([]float64, s)}
+			for j := 0; j < s; j++ {
+				f.table[j] = float64(m.At(j, j))
+			}
+		} else {
+			f = &factor{vars: []int32{src, dst}, table: make([]float64, s*s)}
+			for i := 0; i < s; i++ {
+				for j := 0; j < s; j++ {
+					f.table[i*s+j] = float64(m.At(i, j))
+				}
+			}
+		}
+		factors = append(factors, f)
+	}
+
+	// Eliminate in min-degree order (degree = neighbours in the current
+	// factor hypergraph), skipping the query.
+	remaining := make(map[int32]bool, g.NumNodes)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if v != query {
+			remaining[v] = true
+		}
+	}
+	for len(remaining) > 0 {
+		v := pickMinDegree(remaining, factors)
+		var touching, rest []*factor
+		for _, f := range factors {
+			if f.has(v) {
+				touching = append(touching, f)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		prod, err := multiplyAll(touching, s)
+		if err != nil {
+			return nil, err
+		}
+		factors = append(rest, prod.sumOut(v, s))
+		delete(remaining, v)
+	}
+
+	// Multiply what's left (all over the query variable) and normalize.
+	prod, err := multiplyAll(factors, s)
+	if err != nil {
+		return nil, err
+	}
+	if len(prod.vars) != 1 || prod.vars[0] != query {
+		return nil, fmt.Errorf("bp: variable elimination: residual factor over %v", prod.vars)
+	}
+	var z float64
+	for _, p := range prod.table {
+		z += p
+	}
+	if z <= 0 {
+		return nil, fmt.Errorf("bp: variable elimination: zero total mass")
+	}
+	out := make([]float64, s)
+	for j := range out {
+		out[j] = prod.table[j] / z
+	}
+	return out, nil
+}
+
+// AllMarginals runs VariableElimination for every node.
+func AllMarginals(g *graph.Graph) ([][]float64, error) {
+	out := make([][]float64, g.NumNodes)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		m, err := VariableElimination(g, v)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = m
+	}
+	return out, nil
+}
+
+// factor is a table over an ordered set of variables, row-major with the
+// last variable varying fastest; every variable has the same arity.
+type factor struct {
+	vars  []int32
+	table []float64
+}
+
+func (f *factor) has(v int32) bool {
+	for _, x := range f.vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// index returns the position of assignment (one state per var, aligned
+// with f.vars) in the flat table.
+func (f *factor) index(assign map[int32]int, s int) int {
+	idx := 0
+	for _, v := range f.vars {
+		idx = idx*s + assign[v]
+	}
+	return idx
+}
+
+// multiplyAll returns the product factor over the union of variables.
+func multiplyAll(fs []*factor, s int) (*factor, error) {
+	if len(fs) == 0 {
+		return &factor{table: []float64{1}}, nil
+	}
+	// Union of variables, stable order.
+	seen := map[int32]bool{}
+	var vars []int32
+	for _, f := range fs {
+		for _, v := range f.vars {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	size := 1
+	for range vars {
+		size *= s
+		if size > maxFactorEntries {
+			return nil, fmt.Errorf("bp: variable elimination: factor over %d variables exceeds the treewidth budget", len(vars))
+		}
+	}
+	out := &factor{vars: vars, table: make([]float64, size)}
+	assign := make(map[int32]int, len(vars))
+	for idx := 0; idx < size; idx++ {
+		rem := idx
+		for i := len(vars) - 1; i >= 0; i-- {
+			assign[vars[i]] = rem % s
+			rem /= s
+		}
+		p := 1.0
+		for _, f := range fs {
+			p *= f.table[f.index(assign, s)]
+			if p == 0 {
+				break
+			}
+		}
+		out.table[idx] = p
+	}
+	return out, nil
+}
+
+// sumOut marginalizes variable v out of the factor.
+func (f *factor) sumOut(v int32, s int) *factor {
+	var vars []int32
+	for _, x := range f.vars {
+		if x != v {
+			vars = append(vars, x)
+		}
+	}
+	size := 1
+	for range vars {
+		size *= s
+	}
+	out := &factor{vars: vars, table: make([]float64, size)}
+	assign := make(map[int32]int, len(f.vars))
+	total := 1
+	for range f.vars {
+		total *= s
+	}
+	for idx := 0; idx < total; idx++ {
+		rem := idx
+		for i := len(f.vars) - 1; i >= 0; i-- {
+			assign[f.vars[i]] = rem % s
+			rem /= s
+		}
+		out.table[out.index(assign, s)] += f.table[idx]
+	}
+	return out
+}
+
+// pickMinDegree selects the remaining variable appearing with the fewest
+// distinct neighbours across current factors (ties broken by id).
+func pickMinDegree(remaining map[int32]bool, factors []*factor) int32 {
+	type cand struct {
+		v   int32
+		deg int
+	}
+	var cands []cand
+	for v := range remaining {
+		nbrs := map[int32]bool{}
+		for _, f := range factors {
+			if !f.has(v) {
+				continue
+			}
+			for _, x := range f.vars {
+				if x != v {
+					nbrs[x] = true
+				}
+			}
+		}
+		cands = append(cands, cand{v, len(nbrs)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].deg != cands[j].deg {
+			return cands[i].deg < cands[j].deg
+		}
+		return cands[i].v < cands[j].v
+	})
+	return cands[0].v
+}

@@ -1,0 +1,154 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+func TestEliminationMatchesBruteForceOnTree(t *testing.T) {
+	g, err := gen.DirectedTree(9, 2, gen.Config{Seed: 3, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AllMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		for j := range want[v] {
+			if math.Abs(got[v][j]-want[v][j]) > 1e-9 {
+				t.Fatalf("node %d state %d: VE %v, brute force %v", v, j, got[v][j], want[v][j])
+			}
+		}
+	}
+}
+
+func TestEliminationMatchesBruteForceOnLoopyGraph(t *testing.T) {
+	// A loopy graph ExactTree rejects but VE handles exactly.
+	g, err := gen.Synthetic(8, 20, gen.Config{Seed: 7, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExactTree(g.Clone()); err == nil {
+		t.Fatal("expected a cyclic graph")
+	}
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AllMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		for j := range want[v] {
+			if math.Abs(got[v][j]-want[v][j]) > 1e-9 {
+				t.Fatalf("node %d state %d: VE %v, brute force %v", v, j, got[v][j], want[v][j])
+			}
+		}
+	}
+}
+
+func TestEliminationWithObservation(t *testing.T) {
+	g, _ := familyOut(t)
+	_ = g.Observe(2, 0) // light-on = true
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VariableElimination(g, 0) // family-out
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-want[0][0]) > 1e-9 {
+		t.Errorf("posterior = %v, oracle %v", got[0], want[0][0])
+	}
+}
+
+func TestEliminationBeatsBruteForceScale(t *testing.T) {
+	// 40 binary nodes on a path: 2^40 joint states is far beyond the
+	// brute-force cap, but the treewidth is 1 so VE is instant.
+	g, err := gen.DirectedTree(40, 1, gen.Config{Seed: 5, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BruteForceMarginals(g); err == nil {
+		t.Fatal("brute force should refuse 2^40 states")
+	}
+	got, err := VariableElimination(g, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range got {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("marginal sums to %v", sum)
+	}
+	// Cross-check the chain end against exact tree BP.
+	g2, err := gen.DirectedTree(40, 1, gen.Config{Seed: 5, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExactTree(g2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-float64(g2.Belief(39)[0])) > 1e-5 {
+		t.Errorf("VE %v vs exact tree %v", got[0], g2.Belief(39)[0])
+	}
+}
+
+func TestEliminationTreewidthGuard(t *testing.T) {
+	// A dense graph at 32 states blows the factor budget quickly.
+	g, err := gen.Synthetic(30, 500, gen.Config{Seed: 2, States: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VariableElimination(g, 0); err == nil {
+		t.Error("expected a treewidth budget error")
+	}
+}
+
+func TestEliminationQueryRange(t *testing.T) {
+	g, err := gen.Synthetic(5, 10, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VariableElimination(g, -1); err == nil {
+		t.Error("negative query accepted")
+	}
+	if _, err := VariableElimination(g, 5); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+}
+
+func TestEliminationSelfLoop(t *testing.T) {
+	b := graph.NewBuilder(2)
+	_, _ = b.AddNode([]float32{0.5, 0.5})
+	m := graph.NewJointMatrix(2, 2)
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.1)
+	m.Set(1, 0, 0.4)
+	m.Set(1, 1, 0.6)
+	_ = b.AddEdge(0, 0, &m)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VariableElimination(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p ∝ prior · diag = {0.5·0.9, 0.5·0.6} -> {0.6, 0.4}.
+	if math.Abs(got[0]-0.6) > 1e-6 || math.Abs(got[1]-0.4) > 1e-6 {
+		t.Errorf("self-loop marginal = %v, want [0.6 0.4]", got)
+	}
+}

@@ -1,0 +1,509 @@
+package bp
+
+import (
+	"fmt"
+	"sort"
+
+	"credo/internal/graph"
+)
+
+// JunctionTree is a compiled clique tree over a pairwise model — the
+// "recompile the graph into an optimized form" approach of the paper's
+// related work (Bistaffa et al. run BP over junction trees on GPUs, §5.1).
+// Compilation triangulates the moralized graph with a min-fill heuristic;
+// Calibrate then runs one collect/distribute sweep of Shafer-Shenoy
+// message passing, after which every node's exact marginal is available in
+// O(clique size). Complexity is exponential in the induced treewidth.
+type JunctionTree struct {
+	g       *graph.Graph
+	cliques []*clique
+	// nodeClique maps each variable to one clique containing it.
+	nodeClique []int
+	calibrated bool
+}
+
+type clique struct {
+	vars      []int32
+	potential *factor
+	// tree structure
+	nbrs []int // adjacent clique ids
+	seps [][]int32
+	// calibrated messages, indexed like nbrs
+	msgs []*factor
+	// belief = potential × all incoming messages (after calibration)
+	belief *factor
+}
+
+// NewJunctionTree compiles the graph. It fails when the triangulated
+// cliques exceed the factor budget (treewidth too large for exact
+// inference).
+func NewJunctionTree(g *graph.Graph) (*JunctionTree, error) {
+	s := g.States
+	n := g.NumNodes
+	if n == 0 {
+		return nil, fmt.Errorf("bp: junction tree: empty graph")
+	}
+
+	// Undirected adjacency sets (the moral graph of a pairwise model is
+	// the model graph itself).
+	adj := make([]map[int32]bool, n)
+	for v := range adj {
+		adj[v] = map[int32]bool{}
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		u, v := g.EdgeSrc[e], g.EdgeDst[e]
+		if u == v {
+			continue
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+
+	// Min-fill triangulation, recording elimination cliques.
+	work := make([]map[int32]bool, n)
+	for v := range adj {
+		work[v] = map[int32]bool{}
+		for u := range adj[v] {
+			work[v][u] = true
+		}
+	}
+	eliminated := make([]bool, n)
+	var elimCliques [][]int32
+	for round := 0; round < n; round++ {
+		v := pickMinFill(work, eliminated)
+		// The elimination clique: v plus its remaining neighbours.
+		cl := []int32{v}
+		for u := range work[v] {
+			if !eliminated[u] {
+				cl = append(cl, u)
+			}
+		}
+		size := 1
+		for range cl {
+			size *= s
+			if size > maxFactorEntries {
+				return nil, fmt.Errorf("bp: junction tree: clique of %d variables exceeds the treewidth budget", len(cl))
+			}
+		}
+		sort.Slice(cl, func(i, j int) bool { return cl[i] < cl[j] })
+		elimCliques = append(elimCliques, cl)
+		// Connect v's neighbours (fill-in) and remove v.
+		nbrs := cl[1:]
+		rest := make([]int32, 0, len(cl)-1)
+		for _, u := range cl {
+			if u != v {
+				rest = append(rest, u)
+			}
+		}
+		for i := 0; i < len(rest); i++ {
+			for j := i + 1; j < len(rest); j++ {
+				work[rest[i]][rest[j]] = true
+				work[rest[j]][rest[i]] = true
+			}
+		}
+		_ = nbrs
+		eliminated[v] = true
+		for u := range work[v] {
+			delete(work[u], v)
+		}
+	}
+
+	// Keep maximal cliques only.
+	var maximal [][]int32
+	for i, c := range elimCliques {
+		isMax := true
+		for j, d := range elimCliques {
+			if i != j && isSubset(c, d) && (len(c) < len(d) || j < i) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal = append(maximal, c)
+		}
+	}
+
+	jt := &JunctionTree{g: g, nodeClique: make([]int, n)}
+	for i := range jt.nodeClique {
+		jt.nodeClique[i] = -1
+	}
+	for ci, vars := range maximal {
+		size := 1
+		for range vars {
+			size *= s
+		}
+		pot := &factor{vars: vars, table: make([]float64, size)}
+		for i := range pot.table {
+			pot.table[i] = 1
+		}
+		jt.cliques = append(jt.cliques, &clique{vars: vars, potential: pot})
+		for _, v := range vars {
+			if jt.nodeClique[v] < 0 {
+				jt.nodeClique[v] = ci
+			}
+		}
+	}
+
+	// Junction tree: maximum-weight spanning tree on separator sizes
+	// (Prim over the clique intersection graph yields the running
+	// intersection property for triangulated graphs).
+	if err := jt.buildSpanningTree(); err != nil {
+		return nil, err
+	}
+
+	// Assign each model factor to one containing clique.
+	for v := int32(0); v < int32(n); v++ {
+		ci := jt.nodeClique[v]
+		jt.absorb(ci, unaryFactor(g, v))
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		u, v := g.EdgeSrc[e], g.EdgeDst[e]
+		f := pairFactor(g, int32(e))
+		ci := jt.findCliqueContaining(u, v)
+		if ci < 0 {
+			return nil, fmt.Errorf("bp: junction tree: no clique contains edge (%d,%d)", u, v)
+		}
+		jt.absorb(ci, f)
+	}
+	return jt, nil
+}
+
+func unaryFactor(g *graph.Graph, v int32) *factor {
+	s := g.States
+	f := &factor{vars: []int32{v}, table: make([]float64, s)}
+	for j, p := range g.Prior(v) {
+		f.table[j] = float64(p)
+	}
+	return f
+}
+
+func pairFactor(g *graph.Graph, e int32) *factor {
+	s := g.States
+	src, dst := g.EdgeSrc[e], g.EdgeDst[e]
+	m := g.Matrix(e)
+	if src == dst {
+		f := &factor{vars: []int32{src}, table: make([]float64, s)}
+		for j := 0; j < s; j++ {
+			f.table[j] = float64(m.At(j, j))
+		}
+		return f
+	}
+	f := &factor{vars: []int32{src, dst}, table: make([]float64, s*s)}
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			f.table[i*s+j] = float64(m.At(i, j))
+		}
+	}
+	return f
+}
+
+// absorb multiplies f into clique ci's potential.
+func (jt *JunctionTree) absorb(ci int, f *factor) {
+	c := jt.cliques[ci]
+	prod, _ := multiplyAll([]*factor{c.potential, f}, jt.g.States)
+	// Reproject onto the clique's variable order (multiplyAll keeps the
+	// clique's order since its vars come first).
+	c.potential = prod
+}
+
+func (jt *JunctionTree) findCliqueContaining(u, v int32) int {
+	for ci, c := range jt.cliques {
+		if c.has(u) && c.has(v) {
+			return ci
+		}
+	}
+	return -1
+}
+
+func (c *clique) has(v int32) bool {
+	for _, x := range c.vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSpanningTree connects cliques by Prim's algorithm on separator
+// size, handling forests component by component.
+func (jt *JunctionTree) buildSpanningTree() error {
+	n := len(jt.cliques)
+	inTree := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if inTree[start] {
+			continue
+		}
+		inTree[start] = true
+		for {
+			best, bestTo, bestSep := -1, -1, []int32(nil)
+			for i := 0; i < n; i++ {
+				if !inTree[i] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if inTree[j] {
+						continue
+					}
+					sep := intersect(jt.cliques[i].vars, jt.cliques[j].vars)
+					if len(sep) > len(bestSep) {
+						best, bestTo, bestSep = i, j, sep
+					}
+				}
+			}
+			if best < 0 || len(bestSep) == 0 {
+				break
+			}
+			jt.connect(best, bestTo, bestSep)
+			inTree[bestTo] = true
+		}
+	}
+	return nil
+}
+
+func (jt *JunctionTree) connect(i, j int, sep []int32) {
+	ci, cj := jt.cliques[i], jt.cliques[j]
+	ci.nbrs = append(ci.nbrs, j)
+	ci.seps = append(ci.seps, sep)
+	ci.msgs = append(ci.msgs, nil)
+	cj.nbrs = append(cj.nbrs, i)
+	cj.seps = append(cj.seps, sep)
+	cj.msgs = append(cj.msgs, nil)
+}
+
+func intersect(a, b []int32) []int32 {
+	set := map[int32]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	var out []int32
+	for _, v := range b {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func isSubset(a, b []int32) bool {
+	set := map[int32]bool{}
+	for _, v := range b {
+		set[v] = true
+	}
+	for _, v := range a {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Calibrate runs the collect and distribute passes, leaving every clique
+// with its calibrated belief.
+func (jt *JunctionTree) Calibrate() error {
+	s := jt.g.States
+	n := len(jt.cliques)
+	visited := make([]bool, n)
+	// Iterative post-order per component.
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		var order []int
+		parent := make(map[int]int)
+		stack := []int{root}
+		visited[root] = true
+		parent[root] = -1
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, c)
+			for _, nb := range jt.cliques[c].nbrs {
+				if !visited[nb] {
+					visited[nb] = true
+					parent[nb] = c
+					stack = append(stack, nb)
+				}
+			}
+		}
+		// Collect: leaves to root.
+		for i := len(order) - 1; i >= 0; i-- {
+			c := order[i]
+			if p := parent[c]; p >= 0 {
+				if err := jt.send(c, p, s); err != nil {
+					return err
+				}
+			}
+		}
+		// Distribute: root to leaves.
+		for _, c := range order {
+			for _, nb := range jt.cliques[c].nbrs {
+				if parent[nb] == c {
+					if err := jt.send(c, nb, s); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	// Final beliefs.
+	for _, c := range jt.cliques {
+		fs := []*factor{c.potential}
+		for k, m := range c.msgs {
+			_ = k
+			if m != nil {
+				fs = append(fs, m)
+			}
+		}
+		b, err := multiplyAll(fs, s)
+		if err != nil {
+			return err
+		}
+		c.belief = b
+	}
+	jt.calibrated = true
+	return nil
+}
+
+// send computes the message from clique ci to its neighbour cj.
+func (jt *JunctionTree) send(ci, cj int, s int) error {
+	c := jt.cliques[ci]
+	// Product of potential and incoming messages except from cj.
+	fs := []*factor{c.potential}
+	sepIdx := -1
+	for k, nb := range c.nbrs {
+		if nb == cj {
+			sepIdx = k
+			continue
+		}
+		if c.msgs[k] != nil {
+			fs = append(fs, c.msgs[k])
+		}
+	}
+	if sepIdx < 0 {
+		return fmt.Errorf("bp: junction tree: %d is not adjacent to %d", cj, ci)
+	}
+	prod, err := multiplyAll(fs, s)
+	if err != nil {
+		return err
+	}
+	// Sum out everything not in the separator.
+	sep := c.seps[sepIdx]
+	keep := map[int32]bool{}
+	for _, v := range sep {
+		keep[v] = true
+	}
+	msg := prod
+	for _, v := range append([]int32(nil), msg.vars...) {
+		if !keep[v] {
+			msg = msg.sumOut(v, s)
+		}
+	}
+	normalizeFactor(msg)
+	// Deliver into cj's slot for ci.
+	d := jt.cliques[cj]
+	for k, nb := range d.nbrs {
+		if nb == ci {
+			d.msgs[k] = msg
+			return nil
+		}
+	}
+	return fmt.Errorf("bp: junction tree: asymmetric adjacency %d/%d", ci, cj)
+}
+
+func normalizeFactor(f *factor) {
+	var z float64
+	for _, v := range f.table {
+		z += v
+	}
+	if z <= 0 {
+		return
+	}
+	for i := range f.table {
+		f.table[i] /= z
+	}
+}
+
+// Marginal returns the exact marginal of node v. Calibrate must have run.
+func (jt *JunctionTree) Marginal(v int32) ([]float64, error) {
+	if !jt.calibrated {
+		return nil, fmt.Errorf("bp: junction tree: Calibrate first")
+	}
+	if v < 0 || int(v) >= jt.g.NumNodes {
+		return nil, fmt.Errorf("bp: junction tree: node %d out of range", v)
+	}
+	ci := jt.nodeClique[v]
+	if ci < 0 {
+		// Isolated node: its marginal is its normalized prior.
+		s := jt.g.States
+		out := make([]float64, s)
+		var z float64
+		for j, p := range jt.g.Prior(v) {
+			out[j] = float64(p)
+			z += out[j]
+		}
+		for j := range out {
+			out[j] /= z
+		}
+		return out, nil
+	}
+	s := jt.g.States
+	f := jt.cliques[ci].belief
+	for _, x := range append([]int32(nil), f.vars...) {
+		if x != v {
+			f = f.sumOut(x, s)
+		}
+	}
+	out := make([]float64, s)
+	var z float64
+	for j := range out {
+		out[j] = f.table[j]
+		z += out[j]
+	}
+	if z <= 0 {
+		return nil, fmt.Errorf("bp: junction tree: zero mass for node %d", v)
+	}
+	for j := range out {
+		out[j] /= z
+	}
+	return out, nil
+}
+
+// Width returns the largest clique size (treewidth + 1).
+func (jt *JunctionTree) Width() int {
+	w := 0
+	for _, c := range jt.cliques {
+		if len(c.vars) > w {
+			w = len(c.vars)
+		}
+	}
+	return w
+}
+
+// pickMinFill selects the uneliminated vertex whose elimination adds the
+// fewest fill-in edges (ties by id).
+func pickMinFill(adj []map[int32]bool, eliminated []bool) int32 {
+	best, bestFill := int32(-1), -1
+	for v := range adj {
+		if eliminated[v] {
+			continue
+		}
+		var nbrs []int32
+		for u := range adj[v] {
+			if !eliminated[u] {
+				nbrs = append(nbrs, u)
+			}
+		}
+		fill := 0
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if !adj[nbrs[i]][nbrs[j]] {
+					fill++
+				}
+			}
+		}
+		if best < 0 || fill < bestFill || (fill == bestFill && int32(v) < best) {
+			best, bestFill = int32(v), fill
+		}
+	}
+	return best
+}

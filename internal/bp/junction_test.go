@@ -1,0 +1,191 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+func jtAllMarginals(t *testing.T, g *graph.Graph) [][]float64 {
+	t.Helper()
+	jt, err := NewJunctionTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jt.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, g.NumNodes)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		m, err := jt.Marginal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[v] = m
+	}
+	return out
+}
+
+func TestJunctionTreeMatchesBruteForceTree(t *testing.T) {
+	g, err := gen.DirectedTree(10, 2, gen.Config{Seed: 8, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := jtAllMarginals(t, g)
+	for v := range want {
+		for j := range want[v] {
+			if math.Abs(got[v][j]-want[v][j]) > 1e-9 {
+				t.Fatalf("node %d state %d: JT %v, brute force %v", v, j, got[v][j], want[v][j])
+			}
+		}
+	}
+}
+
+func TestJunctionTreeMatchesBruteForceLoopy(t *testing.T) {
+	for _, seed := range []int64{1, 7, 13} {
+		g, err := gen.Synthetic(9, 24, gen.Config{Seed: seed, States: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BruteForceMarginals(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := jtAllMarginals(t, g)
+		for v := range want {
+			for j := range want[v] {
+				if math.Abs(got[v][j]-want[v][j]) > 1e-9 {
+					t.Fatalf("seed %d node %d state %d: JT %v, brute force %v", seed, v, j, got[v][j], want[v][j])
+				}
+			}
+		}
+	}
+}
+
+func TestJunctionTreeMatchesVariableElimination(t *testing.T) {
+	// Larger than brute force can handle; VE is the oracle.
+	g, err := gen.Synthetic(40, 70, gen.Config{Seed: 21, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := jtAllMarginals(t, g)
+	for _, v := range []int32{0, 7, 19, 39} {
+		want, err := VariableElimination(g, v)
+		if err != nil {
+			t.Skipf("treewidth too large for VE on this seed: %v", err)
+		}
+		for j := range want {
+			if math.Abs(got[v][j]-want[j]) > 1e-8 {
+				t.Fatalf("node %d state %d: JT %v, VE %v", v, j, got[v][j], want[j])
+			}
+		}
+	}
+}
+
+func TestJunctionTreeWithObservation(t *testing.T) {
+	g, _ := familyOut(t)
+	_ = g.Observe(2, 0) // light-on = true
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := jtAllMarginals(t, g)
+	if math.Abs(got[0][0]-want[0][0]) > 1e-9 {
+		t.Errorf("posterior p(family-out) = %v, oracle %v", got[0][0], want[0][0])
+	}
+}
+
+func TestJunctionTreeDisconnectedAndIsolated(t *testing.T) {
+	b := graph.NewBuilder(2)
+	_ = b.SetShared(graph.DiagonalJointMatrix(2, 0.8))
+	for i := 0; i < 5; i++ {
+		_, _ = b.AddNode([]float32{0.3, 0.7})
+	}
+	// Component 1: 0-1; component 2: 2-3; node 4 isolated.
+	_ = b.AddEdge(0, 1, nil)
+	_ = b.AddEdge(2, 3, nil)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := jtAllMarginals(t, g)
+	for v := range want {
+		for j := range want[v] {
+			if math.Abs(got[v][j]-want[v][j]) > 1e-9 {
+				t.Fatalf("node %d: JT %v, oracle %v", v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestJunctionTreeTreewidthGuard(t *testing.T) {
+	g, err := gen.Synthetic(24, 250, gen.Config{Seed: 3, States: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewJunctionTree(g); err == nil {
+		t.Error("dense 32-state graph accepted; expected treewidth budget error")
+	}
+}
+
+func TestJunctionTreeAPIContracts(t *testing.T) {
+	g, err := gen.DirectedTree(5, 2, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt, err := NewJunctionTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jt.Marginal(0); err == nil {
+		t.Error("Marginal before Calibrate accepted")
+	}
+	if err := jt.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jt.Marginal(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := jt.Marginal(99); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if jt.Width() < 2 {
+		t.Errorf("tree width = %d, want >= 2 for a tree with edges", jt.Width())
+	}
+	var sum float64
+	m, err := jt.Marginal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("marginal sums to %v", sum)
+	}
+}
+
+func TestJunctionTreeChainWidth(t *testing.T) {
+	// A chain has treewidth 1: cliques of size 2.
+	g, err := gen.DirectedTree(30, 1, gen.Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt, err := NewJunctionTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Width() != 2 {
+		t.Errorf("chain clique width = %d, want 2", jt.Width())
+	}
+}

@@ -1,0 +1,187 @@
+package bp
+
+import (
+	"credo/internal/graph"
+)
+
+// RunMaxProduct executes loopy max-product BP (the MAP-decoding sibling of
+// Algorithm 1): messages carry the best-scoring assignment rather than the
+// marginal mass, so after convergence each node's belief is its
+// max-marginal and its argmax decodes the (approximate) most-probable
+// joint state. The image-correction use case is the classic application:
+// per-pixel argmax of max-marginals is the denoised image.
+//
+// Processing is per-node (the paradigm's gather loop) with the same
+// Jacobi updates, log-space accumulation, damping and work-queue frontier
+// as RunNode.
+func RunMaxProduct(g *graph.Graph, opts Options) Result {
+	opts = opts.withDefaults(g.NumNodes)
+	s := g.States
+	prev := append([]float32(nil), g.Beliefs...)
+
+	acc := make([]float32, s)
+	msg := make([]float32, s)
+
+	var res Result
+	var queue, next []int32
+	var inNext []bool
+	if opts.WorkQueue {
+		queue = make([]int32, 0, g.NumNodes)
+		next = make([]int32, 0, g.NumNodes)
+		inNext = make([]bool, g.NumNodes)
+		for v := 0; v < g.NumNodes; v++ {
+			queue = append(queue, int32(v))
+		}
+		res.Ops.QueuePushes += int64(g.NumNodes)
+	}
+
+	maxMessage := func(dst, src []float32, m *graph.JointMatrix) {
+		for j := 0; j < s; j++ {
+			best := float32(0)
+			for i := 0; i < s; i++ {
+				if v := src[i] * m.At(i, j); v > best {
+					best = v
+				}
+			}
+			dst[j] = best
+		}
+		graph.Normalize(dst)
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		res.Ops.Iterations++
+		copy(prev, g.Beliefs)
+
+		var sum float32
+		process := func(v int32) float32 {
+			if g.Observed[v] {
+				return 0
+			}
+			res.Ops.NodesProcessed++
+			for j := 0; j < s; j++ {
+				acc[j] = 0
+			}
+			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+			for _, e := range g.InEdges[lo:hi] {
+				src := g.EdgeSrc[e]
+				parent := prev[int(src)*s : int(src)*s+s]
+				maxMessage(msg, parent, g.Matrix(e))
+				for j := 0; j < s; j++ {
+					acc[j] += Logf(msg[j])
+				}
+				res.Ops.EdgesProcessed++
+				res.Ops.MatrixOps += int64(s * s)
+				res.Ops.LogOps += int64(s)
+			}
+			b := g.Belief(v)
+			old := prev[int(v)*s : int(v)*s+s]
+			ExpNormalize(b, g.Prior(v), acc)
+			Blend(b, old, opts.Damping)
+			res.Ops.LogOps += int64(s)
+			return graph.L1Diff(b, old)
+		}
+
+		if opts.WorkQueue {
+			next = next[:0]
+			for _, v := range queue {
+				d := process(v)
+				sum += d
+				if d <= opts.QueueThreshold {
+					continue
+				}
+				lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+				for _, e := range g.OutEdges[lo:hi] {
+					dst := g.EdgeDst[e]
+					if !inNext[dst] {
+						inNext[dst] = true
+						next = append(next, dst)
+						res.Ops.QueuePushes++
+					}
+				}
+			}
+			for _, v := range next {
+				inNext[v] = false
+			}
+			queue, next = next, queue
+		} else {
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				sum += process(v)
+			}
+		}
+
+		res.FinalDelta = sum
+		if opts.RecordDeltas {
+			res.Deltas = append(res.Deltas, sum)
+		}
+		if sum < opts.Threshold || (opts.WorkQueue && len(queue) == 0) {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}
+
+// DecodeMAP returns each node's argmax belief state — the approximate MAP
+// assignment after a max-product run (or the marginal-maximizer after a
+// sum-product run).
+func DecodeMAP(g *graph.Graph) []int {
+	out := make([]int, g.NumNodes)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		b := g.Belief(v)
+		best := 0
+		for j, p := range b {
+			if p > b[best] {
+				best = j
+			}
+		}
+		out[v] = best
+	}
+	return out
+}
+
+// BruteForceMAP enumerates the joint state space and returns the exact
+// most-probable assignment and its unnormalized score. Feasible only for
+// tiny networks (the max-product test oracle).
+func BruteForceMAP(g *graph.Graph) ([]int, float64, error) {
+	s := g.States
+	total := 1
+	for i := 0; i < g.NumNodes; i++ {
+		if total > maxEnumerationStates/s {
+			return nil, 0, errInfeasible(s, g.NumNodes)
+		}
+		total *= s
+	}
+	assign := make([]int, g.NumNodes)
+	best := make([]int, g.NumNodes)
+	bestW := -1.0
+	for idx := 0; idx < total; idx++ {
+		rem := idx
+		for v := 0; v < g.NumNodes; v++ {
+			assign[v] = rem % s
+			rem /= s
+		}
+		w := 1.0
+		for v := 0; v < g.NumNodes && w > 0; v++ {
+			w *= float64(g.Prior(int32(v))[assign[v]])
+		}
+		for e := 0; e < g.NumEdges && w > 0; e++ {
+			w *= float64(g.Matrix(int32(e)).At(assign[g.EdgeSrc[e]], assign[g.EdgeDst[e]]))
+		}
+		if w > bestW {
+			bestW = w
+			copy(best, assign)
+		}
+	}
+	return best, bestW, nil
+}
+
+func errInfeasible(s, n int) error {
+	return &infeasibleError{states: s, nodes: n}
+}
+
+type infeasibleError struct{ states, nodes int }
+
+func (e *infeasibleError) Error() string {
+	return "bp: brute force MAP infeasible for the joint state space"
+}

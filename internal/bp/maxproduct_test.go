@@ -1,0 +1,113 @@
+package bp
+
+import (
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+func TestMaxProductDecodesChainMAP(t *testing.T) {
+	// A chain with strong couplings and evidence at one end: max-product
+	// on the doubled-edge MRF must recover the exact MAP assignment.
+	b := graph.NewBuilder(2)
+	for i := 0; i < 6; i++ {
+		prior := []float32{0.5, 0.5}
+		if i == 0 {
+			prior = []float32{0.9, 0.1}
+		}
+		if _, err := b.AddNode(prior); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := graph.DiagonalJointMatrix(2, 0.8)
+	for i := 0; i+1 < 6; i++ {
+		if err := b.AddUndirected(int32(i), int32(i+1), &m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := BruteForceMAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunMaxProduct(g, Options{})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	got := DecodeMAP(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("node %d decoded %d, MAP is %d (got %v, want %v)", v, got[v], want[v], got, want)
+		}
+	}
+}
+
+func TestMaxProductRespectsEvidence(t *testing.T) {
+	g, err := gen.Grid(5, 5, gen.Config{Seed: 4, States: 4, Shared: true, Keep: 0.7, UniformPriors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Observe(12, 3) // center pixel
+	res := RunMaxProduct(g, Options{WorkQueue: true})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	decoded := DecodeMAP(g)
+	if decoded[12] != 3 {
+		t.Errorf("observed pixel decoded as %d", decoded[12])
+	}
+	// Smoothness coupling pulls neighbours toward the evidence state.
+	for _, nb := range []int{7, 11, 13, 17} {
+		if decoded[nb] != 3 {
+			t.Errorf("neighbour %d decoded as %d, want 3 under smoothing", nb, decoded[nb])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("beliefs invalid: %v", err)
+	}
+}
+
+func TestMaxProductVsSumProductDiffer(t *testing.T) {
+	// Max-marginals and marginals are different quantities; on a frustrated
+	// graph their beliefs should not be identical.
+	g1, err := gen.Synthetic(50, 200, gen.Config{Seed: 9, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g1.Clone()
+	RunNode(g1, Options{})
+	RunMaxProduct(g2, Options{})
+	if maxBeliefDiff(g1, g2) < 1e-4 {
+		t.Error("max-product beliefs identical to sum-product; suspicious")
+	}
+}
+
+func TestBruteForceMAPGuards(t *testing.T) {
+	g, err := gen.Synthetic(64, 128, gen.Config{Seed: 1, States: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BruteForceMAP(g); err == nil {
+		t.Error("accepted an infeasible joint space")
+	}
+}
+
+func TestDecodeMAPUniform(t *testing.T) {
+	g, err := gen.Synthetic(10, 30, gen.Config{Seed: 2, States: 3, UniformPriors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DecodeMAP(g)
+	if len(d) != 10 {
+		t.Fatalf("decoded %d states", len(d))
+	}
+	for _, v := range d {
+		if v < 0 || v >= 3 {
+			t.Fatalf("state %d out of range", v)
+		}
+	}
+}

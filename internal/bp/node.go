@@ -1,0 +1,132 @@
+package bp
+
+import (
+	"credo/internal/graph"
+)
+
+// RunNode executes loopy BP with per-node processing (paper §3.3, "C Node"):
+// each iteration walks the nodes; a node pulls the state of every parent,
+// sends it through the edge's joint matrix, and combines the updates with
+// its prior. No accumulator or atomics are needed, but every in-edge costs
+// a random-order load of the parent's full belief vector.
+//
+// Updates are Jacobi-style: all reads within an iteration observe the
+// beliefs of the previous iteration, matching the parallel implementations.
+//
+// With the work queue enabled (§3.5), an iteration processes only the
+// frontier: nodes with at least one parent whose belief changed by more
+// than QueueThreshold in the previous iteration. Quiescent regions are
+// skipped and re-activate automatically when change reaches them; the run
+// converges when the frontier empties.
+func RunNode(g *graph.Graph, opts Options) Result {
+	opts = opts.withDefaults(g.NumNodes)
+	s := g.States
+	gatherLines := int64((s*4 + 63) / 64) // cache lines per random parent gather
+	matLines := int64(0)                  // per-edge joint matrices are a second random gather
+	if !g.SharedMatrix() {
+		matLines = int64((s*s*4 + 63) / 64)
+	}
+	prev := append([]float32(nil), g.Beliefs...)
+
+	acc := make([]float32, s)
+	msg := make([]float32, s)
+
+	var res Result
+	var queue, next []int32
+	var inNext []bool
+	if opts.WorkQueue {
+		queue = make([]int32, 0, g.NumNodes)
+		next = make([]int32, 0, g.NumNodes)
+		inNext = make([]bool, g.NumNodes)
+		for v := 0; v < g.NumNodes; v++ {
+			queue = append(queue, int32(v))
+		}
+		res.Ops.QueuePushes += int64(g.NumNodes)
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		res.Ops.Iterations++
+		copy(prev, g.Beliefs)
+
+		var sum float32
+		process := func(v int32) float32 {
+			if g.Observed[v] {
+				return 0
+			}
+			res.Ops.NodesProcessed++
+			prior := g.Prior(v)
+			for j := 0; j < s; j++ {
+				acc[j] = 0
+			}
+			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+			for _, e := range g.InEdges[lo:hi] {
+				src := g.EdgeSrc[e]
+				parent := prev[int(src)*s : int(src)*s+s]
+				computeMessage(msg, parent, g.Matrix(e))
+				for j := 0; j < s; j++ {
+					acc[j] += Logf(msg[j])
+				}
+				res.Ops.EdgesProcessed++
+				res.Ops.RandomLoads += gatherLines + matLines
+				res.Ops.MemLoads += int64(s)
+				res.Ops.MatrixOps += int64(s * s)
+				res.Ops.LogOps += int64(s)
+			}
+			b := g.Belief(v)
+			old := prev[int(v)*s : int(v)*s+s]
+			ExpNormalize(b, prior, acc)
+			Blend(b, old, opts.Damping)
+			res.Ops.LogOps += int64(s)
+			res.Ops.MemLoads += int64(2 * s) // prior + previous belief
+			res.Ops.MemStores += int64(s)
+			return graph.L1Diff(b, old)
+		}
+
+		if opts.WorkQueue {
+			next = next[:0]
+			for _, v := range queue {
+				d := process(v)
+				sum += d
+				if d <= opts.QueueThreshold {
+					continue
+				}
+				// The node moved: its outgoing messages will change, so
+				// its successors join the next frontier.
+				lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+				for _, e := range g.OutEdges[lo:hi] {
+					dst := g.EdgeDst[e]
+					if !inNext[dst] {
+						inNext[dst] = true
+						next = append(next, dst)
+						res.Ops.QueuePushes++
+					}
+				}
+			}
+			for _, v := range next {
+				inNext[v] = false
+			}
+			queue, next = next, queue
+		} else {
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				sum += process(v)
+			}
+		}
+
+		res.FinalDelta = sum
+		if opts.RecordDeltas {
+			res.Deltas = append(res.Deltas, sum)
+		}
+		if sum < opts.Threshold {
+			res.Converged = true
+			return res
+		}
+		if opts.WorkQueue && len(queue) == 0 {
+			// The frontier is empty: no node's inputs are changing beyond
+			// the per-element threshold.
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

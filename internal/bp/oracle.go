@@ -1,0 +1,75 @@
+package bp
+
+import (
+	"fmt"
+
+	"credo/internal/graph"
+)
+
+// maxEnumerationStates bounds the joint state space BruteForceMarginals is
+// willing to enumerate.
+const maxEnumerationStates = 1 << 24
+
+// BruteForceMarginals computes the exact marginal distribution of every
+// node by enumerating the joint state space of the pairwise model
+//
+//	p(x) ∝ Π_v prior_v(x_v) · Π_e J_e(x_src, x_dst).
+//
+// It is the test oracle for the exact-inference engines and is only
+// feasible for tiny networks (states^nodes combinations).
+func BruteForceMarginals(g *graph.Graph) ([][]float64, error) {
+	s := g.States
+	total := 1
+	for i := 0; i < g.NumNodes; i++ {
+		if total > maxEnumerationStates/s {
+			return nil, fmt.Errorf("bp: brute force infeasible: %d^%d joint states", s, g.NumNodes)
+		}
+		total *= s
+	}
+
+	marginals := make([][]float64, g.NumNodes)
+	for v := range marginals {
+		marginals[v] = make([]float64, s)
+	}
+
+	assign := make([]int, g.NumNodes)
+	var z float64
+	for idx := 0; idx < total; idx++ {
+		rem := idx
+		for v := 0; v < g.NumNodes; v++ {
+			assign[v] = rem % s
+			rem /= s
+		}
+		w := 1.0
+		for v := 0; v < g.NumNodes; v++ {
+			w *= float64(g.Prior(int32(v))[assign[v]])
+			if w == 0 {
+				break
+			}
+		}
+		if w != 0 {
+			for e := 0; e < g.NumEdges; e++ {
+				w *= float64(g.Matrix(int32(e)).At(assign[g.EdgeSrc[e]], assign[g.EdgeDst[e]]))
+				if w == 0 {
+					break
+				}
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		z += w
+		for v := 0; v < g.NumNodes; v++ {
+			marginals[v][assign[v]] += w
+		}
+	}
+	if z == 0 {
+		return nil, fmt.Errorf("bp: brute force: model has zero total mass")
+	}
+	for v := range marginals {
+		for j := range marginals[v] {
+			marginals[v][j] /= z
+		}
+	}
+	return marginals, nil
+}

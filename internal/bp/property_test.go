@@ -1,0 +1,144 @@
+package bp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// TestPropertyBeliefsAlwaysValid: every engine leaves normalized, finite
+// beliefs for arbitrary seeds, widths and densities.
+func TestPropertyBeliefsAlwaysValid(t *testing.T) {
+	engines := []struct {
+		name string
+		run  func(*graph.Graph, Options) Result
+	}{
+		{"node", RunNode},
+		{"edge", RunEdge},
+		{"residual", RunResidual},
+	}
+	f := func(seed int64, statesRaw, densityRaw uint8, queue bool) bool {
+		states := 2 + int(statesRaw)%6
+		n := 20 + int(seed%40+40)%40
+		m := n * (1 + int(densityRaw)%5)
+		g, err := gen.Synthetic(n, m, gen.Config{Seed: seed, States: states})
+		if err != nil {
+			return false
+		}
+		for _, e := range engines {
+			c := g.Clone()
+			e.run(c, Options{MaxIterations: 30, WorkQueue: queue})
+			if err := c.Validate(); err != nil {
+				t.Logf("%s: %v", e.name, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyObservationMonotone: observing a node can only sharpen its
+// own belief to the indicator, never anything else.
+func TestPropertyObservationMonotone(t *testing.T) {
+	f := func(seed int64, nodeRaw, stateRaw uint8) bool {
+		g, err := gen.Synthetic(50, 200, gen.Config{Seed: seed, States: 3})
+		if err != nil {
+			return false
+		}
+		v := int32(int(nodeRaw) % g.NumNodes)
+		s := int(stateRaw) % g.States
+		if err := g.Observe(v, s); err != nil {
+			return false
+		}
+		RunEdge(g, Options{MaxIterations: 20})
+		b := g.Belief(v)
+		for j := range b {
+			want := float32(0)
+			if j == s {
+				want = 1
+			}
+			if b[j] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyConvergenceMonotoneInThreshold: a looser threshold never
+// needs more iterations than a tighter one.
+func TestPropertyConvergenceMonotoneInThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := gen.Synthetic(100, 400, gen.Config{Seed: seed, States: 2})
+		if err != nil {
+			return false
+		}
+		loose := RunNode(g.Clone(), Options{Threshold: 0.01})
+		tight := RunNode(g.Clone(), Options{Threshold: 0.0001})
+		return loose.Iterations <= tight.Iterations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExactTreeIsDistribution: exact inference on random directed
+// trees yields marginals matching the brute-force oracle.
+func TestPropertyExactTreeOracle(t *testing.T) {
+	f := func(seed int64, branchRaw uint8) bool {
+		branching := 1 + int(branchRaw)%3
+		g, err := gen.DirectedTree(8, branching, gen.Config{Seed: seed, States: 2})
+		if err != nil {
+			return false
+		}
+		want, err := BruteForceMarginals(g)
+		if err != nil {
+			return false
+		}
+		if err := ExactTree(g); err != nil {
+			return false
+		}
+		for v := 0; v < g.NumNodes; v++ {
+			for j := 0; j < g.States; j++ {
+				if math.Abs(float64(g.Belief(int32(v))[j])-want[v][j]) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDampedFixedPointAgrees: damping changes the trajectory, not
+// the destination.
+func TestPropertyDampedFixedPointAgrees(t *testing.T) {
+	f := func(seed int64, dampRaw uint8) bool {
+		damping := float32(dampRaw%80) / 100 // [0, 0.79]
+		g1, err := gen.Synthetic(80, 320, gen.Config{Seed: seed, States: 2})
+		if err != nil {
+			return false
+		}
+		g2 := g1.Clone()
+		r1 := RunEdge(g1, Options{})
+		r2 := RunEdge(g2, Options{Damping: damping})
+		if !r1.Converged || !r2.Converged {
+			return true // non-convergent seeds carry no fixed-point claim
+		}
+		return maxBeliefDiff(g1, g2) < 2e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package bp
+
+import (
+	"container/heap"
+
+	"credo/internal/graph"
+)
+
+// RunResidual executes asynchronous residual belief propagation — the
+// scheduling discipline of Gonzalez et al.'s Residual Splash (the paper's
+// reference [5], its strongest CPU-side related work). Instead of sweeping
+// iterations, a priority queue orders nodes by the residual of their
+// pending update (the L1 distance between the belief they would adopt and
+// the one they hold); the largest residual is always applied first, and
+// only its successors' residuals are refreshed.
+//
+// On graphs where convergence is bottlenecked by a few regions, residual
+// scheduling applies far fewer updates than synchronous sweeps. Credo's
+// §3.5 work queues are the synchronous approximation of this engine; the
+// ablation benchmark compares the two.
+//
+// Result.Iterations reports applied updates divided by the node count
+// (sweep-equivalents, rounded up), so options and reports stay comparable
+// with the sweep engines.
+func RunResidual(g *graph.Graph, opts Options) Result {
+	opts = opts.withDefaults(g.NumNodes)
+	s := g.States
+
+	var res Result
+
+	acc := make([]float32, s)
+	msg := make([]float32, s)
+	cand := make([]float32, s)
+
+	// computeCandidate fills cand with the belief v would adopt now.
+	computeCandidate := func(v int32) {
+		prior := g.Prior(v)
+		for j := 0; j < s; j++ {
+			acc[j] = 0
+		}
+		lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+		for _, e := range g.InEdges[lo:hi] {
+			src := g.EdgeSrc[e]
+			computeMessage(msg, g.Belief(src), g.Matrix(e))
+			for j := 0; j < s; j++ {
+				acc[j] += Logf(msg[j])
+			}
+			res.Ops.EdgesProcessed++
+			res.Ops.MatrixOps += int64(s * s)
+			res.Ops.LogOps += int64(s)
+			res.Ops.RandomLoads += int64((s*4 + 63) / 64)
+			res.Ops.MemLoads += int64(s)
+		}
+		ExpNormalize(cand, prior, acc)
+		res.Ops.LogOps += int64(s)
+	}
+
+	pq := newResidualQueue(g.NumNodes)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if g.Observed[v] || g.InDegree(v) == 0 {
+			continue
+		}
+		computeCandidate(v)
+		r := graph.L1Diff(cand, g.Belief(v))
+		if r > 0 {
+			pq.update(v, r)
+			res.Ops.QueuePushes++
+		}
+	}
+
+	maxUpdates := int64(opts.MaxIterations) * int64(g.NumNodes)
+	var updates int64
+	for updates < maxUpdates && pq.Len() > 0 {
+		v, r := pq.popMax()
+		if r <= opts.QueueThreshold {
+			// Every pending residual is below the element threshold.
+			res.Converged = true
+			break
+		}
+		// Apply the update.
+		computeCandidate(v)
+		b := g.Belief(v)
+		copy(b, cand)
+		res.Ops.NodesProcessed++
+		res.Ops.MemStores += int64(s)
+		updates++
+
+		// Refresh the residuals of the successors only.
+		lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+		for _, e := range g.OutEdges[lo:hi] {
+			dst := g.EdgeDst[e]
+			if g.Observed[dst] {
+				continue
+			}
+			computeCandidate(dst)
+			nr := graph.L1Diff(cand, g.Belief(dst))
+			pq.update(dst, nr)
+			res.Ops.QueuePushes++
+		}
+	}
+	if pq.Len() == 0 {
+		res.Converged = true
+	}
+	res.Iterations = int((updates + int64(g.NumNodes) - 1) / int64(g.NumNodes))
+	if res.Iterations == 0 && updates > 0 {
+		res.Iterations = 1
+	}
+	res.Ops.Iterations = int64(res.Iterations)
+	res.FinalDelta = pq.maxResidual()
+	return res
+}
+
+// residualQueue is an indexed max-heap of node residuals supporting
+// decrease/increase-key by node id.
+type residualQueue struct {
+	nodes []int32   // heap order
+	pos   []int32   // node -> heap index, -1 when absent
+	val   []float32 // node -> residual
+}
+
+func newResidualQueue(n int) *residualQueue {
+	pq := &residualQueue{
+		pos: make([]int32, n),
+		val: make([]float32, n),
+	}
+	for i := range pq.pos {
+		pq.pos[i] = -1
+	}
+	return pq
+}
+
+// Len implements heap.Interface.
+func (pq *residualQueue) Len() int { return len(pq.nodes) }
+
+// Less implements heap.Interface (max-heap on residual).
+func (pq *residualQueue) Less(i, j int) bool { return pq.val[pq.nodes[i]] > pq.val[pq.nodes[j]] }
+
+// Swap implements heap.Interface.
+func (pq *residualQueue) Swap(i, j int) {
+	pq.nodes[i], pq.nodes[j] = pq.nodes[j], pq.nodes[i]
+	pq.pos[pq.nodes[i]] = int32(i)
+	pq.pos[pq.nodes[j]] = int32(j)
+}
+
+// Push implements heap.Interface.
+func (pq *residualQueue) Push(x any) {
+	v := x.(int32)
+	pq.pos[v] = int32(len(pq.nodes))
+	pq.nodes = append(pq.nodes, v)
+}
+
+// Pop implements heap.Interface.
+func (pq *residualQueue) Pop() any {
+	v := pq.nodes[len(pq.nodes)-1]
+	pq.nodes = pq.nodes[:len(pq.nodes)-1]
+	pq.pos[v] = -1
+	return v
+}
+
+// update sets node v's residual, inserting or re-heapifying as needed.
+func (pq *residualQueue) update(v int32, r float32) {
+	pq.val[v] = r
+	if pq.pos[v] < 0 {
+		heap.Push(pq, v)
+		return
+	}
+	heap.Fix(pq, int(pq.pos[v]))
+}
+
+// popMax removes and returns the node with the largest residual.
+func (pq *residualQueue) popMax() (int32, float32) {
+	v := heap.Pop(pq).(int32)
+	return v, pq.val[v]
+}
+
+// maxResidual peeks at the largest pending residual.
+func (pq *residualQueue) maxResidual() float32 {
+	if len(pq.nodes) == 0 {
+		return 0
+	}
+	return pq.val[pq.nodes[0]]
+}

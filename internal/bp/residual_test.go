@@ -1,0 +1,185 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+func TestResidualMatchesSweepBeliefs(t *testing.T) {
+	for _, states := range []int{2, 3} {
+		g1, err := gen.Synthetic(200, 800, gen.Config{Seed: 33, States: states})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := g1.Clone()
+		RunNode(g1, Options{})
+		res := RunResidual(g2, Options{})
+		if !res.Converged {
+			t.Fatalf("states=%d: residual BP did not converge: %+v", states, res)
+		}
+		// Residual BP is asynchronous; fixed points agree within the
+		// per-element threshold scale.
+		if d := maxBeliefDiff(g1, g2); d > 2e-2 {
+			t.Errorf("states=%d: residual beliefs diverge from sweep by %v", states, d)
+		}
+	}
+}
+
+func TestResidualConvergesOnChainWithEvidence(t *testing.T) {
+	g := chainGraph(t, 2, 0.9)
+	_ = g.Observe(0, 0)
+	res := RunResidual(g, Options{})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if b := g.Belief(2); b[0] <= b[1] {
+		t.Errorf("evidence did not propagate: %v", b)
+	}
+}
+
+func TestResidualFocusesWork(t *testing.T) {
+	// A graph where only one region receives evidence: residual BP should
+	// apply far fewer node updates than a full sweep run processes.
+	b := graph.NewBuilder(2)
+	_ = b.SetShared(graph.DiagonalJointMatrix(2, 0.9))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		_, _ = b.AddNode([]float32{0.5, 0.5})
+	}
+	// Two disjoint chains: evidence lands only in the first.
+	for i := 0; i+1 < n/2; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1), nil)
+	}
+	for i := n / 2; i+1 < n; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1), nil)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Observe(0, 1)
+
+	gr := g.Clone()
+	resR := RunResidual(gr, Options{})
+	gs := g.Clone()
+	resS := RunNode(gs, Options{})
+	if resR.Ops.NodesProcessed >= resS.Ops.NodesProcessed {
+		t.Errorf("residual applied %d updates, sweep %d; expected focus",
+			resR.Ops.NodesProcessed, resS.Ops.NodesProcessed)
+	}
+	// The quiescent chain must be untouched (uniform priors, no inputs
+	// changed => no updates).
+	if d := float64(gr.Belief(int32(n - 1))[0]); math.Abs(d-0.5) > 1e-6 {
+		t.Errorf("quiescent region belief moved to %v", d)
+	}
+}
+
+func TestResidualObservedNodesClamped(t *testing.T) {
+	g, err := gen.Synthetic(80, 320, gen.Config{Seed: 4, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Observe(9, 2)
+	RunResidual(g, Options{})
+	b := g.Belief(9)
+	if b[0] != 0 || b[1] != 0 || b[2] != 1 {
+		t.Errorf("observed node drifted to %v", b)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid beliefs after residual run: %v", err)
+	}
+}
+
+func TestResidualUpdateCap(t *testing.T) {
+	g, err := gen.Synthetic(100, 400, gen.Config{Seed: 5, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunResidual(g, Options{MaxIterations: 2, Threshold: 1e-12, QueueThreshold: 1e-12})
+	if res.Ops.NodesProcessed > 2*int64(g.NumNodes) {
+		t.Errorf("applied %d updates, cap was %d", res.Ops.NodesProcessed, 2*g.NumNodes)
+	}
+}
+
+func TestResidualQueueOrdering(t *testing.T) {
+	pq := newResidualQueue(5)
+	pq.update(0, 0.1)
+	pq.update(1, 0.9)
+	pq.update(2, 0.5)
+	pq.update(1, 0.05) // decrease key
+	pq.update(3, 0.7)
+	want := []int32{3, 2, 0, 1}
+	for _, w := range want {
+		v, _ := pq.popMax()
+		if v != w {
+			t.Fatalf("pop order wrong: got %d, want %d", v, w)
+		}
+	}
+	if pq.Len() != 0 {
+		t.Errorf("queue not empty: %d", pq.Len())
+	}
+	if pq.maxResidual() != 0 {
+		t.Errorf("empty queue max residual = %v", pq.maxResidual())
+	}
+}
+
+func TestDampingSlowsButConverges(t *testing.T) {
+	g1, err := gen.Synthetic(300, 1200, gen.Config{Seed: 6, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g1.Clone()
+	plain := RunNode(g1, Options{})
+	damped := RunNode(g2, Options{Damping: 0.5})
+	if !damped.Converged {
+		t.Fatalf("damped run did not converge: %+v", damped)
+	}
+	if damped.Iterations < plain.Iterations {
+		t.Errorf("damping converged faster (%d < %d); expected slower or equal",
+			damped.Iterations, plain.Iterations)
+	}
+	// Fixed points agree.
+	if d := maxBeliefDiff(g1, g2); d > 1e-2 {
+		t.Errorf("damped fixed point diverges by %v", d)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	b := []float32{1, 0}
+	old := []float32{0, 1}
+	Blend(b, old, 0.25)
+	if b[0] != 0.75 || b[1] != 0.25 {
+		t.Errorf("blend = %v, want [0.75 0.25]", b)
+	}
+	Blend(b, old, 0) // no-op
+	if b[0] != 0.75 {
+		t.Errorf("zero damping modified beliefs: %v", b)
+	}
+}
+
+func TestRecordDeltas(t *testing.T) {
+	g, err := gen.Synthetic(100, 400, gen.Config{Seed: 15, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []struct {
+		name string
+		fn   func(*graph.Graph, Options) Result
+	}{{"node", RunNode}, {"edge", RunEdge}, {"maxproduct", RunMaxProduct}} {
+		res := run.fn(g.Clone(), Options{RecordDeltas: true})
+		if len(res.Deltas) != res.Iterations {
+			t.Errorf("%s: %d deltas for %d iterations", run.name, len(res.Deltas), res.Iterations)
+		}
+		if len(res.Deltas) > 0 && res.Deltas[len(res.Deltas)-1] != res.FinalDelta {
+			t.Errorf("%s: last delta %v != final %v", run.name, res.Deltas[len(res.Deltas)-1], res.FinalDelta)
+		}
+		// Off by default.
+		res = run.fn(g.Clone(), Options{})
+		if res.Deltas != nil {
+			t.Errorf("%s: deltas recorded without opting in", run.name)
+		}
+	}
+}

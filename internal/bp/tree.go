@@ -1,0 +1,187 @@
+package bp
+
+import (
+	"errors"
+	"fmt"
+
+	"credo/internal/graph"
+)
+
+// ExactTree runs the classical two-pass sum-product algorithm (paper §2.1,
+// the pre-loopy form of BP) on a network whose directed edges form a forest
+// when viewed as undirected links. Each directed edge is one pairwise
+// factor; messages flow both ways along it (λ upward, π downward), and the
+// resulting beliefs are the exact marginals of the pairwise model
+//
+//	p(x) ∝ Π_v prior_v(x_v) · Π_e J_e(x_src, x_dst).
+//
+// It returns an error when the undirected structure contains a cycle
+// (including the two-directed-edges-per-link representation used by the
+// loopy engines, which forms length-2 factor cycles).
+func ExactTree(g *graph.Graph) error {
+	s := g.States
+	type half struct {
+		nbr  int32
+		edge int32
+		fwd  bool // true when this node is the edge's source
+	}
+	adj := make([][]half, g.NumNodes)
+	for e := 0; e < g.NumEdges; e++ {
+		u, v := g.EdgeSrc[e], g.EdgeDst[e]
+		if u == v {
+			return fmt.Errorf("bp: exact tree: self-loop on node %d", u)
+		}
+		adj[u] = append(adj[u], half{nbr: v, edge: int32(e), fwd: true})
+		adj[v] = append(adj[v], half{nbr: u, edge: int32(e), fwd: false})
+	}
+
+	// Message storage: two per edge. msgs[2e] is src→dst, msgs[2e+1] dst→src.
+	msgs := make([][]float64, 2*g.NumEdges)
+	for i := range msgs {
+		msgs[i] = make([]float64, s)
+	}
+	msgIndex := func(e int32, fromSrc bool) int {
+		if fromSrc {
+			return int(2 * e)
+		}
+		return int(2*e + 1)
+	}
+
+	// sendMessage computes the message from u toward v along h (a half
+	// adjacent to u): Σ_{x_u} prior_u(x_u) Π_{other halves} m(x_u) · J.
+	buf := make([]float64, s)
+	sendMessage := func(u int32, h half) {
+		prior := g.Prior(u)
+		for x := 0; x < s; x++ {
+			buf[x] = float64(prior[x])
+		}
+		for _, o := range adj[u] {
+			if o.edge == h.edge {
+				continue
+			}
+			in := msgs[msgIndex(o.edge, !o.fwd)]
+			for x := 0; x < s; x++ {
+				buf[x] *= in[x]
+			}
+		}
+		normalize64(buf)
+		out := msgs[msgIndex(h.edge, h.fwd)]
+		m := g.Matrix(h.edge)
+		for y := 0; y < s; y++ {
+			out[y] = 0
+		}
+		if h.fwd { // u is source: out[x_v] = Σ J[x_u, x_v]·buf[x_u]
+			for x := 0; x < s; x++ {
+				if buf[x] == 0 {
+					continue
+				}
+				row := m.Row(x)
+				for y := 0; y < s; y++ {
+					out[y] += buf[x] * float64(row[y])
+				}
+			}
+		} else { // u is destination: out[x_v] = Σ J[x_v, x_u]·buf[x_u]
+			for y := 0; y < s; y++ {
+				row := m.Row(y)
+				var acc float64
+				for x := 0; x < s; x++ {
+					acc += float64(row[x]) * buf[x]
+				}
+				out[y] = acc
+			}
+		}
+		normalize64(out)
+	}
+
+	visited := make([]bool, g.NumNodes)
+	parentEdge := make([]int32, g.NumNodes)
+	parentHalf := make([]half, g.NumNodes)
+	order := make([]int32, 0, g.NumNodes)
+	stack := make([]int32, 0, 64)
+
+	for root := int32(0); root < int32(g.NumNodes); root++ {
+		if visited[root] {
+			continue
+		}
+		// Iterative DFS establishing a rooted orientation per component.
+		visited[root] = true
+		parentEdge[root] = -1
+		start := len(order)
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, u)
+			for _, h := range adj[u] {
+				if h.edge == parentEdge[u] {
+					continue
+				}
+				if visited[h.nbr] {
+					return errors.New("bp: exact tree: graph contains a cycle (or a doubled undirected link)")
+				}
+				visited[h.nbr] = true
+				parentEdge[h.nbr] = h.edge
+				parentHalf[h.nbr] = h
+				stack = append(stack, h.nbr)
+			}
+		}
+		comp := order[start:]
+		// Upward (λ) pass: children send to parents in reverse DFS order.
+		for i := len(comp) - 1; i >= 0; i-- {
+			u := comp[i]
+			if parentEdge[u] < 0 {
+				continue
+			}
+			h := parentHalf[u] // half stored at parent pointing to u
+			// Message from u toward its parent travels the same edge in
+			// the opposite orientation.
+			sendMessage(u, half{nbr: 0, edge: h.edge, fwd: !h.fwd})
+		}
+		// Downward (π) pass: parents send to children in DFS order.
+		for _, u := range comp {
+			for _, h := range adj[u] {
+				if h.edge == parentEdge[u] {
+					continue
+				}
+				sendMessage(u, h)
+			}
+		}
+	}
+
+	// Beliefs: prior times all incoming messages, normalized.
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		prior := g.Prior(v)
+		for x := 0; x < s; x++ {
+			buf[x] = float64(prior[x])
+		}
+		for _, h := range adj[v] {
+			in := msgs[msgIndex(h.edge, !h.fwd)]
+			for x := 0; x < s; x++ {
+				buf[x] *= in[x]
+			}
+		}
+		normalize64(buf)
+		b := g.Belief(v)
+		for x := 0; x < s; x++ {
+			b[x] = float32(buf[x])
+		}
+	}
+	return nil
+}
+
+func normalize64(p []float64) {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}

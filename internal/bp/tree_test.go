@@ -1,0 +1,195 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// familyOut builds the pairwise approximation of the paper's Figure 1
+// family-out network: fo→lo, fo→do, bp→do, do→hb with hand-written
+// conditionals. (The original p(do|fo,bp) CPT is three-variable; the MRF
+// move of §2.1 makes all couplings pairwise.)
+func familyOut(t *testing.T) (*graph.Graph, map[string]int32) {
+	t.Helper()
+	b := graph.NewBuilder(2)
+	ids := map[string]int32{}
+	add := func(name string, prior []float32) {
+		id, err := b.AddNamedNode(name, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	// State 0 = true, state 1 = false.
+	add("family-out", []float32{0.15, 0.85})
+	add("bowel-problem", []float32{0.01, 0.99})
+	add("light-on", []float32{0.5, 0.5})
+	add("dog-out", []float32{0.5, 0.5})
+	add("hear-bark", []float32{0.5, 0.5})
+
+	mat := func(tt, tf, ft, ff float32) *graph.JointMatrix {
+		m := graph.NewJointMatrix(2, 2)
+		m.Set(0, 0, tt)
+		m.Set(0, 1, tf)
+		m.Set(1, 0, ft)
+		m.Set(1, 1, ff)
+		return &m
+	}
+	edge := func(src, dst string, m *graph.JointMatrix) {
+		if err := b.AddEdge(ids[src], ids[dst], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edge("family-out", "light-on", mat(0.6, 0.4, 0.05, 0.95))
+	edge("family-out", "dog-out", mat(0.88, 0.12, 0.2, 0.8))
+	edge("bowel-problem", "dog-out", mat(0.95, 0.05, 0.4, 0.6))
+	edge("dog-out", "hear-bark", mat(0.7, 0.3, 0.01, 0.99))
+
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ids
+}
+
+func TestExactTreeMatchesBruteForce(t *testing.T) {
+	g, _ := familyOut(t)
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExactTree(g); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		for j := 0; j < g.States; j++ {
+			got := float64(g.Belief(int32(v))[j])
+			if math.Abs(got-want[v][j]) > 1e-5 {
+				t.Errorf("node %d state %d: exact tree %v, brute force %v", v, j, got, want[v][j])
+			}
+		}
+	}
+}
+
+func TestExactTreeWithObservation(t *testing.T) {
+	g, ids := familyOut(t)
+	if err := g.Observe(ids["light-on"], 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForceMarginals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := want[ids["family-out"]][0]
+	if err := ExactTree(g); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(g.Belief(ids["family-out"])[0])
+	if math.Abs(got-baseline) > 1e-5 {
+		t.Errorf("posterior p(family-out|light-on) = %v, oracle %v", got, baseline)
+	}
+	// Seeing the light on must raise the probability the family is out
+	// above the 0.15 prior.
+	if got <= 0.15 {
+		t.Errorf("observation did not raise posterior: %v", got)
+	}
+}
+
+func TestExactTreeRandomTreesMatchOracle(t *testing.T) {
+	for _, tc := range []struct{ n, branching, states int }{
+		{7, 2, 2}, {10, 3, 2}, {6, 1, 3}, {9, 2, 3},
+	} {
+		g, err := gen.DirectedTree(tc.n, tc.branching, gen.Config{Seed: int64(tc.n * tc.states), States: tc.states})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BruteForceMarginals(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ExactTree(g); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes; v++ {
+			for j := 0; j < g.States; j++ {
+				got := float64(g.Belief(int32(v))[j])
+				if math.Abs(got-want[v][j]) > 1e-4 {
+					t.Fatalf("tree n=%d b=%d s=%d node %d state %d: got %v want %v",
+						tc.n, tc.branching, tc.states, v, j, got, want[v][j])
+				}
+			}
+		}
+	}
+}
+
+func TestExactTreeRejectsCycles(t *testing.T) {
+	g, err := gen.Synthetic(10, 40, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExactTree(g); err == nil {
+		t.Error("cyclic graph accepted by exact tree engine")
+	}
+	// Doubled undirected links are length-2 factor cycles.
+	g2, err := gen.Tree(7, 2, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExactTree(g2); err == nil {
+		t.Error("doubled tree accepted by exact tree engine")
+	}
+}
+
+func TestBruteForceInfeasible(t *testing.T) {
+	g, err := gen.Synthetic(64, 128, gen.Config{Seed: 1, States: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BruteForceMarginals(g); err == nil {
+		t.Error("brute force accepted an infeasible state space")
+	}
+}
+
+func TestTraditionalOnTree(t *testing.T) {
+	g, err := gen.DirectedTree(31, 2, gen.Config{Seed: 4, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunTraditional(g, Options{})
+	if res.Iterations != 2 {
+		t.Errorf("traditional ran %d sweeps, want 2", res.Iterations)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("beliefs invalid after traditional run: %v", err)
+	}
+	// Evidence must flow: observe the root and re-run.
+	g2, err := gen.DirectedTree(31, 2, gen.Config{Seed: 4, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g2.Observe(0, 0)
+	RunTraditional(g2, Options{})
+	if g2.Belief(1)[0] == g.Belief(1)[0] {
+		t.Error("observing the root did not change a child's belief")
+	}
+}
+
+func TestTraditionalIsSlowerThanLoopy(t *testing.T) {
+	// The §2.1.1 claim, at miniature scale: naive traditional BP performs
+	// far more work (memory loads dominate via level scans) than loopy
+	// by-edge on the same graph.
+	g, err := gen.Synthetic(1000, 4000, gen.Config{Seed: 6, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trad := RunTraditional(g.Clone(), Options{})
+	loopy := RunEdge(g.Clone(), Options{})
+	tradWork := trad.Ops.MemLoads + trad.Ops.MatrixOps
+	loopyWork := loopy.Ops.MemLoads + loopy.Ops.MatrixOps
+	if tradWork < 2*loopyWork {
+		t.Errorf("traditional work %d not clearly above loopy %d", tradWork, loopyWork)
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/features"
+	"credo/internal/gen"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+	"credo/internal/ml"
+)
+
+func TestImplementationString(t *testing.T) {
+	cases := map[Implementation]string{
+		CEdge: "C Edge", CNode: "C Node", CUDAEdge: "CUDA Edge", CUDANode: "CUDA Node",
+	}
+	for impl, want := range cases {
+		if impl.String() != want {
+			t.Errorf("%d.String() = %q, want %q", impl, impl.String(), want)
+		}
+	}
+	if CEdge.IsCUDA() || !CUDANode.IsCUDA() {
+		t.Error("IsCUDA wrong")
+	}
+	if CEdge.IsNode() || !CNode.IsNode() {
+		t.Error("IsNode wrong")
+	}
+}
+
+func TestCudaCrossoverShape(t *testing.T) {
+	if got := cudaCrossover(2); math.Abs(got-math.Pow(10, 4.7)) > 1 {
+		t.Errorf("crossover(2) = %v, want ≈5e4 (calibrated to this environment's Figure 7)", got)
+	}
+	if got := cudaCrossover(32); math.Abs(got-1e3) > 0.01 {
+		t.Errorf("crossover(32) = %v, want 1e3 (paper §3.6)", got)
+	}
+	if cudaCrossover(3) >= cudaCrossover(2) {
+		t.Error("crossover must fall as beliefs rise")
+	}
+	if cudaCrossover(0) != cudaCrossover(2) || cudaCrossover(99) != cudaCrossover(32) {
+		t.Error("crossover not clamped at the belief range")
+	}
+}
+
+func TestSelectorRule(t *testing.T) {
+	var s Selector
+	small := graph.Metadata{NumNodes: 100, NumEdges: 400, States: 2}
+	big := graph.Metadata{NumNodes: 2_000_000, NumEdges: 8_000_000, States: 2}
+	if got := s.Choose(small, 1<<20); got != CEdge {
+		t.Errorf("small graph chose %v, want C Edge", got)
+	}
+	if got := s.Choose(big, 1<<30); got != CUDANode {
+		t.Errorf("large graph chose %v, want CUDA Node", got)
+	}
+	// Wide beliefs shift the crossover down: 10k nodes at 32 beliefs is
+	// already CUDA territory.
+	wide := graph.Metadata{NumNodes: 10_000, NumEdges: 40_000, States: 32}
+	if got := s.Choose(wide, 1<<30); !got.IsCUDA() {
+		t.Errorf("wide-belief graph chose %v, want a CUDA implementation", got)
+	}
+	// But the same graph at 2 beliefs stays on the CPU.
+	narrow := graph.Metadata{NumNodes: 10_000, NumEdges: 40_000, States: 2}
+	if got := s.Choose(narrow, 1<<30); got.IsCUDA() {
+		t.Errorf("narrow-belief mid graph chose %v, want a C implementation", got)
+	}
+}
+
+func TestSelectorVRAMFallback(t *testing.T) {
+	var s Selector
+	big := graph.Metadata{NumNodes: 2_000_000, NumEdges: 8_000_000, States: 2}
+	if got := s.Choose(big, 100<<30); got.IsCUDA() {
+		t.Errorf("graph exceeding VRAM chose %v, want a C implementation", got)
+	}
+}
+
+func TestSelectorDisableCUDA(t *testing.T) {
+	s := Selector{DisableCUDA: true}
+	big := graph.Metadata{NumNodes: 2_000_000, NumEdges: 8_000_000, States: 2}
+	if got := s.Choose(big, 1<<20); got.IsCUDA() {
+		t.Errorf("DisableCUDA chose %v", got)
+	}
+}
+
+// constClassifier always predicts one label.
+type constClassifier int
+
+func (c constClassifier) Fit([][]float64, []int) error { return nil }
+func (c constClassifier) Predict([]float64) int        { return int(c) }
+
+func TestSelectorUsesClassifier(t *testing.T) {
+	s := Selector{Classifier: constClassifier(features.LabelNode)}
+	small := graph.Metadata{NumNodes: 100, NumEdges: 400, States: 2}
+	if got := s.Choose(small, 1<<10); got != CNode {
+		t.Errorf("classifier=Node on CPU chose %v, want C Node", got)
+	}
+	s.Classifier = constClassifier(features.LabelEdge)
+	big := graph.Metadata{NumNodes: 500_000, NumEdges: 2_000_000, States: 2}
+	if got := s.Choose(big, 1<<20); got != CUDAEdge {
+		t.Errorf("classifier=Edge on CUDA chose %v, want CUDA Edge", got)
+	}
+}
+
+func TestEngineRunAllImplementations(t *testing.T) {
+	base, err := gen.Synthetic(300, 1200, gen.Config{Seed: 19, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng Engine
+	ref := base.Clone()
+	bp.RunNode(ref, bp.Options{})
+	for _, impl := range []Implementation{CEdge, CNode, CUDAEdge, CUDANode} {
+		g := base.Clone()
+		rep, err := eng.RunWith(g, impl)
+		if err != nil {
+			t.Fatalf("%v: %v", impl, err)
+		}
+		if rep.Implementation != impl {
+			t.Errorf("report says %v, want %v", rep.Implementation, impl)
+		}
+		if rep.EstimatedTime <= 0 {
+			t.Errorf("%v: no estimated time", impl)
+		}
+		if impl.IsCUDA() && rep.DeviceStats == nil {
+			t.Errorf("%v: missing device stats", impl)
+		}
+		if !impl.IsCUDA() && rep.DeviceStats != nil {
+			t.Errorf("%v: unexpected device stats", impl)
+		}
+		var maxd float64
+		for i := range g.Beliefs {
+			d := math.Abs(float64(g.Beliefs[i] - ref.Beliefs[i]))
+			if d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-3 {
+			t.Errorf("%v beliefs diverge from reference by %v", impl, maxd)
+		}
+	}
+}
+
+func TestEngineAutoSelection(t *testing.T) {
+	g, err := gen.Synthetic(200, 800, gen.Config{Seed: 23, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng Engine
+	rep, err := eng.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Implementation != CEdge {
+		t.Errorf("200-node graph auto-selected %v, want C Edge", rep.Implementation)
+	}
+	if !rep.Result.Converged {
+		t.Error("run did not converge")
+	}
+}
+
+func TestEngineWithTrainedClassifier(t *testing.T) {
+	// Train a tiny forest on synthetic labels and wire it in end to end.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		n := 100 * (i + 1)
+		md := graph.Metadata{NumNodes: n, NumEdges: 4 * n, States: 2, MaxInDegree: 10, MaxOutDegree: 10}
+		md.AvgInDegree = 4
+		X = append(X, features.Vector(md))
+		if n > 2000 {
+			y = append(y, int(features.LabelNode))
+		} else {
+			y = append(y, int(features.LabelEdge))
+		}
+	}
+	forest := &ml.RandomForest{Seed: 7}
+	if err := forest.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Selector: Selector{Classifier: forest}}
+	g, err := gen.Synthetic(150, 600, gen.Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Implementation.IsCUDA() {
+		t.Errorf("small graph routed to %v", rep.Implementation)
+	}
+}
+
+func TestEngineVoltaProfile(t *testing.T) {
+	g, err := gen.Synthetic(2000, 8000, gen.Config{Seed: 3, States: 32}) // wide beliefs force CUDA
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Selector: Selector{GPU: gpusim.Volta()}}
+	rep, err := eng.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Implementation.IsCUDA() {
+		t.Fatalf("expected a CUDA implementation, got %v", rep.Implementation)
+	}
+}

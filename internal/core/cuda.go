@@ -1,0 +1,32 @@
+package core
+
+import (
+	"credo/internal/cudabp"
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+)
+
+type cudaResult = cudabp.Result
+
+func cudaOptions(e *Engine) cudabp.Options {
+	return cudabp.Options{Options: e.Options, BlockDim: e.BlockDim, Batch: e.Batch}
+}
+
+func runCUDAEdge(g *graph.Graph, dev *gpusim.Device, opts cudabp.Options) (cudaResult, error) {
+	return cudabp.RunEdge(g, dev, opts)
+}
+
+func runCUDANode(g *graph.Graph, dev *gpusim.Device, opts cudabp.Options) (cudaResult, error) {
+	return cudabp.RunNode(g, dev, opts)
+}
+
+// deviceFootprint estimates the device bytes a CUDA run of g needs; the
+// larger of the two paradigms' footprints is used for the VRAM admission
+// check.
+func deviceFootprint(g *graph.Graph) int64 {
+	f := g.MemoryFootprint()
+	f += int64(g.NumNodes*g.States) * 4
+	f += int64(g.NumNodes) * 4
+	f += int64(g.NumEdges) * 12
+	return f
+}

@@ -1,0 +1,81 @@
+package cudabp
+
+import (
+	"math"
+	"time"
+
+	"credo/internal/gpusim"
+	"credo/internal/graph"
+)
+
+// OpenACCOptions configures the pragma-based GPU variant of §2.4.
+type OpenACCOptions struct {
+	Options
+	// BatchTransfers overrides the OpenACC scheduler's default of
+	// shipping the full data set across the bus every iteration, keeping
+	// the graph resident and moving only the batched convergence scalar —
+	// the manual data-placement fix the paper applied to make the
+	// implementation competitive at all.
+	BatchTransfers bool
+}
+
+// convergenceSlack models OpenACC's imprecise convergence reduction: the
+// computed delta never falls below this noise floor, so runs terminate
+// "much closer to the cap on iterations" than the CUDA engines (§2.4).
+const convergenceSlack = 16
+
+// RunOpenACCEdge executes the edge paradigm the way the OpenACC port
+// behaves: same kernels, but with the scheduler's per-iteration full data
+// transfers (unless BatchTransfers) and a convergence check that loses
+// precision and overruns.
+func RunOpenACCEdge(g *graph.Graph, dev *gpusim.Device, opts OpenACCOptions) (Result, error) {
+	return runOpenACC(g, dev, opts, true)
+}
+
+// RunOpenACCNode is the node-paradigm OpenACC variant.
+func RunOpenACCNode(g *graph.Graph, dev *gpusim.Device, opts OpenACCOptions) (Result, error) {
+	return runOpenACC(g, dev, opts, false)
+}
+
+func runOpenACC(g *graph.Graph, dev *gpusim.Device, opts OpenACCOptions, edges bool) (Result, error) {
+	o := opts.Options
+	// OpenACC lacks the fine-grained control work queues require (§2.4).
+	o.WorkQueue = false
+	o = Options{Options: o.Options, BlockDim: opts.BlockDim, Batch: opts.Batch}.withDefaults(g.NumNodes)
+
+	// The imprecise reduction makes the observed delta sit above the true
+	// one; we model it by tightening the threshold the device must reach.
+	o.Threshold /= convergenceSlack
+	if !opts.BatchTransfers {
+		// Default scheduler: the full graph crosses the bus every
+		// iteration in both directions. Charge it up front per expected
+		// iteration as the run proceeds (folded in below).
+		o.Batch = 1
+	}
+
+	var res Result
+	var err error
+	if edges {
+		res, err = RunEdge(g, dev, o)
+	} else {
+		res, err = RunNode(g, dev, o)
+	}
+	if err != nil {
+		return res, err
+	}
+	if !opts.BatchTransfers {
+		per := g.MemoryFootprint()
+		for i := 0; i < res.Iterations; i++ {
+			dev.CopyToDevice(per)
+			dev.CopyToHost(per)
+		}
+	}
+	// Pragma-generated kernels carry extra launch bookkeeping per region.
+	extra := float64(res.Iterations) * 2 * dev.Profile.KernelLaunch
+	res.SimTime = dev.SimTime() + time.Duration(extra*float64(time.Second))
+	res.DeviceStats = dev.Stats()
+	return res, nil
+}
+
+func f32(bits uint32) float32 { return math.Float32frombits(bits) }
+func bits32(f float32) uint32 { return math.Float32bits(f) }

@@ -1,0 +1,59 @@
+// Package features extracts the classifier feature vector of paper §3.7
+// from graph metadata: the number of nodes, the nodes-to-edges ratio, the
+// number of beliefs, the degree imbalance and the skew. All five derive
+// from input parsing alone, so Credo can pick an implementation before any
+// propagation runs.
+package features
+
+import (
+	"math"
+
+	"credo/internal/graph"
+)
+
+// Count is the feature vector length.
+const Count = 5
+
+// Names returns the feature names in vector order.
+func Names() []string {
+	return []string{"num_nodes", "nodes_to_edges", "num_beliefs", "degree_imbalance", "skew"}
+}
+
+// Vector builds the paper's five-element feature vector from metadata. The
+// node count enters in log scale (the benchmark suite spans 10 to 2x10^7
+// nodes); the remaining features are the paper's ratios, already "heavily
+// normalized" by construction.
+func Vector(md graph.Metadata) []float64 {
+	return []float64{
+		math.Log10(float64(md.NumNodes) + 1),
+		md.NodesToEdgesRatio(),
+		float64(md.States),
+		md.DegreeImbalance(),
+		md.Skew(),
+	}
+}
+
+// FromGraph computes the feature vector directly from a graph.
+func FromGraph(g *graph.Graph) []float64 {
+	return Vector(g.Stats())
+}
+
+// Label is the classification target: which processing paradigm wins.
+type Label int
+
+// The two labels of §3.7.
+const (
+	LabelNode Label = iota
+	LabelEdge
+)
+
+// String returns the paper's label name.
+func (l Label) String() string {
+	if l == LabelNode {
+		return "Node"
+	}
+	return "Edge"
+}
+
+// LabelNames returns class names indexed by label value.
+func LabelNames() []string { return []string{"Node", "Edge"} }

@@ -1,0 +1,46 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+)
+
+func TestVector(t *testing.T) {
+	g, err := gen.Synthetic(1000, 4000, gen.Config{Seed: 1, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := FromGraph(g)
+	if len(v) != Count {
+		t.Fatalf("vector length %d, want %d", len(v), Count)
+	}
+	if math.Abs(v[0]-math.Log10(1001)) > 1e-9 {
+		t.Errorf("num_nodes feature = %v, want log10(1001)", v[0])
+	}
+	if v[1] != 0.25 {
+		t.Errorf("nodes/edges = %v, want 0.25", v[1])
+	}
+	if v[2] != 3 {
+		t.Errorf("beliefs = %v, want 3", v[2])
+	}
+	if v[3] <= 0 || v[4] <= 0 || v[4] > 1 {
+		t.Errorf("imbalance/skew out of range: %v / %v", v[3], v[4])
+	}
+}
+
+func TestNamesAlignWithVector(t *testing.T) {
+	if len(Names()) != Count {
+		t.Fatalf("names length %d, want %d", len(Names()), Count)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if LabelNode.String() != "Node" || LabelEdge.String() != "Edge" {
+		t.Error("label names wrong")
+	}
+	if LabelNames()[LabelNode] != "Node" || LabelNames()[LabelEdge] != "Edge" {
+		t.Error("LabelNames misaligned")
+	}
+}

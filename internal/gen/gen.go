@@ -1,0 +1,351 @@
+// Package gen generates synthetic belief networks standing in for the
+// benchmark suite of Table 1: uniform-random NxM graphs, Kronecker (R-MAT)
+// graphs matching the kron-g500 family, preferential-attachment power-law
+// graphs standing in for the social/web networks, plus trees and lattice
+// grids for the tree-BP baseline and the image-correction use case.
+//
+// All generators are deterministic for a given seed, and all produce graphs
+// through graph.Builder so every Credo implementation sees identical
+// layouts.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"credo/internal/graph"
+)
+
+// Config controls belief and matrix generation shared by all topologies.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// States is the belief width (2, 3 or 32 in the paper's use cases).
+	States int
+	// Shared selects the single shared joint-probability-matrix mode of
+	// paper §2.2 instead of one random matrix per edge.
+	Shared bool
+	// Keep is the diagonal weight of generated joint matrices: the
+	// probability that a neighbor is in the same state. Zero means 0.75.
+	Keep float32
+	// UniformPriors makes every node prior uniform instead of random.
+	UniformPriors bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.States == 0 {
+		c.States = 2
+	}
+	if c.Keep == 0 {
+		c.Keep = 0.75
+	}
+	return c
+}
+
+// RandomDistribution fills dst with a random probability distribution.
+func RandomDistribution(rng *rand.Rand, dst []float32) {
+	var sum float32
+	for i := range dst {
+		v := float32(rng.Float64()) + 1e-3
+		dst[i] = v
+		sum += v
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// RandomJointMatrix returns a random row-stochastic matrix with diagonal
+// weight approximately keep.
+func RandomJointMatrix(rng *rand.Rand, states int, keep float32) graph.JointMatrix {
+	m := graph.NewJointMatrix(states, states)
+	for i := 0; i < states; i++ {
+		row := m.Row(i)
+		var offSum float32
+		for j := range row {
+			if j == i {
+				continue
+			}
+			row[j] = float32(rng.Float64()) + 1e-3
+			offSum += row[j]
+		}
+		// Choose the diagonal so the normalized row keeps exactly `keep`
+		// mass on the diagonal (for states > 1).
+		if states > 1 && keep < 1 {
+			row[i] = offSum * keep / (1 - keep)
+		} else {
+			row[i] = 1
+		}
+	}
+	m.NormalizeRows()
+	return m
+}
+
+// builderFor creates a builder with cfg's states, shared matrix and n nodes
+// with generated priors.
+func builderFor(n int, cfg Config, rng *rand.Rand) (*graph.Builder, error) {
+	b := graph.NewBuilder(cfg.States)
+	if cfg.Shared {
+		if err := b.SetShared(graph.DiagonalJointMatrix(cfg.States, cfg.Keep)); err != nil {
+			return nil, err
+		}
+	}
+	prior := make([]float32, cfg.States)
+	for i := 0; i < n; i++ {
+		var p []float32
+		if !cfg.UniformPriors {
+			RandomDistribution(rng, prior)
+			p = prior
+		}
+		if _, err := b.AddNode(p); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (c Config) edgeMatrix(rng *rand.Rand) *graph.JointMatrix {
+	if c.Shared {
+		return nil
+	}
+	m := RandomJointMatrix(rng, c.States, c.Keep)
+	return &m
+}
+
+// Synthetic generates the paper's NxM synthetic family: n nodes and m
+// uniformly random directed edges (self-loops excluded, duplicates
+// permitted as in a multigraph edge list).
+func Synthetic(n, m int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: synthetic graph needs n > 0, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		src := int32(rng.Intn(n))
+		dst := int32(rng.Intn(n))
+		if n > 1 {
+			for dst == src {
+				dst = int32(rng.Intn(n))
+			}
+		}
+		if err := b.AddEdge(src, dst, cfg.edgeMatrix(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Kronecker generates an R-MAT graph with 2^scale nodes and
+// edgeFactor·2^scale directed edges using the Graph500 partition
+// probabilities (A=0.57, B=0.19, C=0.19, D=0.05), standing in for the
+// kron-g500-lognNN benchmarks.
+func Kronecker(scale, edgeFactor int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if scale <= 0 || scale > 30 {
+		return nil, fmt.Errorf("gen: kronecker scale %d out of range [1,30]", scale)
+	}
+	n := 1 << uint(scale)
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	const a, bb, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var src, dst int
+		for level := 0; level < scale; level++ {
+			r := rng.Float64()
+			src <<= 1
+			dst <<= 1
+			switch {
+			case r < a:
+				// top-left quadrant
+			case r < a+bb:
+				dst |= 1
+			case r < a+bb+c:
+				src |= 1
+			default:
+				src |= 1
+				dst |= 1
+			}
+		}
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		if err := b.AddEdge(int32(src), int32(dst), cfg.edgeMatrix(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// PowerLaw generates a preferential-attachment graph of n nodes and
+// approximately m directed edges, standing in for the social and web
+// benchmarks (GO, LJ, PO, TW, ...). New endpoints are chosen proportionally
+// to current degree via the repeated-endpoint trick.
+func PowerLaw(n, m int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if n < 2 {
+		return nil, fmt.Errorf("gen: power-law graph needs n >= 2, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	// endpoints records every endpoint ever used; drawing uniformly from it
+	// is preferential attachment.
+	endpoints := make([]int32, 0, 2*m+2)
+	endpoints = append(endpoints, 0, 1)
+	for i := 0; i < m; i++ {
+		src := int32(rng.Intn(n))
+		var dst int32
+		if rng.Float64() < 0.8 {
+			dst = endpoints[rng.Intn(len(endpoints))]
+		} else {
+			dst = int32(rng.Intn(n))
+		}
+		if dst == src {
+			dst = (dst + 1) % int32(n)
+		}
+		if err := b.AddEdge(src, dst, cfg.edgeMatrix(rng)); err != nil {
+			return nil, err
+		}
+		endpoints = append(endpoints, src, dst)
+	}
+	return b.Build()
+}
+
+// Tree generates a complete branching-ary tree of n nodes with both
+// directions of every parent-child link, the workload of the non-loopy
+// two-pass BP baseline. Node 0 is the root; the parent of node i>0 is
+// (i-1)/branching.
+func Tree(n, branching int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if n <= 0 || branching <= 0 {
+		return nil, fmt.Errorf("gen: tree needs n > 0 and branching > 0, got %d/%d", n, branching)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		parent := int32((i - 1) / branching)
+		if err := b.AddUndirected(parent, int32(i), cfg.edgeMatrix(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// DirectedTree generates a complete branching-ary tree of n nodes with a
+// single parent→child directed edge per link — the acyclic pairwise-factor
+// form consumed by the exact two-pass engine (bp.ExactTree). Node 0 is the
+// root; the parent of node i>0 is (i-1)/branching.
+func DirectedTree(n, branching int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if n <= 0 || branching <= 0 {
+		return nil, fmt.Errorf("gen: tree needs n > 0 and branching > 0, got %d/%d", n, branching)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		parent := int32((i - 1) / branching)
+		if err := b.AddEdge(parent, int32(i), cfg.edgeMatrix(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Grid generates a w x h lattice MRF with 4-neighborhood coupling (both
+// directions per link), the topology of the image-correction use case.
+// Node (x, y) has id y*w+x.
+func Grid(w, h int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("gen: grid needs positive dims, got %dx%d", w, h)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(w*h, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := int32(y*w + x)
+			if x+1 < w {
+				if err := b.AddUndirected(id, id+1, cfg.edgeMatrix(rng)); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := b.AddUndirected(id, id+int32(w), cfg.edgeMatrix(rng)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GraphStream receives a generated graph element by element; it is
+// satisfied by mtxbp.StreamWriter, letting generators emit benchmark
+// files larger than memory without this package importing the format.
+type GraphStream interface {
+	WriteNode(prior []float32) error
+	WriteEdge(src, dst int32, mat *graph.JointMatrix) error
+	Close() error
+}
+
+// StreamSynthetic writes a synthetic NxM benchmark directly to a stream
+// without materializing the graph — the path used to produce benchmark
+// files larger than memory (the paper parses graphs of over 250 million
+// edges; nothing in this pipeline ever holds them whole). The emitted
+// graph is identical to Synthetic with the same configuration.
+func StreamSynthetic(w GraphStream, n, m int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	if n <= 0 {
+		return fmt.Errorf("gen: synthetic graph needs n > 0, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prior := make([]float32, cfg.States)
+	uniform := make([]float32, cfg.States)
+	for i := range uniform {
+		uniform[i] = 1 / float32(cfg.States)
+	}
+	for i := 0; i < n; i++ {
+		p := uniform
+		if !cfg.UniformPriors {
+			RandomDistribution(rng, prior)
+			p = prior
+		}
+		if err := w.WriteNode(p); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < m; i++ {
+		src := int32(rng.Intn(n))
+		dst := int32(rng.Intn(n))
+		if n > 1 {
+			for dst == src {
+				dst = int32(rng.Intn(n))
+			}
+		}
+		if err := w.WriteEdge(src, dst, cfg.edgeMatrix(rng)); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"credo/internal/graph"
+)
+
+func TestSynthetic(t *testing.T) {
+	g, err := Synthetic(100, 400, Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	if g.NumNodes != 100 || g.NumEdges != 400 {
+		t.Fatalf("got %d/%d, want 100/400", g.NumNodes, g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		if g.EdgeSrc[e] == g.EdgeDst[e] {
+			t.Fatalf("edge %d is a self-loop", e)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(50, 200, Config{Seed: 7, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(50, 200, Config{Seed: 7, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range a.EdgeSrc {
+		if a.EdgeSrc[e] != b.EdgeSrc[e] || a.EdgeDst[e] != b.EdgeDst[e] {
+			t.Fatalf("edge %d differs across runs with same seed", e)
+		}
+	}
+	for i := range a.Priors {
+		if a.Priors[i] != b.Priors[i] {
+			t.Fatalf("prior %d differs across runs with same seed", i)
+		}
+	}
+	c, err := Synthetic(50, 200, Config{Seed: 8, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for e := range a.EdgeSrc {
+		if a.EdgeSrc[e] != c.EdgeSrc[e] || a.EdgeDst[e] != c.EdgeDst[e] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical edge lists")
+	}
+}
+
+func TestSyntheticShared(t *testing.T) {
+	g, err := Synthetic(20, 80, Config{Seed: 1, States: 3, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SharedMatrix() {
+		t.Fatal("expected shared matrix mode")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(0, 10, Config{}); err == nil {
+		t.Error("n=0: want error")
+	}
+}
+
+func TestKronecker(t *testing.T) {
+	g, err := Kronecker(8, 4, Config{Seed: 3, States: 2})
+	if err != nil {
+		t.Fatalf("Kronecker: %v", err)
+	}
+	if g.NumNodes != 256 || g.NumEdges != 1024 {
+		t.Fatalf("got %d/%d, want 256/1024", g.NumNodes, g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Kronecker graphs are heavy-tailed: skew far below a regular graph's.
+	md := g.Stats()
+	if md.Skew() > 0.5 {
+		t.Errorf("kronecker skew = %v; expected heavy tail (< 0.5)", md.Skew())
+	}
+	if _, err := Kronecker(0, 4, Config{}); err == nil {
+		t.Error("scale=0: want error")
+	}
+	if _, err := Kronecker(31, 4, Config{}); err == nil {
+		t.Error("scale=31: want error")
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	g, err := PowerLaw(500, 2500, Config{Seed: 5, States: 2})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	if g.NumNodes != 500 || g.NumEdges != 2500 {
+		t.Fatalf("got %d/%d, want 500/2500", g.NumNodes, g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	md := g.Stats()
+	// Preferential attachment concentrates in-degree on early nodes.
+	if md.MaxInDegree < 3*int(math.Ceil(md.AvgInDegree)) {
+		t.Errorf("max in-degree %d not heavy-tailed vs avg %.2f", md.MaxInDegree, md.AvgInDegree)
+	}
+	if _, err := PowerLaw(1, 5, Config{}); err == nil {
+		t.Error("n=1: want error")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g, err := Tree(15, 2, Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatalf("Tree: %v", err)
+	}
+	// 14 undirected links -> 28 directed edges.
+	if g.NumNodes != 15 || g.NumEdges != 28 {
+		t.Fatalf("got %d/%d, want 15/28", g.NumNodes, g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Root has no parent: in-degree equals its child count (2).
+	if d := g.InDegree(0); d != 2 {
+		t.Errorf("root in-degree = %d, want 2", d)
+	}
+	if _, err := Tree(0, 2, Config{}); err == nil {
+		t.Error("n=0: want error")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(4, 3, Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	// Links: 3*3 horizontal + 4*2 vertical = 17 -> 34 directed.
+	if g.NumNodes != 12 || g.NumEdges != 34 {
+		t.Fatalf("got %d/%d, want 12/34", g.NumNodes, g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Interior node (1,1) id 5 has 4 neighbors in each direction.
+	if d := g.InDegree(5); d != 4 {
+		t.Errorf("interior in-degree = %d, want 4", d)
+	}
+	if _, err := Grid(0, 3, Config{}); err == nil {
+		t.Error("w=0: want error")
+	}
+}
+
+func TestRandomJointMatrixKeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, states := range []int{2, 3, 8, 32} {
+		m := RandomJointMatrix(rng, states, 0.8)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("states=%d: %v", states, err)
+		}
+		for i := 0; i < states; i++ {
+			if d := m.At(i, i); math.Abs(float64(d)-0.8) > 1e-3 {
+				t.Errorf("states=%d row %d diagonal = %v, want 0.8", states, i, d)
+			}
+		}
+	}
+}
+
+// TestGeneratorsProduceValidDistributions is a property test: any seed and
+// belief width yields normalized priors everywhere.
+func TestGeneratorsProduceValidDistributions(t *testing.T) {
+	f := func(seed int64, statesRaw uint8) bool {
+		states := 2 + int(statesRaw)%(graph.MaxStates-1)
+		g, err := Synthetic(30, 90, Config{Seed: seed, States: states})
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"credo/internal/graph"
+	"credo/internal/mtxbp"
+)
+
+// TestStreamSyntheticMatchesSynthetic: the streamed file parses back to
+// exactly the graph the in-memory generator builds.
+func TestStreamSyntheticMatchesSynthetic(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		cfg := Config{Seed: 17, States: 3, Shared: shared}
+		want, err := Synthetic(60, 240, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nodes, edges bytes.Buffer
+		var sm *graph.JointMatrix
+		if shared {
+			m := graph.DiagonalJointMatrix(3, 0.75)
+			sm = &m
+		}
+		w, err := mtxbp.NewStreamWriter(&nodes, &edges, 60, 240, 3, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := StreamSynthetic(w, 60, 240, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := mtxbp.Read(&nodes, &edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumNodes != want.NumNodes || got.NumEdges != want.NumEdges {
+			t.Fatalf("shared=%v: shape %d/%d vs %d/%d", shared, got.NumNodes, got.NumEdges, want.NumNodes, want.NumEdges)
+		}
+		for e := 0; e < want.NumEdges; e++ {
+			if got.EdgeSrc[e] != want.EdgeSrc[e] || got.EdgeDst[e] != want.EdgeDst[e] {
+				t.Fatalf("shared=%v: edge %d differs", shared, e)
+			}
+		}
+		for i := range want.Priors {
+			d := want.Priors[i] - got.Priors[i]
+			if d > 1e-5 || d < -1e-5 {
+				t.Fatalf("shared=%v: prior %d differs by %v", shared, i, d)
+			}
+		}
+	}
+}
+
+func TestStreamWriterContracts(t *testing.T) {
+	var nodes, edges bytes.Buffer
+	w, err := mtxbp.NewStreamWriter(&nodes, &edges, 2, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close before counts met.
+	if err := w.Close(); err == nil {
+		t.Error("premature Close accepted")
+	}
+	if err := w.WriteNode([]float32{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteNode([]float32{0.5}); err == nil {
+		t.Error("wrong prior width accepted")
+	}
+	if err := w.WriteNode([]float32{0.3, 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteNode([]float32{0.5, 0.5}); err == nil {
+		t.Error("overflow node accepted")
+	}
+	m := graph.DiagonalJointMatrix(2, 0.8)
+	if err := w.WriteEdge(0, 5, &m); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := w.WriteEdge(0, 1, nil); err == nil {
+		t.Error("missing matrix accepted in per-edge mode")
+	}
+	if err := w.WriteEdge(0, 1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEdge(1, 0, &m); err == nil {
+		t.Error("overflow edge accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mtxbp.Read(&nodes, &edges); err != nil {
+		t.Fatalf("streamed output unparseable: %v", err)
+	}
+	// Bad construction parameters.
+	if _, err := mtxbp.NewStreamWriter(&nodes, &edges, 1, 1, 0, nil); err == nil {
+		t.Error("states=0 accepted")
+	}
+	if _, err := mtxbp.NewStreamWriter(&nodes, &edges, -1, 1, 2, nil); err == nil {
+		t.Error("negative nodes accepted")
+	}
+	bad := graph.DiagonalJointMatrix(3, 0.8)
+	if _, err := mtxbp.NewStreamWriter(&nodes, &edges, 1, 1, 2, &bad); err == nil {
+		t.Error("mismatched shared matrix accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package gpusim is the CUDA-device substrate standing in for the paper's
+// GPUs (see DESIGN.md §2, substitutions). Kernels are ordinary Go functions
+// executed over a grid of thread blocks with real goroutine parallelism, so
+// results are functionally identical to a native run, while a deterministic
+// cost model charges simulated time for the effects the paper measures:
+// host↔device transfers, kernel launches, per-core throughput, global
+// memory bandwidth, atomic operations, thread-block synchronization and the
+// constant-memory cache.
+//
+// Two architecture profiles encode the paper's evaluation hardware: the
+// Pascal GTX 1070 of the main benchmarks (§4) and the Volta V100 of the
+// portability study (§4.4).
+package gpusim
+
+// ArchProfile describes a simulated CUDA device. All costs are in seconds
+// or derived from the stated rates; the absolute values are calibrated so
+// that the relative behaviours the paper reports (transfer-dominated small
+// graphs, atomics-vs-loads trade-off, Volta's cheaper atomics and faster
+// memory) reproduce.
+type ArchProfile struct {
+	// Name identifies the architecture in reports.
+	Name string
+
+	// SMXCount and CoresPerSMX give the execution width; the paper's
+	// GTX 1070 has 15 SMX units of 128 cores (1920 total).
+	SMXCount    int
+	CoresPerSMX int
+
+	// ClockGHz is the per-core op rate in 10^9 simple ops per second.
+	ClockGHz float64
+
+	// SpecialOpCycles is the cost multiplier of transcendental ops
+	// (log/exp run on the special function units).
+	SpecialOpCycles float64
+
+	// GlobalBandwidthGBps is the VRAM bandwidth in 10^9 bytes/second.
+	GlobalBandwidthGBps float64
+
+	// RandomAccessPenalty multiplies the cost of uncoalesced
+	// (random-order) global loads such as the node paradigm's parent
+	// gathers.
+	RandomAccessPenalty float64
+
+	// PCIeBandwidthGBps and PCIeLatency model host↔device copies.
+	PCIeBandwidthGBps float64
+	PCIeLatency       float64
+
+	// InitOverhead is the fixed context-creation plus cudaMalloc cost
+	// paid once per run — the overhead that accounts for 99.8% of the
+	// smallest benchmark's CUDA execution time (§4.1.1).
+	InitOverhead float64
+
+	// KernelLaunch is the fixed cost of one kernel launch.
+	KernelLaunch float64
+
+	// AtomicCost is the effective serialized cost of one global atomic
+	// operation after the hardware's combining, in seconds.
+	AtomicCost float64
+
+	// SyncCost is the cost of one __syncthreads barrier per block.
+	SyncCost float64
+
+	// VRAMBytes bounds device allocations; graphs whose footprint
+	// exceeds it cannot run (the paper excludes TW and OR on 8 GB).
+	VRAMBytes int64
+
+	// ConstantCacheBytes is the size of the constant-memory cache; data
+	// placed there (the shared joint matrix) is read at register speed
+	// after first touch.
+	ConstantCacheBytes int64
+
+	// WarpSize is the SIMT width (32 on both architectures).
+	WarpSize int
+
+	// IndependentThreadScheduling marks Volta's scheduler, which both
+	// relaxes __syncthreads placement and lowers its cost.
+	IndependentThreadScheduling bool
+}
+
+// Cores returns the total CUDA core count.
+func (a ArchProfile) Cores() int { return a.SMXCount * a.CoresPerSMX }
+
+// opThroughput returns simple ops per second across the whole device.
+func (a ArchProfile) opThroughput() float64 {
+	return float64(a.Cores()) * a.ClockGHz * 1e9
+}
+
+// Pascal returns the profile of the paper's primary device, an nVidia
+// GTX 1070: 15 SMX, 1920 CUDA cores, 8 GB VRAM (§4).
+func Pascal() ArchProfile {
+	return ArchProfile{
+		Name:                "Pascal GTX 1070",
+		SMXCount:            15,
+		CoresPerSMX:         128,
+		ClockGHz:            1.68,
+		SpecialOpCycles:     4,
+		GlobalBandwidthGBps: 256,
+		RandomAccessPenalty: 8,
+		PCIeBandwidthGBps:   12,
+		PCIeLatency:         10e-6,
+		InitOverhead:        0.080,
+		KernelLaunch:        8e-6,
+		AtomicCost:          3e-9,
+		SyncCost:            20e-9,
+		VRAMBytes:           8 << 30,
+		ConstantCacheBytes:  64 << 10,
+		WarpSize:            32,
+	}
+}
+
+// Volta returns the profile of the p3.2xlarge's V100 SXM2 16GB: 5120 CUDA
+// cores, higher memory bandwidth, independent thread scheduling and
+// markedly cheaper atomics (§4.4).
+func Volta() ArchProfile {
+	return ArchProfile{
+		Name:                        "Volta V100",
+		SMXCount:                    80,
+		CoresPerSMX:                 64,
+		ClockGHz:                    1.53,
+		SpecialOpCycles:             4,
+		GlobalBandwidthGBps:         384, // 1.5x Pascal, as the paper cites
+		RandomAccessPenalty:         5,
+		PCIeBandwidthGBps:           12,
+		PCIeLatency:                 10e-6,
+		InitOverhead:                0.080,
+		KernelLaunch:                6e-6,
+		AtomicCost:                  1e-9,
+		SyncCost:                    8e-9,
+		VRAMBytes:                   16 << 30,
+		ConstantCacheBytes:          64 << 10,
+		WarpSize:                    32,
+		IndependentThreadScheduling: true,
+	}
+}

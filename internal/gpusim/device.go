@@ -1,0 +1,365 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Device is one simulated CUDA device. Methods mirror the CUDA host API:
+// allocate, copy, launch, synchronize. Simulated time accumulates on every
+// call and is read back with SimTime; the breakdown is read with Stats.
+//
+// A Device is not safe for concurrent host calls (like a CUDA stream, it
+// serializes); kernels themselves execute their blocks concurrently.
+type Device struct {
+	Profile ArchProfile
+
+	allocated int64
+	simTime   float64
+	stats     Stats
+	kernels   map[string]*KernelStats
+}
+
+// Stats breaks simulated time down by cause and counts device activity.
+type Stats struct {
+	InitTime     float64
+	TransferTime float64
+	LaunchTime   float64
+	ComputeTime  float64
+	MemoryTime   float64
+	AtomicTime   float64
+	SyncTime     float64
+
+	KernelsLaunched int64
+	BytesToDevice   int64
+	BytesToHost     int64
+	Atomics         int64
+}
+
+// Total returns the total simulated seconds across all causes.
+func (s Stats) Total() float64 {
+	return s.InitTime + s.TransferTime + s.LaunchTime + s.ComputeTime + s.MemoryTime + s.AtomicTime + s.SyncTime
+}
+
+// NewDevice initializes a device, charging the context-creation and
+// allocation overhead of InitOverhead once.
+func NewDevice(p ArchProfile) *Device {
+	d := &Device{Profile: p, kernels: make(map[string]*KernelStats)}
+	d.simTime += p.InitOverhead
+	d.stats.InitTime += p.InitOverhead
+	return d
+}
+
+// KernelStats is the per-kernel profile a device accumulates — the
+// nvprof-style breakdown behind observations like §4.1.1's "GPU memory
+// management overhead alone accounts for 99.8% of the CUDA execution
+// time".
+type KernelStats struct {
+	Name     string
+	Launches int64
+	Time     float64 // seconds of simulated kernel time (launch included)
+	Ops      int64
+	Bytes    int64
+	Atomics  int64
+}
+
+// KernelProfile returns the per-kernel breakdown sorted by descending
+// simulated time.
+func (d *Device) KernelProfile() []KernelStats {
+	out := make([]KernelStats, 0, len(d.kernels))
+	for _, k := range d.kernels {
+		out = append(out, *k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time > out[j].Time })
+	return out
+}
+
+// SimTime returns the total simulated elapsed time.
+func (d *Device) SimTime() time.Duration {
+	return time.Duration(d.simTime * float64(time.Second))
+}
+
+// Stats returns the accumulated activity breakdown.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Allocated returns the bytes currently allocated on the device.
+func (d *Device) Allocated() int64 { return d.allocated }
+
+// Malloc reserves device memory, failing when the graph exceeds VRAM
+// exactly as the paper's 8 GB card rejects the TW and OR benchmarks.
+func (d *Device) Malloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpusim: negative allocation %d", bytes)
+	}
+	if d.allocated+bytes > d.Profile.VRAMBytes {
+		return fmt.Errorf("gpusim: allocation of %d bytes exceeds %s VRAM (%d of %d in use)",
+			bytes, d.Profile.Name, d.allocated, d.Profile.VRAMBytes)
+	}
+	d.allocated += bytes
+	return nil
+}
+
+// Free releases device memory.
+func (d *Device) Free(bytes int64) {
+	d.allocated -= bytes
+	if d.allocated < 0 {
+		d.allocated = 0
+	}
+}
+
+// CopyToDevice charges a host→device PCIe transfer.
+func (d *Device) CopyToDevice(bytes int64) {
+	t := d.Profile.PCIeLatency + float64(bytes)/(d.Profile.PCIeBandwidthGBps*1e9)
+	d.simTime += t
+	d.stats.TransferTime += t
+	d.stats.BytesToDevice += bytes
+}
+
+// CopyToHost charges a device→host PCIe transfer.
+func (d *Device) CopyToHost(bytes int64) {
+	t := d.Profile.PCIeLatency + float64(bytes)/(d.Profile.PCIeBandwidthGBps*1e9)
+	d.simTime += t
+	d.stats.TransferTime += t
+	d.stats.BytesToHost += bytes
+}
+
+// LaunchConfig shapes a kernel launch. BlockDim is threads per block; the
+// paper uses 1024 for all benchmarks.
+type LaunchConfig struct {
+	Name     string
+	Grid     int
+	BlockDim int
+	// ThreadStateBytes is the per-thread live state (local arrays and
+	// accumulators). When it exceeds the register budget, occupancy
+	// collapses and the kernel loses latency hiding — the register
+	// pressure that erodes the node paradigm's advantage at 32 beliefs.
+	ThreadStateBytes int
+}
+
+// registerBudgetBytes is the per-thread register file share below which a
+// kernel runs at full occupancy.
+const registerBudgetBytes = 128
+
+// charges accumulates the abstract work one worker observed.
+type charges struct {
+	ops        int64 // simple arithmetic ops
+	specialOps int64 // log/exp
+	coalesced  int64 // bytes moved to/from global memory, coalesced
+	random     int64 // bytes moved with random access patterns
+	constant   int64 // bytes read through the constant cache
+	atomics    int64
+	syncs      int64
+	_          [8]int64 // pad to avoid false sharing between workers
+}
+
+// Block is the execution context handed to a kernel for one thread block.
+// Charge methods record the block's abstract work; Atomic methods perform
+// real atomic updates on host-visible memory while charging their cost.
+type Block struct {
+	// Index is the block index within the grid.
+	Index int
+	// Dim is the number of threads in the block.
+	Dim int
+
+	ch *charges
+}
+
+// ChargeOps records n simple arithmetic operations.
+func (b *Block) ChargeOps(n int64) { b.ch.ops += n }
+
+// ChargeSpecialOps records n transcendental (log/exp) operations.
+func (b *Block) ChargeSpecialOps(n int64) { b.ch.specialOps += n }
+
+// ChargeGlobal records n bytes of coalesced global-memory traffic.
+func (b *Block) ChargeGlobal(n int64) { b.ch.coalesced += n }
+
+// ChargeRandomGlobal records n bytes of uncoalesced global-memory traffic
+// (the node paradigm's random-order parent loads).
+func (b *Block) ChargeRandomGlobal(n int64) { b.ch.random += n }
+
+// ChargeConstant records n bytes read through the constant cache (the
+// shared joint matrix of §3.6).
+func (b *Block) ChargeConstant(n int64) { b.ch.constant += n }
+
+// SyncThreads records one __syncthreads barrier for this block.
+func (b *Block) SyncThreads() { b.ch.syncs++ }
+
+// AtomicAddFloat32 performs a real CAS add of delta into the float stored
+// as bits[i] and charges one atomic operation.
+func (b *Block) AtomicAddFloat32(bits []uint32, i int, delta float32) {
+	b.ch.atomics++
+	for {
+		old := atomic.LoadUint32(&bits[i])
+		f := math.Float32frombits(old) + delta
+		if atomic.CompareAndSwapUint32(&bits[i], old, math.Float32bits(f)) {
+			return
+		}
+	}
+}
+
+// AtomicAddInt32 atomically adds delta to counter[i], charging one atomic.
+func (b *Block) AtomicAddInt32(counter []int32, i int, delta int32) int32 {
+	b.ch.atomics++
+	return atomic.AddInt32(&counter[i], delta)
+}
+
+// Launch executes kernel once per block of the grid, running blocks
+// concurrently across host CPUs, and charges the simulated kernel time.
+func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) {
+	if cfg.Grid <= 0 {
+		return
+	}
+	if cfg.BlockDim <= 0 {
+		cfg.BlockDim = 1024
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Grid {
+		workers = cfg.Grid
+	}
+	chs := make([]charges, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			blk := Block{Dim: cfg.BlockDim, ch: &chs[worker]}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= cfg.Grid {
+					return
+				}
+				blk.Index = i
+				kernel(&blk)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total charges
+	for i := range chs {
+		total.ops += chs[i].ops
+		total.specialOps += chs[i].specialOps
+		total.coalesced += chs[i].coalesced
+		total.random += chs[i].random
+		total.constant += chs[i].constant
+		total.atomics += chs[i].atomics
+		total.syncs += chs[i].syncs
+	}
+	d.chargeKernel(cfg, total)
+}
+
+// chargeKernel converts a kernel's accumulated work into simulated time.
+func (d *Device) chargeKernel(cfg LaunchConfig, c charges) {
+	p := d.Profile
+	d.stats.KernelsLaunched++
+	d.simTime += p.KernelLaunch
+	d.stats.LaunchTime += p.KernelLaunch
+	before := d.simTime - p.KernelLaunch
+
+	// Register pressure: per-thread state beyond the register budget
+	// spills and halves occupancy proportionally, costing latency hiding
+	// on both the compute and memory paths.
+	pressure := 1.0
+	if cfg.ThreadStateBytes > registerBudgetBytes {
+		pressure = float64(cfg.ThreadStateBytes) / registerBudgetBytes
+	}
+
+	// Compute: simple ops at full throughput, special ops through the SFUs.
+	compute := (float64(c.ops) + float64(c.specialOps)*p.SpecialOpCycles) / p.opThroughput()
+	// A grid smaller than the SMX count cannot fill the device.
+	if occ := float64(cfg.Grid) / float64(p.SMXCount); occ < 1 {
+		compute /= occ
+	}
+	compute *= pressure
+	d.simTime += compute
+	d.stats.ComputeTime += compute
+
+	mem := (float64(c.coalesced)/(p.GlobalBandwidthGBps*1e9) +
+		float64(c.random)*p.RandomAccessPenalty/(p.GlobalBandwidthGBps*1e9)) * pressure
+	// Constant-cache reads are register-speed once resident; charge only
+	// the first-touch fill of up to the cache size.
+	if c.constant > 0 {
+		fill := c.constant
+		if fill > p.ConstantCacheBytes {
+			fill = p.ConstantCacheBytes
+		}
+		mem += float64(fill) / (p.GlobalBandwidthGBps * 1e9)
+	}
+	d.simTime += mem
+	d.stats.MemoryTime += mem
+
+	at := float64(c.atomics) * p.AtomicCost
+	d.simTime += at
+	d.stats.AtomicTime += at
+	d.stats.Atomics += c.atomics
+
+	sy := float64(c.syncs) * p.SyncCost
+	if p.IndependentThreadScheduling {
+		sy *= 0.5
+	}
+	d.simTime += sy
+	d.stats.SyncTime += sy
+
+	name := cfg.Name
+	if name == "" {
+		name = "(anonymous)"
+	}
+	ks := d.kernels[name]
+	if ks == nil {
+		ks = &KernelStats{Name: name}
+		d.kernels[name] = ks
+	}
+	ks.Launches++
+	ks.Time += d.simTime - before
+	ks.Ops += c.ops + c.specialOps
+	ks.Bytes += c.coalesced + c.random + c.constant
+	ks.Atomics += c.atomics
+}
+
+// FusedStage is one phase of a fused kernel: its own grid shape and body.
+type FusedStage struct {
+	Grid             int
+	BlockDim         int
+	ThreadStateBytes int
+	Kernel           func(b *Block)
+}
+
+// LaunchFused executes several dependent stages as one kernel launch — the
+// kernel-fusion optimization of Gunrock (paper §5.2): a single launch
+// overhead is paid for the whole pipeline, with one grid-wide barrier
+// charged between consecutive stages (cooperative-groups style). Work is
+// otherwise charged exactly as separate launches would be.
+func (d *Device) LaunchFused(name string, stages []FusedStage) {
+	if len(stages) == 0 {
+		return
+	}
+	// Pay one launch up front, then refund the per-stage launches by
+	// charging each stage as a kernel with zero launch cost.
+	saved := d.Profile.KernelLaunch
+	d.simTime += saved
+	d.stats.LaunchTime += saved
+	d.Profile.KernelLaunch = 0
+	defer func() { d.Profile.KernelLaunch = saved }()
+	for i, st := range stages {
+		d.Launch(LaunchConfig{
+			Name:             name,
+			Grid:             st.Grid,
+			BlockDim:         st.BlockDim,
+			ThreadStateBytes: st.ThreadStateBytes,
+		}, st.Kernel)
+		d.stats.KernelsLaunched-- // the stages share one logical launch
+		if i > 0 {
+			// Grid-wide barrier between stages.
+			sy := float64(st.Grid) * d.Profile.SyncCost
+			d.simTime += sy
+			d.stats.SyncTime += sy
+		}
+	}
+	d.stats.KernelsLaunched++
+}

@@ -1,0 +1,303 @@
+package gpusim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestProfiles(t *testing.T) {
+	p := Pascal()
+	if p.Cores() != 1920 {
+		t.Errorf("Pascal cores = %d, want 1920 (paper §4)", p.Cores())
+	}
+	if p.SMXCount != 15 {
+		t.Errorf("Pascal SMX = %d, want 15", p.SMXCount)
+	}
+	if p.VRAMBytes != 8<<30 {
+		t.Errorf("Pascal VRAM = %d, want 8 GiB", p.VRAMBytes)
+	}
+	v := Volta()
+	if v.Cores() != 5120 {
+		t.Errorf("Volta cores = %d, want 5120 (paper §4.4)", v.Cores())
+	}
+	if !v.IndependentThreadScheduling {
+		t.Error("Volta must use independent thread scheduling")
+	}
+	if v.GlobalBandwidthGBps/p.GlobalBandwidthGBps != 1.5 {
+		t.Errorf("Volta bandwidth ratio = %v, want 1.5 (paper §4.4)", v.GlobalBandwidthGBps/p.GlobalBandwidthGBps)
+	}
+	if v.AtomicCost >= p.AtomicCost {
+		t.Error("Volta atomics must be cheaper than Pascal's")
+	}
+}
+
+func TestMallocVRAMLimit(t *testing.T) {
+	d := NewDevice(Pascal())
+	if err := d.Malloc(4 << 30); err != nil {
+		t.Fatalf("Malloc 4 GiB: %v", err)
+	}
+	if err := d.Malloc(5 << 30); err == nil {
+		t.Fatal("Malloc beyond VRAM accepted")
+	}
+	d.Free(4 << 30)
+	if d.Allocated() != 0 {
+		t.Errorf("Allocated = %d after free", d.Allocated())
+	}
+	if err := d.Malloc(-1); err == nil {
+		t.Error("negative Malloc accepted")
+	}
+}
+
+func TestInitOverheadCharged(t *testing.T) {
+	d := NewDevice(Pascal())
+	if d.SimTime() <= 0 {
+		t.Error("device init charged no time")
+	}
+	if got := d.Stats().InitTime; got != Pascal().InitOverhead {
+		t.Errorf("init time = %v, want %v", got, Pascal().InitOverhead)
+	}
+}
+
+func TestTransfersCharged(t *testing.T) {
+	d := NewDevice(Pascal())
+	before := d.SimTime()
+	d.CopyToDevice(120 << 20) // 120 MiB at 12 GB/s ≈ 10.5 ms
+	dt := (d.SimTime() - before).Seconds()
+	if dt < 0.008 || dt > 0.02 {
+		t.Errorf("transfer time = %vs, want ≈0.0105s", dt)
+	}
+	if d.Stats().BytesToDevice != 120<<20 {
+		t.Errorf("bytes to device = %d", d.Stats().BytesToDevice)
+	}
+	d.CopyToHost(4)
+	if d.Stats().BytesToHost != 4 {
+		t.Errorf("bytes to host = %d", d.Stats().BytesToHost)
+	}
+}
+
+func TestLaunchExecutesAllBlocks(t *testing.T) {
+	d := NewDevice(Pascal())
+	const grid = 1000
+	var hits atomic.Int64
+	seen := make([]atomic.Bool, grid)
+	d.Launch(LaunchConfig{Name: "touch", Grid: grid, BlockDim: 128}, func(b *Block) {
+		hits.Add(1)
+		if seen[b.Index].Swap(true) {
+			t.Errorf("block %d ran twice", b.Index)
+		}
+		if b.Dim != 128 {
+			t.Errorf("block dim = %d", b.Dim)
+		}
+		b.ChargeOps(10)
+	})
+	if hits.Load() != grid {
+		t.Fatalf("ran %d blocks, want %d", hits.Load(), grid)
+	}
+	if d.Stats().KernelsLaunched != 1 {
+		t.Errorf("kernels launched = %d", d.Stats().KernelsLaunched)
+	}
+}
+
+func TestLaunchZeroGridIsNoop(t *testing.T) {
+	d := NewDevice(Pascal())
+	d.Launch(LaunchConfig{Grid: 0}, func(b *Block) { t.Error("kernel ran for empty grid") })
+	if d.Stats().KernelsLaunched != 0 {
+		t.Error("empty launch was charged")
+	}
+}
+
+func TestAtomicAddCorrectUnderContention(t *testing.T) {
+	d := NewDevice(Pascal())
+	bits := make([]uint32, 4)
+	d.Launch(LaunchConfig{Grid: 64, BlockDim: 32}, func(b *Block) {
+		for i := 0; i < 100; i++ {
+			b.AtomicAddFloat32(bits, i%4, 0.5)
+		}
+	})
+	for i := 0; i < 4; i++ {
+		got := math.Float32frombits(bits[i])
+		if got != 64*100/4*0.5 {
+			t.Errorf("slot %d = %v, want %v", i, got, 64*100/4*0.5)
+		}
+	}
+	if d.Stats().Atomics != 6400 {
+		t.Errorf("atomics counted = %d, want 6400", d.Stats().Atomics)
+	}
+	if d.Stats().AtomicTime <= 0 {
+		t.Error("atomics charged no time")
+	}
+}
+
+func TestAtomicAddInt32(t *testing.T) {
+	d := NewDevice(Pascal())
+	counter := make([]int32, 1)
+	d.Launch(LaunchConfig{Grid: 10, BlockDim: 32}, func(b *Block) {
+		b.AtomicAddInt32(counter, 0, 2)
+	})
+	if counter[0] != 20 {
+		t.Errorf("counter = %d, want 20", counter[0])
+	}
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	run := func(ops int64, random bool) float64 {
+		d := NewDevice(Pascal())
+		base := d.SimTime()
+		d.Launch(LaunchConfig{Grid: 100, BlockDim: 1024}, func(b *Block) {
+			b.ChargeOps(ops)
+			if random {
+				b.ChargeRandomGlobal(1 << 16)
+			} else {
+				b.ChargeGlobal(1 << 16)
+			}
+		})
+		return (d.SimTime() - base).Seconds()
+	}
+	if run(1e6, false) >= run(1e8, false) {
+		t.Error("more ops did not cost more time")
+	}
+	if run(1e6, true) <= run(1e6, false) {
+		t.Error("random global access not penalized vs coalesced")
+	}
+}
+
+func TestVoltaFasterThanPascal(t *testing.T) {
+	load := func(p ArchProfile) float64 {
+		d := NewDevice(p)
+		base := d.SimTime()
+		d.Launch(LaunchConfig{Grid: 1000, BlockDim: 1024}, func(b *Block) {
+			b.ChargeOps(1e6)
+			b.ChargeGlobal(1 << 14)
+			for i := 0; i < 100; i++ {
+				b.ch.atomics++ // direct charge, no real memory needed
+			}
+			b.SyncThreads()
+		})
+		return (d.SimTime() - base).Seconds()
+	}
+	if load(Volta()) >= load(Pascal()) {
+		t.Error("Volta not faster than Pascal on a mixed kernel")
+	}
+}
+
+func TestSmallGridUnderOccupancyPenalty(t *testing.T) {
+	run := func(grid int) float64 {
+		d := NewDevice(Pascal())
+		base := d.SimTime()
+		totalOps := int64(1e8)
+		d.Launch(LaunchConfig{Grid: grid, BlockDim: 1024}, func(b *Block) {
+			b.ChargeOps(totalOps / int64(grid))
+		})
+		return (d.SimTime() - base).Seconds()
+	}
+	// Same total work on 1 block vs 150 blocks: the single block cannot
+	// fill 15 SMX units and must be slower.
+	if run(1) <= run(150) {
+		t.Error("single-block kernel not penalized for low occupancy")
+	}
+}
+
+func TestConstantCacheCheaperThanGlobal(t *testing.T) {
+	run := func(constant bool) float64 {
+		d := NewDevice(Pascal())
+		base := d.SimTime()
+		d.Launch(LaunchConfig{Grid: 1000, BlockDim: 1024}, func(b *Block) {
+			if constant {
+				b.ChargeConstant(1 << 20)
+			} else {
+				b.ChargeGlobal(1 << 20)
+			}
+		})
+		return (d.SimTime() - base).Seconds()
+	}
+	if run(true) >= run(false) {
+		t.Error("constant cache reads not cheaper than global reads")
+	}
+}
+
+func TestStatsTotalMatchesSimTime(t *testing.T) {
+	d := NewDevice(Volta())
+	d.CopyToDevice(1 << 20)
+	d.Launch(LaunchConfig{Grid: 16, BlockDim: 256}, func(b *Block) {
+		b.ChargeOps(1000)
+		b.ChargeSpecialOps(100)
+		b.ChargeGlobal(4096)
+		b.SyncThreads()
+	})
+	d.CopyToHost(4)
+	if diff := math.Abs(d.Stats().Total() - d.SimTime().Seconds()); diff > 1e-9 {
+		t.Errorf("stats total %v != sim time %v", d.Stats().Total(), d.SimTime().Seconds())
+	}
+}
+
+func TestKernelProfile(t *testing.T) {
+	d := NewDevice(Pascal())
+	for i := 0; i < 3; i++ {
+		d.Launch(LaunchConfig{Name: "hot", Grid: 64, BlockDim: 128}, func(b *Block) {
+			b.ChargeOps(1e6)
+			b.ChargeGlobal(1 << 12)
+		})
+	}
+	d.Launch(LaunchConfig{Name: "cold", Grid: 4, BlockDim: 128}, func(b *Block) {
+		b.ChargeOps(10)
+	})
+	d.Launch(LaunchConfig{Grid: 1, BlockDim: 1}, func(b *Block) { b.ChargeOps(1) })
+	prof := d.KernelProfile()
+	if len(prof) != 3 {
+		t.Fatalf("profile has %d kernels, want 3", len(prof))
+	}
+	if prof[0].Name != "hot" || prof[0].Launches != 3 {
+		t.Errorf("hottest kernel = %+v", prof[0])
+	}
+	for i := 1; i < len(prof); i++ {
+		if prof[i].Time > prof[i-1].Time {
+			t.Error("profile not sorted by time")
+		}
+	}
+	found := false
+	for _, k := range prof {
+		if k.Name == "(anonymous)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("anonymous kernel not tracked")
+	}
+}
+
+func TestLaunchFused(t *testing.T) {
+	work := func(d *Device, fused bool) float64 {
+		base := d.SimTime().Seconds()
+		stageA := func(b *Block) { b.ChargeOps(1000) }
+		stageB := func(b *Block) { b.ChargeGlobal(4096) }
+		if fused {
+			d.LaunchFused("pipeline", []FusedStage{
+				{Grid: 32, BlockDim: 256, Kernel: stageA},
+				{Grid: 16, BlockDim: 256, Kernel: stageB},
+			})
+		} else {
+			d.Launch(LaunchConfig{Name: "a", Grid: 32, BlockDim: 256}, stageA)
+			d.Launch(LaunchConfig{Name: "b", Grid: 16, BlockDim: 256}, stageB)
+		}
+		return d.SimTime().Seconds() - base
+	}
+	dSep := NewDevice(Pascal())
+	sep := work(dSep, false)
+	dFus := NewDevice(Pascal())
+	fus := work(dFus, true)
+	if fus >= sep {
+		t.Errorf("fusion not cheaper: %v >= %v", fus, sep)
+	}
+	if dFus.Stats().KernelsLaunched != 1 {
+		t.Errorf("fused launch counted as %d kernels, want 1", dFus.Stats().KernelsLaunched)
+	}
+	if dFus.Profile.KernelLaunch != Pascal().KernelLaunch {
+		t.Error("launch cost not restored after fusion")
+	}
+	d := NewDevice(Pascal())
+	d.LaunchFused("empty", nil)
+	if d.Stats().KernelsLaunched != 0 {
+		t.Error("empty fusion charged")
+	}
+}

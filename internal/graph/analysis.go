@@ -1,0 +1,171 @@
+package graph
+
+import "fmt"
+
+// Analysis helpers over the adjacency indices: connected components,
+// breadth-first layers and degree histograms. The experiment harness uses
+// them to characterize generated benchmarks, and the residual engine's
+// tests use them to reason about evidence reach.
+
+// ConnectedComponents labels every node with a component id (treating
+// edges as undirected) and returns the labels plus the component count.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	labels = make([]int32, g.NumNodes)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for root := int32(0); root < int32(g.NumNodes); root++ {
+		if labels[root] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[root] = id
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range g.OutEdges[g.OutOffsets[v]:g.OutOffsets[v+1]] {
+				if d := g.EdgeDst[e]; labels[d] < 0 {
+					labels[d] = id
+					queue = append(queue, d)
+				}
+			}
+			for _, e := range g.InEdges[g.InOffsets[v]:g.InOffsets[v+1]] {
+				if s := g.EdgeSrc[e]; labels[s] < 0 {
+					labels[s] = id
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// BFSLayers returns each node's directed BFS distance from the source set
+// (-1 when unreachable following edge directions).
+func (g *Graph) BFSLayers(sources ...int32) []int {
+	dist := make([]int, g.NumNodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var frontier []int32
+	for _, s := range sources {
+		if dist[s] < 0 {
+			dist[s] = 0
+			frontier = append(frontier, s)
+		}
+	}
+	for depth := 1; len(frontier) > 0; depth++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, e := range g.OutEdges[g.OutOffsets[v]:g.OutOffsets[v+1]] {
+				if d := g.EdgeDst[e]; dist[d] < 0 {
+					dist[d] = depth
+					next = append(next, d)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// InDegreeHistogram returns counts[d] = number of nodes with in-degree d,
+// up to the maximum in-degree.
+func (g *Graph) InDegreeHistogram() []int {
+	maxDeg := 0
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if d := g.InDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		counts[g.InDegree(v)]++
+	}
+	return counts
+}
+
+// Subgraph returns the graph induced by keep (a set of node ids): nodes
+// are renumbered densely in ascending id order, and only edges with both
+// endpoints kept survive. Priors, observations, names and the matrix mode
+// carry over. The second return value maps old ids to new ones (-1 when
+// dropped).
+func (g *Graph) Subgraph(keep []int32) (*Graph, []int32, error) {
+	remap := make([]int32, g.NumNodes)
+	for i := range remap {
+		remap[i] = -1
+	}
+	uniq := make([]int32, 0, len(keep))
+	for _, v := range keep {
+		if v < 0 || int(v) >= g.NumNodes {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d out of range", v)
+		}
+		if remap[v] < 0 {
+			remap[v] = 0 // mark
+			uniq = append(uniq, v)
+		}
+	}
+	// Dense renumbering in ascending old-id order.
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := int32(0)
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		for _, k := range uniq {
+			if k == v {
+				remap[v] = next
+				next++
+				break
+			}
+		}
+	}
+
+	b := NewBuilder(g.States)
+	if g.Shared != nil {
+		m := *g.Shared
+		m.Data = append([]float32(nil), g.Shared.Data...)
+		if err := b.SetShared(m); err != nil {
+			return nil, nil, err
+		}
+	}
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if remap[v] < 0 {
+			continue
+		}
+		name := ""
+		if int(v) < len(g.Names) {
+			name = g.Names[v]
+		}
+		if _, err := b.AddNamedNode(name, g.Prior(v)); err != nil {
+			return nil, nil, err
+		}
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		src, dst := remap[g.EdgeSrc[e]], remap[g.EdgeDst[e]]
+		if src < 0 || dst < 0 {
+			continue
+		}
+		var mat *JointMatrix
+		if g.Shared == nil {
+			mat = &g.EdgeMats[e]
+		}
+		if err := b.AddEdge(src, dst, mat); err != nil {
+			return nil, nil, err
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if remap[v] >= 0 && g.Observed[v] {
+			out.Observed[remap[v]] = true
+			copy(out.Belief(remap[v]), g.Belief(v))
+			copy(out.Prior(remap[v]), g.Prior(v))
+		}
+	}
+	return out, remap, nil
+}

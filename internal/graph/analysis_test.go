@@ -1,0 +1,117 @@
+package graph
+
+import "testing"
+
+// buildTwoChains returns two disjoint 3-node chains: 0→1→2 and 3→4→5.
+func buildTwoChains(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(2)
+	_ = b.SetShared(DiagonalJointMatrix(2, 0.8))
+	for i := 0; i < 6; i++ {
+		_, _ = b.AddNode(nil)
+	}
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if err := b.AddEdge(e[0], e[1], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := buildTwoChains(t)
+	labels, count := g.ConnectedComponents()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("first chain split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Errorf("second chain split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Error("disjoint chains merged")
+	}
+	// Undirected reachability: reverse edges count too.
+	b := NewBuilder(2)
+	_ = b.SetShared(DiagonalJointMatrix(2, 0.8))
+	for i := 0; i < 3; i++ {
+		_, _ = b.AddNode(nil)
+	}
+	_ = b.AddEdge(1, 0, nil) // 1→0, 1→2: all one component despite directions
+	_ = b.AddEdge(1, 2, nil)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, c := g2.ConnectedComponents(); c != 1 {
+		t.Errorf("directed fan counted as %d components, want 1", c)
+	}
+}
+
+func TestBFSLayers(t *testing.T) {
+	g := buildTwoChains(t)
+	dist := g.BFSLayers(0)
+	want := []int{0, 1, 2, -1, -1, -1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+	// Multiple sources.
+	dist = g.BFSLayers(0, 3)
+	if dist[3] != 0 || dist[5] != 2 {
+		t.Errorf("multi-source distances wrong: %v", dist)
+	}
+	// Duplicate sources are harmless.
+	dist = g.BFSLayers(0, 0)
+	if dist[0] != 0 || dist[1] != 1 {
+		t.Errorf("duplicate-source distances wrong: %v", dist)
+	}
+}
+
+func TestInDegreeHistogram(t *testing.T) {
+	g := buildTwoChains(t)
+	h := g.InDegreeHistogram()
+	// Nodes 0 and 3 have in-degree 0; the other four have in-degree 1.
+	if h[0] != 2 || h[1] != 4 {
+		t.Errorf("histogram = %v, want [2 4]", h)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := buildTwoChains(t) // 0→1→2, 3→4→5
+	_ = g.Observe(1, 1)
+	sub, remap, err := g.Subgraph([]int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes != 3 || sub.NumEdges != 2 {
+		t.Fatalf("subgraph %d/%d, want 3/2", sub.NumNodes, sub.NumEdges)
+	}
+	if remap[0] != 0 || remap[1] != 1 || remap[2] != 2 || remap[3] != -1 {
+		t.Errorf("remap = %v", remap)
+	}
+	if !sub.Observed[1] || sub.Belief(1)[1] != 1 {
+		t.Error("observation lost in subgraph")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates in keep collapse; out-of-range rejected.
+	sub2, _, err := g.Subgraph([]int32{5, 5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.NumNodes != 2 || sub2.NumEdges != 1 {
+		t.Errorf("dup subgraph %d/%d, want 2/1", sub2.NumNodes, sub2.NumEdges)
+	}
+	if _, _, err := g.Subgraph([]int32{99}); err == nil {
+		t.Error("out-of-range keep accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Builder accumulates nodes and directed edges and produces an immutable
+// Graph with compressed adjacency indices. It is the single construction
+// path shared by the generators and all three input parsers, so every
+// implementation sees identical index layouts.
+type Builder struct {
+	states   int
+	shared   *JointMatrix
+	names    []string
+	priors   []float32
+	observed []bool
+	src, dst []int32
+	mats     []JointMatrix
+}
+
+// NewBuilder returns a builder for nodes of the given belief width.
+func NewBuilder(states int) *Builder {
+	return &Builder{states: states}
+}
+
+// States returns the belief width the builder was created with.
+func (b *Builder) States() int { return b.states }
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.observed) }
+
+// NumEdges returns the number of directed edges added so far.
+func (b *Builder) NumEdges() int { return len(b.src) }
+
+// SetShared installs the single joint probability matrix used by every edge
+// (the large-graph refinement of paper §2.2). Calling it disables per-edge
+// matrices.
+func (b *Builder) SetShared(m JointMatrix) error {
+	if int(m.Rows) != b.states || int(m.Cols) != b.states {
+		return fmt.Errorf("graph: shared matrix %dx%d, want %dx%d", m.Rows, m.Cols, b.states, b.states)
+	}
+	b.shared = &m
+	return nil
+}
+
+// AddNode appends a node with the given prior distribution and returns its
+// id. The prior is copied and normalized. A nil prior means uniform.
+func (b *Builder) AddNode(prior []float32) (int32, error) {
+	return b.AddNamedNode("", prior)
+}
+
+// AddNamedNode appends a named node with the given prior distribution.
+func (b *Builder) AddNamedNode(name string, prior []float32) (int32, error) {
+	if prior != nil && len(prior) != b.states {
+		return 0, fmt.Errorf("graph: node prior has %d states, want %d", len(prior), b.states)
+	}
+	id := int32(len(b.observed))
+	start := len(b.priors)
+	b.priors = append(b.priors, make([]float32, b.states)...)
+	p := b.priors[start : start+b.states]
+	if prior == nil {
+		u := float32(1) / float32(b.states)
+		for i := range p {
+			p[i] = u
+		}
+	} else {
+		copy(p, prior)
+		Normalize(p)
+	}
+	b.observed = append(b.observed, false)
+	if name != "" || len(b.names) > 0 {
+		for len(b.names) < int(id) {
+			b.names = append(b.names, "")
+		}
+		b.names = append(b.names, name)
+	}
+	return id, nil
+}
+
+// AddEdge appends a directed edge src→dst. mat supplies the per-edge joint
+// probability matrix; it must be nil when a shared matrix is installed and
+// non-nil otherwise.
+func (b *Builder) AddEdge(src, dst int32, mat *JointMatrix) error {
+	n := int32(len(b.observed))
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", src, dst, n)
+	}
+	if b.shared != nil {
+		if mat != nil {
+			return fmt.Errorf("graph: edge (%d,%d) carries a matrix but a shared matrix is installed", src, dst)
+		}
+	} else {
+		if mat == nil {
+			return fmt.Errorf("graph: edge (%d,%d) needs a matrix (no shared matrix installed)", src, dst)
+		}
+		if int(mat.Rows) != b.states || int(mat.Cols) != b.states {
+			return fmt.Errorf("graph: edge (%d,%d) matrix %dx%d, want %dx%d", src, dst, mat.Rows, mat.Cols, b.states, b.states)
+		}
+		b.mats = append(b.mats, *mat)
+	}
+	b.src = append(b.src, src)
+	b.dst = append(b.dst, dst)
+	return nil
+}
+
+// AddUndirected appends both directions of an undirected MRF edge. With
+// per-edge matrices, the reverse direction uses the transpose so the
+// coupling is symmetric.
+func (b *Builder) AddUndirected(u, v int32, mat *JointMatrix) error {
+	if err := b.AddEdge(u, v, mat); err != nil {
+		return err
+	}
+	var rev *JointMatrix
+	if mat != nil {
+		t := transpose(mat)
+		rev = &t
+	}
+	return b.AddEdge(v, u, rev)
+}
+
+func transpose(m *JointMatrix) JointMatrix {
+	t := NewJointMatrix(int(m.Cols), int(m.Rows))
+	for i := 0; i < int(m.Rows); i++ {
+		for j := 0; j < int(m.Cols); j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	t.NormalizeRows()
+	return t
+}
+
+// Build assembles the final Graph, constructing both CSR indices with a
+// counting pass (no per-node allocation). The builder must not be reused
+// afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.states <= 0 || b.states > MaxStates {
+		return nil, fmt.Errorf("graph: states %d out of range [1,%d]", b.states, MaxStates)
+	}
+	n := len(b.observed)
+	e := len(b.src)
+	g := &Graph{
+		NumNodes: n,
+		NumEdges: e,
+		States:   b.states,
+		Names:    b.names,
+		Priors:   b.priors,
+		Observed: b.observed,
+		EdgeSrc:  b.src,
+		EdgeDst:  b.dst,
+		Shared:   b.shared,
+		EdgeMats: b.mats,
+	}
+	g.Beliefs = append([]float32(nil), b.priors...)
+	g.Messages = make([]float32, e*b.states)
+	u := float32(1) / float32(b.states)
+	for i := range g.Messages {
+		g.Messages[i] = u
+	}
+	g.InOffsets, g.InEdges = buildCSR(b.dst, n)
+	g.OutOffsets, g.OutEdges = buildCSR(b.src, n)
+	return g, nil
+}
+
+// buildCSR produces offset/index arrays grouping edge ids by the given
+// endpoint array.
+func buildCSR(endpoint []int32, numNodes int) (offsets, edges []int32) {
+	offsets = make([]int32, numNodes+1)
+	for _, v := range endpoint {
+		offsets[v+1]++
+	}
+	for i := 0; i < numNodes; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	edges = make([]int32, len(endpoint))
+	cursor := make([]int32, numNodes)
+	copy(cursor, offsets[:numNodes])
+	for e, v := range endpoint {
+		edges[cursor[v]] = int32(e)
+		cursor[v]++
+	}
+	return offsets, edges
+}
+
+// Undirected returns a copy of g in the paper's §3.3 MRF form: every
+// directed edge is replaced by the pair (forward matrix, normalized
+// transpose), so loopy messages can flow both ways along each link.
+// Names, priors and observations carry over; an installed shared matrix
+// is kept as-is for both directions.
+func (g *Graph) Undirected() (*Graph, error) {
+	b := NewBuilder(g.States)
+	if g.Shared != nil {
+		m := *g.Shared
+		m.Data = append([]float32(nil), g.Shared.Data...)
+		if err := b.SetShared(m); err != nil {
+			return nil, err
+		}
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		name := ""
+		if v < len(g.Names) {
+			name = g.Names[v]
+		}
+		if _, err := b.AddNamedNode(name, g.Prior(int32(v))); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		var mat *JointMatrix
+		if g.Shared == nil {
+			mat = &g.EdgeMats[e]
+		}
+		if err := b.AddUndirected(g.EdgeSrc[e], g.EdgeDst[e], mat); err != nil {
+			return nil, err
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		if g.Observed[v] {
+			out.Observed[v] = true
+			copy(out.Belief(int32(v)), g.Belief(int32(v)))
+			copy(out.Prior(int32(v)), g.Prior(int32(v)))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// buildDiamond returns a 4-node diamond graph 0→1, 0→2, 1→3, 2→3 with
+// per-edge matrices.
+func buildDiamond(t *testing.T, states int) *Graph {
+	t.Helper()
+	b := NewBuilder(states)
+	for i := 0; i < 4; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	m := DiagonalJointMatrix(states, 0.8)
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], &m); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderDiamond(t *testing.T) {
+	g := buildDiamond(t, 2)
+	if g.NumNodes != 4 || g.NumEdges != 4 {
+		t.Fatalf("got %d nodes %d edges, want 4/4", g.NumNodes, g.NumEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d := g.InDegree(3); d != 2 {
+		t.Errorf("InDegree(3) = %d, want 2", d)
+	}
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", d)
+	}
+	if d := g.InDegree(0); d != 0 {
+		t.Errorf("InDegree(0) = %d, want 0", d)
+	}
+}
+
+func TestBuilderSharedMatrix(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.SetShared(DiagonalJointMatrix(3, 0.9)); err != nil {
+		t.Fatalf("SetShared: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	if err := b.AddEdge(0, 1, nil); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := b.AddEdge(1, 2, nil); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !g.SharedMatrix() {
+		t.Fatal("SharedMatrix() = false, want true")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Matrix(0) != g.Matrix(1) {
+		t.Error("shared mode returned distinct matrices per edge")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if _, err := b.AddNode([]float32{0.5}); err == nil {
+		t.Error("AddNode with wrong width: want error")
+	}
+	if _, err := b.AddNode(nil); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	m := DiagonalJointMatrix(2, 0.8)
+	if err := b.AddEdge(0, 5, &m); err == nil {
+		t.Error("AddEdge out of range: want error")
+	}
+	if err := b.AddEdge(0, 0, nil); err == nil {
+		t.Error("AddEdge without matrix in per-edge mode: want error")
+	}
+	bad := DiagonalJointMatrix(3, 0.8)
+	if err := b.AddEdge(0, 0, &bad); err == nil {
+		t.Error("AddEdge with mismatched matrix dims: want error")
+	}
+	// Shared-mode conflicts.
+	b2 := NewBuilder(2)
+	if err := b2.SetShared(DiagonalJointMatrix(3, 0.8)); err == nil {
+		t.Error("SetShared with wrong dims: want error")
+	}
+	if err := b2.SetShared(DiagonalJointMatrix(2, 0.8)); err != nil {
+		t.Fatalf("SetShared: %v", err)
+	}
+	if _, err := b2.AddNode(nil); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if err := b2.AddEdge(0, 0, &m); err == nil {
+		t.Error("AddEdge with matrix in shared mode: want error")
+	}
+}
+
+func TestBuilderStatesRange(t *testing.T) {
+	for _, states := range []int{0, -1, MaxStates + 1} {
+		b := NewBuilder(states)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("Build with states=%d: want error", states)
+		}
+	}
+}
+
+func TestObserve(t *testing.T) {
+	g := buildDiamond(t, 3)
+	if err := g.Observe(1, 2); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if !g.Observed[1] {
+		t.Error("Observed[1] = false")
+	}
+	b := g.Belief(1)
+	if b[0] != 0 || b[1] != 0 || b[2] != 1 {
+		t.Errorf("belief = %v, want [0 0 1]", b)
+	}
+	if err := g.Observe(1, 3); err == nil {
+		t.Error("Observe out-of-range state: want error")
+	}
+	if err := g.Observe(1, -1); err == nil {
+		t.Error("Observe negative state: want error")
+	}
+}
+
+func TestResetBeliefs(t *testing.T) {
+	g := buildDiamond(t, 2)
+	g.Belief(0)[0] = 0.9
+	g.Belief(0)[1] = 0.1
+	g.Message(0)[0] = 0.7
+	g.ResetBeliefs()
+	if got := g.Belief(0)[0]; got != 0.5 {
+		t.Errorf("belief after reset = %v, want 0.5", got)
+	}
+	if got := g.Message(0)[0]; got != 0.5 {
+		t.Errorf("message after reset = %v, want 0.5", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildDiamond(t, 2)
+	c := g.Clone()
+	c.Belief(0)[0] = 0.99
+	if g.Belief(0)[0] == 0.99 {
+		t.Error("Clone shares belief storage")
+	}
+	if &c.InOffsets[0] != &g.InOffsets[0] {
+		t.Error("Clone copied immutable index arrays")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := buildDiamond(t, 2)
+	g.Belief(2)[0] = float32(math.NaN())
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted NaN belief")
+	}
+	g = buildDiamond(t, 2)
+	g.Belief(2)[0] = 5
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted unnormalized belief")
+	}
+	g = buildDiamond(t, 2)
+	g.EdgeDst[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range edge endpoint")
+	}
+	g = buildDiamond(t, 2)
+	g.InOffsets[1] = 3
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted corrupted CSR offsets")
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	g := buildDiamond(t, 2)
+	fp := g.MemoryFootprint()
+	if fp <= 0 {
+		t.Fatalf("MemoryFootprint = %d, want > 0", fp)
+	}
+	// Per-edge matrices must dominate an equivalent shared-matrix graph.
+	b := NewBuilder(2)
+	_ = b.SetShared(DiagonalJointMatrix(2, 0.8))
+	for i := 0; i < 4; i++ {
+		_, _ = b.AddNode(nil)
+	}
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		_ = b.AddEdge(e[0], e[1], nil)
+	}
+	sg, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sg.MemoryFootprint() >= fp {
+		t.Errorf("shared footprint %d >= per-edge footprint %d", sg.MemoryFootprint(), fp)
+	}
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 2; i++ {
+		_, _ = b.AddNode(nil)
+	}
+	m := NewJointMatrix(2, 2)
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.1)
+	m.Set(1, 0, 0.4)
+	m.Set(1, 1, 0.6)
+	if err := b.AddUndirected(0, 1, &m); err != nil {
+		t.Fatalf("AddUndirected: %v", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumEdges != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges)
+	}
+	fwd, rev := g.Matrix(0), g.Matrix(1)
+	// Reverse matrix is the normalized transpose of the forward one.
+	if rev.At(0, 1) >= rev.At(0, 0) {
+		t.Errorf("reverse matrix row 0 = %v; expected diagonal dominance", rev.Row(0))
+	}
+	if fwd.At(0, 0) != 0.9 {
+		t.Errorf("forward matrix (0,0) = %v, want 0.9", fwd.At(0, 0))
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	b := NewBuilder(2)
+	_, _ = b.AddNamedNode("a", []float32{0.2, 0.8})
+	_, _ = b.AddNamedNode("b", nil)
+	m := NewJointMatrix(2, 2)
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.1)
+	m.Set(1, 0, 0.3)
+	m.Set(1, 1, 0.7)
+	_ = b.AddEdge(0, 1, &m)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Observe(0, 1)
+	u, err := g.Undirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumEdges != 2*g.NumEdges {
+		t.Fatalf("edges = %d, want %d", u.NumEdges, 2*g.NumEdges)
+	}
+	if u.Names[0] != "a" || u.Names[1] != "b" {
+		t.Errorf("names lost: %v", u.Names)
+	}
+	if !u.Observed[0] || u.Belief(0)[1] != 1 {
+		t.Error("observation lost")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Shared-matrix variant.
+	sb := NewBuilder(2)
+	_ = sb.SetShared(DiagonalJointMatrix(2, 0.8))
+	_, _ = sb.AddNode(nil)
+	_, _ = sb.AddNode(nil)
+	_ = sb.AddEdge(0, 1, nil)
+	sg, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := sg.Undirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !su.SharedMatrix() || su.NumEdges != 2 {
+		t.Errorf("shared undirected wrong: shared=%v edges=%d", su.SharedMatrix(), su.NumEdges)
+	}
+}
+
+func TestObserveSoft(t *testing.T) {
+	g := buildDiamond(t, 2)
+	if err := g.ObserveSoft(1, []float32{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := g.Prior(1)
+	if math.Abs(float64(p[0])-0.75) > 1e-6 {
+		t.Errorf("soft prior = %v, want [0.75 0.25]", p)
+	}
+	if g.Observed[1] {
+		t.Error("soft evidence must not clamp the node")
+	}
+	// Errors.
+	if err := g.ObserveSoft(1, []float32{1}); err == nil {
+		t.Error("wrong width accepted")
+	}
+	if err := g.ObserveSoft(99, []float32{1, 1}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := g.ObserveSoft(1, []float32{-1, 1}); err == nil {
+		t.Error("negative likelihood accepted")
+	}
+	if err := g.ObserveSoft(1, []float32{0, 0}); err == nil {
+		t.Error("zeroing likelihood accepted")
+	}
+}

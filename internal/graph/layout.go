@@ -1,0 +1,128 @@
+package graph
+
+// This file implements the struct-of-arrays (SoA) versus array-of-structs
+// (AoS) comparison of paper §3.4. Credo's production layout is flat arrays,
+// but the paper's early design decision was driven by a cachegrind study of
+// the two candidate layouts; BeliefStore reproduces both candidates with
+// instrumented access accounting so the experiment can be regenerated
+// (experiment E4 in DESIGN.md).
+
+// BeliefStore abstracts a container of per-node belief vectors together
+// with their dimensions, the data the paper stored either as parallel flat
+// arrays (SoA) or as an array of fixed-size structs (AoS).
+type BeliefStore interface {
+	// Len returns the number of vectors stored.
+	Len() int
+	// States returns the width of vector i.
+	States(i int) int
+	// Load copies vector i into dst and returns the number of distinct
+	// cache lines touched by the read.
+	Load(i int, dst []float32) int
+	// Store copies src into vector i and returns the number of distinct
+	// cache lines touched by the write.
+	Store(i int, src []float32) int
+}
+
+// cacheLineBytes matches the 64-byte lines of the paper's i7-7700HQ.
+const cacheLineBytes = 64
+
+// aosElement mirrors the paper's AoS element: a statically allocated float
+// array plus unsigned integers for the dimensions, contiguous in memory.
+type aosElement struct {
+	data [MaxStates]float32
+	n    uint32
+	_    uint32 // padding to keep elements 8-byte aligned
+}
+
+// AoSStore is the array-of-structs layout: each belief vector and its
+// dimension live side by side, so one element spans a fixed, contiguous
+// byte range.
+type AoSStore struct {
+	elems []aosElement
+}
+
+// NewAoSStore builds an AoS store of n vectors of the given width.
+func NewAoSStore(n, states int) *AoSStore {
+	s := &AoSStore{elems: make([]aosElement, n)}
+	for i := range s.elems {
+		s.elems[i].n = uint32(states)
+	}
+	return s
+}
+
+// Len implements BeliefStore.
+func (s *AoSStore) Len() int { return len(s.elems) }
+
+// States implements BeliefStore.
+func (s *AoSStore) States(i int) int { return int(s.elems[i].n) }
+
+// Load implements BeliefStore. The vector and its dimension share the same
+// contiguous element, so the whole access costs the lines spanned by the
+// used prefix of the element (dims ride along for free).
+func (s *AoSStore) Load(i int, dst []float32) int {
+	e := &s.elems[i]
+	n := int(e.n)
+	copy(dst, e.data[:n])
+	return linesSpanned(4*n + 8) // n floats plus the adjacent dims word
+}
+
+// Store implements BeliefStore.
+func (s *AoSStore) Store(i int, src []float32) int {
+	e := &s.elems[i]
+	copy(e.data[:e.n], src)
+	return linesSpanned(4*int(e.n) + 8)
+}
+
+// SoAStore is the struct-of-arrays layout: one large flattened probability
+// array indexed in parallel with a separate dimensions array, as in the
+// paper's rejected design.
+type SoAStore struct {
+	probs  []float32
+	dims   []uint32
+	stride int
+}
+
+// NewSoAStore builds an SoA store of n vectors of the given width.
+func NewSoAStore(n, states int) *SoAStore {
+	s := &SoAStore{
+		probs:  make([]float32, n*MaxStates),
+		dims:   make([]uint32, n),
+		stride: MaxStates,
+	}
+	for i := range s.dims {
+		s.dims[i] = uint32(states)
+	}
+	return s
+}
+
+// Len implements BeliefStore.
+func (s *SoAStore) Len() int { return len(s.dims) }
+
+// States implements BeliefStore.
+func (s *SoAStore) States(i int) int { return int(s.dims[i]) }
+
+// Load implements BeliefStore. The dimension lives in a different array
+// from the probabilities, so every access touches (at least) one extra
+// cache line for the dims lookup — the effect cachegrind exposed in the
+// paper's study.
+func (s *SoAStore) Load(i int, dst []float32) int {
+	n := int(s.dims[i])
+	off := i * s.stride
+	copy(dst, s.probs[off:off+n])
+	return linesSpanned(4*n) + 1 // separate line for dims[i]
+}
+
+// Store implements BeliefStore.
+func (s *SoAStore) Store(i int, src []float32) int {
+	n := int(s.dims[i])
+	off := i * s.stride
+	copy(s.probs[off:off+n], src)
+	return linesSpanned(4*n) + 1
+}
+
+func linesSpanned(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + cacheLineBytes - 1) / cacheLineBytes
+}

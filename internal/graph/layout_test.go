@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"testing"
+)
+
+func fillStore(s BeliefStore, states int) {
+	v := make([]float32, states)
+	for i := 0; i < s.Len(); i++ {
+		for j := range v {
+			v[j] = float32(i+j) / float32(s.Len()+states)
+		}
+		s.Store(i, v)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    BeliefStore
+	}{
+		{"AoS", NewAoSStore(10, 3)},
+		{"SoA", NewSoAStore(10, 3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fillStore(tc.s, 3)
+			if tc.s.Len() != 10 {
+				t.Fatalf("Len = %d, want 10", tc.s.Len())
+			}
+			if tc.s.States(4) != 3 {
+				t.Fatalf("States(4) = %d, want 3", tc.s.States(4))
+			}
+			got := make([]float32, 3)
+			tc.s.Load(7, got)
+			want := float32(7+1) / float32(13)
+			if got[1] != want {
+				t.Errorf("Load(7)[1] = %v, want %v", got[1], want)
+			}
+		})
+	}
+}
+
+// TestAoSFewerLines reproduces the direction of the paper's §3.4 result:
+// the AoS layout touches fewer cache lines than SoA for small belief
+// widths because the dims ride in the same line as the probabilities.
+func TestAoSFewerLines(t *testing.T) {
+	for _, states := range []int{2, 3, 8} {
+		aos := NewAoSStore(1000, states)
+		soa := NewSoAStore(1000, states)
+		fillStore(aos, states)
+		fillStore(soa, states)
+		dst := make([]float32, states)
+		var aosLines, soaLines int
+		for i := 0; i < 1000; i++ {
+			aosLines += aos.Load(i, dst)
+			soaLines += soa.Load(i, dst)
+		}
+		if aosLines >= soaLines {
+			t.Errorf("states=%d: AoS lines %d >= SoA lines %d", states, aosLines, soaLines)
+		}
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := linesSpanned(c.bytes); got != c.want {
+			t.Errorf("linesSpanned(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}

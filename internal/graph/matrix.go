@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// JointMatrix is the row-stochastic joint probability table p(dst|src)
+// attached to a directed edge. Data is row-major: Data[i*Cols+j] is the
+// probability of the destination being in state j given the source is in
+// state i.
+type JointMatrix struct {
+	Rows, Cols uint32
+	Data       []float32
+}
+
+// NewJointMatrix allocates a rows x cols matrix of zeros.
+func NewJointMatrix(rows, cols int) JointMatrix {
+	return JointMatrix{Rows: uint32(rows), Cols: uint32(cols), Data: make([]float32, rows*cols)}
+}
+
+// UniformJointMatrix returns an n x n matrix whose rows are the uniform
+// distribution, representing "no information" coupling.
+func UniformJointMatrix(n int) JointMatrix {
+	m := NewJointMatrix(n, n)
+	u := float32(1) / float32(n)
+	for i := range m.Data {
+		m.Data[i] = u
+	}
+	return m
+}
+
+// DiagonalJointMatrix returns an n x n matrix that keeps the source state
+// with probability keep and spreads the remainder uniformly over the other
+// states — the standard "same error rate for every pixel / the virus
+// affects everyone identically" coupling of paper §2.2.
+func DiagonalJointMatrix(n int, keep float32) JointMatrix {
+	m := NewJointMatrix(n, n)
+	var off float32
+	if n > 1 {
+		off = (1 - keep) / float32(n-1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				m.Data[i*n+j] = keep
+			} else {
+				m.Data[i*n+j] = off
+			}
+		}
+	}
+	return m
+}
+
+// At returns entry (i, j).
+func (m *JointMatrix) At(i, j int) float32 { return m.Data[i*int(m.Cols)+j] }
+
+// Set assigns entry (i, j).
+func (m *JointMatrix) Set(i, j int, v float32) { m.Data[i*int(m.Cols)+j] = v }
+
+// Row returns row i as a view.
+func (m *JointMatrix) Row(i int) []float32 {
+	c := int(m.Cols)
+	return m.Data[i*c : i*c+c]
+}
+
+// NormalizeRows rescales every row to sum to 1. Rows summing to zero become
+// uniform.
+func (m *JointMatrix) NormalizeRows() {
+	c := int(m.Cols)
+	for i := 0; i < int(m.Rows); i++ {
+		row := m.Row(i)
+		var sum float32
+		for _, v := range row {
+			sum += v
+		}
+		if sum <= 0 {
+			u := float32(1) / float32(c)
+			for j := range row {
+				row[j] = u
+			}
+			continue
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// Validate checks that the matrix is finite, non-negative and row-stochastic.
+func (m *JointMatrix) Validate() error {
+	if int(m.Rows)*int(m.Cols) != len(m.Data) {
+		return fmt.Errorf("joint matrix: %dx%d does not match data length %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i := 0; i < int(m.Rows); i++ {
+		var sum float64
+		for j := 0; j < int(m.Cols); j++ {
+			v := float64(m.At(i, j))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("joint matrix: entry (%d,%d) not finite", i, j)
+			}
+			if v < 0 {
+				return fmt.Errorf("joint matrix: entry (%d,%d) negative", i, j)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			return fmt.Errorf("joint matrix: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// PropagateInto computes dst[j] = Σ_i src[i]·m[i,j], the φ/ψ update of
+// Equation 2 sending the source distribution through the edge matrix. dst
+// and src must have lengths m.Cols and m.Rows respectively. It does not
+// normalize; callers marginalize after combining.
+func (m *JointMatrix) PropagateInto(dst, src []float32) {
+	c := int(m.Cols)
+	for j := 0; j < c; j++ {
+		dst[j] = 0
+	}
+	for i, s := range src {
+		if s == 0 {
+			continue
+		}
+		row := m.Data[i*c : i*c+c]
+		for j, w := range row {
+			dst[j] += s * w
+		}
+	}
+}
+
+// Normalize rescales p in place to sum to 1 (the marginalization factor Z
+// of Equation 2). A zero or non-finite vector becomes uniform so that
+// propagation degrades gracefully instead of poisoning the graph with NaNs.
+func Normalize(p []float32) {
+	var sum float32
+	finite := true
+	for _, v := range p {
+		sum += v
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			finite = false
+		}
+	}
+	if !finite || sum <= 0 || math.IsInf(float64(sum), 0) || math.IsNaN(float64(sum)) {
+		u := float32(1) / float32(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for i := range p {
+		p[i] *= inv
+	}
+}
+
+// L1Diff returns Σ |a[i]−b[i]|, the convergence contribution of a single
+// node (line 12 of Algorithm 1).
+func L1Diff(a, b []float32) float32 {
+	var sum float32
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}

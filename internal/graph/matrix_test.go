@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiagonalJointMatrix(t *testing.T) {
+	m := DiagonalJointMatrix(4, 0.7)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := m.At(2, 2); got != 0.7 {
+		t.Errorf("diagonal = %v, want 0.7", got)
+	}
+	if got := m.At(0, 3); math.Abs(float64(got)-0.1) > 1e-6 {
+		t.Errorf("off-diagonal = %v, want 0.1", got)
+	}
+	// Single-state degenerate case.
+	m1 := DiagonalJointMatrix(1, 0.7)
+	if m1.At(0, 0) != 0.7 {
+		t.Errorf("1x1 diagonal = %v, want 0.7", m1.At(0, 0))
+	}
+}
+
+func TestUniformJointMatrix(t *testing.T) {
+	m := UniformJointMatrix(5)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := m.At(3, 1); math.Abs(float64(got)-0.2) > 1e-6 {
+		t.Errorf("entry = %v, want 0.2", got)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := NewJointMatrix(2, 3)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 2)
+	m.Set(0, 2, 4)
+	// Row 1 left all-zero: must become uniform.
+	m.NormalizeRows()
+	if got := m.At(0, 2); math.Abs(float64(got)-0.5) > 1e-6 {
+		t.Errorf("row 0 normalized entry = %v, want 0.5", got)
+	}
+	if got := m.At(1, 0); math.Abs(float64(got)-1.0/3) > 1e-6 {
+		t.Errorf("zero row entry = %v, want 1/3", got)
+	}
+}
+
+func TestMatrixValidateErrors(t *testing.T) {
+	m := NewJointMatrix(2, 2)
+	if err := m.Validate(); err == nil {
+		t.Error("all-zero rows: want error")
+	}
+	m = DiagonalJointMatrix(2, 0.8)
+	m.Set(0, 0, float32(math.NaN()))
+	if err := m.Validate(); err == nil {
+		t.Error("NaN entry: want error")
+	}
+	m = DiagonalJointMatrix(2, 0.8)
+	m.Set(0, 0, -0.5)
+	if err := m.Validate(); err == nil {
+		t.Error("negative entry: want error")
+	}
+	m = JointMatrix{Rows: 2, Cols: 2, Data: make([]float32, 3)}
+	if err := m.Validate(); err == nil {
+		t.Error("dims/data mismatch: want error")
+	}
+}
+
+func TestPropagateInto(t *testing.T) {
+	m := NewJointMatrix(2, 2)
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.1)
+	m.Set(1, 0, 0.2)
+	m.Set(1, 1, 0.8)
+	dst := make([]float32, 2)
+	m.PropagateInto(dst, []float32{1, 0})
+	if dst[0] != 0.9 || dst[1] != 0.1 {
+		t.Errorf("pure state propagation = %v, want [0.9 0.1]", dst)
+	}
+	m.PropagateInto(dst, []float32{0.5, 0.5})
+	if math.Abs(float64(dst[0])-0.55) > 1e-6 {
+		t.Errorf("mixed propagation = %v, want [0.55 0.45]", dst)
+	}
+}
+
+// TestPropagatePreservesMass: a row-stochastic matrix maps distributions to
+// distributions (property-based).
+func TestPropagatePreservesMass(t *testing.T) {
+	f := func(raw [4]float32, keepRaw float32) bool {
+		src := make([]float32, 4)
+		for i, v := range raw {
+			src[i] = float32(math.Abs(float64(v)))
+			if math.IsNaN(float64(src[i])) || math.IsInf(float64(src[i]), 0) {
+				src[i] = 1
+			}
+		}
+		Normalize(src)
+		keep := float32(0.5 + 0.49*math.Abs(math.Mod(float64(keepRaw), 1)))
+		m := DiagonalJointMatrix(4, keep)
+		dst := make([]float32, 4)
+		m.PropagateInto(dst, src)
+		var sum float64
+		for _, v := range dst {
+			if v < -1e-6 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	p := []float32{0, 0, 0}
+	Normalize(p)
+	for _, v := range p {
+		if math.Abs(float64(v)-1.0/3) > 1e-6 {
+			t.Fatalf("zero vector normalized to %v, want uniform", p)
+		}
+	}
+	p = []float32{float32(math.NaN()), 1, 1}
+	Normalize(p)
+	for _, v := range p {
+		if math.Abs(float64(v)-1.0/3) > 1e-6 {
+			t.Fatalf("NaN vector normalized to %v, want uniform", p)
+		}
+	}
+	p = []float32{float32(math.Inf(1)), 1}
+	Normalize(p)
+	if p[0] != 0.5 || p[1] != 0.5 {
+		t.Fatalf("Inf vector normalized to %v, want uniform", p)
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	if got := L1Diff([]float32{0.3, 0.7}, []float32{0.5, 0.5}); math.Abs(float64(got)-0.4) > 1e-6 {
+		t.Errorf("L1Diff = %v, want 0.4", got)
+	}
+	if got := L1Diff([]float32{1, 0}, []float32{1, 0}); got != 0 {
+		t.Errorf("L1Diff of equal vectors = %v, want 0", got)
+	}
+}

@@ -1,0 +1,55 @@
+package graph
+
+import "math"
+
+// Information-theoretic measures over belief vectors, used by the examples
+// and diagnostics to quantify how much an observation moved the network.
+
+// Entropy returns the Shannon entropy of p in nats (0 for a point mass,
+// ln(len(p)) for uniform).
+func Entropy(p []float32) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			f := float64(v)
+			h -= f * math.Log(f)
+		}
+	}
+	return h
+}
+
+// KLDivergence returns D(p‖q) in nats. Entries where p is zero contribute
+// nothing; entries where q is zero but p is not yield +Inf.
+func KLDivergence(p, q []float32) float64 {
+	var d float64
+	for i := range p {
+		pf := float64(p[i])
+		if pf == 0 {
+			continue
+		}
+		qf := float64(q[i])
+		if qf == 0 {
+			return math.Inf(1)
+		}
+		d += pf * math.Log(pf/qf)
+	}
+	return d
+}
+
+// TotalVariation returns ½·Σ|p−q|, the total variation distance in [0,1].
+func TotalVariation(p, q []float32) float64 {
+	return float64(L1Diff(p, q)) / 2
+}
+
+// MeanEntropy returns the average belief entropy across the graph's nodes
+// — a one-number summary of how decided the network is.
+func (g *Graph) MeanEntropy() float64 {
+	if g.NumNodes == 0 {
+		return 0
+	}
+	var sum float64
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		sum += Entropy(g.Belief(v))
+	}
+	return sum / float64(g.NumNodes)
+}

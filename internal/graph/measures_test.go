@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float32{1, 0}); got != 0 {
+		t.Errorf("point mass entropy = %v, want 0", got)
+	}
+	if got := Entropy([]float32{0.5, 0.5}); math.Abs(got-math.Log(2)) > 1e-9 {
+		t.Errorf("uniform entropy = %v, want ln 2", got)
+	}
+	u4 := []float32{0.25, 0.25, 0.25, 0.25}
+	if got := Entropy(u4); math.Abs(got-math.Log(4)) > 1e-6 {
+		t.Errorf("uniform-4 entropy = %v, want ln 4", got)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float32{0.5, 0.5}
+	if got := KLDivergence(p, p); math.Abs(got) > 1e-9 {
+		t.Errorf("D(p||p) = %v, want 0", got)
+	}
+	q := []float32{0.9, 0.1}
+	if got := KLDivergence(p, q); got <= 0 {
+		t.Errorf("D(p||q) = %v, want > 0", got)
+	}
+	// Support mismatch yields +Inf.
+	if got := KLDivergence([]float32{0.5, 0.5}, []float32{1, 0}); !math.IsInf(got, 1) {
+		t.Errorf("support mismatch = %v, want +Inf", got)
+	}
+	// p zero entries contribute nothing.
+	if got := KLDivergence([]float32{1, 0}, []float32{0.5, 0.5}); math.Abs(got-math.Log(2)) > 1e-6 {
+		t.Errorf("D = %v, want ln 2", got)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if got := TotalVariation([]float32{1, 0}, []float32{0, 1}); got != 1 {
+		t.Errorf("disjoint TV = %v, want 1", got)
+	}
+	if got := TotalVariation([]float32{0.5, 0.5}, []float32{0.5, 0.5}); got != 0 {
+		t.Errorf("equal TV = %v, want 0", got)
+	}
+}
+
+func TestMeanEntropy(t *testing.T) {
+	g := buildDiamond(t, 2)
+	// All uniform priors: entropy = ln 2.
+	if got := g.MeanEntropy(); math.Abs(got-math.Log(2)) > 1e-6 {
+		t.Errorf("mean entropy = %v, want ln 2", got)
+	}
+	_ = g.Observe(0, 1)
+	if got := g.MeanEntropy(); got >= math.Log(2) {
+		t.Errorf("observation did not lower mean entropy: %v", got)
+	}
+	empty, err := NewBuilder(2).Build()
+	if err == nil {
+		_ = empty
+	}
+	var g0 Graph
+	g0.States = 2
+	if g0.MeanEntropy() != 0 {
+		t.Error("empty graph mean entropy not 0")
+	}
+}

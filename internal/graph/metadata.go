@@ -1,0 +1,67 @@
+package graph
+
+// Metadata summarizes the structural statistics of a graph that Credo's
+// classifier consumes (paper §3.7). All statistics are derived from the
+// adjacency indices alone, so they are available immediately after input
+// parsing and before any propagation.
+type Metadata struct {
+	NumNodes int
+	NumEdges int // directed edges
+	States   int
+
+	MaxInDegree  int
+	MaxOutDegree int
+	AvgInDegree  float64
+	AvgOutDegree float64
+}
+
+// Stats computes the graph's metadata in a single pass over the offset
+// arrays.
+func (g *Graph) Stats() Metadata {
+	md := Metadata{
+		NumNodes: g.NumNodes,
+		NumEdges: g.NumEdges,
+		States:   g.States,
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		if d := g.InDegree(int32(v)); d > md.MaxInDegree {
+			md.MaxInDegree = d
+		}
+		if d := g.OutDegree(int32(v)); d > md.MaxOutDegree {
+			md.MaxOutDegree = d
+		}
+	}
+	if g.NumNodes > 0 {
+		md.AvgInDegree = float64(g.NumEdges) / float64(g.NumNodes)
+		md.AvgOutDegree = md.AvgInDegree
+	}
+	return md
+}
+
+// NodesToEdgesRatio returns #nodes / #edges, one of the five classifier
+// features. It returns 0 for an edgeless graph.
+func (md Metadata) NodesToEdgesRatio() float64 {
+	if md.NumEdges == 0 {
+		return 0
+	}
+	return float64(md.NumNodes) / float64(md.NumEdges)
+}
+
+// DegreeImbalance returns max in-degree / max out-degree (paper: "the ratio
+// of the max in-degree to the max out-degree").
+func (md Metadata) DegreeImbalance() float64 {
+	if md.MaxOutDegree == 0 {
+		return 0
+	}
+	return float64(md.MaxInDegree) / float64(md.MaxOutDegree)
+}
+
+// Skew returns average in-degree / max in-degree (paper: "the ratio of
+// average in-degree to max in-degree"). Values near 1 mean regular graphs;
+// values near 0 mean heavy-tailed degree distributions.
+func (md Metadata) Skew() float64 {
+	if md.MaxInDegree == 0 {
+		return 0
+	}
+	return md.AvgInDegree / float64(md.MaxInDegree)
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	g := buildDiamond(t, 2)
+	md := g.Stats()
+	if md.NumNodes != 4 || md.NumEdges != 4 {
+		t.Fatalf("stats = %+v, want 4 nodes / 4 edges", md)
+	}
+	if md.MaxInDegree != 2 || md.MaxOutDegree != 2 {
+		t.Errorf("max degrees = %d/%d, want 2/2", md.MaxInDegree, md.MaxOutDegree)
+	}
+	if md.AvgInDegree != 1 {
+		t.Errorf("avg in-degree = %v, want 1", md.AvgInDegree)
+	}
+	if r := md.NodesToEdgesRatio(); r != 1 {
+		t.Errorf("nodes/edges = %v, want 1", r)
+	}
+	if im := md.DegreeImbalance(); im != 1 {
+		t.Errorf("imbalance = %v, want 1", im)
+	}
+	if sk := md.Skew(); math.Abs(sk-0.5) > 1e-9 {
+		t.Errorf("skew = %v, want 0.5", sk)
+	}
+}
+
+func TestStatsEmptyAndStar(t *testing.T) {
+	b := NewBuilder(2)
+	_, _ = b.AddNode(nil)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	md := g.Stats()
+	if md.NodesToEdgesRatio() != 0 || md.DegreeImbalance() != 0 || md.Skew() != 0 {
+		t.Errorf("edgeless graph ratios nonzero: %+v", md)
+	}
+
+	// Star graph: hub receives from k leaves.
+	b = NewBuilder(2)
+	hub, _ := b.AddNode(nil)
+	m := DiagonalJointMatrix(2, 0.8)
+	for i := 0; i < 5; i++ {
+		leaf, _ := b.AddNode(nil)
+		if err := b.AddEdge(leaf, hub, &m); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	g, err = b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	md = g.Stats()
+	if md.MaxInDegree != 5 || md.MaxOutDegree != 1 {
+		t.Fatalf("star degrees = %d/%d, want 5/1", md.MaxInDegree, md.MaxOutDegree)
+	}
+	if im := md.DegreeImbalance(); im != 5 {
+		t.Errorf("imbalance = %v, want 5", im)
+	}
+	// Skew: avg in-degree 5/6 over max 5.
+	if sk := md.Skew(); math.Abs(sk-(5.0/6.0)/5.0) > 1e-9 {
+		t.Errorf("skew = %v, want %v", sk, (5.0/6.0)/5.0)
+	}
+}

@@ -1,0 +1,203 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// GradientBoosting is a binary gradient-boosted-trees classifier with
+// logistic loss and shallow regression trees as base learners. The paper
+// finds it performs decently but "needs hundreds of thousands of training
+// data to be useful" at its best (§4.3).
+type GradientBoosting struct {
+	// Rounds is the number of boosting stages; zero means 50.
+	Rounds int
+	// LearningRate shrinks each stage; zero means 0.1.
+	LearningRate float64
+	// MaxDepth bounds the regression trees; zero means 3.
+	MaxDepth int
+
+	f0    float64
+	trees []*regressionTree
+}
+
+// Fit implements Classifier. Labels must be binary {0, 1}.
+func (g *GradientBoosting) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if classes > 2 {
+		return errors.New("ml: GradientBoosting supports binary labels only")
+	}
+	if g.Rounds <= 0 {
+		g.Rounds = 50
+	}
+	if g.LearningRate == 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MaxDepth <= 0 {
+		g.MaxDepth = 3
+	}
+
+	n := len(X)
+	pos := 0
+	for _, yi := range y {
+		pos += yi
+	}
+	p := (float64(pos) + 1) / (float64(n) + 2)
+	g.f0 = math.Log(p / (1 - p))
+
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = g.f0
+	}
+	resid := make([]float64, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	g.trees = g.trees[:0]
+	for round := 0; round < g.Rounds; round++ {
+		for i := range resid {
+			pi := sigmoid(f[i])
+			resid[i] = float64(y[i]) - pi
+		}
+		tree := &regressionTree{maxDepth: g.MaxDepth, minLeaf: 2}
+		tree.fit(X, resid, idx, 0)
+		for i := range f {
+			f[i] += g.LearningRate * tree.predict(X[i])
+		}
+		g.trees = append(g.trees, tree)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GradientBoosting) Predict(x []float64) int {
+	f := g.f0
+	for _, t := range g.trees {
+		f += g.LearningRate * t.predict(x)
+	}
+	if f >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// regressionTree is a CART regression tree minimizing squared error,
+// used as the gradient-boosting base learner.
+type regressionTree struct {
+	maxDepth int
+	minLeaf  int
+	root     *regNode
+}
+
+type regNode struct {
+	feature   int
+	threshold float64
+	left      *regNode
+	right     *regNode
+	leaf      bool
+	value     float64
+}
+
+func (t *regressionTree) fit(X [][]float64, target []float64, idx []int, _ int) {
+	t.root = t.build(X, target, idx, 0)
+}
+
+func (t *regressionTree) build(X [][]float64, target []float64, idx []int, depth int) *regNode {
+	var sum float64
+	for _, i := range idx {
+		sum += target[i]
+	}
+	mean := sum / float64(len(idx))
+	node := &regNode{leaf: true, value: mean}
+	if depth >= t.maxDepth || len(idx) < 2*t.minLeaf {
+		return node
+	}
+
+	parentSSE := 0.0
+	for _, i := range idx {
+		d := target[i] - mean
+		parentSSE += d * d
+	}
+	if parentSSE < 1e-12 {
+		return node
+	}
+
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	d := len(X[0])
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	for f := 0; f < d; f++ {
+		for k, i := range idx {
+			vals[k] = X[i][f]
+			order[k] = i
+		}
+		sort.Sort(&byFeature{vals: vals, idx: order})
+		var leftSum, leftSq float64
+		var totalSq float64
+		for _, i := range order {
+			totalSq += target[i] * target[i]
+		}
+		totalSum := sum
+		for k := 0; k < len(order)-1; k++ {
+			ti := target[order[k]]
+			leftSum += ti
+			leftSq += ti * ti
+			if vals[k] == vals[k+1] {
+				continue
+			}
+			nl, nr := k+1, len(order)-k-1
+			if nl < t.minLeaf || nr < t.minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sseL := leftSq - leftSum*leftSum/float64(nl)
+			sseR := rightSq - rightSum*rightSum/float64(nr)
+			if gain := parentSSE - sseL - sseR; gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (vals[k] + vals[k+1]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = t.build(X, target, leftIdx, depth+1)
+	node.right = t.build(X, target, rightIdx, depth+1)
+	return node
+}
+
+func (t *regressionTree) predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}

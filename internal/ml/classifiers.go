@@ -1,0 +1,337 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbours classifier over z-scored features. The
+// paper notes it "only excels when the features can yield entirely
+// separable clusters" (§4.3).
+type KNN struct {
+	// K is the neighbourhood size; zero means 5.
+	K int
+
+	std     *standardizer
+	X       [][]float64
+	y       []int
+	classes int
+}
+
+// Fit implements Classifier.
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.classes = classes
+	k.std = fitStandardizer(X)
+	k.X = k.std.applyAll(X)
+	k.y = append([]int(nil), y...)
+	return nil
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x []float64) int {
+	q := k.std.apply(x)
+	type nd struct {
+		d float64
+		y int
+	}
+	ds := make([]nd, len(k.X))
+	for i, row := range k.X {
+		var d float64
+		for j := range row {
+			dv := row[j] - q[j]
+			d += dv * dv
+		}
+		ds[i] = nd{d, k.y[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	kk := k.K
+	if kk > len(ds) {
+		kk = len(ds)
+	}
+	votes := make([]int, k.classes)
+	for _, n := range ds[:kk] {
+		votes[n.y]++
+	}
+	return majority(votes)
+}
+
+// GaussianNB is a Gaussian naive Bayes classifier. The paper observes its
+// independence assumption is violated by the interrelated graph features
+// (§4.3).
+type GaussianNB struct {
+	classes  int
+	priors   []float64
+	mean     [][]float64
+	variance [][]float64
+}
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	g.classes = classes
+	d := len(X[0])
+	g.priors = make([]float64, classes)
+	g.mean = make([][]float64, classes)
+	g.variance = make([][]float64, classes)
+	counts := make([]int, classes)
+	for c := range g.mean {
+		g.mean[c] = make([]float64, d)
+		g.variance[c] = make([]float64, d)
+	}
+	for i, row := range X {
+		c := y[i]
+		counts[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= float64(counts[c])
+		}
+	}
+	for i, row := range X {
+		c := y[i]
+		for j, v := range row {
+			dv := v - g.mean[c][j]
+			g.variance[c][j] += dv * dv
+		}
+	}
+	for c := 0; c < classes; c++ {
+		g.priors[c] = float64(counts[c]) / float64(len(X))
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.variance[c] {
+			g.variance[c][j] = g.variance[c][j]/float64(counts[c]) + 1e-9
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GaussianNB) Predict(x []float64) int {
+	best, bestLL := 0, math.Inf(-1)
+	for c := 0; c < g.classes; c++ {
+		if g.priors[c] == 0 {
+			continue
+		}
+		ll := math.Log(g.priors[c])
+		for j, v := range x {
+			dv := v - g.mean[c][j]
+			ll += -0.5*math.Log(2*math.Pi*g.variance[c][j]) - dv*dv/(2*g.variance[c][j])
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}
+
+// LinearSVM is a binary soft-margin SVM trained with SGD on the hinge
+// loss over z-scored features. The paper finds the heavily normalized
+// ratio features leave its remapping little to exploit (§4.3).
+type LinearSVM struct {
+	// Epochs is the SGD epoch count; zero means 200.
+	Epochs int
+	// Lambda is the L2 regularization weight; zero means 1e-3.
+	Lambda float64
+	// Seed drives sample shuffling.
+	Seed int64
+
+	std *standardizer
+	w   []float64
+	b   float64
+}
+
+// Fit implements Classifier. Labels must be binary {0, 1}.
+func (s *LinearSVM) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if classes > 2 {
+		return errors.New("ml: LinearSVM supports binary labels only")
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 200
+	}
+	if s.Lambda == 0 {
+		s.Lambda = 1e-3
+	}
+	s.std = fitStandardizer(X)
+	Z := s.std.applyAll(X)
+	d := len(Z[0])
+	s.w = make([]float64, d)
+	s.b = 0
+	rng := newRNG(s.Seed)
+	order := make([]int, len(Z))
+	for i := range order {
+		order[i] = i
+	}
+	step := 0
+	for e := 0; e < s.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			step++
+			eta := 1 / (s.Lambda * float64(step+10))
+			yi := float64(2*y[i] - 1)
+			margin := yi * (dot(s.w, Z[i]) + s.b)
+			for j := range s.w {
+				s.w[j] -= eta * s.Lambda * s.w[j]
+			}
+			if margin < 1 {
+				for j := range s.w {
+					s.w[j] += eta * yi * Z[i][j]
+				}
+				s.b += eta * yi
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (s *LinearSVM) Predict(x []float64) int {
+	if dot(s.w, s.std.apply(x))+s.b >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func dot(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// KernelClassifier is an RBF kernel regularized-least-squares classifier —
+// the Gaussian-process-regression-as-classifier stand-in for scikit-learn's
+// GaussianProcessClassifier in Figure 10. Training solves
+// (K + λI)α = y± by Gaussian elimination, which is comfortable at the
+// paper's 95-sample scale.
+type KernelClassifier struct {
+	// Gamma is the RBF width; zero means 1/d.
+	Gamma float64
+	// Lambda is the ridge term; zero means 1e-2.
+	Lambda float64
+
+	std   *standardizer
+	X     [][]float64
+	alpha []float64
+}
+
+// Fit implements Classifier. Labels must be binary {0, 1}.
+func (k *KernelClassifier) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if classes > 2 {
+		return errors.New("ml: KernelClassifier supports binary labels only")
+	}
+	if k.Lambda == 0 {
+		k.Lambda = 1e-2
+	}
+	if k.Gamma == 0 {
+		k.Gamma = 1 / float64(len(X[0]))
+	}
+	k.std = fitStandardizer(X)
+	k.X = k.std.applyAll(X)
+	n := len(k.X)
+	// Assemble K + λI and the signed target.
+	A := make([][]float64, n)
+	bvec := make([]float64, n)
+	for i := 0; i < n; i++ {
+		A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			A[i][j] = k.rbf(k.X[i], k.X[j])
+		}
+		A[i][i] += k.Lambda
+		bvec[i] = float64(2*y[i] - 1)
+	}
+	alpha, err := solveLinear(A, bvec)
+	if err != nil {
+		return err
+	}
+	k.alpha = alpha
+	return nil
+}
+
+func (k *KernelClassifier) rbf(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		dv := a[i] - b[i]
+		d += dv * dv
+	}
+	return math.Exp(-k.Gamma * d)
+}
+
+// Predict implements Classifier.
+func (k *KernelClassifier) Predict(x []float64) int {
+	q := k.std.apply(x)
+	var f float64
+	for i, row := range k.X {
+		f += k.alpha[i] * k.rbf(row, q)
+	}
+	if f >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// solveLinear solves Ax = b by Gaussian elimination with partial pivoting.
+// A is modified in place.
+func solveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-12 {
+			return nil, errors.New("ml: singular system")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,85 @@
+package ml
+
+import "math"
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling. The paper's tuned configuration is a max depth of 6 and 14
+// estimators (§3.7, §4.3).
+type RandomForest struct {
+	// Trees is the estimator count; zero means 14.
+	Trees int
+	// MaxDepth bounds each tree; zero means 6.
+	MaxDepth int
+	// Seed drives bootstrapping and feature subsampling.
+	Seed int64
+
+	trees    []*DecisionTree
+	features int
+	classes  int
+}
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	f.classes = classes
+	f.features = len(X[0])
+	if f.Trees <= 0 {
+		f.Trees = 14
+	}
+	if f.MaxDepth <= 0 {
+		f.MaxDepth = 6
+	}
+	maxFeat := int(math.Ceil(math.Sqrt(float64(f.features))))
+	rng := newRNG(f.Seed)
+	f.trees = make([]*DecisionTree, f.Trees)
+	n := len(X)
+	for t := range f.trees {
+		// Bootstrap sample with replacement.
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := range bx {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := &DecisionTree{MaxDepth: f.MaxDepth, MaxFeatures: maxFeat, Seed: rng.Int63()}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[t] = tree
+	}
+	return nil
+}
+
+// Predict implements Classifier by majority vote.
+func (f *RandomForest) Predict(x []float64) int {
+	votes := make([]int, f.classes)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	return majority(votes)
+}
+
+// Importance returns the forest's normalized mean impurity-decrease
+// importance per feature — the percent contributions of Figure 5.
+func (f *RandomForest) Importance() []float64 {
+	out := make([]float64, f.features)
+	for _, t := range f.trees {
+		for j, v := range t.Importance() {
+			out[j] += v
+		}
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for j := range out {
+			out[j] /= sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accuracy returns the fraction of matching labels.
+func Accuracy(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(yTrue))
+}
+
+// F1Binary returns the F1 score treating positive as the positive class.
+func F1Binary(yTrue, yPred []int, positive int) float64 {
+	var tp, fp, fn float64
+	for i := range yTrue {
+		switch {
+		case yPred[i] == positive && yTrue[i] == positive:
+			tp++
+		case yPred[i] == positive && yTrue[i] != positive:
+			fp++
+		case yPred[i] != positive && yTrue[i] == positive:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	prec := tp / (tp + fp)
+	rec := tp / (tp + fn)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores over the
+// classes present in yTrue — the paper's F1-score accuracy metric.
+func MacroF1(yTrue, yPred []int) float64 {
+	present := map[int]bool{}
+	for _, y := range yTrue {
+		present[y] = true
+	}
+	if len(present) == 0 {
+		return 0
+	}
+	var sum float64
+	for c := range present {
+		sum += F1Binary(yTrue, yPred, c)
+	}
+	return sum / float64(len(present))
+}
+
+// EvaluateF1 fits a fresh model via construct on the training split and
+// returns its macro F1 on the test split.
+func EvaluateF1(construct func() Classifier, trainX [][]float64, trainY []int, testX [][]float64, testY []int) (float64, error) {
+	model := construct()
+	if err := model.Fit(trainX, trainY); err != nil {
+		return 0, err
+	}
+	pred := make([]int, len(testX))
+	for i, x := range testX {
+		pred[i] = model.Predict(x)
+	}
+	return MacroF1(testY, pred), nil
+}
+
+// StratifiedSplit partitions (X, y) into train and test sets with the
+// given train fraction, preserving per-class proportions — the paper's
+// "well-balanced samples" with a 60-40 split.
+func StratifiedSplit(X [][]float64, y []int, trainFrac float64, seed int64) (trainX [][]float64, trainY []int, testX [][]float64, testY []int, err error) {
+	if len(X) != len(y) {
+		return nil, nil, nil, nil, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("ml: train fraction %v out of (0,1)", trainFrac)
+	}
+	rng := newRNG(seed)
+	byClass := map[int][]int{}
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	// Deterministic order over classes.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nTrain := int(math.Round(trainFrac * float64(len(idx))))
+		if nTrain == len(idx) && len(idx) > 1 {
+			nTrain--
+		}
+		if nTrain == 0 && len(idx) > 1 {
+			nTrain = 1
+		}
+		for k, i := range idx {
+			if k < nTrain {
+				trainX = append(trainX, X[i])
+				trainY = append(trainY, y[i])
+			} else {
+				testX = append(testX, X[i])
+				testY = append(testY, y[i])
+			}
+		}
+	}
+	return trainX, trainY, testX, testY, nil
+}
+
+// KFold runs k-fold cross-validation, returning the per-fold macro F1
+// scores. It is the three-fold validation behind Figure 10's error bars.
+func KFold(construct func() Classifier, X [][]float64, y []int, k int, seed int64) ([]float64, error) {
+	n := len(X)
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: k=%d folds infeasible for %d samples", k, n)
+	}
+	rng := newRNG(seed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	scores := make([]float64, 0, k)
+	for fold := 0; fold < k; fold++ {
+		var trX, teX [][]float64
+		var trY, teY []int
+		for pos, i := range idx {
+			if pos%k == fold {
+				teX = append(teX, X[i])
+				teY = append(teY, y[i])
+			} else {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		s, err := EvaluateF1(construct, trX, trY, teX, teY)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, s)
+	}
+	return scores, nil
+}
+
+// MeanStd returns the mean and standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,122 @@
+// Package ml is the from-scratch machine-learning substrate behind Credo's
+// implementation classifier (§3.7, §4.3): CART decision trees, random
+// forests, Gaussian naive Bayes, k-nearest neighbours, a linear SVM,
+// gradient-boosted trees, a multi-layer perceptron and a kernel
+// (Gaussian-process-style) classifier, together with the metrics and
+// resampling utilities the paper's evaluation uses — F1 scoring,
+// stratified train/test splits and k-fold cross-validation — plus the
+// covariance and PCA analyses of Figure 4.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Classifier is a supervised model over dense float features and integer
+// class labels.
+type Classifier interface {
+	// Fit trains the model on rows X with labels y (one label per row).
+	Fit(X [][]float64, y []int) error
+	// Predict returns the predicted label for one row.
+	Predict(x []float64) int
+}
+
+// validate checks the common preconditions of Fit.
+func validate(X [][]float64, y []int) (classes int, err error) {
+	if len(X) == 0 {
+		return 0, errors.New("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return 0, errors.New("ml: rows have no features")
+	}
+	maxc := 0
+	for i, row := range X {
+		if len(row) != d {
+			return 0, fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), d)
+		}
+		if y[i] < 0 {
+			return 0, fmt.Errorf("ml: negative label %d", y[i])
+		}
+		if y[i] > maxc {
+			maxc = y[i]
+		}
+	}
+	return maxc + 1, nil
+}
+
+// majority returns the most frequent label in counts.
+func majority(counts []int) int {
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// bincount tallies labels into a slice of length classes.
+func bincount(y []int, idx []int, classes int) []int {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return counts
+}
+
+// standardizer z-scores features using training statistics; shared by the
+// SVM, MLP and kernel classifiers.
+type standardizer struct {
+	mean, std []float64
+}
+
+func fitStandardizer(X [][]float64) *standardizer {
+	d := len(X[0])
+	s := &standardizer{mean: make([]float64, d), std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(len(X))
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.mean[j]
+			s.std[j] += dv * dv
+		}
+	}
+	for j := range s.std {
+		s.std[j] = sqrt(s.std[j] / float64(len(X)))
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+func (s *standardizer) applyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.apply(row)
+	}
+	return out
+}
+
+// newRNG builds a deterministic generator from a seed.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

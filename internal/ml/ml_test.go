@@ -1,0 +1,262 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates two Gaussian clusters, linearly separable when sep is
+// large.
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for c := 0; c < 2; c++ {
+		cx := float64(c) * sep
+		for i := 0; i < n; i++ {
+			X = append(X, []float64{cx + rng.NormFloat64(), cx + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+// xorData generates the XOR pattern no linear model can separate.
+func xorData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, 0, 4*n)
+	y := make([]int, 0, 4*n)
+	for q := 0; q < 4; q++ {
+		qx, qy := float64(q&1), float64(q>>1)
+		label := int(q&1) ^ int(q>>1)
+		for i := 0; i < n; i++ {
+			X = append(X, []float64{qx*4 + rng.NormFloat64()*0.5, qy*4 + rng.NormFloat64()*0.5})
+			y = append(y, label)
+		}
+	}
+	return X, y
+}
+
+func constructors() map[string]func() Classifier {
+	return map[string]func() Classifier{
+		"tree":   func() Classifier { return &DecisionTree{MaxDepth: 6} },
+		"forest": func() Classifier { return &RandomForest{} },
+		"knn":    func() Classifier { return &KNN{} },
+		"nb":     func() Classifier { return &GaussianNB{} },
+		"svm":    func() Classifier { return &LinearSVM{} },
+		"gbt":    func() Classifier { return &GradientBoosting{} },
+		"mlp":    func() Classifier { return &MLP{} },
+		"kernel": func() Classifier { return &KernelClassifier{} },
+	}
+}
+
+func TestAllClassifiersSeparableBlobs(t *testing.T) {
+	X, y := blobs(40, 6, 1)
+	trX, trY, teX, teY, err := StratifiedSplit(X, y, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			f1, err := EvaluateF1(c, trX, trY, teX, teY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f1 < 0.9 {
+				t.Errorf("%s F1 = %.3f on separable blobs, want >= 0.9", name, f1)
+			}
+		})
+	}
+}
+
+func TestNonlinearModelsSolveXOR(t *testing.T) {
+	X, y := xorData(40, 3)
+	trX, trY, teX, teY, err := StratifiedSplit(X, y, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tree", "forest", "knn", "gbt", "mlp", "kernel"} {
+		f1, err := EvaluateF1(constructors()[name], trX, trY, teX, teY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 < 0.85 {
+			t.Errorf("%s F1 = %.3f on XOR, want >= 0.85", name, f1)
+		}
+	}
+	// The linear SVM cannot separate XOR (§4.3's separability argument).
+	f1, err := EvaluateF1(constructors()["svm"], trX, trY, teX, teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 > 0.8 {
+		t.Errorf("linear SVM F1 = %.3f on XOR; expected failure (< 0.8)", f1)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for name, c := range constructors() {
+		model := c()
+		if err := model.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty training set", name)
+		}
+		if err := model.Fit([][]float64{{1, 2}}, []int{0, 1}); err == nil {
+			t.Errorf("%s accepted mismatched labels", name)
+		}
+		if err := model.Fit([][]float64{{1, 2}, {1}}, []int{0, 1}); err == nil {
+			t.Errorf("%s accepted ragged rows", name)
+		}
+	}
+	// Binary-only models reject multi-class labels.
+	for _, name := range []string{"svm", "gbt", "kernel"} {
+		model := constructors()[name]()
+		X := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+		if err := model.Fit(X, []int{0, 1, 2}); err == nil {
+			t.Errorf("%s accepted 3 classes", name)
+		}
+	}
+}
+
+func TestDecisionTreeDepthLimit(t *testing.T) {
+	X, y := xorData(30, 5)
+	tree := &DecisionTree{MaxDepth: 1}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	n := tree.root
+	for !n.leaf {
+		depth++
+		n = n.left
+	}
+	if depth > 1 {
+		t.Errorf("tree depth %d exceeds MaxDepth 1", depth)
+	}
+}
+
+func TestTreeImportanceAndDump(t *testing.T) {
+	// Only feature 0 is informative.
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		v := rng.Float64()
+		X = append(X, []float64{v, rng.Float64()})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tree := &DecisionTree{MaxDepth: 3}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.Importance()
+	if imp[0] < 0.9 {
+		t.Errorf("feature 0 importance = %.3f, want > 0.9", imp[0])
+	}
+	dump := tree.Dump([]string{"signal", "noise"}, []string{"lo", "hi"})
+	if len(dump) == 0 {
+		t.Fatal("empty dump")
+	}
+	if want := "if signal <= "; len(dump) < len(want) || dump[:len(want)] != want {
+		t.Errorf("dump does not open with the informative split: %q", dump)
+	}
+}
+
+func TestForestImportanceNormalized(t *testing.T) {
+	X, y := blobs(30, 4, 9)
+	f := &RandomForest{}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Errorf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v, want 1", sum)
+	}
+}
+
+func TestForestBeatsTreeOnNoisyData(t *testing.T) {
+	// With noisy, overlapping blobs the ensemble should be at least as
+	// good as a single deep tree (the paper's §4.3 refinement).
+	X, y := blobs(60, 1.6, 11)
+	trX, trY, teX, teY, err := StratifiedSplit(X, y, 0.6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeF1, err := EvaluateF1(func() Classifier { return &DecisionTree{MaxDepth: 8} }, trX, trY, teX, teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forestF1, err := EvaluateF1(func() Classifier { return &RandomForest{Trees: 25, MaxDepth: 8} }, trX, trY, teX, teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forestF1+0.05 < treeF1 {
+		t.Errorf("forest F1 %.3f clearly below tree %.3f", forestF1, treeF1)
+	}
+}
+
+// TestPropertyF1Bounds: F1 and accuracy stay in [0,1] for arbitrary label
+// vectors.
+func TestPropertyF1Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		yt := make([]int, n)
+		yp := make([]int, n)
+		for i := range yt {
+			yt[i] = rng.Intn(3)
+			yp[i] = rng.Intn(3)
+		}
+		for _, v := range []float64{Accuracy(yt, yp), MacroF1(yt, yp), F1Binary(yt, yp, 1)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("metric out of range: %v (yt=%v yp=%v)", v, yt, yp)
+			}
+		}
+	}
+}
+
+// TestPropertySplitPreservesRows: stratified splits never lose or
+// duplicate samples.
+func TestPropertySplitPreservesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(60)
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = []float64{float64(i)}
+			y[i] = rng.Intn(2)
+		}
+		frac := 0.2 + 0.6*rng.Float64()
+		trX, _, teX, _, err := StratifiedSplit(X, y, frac, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[float64]int{}
+		for _, r := range trX {
+			seen[r[0]]++
+		}
+		for _, r := range teX {
+			seen[r[0]]++
+		}
+		if len(seen) != n {
+			t.Fatalf("split covers %d of %d rows", len(seen), n)
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("row %v appears %d times", v, c)
+			}
+		}
+	}
+}

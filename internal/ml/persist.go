@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained decision trees and random forests serialize
+// to JSON so that credobench can train Credo's selector once and credo can
+// load it for every subsequent run — the deployment split the paper's
+// §4.4 portability study assumes (train on one machine, carry the model to
+// another).
+
+type nodeJSON struct {
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Leaf      bool      `json:"leaf,omitempty"`
+	Pred      int       `json:"pred,omitempty"`
+	Counts    []int     `json:"counts,omitempty"`
+	Left      *nodeJSON `json:"left,omitempty"`
+	Right     *nodeJSON `json:"right,omitempty"`
+}
+
+type treeJSON struct {
+	MaxDepth   int       `json:"max_depth"`
+	Classes    int       `json:"classes"`
+	Features   int       `json:"features"`
+	Importance []float64 `json:"importance,omitempty"`
+	Root       *nodeJSON `json:"root"`
+}
+
+type forestJSON struct {
+	Format   string     `json:"format"`
+	Classes  int        `json:"classes"`
+	Features int        `json:"features"`
+	Trees    []treeJSON `json:"trees"`
+}
+
+// forestFormat identifies the serialization; bump on breaking changes.
+const forestFormat = "credo-random-forest-v1"
+
+func encodeNode(n *treeNode) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Leaf:      n.leaf,
+		Pred:      n.pred,
+		Counts:    n.counts,
+		Left:      encodeNode(n.left),
+		Right:     encodeNode(n.right),
+	}
+}
+
+func decodeNode(n *nodeJSON) (*treeNode, error) {
+	if n == nil {
+		return nil, nil
+	}
+	out := &treeNode{
+		feature:   n.Feature,
+		threshold: n.Threshold,
+		leaf:      n.Leaf,
+		pred:      n.Pred,
+		counts:    n.Counts,
+	}
+	if !n.Leaf {
+		if n.Left == nil || n.Right == nil {
+			return nil, fmt.Errorf("ml: decode: interior node missing children")
+		}
+		var err error
+		if out.left, err = decodeNode(n.Left); err != nil {
+			return nil, err
+		}
+		if out.right, err = decodeNode(n.Right); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func encodeTree(t *DecisionTree) treeJSON {
+	return treeJSON{
+		MaxDepth:   t.MaxDepth,
+		Classes:    t.classes,
+		Features:   t.features,
+		Importance: t.importance,
+		Root:       encodeNode(t.root),
+	}
+}
+
+func decodeTree(j treeJSON) (*DecisionTree, error) {
+	if j.Root == nil {
+		return nil, fmt.Errorf("ml: decode: tree has no root")
+	}
+	if j.Classes <= 0 || j.Features <= 0 {
+		return nil, fmt.Errorf("ml: decode: tree with %d classes / %d features", j.Classes, j.Features)
+	}
+	root, err := decodeNode(j.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &DecisionTree{
+		MaxDepth:   j.MaxDepth,
+		classes:    j.Classes,
+		features:   j.Features,
+		importance: j.Importance,
+		root:       root,
+	}, nil
+}
+
+// SaveForest writes a fitted random forest as JSON.
+func SaveForest(w io.Writer, f *RandomForest) error {
+	if len(f.trees) == 0 {
+		return fmt.Errorf("ml: save: forest is not fitted")
+	}
+	doc := forestJSON{
+		Format:   forestFormat,
+		Classes:  f.classes,
+		Features: f.features,
+	}
+	for _, t := range f.trees {
+		doc.Trees = append(doc.Trees, encodeTree(t))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// LoadForest reads a forest saved by SaveForest, ready to predict.
+func LoadForest(r io.Reader) (*RandomForest, error) {
+	var doc forestJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ml: load: %w", err)
+	}
+	if doc.Format != forestFormat {
+		return nil, fmt.Errorf("ml: load: unknown format %q (want %s)", doc.Format, forestFormat)
+	}
+	if len(doc.Trees) == 0 {
+		return nil, fmt.Errorf("ml: load: forest has no trees")
+	}
+	f := &RandomForest{
+		Trees:    len(doc.Trees),
+		classes:  doc.Classes,
+		features: doc.Features,
+	}
+	for _, tj := range doc.Trees {
+		t, err := decodeTree(tj)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

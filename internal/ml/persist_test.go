@@ -1,0 +1,64 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestForestSaveLoadRoundTrip(t *testing.T) {
+	X, y := blobs(40, 3, 4)
+	f := &RandomForest{Trees: 10, MaxDepth: 5, Seed: 2}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded forest must predict identically on every training row
+	// and on fresh points.
+	for i, row := range X {
+		if f.Predict(row) != loaded.Predict(row) {
+			t.Fatalf("row %d: predictions diverge after round trip", i)
+		}
+	}
+	probe := []float64{1.5, 1.5, 0}
+	if f.Predict(probe) != loaded.Predict(probe) {
+		t.Error("fresh-point prediction diverges")
+	}
+	// Importances survive.
+	a, b := f.Importance(), loaded.Importance()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("importance %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveUnfittedForest(t *testing.T) {
+	if err := SaveForest(&bytes.Buffer{}, &RandomForest{}); err == nil {
+		t.Error("saving an unfitted forest accepted")
+	}
+}
+
+func TestLoadForestErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{}`,
+		`{"format":"wrong","trees":[]}`,
+		`{"format":"credo-random-forest-v1","classes":2,"features":3,"trees":[]}`,
+		`{"format":"credo-random-forest-v1","classes":2,"features":3,"trees":[{"classes":2,"features":3}]}`,
+		`{"format":"credo-random-forest-v1","classes":2,"features":3,"trees":[{"classes":0,"features":3,"root":{"leaf":true}}]}`,
+		`{"format":"credo-random-forest-v1","classes":2,"features":3,"trees":[{"classes":2,"features":3,"root":{"feature":1,"threshold":0.5}}]}`,
+	}
+	for _, src := range cases {
+		if _, err := LoadForest(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

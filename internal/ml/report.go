@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix returns counts[t][p] = samples of true class t predicted
+// as class p, sized by the largest label seen.
+func ConfusionMatrix(yTrue, yPred []int) [][]int {
+	classes := 0
+	for i := range yTrue {
+		if yTrue[i]+1 > classes {
+			classes = yTrue[i] + 1
+		}
+		if yPred[i]+1 > classes {
+			classes = yPred[i] + 1
+		}
+	}
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	for i := range yTrue {
+		m[yTrue[i]][yPred[i]]++
+	}
+	return m
+}
+
+// PrecisionRecall returns the per-class precision and recall.
+func PrecisionRecall(yTrue, yPred []int) (precision, recall []float64) {
+	m := ConfusionMatrix(yTrue, yPred)
+	n := len(m)
+	precision = make([]float64, n)
+	recall = make([]float64, n)
+	for c := 0; c < n; c++ {
+		var tp, colSum, rowSum int
+		for o := 0; o < n; o++ {
+			colSum += m[o][c]
+			rowSum += m[c][o]
+		}
+		tp = m[c][c]
+		if colSum > 0 {
+			precision[c] = float64(tp) / float64(colSum)
+		}
+		if rowSum > 0 {
+			recall[c] = float64(tp) / float64(rowSum)
+		}
+	}
+	return precision, recall
+}
+
+// ClassificationReport renders per-class precision/recall/F1 plus accuracy
+// and macro F1, in the style of scikit-learn's report (the library the
+// paper's classifier study uses).
+func ClassificationReport(yTrue, yPred []int, classNames []string) string {
+	precision, recall := PrecisionRecall(yTrue, yPred)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s\n", "class", "precision", "recall", "f1", "support")
+	m := ConfusionMatrix(yTrue, yPred)
+	for c := range precision {
+		var support int
+		for o := range m[c] {
+			support += m[c][o]
+		}
+		f1 := 0.0
+		if precision[c]+recall[c] > 0 {
+			f1 = 2 * precision[c] * recall[c] / (precision[c] + recall[c])
+		}
+		fmt.Fprintf(&b, "%-12s %10.3f %10.3f %10.3f %10d\n",
+			className(classNames, c), precision[c], recall[c], f1, support)
+	}
+	fmt.Fprintf(&b, "%-12s %10.3f\n", "accuracy", Accuracy(yTrue, yPred))
+	fmt.Fprintf(&b, "%-12s %10.3f\n", "macro F1", MacroF1(yTrue, yPred))
+	return b.String()
+}

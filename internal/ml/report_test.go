@@ -1,0 +1,50 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1, 1}
+	yPred := []int{0, 1, 1, 1, 0}
+	m := ConfusionMatrix(yTrue, yPred)
+	want := [][]int{{1, 1}, {1, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Errorf("m[%d][%d] = %d, want %d", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1, 1}
+	yPred := []int{0, 1, 1, 1, 0}
+	p, r := PrecisionRecall(yTrue, yPred)
+	// class 1: tp=2, predicted 3, actual 3 -> precision 2/3, recall 2/3.
+	if math.Abs(p[1]-2.0/3) > 1e-9 || math.Abs(r[1]-2.0/3) > 1e-9 {
+		t.Errorf("class 1 p/r = %v/%v, want 2/3", p[1], r[1])
+	}
+	if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(r[0]-0.5) > 1e-9 {
+		t.Errorf("class 0 p/r = %v/%v, want 0.5", p[0], r[0])
+	}
+	// Degenerate: a class never predicted gets precision 0 without NaN.
+	p, r = PrecisionRecall([]int{0, 1}, []int{0, 0})
+	if p[1] != 0 || r[1] != 0 {
+		t.Errorf("absent class p/r = %v/%v, want 0/0", p[1], r[1])
+	}
+}
+
+func TestClassificationReport(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1}
+	yPred := []int{0, 0, 1, 0}
+	rep := ClassificationReport(yTrue, yPred, []string{"Node", "Edge"})
+	for _, want := range []string{"Node", "Edge", "accuracy", "macro F1", "0.750"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// CovarianceMatrix returns the d x d sample covariance of the rows of X.
+func CovarianceMatrix(X [][]float64) ([][]float64, error) {
+	n := len(X)
+	if n < 2 {
+		return nil, errors.New("ml: covariance needs at least 2 rows")
+	}
+	d := len(X[0])
+	mean := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range X {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov, nil
+}
+
+// CorrelationMatrix returns the d x d Pearson correlation of the rows of X
+// — the covariance heat map of Figure 4, scale-free.
+func CorrelationMatrix(X [][]float64) ([][]float64, error) {
+	cov, err := CovarianceMatrix(X)
+	if err != nil {
+		return nil, err
+	}
+	d := len(cov)
+	out := make([][]float64, d)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			den := math.Sqrt(cov[i][i] * cov[j][j])
+			if den == 0 {
+				out[i][j] = 0
+				continue
+			}
+			out[i][j] = cov[i][j] / den
+		}
+	}
+	return out, nil
+}
+
+// PCA holds a fitted principal-component basis.
+type PCA struct {
+	// Components holds the eigenvectors, one per row, sorted by
+	// descending eigenvalue.
+	Components [][]float64
+	// Variances holds the matching eigenvalues.
+	Variances []float64
+	mean      []float64
+}
+
+// FitPCA computes the principal components of X via Jacobi
+// eigendecomposition of its covariance matrix. The paper notes PCA
+// preprocessing worsened its classifiers — every feature carries signal
+// (§3.7).
+func FitPCA(X [][]float64) (*PCA, error) {
+	cov, err := CovarianceMatrix(X)
+	if err != nil {
+		return nil, err
+	}
+	d := len(cov)
+	mean := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(X))
+	}
+	vals, vecs := jacobiEigen(cov)
+	// Sort by descending eigenvalue (selection sort over small d).
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < d; i++ {
+		best := i
+		for j := i + 1; j < d; j++ {
+			if vals[order[j]] > vals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	p := &PCA{mean: mean}
+	for _, k := range order {
+		comp := make([]float64, d)
+		for r := 0; r < d; r++ {
+			comp[r] = vecs[r][k]
+		}
+		p.Components = append(p.Components, comp)
+		p.Variances = append(p.Variances, vals[k])
+	}
+	return p, nil
+}
+
+// Transform projects x onto the first k components.
+func (p *PCA) Transform(x []float64, k int) []float64 {
+	if k > len(p.Components) {
+		k = len(p.Components)
+	}
+	out := make([]float64, k)
+	centered := make([]float64, len(x))
+	for j, v := range x {
+		centered[j] = v - p.mean[j]
+	}
+	for c := 0; c < k; c++ {
+		out[c] = dot(p.Components[c], centered)
+	}
+	return out
+}
+
+// TransformAll projects every row of X onto the first k components.
+func (p *PCA) TransformAll(X [][]float64, k int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = p.Transform(row, k)
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi
+// rotations, returning eigenvalues and the matrix of column eigenvectors.
+func jacobiEigen(sym [][]float64) ([]float64, [][]float64) {
+	n := len(sym)
+	a := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := range a {
+		a[i] = append([]float64(nil), sym[i]...)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, v
+}

@@ -1,0 +1,185 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestF1Binary(t *testing.T) {
+	yTrue := []int{1, 1, 0, 0, 1}
+	yPred := []int{1, 0, 0, 1, 1}
+	// tp=2 fp=1 fn=1 -> precision 2/3, recall 2/3, F1 2/3.
+	if got := F1Binary(yTrue, yPred, 1); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("F1 = %v, want 2/3", got)
+	}
+	if got := F1Binary([]int{0, 0}, []int{0, 0}, 1); got != 0 {
+		t.Errorf("no positives F1 = %v, want 0", got)
+	}
+	perfect := []int{1, 0, 1}
+	if got := F1Binary(perfect, perfect, 1); got != 1 {
+		t.Errorf("perfect F1 = %v, want 1", got)
+	}
+}
+
+func TestMacroF1AndAccuracy(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1}
+	yPred := []int{0, 1, 1, 1}
+	acc := Accuracy(yTrue, yPred)
+	if acc != 0.75 {
+		t.Errorf("accuracy = %v, want 0.75", acc)
+	}
+	m := MacroF1(yTrue, yPred)
+	// class0: tp=1 fp=0 fn=1 -> F1 2/3; class1: tp=2 fp=1 fn=0 -> F1 0.8.
+	want := (2.0/3 + 0.8) / 2
+	if math.Abs(m-want) > 1e-9 {
+		t.Errorf("macro F1 = %v, want %v", m, want)
+	}
+}
+
+func TestStratifiedSplitBalance(t *testing.T) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{float64(i)})
+		if i < 70 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 1)
+		}
+	}
+	trX, trY, teX, teY, err := StratifiedSplit(X, y, 0.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trX) != len(trY) || len(teX) != len(teY) {
+		t.Fatal("length mismatch")
+	}
+	if len(trX)+len(teX) != 100 {
+		t.Fatalf("split lost rows: %d + %d", len(trX), len(teX))
+	}
+	count := func(ys []int, c int) int {
+		n := 0
+		for _, v := range ys {
+			if v == c {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(trY, 0); got != 42 {
+		t.Errorf("train class 0 = %d, want 42 (60%% of 70)", got)
+	}
+	if got := count(trY, 1); got != 18 {
+		t.Errorf("train class 1 = %d, want 18 (60%% of 30)", got)
+	}
+	if _, _, _, _, err := StratifiedSplit(X, y, 1.5, 0); err == nil {
+		t.Error("accepted invalid fraction")
+	}
+	if _, _, _, _, err := StratifiedSplit(X, y[:10], 0.6, 0); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	X, y := blobs(30, 5, 8)
+	scores, err := KFold(func() Classifier { return &DecisionTree{MaxDepth: 4} }, X, y, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("got %d folds, want 3", len(scores))
+	}
+	mean, std := MeanStd(scores)
+	if mean < 0.9 {
+		t.Errorf("mean F1 = %.3f on separable data", mean)
+	}
+	if std < 0 {
+		t.Errorf("negative std %v", std)
+	}
+	if _, err := KFold(func() Classifier { return &DecisionTree{} }, X, y, 1, 1); err == nil {
+		t.Error("accepted k=1")
+	}
+}
+
+func TestCovarianceAndCorrelation(t *testing.T) {
+	// y = 2x exactly: correlation 1, covariance 2*var(x).
+	var X [][]float64
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		X = append(X, []float64{x, 2 * x, 0})
+	}
+	cov, err := CovarianceMatrix(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov[0][1]-2*cov[0][0]) > 1e-9 {
+		t.Errorf("cov(x,2x) = %v, want %v", cov[0][1], 2*cov[0][0])
+	}
+	corr, err := CorrelationMatrix(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corr[0][1]-1) > 1e-9 {
+		t.Errorf("corr(x,2x) = %v, want 1", corr[0][1])
+	}
+	if corr[2][2] != 0 {
+		t.Errorf("constant feature self-correlation = %v, want 0 fallback", corr[2][2])
+	}
+	if _, err := CovarianceMatrix([][]float64{{1}}); err == nil {
+		t.Error("accepted single-row covariance")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var X [][]float64
+	for i := 0; i < 200; i++ {
+		v := rng.NormFloat64() * 10
+		X = append(X, []float64{v, v + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1})
+	}
+	p, err := FitPCA(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variances[0] < 100 {
+		t.Errorf("first eigenvalue = %v, want >> 100", p.Variances[0])
+	}
+	if p.Variances[0] < p.Variances[1] || p.Variances[1] < p.Variances[2] {
+		t.Error("eigenvalues not sorted descending")
+	}
+	// First component points along (1,1,0)/√2.
+	c := p.Components[0]
+	if math.Abs(math.Abs(c[0])-math.Abs(c[1])) > 0.05 || math.Abs(c[2]) > 0.1 {
+		t.Errorf("first component = %v, want ≈ ±(0.71, 0.71, 0)", c)
+	}
+	// Projection preserves variance in the first component.
+	Z := p.TransformAll(X, 2)
+	if len(Z) != len(X) || len(Z[0]) != 2 {
+		t.Fatalf("transform shape %dx%d", len(Z), len(Z[0]))
+	}
+}
+
+func TestJacobiEigenIdentity(t *testing.T) {
+	vals, vecs := jacobiEigen([][]float64{{3, 0}, {0, 7}})
+	if !(vals[0] == 3 && vals[1] == 7) && !(vals[0] == 7 && vals[1] == 3) {
+		t.Errorf("eigenvalues = %v, want {3, 7}", vals)
+	}
+	if math.Abs(math.Abs(vecs[0][0])-1) > 1e-9 && math.Abs(math.Abs(vecs[0][1])-1) > 1e-9 {
+		t.Errorf("eigenvectors not axis-aligned: %v", vecs)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	x, err := solveLinear(A, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+	if _, err := solveLinear([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Error("accepted singular system")
+	}
+}

@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// DecisionTree is a CART classifier with gini-impurity splits — the
+// classifier of the paper's Figure 6 (max depth 2) and the base learner of
+// its random forest.
+type DecisionTree struct {
+	// MaxDepth bounds the tree depth; zero means 6.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; zero means 1.
+	MinLeaf int
+	// MaxFeatures is the number of features examined per split; zero
+	// means all (the random forest passes √d).
+	MaxFeatures int
+	// Seed drives the per-split feature subsampling when MaxFeatures is
+	// in effect.
+	Seed int64
+
+	root       *treeNode
+	classes    int
+	features   int
+	importance []float64
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	leaf      bool
+	pred      int
+	counts    []int
+}
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	t.classes = classes
+	t.features = len(X[0])
+	t.importance = make([]float64, t.features)
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 6
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 1
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := newRNG(t.Seed)
+	t.root = t.build(X, y, idx, 0, rng)
+	return nil
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func (t *DecisionTree) build(X [][]float64, y []int, idx []int, depth int, rng *rand.Rand) *treeNode {
+	counts := bincount(y, idx, t.classes)
+	node := &treeNode{counts: counts, pred: majority(counts), leaf: true}
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf || gini(counts, len(idx)) == 0 {
+		return node
+	}
+
+	feats := t.candidateFeatures(rng)
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	parentImp := gini(counts, len(idx))
+
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	leftCounts := make([]int, t.classes)
+	for _, f := range feats {
+		for k, i := range idx {
+			vals[k] = X[i][f]
+			order[k] = i
+		}
+		sort.Sort(&byFeature{vals: vals, idx: order})
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		nLeft := 0
+		for k := 0; k < len(order)-1; k++ {
+			leftCounts[y[order[k]]]++
+			nLeft++
+			if vals[k] == vals[k+1] {
+				continue
+			}
+			nRight := len(order) - nLeft
+			if nLeft < t.MinLeaf || nRight < t.MinLeaf {
+				continue
+			}
+			rightCounts := make([]int, t.classes)
+			for c := range rightCounts {
+				rightCounts[c] = counts[c] - leftCounts[c]
+			}
+			imp := (float64(nLeft)*gini(leftCounts, nLeft) + float64(nRight)*gini(rightCounts, nRight)) / float64(len(idx))
+			if gain := parentImp - imp; gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (vals[k] + vals[k+1]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	t.importance[bestFeat] += bestGain * float64(len(idx))
+	node.leaf = false
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = t.build(X, y, leftIdx, depth+1, rng)
+	node.right = t.build(X, y, rightIdx, depth+1, rng)
+	return node
+}
+
+func (t *DecisionTree) candidateFeatures(rng *rand.Rand) []int {
+	all := make([]int, t.features)
+	for i := range all {
+		all[i] = i
+	}
+	if t.MaxFeatures <= 0 || t.MaxFeatures >= t.features {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:t.MaxFeatures]
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.pred
+}
+
+// Importance returns the normalized impurity-decrease importance of each
+// feature (Figure 5's per-feature contributions).
+func (t *DecisionTree) Importance() []float64 {
+	out := append([]float64(nil), t.importance...)
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+// Dump renders the tree structure with the given feature and class names —
+// the textual equivalent of the paper's Figure 6.
+func (t *DecisionTree) Dump(featureNames, classNames []string) string {
+	var b strings.Builder
+	var walk func(n *treeNode, depth int)
+	walk = func(n *treeNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.leaf {
+			fmt.Fprintf(&b, "%spredict %s (samples=%v)\n", indent, className(classNames, n.pred), n.counts)
+			return
+		}
+		fmt.Fprintf(&b, "%sif %s <= %.4g:\n", indent, featureName(featureNames, n.feature), n.threshold)
+		walk(n.left, depth+1)
+		fmt.Fprintf(&b, "%selse:\n", indent)
+		walk(n.right, depth+1)
+	}
+	if t.root != nil {
+		walk(t.root, 0)
+	}
+	return b.String()
+}
+
+func featureName(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("f%d", i)
+}
+
+func className(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("class%d", i)
+}
+
+type byFeature struct {
+	vals []float64
+	idx  []int
+}
+
+func (s *byFeature) Len() int { return len(s.vals) }
+func (s *byFeature) Less(i, j int) bool {
+	return s.vals[i] < s.vals[j]
+}
+func (s *byFeature) Swap(i, j int) {
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+}

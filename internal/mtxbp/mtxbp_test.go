@@ -1,0 +1,206 @@
+package mtxbp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+func roundTrip(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	var nodeBuf, edgeBuf bytes.Buffer
+	if err := Write(&nodeBuf, &edgeBuf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&nodeBuf, &edgeBuf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripPerEdge(t *testing.T) {
+	g, err := gen.Synthetic(40, 160, gen.Config{Seed: 1, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, g)
+	if got.NumNodes != g.NumNodes || got.NumEdges != g.NumEdges || got.States != g.States {
+		t.Fatalf("shape mismatch: %d/%d/%d", got.NumNodes, got.NumEdges, got.States)
+	}
+	for i := range g.Priors {
+		if diff := g.Priors[i] - got.Priors[i]; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("prior %d: %v != %v", i, g.Priors[i], got.Priors[i])
+		}
+	}
+	for e := 0; e < g.NumEdges; e++ {
+		if g.EdgeSrc[e] != got.EdgeSrc[e] || g.EdgeDst[e] != got.EdgeDst[e] {
+			t.Fatalf("edge %d endpoints differ", e)
+		}
+		a, b := g.Matrix(int32(e)), got.Matrix(int32(e))
+		for i := range a.Data {
+			if diff := a.Data[i] - b.Data[i]; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("edge %d matrix entry %d: %v != %v", e, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRoundTripShared(t *testing.T) {
+	g, err := gen.Synthetic(30, 120, gen.Config{Seed: 2, States: 4, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, g)
+	if !got.SharedMatrix() {
+		t.Fatal("shared mode lost in round trip")
+	}
+	for i := range g.Shared.Data {
+		if diff := g.Shared.Data[i] - got.Shared.Data[i]; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("shared matrix entry %d differs", i)
+		}
+	}
+}
+
+func TestReadWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	np := filepath.Join(dir, "g.nodes.mtx")
+	ep := filepath.Join(dir, "g.edges.mtx")
+	g, err := gen.Synthetic(25, 100, gen.Config{Seed: 3, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFiles(np, ep, g); err != nil {
+		t.Fatalf("WriteFiles: %v", err)
+	}
+	got, err := ReadFiles(np, ep)
+	if err != nil {
+		t.Fatalf("ReadFiles: %v", err)
+	}
+	if got.NumNodes != 25 || got.NumEdges != 100 {
+		t.Fatalf("got %d/%d", got.NumNodes, got.NumEdges)
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	nodes := `%%MatrixMarket credo node beliefs
+% a comment
+
+2 2 2
+1 1 0.5 0.5
+% interleaved comment
+2 2 0.25 0.75
+`
+	edges := `%%MatrixMarket credo edge joint
+2 2 1
+1 2 0.9 0.1 0.2 0.8
+`
+	g, err := Read(strings.NewReader(nodes), strings.NewReader(edges))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.Belief(1)[1] != 0.75 {
+		t.Errorf("node 2 prior = %v", g.Belief(1))
+	}
+	if g.Matrix(0).At(0, 0) != 0.9 {
+		t.Errorf("matrix (0,0) = %v", g.Matrix(0).At(0, 0))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	nodesOK := "%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n"
+	cases := []struct {
+		name, nodes, edges string
+	}{
+		{"bad node header", "%%wrong\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n", "%%MatrixMarket credo edge joint\n2 2 0\n"},
+		{"bad edge header", nodesOK, "%%wrong\n2 2 0\n"},
+		{"node count mismatch in edge file", nodesOK, "%%MatrixMarket credo edge joint\n3 3 0\n"},
+		{"states out of range", "%%MatrixMarket credo node beliefs\n1 1 99\n", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+		{"self-identifier mismatch", "%%MatrixMarket credo node beliefs\n1 1 2\n1 2 0.5 0.5\n", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+		{"wrong probability count", "%%MatrixMarket credo node beliefs\n1 1 2\n1 1 0.5\n", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+		{"negative prior", "%%MatrixMarket credo node beliefs\n1 1 2\n1 1 -0.5 1.5\n", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+		{"NaN prior", "%%MatrixMarket credo node beliefs\n1 1 2\n1 1 NaN 0.5\n", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+		{"edge endpoint out of range", nodesOK, "%%MatrixMarket credo edge joint\n2 2 1\n1 9 0.9 0.1 0.2 0.8\n"},
+		{"edge matrix truncated", nodesOK, "%%MatrixMarket credo edge joint\n2 2 1\n1 2 0.9 0.1\n"},
+		{"edge matrix not stochastic", nodesOK, "%%MatrixMarket credo edge joint\n2 2 1\n1 2 0.9 0.9 0.2 0.8\n"},
+		{"missing shared matrix line", nodesOK, "%%MatrixMarket credo edge joint shared\n2 2 1\n1 2\n"},
+		{"trailing edges", nodesOK, "%%MatrixMarket credo edge joint\n2 2 0\n1 2 0.9 0.1 0.2 0.8\n"},
+		{"truncated node file", "%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n", "%%MatrixMarket credo edge joint\n2 2 0\n"},
+		{"garbage probability", "%%MatrixMarket credo node beliefs\n1 1 2\n1 1 zz 0.5\n", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+		{"empty node file", "", "%%MatrixMarket credo edge joint\n1 1 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.nodes), strings.NewReader(tc.edges)); err == nil {
+				t.Errorf("Read accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestReadSharedWithoutMatrixData(t *testing.T) {
+	nodes := "%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n"
+	edges := "%%MatrixMarket credo edge joint shared\n2 2 2\n0 0 0.8 0.2 0.3 0.7\n1 2\n2 1\n"
+	g, err := Read(strings.NewReader(nodes), strings.NewReader(edges))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !g.SharedMatrix() || g.NumEdges != 2 {
+		t.Fatalf("shared graph mis-parsed: shared=%v edges=%d", g.SharedMatrix(), g.NumEdges)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	np := filepath.Join(dir, "g.nodes.mtx.gz")
+	ep := filepath.Join(dir, "g.edges.mtx.gz")
+	g, err := gen.Synthetic(200, 800, gen.Config{Seed: 9, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFiles(np, ep, g); err != nil {
+		t.Fatalf("WriteFiles: %v", err)
+	}
+	got, err := ReadFiles(np, ep)
+	if err != nil {
+		t.Fatalf("ReadFiles: %v", err)
+	}
+	if got.NumNodes != 200 || got.NumEdges != 800 {
+		t.Fatalf("shape %d/%d", got.NumNodes, got.NumEdges)
+	}
+	// The compressed files must be materially smaller than plain text.
+	plainN := filepath.Join(dir, "p.nodes.mtx")
+	plainE := filepath.Join(dir, "p.edges.mtx")
+	if err := WriteFiles(plainN, plainE, g); err != nil {
+		t.Fatal(err)
+	}
+	gzSize := fileSize(t, np) + fileSize(t, ep)
+	plainSize := fileSize(t, plainN) + fileSize(t, plainE)
+	if gzSize*2 >= plainSize {
+		t.Errorf("gzip %d bytes not < half of plain %d", gzSize, plainSize)
+	}
+	// A corrupt gzip stream is rejected.
+	if err := os.WriteFile(np, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFiles(np, ep); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,133 @@
+package mtxbp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"credo/internal/graph"
+)
+
+// StreamWriter emits the mtxbp format incrementally — node by node, edge
+// by edge — without ever materializing a graph.Graph. It is how the
+// generators produce benchmark files larger than memory, the counterpart
+// of the parser's line-by-line reading (§3.2: the format exists precisely
+// so that neither side ever holds the whole network).
+//
+// Usage: NewStreamWriter, then exactly numNodes WriteNode calls, then
+// exactly numEdges WriteEdge calls, then Close.
+type StreamWriter struct {
+	nodes, edges *bufio.Writer
+	states       int
+	numNodes     int
+	numEdges     int
+	shared       bool
+
+	nodesWritten int
+	edgesWritten int
+	sb           strings.Builder
+}
+
+// NewStreamWriter starts a streaming serialization. A non-nil shared
+// matrix selects the §2.2 shared-matrix layout, in which WriteEdge must be
+// called with a nil matrix.
+func NewStreamWriter(nodeW, edgeW io.Writer, numNodes, numEdges, states int, shared *graph.JointMatrix) (*StreamWriter, error) {
+	if states <= 0 || states > graph.MaxStates {
+		return nil, fmt.Errorf("mtxbp: stream: states %d out of range [1,%d]", states, graph.MaxStates)
+	}
+	if numNodes < 0 || numEdges < 0 {
+		return nil, fmt.Errorf("mtxbp: stream: negative dimensions %d/%d", numNodes, numEdges)
+	}
+	w := &StreamWriter{
+		nodes:    bufio.NewWriterSize(nodeW, 1<<20),
+		edges:    bufio.NewWriterSize(edgeW, 1<<20),
+		states:   states,
+		numNodes: numNodes,
+		numEdges: numEdges,
+		shared:   shared != nil,
+	}
+	fmt.Fprintf(w.nodes, "%s\n%d %d %d\n", nodeHeader, numNodes, numNodes, states)
+	header := edgeHeader
+	if w.shared {
+		header = edgeHeaderShared
+	}
+	fmt.Fprintf(w.edges, "%s\n%d %d %d\n", header, numNodes, numNodes, numEdges)
+	if w.shared {
+		if int(shared.Rows) != states || int(shared.Cols) != states {
+			return nil, fmt.Errorf("mtxbp: stream: shared matrix %dx%d, want %dx%d", shared.Rows, shared.Cols, states, states)
+		}
+		w.sb.Reset()
+		w.sb.WriteString("0 0")
+		appendProbs(&w.sb, shared.Data)
+		w.sb.WriteByte('\n')
+		if _, err := w.edges.WriteString(w.sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// WriteNode appends the next node's prior distribution (ids are assigned
+// sequentially from 1, matching the format's ordering requirement).
+func (w *StreamWriter) WriteNode(prior []float32) error {
+	if w.nodesWritten >= w.numNodes {
+		return fmt.Errorf("mtxbp: stream: more than the declared %d nodes", w.numNodes)
+	}
+	if len(prior) != w.states {
+		return fmt.Errorf("mtxbp: stream: prior has %d states, want %d", len(prior), w.states)
+	}
+	w.nodesWritten++
+	id := strconv.Itoa(w.nodesWritten)
+	w.sb.Reset()
+	w.sb.WriteString(id)
+	w.sb.WriteByte(' ')
+	w.sb.WriteString(id)
+	appendProbs(&w.sb, prior)
+	w.sb.WriteByte('\n')
+	_, err := w.nodes.WriteString(w.sb.String())
+	return err
+}
+
+// WriteEdge appends a directed edge with 0-based endpoints. mat must be
+// nil in shared mode and a states x states matrix otherwise.
+func (w *StreamWriter) WriteEdge(src, dst int32, mat *graph.JointMatrix) error {
+	if w.edgesWritten >= w.numEdges {
+		return fmt.Errorf("mtxbp: stream: more than the declared %d edges", w.numEdges)
+	}
+	if src < 0 || int(src) >= w.numNodes || dst < 0 || int(dst) >= w.numNodes {
+		return fmt.Errorf("mtxbp: stream: edge (%d,%d) out of range", src, dst)
+	}
+	if w.shared != (mat == nil) {
+		return fmt.Errorf("mtxbp: stream: matrix presence inconsistent with shared mode")
+	}
+	w.edgesWritten++
+	w.sb.Reset()
+	w.sb.WriteString(strconv.Itoa(int(src) + 1))
+	w.sb.WriteByte(' ')
+	w.sb.WriteString(strconv.Itoa(int(dst) + 1))
+	if mat != nil {
+		if int(mat.Rows) != w.states || int(mat.Cols) != w.states {
+			return fmt.Errorf("mtxbp: stream: edge matrix %dx%d, want %dx%d", mat.Rows, mat.Cols, w.states, w.states)
+		}
+		appendProbs(&w.sb, mat.Data)
+	}
+	w.sb.WriteByte('\n')
+	_, err := w.edges.WriteString(w.sb.String())
+	return err
+}
+
+// Close flushes both streams and verifies the declared counts were met.
+func (w *StreamWriter) Close() error {
+	if w.nodesWritten != w.numNodes {
+		return fmt.Errorf("mtxbp: stream: wrote %d of %d declared nodes", w.nodesWritten, w.numNodes)
+	}
+	if w.edgesWritten != w.numEdges {
+		return fmt.Errorf("mtxbp: stream: wrote %d of %d declared edges", w.edgesWritten, w.numEdges)
+	}
+	if err := w.nodes.Flush(); err != nil {
+		return err
+	}
+	return w.edges.Flush()
+}

@@ -1,0 +1,191 @@
+// Package perfmodel prices the abstract operation counts reported by the
+// BP engines (bp.OpCounts) under a CPU cost profile, so that the figure
+// harness can place the C and OpenMP implementations on the same simulated
+// time axis as the gpusim device times.
+//
+// The model separates cache-friendly streaming loads from random-order
+// gathers — the distinction at the heart of the paper's per-node versus
+// per-edge trade-off (§3.3): the node paradigm's parent gathers miss the
+// cache, while the edge paradigm streams its stored messages.
+package perfmodel
+
+import (
+	"time"
+
+	"credo/internal/bp"
+)
+
+// CPUProfile describes a host CPU for the cost model. All costs are in
+// seconds per operation.
+type CPUProfile struct {
+	Name string
+
+	// OpCost is one simple arithmetic op (multiply-accumulate) on one
+	// core, amortized over superscalar issue.
+	OpCost float64
+
+	// SpecialOpCost is one log/exp evaluation.
+	SpecialOpCost float64
+
+	// LoadCost and StoreCost are per-float32 costs for streaming,
+	// cache-resident accesses.
+	LoadCost  float64
+	StoreCost float64
+
+	// RandomLoadPenalty is the cost of one random-order gather
+	// transaction (one cache line) that misses the cache hierarchy.
+	// Engines count RandomLoads in cache lines, not floats.
+	RandomLoadPenalty float64
+
+	// AtomicCost is one CPU atomic CAS update.
+	AtomicCost float64
+
+	// QueueOpCost is one work-queue push.
+	QueueOpCost float64
+
+	// PhysicalCores and LogicalCores bound parallel scaling; the paper's
+	// i7-7700HQ has 4 physical and 4 hyperthreaded logical cores.
+	PhysicalCores int
+	LogicalCores  int
+
+	// RegionForkCost is the per-thread cost of entering one parallel
+	// region (thread wake-up), and RegionJoinCost the barrier at its end.
+	RegionForkCost float64
+	RegionJoinCost float64
+
+	// MemContention maps thread count to the slowdown factor of the
+	// memory-bound portion of the work when that many threads share the
+	// memory system (hyperthreading pressure included). Missing entries
+	// interpolate between neighbours.
+	MemContention map[int]float64
+
+	// MemContentionNoHT is the contention map with hyperthreading
+	// disabled (the paper's §2.4 mitigation experiment).
+	MemContentionNoHT map[int]float64
+}
+
+// I7_7700HQ returns the profile of the paper's evaluation CPU (§4): an
+// Intel Core i7-7700HQ, 4 physical / 4 logical cores, 32 GB of RAM.
+// Contention factors are calibrated to the paper's measured OpenMP
+// slowdowns (1.17x at 2 threads, 1.65x at 4, 4.03x at 8; 1.1x and 1.2x
+// with hyperthreading off).
+func I7_7700HQ() CPUProfile {
+	return CPUProfile{
+		Name:              "Intel Core i7-7700HQ",
+		OpCost:            0.35e-9,
+		SpecialOpCost:     4e-9,
+		LoadCost:          0.30e-9,
+		StoreCost:         0.35e-9,
+		RandomLoadPenalty: 65e-9,
+		AtomicCost:        8e-9,
+		QueueOpCost:       2e-9,
+		PhysicalCores:     4,
+		LogicalCores:      8,
+		RegionForkCost:    6e-6,
+		RegionJoinCost:    3e-6,
+		MemContention: map[int]float64{
+			1: 1.00, 2: 1.15, 4: 1.60, 8: 3.9,
+		},
+		MemContentionNoHT: map[int]float64{
+			1: 1.00, 2: 1.08, 4: 1.17,
+		},
+	}
+}
+
+// XeonE5_2686 returns the profile of the p3.2xlarge host CPU of the
+// portability study (§4.4): an Intel Xeon E5-2686 v4 with 8 cores.
+func XeonE5_2686() CPUProfile {
+	p := I7_7700HQ()
+	p.Name = "Intel Xeon E5-2686 v4"
+	p.OpCost = 0.40e-9 // lower clock than the i7
+	p.PhysicalCores = 8
+	p.LogicalCores = 16
+	p.MemContention = map[int]float64{1: 1.00, 2: 1.12, 4: 1.40, 8: 2.2, 16: 4.5}
+	return p
+}
+
+// split divides the priced cost of ops into its compute-bound and
+// memory-bound components (seconds on one core).
+func (p CPUProfile) split(ops bp.OpCounts) (compute, memory float64) {
+	compute = float64(ops.MatrixOps)*p.OpCost +
+		float64(ops.LogOps)*p.SpecialOpCost +
+		float64(ops.AtomicOps)*p.AtomicCost +
+		float64(ops.QueuePushes)*p.QueueOpCost
+	memory = float64(ops.MemLoads)*p.LoadCost +
+		float64(ops.MemStores)*p.StoreCost +
+		float64(ops.RandomLoads)*p.RandomLoadPenalty
+	return compute, memory
+}
+
+// SequentialTime prices ops as a single-threaded run — the paper's
+// "control yet optimized single threaded implementations".
+func (p CPUProfile) SequentialTime(ops bp.OpCounts) time.Duration {
+	c, m := p.split(ops)
+	return seconds(c + m)
+}
+
+// ParallelOptions shapes the OpenMP pricing.
+type ParallelOptions struct {
+	// Threads is the team size.
+	Threads int
+	// RegionsPerIteration is the number of fork-join parallel regions
+	// each BP iteration enters (collect, update, reduce ≈ 2-3).
+	RegionsPerIteration int
+	// HyperthreadingOff selects the no-HT contention calibration.
+	HyperthreadingOff bool
+}
+
+// ParallelTime prices ops as an OpenMP run with the given team. BP's loops
+// are load-latency-bound streams — the arithmetic hides behind belief and
+// message loads — so threading does not shorten the critical path; it adds
+// the measured memory-system contention (stalls plus hyperthreading
+// pressure) and every parallel region pays its fork and join overheads.
+// This reproduces the paper's §2.4 result: parallelizing the
+// sub-millisecond BP loops made 131 of 132 benchmarks slower.
+func (p CPUProfile) ParallelTime(ops bp.OpCounts, opt ParallelOptions) time.Duration {
+	if opt.Threads <= 1 {
+		return p.SequentialTime(ops)
+	}
+	if opt.RegionsPerIteration <= 0 {
+		opt.RegionsPerIteration = 2
+	}
+	c, m := p.split(ops)
+	cont := p.contention(opt.Threads, opt.HyperthreadingOff)
+	regions := float64(ops.Iterations) * float64(opt.RegionsPerIteration)
+	overhead := regions * (float64(opt.Threads)*p.RegionForkCost + p.RegionJoinCost)
+	return seconds((c+m)*cont + overhead)
+}
+
+// contention interpolates the contention factor for a thread count.
+func (p CPUProfile) contention(threads int, noHT bool) float64 {
+	m := p.MemContention
+	if noHT {
+		m = p.MemContentionNoHT
+	}
+	if f, ok := m[threads]; ok {
+		return f
+	}
+	// Linear interpolation between the nearest calibrated points.
+	lo, hi := 1, threads
+	loV, hiV := 1.0, 0.0
+	for t, f := range m {
+		if t <= threads && t >= lo {
+			lo, loV = t, f
+		}
+		if t >= threads && (hiV == 0 || t < hi) {
+			hi, hiV = t, f
+		}
+	}
+	if hiV == 0 { // beyond the calibrated range: extrapolate linearly
+		return loV * float64(threads) / float64(lo)
+	}
+	if hi == lo {
+		return loV
+	}
+	frac := float64(threads-lo) / float64(hi-lo)
+	return loV + frac*(hiV-loV)
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,137 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+)
+
+func sampleOps(t *testing.T) bp.OpCounts {
+	t.Helper()
+	g, err := gen.Synthetic(500, 2000, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bp.RunNode(g, bp.Options{})
+	return res.Ops
+}
+
+func TestSequentialTimePositiveAndMonotone(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	t1 := p.SequentialTime(ops)
+	if t1 <= 0 {
+		t.Fatalf("sequential time = %v", t1)
+	}
+	double := ops
+	double.MatrixOps *= 2
+	double.MemLoads *= 2
+	double.RandomLoads *= 2
+	if t2 := p.SequentialTime(double); t2 <= t1 {
+		t.Errorf("doubling work did not increase time: %v <= %v", t2, t1)
+	}
+}
+
+// TestOpenMPSlowdownShape reproduces the §2.4 finding: on the i7-7700HQ
+// profile, adding threads makes BP slower, and monotonically so across the
+// paper's 2/4/8-thread measurements.
+func TestOpenMPSlowdownShape(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	seq := p.SequentialTime(ops).Seconds()
+	prev := seq
+	for _, threads := range []int{2, 4, 8} {
+		par := p.ParallelTime(ops, ParallelOptions{Threads: threads}).Seconds()
+		if par <= seq {
+			t.Errorf("threads=%d: parallel %.4fs not slower than sequential %.4fs", threads, par, seq)
+		}
+		if par < prev {
+			t.Errorf("threads=%d: slowdown not monotone (%.4fs < %.4fs)", threads, par, prev)
+		}
+		prev = par
+	}
+}
+
+func TestHyperthreadingOffReducesPenalty(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	ht := p.ParallelTime(ops, ParallelOptions{Threads: 4})
+	noHT := p.ParallelTime(ops, ParallelOptions{Threads: 4, HyperthreadingOff: true})
+	if noHT >= ht {
+		t.Errorf("disabling HT did not reduce the penalty: %v >= %v", noHT, ht)
+	}
+}
+
+func TestSingleThreadEqualsSequential(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	if p.ParallelTime(ops, ParallelOptions{Threads: 1}) != p.SequentialTime(ops) {
+		t.Error("threads=1 should price as sequential")
+	}
+}
+
+func TestRandomLoadsPenalized(t *testing.T) {
+	p := I7_7700HQ()
+	var a, b bp.OpCounts
+	a.MemLoads = 1_000_000
+	b.MemLoads = 1_000_000
+	b.RandomLoads = 1_000_000
+	if p.SequentialTime(b) <= p.SequentialTime(a) {
+		t.Error("random loads not penalized over streaming loads")
+	}
+}
+
+func TestContentionInterpolation(t *testing.T) {
+	p := I7_7700HQ()
+	c3 := p.contention(3, false)
+	if c3 <= p.MemContention[2] || c3 >= p.MemContention[4] {
+		t.Errorf("contention(3) = %v, want between %v and %v", c3, p.MemContention[2], p.MemContention[4])
+	}
+	// Beyond the calibrated range extrapolates upward.
+	if c16 := p.contention(16, false); c16 <= p.MemContention[8] {
+		t.Errorf("contention(16) = %v, want > %v", c16, p.MemContention[8])
+	}
+}
+
+func TestXeonProfile(t *testing.T) {
+	x := XeonE5_2686()
+	if x.PhysicalCores != 8 {
+		t.Errorf("Xeon cores = %d, want 8 (paper §4.4)", x.PhysicalCores)
+	}
+	// The Xeon scales better: the same work at 8 threads is less penalized
+	// relative to its own sequential time than on the i7.
+	ops := sampleOps(t)
+	i7 := I7_7700HQ()
+	ratioXeon := x.ParallelTime(ops, ParallelOptions{Threads: 8}).Seconds() / x.SequentialTime(ops).Seconds()
+	ratioI7 := i7.ParallelTime(ops, ParallelOptions{Threads: 8}).Seconds() / i7.SequentialTime(ops).Seconds()
+	if ratioXeon >= ratioI7 {
+		t.Errorf("Xeon parallel ratio %v not better than i7 %v", ratioXeon, ratioI7)
+	}
+}
+
+func TestNodeSlowerThanEdgeSequential(t *testing.T) {
+	// §4.1.1: in the single-threaded environment the edge paradigm tends
+	// to dominate the node paradigm, driven by the node gathers' random
+	// loads.
+	g, err := gen.Synthetic(2000, 8000, gen.Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := bp.RunNode(g.Clone(), bp.Options{})
+	edge := bp.RunEdge(g.Clone(), bp.Options{})
+	p := I7_7700HQ()
+	tn := p.SequentialTime(node.Ops)
+	te := p.SequentialTime(edge.Ops)
+	if tn <= te {
+		t.Errorf("C Node %v not slower than C Edge %v", tn, te)
+	}
+}
+
+func TestZeroOpsZeroTime(t *testing.T) {
+	p := I7_7700HQ()
+	if p.SequentialTime(bp.OpCounts{}) != time.Duration(0) {
+		t.Error("zero ops priced nonzero")
+	}
+}

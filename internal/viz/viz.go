@@ -1,0 +1,144 @@
+// Package viz renders terminal bar charts for the experiment harness, so
+// credobench regenerates the paper's figures as figures — log-scale
+// grouped bars for the runtime plots, plain bars for importances and
+// speedups — with no dependencies beyond the standard library.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Group is one labeled cluster of values (one per series).
+type Group struct {
+	Label  string
+	Values []float64
+}
+
+const (
+	chartWidth = 48
+	barRune    = '█'
+)
+
+// BarChart renders horizontal bars scaled linearly to the maximum value.
+func BarChart(w io.Writer, title, unit string, bars []Bar) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	maxv := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxv {
+			maxv = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		if maxv > 0 {
+			n = int(math.Round(b.Value / maxv * chartWidth))
+		}
+		if n < 1 && b.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "%-*s |%-*s %.4g%s\n", labelW, b.Label, chartWidth, strings.Repeat(string(barRune), n), b.Value, unit)
+	}
+}
+
+// LogBarChart renders horizontal bars on a log10 scale — the right shape
+// for the paper's runtime figures, which span microseconds to minutes.
+// Non-positive values render as empty bars.
+func LogBarChart(w io.Writer, title, unit string, bars []Bar) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	minv, maxv := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > 0 {
+			minv = math.Min(minv, b.Value)
+			maxv = math.Max(maxv, b.Value)
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	span := math.Log10(maxv) - math.Log10(minv)
+	for _, b := range bars {
+		n := 0
+		if b.Value > 0 {
+			if span <= 0 {
+				n = chartWidth
+			} else {
+				n = 1 + int(math.Round((math.Log10(b.Value)-math.Log10(minv))/span*float64(chartWidth-1)))
+			}
+		}
+		fmt.Fprintf(w, "%-*s |%-*s %.4g%s\n", labelW, b.Label, chartWidth, strings.Repeat(string(barRune), n), b.Value, unit)
+	}
+	if !math.IsInf(minv, 1) {
+		fmt.Fprintf(w, "%-*s  (log scale: %.3g%s .. %.3g%s)\n", labelW, "", minv, unit, maxv, unit)
+	}
+}
+
+// GroupedLogBars renders one log-scale bar per series within each group —
+// the shape of Figure 7 (four implementations per benchmark graph).
+func GroupedLogBars(w io.Writer, title, unit string, seriesNames []string, groups []Group) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	minv, maxv := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > 0 {
+				minv = math.Min(minv, v)
+				maxv = math.Max(maxv, v)
+			}
+		}
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+	}
+	seriesW := 0
+	for _, s := range seriesNames {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	span := math.Log10(maxv) - math.Log10(minv)
+	for _, g := range groups {
+		fmt.Fprintf(w, "%-*s\n", labelW, g.Label)
+		for i, v := range g.Values {
+			name := ""
+			if i < len(seriesNames) {
+				name = seriesNames[i]
+			}
+			n := 0
+			if v > 0 {
+				if span <= 0 {
+					n = chartWidth
+				} else {
+					n = 1 + int(math.Round((math.Log10(v)-math.Log10(minv))/span*float64(chartWidth-1)))
+				}
+			}
+			val := "-"
+			if v > 0 {
+				val = fmt.Sprintf("%.4g%s", v, unit)
+			}
+			fmt.Fprintf(w, "  %-*s |%-*s %s\n", seriesW, name, chartWidth, strings.Repeat(string(barRune), n), val)
+		}
+	}
+	if !math.IsInf(minv, 1) {
+		fmt.Fprintf(w, "(log scale: %.3g%s .. %.3g%s)\n", minv, unit, maxv, unit)
+	}
+}

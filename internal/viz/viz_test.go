@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "title", "x", []Bar{{"a", 10}, {"bb", 5}, {"c", 0}})
+	out := buf.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	barLen := func(line string) int { return strings.Count(line, "█") }
+	if barLen(lines[1]) != 48 {
+		t.Errorf("max bar length %d, want 48", barLen(lines[1]))
+	}
+	if barLen(lines[2]) != 24 {
+		t.Errorf("half bar length %d, want 24", barLen(lines[2]))
+	}
+	if barLen(lines[3]) != 0 {
+		t.Errorf("zero bar length %d, want 0", barLen(lines[3]))
+	}
+	// Labels align.
+	if !strings.HasPrefix(lines[1], "a  |") || !strings.HasPrefix(lines[2], "bb |") {
+		t.Errorf("labels misaligned:\n%s", out)
+	}
+}
+
+func TestLogBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	LogBarChart(&buf, "", "s", []Bar{{"small", 1e-6}, {"mid", 1e-3}, {"big", 1}})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // 3 bars + scale note
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	count := func(line string) int { return strings.Count(line, "█") }
+	if !(count(lines[0]) < count(lines[1]) && count(lines[1]) < count(lines[2])) {
+		t.Errorf("log bars not monotone: %d %d %d", count(lines[0]), count(lines[1]), count(lines[2]))
+	}
+	// Mid value is geometrically centered: roughly half the width.
+	if c := count(lines[1]); c < 20 || c > 29 {
+		t.Errorf("mid bar %d, want ≈24 on log scale", c)
+	}
+	if !strings.Contains(lines[3], "log scale") {
+		t.Errorf("missing scale note: %s", lines[3])
+	}
+}
+
+func TestLogBarChartDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	LogBarChart(&buf, "", "", []Bar{{"only", 5}, {"zero", 0}})
+	out := buf.String()
+	if !strings.Contains(out, "only") || !strings.Contains(out, "zero") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	// Equal min and max: full-width bar, no panic.
+	if strings.Count(strings.Split(out, "\n")[0], "█") != 48 {
+		t.Errorf("single-value bar not full width:\n%s", out)
+	}
+}
+
+func TestGroupedLogBars(t *testing.T) {
+	var buf bytes.Buffer
+	GroupedLogBars(&buf, "fig", "s", []string{"C Edge", "CUDA Node"}, []Group{
+		{Label: "g1", Values: []float64{1, 0.01}},
+		{Label: "g2", Values: []float64{10, 0}},
+	})
+	out := buf.String()
+	for _, want := range []string{"fig", "g1", "g2", "C Edge", "CUDA Node", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The zero entry renders "-".
+	if !strings.Contains(out, " -\n") {
+		t.Errorf("zero value not dashed:\n%s", out)
+	}
+}

@@ -1,0 +1,184 @@
+// Package xmlbif implements the XML sibling of the Bayesian Interchange
+// Format (XMLBIF v0.3), the second baseline of the paper's input-format
+// comparison (§3.2.1). As the paper observes of the format, the whole
+// document is unmarshalled into memory before the graph can be assembled —
+// the cost Credo's streaming mtxbp format eliminates.
+//
+// The pairwise conversion rules match package bif: multi-parent variables
+// become one edge per parent with the CPT marginalized over the others.
+package xmlbif
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"credo/internal/bif"
+	"credo/internal/graph"
+)
+
+// Document is the root <BIF> element.
+type Document struct {
+	XMLName xml.Name `xml:"BIF"`
+	Version string   `xml:"VERSION,attr"`
+	Network Net      `xml:"NETWORK"`
+}
+
+// Net is the <NETWORK> element.
+type Net struct {
+	Name        string       `xml:"NAME"`
+	Variables   []Variable   `xml:"VARIABLE"`
+	Definitions []Definition `xml:"DEFINITION"`
+}
+
+// Variable is a <VARIABLE> declaration with its outcome states.
+type Variable struct {
+	Name     string   `xml:"NAME"`
+	Type     string   `xml:"TYPE,attr"`
+	Outcomes []string `xml:"OUTCOME"`
+}
+
+// Definition is a <DEFINITION> block: the CPT of one variable.
+type Definition struct {
+	For   string   `xml:"FOR"`
+	Given []string `xml:"GIVEN"`
+	Table string   `xml:"TABLE"`
+}
+
+// Parse unmarshals an XMLBIF document and converts it to a pairwise belief
+// graph.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	doc, err := ParseDocument(r)
+	if err != nil {
+		return nil, err
+	}
+	return doc.ToGraph()
+}
+
+// ParseFile parses the XMLBIF file at path.
+func ParseFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(bufio.NewReaderSize(f, 1<<20))
+}
+
+// ParseDocument unmarshals the raw document.
+func ParseDocument(r io.Reader) (*Document, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlbif: %w", err)
+	}
+	var doc Document
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("xmlbif: %w", err)
+	}
+	return &doc, nil
+}
+
+// ToGraph converts the document to a pairwise belief graph by translating
+// it to the bif package's raw network form and reusing its conversion.
+func (d *Document) ToGraph() (*graph.Graph, error) {
+	n := &bif.Network{Name: d.Network.Name}
+	for _, v := range d.Network.Variables {
+		if len(v.Outcomes) == 0 {
+			return nil, fmt.Errorf("xmlbif: variable %q has no outcomes", v.Name)
+		}
+		n.Variables = append(n.Variables, bif.Variable{Name: strings.TrimSpace(v.Name), States: trimAll(v.Outcomes)})
+	}
+	for _, def := range d.Network.Definitions {
+		vals, err := parseTable(def.Table)
+		if err != nil {
+			return nil, fmt.Errorf("xmlbif: definition for %q: %w", def.For, err)
+		}
+		n.Probs = append(n.Probs, bif.Probability{
+			Child:   strings.TrimSpace(def.For),
+			Parents: trimAll(def.Given),
+			Table:   vals,
+		})
+	}
+	return n.ToGraph()
+}
+
+func trimAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = strings.TrimSpace(s)
+	}
+	return out
+}
+
+func parseTable(s string) ([]float32, error) {
+	fields := strings.Fields(s)
+	vals := make([]float32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad table value %q: %w", f, err)
+		}
+		vals[i] = float32(v)
+	}
+	return vals, nil
+}
+
+// Write serializes g as an XMLBIF document. Like the BIF writer it
+// requires each node to have at most one parent.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(xml.Header)
+	bw.WriteString("<BIF VERSION=\"0.3\">\n<NETWORK>\n<NAME>credo</NAME>\n")
+	for v := 0; v < g.NumNodes; v++ {
+		if g.InDegree(int32(v)) > 1 {
+			return fmt.Errorf("xmlbif: node %d has %d parents; writer supports at most 1", v, g.InDegree(int32(v)))
+		}
+		fmt.Fprintf(bw, "<VARIABLE TYPE=\"nature\">\n<NAME>%s</NAME>\n", nodeName(g, v))
+		for j := 0; j < g.States; j++ {
+			fmt.Fprintf(bw, "<OUTCOME>s%d</OUTCOME>\n", j)
+		}
+		bw.WriteString("</VARIABLE>\n")
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		fmt.Fprintf(bw, "<DEFINITION>\n<FOR>%s</FOR>\n", nodeName(g, v))
+		lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+		if lo == hi {
+			bw.WriteString("<TABLE>")
+			writeValues(bw, g.Prior(int32(v)))
+			bw.WriteString("</TABLE>\n</DEFINITION>\n")
+			continue
+		}
+		e := g.InEdges[lo]
+		fmt.Fprintf(bw, "<GIVEN>%s</GIVEN>\n<TABLE>", nodeName(g, int(g.EdgeSrc[e])))
+		m := g.Matrix(e)
+		for i := 0; i < g.States; i++ {
+			if i > 0 {
+				bw.WriteString(" ")
+			}
+			writeValues(bw, m.Row(i))
+		}
+		bw.WriteString("</TABLE>\n</DEFINITION>\n")
+	}
+	bw.WriteString("</NETWORK>\n</BIF>\n")
+	return bw.Flush()
+}
+
+func nodeName(g *graph.Graph, v int) string {
+	if v < len(g.Names) && g.Names[v] != "" {
+		return g.Names[v]
+	}
+	return "n" + strconv.Itoa(v)
+}
+
+func writeValues(bw *bufio.Writer, vals []float32) {
+	for i, f := range vals {
+		if i > 0 {
+			bw.WriteString(" ")
+		}
+		bw.WriteString(strconv.FormatFloat(float64(f), 'g', 7, 32))
+	}
+}
