@@ -1,0 +1,41 @@
+# Targets mirror .github/workflows/ci.yml one-to-one so a green `make ci`
+# locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build vet fmt lint test race fuzz bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the files) if anything is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt
+
+test:
+	$(GO) test ./...
+
+# The CI race job: the concurrent engines, twice, under the race detector.
+race:
+	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/
+
+# The CI fuzz-smoke job: 20s on each parser fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/bif/
+	$(GO) test -fuzz=FuzzRead -fuzztime=20s ./internal/mtxbp/
+
+# The CI bench-smoke job: one iteration of every benchmark, output kept.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee bench.txt
+
+ci: build lint test race fuzz bench

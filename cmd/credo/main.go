@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,7 +46,9 @@ func run(args []string, out io.Writer) error {
 	edgesPath := fs.String("edges", "", "mtxbp edge file")
 	bifPath := fs.String("bif", "", "BIF input file")
 	xmlPath := fs.String("xmlbif", "", "XML-BIF input file")
-	implName := fs.String("impl", "auto", "implementation: auto, cedge, cnode, cudaedge, cudanode")
+	implName := fs.String("impl", "auto", "implementation: auto, cedge, cnode, cudaedge, cudanode, pool")
+	engineName := fs.String("engine", "auto", "execution engine: auto (the paper's selection) or pool (persistent worker-pool runtime)")
+	workers := fs.Int("workers", 0, "worker-pool team size for -engine=pool / -impl pool (0 = NumCPU)")
 	gpuName := fs.String("gpu", "pascal", "device profile: pascal or volta")
 	threshold := fs.Float64("threshold", bp.DefaultThreshold, "convergence threshold")
 	maxIter := fs.Int("maxiter", bp.DefaultMaxIterations, "iteration cap")
@@ -110,12 +113,27 @@ func run(args []string, out io.Writer) error {
 	}
 
 	eng := core.Engine{
-		Selector: core.Selector{GPU: gpu, Classifier: classifier},
+		Selector: core.Selector{GPU: gpu, Classifier: classifier, PoolWorkers: *workers},
 		Options: bp.Options{
 			Threshold:     float32(*threshold),
 			MaxIterations: *maxIter,
 			WorkQueue:     *queue,
 		},
+	}
+
+	switch strings.ToLower(*engineName) {
+	case "auto":
+	case "pool":
+		// The pool engine is requested explicitly: route the run to it
+		// (an explicit -impl choice still wins).
+		if eng.PoolWorkers == 0 {
+			eng.PoolWorkers = runtime.NumCPU()
+		}
+		if *implName == "auto" {
+			*implName = "pool"
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (want auto or pool)", *engineName)
 	}
 
 	if *explain {
@@ -187,6 +205,8 @@ func parseImpl(name string) (core.Implementation, error) {
 		return core.CUDAEdge, nil
 	case "cudanode":
 		return core.CUDANode, nil
+	case "pool":
+		return core.Pool, nil
 	}
 	return 0, fmt.Errorf("unknown implementation %q", name)
 }

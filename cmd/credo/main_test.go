@@ -184,3 +184,17 @@ func TestSaveFlag(t *testing.T) {
 		t.Errorf("missing save confirmation:\n%s", out.String())
 	}
 }
+
+func TestEngineFlag(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-engine", "pool", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "implementation: Go Pool") {
+		t.Errorf("-engine=pool did not route to the pool engine:\n%s", out.String())
+	}
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-engine", "hyperdrive"}, &out); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -31,6 +31,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("credobench", flag.ContinueOnError)
 	expID := fs.String("exp", "all", "experiment id or 'all' (ids: "+idList()+")")
 	tierName := fs.String("tier", "small", "benchmark tier: ci, small or medium")
+	engineName := fs.String("engine", "auto", "execution engine: auto runs -exp as given; pool focuses on the worker-pool comparison (-exp pool)")
+	workers := fs.Int("workers", 8, "persistent worker-pool team size for the pool experiment")
 	seed := fs.Int64("seed", 1, "generator seed")
 	outPath := fs.String("o", "", "also write the report to this file")
 	trainPath := fs.String("train", "", "instead of running experiments, train the selection forest on the tier's dataset and save it here (JSON, loadable by credo -model)")
@@ -44,6 +46,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cfg := bench.DefaultConfig(tier)
 	cfg.Seed = *seed
+	cfg.PoolWorkers = *workers
+
+	switch strings.ToLower(*engineName) {
+	case "auto":
+	case "pool":
+		if *expID == "all" {
+			*expID = "pool"
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (want auto or pool)", *engineName)
+	}
 
 	if *trainPath != "" {
 		return trainModel(*trainPath, cfg, stdout)

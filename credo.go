@@ -28,6 +28,7 @@ import (
 	"credo/internal/gpusim"
 	"credo/internal/graph"
 	"credo/internal/mtxbp"
+	"credo/internal/poolbp"
 	"credo/internal/xmlbif"
 )
 
@@ -61,13 +62,19 @@ type (
 	ArchProfile = gpusim.ArchProfile
 )
 
-// The four implementations of the paper's §3.6.
+// The four implementations of the paper's §3.6, plus the persistent
+// worker-pool engine this reproduction adds (enable it with
+// Selector.PoolWorkers or run it directly with RunPoolNode/RunPoolEdge).
 const (
 	CEdge    = core.CEdge
 	CNode    = core.CNode
 	CUDAEdge = core.CUDAEdge
 	CUDANode = core.CUDANode
+	Pool     = core.Pool
 )
+
+// PoolOptions configures the persistent worker-pool engine.
+type PoolOptions = poolbp.Options
 
 // NewBuilder returns a graph builder for nodes of the given belief width.
 func NewBuilder(states int) *Builder { return graph.NewBuilder(states) }
@@ -132,6 +139,14 @@ func RunResidual(g *Graph, opts Options) Result { return bp.RunResidual(g, opts)
 // RunMaxProduct executes loopy max-product BP; DecodeMAP reads off the
 // approximate MAP assignment afterwards.
 func RunMaxProduct(g *Graph, opts Options) Result { return bp.RunMaxProduct(g, opts) }
+
+// RunPoolNode executes per-node loopy BP on the persistent worker pool.
+// The result is bitwise identical for any worker count.
+func RunPoolNode(g *Graph, opts PoolOptions) Result { return poolbp.RunNode(g, opts) }
+
+// RunPoolEdge executes per-edge loopy BP on the persistent worker pool,
+// combining messages into the destination accumulators with atomic adds.
+func RunPoolEdge(g *Graph, opts PoolOptions) Result { return poolbp.RunEdge(g, opts) }
 
 // DecodeMAP returns each node's argmax belief state.
 func DecodeMAP(g *Graph) []int { return bp.DecodeMAP(g) }

@@ -63,6 +63,10 @@ type Config struct {
 	// Credo's final configuration.
 	Options bp.Options
 	Seed    int64
+
+	// PoolWorkers is the persistent worker-pool team size used by the
+	// pool-engine experiment and runners.
+	PoolWorkers int
 }
 
 // DefaultConfig returns the paper's §4 environment at the given tier:
@@ -70,11 +74,12 @@ type Config struct {
 // cap, work queues on.
 func DefaultConfig(t Tier) Config {
 	return Config{
-		Tier:    t,
-		CPU:     perfmodel.I7_7700HQ(),
-		GPU:     gpusim.Pascal(),
-		Options: bp.Options{WorkQueue: true},
-		Seed:    1,
+		Tier:        t,
+		CPU:         perfmodel.I7_7700HQ(),
+		GPU:         gpusim.Pascal(),
+		Options:     bp.Options{WorkQueue: true},
+		Seed:        1,
+		PoolWorkers: 8, // the paper's §2.4 maximum thread count
 	}
 }
 
@@ -93,6 +98,7 @@ func scaleOps(ops bp.OpCounts, r float64) bp.OpCounts {
 		AtomicOps:      s(ops.AtomicOps),
 		QueuePushes:    s(ops.QueuePushes),
 		RandomLoads:    s(ops.RandomLoads),
+		SyncOps:        ops.SyncOps, // per-sweep barrier crossings, scale-invariant like Iterations
 	}
 }
 

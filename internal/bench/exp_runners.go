@@ -10,6 +10,7 @@ import (
 	"credo/internal/gpusim"
 	"credo/internal/graph"
 	"credo/internal/perfmodel"
+	"credo/internal/poolbp"
 )
 
 // implRunner executes one implementation on a graph and returns its
@@ -42,6 +43,16 @@ func cudaNodeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
 		return 0, err
 	}
 	return res.SimTime, nil
+}
+
+func poolEdgeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	res := poolbp.RunEdge(g, poolbp.Options{Options: cfg.Options, Workers: cfg.PoolWorkers})
+	return cfg.CPU.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: cfg.PoolWorkers}), nil
+}
+
+func poolNodeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	res := poolbp.RunNode(g, poolbp.Options{Options: cfg.Options, Workers: cfg.PoolWorkers})
+	return cfg.CPU.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: cfg.PoolWorkers}), nil
 }
 
 // Scaled runner variants extrapolate the run to r times the executed size

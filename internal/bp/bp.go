@@ -86,6 +86,7 @@ type OpCounts struct {
 	AtomicOps      int64 // atomic accumulator updates (per float)
 	QueuePushes    int64 // work-queue enqueue operations
 	RandomLoads    int64 // random-order parent-state loads (node paradigm)
+	SyncOps        int64 // barrier crossings (one per worker per parallel region)
 }
 
 // Add accumulates other into c.
@@ -100,6 +101,7 @@ func (c *OpCounts) Add(other OpCounts) {
 	c.AtomicOps += other.AtomicOps
 	c.QueuePushes += other.QueuePushes
 	c.RandomLoads += other.RandomLoads
+	c.SyncOps += other.SyncOps
 }
 
 // Result reports the outcome of a propagation run.

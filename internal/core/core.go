@@ -1,7 +1,7 @@
 // Package core is the Credo engine (§3.1): given a parsed belief graph, it
-// chooses the best of the four implementations — C Edge, C Node, CUDA Edge,
-// CUDA Node — from the graph's metadata alone, then executes loopy BP with
-// that implementation.
+// chooses the best implementation — C Edge, C Node, CUDA Edge, CUDA Node,
+// or (when enabled) the persistent worker-pool engine — from the graph's
+// metadata alone, then executes loopy BP with that implementation.
 //
 // Selection is two-staged, as in the paper: a platform rule derived from
 // the CUDA transfer-overhead crossover (§3.6: CUDA pays off above ~100,000
@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"credo/internal/bp"
@@ -22,17 +23,22 @@ import (
 	"credo/internal/graph"
 	"credo/internal/ml"
 	"credo/internal/perfmodel"
+	"credo/internal/poolbp"
 )
 
-// Implementation identifies one of Credo's four execution back ends.
+// Implementation identifies one of Credo's execution back ends.
 type Implementation int
 
-// The four implementations of §3.6.
+// The four implementations of §3.6, plus the persistent worker-pool
+// engine (internal/poolbp) — the fifth candidate this reproduction adds
+// beyond the paper, which the selector considers only when
+// Selector.PoolWorkers is set.
 const (
 	CEdge Implementation = iota
 	CNode
 	CUDAEdge
 	CUDANode
+	Pool
 )
 
 // String returns the paper's name for the implementation.
@@ -46,6 +52,8 @@ func (i Implementation) String() string {
 		return "CUDA Edge"
 	case CUDANode:
 		return "CUDA Node"
+	case Pool:
+		return "Go Pool"
 	}
 	return fmt.Sprintf("Implementation(%d)", int(i))
 }
@@ -69,6 +77,14 @@ type Selector struct {
 
 	// DisableCUDA restricts selection to the C implementations.
 	DisableCUDA bool
+
+	// PoolWorkers enables the persistent worker-pool engine as a fifth
+	// candidate with a team of this size (zero keeps the paper's four-way
+	// selection). CPU-bound graphs with enough per-sweep parallel work
+	// (features.PoolViable) are then routed to the pool instead of the
+	// sequential C implementations; the Node/Edge classifier still decides
+	// the pool's processing paradigm.
+	PoolWorkers int
 }
 
 // cudaCrossover returns the node count above which the device pays for
@@ -109,6 +125,10 @@ func (s *Selector) Choose(md graph.Metadata, footprint int64) Implementation {
 		node = useCUDA
 	}
 	switch {
+	// Setting PoolWorkers is an explicit opt-in: the pool takes any graph
+	// with enough per-sweep work, ahead of the paper's four-way choice.
+	case s.PoolWorkers > 0 && features.PoolViable(md):
+		return Pool
 	case useCUDA && node:
 		return CUDANode
 	case useCUDA:
@@ -118,6 +138,16 @@ func (s *Selector) Choose(md graph.Metadata, footprint int64) Implementation {
 	default:
 		return CEdge
 	}
+}
+
+// paradigmNode reports whether the Node paradigm should drive a CPU-side
+// run of the given metadata: the classifier's call when one is loaded, the
+// coarse Edge-dominates-the-CPU rule otherwise.
+func (s *Selector) paradigmNode(md graph.Metadata) bool {
+	if s.Classifier != nil {
+		return s.Classifier.Predict(features.Vector(md)) == int(features.LabelNode)
+	}
+	return false
 }
 
 // Engine runs belief propagation with automatic implementation selection.
@@ -180,6 +210,23 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 			Implementation: impl,
 			Result:         res,
 			EstimatedTime:  cpu.SequentialTime(res.Ops),
+		}, nil
+	case Pool:
+		workers := e.PoolWorkers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		popts := poolbp.Options{Options: e.Options, Workers: workers}
+		var res bp.Result
+		if e.paradigmNode(g.Stats()) {
+			res = poolbp.RunNode(g, popts)
+		} else {
+			res = poolbp.RunEdge(g, popts)
+		}
+		return Report{
+			Implementation: impl,
+			Result:         res,
+			EstimatedTime:  cpu.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: workers}),
 		}, nil
 	case CUDAEdge, CUDANode:
 		dev := gpusim.NewDevice(gpu)

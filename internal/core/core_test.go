@@ -206,3 +206,61 @@ func TestEngineVoltaProfile(t *testing.T) {
 		t.Fatalf("expected a CUDA implementation, got %v", rep.Implementation)
 	}
 }
+
+func TestSelectorPoolGate(t *testing.T) {
+	big := graph.Metadata{NumNodes: 250_000, NumEdges: 1_000_000, States: 2}
+	small := graph.Metadata{NumNodes: 100, NumEdges: 400, States: 2}
+	var off Selector
+	if got := off.Choose(big, 1<<30); got == Pool {
+		t.Error("pool chosen without opting in via PoolWorkers")
+	}
+	on := Selector{PoolWorkers: 8}
+	if got := on.Choose(big, 1<<30); got != Pool {
+		t.Errorf("big graph with PoolWorkers chose %v, want Go Pool", got)
+	}
+	if got := on.Choose(small, 1<<20); got == Pool {
+		t.Errorf("small graph chose the pool despite the viability floor")
+	}
+	if Pool.String() != "Go Pool" {
+		t.Errorf("Pool.String() = %q", Pool.String())
+	}
+	if Pool.IsCUDA() {
+		t.Error("pool claims to be CUDA")
+	}
+}
+
+func TestEngineRunPool(t *testing.T) {
+	base, err := gen.Synthetic(300, 1200, gen.Config{Seed: 19, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := base.Clone()
+	bp.RunNode(oracle, bp.Options{})
+	eng := Engine{Selector: Selector{PoolWorkers: 4}}
+	g := base.Clone()
+	rep, err := eng.RunWith(g, Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Implementation != Pool {
+		t.Errorf("report says %v, want Go Pool", rep.Implementation)
+	}
+	if !rep.Result.Converged {
+		t.Error("pool run did not converge")
+	}
+	if rep.EstimatedTime <= 0 {
+		t.Errorf("estimated time %v", rep.EstimatedTime)
+	}
+	if rep.Result.Ops.SyncOps == 0 {
+		t.Error("pool run recorded no barrier crossings")
+	}
+	var maxd float64
+	for i := range g.Beliefs {
+		if d := math.Abs(float64(g.Beliefs[i] - oracle.Beliefs[i])); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 5e-3 {
+		t.Errorf("pool beliefs diverge from the sequential oracle by %v", maxd)
+	}
+}

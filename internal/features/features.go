@@ -57,3 +57,40 @@ func (l Label) String() string {
 
 // LabelNames returns class names indexed by label value.
 func LabelNames() []string { return []string{"Node", "Edge"} }
+
+// Pool-candidate gating. The persistent worker-pool engine (the fifth
+// implementation candidate, internal/poolbp) pays a one-time team spawn
+// plus two barrier crossings per sweep; like the paper's CUDA crossover
+// (§3.6), whether that overhead amortizes is decidable from input parsing
+// alone, so the selector can gate the pool engine before any propagation
+// runs.
+const (
+	// MinPoolEdges is the sweep-work floor below which the pool's spawn
+	// and barrier overheads dominate the parallel gain.
+	MinPoolEdges = 50_000
+
+	// PoolEdgesPerWorker is the per-sweep work each additional worker
+	// should own; teams larger than NumEdges/PoolEdgesPerWorker spend
+	// their time at barriers rather than on messages.
+	PoolEdgesPerWorker = 8_192
+)
+
+// PoolViable reports whether the graph carries enough per-sweep parallel
+// work for the persistent worker-pool engine to pay for itself.
+func PoolViable(md graph.Metadata) bool { return md.NumEdges >= MinPoolEdges }
+
+// PoolWorkers recommends a team size for the pool engine from metadata
+// alone, capped at maxWorkers (typically the host's core count).
+func PoolWorkers(md graph.Metadata, maxWorkers int) int {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	w := md.NumEdges / PoolEdgesPerWorker
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	return w
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"credo/internal/gen"
+	"credo/internal/graph"
 )
 
 func TestVector(t *testing.T) {
@@ -42,5 +43,28 @@ func TestLabels(t *testing.T) {
 	}
 	if LabelNames()[LabelNode] != "Node" || LabelNames()[LabelEdge] != "Edge" {
 		t.Error("LabelNames misaligned")
+	}
+}
+
+func TestPoolGates(t *testing.T) {
+	small := graph.Metadata{NumNodes: 1000, NumEdges: MinPoolEdges - 1, States: 2}
+	big := graph.Metadata{NumNodes: 250_000, NumEdges: 1_000_000, States: 2}
+	if PoolViable(small) {
+		t.Error("pool viable below the edge floor")
+	}
+	if !PoolViable(big) {
+		t.Error("pool not viable on the million-edge graph")
+	}
+	if got := PoolWorkers(big, 8); got != 8 {
+		t.Errorf("million-edge team size %d, want the cap 8", got)
+	}
+	if got := PoolWorkers(small, 8); got != 6 {
+		t.Errorf("small-graph team size %d, want 6 (49999/8192)", got)
+	}
+	if got := PoolWorkers(graph.Metadata{NumEdges: 10}, 8); got != 1 {
+		t.Errorf("tiny-graph team size %d, want 1", got)
+	}
+	if got := PoolWorkers(big, 0); got != 1 {
+		t.Errorf("zero cap gave %d workers, want 1", got)
 	}
 }

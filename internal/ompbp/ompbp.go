@@ -106,9 +106,11 @@ func parallelFor(n int, opts Options, body func(worker, i int)) {
 	wg.Wait()
 }
 
-// atomicAddFloat32 adds delta to the float stored in bits[i] with a CAS
+// AtomicAddFloat32 adds delta to the float stored in bits[i] with a CAS
 // loop — the atomic update the edge paradigm pays for on every message.
-func atomicAddFloat32(bits []uint32, i int, delta float32) {
+// It is shared with the poolbp engine, whose edge paradigm performs the
+// same sharded combine from persistent workers.
+func AtomicAddFloat32(bits []uint32, i int, delta float32) {
 	for {
 		old := atomic.LoadUint32(&bits[i])
 		f := math.Float32frombits(old) + delta
@@ -310,7 +312,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 			old := g.Message(e)
 			base := int(dst) * s
 			for j := 0; j < s; j++ {
-				atomicAddFloat32(accBits, base+j, bp.Logf(msg[j])-bp.Logf(old[j]))
+				AtomicAddFloat32(accBits, base+j, bp.Logf(msg[j])-bp.Logf(old[j]))
 				old[j] = msg[j]
 			}
 			atomicOps.Add(int64(s))

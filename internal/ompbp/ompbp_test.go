@@ -105,7 +105,7 @@ func TestAtomicAddFloat32(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := 0; i < adds; i++ {
-				atomicAddFloat32(bits, 0, 1)
+				AtomicAddFloat32(bits, 0, 1)
 			}
 			done <- struct{}{}
 		}()

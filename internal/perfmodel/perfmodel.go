@@ -53,6 +53,11 @@ type CPUProfile struct {
 	RegionForkCost float64
 	RegionJoinCost float64
 
+	// SyncCost is one barrier crossing of an already-running worker (a
+	// channel or futex round trip) — the per-sweep cost a persistent pool
+	// pays instead of RegionForkCost.
+	SyncCost float64
+
 	// MemContention maps thread count to the slowdown factor of the
 	// memory-bound portion of the work when that many threads share the
 	// memory system (hyperthreading pressure included). Missing entries
@@ -83,6 +88,7 @@ func I7_7700HQ() CPUProfile {
 		LogicalCores:      8,
 		RegionForkCost:    6e-6,
 		RegionJoinCost:    3e-6,
+		SyncCost:          0.2e-6,
 		MemContention: map[int]float64{
 			1: 1.00, 2: 1.15, 4: 1.60, 8: 3.9,
 		},
@@ -154,6 +160,42 @@ func (p CPUProfile) ParallelTime(ops bp.OpCounts, opt ParallelOptions) time.Dura
 	regions := float64(ops.Iterations) * float64(opt.RegionsPerIteration)
 	overhead := regions * (float64(opt.Threads)*p.RegionForkCost + p.RegionJoinCost)
 	return seconds((c+m)*cont + overhead)
+}
+
+// PoolOptions shapes the persistent worker-pool pricing.
+type PoolOptions struct {
+	// Workers is the size of the long-lived team.
+	Workers int
+	// HyperthreadingOff selects the no-HT contention calibration.
+	HyperthreadingOff bool
+}
+
+// PoolTime prices ops as a persistent worker-pool run (the poolbp engine).
+// Unlike ParallelTime — which models the paper's fork-join OpenMP port,
+// where per-region thread spin-up and the serial convergence reduction
+// leave the critical path unshortened — the pool's workers stay resident:
+// the sharded queues divide the sweep across the physical cores, the team
+// is forked once per run, and each sweep pays only the barrier crossings
+// the engine counts in SyncOps. Memory-bound work still pays the measured
+// contention of the shared memory system, which is what bounds the
+// speedup on the paper's 4-core laptop.
+func (p CPUProfile) PoolTime(ops bp.OpCounts, opt PoolOptions) time.Duration {
+	if opt.Workers <= 1 {
+		return p.SequentialTime(ops)
+	}
+	cores := opt.Workers
+	if cores > p.PhysicalCores {
+		cores = p.PhysicalCores
+	}
+	c, m := p.split(ops)
+	threads := opt.Workers
+	if threads > p.LogicalCores {
+		threads = p.LogicalCores
+	}
+	cont := p.contention(threads, opt.HyperthreadingOff)
+	spawn := float64(opt.Workers)*p.RegionForkCost + p.RegionJoinCost
+	syncs := float64(ops.SyncOps) * p.SyncCost
+	return seconds((c+m*cont)/float64(cores) + spawn + syncs)
 }
 
 // contention interpolates the contention factor for a thread count.

@@ -135,3 +135,43 @@ func TestZeroOpsZeroTime(t *testing.T) {
 		t.Error("zero ops priced nonzero")
 	}
 }
+
+// TestPoolTimeBeatsForkJoin pins the point of the persistent pool: at the
+// paper's 8-thread maximum the pool's modelled time is at least 2x better
+// than the fork-join port's (which reproduces the §2.4 slowdown) and beats
+// the sequential baseline.
+func TestPoolTimeBeatsForkJoin(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	ops.SyncOps = ops.Iterations * 2 * 8 // two regions per sweep, 8 workers
+	seq := p.SequentialTime(ops).Seconds()
+	fork := p.ParallelTime(ops, ParallelOptions{Threads: 8}).Seconds()
+	pool := p.PoolTime(ops, PoolOptions{Workers: 8}).Seconds()
+	if pool*2 > fork {
+		t.Errorf("pool %.4fs not 2x faster than fork-join %.4fs", pool, fork)
+	}
+	if pool >= seq {
+		t.Errorf("pool %.4fs not faster than sequential %.4fs", pool, seq)
+	}
+}
+
+func TestPoolTimeSingleWorkerIsSequential(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	if got, want := p.PoolTime(ops, PoolOptions{Workers: 1}), p.SequentialTime(ops); got != want {
+		t.Errorf("one-worker pool time %v, want sequential %v", got, want)
+	}
+	if got, want := p.PoolTime(ops, PoolOptions{}), p.SequentialTime(ops); got != want {
+		t.Errorf("zero-worker pool time %v, want sequential %v", got, want)
+	}
+}
+
+func TestPoolTimePricesBarriers(t *testing.T) {
+	p := I7_7700HQ()
+	ops := sampleOps(t)
+	base := p.PoolTime(ops, PoolOptions{Workers: 4})
+	ops.SyncOps += 1_000_000
+	if got := p.PoolTime(ops, PoolOptions{Workers: 4}); got <= base {
+		t.Errorf("adding barrier crossings did not increase time: %v <= %v", got, base)
+	}
+}

@@ -1,0 +1,136 @@
+package poolbp
+
+import (
+	"sync"
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/ompbp"
+	"credo/internal/perfmodel"
+)
+
+// The benchmark workload is the generated million-edge synthetic graph
+// (250k nodes, 1M directed edges), the scale at which the paper's parallel
+// comparisons run. Built once and cloned per measurement.
+const (
+	benchNodes   = 250_000
+	benchEdges   = 1_000_000
+	benchWorkers = 8
+	benchSweeps  = 5
+)
+
+var (
+	benchOnce  sync.Once
+	benchGraph *graph.Graph
+)
+
+func millionEdgeGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	benchOnce.Do(func() {
+		g, err := gen.Synthetic(benchNodes, benchEdges, gen.Config{Seed: 42, States: 2, Shared: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchGraph = g
+	})
+	return benchGraph
+}
+
+// benchOpts pins the sweep count so every engine does identical total work
+// and the measurement compares runtime overhead, not convergence luck.
+func benchOpts() bp.Options {
+	return bp.Options{MaxIterations: benchSweeps, Threshold: 1e-12}
+}
+
+// reportModelled attaches the perfmodel's full-scale time (the number
+// EXPERIMENTS.md quotes; wall clock on the test host depends on its core
+// count) as a custom benchmark metric.
+func reportModelled(b *testing.B, d float64) {
+	b.ReportMetric(d, "modelled-ms/op")
+}
+
+func BenchmarkMillionEdgeNode(b *testing.B) {
+	base := millionEdgeGraph(b)
+	cpu := perfmodel.I7_7700HQ()
+
+	b.Run("seq", func(b *testing.B) {
+		var last bp.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := base.Clone()
+			b.StartTimer()
+			last = bp.RunNode(g, benchOpts())
+		}
+		reportModelled(b, cpu.SequentialTime(last.Ops).Seconds()*1e3)
+	})
+	b.Run("omp8", func(b *testing.B) {
+		var last bp.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := base.Clone()
+			b.StartTimer()
+			last = ompbp.RunNode(g, ompbp.Options{Threads: benchWorkers, Options: benchOpts()})
+		}
+		reportModelled(b, cpu.ParallelTime(last.Ops, perfmodel.ParallelOptions{Threads: benchWorkers}).Seconds()*1e3)
+	})
+	b.Run("pool8", func(b *testing.B) {
+		var last bp.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := base.Clone()
+			b.StartTimer()
+			last = RunNode(g, Options{Workers: benchWorkers, Options: benchOpts()})
+		}
+		reportModelled(b, cpu.PoolTime(last.Ops, perfmodel.PoolOptions{Workers: benchWorkers}).Seconds()*1e3)
+	})
+}
+
+func BenchmarkMillionEdgeEdge(b *testing.B) {
+	base := millionEdgeGraph(b)
+	cpu := perfmodel.I7_7700HQ()
+
+	b.Run("seq", func(b *testing.B) {
+		var last bp.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := base.Clone()
+			b.StartTimer()
+			last = bp.RunEdge(g, benchOpts())
+		}
+		reportModelled(b, cpu.SequentialTime(last.Ops).Seconds()*1e3)
+	})
+	b.Run("omp8", func(b *testing.B) {
+		var last bp.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := base.Clone()
+			b.StartTimer()
+			last = ompbp.RunEdge(g, ompbp.Options{Threads: benchWorkers, Options: benchOpts()})
+		}
+		reportModelled(b, cpu.ParallelTime(last.Ops, perfmodel.ParallelOptions{Threads: benchWorkers}).Seconds()*1e3)
+	})
+	b.Run("pool8", func(b *testing.B) {
+		var last bp.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := base.Clone()
+			b.StartTimer()
+			last = RunEdge(g, Options{Workers: benchWorkers, Options: benchOpts()})
+		}
+		reportModelled(b, cpu.PoolTime(last.Ops, perfmodel.PoolOptions{Workers: benchWorkers}).Seconds()*1e3)
+	})
+}
+
+// BenchmarkPoolBarrier isolates the cost of one signal-and-join round trip
+// of the persistent team — the per-region price poolbp pays instead of
+// ompbp's per-region goroutine spawn.
+func BenchmarkPoolBarrier(b *testing.B) {
+	p := newPool(benchWorkers)
+	defer p.close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.run(func(int) {})
+	}
+}

@@ -1,0 +1,53 @@
+package poolbp
+
+// pool is a team of long-lived worker goroutines. It is the structural
+// opposite of ompbp.parallelFor: the workers are spawned once per Run and
+// every parallel region afterwards costs two channel operations per worker
+// instead of a goroutine spawn and a WaitGroup join — the fork-join
+// overhead the paper measures as a net slowdown for sub-millisecond
+// regions (§2.4).
+type pool struct {
+	workers int
+	cmds    []chan func(worker int)
+	done    chan struct{}
+}
+
+// newPool spawns the team. Every worker blocks on its command channel
+// until run hands it a region body or close retires it.
+func newPool(workers int) *pool {
+	p := &pool{
+		workers: workers,
+		cmds:    make([]chan func(worker int), workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := range p.cmds {
+		p.cmds[w] = make(chan func(worker int), 1)
+		go func(w int) {
+			for body := range p.cmds[w] {
+				body(w)
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// run executes body on every worker and returns when all of them have
+// finished — one parallel region with a barrier at its end. The channel
+// round trip orders all worker memory accesses before run returns, so a
+// region may read plainly what the previous region wrote atomically.
+func (p *pool) run(body func(worker int)) {
+	for _, c := range p.cmds {
+		c <- body
+	}
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
+}
+
+// close retires the workers. The pool must be idle.
+func (p *pool) close() {
+	for _, c := range p.cmds {
+		close(c)
+	}
+}

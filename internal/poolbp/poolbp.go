@@ -1,0 +1,482 @@
+// Package poolbp is the persistent worker-pool runtime for loopy BP — the
+// Go-native answer to the fork-join OpenMP port of paper §2.4 (reproduced
+// in ompbp). Where ompbp forks and joins fresh goroutines around every
+// sub-millisecond loop, poolbp spins up a fixed team once per Run and
+// drives it with channel signals, following the long-lived-worker designs
+// of the relaxed-scheduling BP literature (Aksenov et al.; Van der Merwe
+// et al.).
+//
+// Both paradigms of the paper are provided:
+//
+//   - RunNode: per-node, pull-based processing. No atomics touch the
+//     numeric state; each node is owned by exactly one worker per sweep
+//     and updates are Jacobi-style against a double buffer, so the final
+//     beliefs are bitwise identical for any worker count.
+//   - RunEdge: per-edge processing with the sharded atomic combine into
+//     the destination accumulators (the CAS cost the paper weighs against
+//     the node paradigm's redundant loads).
+//
+// Work is organized as sharded queues of unconverged items: the item space
+// is cut into contiguous shards (a count derived from the graph alone, so
+// results never depend on the worker count), each shard keeps its own
+// active list, and workers claim whole shards from an atomic cursor.
+// Convergence bookkeeping is batched — per-shard partial deltas are
+// reduced serially in shard order only every CheckEvery sweeps — so no
+// global barrier or shared counter is touched per item.
+package poolbp
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"credo/internal/bp"
+	"credo/internal/graph"
+	"credo/internal/ompbp"
+)
+
+// DefaultCheckEvery is the convergence-check batching factor: the global
+// delta reduction runs once per this many sweeps.
+const DefaultCheckEvery = 4
+
+// Options configures a pool run.
+type Options struct {
+	bp.Options
+
+	// Workers is the size of the persistent team. Zero means
+	// runtime.NumCPU().
+	Workers int
+
+	// CheckEvery batches the convergence check: the per-shard deltas are
+	// reduced and compared against the threshold every CheckEvery sweeps
+	// (and always on the final sweep and on queue exhaustion). A run may
+	// therefore execute up to CheckEvery-1 sweeps past the point a
+	// per-sweep check would have stopped it. Zero means DefaultCheckEvery.
+	// With RecordDeltas set, Result.Deltas holds one entry per check, not
+	// per sweep.
+	CheckEvery int
+
+	// Shards overrides the shard count of the paradigm's item space
+	// (nodes for RunNode, edges for RunEdge). Zero derives it from the
+	// item count alone — never from Workers, which is what keeps the
+	// per-node paradigm deterministic under any team size.
+	Shards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = DefaultCheckEvery
+	}
+	if o.Threshold == 0 {
+		o.Threshold = bp.DefaultThreshold
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = bp.DefaultMaxIterations
+	}
+	if o.QueueThreshold == 0 {
+		o.QueueThreshold = o.Threshold
+	}
+	return o
+}
+
+// shardCount picks the number of item shards: enough for dynamic load
+// balance on large graphs, at least ~8 items per shard on small ones. It
+// depends only on the item count (and an explicit override), never on the
+// worker count.
+func shardCount(items, override int) int {
+	if override > 0 {
+		if override > items {
+			override = items
+		}
+		if override < 1 {
+			override = 1
+		}
+		return override
+	}
+	s := 256
+	if items < 8*s {
+		s = (items + 7) / 8
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardRange returns the half-open item range of shard sh.
+func shardRange(sh, items, shards int) (lo, hi int) {
+	return sh * items / shards, (sh + 1) * items / shards
+}
+
+// initialShardLists fills one active list per shard with every item id.
+func initialShardLists(items, shards int) [][]int32 {
+	lists := make([][]int32, shards)
+	for sh := range lists {
+		lo, hi := shardRange(sh, items, shards)
+		lst := make([]int32, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			lst = append(lst, int32(i))
+		}
+		lists[sh] = lst
+	}
+	return lists
+}
+
+// rebuildShardLists is the frontier-rebuild region: every shard rescans
+// its item range, promotes marked items into its active list and clears
+// the marks. Each shard is rebuilt by exactly one worker and items are
+// promoted in id order, so the resulting queues are independent of the
+// worker count. It returns the total number of active items.
+func rebuildShardLists(p *pool, cursor *atomic.Int64, lists [][]int32, mark []uint32, items, shards int, workerOps []bp.OpCounts) int {
+	cursor.Store(0)
+	p.run(func(w int) {
+		ops := &workerOps[w]
+		for {
+			sh := int(cursor.Add(1)) - 1
+			if sh >= shards {
+				return
+			}
+			lo, hi := shardRange(sh, items, shards)
+			lst := lists[sh][:0]
+			for i := lo; i < hi; i++ {
+				// The marks were stored atomically in the previous
+				// region; the pool barrier orders them before this read.
+				if mark[i] != 0 {
+					mark[i] = 0
+					lst = append(lst, int32(i))
+					ops.QueuePushes++
+				}
+			}
+			lists[sh] = lst
+		}
+	})
+	total := 0
+	for _, lst := range lists {
+		total += len(lst)
+	}
+	return total
+}
+
+// markOnce sets mark[i] if it is not already set. Marking is idempotent,
+// so concurrent markers need no CAS — the load merely skips redundant
+// stores on hot items.
+func markOnce(mark []uint32, i int32) {
+	if atomic.LoadUint32(&mark[i]) == 0 {
+		atomic.StoreUint32(&mark[i], 1)
+	}
+}
+
+// RunNode executes loopy BP with per-node processing on the persistent
+// pool. Beliefs are double-buffered and every node is owned by exactly one
+// worker per sweep, so no atomics touch the numeric state and the final
+// beliefs are bitwise identical for any worker count.
+func RunNode(g *graph.Graph, opts Options) bp.Result {
+	opts = opts.withDefaults()
+	o := opts.Options
+	s := g.States
+	gatherLines := int64((s*4 + 63) / 64) // cache lines per random parent gather
+	matLines := int64(0)                  // per-edge joint matrices are a second random gather
+	if !g.SharedMatrix() {
+		matLines = int64((s*s*4 + 63) / 64)
+	}
+
+	shards := shardCount(g.NumNodes, opts.Shards)
+	workers := opts.Workers
+
+	// Double buffer: cur is read, nxt written; the pair swaps each sweep.
+	cur := g.Beliefs
+	nxt := make([]float32, len(g.Beliefs))
+	curIsBeliefs := true
+
+	activeNodes := initialShardLists(g.NumNodes, shards)
+	mark := make([]uint32, g.NumNodes)
+	shardDelta := make([]float32, shards)
+	workerOps := make([]bp.OpCounts, workers)
+	scratch := make([][]float32, workers)
+	for w := range scratch {
+		scratch[w] = make([]float32, 2*s)
+	}
+
+	var res bp.Result
+	if o.WorkQueue {
+		res.Ops.QueuePushes += int64(g.NumNodes)
+	}
+
+	p := newPool(workers)
+	defer p.close()
+	var cursor atomic.Int64
+	totalActive := g.NumNodes
+
+	for sweep := 0; sweep < o.MaxIterations; sweep++ {
+		res.Iterations = sweep + 1
+		res.Ops.Iterations++
+		for sh := range shardDelta {
+			shardDelta[sh] = 0
+		}
+
+		// Compute region: workers claim shards; a shard first carries its
+		// belief range into the next buffer, then recomputes its active
+		// nodes against the current buffer (Jacobi).
+		cursor.Store(0)
+		p.run(func(w int) {
+			ops := &workerOps[w]
+			buf := scratch[w]
+			acc, msg := buf[:s], buf[s:]
+			for {
+				sh := int(cursor.Add(1)) - 1
+				if sh >= shards {
+					return
+				}
+				lo, hi := shardRange(sh, g.NumNodes, shards)
+				copy(nxt[lo*s:hi*s], cur[lo*s:hi*s])
+				ops.MemLoads += int64((hi - lo) * s)
+				ops.MemStores += int64((hi - lo) * s)
+				var d float32
+				for _, v := range activeNodes[sh] {
+					if g.Observed[v] {
+						continue
+					}
+					ops.NodesProcessed++
+					for j := 0; j < s; j++ {
+						acc[j] = 0
+					}
+					elo, ehi := g.InOffsets[v], g.InOffsets[v+1]
+					for _, e := range g.InEdges[elo:ehi] {
+						src := g.EdgeSrc[e]
+						parent := cur[int(src)*s : int(src)*s+s]
+						g.Matrix(e).PropagateInto(msg, parent)
+						graph.Normalize(msg)
+						for j := 0; j < s; j++ {
+							acc[j] += bp.Logf(msg[j])
+						}
+						ops.EdgesProcessed++
+						ops.RandomLoads += gatherLines + matLines
+						ops.MemLoads += int64(s)
+						ops.MatrixOps += int64(s * s)
+						ops.LogOps += int64(s)
+					}
+					b := nxt[int(v)*s : int(v)*s+s]
+					old := cur[int(v)*s : int(v)*s+s]
+					bp.ExpNormalize(b, g.Priors[int(v)*s:int(v)*s+s], acc)
+					bp.Blend(b, old, o.Damping)
+					dv := graph.L1Diff(b, old)
+					d += dv
+					ops.LogOps += int64(s)
+					ops.MemLoads += int64(2 * s)
+					ops.MemStores += int64(s)
+					if o.WorkQueue && dv > o.QueueThreshold {
+						// The node moved: its successors' inputs changed.
+						olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
+						for _, e := range g.OutEdges[olo:ohi] {
+							markOnce(mark, g.EdgeDst[e])
+						}
+					}
+				}
+				shardDelta[sh] = d
+			}
+		})
+		res.Ops.SyncOps += int64(workers)
+
+		if o.WorkQueue {
+			totalActive = rebuildShardLists(p, &cursor, activeNodes, mark, g.NumNodes, shards, workerOps)
+			res.Ops.SyncOps += int64(workers)
+		}
+
+		cur, nxt = nxt, cur
+		curIsBeliefs = !curIsBeliefs
+
+		exhausted := o.WorkQueue && totalActive == 0
+		if (sweep+1)%opts.CheckEvery == 0 || sweep+1 == o.MaxIterations || exhausted {
+			var sum float32
+			for _, d := range shardDelta {
+				sum += d
+			}
+			res.FinalDelta = sum
+			if o.RecordDeltas {
+				res.Deltas = append(res.Deltas, sum)
+			}
+			if sum < o.Threshold || exhausted {
+				res.Converged = true
+				break
+			}
+		}
+	}
+
+	if !curIsBeliefs {
+		copy(g.Beliefs, cur)
+	}
+	for _, ops := range workerOps {
+		res.Ops.Add(ops)
+	}
+	return res
+}
+
+// RunEdge executes loopy BP with per-edge processing on the persistent
+// pool. Edges sharing a destination combine into its log-domain
+// accumulator with an atomic CAS add; nodes then fold their accumulator
+// with their prior in a second region. Scheduling is nondeterministic, so
+// the result matches the sequential oracle within the convergence
+// tolerance rather than bitwise.
+func RunEdge(g *graph.Graph, opts Options) bp.Result {
+	opts = opts.withDefaults()
+	o := opts.Options
+	s := g.States
+	matLines := int64(0)
+	if !g.SharedMatrix() {
+		matLines = int64((s*s*4 + 63) / 64)
+	}
+
+	eShards := shardCount(g.NumEdges, opts.Shards)
+	nShards := shardCount(g.NumNodes, 0)
+	workers := opts.Workers
+
+	prev := append([]float32(nil), g.Beliefs...)
+
+	// Log-domain accumulators stored as raw float bits for the CAS adds,
+	// primed with the initial messages.
+	accBits := make([]uint32, g.NumNodes*s)
+	for e := 0; e < g.NumEdges; e++ {
+		dst := int(g.EdgeDst[e])
+		m := g.Message(int32(e))
+		for j := 0; j < s; j++ {
+			f := math.Float32frombits(accBits[dst*s+j]) + bp.Logf(m[j])
+			accBits[dst*s+j] = math.Float32bits(f)
+		}
+	}
+
+	activeEdges := initialShardLists(g.NumEdges, eShards)
+	mark := make([]uint32, g.NumEdges)
+	shardDelta := make([]float32, nShards)
+	workerOps := make([]bp.OpCounts, workers)
+	scratch := make([][]float32, workers)
+	for w := range scratch {
+		scratch[w] = make([]float32, 2*s)
+	}
+
+	var res bp.Result
+	if o.WorkQueue {
+		res.Ops.QueuePushes += int64(g.NumEdges)
+	}
+
+	p := newPool(workers)
+	defer p.close()
+	var cursor atomic.Int64
+	totalActive := g.NumEdges
+
+	for sweep := 0; sweep < o.MaxIterations; sweep++ {
+		res.Iterations = sweep + 1
+		res.Ops.Iterations++
+		for sh := range shardDelta {
+			shardDelta[sh] = 0
+		}
+
+		// Edge region: recompute active messages and CAS the change into
+		// the destination accumulators.
+		cursor.Store(0)
+		p.run(func(w int) {
+			ops := &workerOps[w]
+			msg := scratch[w][:s]
+			for {
+				sh := int(cursor.Add(1)) - 1
+				if sh >= eShards {
+					return
+				}
+				for _, e := range activeEdges[sh] {
+					ops.EdgesProcessed++
+					src, dst := g.EdgeSrc[e], g.EdgeDst[e]
+					parent := prev[int(src)*s : int(src)*s+s]
+					g.Matrix(e).PropagateInto(msg, parent)
+					graph.Normalize(msg)
+					old := g.Message(e)
+					base := int(dst) * s
+					for j := 0; j < s; j++ {
+						ompbp.AtomicAddFloat32(accBits, base+j, bp.Logf(msg[j])-bp.Logf(old[j]))
+						old[j] = msg[j]
+					}
+					ops.AtomicOps += int64(s)
+					ops.MemLoads += int64(2 * s)
+					ops.RandomLoads += matLines
+					ops.MemStores += int64(2 * s)
+					ops.MatrixOps += int64(s * s)
+					ops.LogOps += int64(2 * s)
+				}
+			}
+		})
+		res.Ops.SyncOps += int64(workers)
+
+		// Combine region: every node folds its accumulator with its
+		// prior, refreshes the prev snapshot for the next sweep, and marks
+		// the out-edges of nodes that moved.
+		cursor.Store(0)
+		p.run(func(w int) {
+			ops := &workerOps[w]
+			acc := scratch[w][s:]
+			for {
+				sh := int(cursor.Add(1)) - 1
+				if sh >= nShards {
+					return
+				}
+				lo, hi := shardRange(sh, g.NumNodes, nShards)
+				var d float32
+				for v := lo; v < hi; v++ {
+					if g.Observed[v] {
+						continue
+					}
+					ops.NodesProcessed++
+					for j := 0; j < s; j++ {
+						// The edge region's CAS stores are ordered before
+						// this read by the pool barrier.
+						acc[j] = math.Float32frombits(accBits[v*s+j])
+					}
+					b := g.Beliefs[v*s : v*s+s]
+					old := prev[v*s : v*s+s]
+					bp.ExpNormalize(b, g.Priors[v*s:v*s+s], acc)
+					bp.Blend(b, old, o.Damping)
+					dv := graph.L1Diff(b, old)
+					d += dv
+					copy(old, b)
+					ops.LogOps += int64(s)
+					ops.MemLoads += int64(3 * s)
+					ops.MemStores += int64(2 * s)
+					if o.WorkQueue && dv > o.QueueThreshold {
+						olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
+						for _, e := range g.OutEdges[olo:ohi] {
+							markOnce(mark, e)
+						}
+					}
+				}
+				shardDelta[sh] = d
+			}
+		})
+		res.Ops.SyncOps += int64(workers)
+
+		if o.WorkQueue {
+			totalActive = rebuildShardLists(p, &cursor, activeEdges, mark, g.NumEdges, eShards, workerOps)
+			res.Ops.SyncOps += int64(workers)
+		}
+
+		exhausted := o.WorkQueue && totalActive == 0
+		if (sweep+1)%opts.CheckEvery == 0 || sweep+1 == o.MaxIterations || exhausted {
+			var sum float32
+			for _, d := range shardDelta {
+				sum += d
+			}
+			res.FinalDelta = sum
+			if o.RecordDeltas {
+				res.Deltas = append(res.Deltas, sum)
+			}
+			if sum < o.Threshold || exhausted {
+				res.Converged = true
+				break
+			}
+		}
+	}
+
+	for _, ops := range workerOps {
+		res.Ops.Add(ops)
+	}
+	return res
+}
