@@ -27,7 +27,7 @@ test:
 
 # The CI race job: the concurrent engines, twice, under the race detector.
 race:
-	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/
+	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/
 
 # The CI fuzz-smoke job: 20s on each parser fuzz target.
 fuzz:

@@ -86,6 +86,11 @@ func BenchmarkFig11Credo(b *testing.B) { runExperiment(b, "fig11") }
 // BenchmarkFig12Volta regenerates Figure 12 (portability to Volta).
 func BenchmarkFig12Volta(b *testing.B) { runExperiment(b, "fig12") }
 
+// BenchmarkRelaxScheduling regenerates the relaxed-priority residual
+// scheduling experiment (message updates to convergence vs synchronous
+// sweeps, plus modelled relax-vs-pool time).
+func BenchmarkRelaxScheduling(b *testing.B) { runExperiment(b, "relax") }
+
 // --- raw engine wall-time benchmarks ---
 
 func benchGraph(b *testing.B, states int) *Graph {

@@ -46,9 +46,9 @@ func run(args []string, out io.Writer) error {
 	edgesPath := fs.String("edges", "", "mtxbp edge file")
 	bifPath := fs.String("bif", "", "BIF input file")
 	xmlPath := fs.String("xmlbif", "", "XML-BIF input file")
-	implName := fs.String("impl", "auto", "implementation: auto, cedge, cnode, cudaedge, cudanode, pool")
-	engineName := fs.String("engine", "auto", "execution engine: auto (the paper's selection) or pool (persistent worker-pool runtime)")
-	workers := fs.Int("workers", 0, "worker-pool team size for -engine=pool / -impl pool (0 = NumCPU)")
+	implName := fs.String("impl", "auto", "implementation: auto, cedge, cnode, cudaedge, cudanode, pool, relax")
+	engineName := fs.String("engine", "auto", "execution engine: auto (the paper's selection), pool (persistent worker-pool runtime) or relax (relaxed-priority residual runtime)")
+	workers := fs.Int("workers", 0, "worker team size for -engine=pool/relax and -impl pool/relax (0 = NumCPU)")
 	gpuName := fs.String("gpu", "pascal", "device profile: pascal or volta")
 	threshold := fs.Float64("threshold", bp.DefaultThreshold, "convergence threshold")
 	maxIter := fs.Int("maxiter", bp.DefaultMaxIterations, "iteration cap")
@@ -132,8 +132,20 @@ func run(args []string, out io.Writer) error {
 		if *implName == "auto" {
 			*implName = "pool"
 		}
+	case "relax":
+		// The relaxed residual engine is requested explicitly: route the
+		// run to it (an explicit -impl choice still wins).
+		if eng.RelaxWorkers == 0 {
+			eng.RelaxWorkers = *workers
+		}
+		if eng.RelaxWorkers == 0 {
+			eng.RelaxWorkers = runtime.NumCPU()
+		}
+		if *implName == "auto" {
+			*implName = "relax"
+		}
 	default:
-		return fmt.Errorf("unknown engine %q (want auto or pool)", *engineName)
+		return fmt.Errorf("unknown engine %q (want auto, pool or relax)", *engineName)
 	}
 
 	if *explain {
@@ -207,6 +219,8 @@ func parseImpl(name string) (core.Implementation, error) {
 		return core.CUDANode, nil
 	case "pool":
 		return core.Pool, nil
+	case "relax":
+		return core.Relax, nil
 	}
 	return 0, fmt.Errorf("unknown implementation %q", name)
 }

@@ -31,8 +31,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("credobench", flag.ContinueOnError)
 	expID := fs.String("exp", "all", "experiment id or 'all' (ids: "+idList()+")")
 	tierName := fs.String("tier", "small", "benchmark tier: ci, small or medium")
-	engineName := fs.String("engine", "auto", "execution engine: auto runs -exp as given; pool focuses on the worker-pool comparison (-exp pool)")
-	workers := fs.Int("workers", 8, "persistent worker-pool team size for the pool experiment")
+	engineName := fs.String("engine", "auto", "execution engine: auto runs -exp as given; pool focuses on the worker-pool comparison (-exp pool); relax on the relaxed-scheduling comparison (-exp relax)")
+	workers := fs.Int("workers", 8, "worker team size for the pool and relax experiments")
 	seed := fs.Int64("seed", 1, "generator seed")
 	outPath := fs.String("o", "", "also write the report to this file")
 	trainPath := fs.String("train", "", "instead of running experiments, train the selection forest on the tier's dataset and save it here (JSON, loadable by credo -model)")
@@ -54,8 +54,12 @@ func run(args []string, stdout io.Writer) error {
 		if *expID == "all" {
 			*expID = "pool"
 		}
+	case "relax":
+		if *expID == "all" {
+			*expID = "relax"
+		}
 	default:
-		return fmt.Errorf("unknown engine %q (want auto or pool)", *engineName)
+		return fmt.Errorf("unknown engine %q (want auto, pool or relax)", *engineName)
 	}
 
 	if *trainPath != "" {

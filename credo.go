@@ -29,6 +29,7 @@ import (
 	"credo/internal/graph"
 	"credo/internal/mtxbp"
 	"credo/internal/poolbp"
+	"credo/internal/relaxbp"
 	"credo/internal/xmlbif"
 )
 
@@ -64,17 +65,23 @@ type (
 
 // The four implementations of the paper's §3.6, plus the persistent
 // worker-pool engine this reproduction adds (enable it with
-// Selector.PoolWorkers or run it directly with RunPoolNode/RunPoolEdge).
+// Selector.PoolWorkers or run it directly with RunPoolNode/RunPoolEdge)
+// and the relaxed-priority residual engine (enable it with
+// Selector.RelaxWorkers or run it directly with RunRelax).
 const (
 	CEdge    = core.CEdge
 	CNode    = core.CNode
 	CUDAEdge = core.CUDAEdge
 	CUDANode = core.CUDANode
 	Pool     = core.Pool
+	Relax    = core.Relax
 )
 
 // PoolOptions configures the persistent worker-pool engine.
 type PoolOptions = poolbp.Options
+
+// RelaxOptions configures the relaxed-priority residual engine.
+type RelaxOptions = relaxbp.Options
 
 // NewBuilder returns a graph builder for nodes of the given belief width.
 func NewBuilder(states int) *Builder { return graph.NewBuilder(states) }
@@ -147,6 +154,11 @@ func RunPoolNode(g *Graph, opts PoolOptions) Result { return poolbp.RunNode(g, o
 // RunPoolEdge executes per-edge loopy BP on the persistent worker pool,
 // combining messages into the destination accumulators with atomic adds.
 func RunPoolEdge(g *Graph, opts PoolOptions) Result { return poolbp.RunEdge(g, opts) }
+
+// RunRelax executes relaxed-priority residual BP: the persistent worker
+// team pulls the largest pending residuals from a sharded MultiQueue,
+// converging in far fewer message updates than synchronous sweeps.
+func RunRelax(g *Graph, opts RelaxOptions) Result { return relaxbp.Run(g, opts) }
 
 // DecodeMAP returns each node's argmax belief state.
 func DecodeMAP(g *Graph) []int { return bp.DecodeMAP(g) }

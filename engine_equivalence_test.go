@@ -1,0 +1,31 @@
+package credo
+
+// TestEngineEquivalence is the top-level cross-engine differential check:
+// every BP engine in the repository (traditional, node, edge, residual,
+// ompbp, poolbp, relaxbp) runs the shared internal/enginetest corpus —
+// the BIF testdata networks as MRFs plus seeded graphs from each
+// generator family — and every fixpoint engine must land within the
+// per-case tolerance of the sequential per-node oracle. The table runs at
+// several team sizes so the parallel engines are exercised both on their
+// sequential fast path and with real worker teams.
+
+import (
+	"fmt"
+	"testing"
+
+	"credo/internal/enginetest"
+)
+
+func TestEngineEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		engines := enginetest.Engines(workers)
+		for _, c := range enginetest.Corpus() {
+			c := c
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, c.Name), func(t *testing.T) {
+				for _, err := range enginetest.VerifyCase(c, engines) {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}

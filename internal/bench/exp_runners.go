@@ -11,6 +11,7 @@ import (
 	"credo/internal/graph"
 	"credo/internal/perfmodel"
 	"credo/internal/poolbp"
+	"credo/internal/relaxbp"
 )
 
 // implRunner executes one implementation on a graph and returns its
@@ -53,6 +54,11 @@ func poolEdgeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
 func poolNodeRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
 	res := poolbp.RunNode(g, poolbp.Options{Options: cfg.Options, Workers: cfg.PoolWorkers})
 	return cfg.CPU.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: cfg.PoolWorkers}), nil
+}
+
+func relaxRunner(g *graph.Graph, cfg Config) (time.Duration, error) {
+	res := relaxbp.Run(g, relaxbp.Options{Options: cfg.Options, Workers: cfg.PoolWorkers, Seed: cfg.Seed})
+	return cfg.CPU.RelaxTime(res.Ops, perfmodel.RelaxOptions{Workers: cfg.PoolWorkers}), nil
 }
 
 // Scaled runner variants extrapolate the run to r times the executed size

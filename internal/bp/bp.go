@@ -87,6 +87,16 @@ type OpCounts struct {
 	QueuePushes    int64 // work-queue enqueue operations
 	RandomLoads    int64 // random-order parent-state loads (node paradigm)
 	SyncOps        int64 // barrier crossings (one per worker per parallel region)
+
+	// Relaxed-scheduling counters (the relaxbp engine). Relaxed priority
+	// order trades exactness for scalability; these count what that trade
+	// costs: entries superseded before they were popped, pops whose
+	// recomputed residual had already fallen below the threshold (work the
+	// priority estimate wasted), and failed lock acquisitions on the
+	// sharded priority queues.
+	StaleDrops      int64 // queue entries dropped because a newer push superseded them
+	WastedUpdates   int64 // pops recomputed to a sub-threshold residual (nothing applied)
+	QueueContention int64 // failed TryLock acquisitions on the relaxed multiqueue
 }
 
 // Add accumulates other into c.
@@ -102,6 +112,9 @@ func (c *OpCounts) Add(other OpCounts) {
 	c.QueuePushes += other.QueuePushes
 	c.RandomLoads += other.RandomLoads
 	c.SyncOps += other.SyncOps
+	c.StaleDrops += other.StaleDrops
+	c.WastedUpdates += other.WastedUpdates
+	c.QueueContention += other.QueueContention
 }
 
 // Result reports the outcome of a propagation run.

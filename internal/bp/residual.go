@@ -62,7 +62,10 @@ func RunResidual(g *graph.Graph, opts Options) Result {
 		}
 		computeCandidate(v)
 		r := graph.L1Diff(cand, g.Belief(v))
-		if r > 0 {
+		// Nodes already within the element threshold are converged: they
+		// would only ever be popped to be discarded, so they stay out of
+		// the queue until a parent's change promotes them.
+		if r > opts.QueueThreshold {
 			pq.update(v, r)
 			res.Ops.QueuePushes++
 		}
@@ -85,7 +88,10 @@ func RunResidual(g *graph.Graph, opts Options) Result {
 		res.Ops.MemStores += int64(s)
 		updates++
 
-		// Refresh the residuals of the successors only.
+		// Refresh the residuals of the successors only. A successor whose
+		// refreshed residual sits at or below the element threshold is
+		// converged: it leaves the queue (or never enters it) instead of
+		// being re-heapified only to be popped and discarded later.
 		lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
 		for _, e := range g.OutEdges[lo:hi] {
 			dst := g.EdgeDst[e]
@@ -94,6 +100,10 @@ func RunResidual(g *graph.Graph, opts Options) Result {
 			}
 			computeCandidate(dst)
 			nr := graph.L1Diff(cand, g.Belief(dst))
+			if nr <= opts.QueueThreshold {
+				pq.remove(dst)
+				continue
+			}
 			pq.update(dst, nr)
 			res.Ops.QueuePushes++
 		}
@@ -165,6 +175,15 @@ func (pq *residualQueue) update(v int32, r float32) {
 		return
 	}
 	heap.Fix(pq, int(pq.pos[v]))
+}
+
+// remove drops node v from the queue if present; converged nodes leave
+// the heap instead of lingering until a discarding pop.
+func (pq *residualQueue) remove(v int32) {
+	if pq.pos[v] < 0 {
+		return
+	}
+	heap.Remove(pq, int(pq.pos[v]))
 }
 
 // popMax removes and returns the node with the largest residual.

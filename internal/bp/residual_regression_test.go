@@ -1,0 +1,67 @@
+package bp
+
+import (
+	"testing"
+
+	"credo/internal/bif"
+	"credo/internal/graph"
+)
+
+// TestResidualSprinklerUpdateCounts locks the exact, deterministic work
+// profile of the sequential residual engine on the sprinkler network as
+// an MRF. It is the regression test for the converged-successor bug: the
+// successor-refresh loop used to re-enqueue every successor even when its
+// refreshed residual was already at or below the element threshold, so
+// converged nodes sat in the queue only to be popped and discarded
+// (QueuePushes was 46 on this network; the applied-update counts below
+// were unchanged by the fix, which is the point — only queue traffic
+// shrinks).
+func TestResidualSprinklerUpdateCounts(t *testing.T) {
+	g, err := bif.ParseFile("../bif/testdata/sprinkler.bif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = g.Undirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := g.Clone()
+	ores := RunNode(oracle, Options{})
+	if !ores.Converged {
+		t.Fatal("oracle sweep did not converge")
+	}
+
+	res := RunResidual(g, Options{})
+	if !res.Converged {
+		t.Fatalf("residual run did not converge (final delta %g)", res.FinalDelta)
+	}
+	want := struct {
+		iterations     int
+		nodesProcessed int64
+		edgesProcessed int64
+		queuePushes    int64
+	}{
+		iterations:     6,
+		nodesProcessed: 21,
+		edgesProcessed: 134,
+		queuePushes:    38,
+	}
+	if res.Iterations != want.iterations {
+		t.Errorf("Iterations = %d, want %d", res.Iterations, want.iterations)
+	}
+	if res.Ops.NodesProcessed != want.nodesProcessed {
+		t.Errorf("NodesProcessed = %d, want %d", res.Ops.NodesProcessed, want.nodesProcessed)
+	}
+	if res.Ops.EdgesProcessed != want.edgesProcessed {
+		t.Errorf("EdgesProcessed = %d, want %d", res.Ops.EdgesProcessed, want.edgesProcessed)
+	}
+	if res.Ops.QueuePushes != want.queuePushes {
+		t.Errorf("QueuePushes = %d, want %d", res.Ops.QueuePushes, want.queuePushes)
+	}
+	// The fix must not move the fixpoint.
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if d := graph.L1Diff(g.Belief(v), oracle.Belief(v)); d > 2e-2 {
+			t.Errorf("node %d diverges from the sweep oracle by %g", v, d)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package core is the Credo engine (§3.1): given a parsed belief graph, it
 // chooses the best implementation — C Edge, C Node, CUDA Edge, CUDA Node,
-// or (when enabled) the persistent worker-pool engine — from the graph's
-// metadata alone, then executes loopy BP with that implementation.
+// or (when enabled) the persistent worker-pool and relaxed-residual
+// engines — from the graph's metadata alone, then executes loopy BP with
+// that implementation.
 //
 // Selection is two-staged, as in the paper: a platform rule derived from
 // the CUDA transfer-overhead crossover (§3.6: CUDA pays off above ~100,000
@@ -24,6 +25,7 @@ import (
 	"credo/internal/ml"
 	"credo/internal/perfmodel"
 	"credo/internal/poolbp"
+	"credo/internal/relaxbp"
 )
 
 // Implementation identifies one of Credo's execution back ends.
@@ -32,13 +34,16 @@ type Implementation int
 // The four implementations of §3.6, plus the persistent worker-pool
 // engine (internal/poolbp) — the fifth candidate this reproduction adds
 // beyond the paper, which the selector considers only when
-// Selector.PoolWorkers is set.
+// Selector.PoolWorkers is set — and the relaxed-priority residual engine
+// (internal/relaxbp), the sixth, considered only when
+// Selector.RelaxWorkers is set.
 const (
 	CEdge Implementation = iota
 	CNode
 	CUDAEdge
 	CUDANode
 	Pool
+	Relax
 )
 
 // String returns the paper's name for the implementation.
@@ -54,6 +59,8 @@ func (i Implementation) String() string {
 		return "CUDA Node"
 	case Pool:
 		return "Go Pool"
+	case Relax:
+		return "Go Relax"
 	}
 	return fmt.Sprintf("Implementation(%d)", int(i))
 }
@@ -85,6 +92,15 @@ type Selector struct {
 	// sequential C implementations; the Node/Edge classifier still decides
 	// the pool's processing paradigm.
 	PoolWorkers int
+
+	// RelaxWorkers enables the relaxed-priority residual engine as a
+	// sixth candidate with a team of this size (zero keeps it out of the
+	// selection). CPU-bound graphs large enough for the relaxed queue
+	// traffic to amortize (features.RelaxViable) are then routed to it
+	// ahead of the pool and the sequential C implementations — residual
+	// scheduling saves message updates on exactly the graphs where sweeps
+	// are expensive.
+	RelaxWorkers int
 }
 
 // cudaCrossover returns the node count above which the device pays for
@@ -125,6 +141,12 @@ func (s *Selector) Choose(md graph.Metadata, footprint int64) Implementation {
 		node = useCUDA
 	}
 	switch {
+	// Setting RelaxWorkers is an explicit opt-in: the relaxed residual
+	// engine takes any CPU-bound graph large enough for its queue traffic
+	// to amortize, ahead of the pool and the paper's four-way choice (the
+	// device still wins the graphs it pays for).
+	case s.RelaxWorkers > 0 && !useCUDA && features.RelaxViable(md):
+		return Relax
 	// Setting PoolWorkers is an explicit opt-in: the pool takes any graph
 	// with enough per-sweep work, ahead of the paper's four-way choice.
 	case s.PoolWorkers > 0 && features.PoolViable(md):
@@ -227,6 +249,17 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 			Implementation: impl,
 			Result:         res,
 			EstimatedTime:  cpu.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: workers}),
+		}, nil
+	case Relax:
+		workers := e.RelaxWorkers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		res := relaxbp.Run(g, relaxbp.Options{Options: e.Options, Workers: workers})
+		return Report{
+			Implementation: impl,
+			Result:         res,
+			EstimatedTime:  cpu.RelaxTime(res.Ops, perfmodel.RelaxOptions{Workers: workers}),
 		}, nil
 	case CUDAEdge, CUDANode:
 		dev := gpusim.NewDevice(gpu)

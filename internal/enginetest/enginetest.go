@@ -1,0 +1,222 @@
+// Package enginetest is the cross-engine differential harness: one shared
+// corpus of small real networks (the BIF testdata, as MRFs) and seeded
+// synthetic graphs, and one table of every BP engine in the repository,
+// with the invariants each engine must satisfy on every corpus case.
+//
+// The oracle is the reference sequential per-node sweep engine
+// (internal/bp.RunNode). Engines that compute the loopy fixpoint — edge,
+// residual, the OpenMP port, the persistent pool and the relaxed residual
+// scheduler — must land within a per-case tolerance of the oracle's
+// beliefs. The corpus deliberately sticks to graphs whose loopy fixpoint
+// is unique in practice (small networks, moderate coupling): on large
+// dense graphs with strong attractive potentials loopy BP has multiple
+// fixpoints and update order selects among them, which would make
+// cross-engine belief comparison meaningless.
+//
+// The traditional two-pass engine is the paper's §2.1.1 control: it runs
+// "simply twice" (forward then backward by level) instead of iterating to
+// convergence, and so computes a different quantity than the loopy
+// fixpoint by design — on loopy graphs and even on trees its backward
+// belief pass diverges numerically from the converged loopy beliefs. Its
+// row therefore asserts the structural invariants every engine shares —
+// valid normalized beliefs and run-to-run determinism — rather than
+// fixpoint proximity.
+package enginetest
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+
+	"credo/internal/bif"
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/ompbp"
+	"credo/internal/poolbp"
+	"credo/internal/relaxbp"
+)
+
+// DefaultTol is the per-node L1 belief tolerance against the oracle,
+// matching the precedent of the residual-vs-sweep equivalence tests:
+// engines iterate to a 0.001 element threshold, so independent runs agree
+// to well under 2e-2 per node when the fixpoint is unique.
+const DefaultTol = 2e-2
+
+// Case is one corpus graph. Build returns a fresh graph every call so
+// engines never see each other's beliefs.
+type Case struct {
+	Name  string
+	Tol   float32
+	Build func() (*graph.Graph, error)
+}
+
+// testdataPath resolves a file in internal/bif/testdata relative to this
+// source file, so the corpus loads regardless of the test's working
+// directory (the harness is driven both in-package and from the module
+// root).
+func testdataPath(name string) string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Join(filepath.Dir(file), "..", "bif", "testdata", name)
+}
+
+// bifCase loads a BIF network and doubles its edges into the MRF form, so
+// evidence flows against edge direction and every unobserved node has
+// inputs.
+func bifCase(name, file string, observe int32) Case {
+	return Case{Name: name, Tol: DefaultTol, Build: func() (*graph.Graph, error) {
+		g, err := bif.ParseFile(testdataPath(file))
+		if err != nil {
+			return nil, err
+		}
+		g, err = g.Undirected()
+		if err != nil {
+			return nil, err
+		}
+		if observe >= 0 {
+			if err := g.Observe(observe, 0); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}}
+}
+
+func genCase(name string, tol float32, build func() (*graph.Graph, error)) Case {
+	return Case{Name: name, Tol: tol, Build: build}
+}
+
+// Corpus returns the shared differential corpus: the three BIF testdata
+// networks (sprinkler is a loopy diamond once doubled into an MRF), one of
+// them with evidence clamped, and seeded synthetic graphs covering the
+// generator families — uniform random at two belief widths, shared and
+// per-edge matrices, a power-law graph, a lattice grid and a tree.
+func Corpus() []Case {
+	return []Case{
+		bifCase("sprinkler-mrf", "sprinkler.bif", -1),
+		bifCase("sprinkler-mrf-observed", "sprinkler.bif", 0),
+		bifCase("cancer-mrf", "cancer.bif", -1),
+		bifCase("asia-mrf", "asia.bif", -1),
+		genCase("synthetic-200x800-s2", DefaultTol, func() (*graph.Graph, error) {
+			return gen.Synthetic(200, 800, gen.Config{Seed: 33, States: 2, Shared: true})
+		}),
+		genCase("synthetic-300x1200-s3", DefaultTol, func() (*graph.Graph, error) {
+			return gen.Synthetic(300, 1200, gen.Config{Seed: 7, States: 3, Keep: 0.45})
+		}),
+		genCase("powerlaw-500x2000-s2", DefaultTol, func() (*graph.Graph, error) {
+			return gen.PowerLaw(500, 2000, gen.Config{Seed: 11, States: 2, Shared: true, Keep: 0.6})
+		}),
+		genCase("grid-16x16-s2", DefaultTol, func() (*graph.Graph, error) {
+			return gen.Grid(16, 16, gen.Config{Seed: 5, States: 2, Shared: true, Keep: 0.6})
+		}),
+		// The tree is bipartite, so synchronous sweeps oscillate under
+		// strong attractive coupling; moderate Keep holds the fixpoint
+		// unique and reachable for Jacobi and asynchronous engines alike.
+		genCase("tree-127-s3", DefaultTol, func() (*graph.Graph, error) {
+			return gen.Tree(127, 2, gen.Config{Seed: 3, States: 3, Keep: 0.5})
+		}),
+	}
+}
+
+// Engine is one row of the differential table.
+type Engine struct {
+	Name string
+	// Fixpoint marks engines that converge to the loopy fixpoint and are
+	// belief-compared against the oracle; the traditional two-pass
+	// control is instead checked for structural invariants only (see the
+	// package comment).
+	Fixpoint bool
+	// Deterministic marks engines whose runs are bitwise repeatable for a
+	// fixed configuration. The relaxed scheduler is deliberately not for
+	// Workers > 1: worker interleaving chooses the update order, and only
+	// the fixpoint tolerance is guaranteed.
+	Deterministic bool
+	Run           func(g *graph.Graph) bp.Result
+}
+
+// Engines returns the full engine table. Parallel engines run with the
+// given team size.
+func Engines(workers int) []Engine {
+	return []Engine{
+		{Name: "traditional", Fixpoint: false, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
+			return bp.RunTraditional(g, bp.Options{})
+		}},
+		{Name: "node", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
+			return bp.RunNode(g, bp.Options{})
+		}},
+		{Name: "edge", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
+			return bp.RunEdge(g, bp.Options{})
+		}},
+		{Name: "residual", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
+			return bp.RunResidual(g, bp.Options{})
+		}},
+		{Name: "ompbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
+			return ompbp.RunNode(g, ompbp.Options{Threads: workers})
+		}},
+		{Name: "poolbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
+			return poolbp.RunNode(g, poolbp.Options{Workers: workers})
+		}},
+		{Name: "relaxbp", Fixpoint: true, Deterministic: workers <= 1, Run: func(g *graph.Graph) bp.Result {
+			return relaxbp.Run(g, relaxbp.Options{Workers: workers})
+		}},
+	}
+}
+
+// Oracle runs the reference engine the fixpoint rows are compared to.
+func Oracle(g *graph.Graph) bp.Result { return bp.RunNode(g, bp.Options{}) }
+
+// MaxBeliefDiff returns the largest per-node L1 belief distance between
+// two runs of the same graph.
+func MaxBeliefDiff(a, b *graph.Graph) float32 {
+	var worst float32
+	for v := int32(0); v < int32(a.NumNodes); v++ {
+		if d := graph.L1Diff(a.Belief(v), b.Belief(v)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// VerifyCase runs every engine over fresh copies of one corpus case and
+// returns one error per violated invariant (nil for a fully clean case).
+func VerifyCase(c Case, engines []Engine) []error {
+	g, err := c.Build()
+	if err != nil {
+		return []error{fmt.Errorf("%s: build: %w", c.Name, err)}
+	}
+	tol := c.Tol
+	if tol == 0 {
+		tol = DefaultTol
+	}
+	oracle := g.Clone()
+	ores := Oracle(oracle)
+	var errs []error
+	if !ores.Converged {
+		errs = append(errs, fmt.Errorf("%s: oracle did not converge in %d iterations", c.Name, ores.Iterations))
+	}
+	for _, e := range engines {
+		eg := g.Clone()
+		res := e.Run(eg)
+		if err := eg.Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("%s/%s: invalid beliefs: %w", c.Name, e.Name, err))
+			continue
+		}
+		if e.Deterministic {
+			rg := g.Clone()
+			e.Run(rg)
+			if d := MaxBeliefDiff(eg, rg); d != 0 {
+				errs = append(errs, fmt.Errorf("%s/%s: two identical runs differ by %g", c.Name, e.Name, d))
+			}
+		}
+		if !e.Fixpoint {
+			continue
+		}
+		if !res.Converged {
+			errs = append(errs, fmt.Errorf("%s/%s: did not converge (final delta %g)", c.Name, e.Name, res.FinalDelta))
+		}
+		if d := MaxBeliefDiff(oracle, eg); d > tol {
+			errs = append(errs, fmt.Errorf("%s/%s: diverges from the oracle by %g (tolerance %g)", c.Name, e.Name, d, tol))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,42 @@
+package enginetest
+
+import "testing"
+
+// TestCorpusEngines drives the differential table in-package: every
+// engine over every corpus case, at a team size that exercises the
+// parallel paths.
+func TestCorpusEngines(t *testing.T) {
+	engines := Engines(4)
+	for _, c := range Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, err := range VerifyCase(c, engines) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCorpusBuildsFresh guards the harness contract that Build returns an
+// independent graph each call: engines must never observe each other's
+// posterior beliefs.
+func TestCorpusBuildsFresh(t *testing.T) {
+	for _, c := range Corpus() {
+		a, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		b, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		Oracle(a)
+		if d := MaxBeliefDiff(a, b); d == 0 {
+			t.Errorf("%s: second Build shares beliefs with the first (no movement after a run)", c.Name)
+		}
+		a.Beliefs[0] = 0.123
+		if b.Beliefs[0] == 0.123 {
+			t.Errorf("%s: Build returns aliased belief storage", c.Name)
+		}
+	}
+}

@@ -94,3 +94,43 @@ func PoolWorkers(md graph.Metadata, maxWorkers int) int {
 	}
 	return w
 }
+
+// Relaxed-scheduling gating. The relaxed residual engine (the sixth
+// implementation candidate, internal/relaxbp) replaces sweeps with a
+// sharded priority queue; every applied update pays queue traffic
+// (pushes to each successor, stale drops, wasted pops), so its win —
+// far fewer message updates to convergence — needs enough per-update
+// fan-out work to amortize. Like the pool gate, viability is decidable
+// from input parsing alone.
+const (
+	// MinRelaxNodes is the graph-size floor for the relaxed engine: below
+	// it the sequential residual engine's exact priority order wins, as
+	// the whole run fits a handful of heap operations.
+	MinRelaxNodes = 4_096
+
+	// RelaxNodesPerWorker is the per-worker node share below which the
+	// shard-sampling workers mostly collide and spin; teams larger than
+	// NumNodes/RelaxNodesPerWorker stop scaling.
+	RelaxNodesPerWorker = 2_048
+)
+
+// RelaxViable reports whether the graph is large enough for the relaxed
+// residual engine's queue traffic to amortize over its update savings.
+func RelaxViable(md graph.Metadata) bool { return md.NumNodes >= MinRelaxNodes }
+
+// RelaxWorkers recommends a team size for the relaxed residual engine
+// from metadata alone, capped at maxWorkers (typically the host's core
+// count).
+func RelaxWorkers(md graph.Metadata, maxWorkers int) int {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	w := md.NumNodes / RelaxNodesPerWorker
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	return w
+}

@@ -198,6 +198,52 @@ func (p CPUProfile) PoolTime(ops bp.OpCounts, opt PoolOptions) time.Duration {
 	return seconds((c+m*cont)/float64(cores) + spawn + syncs)
 }
 
+// RelaxOptions shapes the relaxed-scheduling pricing.
+type RelaxOptions struct {
+	// Workers is the size of the long-lived team.
+	Workers int
+	// HyperthreadingOff selects the no-HT contention calibration.
+	HyperthreadingOff bool
+}
+
+// RelaxTime prices ops as a relaxed-priority residual run (the relaxbp
+// engine). The compute and memory work divides across the cores like the
+// pool's — the workers are the same persistent team, forked once — but
+// there are no per-sweep barriers; what the relaxed scheduler pays
+// instead is queue traffic: every push is a locked heap operation, every
+// stale drop and wasted pop is a queue round trip whose message work (for
+// the wasted pops) bought nothing, and every failed TryLock burns an
+// atomic. Those counters are exactly the relaxation-vs-wasted-work trade
+// the scheduling papers describe; pricing them keeps the relax engine's
+// modelled time honest against the update count it saves.
+func (p CPUProfile) RelaxTime(ops bp.OpCounts, opt RelaxOptions) time.Duration {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cores := workers
+	if cores > p.PhysicalCores {
+		cores = p.PhysicalCores
+	}
+	c, m := p.split(ops)
+	threads := workers
+	if threads > p.LogicalCores {
+		threads = p.LogicalCores
+	}
+	cont := 1.0
+	if workers > 1 {
+		cont = p.contention(threads, opt.HyperthreadingOff)
+	}
+	// Queue traffic beyond the pushes already priced in split(): popping
+	// costs a heap operation per entry that left the queue (applied,
+	// stale, or wasted), and contention events each burn an atomic.
+	pops := float64(ops.NodesProcessed + ops.StaleDrops + ops.WastedUpdates)
+	queue := pops*p.QueueOpCost + float64(ops.QueueContention)*p.AtomicCost
+	spawn := float64(workers)*p.RegionForkCost + p.RegionJoinCost
+	syncs := float64(ops.SyncOps) * p.SyncCost
+	return seconds((c+queue+m*cont)/float64(cores) + spawn + syncs)
+}
+
 // contention interpolates the contention factor for a thread count.
 func (p CPUProfile) contention(threads int, noHT bool) float64 {
 	m := p.MemContention

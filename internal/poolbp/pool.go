@@ -51,3 +51,29 @@ func (p *pool) close() {
 		close(c)
 	}
 }
+
+// Team is the exported handle to a persistent worker team, so that other
+// engines (the relaxed-scheduling runtime in internal/relaxbp) can share
+// this package's long-lived-worker machinery instead of growing their own.
+type Team struct {
+	p *pool
+}
+
+// NewTeam spawns a persistent team of the given size (minimum 1).
+func NewTeam(workers int) *Team {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Team{p: newPool(workers)}
+}
+
+// Workers returns the team size.
+func (t *Team) Workers() int { return t.p.workers }
+
+// Run executes body on every worker and returns when all have finished —
+// one parallel region with a barrier at its end. The barrier orders all
+// worker memory accesses before Run returns.
+func (t *Team) Run(body func(worker int)) { t.p.run(body) }
+
+// Close retires the workers. The team must be idle.
+func (t *Team) Close() { t.p.close() }

@@ -1,0 +1,196 @@
+package relaxbp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"credo/internal/bp"
+)
+
+// entry is one pending update in the relaxed scheduler: a node, the
+// epoch of the push that created the entry (stale entries — those whose
+// node was pushed again afterwards — are dropped at pop time instead of
+// being decrease-keyed in place), and the residual estimate that orders
+// it.
+type entry struct {
+	node int32
+	seq  uint32
+	prio float32
+}
+
+// emptyTop is the cached-top sentinel of an empty queue. Priorities are
+// L1 residuals (≥ 0), so any real top wins a comparison against it.
+const emptyTop = float32(-1)
+
+// pqueue is one sequential max-heap shard of the MultiQueue: a mutex, the
+// heap itself, and a lock-free cache of the top priority so that the
+// sample-two pop can compare shards without taking either lock.
+type pqueue struct {
+	mu   sync.Mutex
+	top  atomic.Uint32 // float32 bits of the current max priority
+	heap []entry
+}
+
+func (q *pqueue) updateTop() {
+	if len(q.heap) == 0 {
+		q.top.Store(math.Float32bits(emptyTop))
+		return
+	}
+	q.top.Store(math.Float32bits(q.heap[0].prio))
+}
+
+func (q *pqueue) peekTop() float32 {
+	return math.Float32frombits(q.top.Load())
+}
+
+// siftUp restores the heap property after an append at index i.
+func (q *pqueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.heap[parent].prio >= q.heap[i].prio {
+			break
+		}
+		q.heap[parent], q.heap[i] = q.heap[i], q.heap[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after a removal replaced the root.
+func (q *pqueue) siftDown() {
+	i, n := 0, len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		max := i
+		if l < n && q.heap[l].prio > q.heap[max].prio {
+			max = l
+		}
+		if r < n && q.heap[r].prio > q.heap[max].prio {
+			max = r
+		}
+		if max == i {
+			return
+		}
+		q.heap[i], q.heap[max] = q.heap[max], q.heap[i]
+		i = max
+	}
+}
+
+// pushLocked appends e; the caller holds mu.
+func (q *pqueue) pushLocked(e entry) {
+	q.heap = append(q.heap, e)
+	q.siftUp(len(q.heap) - 1)
+	q.updateTop()
+}
+
+// popLocked removes and returns the max entry; the caller holds mu and
+// has checked the heap is non-empty.
+func (q *pqueue) popLocked() entry {
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	q.siftDown()
+	q.updateTop()
+	return e
+}
+
+// multiQueue is the relaxed concurrent priority scheduler: Q = c·P
+// sequential heaps. A push lands in one uniformly random shard; a pop
+// samples two shards, compares their cached tops, and pops the larger —
+// the MultiQueue discipline of Rihani/Sanders/Dementiev adopted for BP
+// scheduling by Aksenov, Alistarh & Korhonen. The popped residual is not
+// the exact global maximum, only close to it with high probability; the
+// engine absorbs that slack because residual order affects convergence
+// speed, not the fixpoint.
+type multiQueue struct {
+	queues []pqueue
+}
+
+// newMultiQueue builds a scheduler with q shards (minimum 1).
+func newMultiQueue(q int) *multiQueue {
+	if q < 1 {
+		q = 1
+	}
+	mq := &multiQueue{queues: make([]pqueue, q)}
+	for i := range mq.queues {
+		mq.queues[i].top.Store(math.Float32bits(emptyTop))
+	}
+	return mq
+}
+
+// lock acquires q's mutex, counting a contention event when the fast
+// TryLock misses and the caller has to wait.
+func (mq *multiQueue) lock(q *pqueue, ops *bp.OpCounts) {
+	if q.mu.TryLock() {
+		return
+	}
+	ops.QueueContention++
+	q.mu.Lock()
+}
+
+// push inserts e into a uniformly random shard.
+func (mq *multiQueue) push(rng *rand.Rand, e entry, ops *bp.OpCounts) {
+	q := &mq.queues[rng.Intn(len(mq.queues))]
+	mq.lock(q, ops)
+	q.pushLocked(e)
+	q.mu.Unlock()
+}
+
+// pop samples two distinct shards, pops the one whose cached top is
+// larger, and falls back to a full scan when the sampled shards are
+// empty (which matters only near the drain, when spread entries must
+// still be found). Returns false when every shard is empty.
+func (mq *multiQueue) pop(rng *rand.Rand, ops *bp.OpCounts) (entry, bool) {
+	n := len(mq.queues)
+	if n > 1 {
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		if mq.queues[j].peekTop() > mq.queues[i].peekTop() {
+			i = j
+		}
+		if e, ok := mq.tryPopFrom(&mq.queues[i], ops); ok {
+			return e, true
+		}
+	}
+	// Sampled shards were empty (or raced to empty): scan every shard
+	// once so pending work cannot hide from the sampler.
+	for k := range mq.queues {
+		if e, ok := mq.tryPopFrom(&mq.queues[k], ops); ok {
+			return e, true
+		}
+	}
+	return entry{}, false
+}
+
+// tryPopFrom pops q's max entry, or returns false when q is empty.
+func (mq *multiQueue) tryPopFrom(q *pqueue, ops *bp.OpCounts) (entry, bool) {
+	if q.peekTop() == emptyTop {
+		return entry{}, false
+	}
+	mq.lock(q, ops)
+	if len(q.heap) == 0 {
+		q.mu.Unlock()
+		return entry{}, false
+	}
+	e := q.popLocked()
+	q.mu.Unlock()
+	return e, true
+}
+
+// size returns the total number of queued entries (stale included). It
+// locks every shard and is meant for tests and termination diagnostics,
+// not the hot path.
+func (mq *multiQueue) size() int {
+	total := 0
+	for i := range mq.queues {
+		mq.queues[i].mu.Lock()
+		total += len(mq.queues[i].heap)
+		mq.queues[i].mu.Unlock()
+	}
+	return total
+}

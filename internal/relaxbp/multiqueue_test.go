@@ -1,0 +1,246 @@
+package relaxbp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"credo/internal/bp"
+)
+
+// TestSingleShardExactOrder: with one shard the MultiQueue degenerates to
+// an exact max-heap — pops must come out in non-increasing priority order.
+func TestSingleShardExactOrder(t *testing.T) {
+	mq := newMultiQueue(1)
+	rng := rand.New(rand.NewSource(42))
+	var ops bp.OpCounts
+	const n = 1000
+	for i := 0; i < n; i++ {
+		mq.push(rng, entry{node: int32(i), seq: 1, prio: rng.Float32() * 2}, &ops)
+	}
+	last := float32(3)
+	for i := 0; i < n; i++ {
+		e, ok := mq.pop(rng, &ops)
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		if e.prio > last {
+			t.Fatalf("pop %d: priority %g after %g — not the exact max", i, e.prio, last)
+		}
+		last = e.prio
+	}
+	if _, ok := mq.pop(rng, &ops); ok {
+		t.Fatal("pop succeeded on a drained queue")
+	}
+}
+
+// TestMultiQueueNoItemLost: every pushed entry comes back out exactly
+// once, whatever the shard spread — the queue may relax order, never
+// membership.
+func TestMultiQueueNoItemLost(t *testing.T) {
+	for _, shards := range []int{2, 8, 16} {
+		mq := newMultiQueue(shards)
+		rng := rand.New(rand.NewSource(7))
+		var ops bp.OpCounts
+		const n = 2000
+		pushed := make(map[entry]int, n)
+		for i := 0; i < n; i++ {
+			// Duplicate nodes and priorities on purpose: staleness is the
+			// engine's concern, not the queue's.
+			e := entry{node: int32(i % 100), seq: uint32(i), prio: rng.Float32()}
+			pushed[e]++
+			mq.push(rng, e, &ops)
+		}
+		if got := mq.size(); got != n {
+			t.Fatalf("shards=%d: size %d after %d pushes", shards, got, n)
+		}
+		for i := 0; i < n; i++ {
+			e, ok := mq.pop(rng, &ops)
+			if !ok {
+				t.Fatalf("shards=%d: queue empty after %d of %d pops", shards, i, n)
+			}
+			pushed[e]--
+			if pushed[e] < 0 {
+				t.Fatalf("shards=%d: entry %+v popped more times than pushed", shards, e)
+			}
+		}
+		for e, c := range pushed {
+			if c != 0 {
+				t.Errorf("shards=%d: entry %+v lost (%d copies remain)", shards, e, c)
+			}
+		}
+		if got := mq.size(); got != 0 {
+			t.Errorf("shards=%d: size %d after full drain", shards, got)
+		}
+	}
+}
+
+// TestMultiQueueRelaxationBound: single-threaded, the popped priority must
+// stay near the true maximum. Each pop takes the max of one shard, so with
+// uniformly random shard placement the popped entry's rank among all
+// remaining entries concentrates around the shard count; the bounds here
+// are generous multiples of that and deterministic under the fixed seed.
+func TestMultiQueueRelaxationBound(t *testing.T) {
+	const shards = 8
+	mq := newMultiQueue(shards)
+	rng := rand.New(rand.NewSource(33))
+	var ops bp.OpCounts
+	const n = 4000
+	remaining := make([]float32, 0, n)
+	for i := 0; i < n; i++ {
+		p := rng.Float32() * 2
+		remaining = append(remaining, p)
+		mq.push(rng, entry{node: int32(i), seq: 1, prio: p}, &ops)
+	}
+	var rankSum, rankMax int
+	for i := 0; i < n; i++ {
+		e, ok := mq.pop(rng, &ops)
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		rank, at := 0, -1
+		for j, p := range remaining {
+			if p > e.prio {
+				rank++
+			}
+			if at < 0 && p == e.prio {
+				at = j
+			}
+		}
+		if at < 0 {
+			t.Fatalf("pop %d: priority %g never pushed", i, e.prio)
+		}
+		remaining[at] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		rankSum += rank
+		if rank > rankMax {
+			rankMax = rank
+		}
+	}
+	mean := float64(rankSum) / float64(n)
+	t.Logf("relaxation over %d pops, %d shards: mean rank %.2f, max rank %d", n, shards, mean, rankMax)
+	if mean > float64(shards) {
+		t.Errorf("mean popped rank %.2f exceeds the shard count %d — relaxation far looser than the sample-two bound", mean, shards)
+	}
+	if rankMax > 8*shards {
+		t.Errorf("max popped rank %d exceeds 8x the shard count %d", rankMax, shards)
+	}
+}
+
+// TestPQueueHeapInvariant white-boxes one shard: after every push and pop
+// the array must satisfy the max-heap property and the cached top must
+// equal the root.
+func TestPQueueHeapInvariant(t *testing.T) {
+	var q pqueue
+	q.updateTop()
+	rng := rand.New(rand.NewSource(5))
+	check := func(step string) {
+		t.Helper()
+		for i := 1; i < len(q.heap); i++ {
+			parent := (i - 1) / 2
+			if q.heap[parent].prio < q.heap[i].prio {
+				t.Fatalf("%s: heap violated at %d (%g < %g)", step, i, q.heap[parent].prio, q.heap[i].prio)
+			}
+		}
+		want := emptyTop
+		if len(q.heap) > 0 {
+			want = q.heap[0].prio
+		}
+		if got := q.peekTop(); got != want {
+			t.Fatalf("%s: cached top %g, heap top %g", step, got, want)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if len(q.heap) == 0 || rng.Intn(3) > 0 {
+			q.mu.Lock()
+			q.pushLocked(entry{node: int32(i), seq: 1, prio: rng.Float32()})
+			q.mu.Unlock()
+			check("push")
+			continue
+		}
+		q.mu.Lock()
+		top := q.heap[0].prio
+		e := q.popLocked()
+		q.mu.Unlock()
+		if e.prio != top {
+			t.Fatalf("pop returned %g, root was %g", e.prio, top)
+		}
+		check("pop")
+	}
+}
+
+// TestMultiQueueConcurrentDrain hammers one MultiQueue from many
+// goroutines (the -race configuration of the CI job): concurrent pushers
+// and poppers must neither lose nor duplicate entries.
+func TestMultiQueueConcurrentDrain(t *testing.T) {
+	const (
+		shards  = 8
+		workers = 8
+		perW    = 2000
+	)
+	mq := newMultiQueue(shards)
+	popped := make(chan entry, workers*perW)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			var ops bp.OpCounts
+			for i := 0; i < perW; i++ {
+				mq.push(rng, entry{node: int32(w), seq: uint32(i), prio: rng.Float32()}, &ops)
+				if i%2 == 1 {
+					for {
+						if e, ok := mq.pop(rng, &ops); ok {
+							popped <- e
+							break
+						}
+					}
+				}
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	// Half were popped concurrently; drain the rest single-threaded.
+	rng := rand.New(rand.NewSource(99))
+	var ops bp.OpCounts
+	for {
+		e, ok := mq.pop(rng, &ops)
+		if !ok {
+			break
+		}
+		popped <- e
+	}
+	close(popped)
+	counts := make(map[entry]int)
+	for e := range popped {
+		counts[e]++
+	}
+	total := 0
+	for e, c := range counts {
+		if c != 1 {
+			t.Fatalf("entry %+v popped %d times", e, c)
+		}
+		total++
+	}
+	if total != workers*perW {
+		t.Fatalf("popped %d distinct entries, pushed %d", total, workers*perW)
+	}
+	// Per-worker seqs must each appear exactly once — a sortable view of
+	// the same no-loss property.
+	for w := 0; w < workers; w++ {
+		var seqs []int
+		for e := range counts {
+			if e.node == int32(w) {
+				seqs = append(seqs, int(e.seq))
+			}
+		}
+		sort.Ints(seqs)
+		for i, s := range seqs {
+			if s != i {
+				t.Fatalf("worker %d: seq %d missing (found %d at rank %d)", w, i, s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package relaxbp is the relaxed-priority residual BP engine: the
+// scheduling discipline of the sequential residual engine
+// (internal/bp.RunResidual, after Gonzalez et al.'s Residual Splash)
+// made concurrent the way the scheduling literature prescribes.
+// Van der Merwe, Joseph & Pingali ("Message Scheduling for Performant,
+// Many-Core Belief Propagation") show residual ordering needs far fewer
+// message updates than synchronous sweeps; Aksenov, Alistarh & Korhonen
+// ("Relaxed Scheduling for Scalable Belief Propagation") show an exact
+// concurrent priority queue serializes those updates, and that a relaxed
+// MultiQueue — many sequential heaps, pop from the better of two sampled
+// tops — keeps nearly the same update count while scaling past the
+// bottleneck.
+//
+// The engine combines the repo's two prior pieces:
+//
+//   - the persistent worker team of internal/poolbp (spawned once per
+//     run, no per-region fork/join), and
+//   - the residual discipline of internal/bp's sequential engine.
+//
+// Work lives in a sharded MultiQueue of c·P sequential heaps. Each
+// worker samples two shards and pops from the one with the larger top
+// residual. Instead of decrease-key — which needs a global index and
+// reintroduces the serialization the MultiQueue removed — every node
+// carries an epoch counter: a push bumps the epoch, and a popped entry
+// whose recorded epoch is no longer current is dropped as stale
+// (Ops.StaleDrops). A popped current entry recomputes its node's true
+// residual against the live beliefs; if that has already fallen below
+// the threshold the pop was wasted work (Ops.WastedUpdates), the price
+// of ordering by estimate rather than recomputing every successor's
+// residual eagerly as the sequential engine does.
+//
+// Beliefs are shared mutably across workers, so every element is read
+// and written through atomic float32 bits, and a per-node spinlock
+// serializes writers so a finished run always leaves each node holding
+// one consistent normalized candidate. Readers deliberately do not take
+// the lock: a torn read mixes two normalized candidates and only
+// perturbs a residual estimate, which the relaxed model already
+// tolerates — the update that acted on it is recomputed or superseded.
+//
+// Scheduling is nondeterministic for Workers > 1 (beliefs match the
+// sequential oracle within the convergence tolerance, not bitwise); with
+// Workers = 1 and a fixed Seed the entire run is deterministic.
+package relaxbp
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"credo/internal/bp"
+	"credo/internal/graph"
+	"credo/internal/poolbp"
+)
+
+// DefaultQueueFactor is c in the MultiQueue's c·P shard count. Two is
+// the standard choice: enough slack to keep sampled shards distinct,
+// little enough that the popped residual stays near the true maximum.
+const DefaultQueueFactor = 2
+
+// maxResidual is the largest possible L1 distance between two
+// distributions — the priority that guarantees a node's first pop.
+const maxResidual = float32(2)
+
+// Options configures a relaxed residual run.
+type Options struct {
+	bp.Options
+
+	// Workers is the size of the persistent team. Zero means
+	// runtime.NumCPU().
+	Workers int
+
+	// QueueFactor scales the MultiQueue: QueueFactor·Workers shards.
+	// Zero means DefaultQueueFactor.
+	QueueFactor int
+
+	// Seed drives the shard-sampling RNGs. Runs with Workers = 1 and
+	// equal seeds apply identical update sequences. Zero means 1.
+	Seed int64
+
+	// Trace, when non-nil and Workers == 1, receives the node id of
+	// every applied update in order — the hook the seeded-determinism
+	// tests record sequences through. Ignored for Workers > 1.
+	Trace *[]int32
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueFactor <= 0 {
+		o.QueueFactor = DefaultQueueFactor
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Threshold == 0 {
+		o.Threshold = bp.DefaultThreshold
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = bp.DefaultMaxIterations
+	}
+	if o.QueueThreshold == 0 {
+		o.QueueThreshold = o.Threshold
+	}
+	return o
+}
+
+// Run executes relaxed-priority residual BP on the persistent worker
+// team. Result.Iterations reports applied updates divided by the node
+// count (sweep-equivalents, rounded up) so reports stay comparable with
+// the sweep engines, exactly like the sequential residual engine.
+func Run(g *graph.Graph, opts Options) bp.Result {
+	opts = opts.withDefaults()
+	s := g.States
+	workers := opts.Workers
+	gatherLines := int64((s*4 + 63) / 64)
+	matLines := int64(0)
+	if !g.SharedMatrix() {
+		matLines = int64((s*s*4 + 63) / 64)
+	}
+
+	// Shared mutable state: belief bits (atomic element access), the
+	// per-node push epoch, and the per-node writer spinlock.
+	bel := make([]uint32, len(g.Beliefs))
+	for i, b := range g.Beliefs {
+		bel[i] = math.Float32bits(b)
+	}
+	seq := make([]uint32, g.NumNodes)
+	writing := make([]uint32, g.NumNodes)
+
+	mq := newMultiQueue(opts.QueueFactor * workers)
+
+	var res bp.Result
+
+	// live counts entries in flight: queued (stale included) plus popped
+	// but not yet classified. Workers exit when it reaches zero — every
+	// pending update has been applied, wasted, or superseded.
+	var live atomic.Int64
+	var updates atomic.Int64
+	var capped atomic.Bool
+	maxUpdates := int64(opts.MaxIterations) * int64(g.NumNodes)
+
+	// Initial population, serial and seed-deterministic: every
+	// unobserved node with inputs enters at the maximum residual so its
+	// first pop computes its true one.
+	initRng := rand.New(rand.NewSource(opts.Seed))
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if g.Observed[v] || g.InDegree(v) == 0 {
+			continue
+		}
+		seq[v] = 1
+		mq.push(initRng, entry{node: v, seq: 1, prio: maxResidual}, &res.Ops)
+		res.Ops.QueuePushes++
+		live.Add(1)
+	}
+
+	workerOps := make([]bp.OpCounts, workers)
+	lastApplied := make([]float32, workers) // residual of the worker's last applied update
+	maxPending := make([]float32, workers)  // largest sub-threshold residual seen
+	scratch := make([][]float32, workers)
+	for w := range scratch {
+		scratch[w] = make([]float32, 4*s)
+	}
+
+	team := poolbp.NewTeam(workers)
+	defer team.Close()
+
+	team.Run(func(w int) {
+		ops := &workerOps[w]
+		buf := scratch[w]
+		acc, parent, cand, cur := buf[:s], buf[s:2*s], buf[2*s:3*s], buf[3*s:]
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)*0x9E3779B9))
+
+		loadBelief := func(dst []float32, v int32) {
+			base := int(v) * s
+			for j := 0; j < s; j++ {
+				dst[j] = math.Float32frombits(atomic.LoadUint32(&bel[base+j]))
+			}
+		}
+
+		// computeCandidate fills cand with the belief v would adopt
+		// against the live (possibly mid-update) neighbour beliefs.
+		computeCandidate := func(v int32) {
+			for j := 0; j < s; j++ {
+				acc[j] = 0
+			}
+			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+			for _, e := range g.InEdges[lo:hi] {
+				loadBelief(parent, g.EdgeSrc[e])
+				g.Matrix(e).PropagateInto(cand, parent) // cand doubles as the message buffer
+				graph.Normalize(cand)
+				for j := 0; j < s; j++ {
+					acc[j] += bp.Logf(cand[j])
+				}
+				ops.EdgesProcessed++
+				ops.MatrixOps += int64(s * s)
+				ops.LogOps += int64(s)
+				ops.RandomLoads += gatherLines + matLines
+				ops.MemLoads += int64(s)
+			}
+			bp.ExpNormalize(cand, g.Prior(v), acc)
+			ops.LogOps += int64(s)
+		}
+
+		for {
+			if capped.Load() {
+				return
+			}
+			e, ok := mq.pop(rng, ops)
+			if !ok {
+				if live.Load() == 0 {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			if atomic.LoadUint32(&seq[e.node]) != e.seq {
+				// A newer push superseded this entry; the current one is
+				// still queued and will carry the node's update.
+				ops.StaleDrops++
+				live.Add(-1)
+				continue
+			}
+
+			v := e.node
+			computeCandidate(v)
+
+			// Serialize writers on v so the stored belief is always one
+			// consistent normalized candidate.
+			for !atomic.CompareAndSwapUint32(&writing[v], 0, 1) {
+				ops.QueueContention++
+				runtime.Gosched()
+			}
+			loadBelief(cur, v)
+			r := graph.L1Diff(cand, cur)
+			if r <= opts.QueueThreshold {
+				atomic.StoreUint32(&writing[v], 0)
+				// The estimate that scheduled this pop overstated the
+				// node's movement — already converged, nothing to apply.
+				ops.WastedUpdates++
+				if r > maxPending[w] {
+					maxPending[w] = r
+				}
+				live.Add(-1)
+				continue
+			}
+			base := int(v) * s
+			for j := 0; j < s; j++ {
+				atomic.StoreUint32(&bel[base+j], math.Float32bits(cand[j]))
+			}
+			atomic.StoreUint32(&writing[v], 0)
+			ops.NodesProcessed++
+			ops.MemStores += int64(s)
+			ops.MemLoads += int64(s)
+			lastApplied[w] = r
+			if opts.Trace != nil && workers == 1 {
+				*opts.Trace = append(*opts.Trace, v)
+			}
+			if updates.Add(1) >= maxUpdates {
+				capped.Store(true)
+				return
+			}
+
+			// Push every successor at the applied residual: the sender's
+			// movement is the estimate of how far the receiver may move.
+			// Recomputing each successor's true residual here — the
+			// sequential engine's discipline — would multiply the
+			// per-update message work by the out-degree.
+			lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+			for _, oe := range g.OutEdges[lo:hi] {
+				dst := g.EdgeDst[oe]
+				if g.Observed[dst] {
+					continue
+				}
+				ns := atomic.AddUint32(&seq[dst], 1)
+				live.Add(1)
+				mq.push(rng, entry{node: dst, seq: ns, prio: r}, ops)
+				ops.QueuePushes++
+			}
+			live.Add(-1)
+		}
+	})
+	res.Ops.SyncOps += int64(workers)
+
+	// Publish the final beliefs. The team barrier ordered all worker
+	// stores before this read.
+	for i := range g.Beliefs {
+		g.Beliefs[i] = math.Float32frombits(bel[i])
+	}
+
+	applied := updates.Load()
+	res.Converged = !capped.Load()
+	for w, ops := range workerOps {
+		res.Ops.Add(ops)
+		if res.Converged {
+			if maxPending[w] > res.FinalDelta {
+				res.FinalDelta = maxPending[w]
+			}
+		} else if lastApplied[w] > res.FinalDelta {
+			res.FinalDelta = lastApplied[w]
+		}
+	}
+	res.Iterations = int((applied + int64(g.NumNodes) - 1) / int64(g.NumNodes))
+	if res.Iterations == 0 && applied > 0 {
+		res.Iterations = 1
+	}
+	res.Ops.Iterations = int64(res.Iterations)
+	return res
+}
