@@ -25,17 +25,20 @@ lint: vet fmt
 test:
 	$(GO) test ./...
 
-# The CI race job: the concurrent engines, twice, under the race detector.
+# The CI race job: the concurrent engines and the kernel layer, twice,
+# under the race detector.
 race:
-	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/
+	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/ ./internal/kernel/
 
 # The CI fuzz-smoke job: 20s on each parser fuzz target.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/bif/
 	$(GO) test -fuzz=FuzzRead -fuzztime=20s ./internal/mtxbp/
 
-# The CI bench-smoke job: one iteration of every benchmark, output kept.
+# The CI bench-smoke job: one iteration of every benchmark, output kept,
+# plus the kernel micro-benchmarks with allocation stats.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkKernels/micro' -benchtime 0.1s -benchmem ./internal/kernel/ | tee kernel-bench.txt
 
 ci: build lint test race fuzz bench

@@ -1,0 +1,59 @@
+package bp
+
+import (
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// allocGraph builds a 200-node synthetic graph (node ids stay below 256 so
+// even interface boxing in container/heap is allocation-free).
+func allocGraph(t testing.TB, states int, shared bool) *graph.Graph {
+	t.Helper()
+	g, err := gen.Synthetic(200, 800, gen.Config{Seed: 5, States: states, Shared: shared})
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	return g
+}
+
+// TestEnginesAllocFree locks the satellite guarantee of the kernel PR:
+// after a warm-up call primes the pooled scratch arena, the sequential
+// engines allocate nothing per run — including RunEdge, which historically
+// reallocated its O(NumNodes·States) accumulator on every call.
+func TestEnginesAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the 0-allocs contract is asserted in the non-race build")
+	}
+	engines := []struct {
+		name string
+		run  func(*graph.Graph, Options) Result
+	}{
+		{"RunNode", RunNode},
+		{"RunEdge", RunEdge},
+		{"RunResidual", RunResidual},
+		{"RunTraditional", RunTraditional},
+		{"RunMaxProduct", RunMaxProduct},
+	}
+	modes := []kernel.Mode{kernel.Specialized, kernel.Generic, kernel.LogSpace}
+	for _, states := range []int{2, 5} {
+		for _, eng := range engines {
+			for _, mode := range modes {
+				for _, wq := range []bool{false, true} {
+					g := allocGraph(t, states, states == 2)
+					opts := Options{WorkQueue: wq, Kernel: kernel.Config{Mode: mode}}
+					// AllocsPerRun's extra warm-up call primes the pool.
+					allocs := testing.AllocsPerRun(5, func() {
+						eng.run(g, opts)
+					})
+					if allocs != 0 {
+						t.Errorf("%s states=%d mode=%v workqueue=%v: %.1f allocs/run, want 0",
+							eng.name, states, mode, wq, allocs)
+					}
+				}
+			}
+		}
+	}
+}

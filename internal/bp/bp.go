@@ -6,14 +6,18 @@
 // Message convention (Equation 2): the message along directed edge e=(u,v)
 // is m_e[j] = Σ_i b_u[i]·J_e[i,j], normalized. A node's belief is its prior
 // multiplied by all incoming messages and re-normalized (marginalized).
-// Products are accumulated in log space so that high-degree nodes (the
-// power-law hubs of the social benchmarks) cannot underflow float32.
+// Message math runs through the shared kernel layer (package kernel): by
+// default products are accumulated in linear space with periodic
+// max-rescaling, falling back to log space only when a node's in-degree or
+// running magnitude crosses the underflow guard, so that high-degree nodes
+// (the power-law hubs of the social benchmarks) still cannot underflow
+// float32. Options.Kernel selects kernel.LogSpace to reproduce the
+// historical always-log path bit-for-bit.
 package bp
 
 import (
-	"math"
-
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // Default parameters from the paper's evaluation (§4): convergence within
@@ -57,6 +61,12 @@ type Options struct {
 	// the standard stabilizer for loopy BP on graphs where synchronous
 	// updates oscillate; the ablation benchmark measures its cost.
 	Damping float32
+
+	// Kernel selects the message-kernel implementation and its numerical
+	// policy (see package kernel). The zero value is the width-specialized
+	// linear-space fast path; kernel.LogSpace reproduces the historical
+	// log-space scalar path bit-for-bit.
+	Kernel kernel.Config
 }
 
 func (o Options) withDefaults(numNodes int) Options {
@@ -97,6 +107,15 @@ type OpCounts struct {
 	StaleDrops      int64 // queue entries dropped because a newer push superseded them
 	WastedUpdates   int64 // pops recomputed to a sub-threshold residual (nothing applied)
 	QueueContention int64 // failed TryLock acquisitions on the relaxed multiqueue
+
+	// Kernel-layer counters. These are diagnostic: they report what the
+	// selected message kernel actually did, while the counters above keep
+	// modelling the abstract algorithm (LogOps counts the combine stage's
+	// log/exp evaluations whether or not the linear fast path elided them)
+	// so that perfmodel pricing stays comparable across kernels and with
+	// the pre-kernel engines.
+	KernelFastPath int64 // in-edge folds taken through the linear fused fast path
+	RescaleOps     int64 // max-rescales of linear running products
 }
 
 // Add accumulates other into c.
@@ -115,6 +134,14 @@ func (c *OpCounts) Add(other OpCounts) {
 	c.StaleDrops += other.StaleDrops
 	c.WastedUpdates += other.WastedUpdates
 	c.QueueContention += other.QueueContention
+	c.KernelFastPath += other.KernelFastPath
+	c.RescaleOps += other.RescaleOps
+}
+
+// addKernelCounters folds a scratch's kernel counters into the counts.
+func (c *OpCounts) addKernelCounters(kc kernel.Counters) {
+	c.KernelFastPath += kc.FastPath
+	c.RescaleOps += kc.Rescales
 }
 
 // Result reports the outcome of a propagation run.
@@ -135,48 +162,21 @@ type Result struct {
 
 // logEps keeps log() finite: probabilities are clamped to at least logEps
 // before entering log space. exp(log(1e-30)) is still exactly zero mass
-// after normalization at float32 precision.
-const logEps = 1e-30
+// after normalization at float32 precision. It equals kernel.LogEps so the
+// linear fast path's clamp and the log accumulators agree.
+const logEps = kernel.LogEps
 
 // Logf is a float32 natural logarithm clamped at logEps, shared by every
 // engine so that log-domain accumulators agree bit-for-bit across
-// implementations.
-func Logf(x float32) float32 {
-	if x < logEps {
-		x = logEps
-	}
-	return float32(math.Log(float64(x)))
-}
+// implementations. The implementation lives in the kernel package; this
+// wrapper keeps the historical bp API.
+func Logf(x float32) float32 { return kernel.Logf(x) }
 
 // ExpNormalize writes normalize(prior · exp(acc)) into dst using the
 // max-subtraction trick; dst, prior and acc must share one length.
-// Entirely zero rows degrade to uniform. It is the combine stage shared by
-// every engine.
-func ExpNormalize(dst, prior, acc []float32) {
-	maxv := float32(math.Inf(-1))
-	for _, a := range acc {
-		if a > maxv {
-			maxv = a
-		}
-	}
-	var sum float32
-	for j := range dst {
-		v := prior[j] * float32(math.Exp(float64(acc[j]-maxv)))
-		dst[j] = v
-		sum += v
-	}
-	if sum <= 0 || math.IsNaN(float64(sum)) || math.IsInf(float64(sum), 0) {
-		u := float32(1) / float32(len(dst))
-		for j := range dst {
-			dst[j] = u
-		}
-		return
-	}
-	inv := 1 / sum
-	for j := range dst {
-		dst[j] *= inv
-	}
-}
+// Entirely zero rows degrade to uniform. It is the log-space combine stage
+// shared by every engine; the implementation lives in the kernel package.
+func ExpNormalize(dst, prior, acc []float32) { kernel.ExpNormalize(dst, prior, acc) }
 
 // Blend applies damping in place: b ← (1−d)·b + d·old. Both inputs are
 // distributions, so the result needs no renormalization.
@@ -189,9 +189,10 @@ func Blend(b, old []float32, d float32) {
 	}
 }
 
-// computeMessage fills msg with the normalized propagation of src through
-// m: msg[j] = Σ_i src[i]·m[i,j], normalized.
-func computeMessage(msg, src []float32, m *graph.JointMatrix) {
+// ComputeMessage fills msg with the normalized propagation of src through
+// m: msg[j] = Σ_i src[i]·m[i,j], normalized — the scalar reference form of
+// the kernel layer's Message, kept for oracles and tests.
+func ComputeMessage(msg, src []float32, m *graph.JointMatrix) {
 	m.PropagateInto(msg, src)
 	graph.Normalize(msg)
 }

@@ -2,6 +2,7 @@ package bp
 
 import (
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // RunMaxProduct executes loopy max-product BP (the MAP-decoding sibling of
@@ -15,77 +16,41 @@ import (
 // Jacobi updates, log-space accumulation, damping and work-queue frontier
 // as RunNode.
 func RunMaxProduct(g *graph.Graph, opts Options) Result {
-	opts = opts.withDefaults(g.NumNodes)
-	s := g.States
-	prev := append([]float32(nil), g.Beliefs...)
+	sc := getScratch()
+	res := runMaxProduct(g, opts, sc)
+	sc.release()
+	return res
+}
 
-	acc := make([]float32, s)
-	msg := make([]float32, s)
+func runMaxProduct(g *graph.Graph, opts Options, sc *runScratch) Result {
+	opts = opts.withDefaults(g.NumNodes)
+	k := kernel.New(g, opts.Kernel)
+	sc.prev = growF32(sc.prev, len(g.Beliefs))
+	prev := sc.prev
 
 	var res Result
-	var queue, next []int32
-	var inNext []bool
+	queue, next := sc.queue, sc.next
 	if opts.WorkQueue {
-		queue = make([]int32, 0, g.NumNodes)
-		next = make([]int32, 0, g.NumNodes)
-		inNext = make([]bool, g.NumNodes)
-		for v := 0; v < g.NumNodes; v++ {
-			queue = append(queue, int32(v))
+		queue = growI32(queue, g.NumNodes)
+		for v := range queue {
+			queue[v] = int32(v)
 		}
+		next = growI32(next, g.NumNodes)[:0]
+		sc.inNext = growBool(sc.inNext, g.NumNodes)
 		res.Ops.QueuePushes += int64(g.NumNodes)
 	}
 
-	maxMessage := func(dst, src []float32, m *graph.JointMatrix) {
-		for j := 0; j < s; j++ {
-			best := float32(0)
-			for i := 0; i < s; i++ {
-				if v := src[i] * m.At(i, j); v > best {
-					best = v
-				}
-			}
-			dst[j] = best
-		}
-		graph.Normalize(dst)
-	}
-
-	for iter := 0; iter < opts.MaxIterations; iter++ {
+	done := false
+	for iter := 0; iter < opts.MaxIterations && !done; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
 		copy(prev, g.Beliefs)
 
 		var sum float32
-		process := func(v int32) float32 {
-			if g.Observed[v] {
-				return 0
-			}
-			res.Ops.NodesProcessed++
-			for j := 0; j < s; j++ {
-				acc[j] = 0
-			}
-			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
-			for _, e := range g.InEdges[lo:hi] {
-				src := g.EdgeSrc[e]
-				parent := prev[int(src)*s : int(src)*s+s]
-				maxMessage(msg, parent, g.Matrix(e))
-				for j := 0; j < s; j++ {
-					acc[j] += Logf(msg[j])
-				}
-				res.Ops.EdgesProcessed++
-				res.Ops.MatrixOps += int64(s * s)
-				res.Ops.LogOps += int64(s)
-			}
-			b := g.Belief(v)
-			old := prev[int(v)*s : int(v)*s+s]
-			ExpNormalize(b, g.Prior(v), acc)
-			Blend(b, old, opts.Damping)
-			res.Ops.LogOps += int64(s)
-			return graph.L1Diff(b, old)
-		}
-
 		if opts.WorkQueue {
 			next = next[:0]
 			for _, v := range queue {
-				d := process(v)
+				d := maxStep(g, &k, sc, &res, v, prev, opts.Damping)
 				sum += d
 				if d <= opts.QueueThreshold {
 					continue
@@ -93,20 +58,20 @@ func RunMaxProduct(g *graph.Graph, opts Options) Result {
 				lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
 				for _, e := range g.OutEdges[lo:hi] {
 					dst := g.EdgeDst[e]
-					if !inNext[dst] {
-						inNext[dst] = true
+					if !sc.inNext[dst] {
+						sc.inNext[dst] = true
 						next = append(next, dst)
 						res.Ops.QueuePushes++
 					}
 				}
 			}
 			for _, v := range next {
-				inNext[v] = false
+				sc.inNext[v] = false
 			}
 			queue, next = next, queue
 		} else {
 			for v := int32(0); v < int32(g.NumNodes); v++ {
-				sum += process(v)
+				sum += maxStep(g, &k, sc, &res, v, prev, opts.Damping)
 			}
 		}
 
@@ -116,10 +81,30 @@ func RunMaxProduct(g *graph.Graph, opts Options) Result {
 		}
 		if sum < opts.Threshold || (opts.WorkQueue && len(queue) == 0) {
 			res.Converged = true
-			return res
+			done = true
 		}
 	}
+	sc.queue, sc.next = queue, next
+	res.Ops.addKernelCounters(sc.ks.Counters)
 	return res
+}
+
+// maxStep recomputes node v's max-marginal from prev through the kernel's
+// max-product fold and returns its L1 change.
+func maxStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, prev []float32, damping float32) float32 {
+	if g.Observed[v] {
+		return 0
+	}
+	res.Ops.NodesProcessed++
+	s := g.States
+	b := g.Beliefs[int(v)*s : int(v)*s+s]
+	old := prev[int(v)*s : int(v)*s+s]
+	deg := int64(k.NodeUpdateMax(&sc.ks, b, v, prev))
+	Blend(b, old, damping)
+	res.Ops.EdgesProcessed += deg
+	res.Ops.MatrixOps += deg * int64(s*s)
+	res.Ops.LogOps += deg*int64(s) + int64(s)
+	return graph.L1Diff(b, old)
 }
 
 // DecodeMAP returns each node's argmax belief state — the approximate MAP

@@ -2,13 +2,15 @@ package bp
 
 import (
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // RunNode executes loopy BP with per-node processing (paper §3.3, "C Node"):
 // each iteration walks the nodes; a node pulls the state of every parent,
 // sends it through the edge's joint matrix, and combines the updates with
 // its prior. No accumulator or atomics are needed, but every in-edge costs
-// a random-order load of the parent's full belief vector.
+// a random-order load of the parent's full belief vector. Message math and
+// combine run through the kernel layer's fused gather (Options.Kernel).
 //
 // Updates are Jacobi-style: all reads within an iteration observe the
 // beliefs of the previous iteration, matching the parallel implementations.
@@ -18,7 +20,17 @@ import (
 // than QueueThreshold in the previous iteration. Quiescent regions are
 // skipped and re-activate automatically when change reaches them; the run
 // converges when the frontier empties.
+//
+// The hot path allocates nothing in steady state: all buffers come from a
+// pooled scratch arena.
 func RunNode(g *graph.Graph, opts Options) Result {
+	sc := getScratch()
+	res := runNode(g, opts, sc)
+	sc.release()
+	return res
+}
+
+func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 	opts = opts.withDefaults(g.NumNodes)
 	s := g.States
 	gatherLines := int64((s*4 + 63) / 64) // cache lines per random parent gather
@@ -26,67 +38,33 @@ func RunNode(g *graph.Graph, opts Options) Result {
 	if !g.SharedMatrix() {
 		matLines = int64((s*s*4 + 63) / 64)
 	}
-	prev := append([]float32(nil), g.Beliefs...)
-
-	acc := make([]float32, s)
-	msg := make([]float32, s)
+	k := kernel.New(g, opts.Kernel)
+	sc.prev = growF32(sc.prev, len(g.Beliefs))
+	prev := sc.prev
 
 	var res Result
-	var queue, next []int32
-	var inNext []bool
+	queue, next := sc.queue, sc.next
 	if opts.WorkQueue {
-		queue = make([]int32, 0, g.NumNodes)
-		next = make([]int32, 0, g.NumNodes)
-		inNext = make([]bool, g.NumNodes)
-		for v := 0; v < g.NumNodes; v++ {
-			queue = append(queue, int32(v))
+		queue = growI32(queue, g.NumNodes)
+		for v := range queue {
+			queue[v] = int32(v)
 		}
+		next = growI32(next, g.NumNodes)[:0]
+		sc.inNext = growBool(sc.inNext, g.NumNodes)
 		res.Ops.QueuePushes += int64(g.NumNodes)
 	}
 
-	for iter := 0; iter < opts.MaxIterations; iter++ {
+	done := false
+	for iter := 0; iter < opts.MaxIterations && !done; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
 		copy(prev, g.Beliefs)
 
 		var sum float32
-		process := func(v int32) float32 {
-			if g.Observed[v] {
-				return 0
-			}
-			res.Ops.NodesProcessed++
-			prior := g.Prior(v)
-			for j := 0; j < s; j++ {
-				acc[j] = 0
-			}
-			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
-			for _, e := range g.InEdges[lo:hi] {
-				src := g.EdgeSrc[e]
-				parent := prev[int(src)*s : int(src)*s+s]
-				computeMessage(msg, parent, g.Matrix(e))
-				for j := 0; j < s; j++ {
-					acc[j] += Logf(msg[j])
-				}
-				res.Ops.EdgesProcessed++
-				res.Ops.RandomLoads += gatherLines + matLines
-				res.Ops.MemLoads += int64(s)
-				res.Ops.MatrixOps += int64(s * s)
-				res.Ops.LogOps += int64(s)
-			}
-			b := g.Belief(v)
-			old := prev[int(v)*s : int(v)*s+s]
-			ExpNormalize(b, prior, acc)
-			Blend(b, old, opts.Damping)
-			res.Ops.LogOps += int64(s)
-			res.Ops.MemLoads += int64(2 * s) // prior + previous belief
-			res.Ops.MemStores += int64(s)
-			return graph.L1Diff(b, old)
-		}
-
 		if opts.WorkQueue {
 			next = next[:0]
 			for _, v := range queue {
-				d := process(v)
+				d := nodeStep(g, &k, sc, &res, v, prev, opts.Damping, gatherLines, matLines)
 				sum += d
 				if d <= opts.QueueThreshold {
 					continue
@@ -96,20 +74,20 @@ func RunNode(g *graph.Graph, opts Options) Result {
 				lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
 				for _, e := range g.OutEdges[lo:hi] {
 					dst := g.EdgeDst[e]
-					if !inNext[dst] {
-						inNext[dst] = true
+					if !sc.inNext[dst] {
+						sc.inNext[dst] = true
 						next = append(next, dst)
 						res.Ops.QueuePushes++
 					}
 				}
 			}
 			for _, v := range next {
-				inNext[v] = false
+				sc.inNext[v] = false
 			}
 			queue, next = next, queue
 		} else {
 			for v := int32(0); v < int32(g.NumNodes); v++ {
-				sum += process(v)
+				sum += nodeStep(g, &k, sc, &res, v, prev, opts.Damping, gatherLines, matLines)
 			}
 		}
 
@@ -119,14 +97,38 @@ func RunNode(g *graph.Graph, opts Options) Result {
 		}
 		if sum < opts.Threshold {
 			res.Converged = true
-			return res
-		}
-		if opts.WorkQueue && len(queue) == 0 {
+			done = true
+		} else if opts.WorkQueue && len(queue) == 0 {
 			// The frontier is empty: no node's inputs are changing beyond
 			// the per-element threshold.
 			res.Converged = true
-			return res
+			done = true
 		}
 	}
+	sc.queue, sc.next = queue, next
+	res.Ops.addKernelCounters(sc.ks.Counters)
 	return res
+}
+
+// nodeStep recomputes node v's belief from prev through the kernel and
+// returns its L1 change. It is the per-node body of both the full sweep
+// and the frontier sweep, kept a plain function so RunNode's hot path
+// carries no closures (closures allocate).
+func nodeStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, prev []float32, damping float32, gatherLines, matLines int64) float32 {
+	if g.Observed[v] {
+		return 0
+	}
+	res.Ops.NodesProcessed++
+	s := g.States
+	b := g.Beliefs[int(v)*s : int(v)*s+s]
+	old := prev[int(v)*s : int(v)*s+s]
+	deg := int64(k.NodeUpdate(&sc.ks, b, v, prev))
+	Blend(b, old, damping)
+	res.Ops.EdgesProcessed += deg
+	res.Ops.RandomLoads += deg * (gatherLines + matLines)
+	res.Ops.MemLoads += deg*int64(s) + int64(2*s) // parent gathers + prior + previous belief
+	res.Ops.MatrixOps += deg * int64(s*s)
+	res.Ops.LogOps += deg*int64(s) + int64(s)
+	res.Ops.MemStores += int64(s)
+	return graph.L1Diff(b, old)
 }

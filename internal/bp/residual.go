@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // RunResidual executes asynchronous residual belief propagation — the
@@ -23,44 +24,29 @@ import (
 // (sweep-equivalents, rounded up), so options and reports stay comparable
 // with the sweep engines.
 func RunResidual(g *graph.Graph, opts Options) Result {
+	sc := getScratch()
+	res := runResidual(g, opts, sc)
+	sc.release()
+	return res
+}
+
+func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 	opts = opts.withDefaults(g.NumNodes)
 	s := g.States
+	k := kernel.New(g, opts.Kernel)
 
 	var res Result
 
-	acc := make([]float32, s)
-	msg := make([]float32, s)
-	cand := make([]float32, s)
+	sc.cand = growF32(sc.cand, s)
+	cand := sc.cand
 
-	// computeCandidate fills cand with the belief v would adopt now.
-	computeCandidate := func(v int32) {
-		prior := g.Prior(v)
-		for j := 0; j < s; j++ {
-			acc[j] = 0
-		}
-		lo, hi := g.InOffsets[v], g.InOffsets[v+1]
-		for _, e := range g.InEdges[lo:hi] {
-			src := g.EdgeSrc[e]
-			computeMessage(msg, g.Belief(src), g.Matrix(e))
-			for j := 0; j < s; j++ {
-				acc[j] += Logf(msg[j])
-			}
-			res.Ops.EdgesProcessed++
-			res.Ops.MatrixOps += int64(s * s)
-			res.Ops.LogOps += int64(s)
-			res.Ops.RandomLoads += int64((s*4 + 63) / 64)
-			res.Ops.MemLoads += int64(s)
-		}
-		ExpNormalize(cand, prior, acc)
-		res.Ops.LogOps += int64(s)
-	}
-
-	pq := newResidualQueue(g.NumNodes)
+	pq := &sc.pq
+	pq.reset(g.NumNodes)
 	for v := int32(0); v < int32(g.NumNodes); v++ {
 		if g.Observed[v] || g.InDegree(v) == 0 {
 			continue
 		}
-		computeCandidate(v)
+		residualCandidate(g, &k, sc, &res, v, cand)
 		r := graph.L1Diff(cand, g.Belief(v))
 		// Nodes already within the element threshold are converged: they
 		// would only ever be popped to be discarded, so they stay out of
@@ -81,7 +67,7 @@ func RunResidual(g *graph.Graph, opts Options) Result {
 			break
 		}
 		// Apply the update.
-		computeCandidate(v)
+		residualCandidate(g, &k, sc, &res, v, cand)
 		b := g.Belief(v)
 		copy(b, cand)
 		res.Ops.NodesProcessed++
@@ -98,7 +84,7 @@ func RunResidual(g *graph.Graph, opts Options) Result {
 			if g.Observed[dst] {
 				continue
 			}
-			computeCandidate(dst)
+			residualCandidate(g, &k, sc, &res, dst, cand)
 			nr := graph.L1Diff(cand, g.Belief(dst))
 			if nr <= opts.QueueThreshold {
 				pq.remove(dst)
@@ -117,7 +103,20 @@ func RunResidual(g *graph.Graph, opts Options) Result {
 	}
 	res.Ops.Iterations = int64(res.Iterations)
 	res.FinalDelta = pq.maxResidual()
+	res.Ops.addKernelCounters(sc.ks.Counters)
 	return res
+}
+
+// residualCandidate fills cand with the belief v would adopt now, reading
+// parents' live beliefs through the kernel's fused gather.
+func residualCandidate(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, cand []float32) {
+	s := g.States
+	deg := int64(k.NodeUpdate(&sc.ks, cand, v, g.Beliefs))
+	res.Ops.EdgesProcessed += deg
+	res.Ops.MatrixOps += deg * int64(s*s)
+	res.Ops.LogOps += deg*int64(s) + int64(s)
+	res.Ops.RandomLoads += deg * int64((s*4+63)/64)
+	res.Ops.MemLoads += deg * int64(s)
 }
 
 // residualQueue is an indexed max-heap of node residuals supporting
@@ -129,14 +128,21 @@ type residualQueue struct {
 }
 
 func newResidualQueue(n int) *residualQueue {
-	pq := &residualQueue{
-		pos: make([]int32, n),
-		val: make([]float32, n),
-	}
+	pq := &residualQueue{}
+	pq.reset(n)
+	return pq
+}
+
+// reset prepares the queue for n nodes, reusing its buffers when they are
+// large enough (the queue lives in the pooled run scratch).
+func (pq *residualQueue) reset(n int) {
+	pq.nodes = growI32(pq.nodes, n)[:0]
+	pq.pos = growI32(pq.pos, n)
+	pq.val = growF32(pq.val, n)
 	for i := range pq.pos {
 		pq.pos[i] = -1
+		pq.val[i] = 0
 	}
-	return pq
 }
 
 // Len implements heap.Interface.

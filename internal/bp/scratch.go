@@ -1,0 +1,62 @@
+package bp
+
+import (
+	"sync"
+
+	"credo/internal/kernel"
+)
+
+// runScratch is the reusable arena behind the sequential engines' hot
+// paths. Every buffer a run needs lives here; runs borrow one from
+// scratchPool and return it on exit, so steady-state calls allocate
+// nothing (locked by the AllocsPerRun regression tests).
+type runScratch struct {
+	prev   []float32      // previous-iteration beliefs (Jacobi reads)
+	acc    []float32      // per-node log accumulators (edge paradigm)
+	lmsg   []float32      // cached log of each edge's current message
+	cand   []float32      // candidate belief (residual engine)
+	queue  []int32        // work-queue frontier
+	next   []int32        // next frontier
+	inNext []bool         // frontier membership flags
+	level  []int32        // level numbers (traditional engine)
+	pq     residualQueue  // indexed max-heap (residual engine)
+	ks     kernel.Scratch // kernel combine state
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+func getScratch() *runScratch { return scratchPool.Get().(*runScratch) }
+
+func (sc *runScratch) release() {
+	sc.ks.Counters = kernel.Counters{}
+	scratchPool.Put(sc)
+}
+
+// growF32 returns a length-n slice backed by buf when it has the capacity,
+// reallocating otherwise. Contents are unspecified; callers initialize.
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
+}
+
+// growI32 is growF32 for int32 slices.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}
+
+// growBool returns a length-n all-false slice backed by buf when possible.
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = false
+		}
+		return buf
+	}
+	return make([]bool, n)
+}

@@ -2,6 +2,7 @@ package bp
 
 import (
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // RunTraditional executes the classical non-loopy, level-ordered BP the
@@ -13,10 +14,19 @@ import (
 // profiles — level determination by iterative relaxation over the whole
 // edge list and by-level processing that scans the full node array per
 // level — because those overheads are precisely what makes the traditional
-// algorithm orders of magnitude slower than loopy BP on large graphs.
+// algorithm orders of magnitude slower than loopy BP on large graphs. The
+// per-message math itself runs through the kernel layer like every other
+// engine, and the run allocates from the pooled scratch arena.
 func RunTraditional(g *graph.Graph, opts Options) Result {
+	sc := getScratch()
+	res := runTraditional(g, opts, sc)
+	sc.release()
+	return res
+}
+
+func runTraditional(g *graph.Graph, opts Options, sc *runScratch) Result {
 	opts = opts.withDefaults(g.NumNodes)
-	s := g.States
+	k := kernel.New(g, opts.Kernel)
 	var res Result
 
 	// Level determination: level[v] = 1 + max(level[parent]), computed by
@@ -26,7 +36,11 @@ func RunTraditional(g *graph.Graph, opts Options) Result {
 	// NumNodes relaxation passes unconditionally — O(V·E) — so that cost
 	// is what the operation counts report; execution itself stops at the
 	// fixpoint, which leaves the computed levels identical.
-	level := make([]int32, g.NumNodes)
+	sc.level = growI32(sc.level, g.NumNodes)
+	level := sc.level
+	for i := range level {
+		level[i] = 0
+	}
 	maxLevel := int32(0)
 	for pass := 0; pass < g.NumNodes; pass++ {
 		changed := false
@@ -47,94 +61,13 @@ func RunTraditional(g *graph.Graph, opts Options) Result {
 	}
 	res.Ops.MemLoads += 2 * int64(g.NumNodes) * int64(g.NumEdges)
 
-	acc := make([]float32, s)
-	msg := make([]float32, s)
-
-	combineForward := func(v int32) {
-		if g.Observed[v] {
-			return
-		}
-		res.Ops.NodesProcessed++
-		for j := 0; j < s; j++ {
-			acc[j] = 0
-		}
-		lo, hi := g.InOffsets[v], g.InOffsets[v+1]
-		n := 0
-		for _, e := range g.InEdges[lo:hi] {
-			src := g.EdgeSrc[e]
-			if level[src] >= level[v] {
-				continue // φ updates flow strictly downward
-			}
-			computeMessage(msg, g.Belief(src), g.Matrix(e))
-			for j := 0; j < s; j++ {
-				acc[j] += Logf(msg[j])
-			}
-			n++
-			res.Ops.EdgesProcessed++
-			res.Ops.MatrixOps += int64(s * s)
-			res.Ops.LogOps += int64(s)
-			res.Ops.MemLoads += int64(s)
-		}
-		if n == 0 {
-			return
-		}
-		ExpNormalize(g.Belief(v), g.Prior(v), acc)
-		res.Ops.LogOps += int64(s)
-		res.Ops.MemStores += int64(s)
-	}
-
-	combineBackward := func(v int32) {
-		if g.Observed[v] {
-			return
-		}
-		res.Ops.NodesProcessed++
-		for j := 0; j < s; j++ {
-			acc[j] = 0
-		}
-		lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
-		n := 0
-		for _, e := range g.OutEdges[lo:hi] {
-			dst := g.EdgeDst[e]
-			if level[dst] <= level[v] {
-				continue // ψ updates flow strictly upward
-			}
-			// Message from the child back through the edge matrix:
-			// m[x_v] = Σ_{x_c} J[x_v, x_c]·b_c[x_c].
-			child := g.Belief(dst)
-			m := g.Matrix(e)
-			for j := 0; j < s; j++ {
-				row := m.Row(j)
-				var sum float32
-				for k := 0; k < s; k++ {
-					sum += row[k] * child[k]
-				}
-				msg[j] = sum
-			}
-			graph.Normalize(msg)
-			for j := 0; j < s; j++ {
-				acc[j] += Logf(msg[j])
-			}
-			n++
-			res.Ops.EdgesProcessed++
-			res.Ops.MatrixOps += int64(s * s)
-			res.Ops.LogOps += int64(s)
-			res.Ops.MemLoads += int64(s)
-		}
-		if n == 0 {
-			return
-		}
-		ExpNormalize(g.Belief(v), g.Belief(v), acc)
-		res.Ops.LogOps += int64(s)
-		res.Ops.MemStores += int64(s)
-	}
-
 	// Forward (φ) sweep: naive by-level processing scans every node at
 	// every level.
 	for l := int32(0); l <= maxLevel; l++ {
 		for v := int32(0); v < int32(g.NumNodes); v++ {
 			res.Ops.MemLoads++
 			if level[v] == l {
-				combineForward(v)
+				tradForward(g, &k, sc, &res, v, level)
 			}
 		}
 	}
@@ -143,12 +76,77 @@ func RunTraditional(g *graph.Graph, opts Options) Result {
 		for v := int32(0); v < int32(g.NumNodes); v++ {
 			res.Ops.MemLoads++
 			if level[v] == l {
-				combineBackward(v)
+				tradBackward(g, &k, sc, &res, v, level)
 			}
 		}
 	}
 
 	res.Iterations = 2
 	res.Converged = true
+	res.Ops.addKernelCounters(sc.ks.Counters)
 	return res
+}
+
+// tradForward folds the φ messages of v's strictly-lower-level parents
+// into its belief.
+func tradForward(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, level []int32) {
+	if g.Observed[v] {
+		return
+	}
+	res.Ops.NodesProcessed++
+	s := g.States
+	lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+	k.Begin(&sc.ks, g.Priors[int(v)*s:int(v)*s+s], int(hi-lo))
+	n := int64(0)
+	for _, e := range g.InEdges[lo:hi] {
+		src := g.EdgeSrc[e]
+		if level[src] >= level[v] {
+			continue // φ updates flow strictly downward
+		}
+		k.Accumulate(&sc.ks, e, g.Beliefs[int(src)*s:int(src)*s+s])
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	k.Finish(&sc.ks, g.Beliefs[int(v)*s:int(v)*s+s])
+	res.Ops.EdgesProcessed += n
+	res.Ops.MatrixOps += n * int64(s*s)
+	res.Ops.LogOps += n*int64(s) + int64(s)
+	res.Ops.MemLoads += n * int64(s)
+	res.Ops.MemStores += int64(s)
+}
+
+// tradBackward folds the ψ messages of v's strictly-higher-level children
+// back through their edge matrices — the reverse (row-major) direction.
+// The combine's "prior" is the belief the forward sweep just produced.
+func tradBackward(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, level []int32) {
+	if g.Observed[v] {
+		return
+	}
+	res.Ops.NodesProcessed++
+	s := g.States
+	b := g.Beliefs[int(v)*s : int(v)*s+s]
+	lo, hi := g.OutOffsets[v], g.OutOffsets[v+1]
+	k.Begin(&sc.ks, b, int(hi-lo))
+	n := int64(0)
+	for _, e := range g.OutEdges[lo:hi] {
+		dst := g.EdgeDst[e]
+		if level[dst] <= level[v] {
+			continue // ψ updates flow strictly upward
+		}
+		// Message from the child back through the edge matrix:
+		// m[x_v] = Σ_{x_c} J[x_v, x_c]·b_c[x_c].
+		k.AccumulateReverse(&sc.ks, e, g.Beliefs[int(dst)*s:int(dst)*s+s])
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	k.Finish(&sc.ks, b)
+	res.Ops.EdgesProcessed += n
+	res.Ops.MatrixOps += n * int64(s*s)
+	res.Ops.LogOps += n*int64(s) + int64(s)
+	res.Ops.MemLoads += n * int64(s)
+	res.Ops.MemStores += int64(s)
 }

@@ -24,6 +24,7 @@ import (
 	"credo/internal/bp"
 	"credo/internal/gpusim"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // DefaultBlockDim is the paper's block size for all benchmarks (§4).
@@ -106,6 +107,7 @@ func RunEdge(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 	defer dev.Free(bytes)
 	dev.CopyToDevice(g.MemoryFootprint())
 
+	k := kernel.New(g, opts.Kernel)
 	var res Result
 	cur := append([]float32(nil), g.Beliefs...)
 	nxt := append([]float32(nil), g.Beliefs...)
@@ -150,9 +152,7 @@ func RunEdge(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 			for _, e := range active[lo:hi] {
 				src, dst := g.EdgeSrc[e], g.EdgeDst[e]
 				parent := cur[int(src)*s : int(src)*s+s]
-				m := g.Matrix(e)
-				m.PropagateInto(msg, parent)
-				graph.Normalize(msg)
+				k.Message(msg, e, parent)
 				old := g.Message(e)
 				base := int(dst) * s
 				for j := 0; j < s; j++ {
@@ -235,6 +235,7 @@ func RunNode(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 	defer dev.Free(bytes)
 	dev.CopyToDevice(g.MemoryFootprint())
 
+	k := kernel.New(g, opts.Kernel)
 	var res Result
 	cur := append([]float32(nil), g.Beliefs...)
 	nxt := append([]float32(nil), g.Beliefs...)
@@ -272,27 +273,20 @@ func RunNode(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 			if hi > n {
 				hi = n
 			}
-			acc := make([]float32, s)
-			msg := make([]float32, s)
+			// Per-block kernel scratch: blocks may execute concurrently,
+			// so each block body owns its state.
+			var ks kernel.Scratch
 			for _, v := range active[lo:hi] {
 				if g.Observed[v] {
 					copy(nxt[int(v)*s:int(v)*s+s], cur[int(v)*s:int(v)*s+s])
 					nodeDelta[v] = 0
 					continue
 				}
-				for j := 0; j < s; j++ {
-					acc[j] = 0
-				}
 				elo, ehi := g.InOffsets[v], g.InOffsets[v+1]
+				k.Begin(&ks, g.Priors[int(v)*s:int(v)*s+s], int(ehi-elo))
 				for _, e := range g.InEdges[elo:ehi] {
 					src := g.EdgeSrc[e]
-					parent := cur[int(src)*s : int(src)*s+s]
-					m := g.Matrix(e)
-					m.PropagateInto(msg, parent)
-					graph.Normalize(msg)
-					for j := 0; j < s; j++ {
-						acc[j] += bp.Logf(msg[j])
-					}
+					k.Accumulate(&ks, e, cur[int(src)*s:int(src)*s+s])
 					blk.ChargeRandomGlobal(int64(s) * 4) // random parent gather
 					if shared {
 						blk.ChargeConstant(matBytes)
@@ -306,7 +300,7 @@ func RunNode(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 				}
 				nb := nxt[int(v)*s : int(v)*s+s]
 				ob := cur[int(v)*s : int(v)*s+s]
-				bp.ExpNormalize(nb, g.Priors[int(v)*s:int(v)*s+s], acc)
+				k.Finish(&ks, nb)
 				bp.Blend(nb, ob, opts.Damping)
 				nodeDelta[v] = graph.L1Diff(nb, ob)
 				blk.ChargeGlobal(int64(3*s) * 4) // prior load + belief write + old belief

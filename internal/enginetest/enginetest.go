@@ -32,6 +32,7 @@ import (
 	"credo/internal/bp"
 	"credo/internal/gen"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 	"credo/internal/ompbp"
 	"credo/internal/poolbp"
 	"credo/internal/relaxbp"
@@ -131,39 +132,55 @@ type Engine struct {
 	// Workers > 1: worker interleaving chooses the update order, and only
 	// the fixpoint tolerance is guaranteed.
 	Deterministic bool
-	Run           func(g *graph.Graph) bp.Result
+	// Run executes the engine on g under the given message-kernel
+	// configuration; the harness drives every row once per kernel mode.
+	Run func(g *graph.Graph, kc kernel.Config) bp.Result
 }
 
 // Engines returns the full engine table. Parallel engines run with the
 // given team size.
 func Engines(workers int) []Engine {
 	return []Engine{
-		{Name: "traditional", Fixpoint: false, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
-			return bp.RunTraditional(g, bp.Options{})
+		{Name: "traditional", Fixpoint: false, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return bp.RunTraditional(g, bp.Options{Kernel: kc})
 		}},
-		{Name: "node", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
-			return bp.RunNode(g, bp.Options{})
+		{Name: "node", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return bp.RunNode(g, bp.Options{Kernel: kc})
 		}},
-		{Name: "edge", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
-			return bp.RunEdge(g, bp.Options{})
+		{Name: "edge", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return bp.RunEdge(g, bp.Options{Kernel: kc})
 		}},
-		{Name: "residual", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
-			return bp.RunResidual(g, bp.Options{})
+		{Name: "residual", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return bp.RunResidual(g, bp.Options{Kernel: kc})
 		}},
-		{Name: "ompbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
-			return ompbp.RunNode(g, ompbp.Options{Threads: workers})
+		{Name: "ompbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return ompbp.RunNode(g, ompbp.Options{Threads: workers, Options: bp.Options{Kernel: kc}})
 		}},
-		{Name: "poolbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph) bp.Result {
-			return poolbp.RunNode(g, poolbp.Options{Workers: workers})
+		{Name: "poolbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return poolbp.RunNode(g, poolbp.Options{Workers: workers, Options: bp.Options{Kernel: kc}})
 		}},
-		{Name: "relaxbp", Fixpoint: true, Deterministic: workers <= 1, Run: func(g *graph.Graph) bp.Result {
-			return relaxbp.Run(g, relaxbp.Options{Workers: workers})
+		{Name: "relaxbp", Fixpoint: true, Deterministic: workers <= 1, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return relaxbp.Run(g, relaxbp.Options{Workers: workers, Options: bp.Options{Kernel: kc}})
 		}},
 	}
 }
 
-// Oracle runs the reference engine the fixpoint rows are compared to.
-func Oracle(g *graph.Graph) bp.Result { return bp.RunNode(g, bp.Options{}) }
+// Kernels returns the kernel configurations every engine row is driven
+// under: the width-specialized linear fast path and the blocked generic
+// fallback. (The oracle itself runs the historical log-space path, so the
+// pair also pins both linear variants to the pre-kernel numerics.)
+func Kernels() []kernel.Config {
+	return []kernel.Config{
+		{Mode: kernel.Specialized},
+		{Mode: kernel.Generic},
+	}
+}
+
+// Oracle runs the reference engine the fixpoint rows are compared to: the
+// sequential per-node sweep on the historical log-space kernel.
+func Oracle(g *graph.Graph) bp.Result {
+	return bp.RunNode(g, bp.Options{Kernel: kernel.Config{Mode: kernel.LogSpace}})
+}
 
 // MaxBeliefDiff returns the largest per-node L1 belief distance between
 // two runs of the same graph.
@@ -177,8 +194,12 @@ func MaxBeliefDiff(a, b *graph.Graph) float32 {
 	return worst
 }
 
-// VerifyCase runs every engine over fresh copies of one corpus case and
-// returns one error per violated invariant (nil for a fully clean case).
+// VerifyCase runs every engine over fresh copies of one corpus case —
+// once per kernel configuration — and returns one error per violated
+// invariant (nil for a fully clean case). Beyond the per-kernel oracle
+// comparison, the specialized and generic runs of each engine are
+// compared with each other, so a regression in either kernel path that
+// happens to stay near the log-space oracle still trips the harness.
 func VerifyCase(c Case, engines []Engine) []error {
 	g, err := c.Build()
 	if err != nil {
@@ -195,27 +216,46 @@ func VerifyCase(c Case, engines []Engine) []error {
 		errs = append(errs, fmt.Errorf("%s: oracle did not converge in %d iterations", c.Name, ores.Iterations))
 	}
 	for _, e := range engines {
-		eg := g.Clone()
-		res := e.Run(eg)
-		if err := eg.Validate(); err != nil {
-			errs = append(errs, fmt.Errorf("%s/%s: invalid beliefs: %w", c.Name, e.Name, err))
-			continue
-		}
-		if e.Deterministic {
-			rg := g.Clone()
-			e.Run(rg)
-			if d := MaxBeliefDiff(eg, rg); d != 0 {
-				errs = append(errs, fmt.Errorf("%s/%s: two identical runs differ by %g", c.Name, e.Name, d))
+		var kernelRuns []*graph.Graph
+		for _, kc := range Kernels() {
+			mode := kc.Mode.String()
+			eg := g.Clone()
+			res := e.Run(eg, kc)
+			if err := eg.Validate(); err != nil {
+				errs = append(errs, fmt.Errorf("%s/%s/%s: invalid beliefs: %w", c.Name, e.Name, mode, err))
+				continue
+			}
+			kernelRuns = append(kernelRuns, eg)
+			if e.Deterministic {
+				rg := g.Clone()
+				e.Run(rg, kc)
+				if d := MaxBeliefDiff(eg, rg); d != 0 {
+					errs = append(errs, fmt.Errorf("%s/%s/%s: two identical runs differ by %g", c.Name, e.Name, mode, d))
+				}
+			}
+			if !e.Fixpoint {
+				continue
+			}
+			if !res.Converged {
+				errs = append(errs, fmt.Errorf("%s/%s/%s: did not converge (final delta %g)", c.Name, e.Name, mode, res.FinalDelta))
+			}
+			if d := MaxBeliefDiff(oracle, eg); d > tol {
+				errs = append(errs, fmt.Errorf("%s/%s/%s: diverges from the oracle by %g (tolerance %g)", c.Name, e.Name, mode, d, tol))
 			}
 		}
-		if !e.Fixpoint {
-			continue
-		}
-		if !res.Converged {
-			errs = append(errs, fmt.Errorf("%s/%s: did not converge (final delta %g)", c.Name, e.Name, res.FinalDelta))
-		}
-		if d := MaxBeliefDiff(oracle, eg); d > tol {
-			errs = append(errs, fmt.Errorf("%s/%s: diverges from the oracle by %g (tolerance %g)", c.Name, e.Name, d, tol))
+		// Cross-kernel comparison. Deterministic engines follow the same
+		// update schedule under both kernels, so their results differ only
+		// by linear-vs-blocked rounding — well inside the case tolerance.
+		// The relaxed scheduler resolves update order at runtime, so its
+		// pair is only fixpoint-close (2× the one-sided tolerance).
+		if len(kernelRuns) == 2 {
+			crossTol := tol
+			if !e.Deterministic {
+				crossTol = 2 * tol
+			}
+			if d := MaxBeliefDiff(kernelRuns[0], kernelRuns[1]); d > crossTol {
+				errs = append(errs, fmt.Errorf("%s/%s: specialized and generic kernels disagree by %g (tolerance %g)", c.Name, e.Name, d, crossTol))
+			}
 		}
 	}
 	return errs

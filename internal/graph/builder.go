@@ -158,6 +158,10 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.InOffsets, g.InEdges = buildCSR(b.dst, n)
 	g.OutOffsets, g.OutEdges = buildCSR(b.src, n)
+	// Transposes are built eagerly here rather than lazily in the engines:
+	// Clone shares matrix backing arrays, so a lazy first build could race
+	// when clones of one graph run on concurrent engines.
+	g.EnsureTransposed()
 	return g, nil
 }
 

@@ -78,6 +78,21 @@ type Graph struct {
 // probability matrix refinement.
 func (g *Graph) SharedMatrix() bool { return g.Shared != nil }
 
+// EnsureTransposed builds the column-major copy of every joint matrix in
+// the graph (see JointMatrix.EnsureTransposed). Builder.Build calls it so
+// that built graphs always carry transposes; engines call it defensively
+// for graphs assembled by hand. Idempotent; not safe to race with itself
+// on a graph whose matrices lack transposes.
+func (g *Graph) EnsureTransposed() {
+	if g.Shared != nil {
+		g.Shared.EnsureTransposed()
+		return
+	}
+	for i := range g.EdgeMats {
+		g.EdgeMats[i].EnsureTransposed()
+	}
+}
+
 // Matrix returns the joint probability matrix governing edge e.
 func (g *Graph) Matrix(e int32) *JointMatrix {
 	if g.Shared != nil {

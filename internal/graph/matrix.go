@@ -12,6 +12,15 @@ import (
 type JointMatrix struct {
 	Rows, Cols uint32
 	Data       []float32
+
+	// T is the column-major (transposed) copy of Data built by
+	// EnsureTransposed: T[j*Rows+i] == Data[i*Cols+j]. The gather direction
+	// of message computation reads a full column of Data per output entry;
+	// reading T instead makes those accesses contiguous (paper §3.4, and
+	// the kernel layer's fused update). T is derived state — mutating
+	// entries through Set or NormalizeRows invalidates it, and Build
+	// repopulates it once per graph.
+	T []float32
 }
 
 // NewJointMatrix allocates a rows x cols matrix of zeros.
@@ -55,8 +64,11 @@ func DiagonalJointMatrix(n int, keep float32) JointMatrix {
 // At returns entry (i, j).
 func (m *JointMatrix) At(i, j int) float32 { return m.Data[i*int(m.Cols)+j] }
 
-// Set assigns entry (i, j).
-func (m *JointMatrix) Set(i, j int, v float32) { m.Data[i*int(m.Cols)+j] = v }
+// Set assigns entry (i, j), invalidating any transposed copy.
+func (m *JointMatrix) Set(i, j int, v float32) {
+	m.Data[i*int(m.Cols)+j] = v
+	m.T = nil
+}
 
 // Row returns row i as a view.
 func (m *JointMatrix) Row(i int) []float32 {
@@ -64,9 +76,29 @@ func (m *JointMatrix) Row(i int) []float32 {
 	return m.Data[i*c : i*c+c]
 }
 
+// EnsureTransposed builds the column-major copy T if it is absent. It is
+// idempotent and cheap to call repeatedly; Builder.Build calls it for every
+// matrix so engines can assume T is present on built graphs. Not safe for
+// concurrent first calls on one matrix — build graphs before sharing them.
+func (m *JointMatrix) EnsureTransposed() {
+	if m.T != nil || len(m.Data) == 0 {
+		return
+	}
+	r, c := int(m.Rows), int(m.Cols)
+	t := make([]float32, len(m.Data))
+	for i := 0; i < r; i++ {
+		row := m.Data[i*c : i*c+c]
+		for j, v := range row {
+			t[j*r+i] = v
+		}
+	}
+	m.T = t
+}
+
 // NormalizeRows rescales every row to sum to 1. Rows summing to zero become
-// uniform.
+// uniform. Any transposed copy is invalidated.
 func (m *JointMatrix) NormalizeRows() {
+	m.T = nil
 	c := int(m.Cols)
 	for i := 0; i < int(m.Rows); i++ {
 		row := m.Row(i)
@@ -92,6 +124,9 @@ func (m *JointMatrix) NormalizeRows() {
 func (m *JointMatrix) Validate() error {
 	if int(m.Rows)*int(m.Cols) != len(m.Data) {
 		return fmt.Errorf("joint matrix: %dx%d does not match data length %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if m.T != nil && len(m.T) != len(m.Data) {
+		return fmt.Errorf("joint matrix: transposed copy length %d does not match data length %d", len(m.T), len(m.Data))
 	}
 	for i := 0; i < int(m.Rows); i++ {
 		var sum float64

@@ -147,3 +147,63 @@ func TestL1Diff(t *testing.T) {
 		t.Errorf("L1Diff of equal vectors = %v, want 0", got)
 	}
 }
+
+func TestEnsureTransposed(t *testing.T) {
+	m := NewJointMatrix(2, 3)
+	vals := []float32{1, 2, 3, 4, 5, 6}
+	copy(m.Data, vals)
+	m.T = nil // Set invalidates; start clean
+	m.EnsureTransposed()
+	if len(m.T) != len(m.Data) {
+		t.Fatalf("T length = %d, want %d", len(m.T), len(m.Data))
+	}
+	for i := 0; i < int(m.Rows); i++ {
+		for j := 0; j < int(m.Cols); j++ {
+			if got, want := m.T[j*int(m.Rows)+i], m.At(i, j); got != want {
+				t.Errorf("T[%d,%d] = %v, want %v", j, i, got, want)
+			}
+		}
+	}
+	// Idempotent: a second call keeps the same backing array.
+	first := &m.T[0]
+	m.EnsureTransposed()
+	if &m.T[0] != first {
+		t.Error("EnsureTransposed rebuilt an existing transpose")
+	}
+	// Mutation invalidates.
+	m.Set(1, 2, 9)
+	if m.T != nil {
+		t.Error("Set did not invalidate the transposed copy")
+	}
+	m.EnsureTransposed()
+	if got := m.T[2*int(m.Rows)+1]; got != 9 {
+		t.Errorf("rebuilt T misses mutation: got %v, want 9", got)
+	}
+	m.NormalizeRows()
+	if m.T != nil {
+		t.Error("NormalizeRows did not invalidate the transposed copy")
+	}
+}
+
+func TestBuildPopulatesTransposes(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 2; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	m := DiagonalJointMatrix(2, 0.8)
+	if err := b.AddEdge(0, 1, &m); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Matrix(0).T == nil {
+		t.Fatal("Build left edge matrix without a transposed copy")
+	}
+	if err := g.Matrix(0).Validate(); err != nil {
+		t.Fatalf("Validate with T: %v", err)
+	}
+}

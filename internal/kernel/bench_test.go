@@ -1,0 +1,74 @@
+package kernel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// benchModes pairs every kernel mode with its label. LogSpace reproduces
+// the pre-kernel scalar path bit-for-bit, so the specialized/logspace
+// ratio IS the measured speedup of this layer over the historical code.
+var benchModes = []struct {
+	name string
+	mode kernel.Mode
+}{
+	{"specialized", kernel.Specialized},
+	{"generic", kernel.Generic},
+	{"logspace", kernel.LogSpace},
+}
+
+func benchGraph(b *testing.B, states int, shared bool) *graph.Graph {
+	b.Helper()
+	g, err := gen.Synthetic(2000, 8000, gen.Config{Seed: 42, States: states, Shared: shared})
+	if err != nil {
+		b.Fatalf("Synthetic: %v", err)
+	}
+	return g
+}
+
+// BenchmarkKernels is the kernel layer's measured-wall-clock suite:
+// micro-benchmarks of the per-node fold at each specialized width, and
+// end-to-end sweeps of the sequential per-node engine per kernel mode.
+func BenchmarkKernels(b *testing.B) {
+	b.Run("micro", func(b *testing.B) {
+		for _, states := range []int{2, 3, 4, 8} {
+			for _, m := range benchModes {
+				b.Run(fmt.Sprintf("nodeupdate/s%d/%s", states, m.name), func(b *testing.B) {
+					g := buildStar(b, states, 16, false, int64(states))
+					k := kernel.New(g, kernel.Config{Mode: m.mode})
+					var sc kernel.Scratch
+					dst := make([]float32, states)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						k.NodeUpdate(&sc, dst, 0, g.Beliefs)
+					}
+				})
+			}
+		}
+	})
+	b.Run("endtoend", func(b *testing.B) {
+		for _, states := range []int{2, 3, 4} {
+			for _, m := range benchModes {
+				b.Run(fmt.Sprintf("runnode/s%d/%s", states, m.name), func(b *testing.B) {
+					g := benchGraph(b, states, states == 2)
+					opts := bp.Options{MaxIterations: 10, Kernel: kernel.Config{Mode: m.mode}}
+					bp.RunNode(g, opts) // prime the scratch pool
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						g.ResetBeliefs()
+						b.StartTimer()
+						bp.RunNode(g, opts)
+					}
+				})
+			}
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// buildStar builds a hub (node 0) with `parents` in-edges carrying random
+// stochastic matrices and random parent priors.
+func buildStar(t testing.TB, states, parents int, shared bool, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(states)
+	if shared {
+		if err := b.SetShared(gen.RandomJointMatrix(rng, states, 0.7)); err != nil {
+			t.Fatalf("SetShared: %v", err)
+		}
+	}
+	prior := make([]float32, states)
+	gen.RandomDistribution(rng, prior)
+	if _, err := b.AddNode(prior); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	for i := 0; i < parents; i++ {
+		gen.RandomDistribution(rng, prior)
+		if _, err := b.AddNode(prior); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+		var mat *graph.JointMatrix
+		if !shared {
+			m := gen.RandomJointMatrix(rng, states, 0.7)
+			mat = &m
+		}
+		if err := b.AddEdge(int32(i+1), 0, mat); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestNodeUpdateMatchesLogSpaceOracle checks the linear fast path against
+// the log-space reference for every supported width, shared and per-edge.
+func TestNodeUpdateMatchesLogSpaceOracle(t *testing.T) {
+	widths := []int{1, 2, 3, 4, 5, 7, 8, 16, 31, 32}
+	for _, s := range widths {
+		for _, shared := range []bool{false, true} {
+			for _, mode := range []kernel.Mode{kernel.Specialized, kernel.Generic} {
+				g := buildStar(t, s, 6, shared, int64(s)*100+7)
+				oracle := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+				k := kernel.New(g, kernel.Config{Mode: mode})
+				var scO, sc kernel.Scratch
+				want := make([]float32, s)
+				got := make([]float32, s)
+				oracle.NodeUpdate(&scO, want, 0, g.Beliefs)
+				k.NodeUpdate(&sc, got, 0, g.Beliefs)
+				if d := maxDiff(got, want); d > 1e-5 {
+					t.Errorf("states=%d shared=%v mode=%v: L∞ vs oracle = %g", s, shared, mode, d)
+				}
+				if sc.Counters.FastPath != 6 {
+					t.Errorf("states=%d mode=%v: FastPath = %d, want 6", s, mode, sc.Counters.FastPath)
+				}
+			}
+		}
+	}
+}
+
+// TestNodeUpdateMaxMatchesLogSpaceOracle is the max-product analogue.
+func TestNodeUpdateMaxMatchesLogSpaceOracle(t *testing.T) {
+	for _, s := range []int{2, 3, 4, 8, 32} {
+		g := buildStar(t, s, 5, false, int64(s)*13+1)
+		oracle := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+		k := kernel.New(g, kernel.Config{Mode: kernel.Specialized})
+		var scO, sc kernel.Scratch
+		want := make([]float32, s)
+		got := make([]float32, s)
+		oracle.NodeUpdateMax(&scO, want, 0, g.Beliefs)
+		k.NodeUpdateMax(&sc, got, 0, g.Beliefs)
+		if d := maxDiff(got, want); d > 1e-5 {
+			t.Errorf("states=%d: max-product L∞ vs oracle = %g", s, d)
+		}
+	}
+}
+
+// TestMessageLogSpaceBitwise verifies that the LogSpace kernel's message is
+// bit-for-bit the historical computeMessage (PropagateInto + Normalize).
+func TestMessageLogSpaceBitwise(t *testing.T) {
+	for _, s := range []int{2, 3, 4, 9, 32} {
+		g := buildStar(t, s, 3, false, int64(s)+40)
+		k := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+		got := make([]float32, s)
+		want := make([]float32, s)
+		for e := int32(0); e < int32(g.NumEdges); e++ {
+			parent := g.Belief(g.EdgeSrc[e])
+			k.Message(got, e, parent)
+			g.Matrix(e).PropagateInto(want, parent)
+			graph.Normalize(want)
+			for j := 0; j < s; j++ {
+				if got[j] != want[j] {
+					t.Fatalf("states=%d edge=%d entry %d: %v != %v (not bitwise)", s, e, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestReverseAccumulateMatchesOracle covers the ψ-direction fold used by
+// the traditional engine.
+func TestReverseAccumulateMatchesOracle(t *testing.T) {
+	for _, s := range []int{2, 3, 4, 8} {
+		g := buildStar(t, s, 4, false, int64(s)*3+5)
+		oracle := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+		k := kernel.New(g, kernel.Config{Mode: kernel.Specialized})
+		var scO, sc kernel.Scratch
+		// Fold the hub's in-edges backward from the parents' beliefs, as
+		// if they were children.
+		want := make([]float32, s)
+		got := make([]float32, s)
+		oracle.Begin(&scO, g.Prior(0), g.NumEdges)
+		k.Begin(&sc, g.Prior(0), g.NumEdges)
+		for e := int32(0); e < int32(g.NumEdges); e++ {
+			child := g.Belief(g.EdgeSrc[e])
+			oracle.AccumulateReverse(&scO, e, child)
+			k.AccumulateReverse(&sc, e, child)
+		}
+		oracle.Finish(&scO, want)
+		k.Finish(&sc, got)
+		if d := maxDiff(got, want); d > 1e-5 {
+			t.Errorf("states=%d: reverse L∞ vs oracle = %g", s, d)
+		}
+	}
+}
+
+// degenerateStar builds a hub whose parents are alternately clamped to
+// opposing states with deterministic couplings, so every pair of messages
+// collapses the hub's running product toward zero — the rescale stress.
+func degenerateStar(t testing.TB, parents int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(2)
+	if _, err := b.AddNode(nil); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	m := graph.DiagonalJointMatrix(2, 1) // deterministic coupling
+	for i := 0; i < parents; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+		if err := b.AddEdge(int32(i+1), 0, &m); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 0; i < parents; i++ {
+		if err := g.Observe(int32(i+1), i%2); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	return g
+}
+
+// TestRescaleKeepsLinearPathAccurate drives repeated max-rescales (without
+// tripping the fallback) and checks the result still matches the oracle.
+func TestRescaleKeepsLinearPathAccurate(t *testing.T) {
+	g := degenerateStar(t, 20) // 10 collapses, rescale each time
+	k := kernel.New(g, kernel.Config{Mode: kernel.Specialized})
+	oracle := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+	var sc, scO kernel.Scratch
+	got := make([]float32, 2)
+	want := make([]float32, 2)
+	k.NodeUpdate(&sc, got, 0, g.Beliefs)
+	oracle.NodeUpdate(&scO, want, 0, g.Beliefs)
+	if sc.Counters.Rescales == 0 {
+		t.Fatal("degenerate star did not trigger any rescale")
+	}
+	if sc.Counters.LogFallbacks != 0 {
+		t.Fatalf("LogFallbacks = %d, want 0 (guards should not trip at defaults)", sc.Counters.LogFallbacks)
+	}
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Errorf("rescaled linear path L∞ vs oracle = %g", d)
+	}
+}
+
+// TestMagnitudeGuardForcesLogFallback shrinks MaxRescales so the same
+// stress converts to log space mid-combine.
+func TestMagnitudeGuardForcesLogFallback(t *testing.T) {
+	g := degenerateStar(t, 20)
+	k := kernel.New(g, kernel.Config{Mode: kernel.Specialized, MaxRescales: 2})
+	oracle := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+	var sc, scO kernel.Scratch
+	got := make([]float32, 2)
+	want := make([]float32, 2)
+	k.NodeUpdate(&sc, got, 0, g.Beliefs)
+	oracle.NodeUpdate(&scO, want, 0, g.Beliefs)
+	if sc.Counters.LogFallbacks == 0 {
+		t.Fatal("magnitude guard did not force a log fallback")
+	}
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Errorf("fallback path L∞ vs oracle = %g", d)
+	}
+}
+
+// TestDegreeGuardStartsInLogSpace checks the in-degree half of the guard.
+func TestDegreeGuardStartsInLogSpace(t *testing.T) {
+	g := buildStar(t, 3, 8, false, 77)
+	k := kernel.New(g, kernel.Config{Mode: kernel.Specialized, LogFallbackDegree: 4})
+	oracle := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+	var sc, scO kernel.Scratch
+	got := make([]float32, 3)
+	want := make([]float32, 3)
+	k.NodeUpdate(&sc, got, 0, g.Beliefs)
+	oracle.NodeUpdate(&scO, want, 0, g.Beliefs)
+	if sc.Counters.LogFallbacks != 1 {
+		t.Fatalf("LogFallbacks = %d, want 1 (degree 8 ≥ guard 4)", sc.Counters.LogFallbacks)
+	}
+	if sc.Counters.FastPath != 0 {
+		t.Fatalf("FastPath = %d, want 0 when the combine starts in log space", sc.Counters.FastPath)
+	}
+	if d := maxDiff(got, want); d > 1e-5 {
+		t.Errorf("degree-guard path L∞ vs oracle = %g", d)
+	}
+}
+
+// TestScratchReuse runs many combines through one scratch and verifies
+// state does not leak between them.
+func TestScratchReuse(t *testing.T) {
+	g := buildStar(t, 4, 5, true, 3)
+	k := kernel.New(g, kernel.Config{})
+	var sc kernel.Scratch
+	first := make([]float32, 4)
+	k.NodeUpdate(&sc, first, 0, g.Beliefs)
+	for i := 0; i < 10; i++ {
+		got := make([]float32, 4)
+		k.NodeUpdate(&sc, got, 0, g.Beliefs)
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("combine %d entry %d: %v != first run %v", i, j, got[j], first[j])
+			}
+		}
+	}
+}

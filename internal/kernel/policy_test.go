@@ -1,0 +1,113 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// maxBeliefLinf returns the largest per-entry belief difference between
+// two runs of the same graph.
+func maxBeliefLinf(a, b *graph.Graph) float64 {
+	var worst float64
+	for v := int32(0); v < int32(a.NumNodes); v++ {
+		if d := maxDiff(a.Belief(v), b.Belief(v)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestPowerLawHubMatchesLogOracle is the linear-vs-log policy check at
+// power-law scale: a hub with 12,000 in-edges — past the degree of the
+// hottest hubs in the paper's social benchmarks — run end-to-end through
+// the per-node engine. The default degree guard (1<<16) keeps such hubs
+// on the linear fast path, so the run must survive thousands of
+// sub-underflow factors through max-rescaling alone and still match the
+// historical log-space beliefs within 1e-4 L∞.
+func TestPowerLawHubMatchesLogOracle(t *testing.T) {
+	const hubDegree = 12000
+	for _, states := range []int{2, 3} {
+		g := buildStar(t, states, hubDegree, false, int64(states)*1009)
+
+		oracle := g.Clone()
+		bp.RunNode(oracle, bp.Options{Kernel: kernel.Config{Mode: kernel.LogSpace}})
+
+		for _, mode := range []kernel.Mode{kernel.Specialized, kernel.Generic} {
+			lin := g.Clone()
+			res := bp.RunNode(lin, bp.Options{Kernel: kernel.Config{Mode: mode}})
+			if d := maxBeliefLinf(lin, oracle); d > 1e-4 {
+				t.Errorf("states=%d mode=%v: L∞ vs log oracle = %g, want ≤ 1e-4", states, mode, d)
+			}
+			if res.Ops.KernelFastPath == 0 {
+				t.Errorf("states=%d mode=%v: hub left the linear fast path (FastPath = 0)", states, mode)
+			}
+			if res.Ops.RescaleOps == 0 {
+				t.Errorf("states=%d mode=%v: a %d-degree hub should need rescales", states, mode, hubDegree)
+			}
+		}
+
+		// The same hub at the kernel level. Under defaults the running
+		// product spans thousands of decades, so the magnitude guard must
+		// convert the combine to log space mid-fold — that is the guard
+		// doing its job, not a failure of the linear path.
+		var sc kernel.Scratch
+		k := kernel.New(g, kernel.Config{Mode: kernel.Specialized})
+		got := make([]float32, states)
+		k.NodeUpdate(&sc, got, 0, g.Beliefs)
+		if sc.Counters.LogFallbacks == 0 {
+			t.Errorf("states=%d: a %d-degree hub should trip the magnitude guard under the default rescale budget",
+				states, hubDegree)
+		}
+
+		// With the rescale budget effectively unbounded the whole fold
+		// stays linear — and must still match the oracle.
+		var scLin kernel.Scratch
+		kLin := kernel.New(g, kernel.Config{Mode: kernel.Specialized, MaxRescales: 1 << 20})
+		gotLin := make([]float32, states)
+		kLin.NodeUpdate(&scLin, gotLin, 0, g.Beliefs)
+		if scLin.Counters.LogFallbacks != 0 {
+			t.Errorf("states=%d: LogFallbacks = %d, want 0 with an unbounded rescale budget",
+				states, scLin.Counters.LogFallbacks)
+		}
+		if scLin.Counters.Rescales == 0 {
+			t.Errorf("states=%d: fully-linear %d-degree fold should rescale", states, hubDegree)
+		}
+		var scO kernel.Scratch
+		oracleK := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
+		want := make([]float32, states)
+		oracleK.NodeUpdate(&scO, want, 0, g.Beliefs)
+		if d := maxDiff(gotLin, want); d > 1e-4 {
+			t.Errorf("states=%d: fully-linear hub fold L∞ vs oracle = %g, want ≤ 1e-4", states, d)
+		}
+	}
+}
+
+// TestUnderflowStressFallsBackEndToEnd drives the degenerate
+// deterministic-coupling stress through the full per-node engine with the
+// magnitude guard tightened to a single rescale, forcing the mid-combine
+// conversion to log space, and checks the engine still reproduces the
+// log-space oracle's beliefs.
+func TestUnderflowStressFallsBackEndToEnd(t *testing.T) {
+	g := degenerateStar(t, 40)
+
+	oracle := g.Clone()
+	bp.RunNode(oracle, bp.Options{Kernel: kernel.Config{Mode: kernel.LogSpace}})
+
+	cfg := kernel.Config{Mode: kernel.Specialized, MaxRescales: 1}
+	lin := g.Clone()
+	bp.RunNode(lin, bp.Options{Kernel: cfg})
+	if d := maxBeliefLinf(lin, oracle); d > 1e-4 {
+		t.Errorf("fallback run L∞ vs log oracle = %g, want ≤ 1e-4", d)
+	}
+
+	var sc kernel.Scratch
+	k := kernel.New(g, cfg)
+	got := make([]float32, g.States)
+	k.NodeUpdate(&sc, got, 0, g.Beliefs)
+	if sc.Counters.LogFallbacks == 0 {
+		t.Fatal("underflow stress did not force the log-space fallback")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"credo/internal/bp"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 )
 
 // Schedule selects the OpenMP-style loop schedule.
@@ -141,10 +142,8 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 	deltas := make([]float32, g.NumNodes)
 	inNext := make([]bool, g.NumNodes)
 	partial := make([]float32, opts.Threads)
-	scratch := make([][]float32, opts.Threads)
-	for w := range scratch {
-		scratch[w] = make([]float32, 2*s)
-	}
+	k := kernel.New(g, o.Kernel)
+	kss := make([]kernel.Scratch, opts.Threads)
 
 	var res bp.Result
 	var edgesProcessed, nodesProcessed atomic.Int64
@@ -172,25 +171,10 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 				return
 			}
 			nodesProcessed.Add(1)
-			buf := scratch[worker]
-			acc, msg := buf[:s], buf[s:]
-			for j := 0; j < s; j++ {
-				acc[j] = 0
-			}
-			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
-			for _, e := range g.InEdges[lo:hi] {
-				src := g.EdgeSrc[e]
-				parent := prev[int(src)*s : int(src)*s+s]
-				g.Matrix(e).PropagateInto(msg, parent)
-				graph.Normalize(msg)
-				for j := 0; j < s; j++ {
-					acc[j] += bp.Logf(msg[j])
-				}
-				edgesProcessed.Add(1)
-			}
 			b := g.Beliefs[int(v)*s : int(v)*s+s]
 			old := prev[int(v)*s : int(v)*s+s]
-			bp.ExpNormalize(b, g.Priors[int(v)*s:int(v)*s+s], acc)
+			deg := k.NodeUpdate(&kss[worker], b, v, prev)
+			edgesProcessed.Add(int64(deg))
 			d := graph.L1Diff(b, old)
 			deltas[v] = d
 			partial[worker] += d
@@ -241,6 +225,10 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 	res.Ops.MemLoads = res.Ops.EdgesProcessed*int64(s) + res.Ops.NodesProcessed*int64(2*s)
 	res.Ops.MemStores = res.Ops.NodesProcessed * int64(s)
 	res.Ops.LogOps = res.Ops.EdgesProcessed*int64(s) + res.Ops.NodesProcessed*int64(s)
+	for w := range kss {
+		res.Ops.KernelFastPath += kss[w].Counters.FastPath
+		res.Ops.RescaleOps += kss[w].Counters.Rescales
+	}
 	return res
 }
 
@@ -275,6 +263,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 		}
 	}
 
+	k := kernel.New(g, o.Kernel)
 	scratch := make([][]float32, opts.Threads)
 	for w := range scratch {
 		scratch[w] = make([]float32, s)
@@ -307,8 +296,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 			src, dst := g.EdgeSrc[e], g.EdgeDst[e]
 			msg := scratch[worker]
 			parent := prev[int(src)*s : int(src)*s+s]
-			g.Matrix(e).PropagateInto(msg, parent)
-			graph.Normalize(msg)
+			k.Message(msg, e, parent)
 			old := g.Message(e)
 			base := int(dst) * s
 			for j := 0; j < s; j++ {

@@ -1,0 +1,63 @@
+package poolbp
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+func allocGraph(t testing.TB, states int, shared bool) *graph.Graph {
+	t.Helper()
+	g, err := gen.Synthetic(200, 800, gen.Config{Seed: 5, States: states, Shared: shared})
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	return g
+}
+
+// TestSweepsAllocFree locks the steady-state guarantee for the pool
+// engines. A run necessarily allocates a fixed setup (worker team, shard
+// lists, double buffer), so instead of asserting zero allocations per run
+// the test asserts allocations do not scale with sweeps: a run forced
+// through ~50 extra sweeps must allocate no more than a short run, because
+// every sweep reuses the hoisted region bodies and per-worker scratch. A
+// single leaked allocation per node update would show up ~10,000 times.
+func TestSweepsAllocFree(t *testing.T) {
+	engines := []struct {
+		name string
+		run  func(*graph.Graph, Options) bp.Result
+	}{
+		{"RunNode", RunNode},
+		{"RunEdge", RunEdge},
+	}
+	const slack = 200 // runtime noise (goroutine scheduling, timer wheel)
+	for _, eng := range engines {
+		for _, mode := range []kernel.Mode{kernel.Specialized, kernel.LogSpace} {
+			g := allocGraph(t, 3, false)
+			opts := Options{
+				Options: bp.Options{
+					// Unreachably small threshold keeps every sweep running
+					// to the iteration cap.
+					Threshold: 1e-35,
+					Kernel:    kernel.Config{Mode: mode},
+				},
+				Workers: 4,
+			}
+			measure := func(iters int) float64 {
+				opts.MaxIterations = iters
+				return testing.AllocsPerRun(3, func() {
+					eng.run(g.Clone(), opts)
+				})
+			}
+			short := measure(4)
+			long := measure(54)
+			if long > short+slack {
+				t.Errorf("%s mode=%v: %d sweeps allocated %.0f, %d sweeps %.0f — allocations scale with sweeps",
+					eng.name, mode, 54, long, 4, short)
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"credo/internal/bp"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 	"credo/internal/ompbp"
 )
 
@@ -125,14 +126,15 @@ func initialShardLists(items, shards int) [][]int32 {
 	return lists
 }
 
-// rebuildShardLists is the frontier-rebuild region: every shard rescans
-// its item range, promotes marked items into its active list and clears
-// the marks. Each shard is rebuilt by exactly one worker and items are
-// promoted in id order, so the resulting queues are independent of the
-// worker count. It returns the total number of active items.
-func rebuildShardLists(p *pool, cursor *atomic.Int64, lists [][]int32, mark []uint32, items, shards int, workerOps []bp.OpCounts) int {
-	cursor.Store(0)
-	p.run(func(w int) {
+// newShardRebuilder returns the frontier-rebuild region as a reusable
+// step: every shard rescans its item range, promotes marked items into its
+// active list and clears the marks. Each shard is rebuilt by exactly one
+// worker and items are promoted in id order, so the resulting queues are
+// independent of the worker count. The returned func runs one rebuild and
+// reports the total number of active items; building the region body once
+// per run keeps the sweep loop allocation-free.
+func newShardRebuilder(p *pool, cursor *atomic.Int64, lists [][]int32, mark []uint32, items, shards int, workerOps []bp.OpCounts) func() int {
+	body := func(w int) {
 		ops := &workerOps[w]
 		for {
 			sh := int(cursor.Add(1)) - 1
@@ -152,12 +154,16 @@ func rebuildShardLists(p *pool, cursor *atomic.Int64, lists [][]int32, mark []ui
 			}
 			lists[sh] = lst
 		}
-	})
-	total := 0
-	for _, lst := range lists {
-		total += len(lst)
 	}
-	return total
+	return func() int {
+		cursor.Store(0)
+		p.run(body)
+		total := 0
+		for _, lst := range lists {
+			total += len(lst)
+		}
+		return total
+	}
 }
 
 // markOnce sets mark[i] if it is not already set. Marking is idempotent,
@@ -195,10 +201,8 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 	mark := make([]uint32, g.NumNodes)
 	shardDelta := make([]float32, shards)
 	workerOps := make([]bp.OpCounts, workers)
-	scratch := make([][]float32, workers)
-	for w := range scratch {
-		scratch[w] = make([]float32, 2*s)
-	}
+	k := kernel.New(g, o.Kernel)
+	ks := make([]kernel.Scratch, workers)
 
 	var res bp.Result
 	if o.WorkQueue {
@@ -209,6 +213,57 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 	defer p.close()
 	var cursor atomic.Int64
 	totalActive := g.NumNodes
+	rebuild := newShardRebuilder(p, &cursor, activeNodes, mark, g.NumNodes, shards, workerOps)
+
+	// Compute region: workers claim shards; a shard first carries its
+	// belief range into the next buffer, then recomputes its active nodes
+	// against the current buffer (Jacobi) through the shared kernel. The
+	// region body is built once — it reads cur/nxt through the enclosing
+	// variables, which swap between sweeps — so steady-state sweeps
+	// allocate nothing. Per-node accumulation order is the in-edge order
+	// regardless of which worker owns the shard, so the kernel's numerics
+	// stay bitwise identical for any worker count.
+	computeBody := func(w int) {
+		ops := &workerOps[w]
+		sc := &ks[w]
+		for {
+			sh := int(cursor.Add(1)) - 1
+			if sh >= shards {
+				return
+			}
+			lo, hi := shardRange(sh, g.NumNodes, shards)
+			copy(nxt[lo*s:hi*s], cur[lo*s:hi*s])
+			ops.MemLoads += int64((hi - lo) * s)
+			ops.MemStores += int64((hi - lo) * s)
+			var d float32
+			for _, v := range activeNodes[sh] {
+				if g.Observed[v] {
+					continue
+				}
+				ops.NodesProcessed++
+				b := nxt[int(v)*s : int(v)*s+s]
+				old := cur[int(v)*s : int(v)*s+s]
+				deg := int64(k.NodeUpdate(sc, b, v, cur))
+				bp.Blend(b, old, o.Damping)
+				dv := graph.L1Diff(b, old)
+				d += dv
+				ops.EdgesProcessed += deg
+				ops.RandomLoads += deg * (gatherLines + matLines)
+				ops.MemLoads += deg*int64(s) + int64(2*s)
+				ops.MatrixOps += deg * int64(s*s)
+				ops.LogOps += deg*int64(s) + int64(s)
+				ops.MemStores += int64(s)
+				if o.WorkQueue && dv > o.QueueThreshold {
+					// The node moved: its successors' inputs changed.
+					olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
+					for _, e := range g.OutEdges[olo:ohi] {
+						markOnce(mark, g.EdgeDst[e])
+					}
+				}
+			}
+			shardDelta[sh] = d
+		}
+	}
 
 	for sweep := 0; sweep < o.MaxIterations; sweep++ {
 		res.Iterations = sweep + 1
@@ -217,71 +272,12 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 			shardDelta[sh] = 0
 		}
 
-		// Compute region: workers claim shards; a shard first carries its
-		// belief range into the next buffer, then recomputes its active
-		// nodes against the current buffer (Jacobi).
 		cursor.Store(0)
-		p.run(func(w int) {
-			ops := &workerOps[w]
-			buf := scratch[w]
-			acc, msg := buf[:s], buf[s:]
-			for {
-				sh := int(cursor.Add(1)) - 1
-				if sh >= shards {
-					return
-				}
-				lo, hi := shardRange(sh, g.NumNodes, shards)
-				copy(nxt[lo*s:hi*s], cur[lo*s:hi*s])
-				ops.MemLoads += int64((hi - lo) * s)
-				ops.MemStores += int64((hi - lo) * s)
-				var d float32
-				for _, v := range activeNodes[sh] {
-					if g.Observed[v] {
-						continue
-					}
-					ops.NodesProcessed++
-					for j := 0; j < s; j++ {
-						acc[j] = 0
-					}
-					elo, ehi := g.InOffsets[v], g.InOffsets[v+1]
-					for _, e := range g.InEdges[elo:ehi] {
-						src := g.EdgeSrc[e]
-						parent := cur[int(src)*s : int(src)*s+s]
-						g.Matrix(e).PropagateInto(msg, parent)
-						graph.Normalize(msg)
-						for j := 0; j < s; j++ {
-							acc[j] += bp.Logf(msg[j])
-						}
-						ops.EdgesProcessed++
-						ops.RandomLoads += gatherLines + matLines
-						ops.MemLoads += int64(s)
-						ops.MatrixOps += int64(s * s)
-						ops.LogOps += int64(s)
-					}
-					b := nxt[int(v)*s : int(v)*s+s]
-					old := cur[int(v)*s : int(v)*s+s]
-					bp.ExpNormalize(b, g.Priors[int(v)*s:int(v)*s+s], acc)
-					bp.Blend(b, old, o.Damping)
-					dv := graph.L1Diff(b, old)
-					d += dv
-					ops.LogOps += int64(s)
-					ops.MemLoads += int64(2 * s)
-					ops.MemStores += int64(s)
-					if o.WorkQueue && dv > o.QueueThreshold {
-						// The node moved: its successors' inputs changed.
-						olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
-						for _, e := range g.OutEdges[olo:ohi] {
-							markOnce(mark, g.EdgeDst[e])
-						}
-					}
-				}
-				shardDelta[sh] = d
-			}
-		})
+		p.run(computeBody)
 		res.Ops.SyncOps += int64(workers)
 
 		if o.WorkQueue {
-			totalActive = rebuildShardLists(p, &cursor, activeNodes, mark, g.NumNodes, shards, workerOps)
+			totalActive = rebuild()
 			res.Ops.SyncOps += int64(workers)
 		}
 
@@ -311,6 +307,10 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 	for _, ops := range workerOps {
 		res.Ops.Add(ops)
 	}
+	for w := range ks {
+		res.Ops.KernelFastPath += ks[w].Counters.FastPath
+		res.Ops.RescaleOps += ks[w].Counters.Rescales
+	}
 	return res
 }
 
@@ -336,13 +336,19 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	prev := append([]float32(nil), g.Beliefs...)
 
 	// Log-domain accumulators stored as raw float bits for the CAS adds,
-	// primed with the initial messages.
+	// primed with the initial messages. lmsg caches each message's log
+	// alongside it so the edge region evaluates one Logf per component
+	// instead of two; each edge is owned by exactly one worker per sweep,
+	// so the cache needs no synchronization beyond the pool barrier.
 	accBits := make([]uint32, g.NumNodes*s)
+	lmsg := make([]float32, g.NumEdges*s)
 	for e := 0; e < g.NumEdges; e++ {
 		dst := int(g.EdgeDst[e])
 		m := g.Message(int32(e))
 		for j := 0; j < s; j++ {
-			f := math.Float32frombits(accBits[dst*s+j]) + bp.Logf(m[j])
+			l := bp.Logf(m[j])
+			lmsg[e*s+j] = l
+			f := math.Float32frombits(accBits[dst*s+j]) + l
 			accBits[dst*s+j] = math.Float32bits(f)
 		}
 	}
@@ -351,6 +357,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	mark := make([]uint32, g.NumEdges)
 	shardDelta := make([]float32, nShards)
 	workerOps := make([]bp.OpCounts, workers)
+	k := kernel.New(g, o.Kernel)
 	scratch := make([][]float32, workers)
 	for w := range scratch {
 		scratch[w] = make([]float32, 2*s)
@@ -365,6 +372,88 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	defer p.close()
 	var cursor atomic.Int64
 	totalActive := g.NumEdges
+	rebuild := newShardRebuilder(p, &cursor, activeEdges, mark, g.NumEdges, eShards, workerOps)
+
+	// Edge region: recompute active messages through the kernel and CAS
+	// the log-domain change into the destination accumulators. LogOps
+	// still counts the abstract algorithm's two evaluations per component
+	// (new and old message) even though the lmsg cache halves the actual
+	// calls, so perfmodel pricing stays comparable.
+	edgeBody := func(w int) {
+		ops := &workerOps[w]
+		msg := scratch[w][:s]
+		for {
+			sh := int(cursor.Add(1)) - 1
+			if sh >= eShards {
+				return
+			}
+			for _, e := range activeEdges[sh] {
+				ops.EdgesProcessed++
+				src, dst := g.EdgeSrc[e], g.EdgeDst[e]
+				parent := prev[int(src)*s : int(src)*s+s]
+				k.Message(msg, e, parent)
+				old := g.Message(e)
+				base := int(dst) * s
+				lm := lmsg[int(e)*s : int(e)*s+s]
+				for j := 0; j < s; j++ {
+					l := bp.Logf(msg[j])
+					ompbp.AtomicAddFloat32(accBits, base+j, l-lm[j])
+					lm[j] = l
+					old[j] = msg[j]
+				}
+				ops.AtomicOps += int64(s)
+				ops.MemLoads += int64(2 * s)
+				ops.RandomLoads += matLines
+				ops.MemStores += int64(2 * s)
+				ops.MatrixOps += int64(s * s)
+				ops.LogOps += int64(2 * s)
+			}
+		}
+	}
+
+	// Combine region: every node folds its accumulator with its prior,
+	// refreshes the prev snapshot for the next sweep, and marks the
+	// out-edges of nodes that moved.
+	combineBody := func(w int) {
+		ops := &workerOps[w]
+		acc := scratch[w][s:]
+		for {
+			sh := int(cursor.Add(1)) - 1
+			if sh >= nShards {
+				return
+			}
+			lo, hi := shardRange(sh, g.NumNodes, nShards)
+			var d float32
+			for v := lo; v < hi; v++ {
+				if g.Observed[v] {
+					continue
+				}
+				ops.NodesProcessed++
+				for j := 0; j < s; j++ {
+					// The edge region's CAS stores are ordered before
+					// this read by the pool barrier.
+					acc[j] = math.Float32frombits(accBits[v*s+j])
+				}
+				b := g.Beliefs[v*s : v*s+s]
+				old := prev[v*s : v*s+s]
+				bp.ExpNormalize(b, g.Priors[v*s:v*s+s], acc)
+				bp.Blend(b, old, o.Damping)
+				dv := graph.L1Diff(b, old)
+				d += dv
+				copy(old, b)
+				ops.LogOps += int64(s)
+				ops.MemLoads += int64(3 * s)
+				ops.MemStores += int64(2 * s)
+				if o.WorkQueue && dv > o.QueueThreshold {
+					olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
+					for _, e := range g.OutEdges[olo:ohi] {
+						markOnce(mark, e)
+					}
+				}
+			}
+			shardDelta[sh] = d
+		}
+	}
 
 	for sweep := 0; sweep < o.MaxIterations; sweep++ {
 		res.Iterations = sweep + 1
@@ -373,88 +462,16 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 			shardDelta[sh] = 0
 		}
 
-		// Edge region: recompute active messages and CAS the change into
-		// the destination accumulators.
 		cursor.Store(0)
-		p.run(func(w int) {
-			ops := &workerOps[w]
-			msg := scratch[w][:s]
-			for {
-				sh := int(cursor.Add(1)) - 1
-				if sh >= eShards {
-					return
-				}
-				for _, e := range activeEdges[sh] {
-					ops.EdgesProcessed++
-					src, dst := g.EdgeSrc[e], g.EdgeDst[e]
-					parent := prev[int(src)*s : int(src)*s+s]
-					g.Matrix(e).PropagateInto(msg, parent)
-					graph.Normalize(msg)
-					old := g.Message(e)
-					base := int(dst) * s
-					for j := 0; j < s; j++ {
-						ompbp.AtomicAddFloat32(accBits, base+j, bp.Logf(msg[j])-bp.Logf(old[j]))
-						old[j] = msg[j]
-					}
-					ops.AtomicOps += int64(s)
-					ops.MemLoads += int64(2 * s)
-					ops.RandomLoads += matLines
-					ops.MemStores += int64(2 * s)
-					ops.MatrixOps += int64(s * s)
-					ops.LogOps += int64(2 * s)
-				}
-			}
-		})
+		p.run(edgeBody)
 		res.Ops.SyncOps += int64(workers)
 
-		// Combine region: every node folds its accumulator with its
-		// prior, refreshes the prev snapshot for the next sweep, and marks
-		// the out-edges of nodes that moved.
 		cursor.Store(0)
-		p.run(func(w int) {
-			ops := &workerOps[w]
-			acc := scratch[w][s:]
-			for {
-				sh := int(cursor.Add(1)) - 1
-				if sh >= nShards {
-					return
-				}
-				lo, hi := shardRange(sh, g.NumNodes, nShards)
-				var d float32
-				for v := lo; v < hi; v++ {
-					if g.Observed[v] {
-						continue
-					}
-					ops.NodesProcessed++
-					for j := 0; j < s; j++ {
-						// The edge region's CAS stores are ordered before
-						// this read by the pool barrier.
-						acc[j] = math.Float32frombits(accBits[v*s+j])
-					}
-					b := g.Beliefs[v*s : v*s+s]
-					old := prev[v*s : v*s+s]
-					bp.ExpNormalize(b, g.Priors[v*s:v*s+s], acc)
-					bp.Blend(b, old, o.Damping)
-					dv := graph.L1Diff(b, old)
-					d += dv
-					copy(old, b)
-					ops.LogOps += int64(s)
-					ops.MemLoads += int64(3 * s)
-					ops.MemStores += int64(2 * s)
-					if o.WorkQueue && dv > o.QueueThreshold {
-						olo, ohi := g.OutOffsets[v], g.OutOffsets[v+1]
-						for _, e := range g.OutEdges[olo:ohi] {
-							markOnce(mark, e)
-						}
-					}
-				}
-				shardDelta[sh] = d
-			}
-		})
+		p.run(combineBody)
 		res.Ops.SyncOps += int64(workers)
 
 		if o.WorkQueue {
-			totalActive = rebuildShardLists(p, &cursor, activeEdges, mark, g.NumEdges, eShards, workerOps)
+			totalActive = rebuild()
 			res.Ops.SyncOps += int64(workers)
 		}
 

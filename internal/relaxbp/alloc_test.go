@@ -1,0 +1,49 @@
+package relaxbp
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/kernel"
+)
+
+// TestUpdatesAllocFree locks the steady-state guarantee for the relaxed
+// engine. A run allocates a fixed setup (team, MultiQueue shards, belief
+// bits), and the sharded heaps grow amortized to the peak entry count, so
+// the test asserts allocations do not scale with applied updates: a run
+// capped at ~10× the updates of a short run must not allocate
+// proportionally more. A single leaked allocation per update or per push
+// would show up thousands of times.
+func TestUpdatesAllocFree(t *testing.T) {
+	for _, mode := range []kernel.Mode{kernel.Specialized, kernel.LogSpace} {
+		g, err := gen.Synthetic(200, 800, gen.Config{Seed: 5, States: 3})
+		if err != nil {
+			t.Fatalf("Synthetic: %v", err)
+		}
+		opts := Options{
+			Options: bp.Options{
+				// Unreachably small thresholds keep updates flowing to the
+				// update cap (MaxIterations sweep-equivalents).
+				Threshold:      1e-35,
+				QueueThreshold: 1e-35,
+				Kernel:         kernel.Config{Mode: mode},
+			},
+			Workers: 4,
+			Seed:    7,
+		}
+		measure := func(iters int) float64 {
+			opts.MaxIterations = iters
+			return testing.AllocsPerRun(3, func() {
+				Run(g.Clone(), opts)
+			})
+		}
+		short := measure(2)
+		long := measure(20)
+		const slack = 400 // runtime noise + amortized heap growth
+		if long > short+slack {
+			t.Errorf("mode=%v: 20-sweep cap allocated %.0f, 2-sweep cap %.0f — allocations scale with updates",
+				mode, long, short)
+		}
+	}
+}

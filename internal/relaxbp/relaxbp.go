@@ -50,6 +50,7 @@ import (
 
 	"credo/internal/bp"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 	"credo/internal/poolbp"
 )
 
@@ -158,9 +159,11 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 	workerOps := make([]bp.OpCounts, workers)
 	lastApplied := make([]float32, workers) // residual of the worker's last applied update
 	maxPending := make([]float32, workers)  // largest sub-threshold residual seen
+	k := kernel.New(g, opts.Kernel)
+	kss := make([]kernel.Scratch, workers)
 	scratch := make([][]float32, workers)
 	for w := range scratch {
-		scratch[w] = make([]float32, 4*s)
+		scratch[w] = make([]float32, 3*s)
 	}
 
 	team := poolbp.NewTeam(workers)
@@ -168,8 +171,9 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 
 	team.Run(func(w int) {
 		ops := &workerOps[w]
+		ks := &kss[w]
 		buf := scratch[w]
-		acc, parent, cand, cur := buf[:s], buf[s:2*s], buf[2*s:3*s], buf[3*s:]
+		parent, cand, cur := buf[:s], buf[s:2*s], buf[2*s:]
 		rng := rand.New(rand.NewSource(opts.Seed + int64(w)*0x9E3779B9))
 
 		loadBelief := func(dst []float32, v int32) {
@@ -180,26 +184,22 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 		}
 
 		// computeCandidate fills cand with the belief v would adopt
-		// against the live (possibly mid-update) neighbour beliefs.
+		// against the live (possibly mid-update) neighbour beliefs. The
+		// parent snapshot goes through an atomic gather into a private
+		// buffer, so the kernel itself never touches shared state.
 		computeCandidate := func(v int32) {
-			for j := 0; j < s; j++ {
-				acc[j] = 0
-			}
 			lo, hi := g.InOffsets[v], g.InOffsets[v+1]
+			k.Begin(ks, g.Prior(v), int(hi-lo))
 			for _, e := range g.InEdges[lo:hi] {
 				loadBelief(parent, g.EdgeSrc[e])
-				g.Matrix(e).PropagateInto(cand, parent) // cand doubles as the message buffer
-				graph.Normalize(cand)
-				for j := 0; j < s; j++ {
-					acc[j] += bp.Logf(cand[j])
-				}
+				k.Accumulate(ks, e, parent)
 				ops.EdgesProcessed++
 				ops.MatrixOps += int64(s * s)
 				ops.LogOps += int64(s)
 				ops.RandomLoads += gatherLines + matLines
 				ops.MemLoads += int64(s)
 			}
-			bp.ExpNormalize(cand, g.Prior(v), acc)
+			k.Finish(ks, cand)
 			ops.LogOps += int64(s)
 		}
 
@@ -291,6 +291,10 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 
 	applied := updates.Load()
 	res.Converged = !capped.Load()
+	for w := range kss {
+		res.Ops.KernelFastPath += kss[w].Counters.FastPath
+		res.Ops.RescaleOps += kss[w].Counters.Rescales
+	}
 	for w, ops := range workerOps {
 		res.Ops.Add(ops)
 		if res.Converged {
