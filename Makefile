@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt lint test race fuzz bench ci
+.PHONY: all build vet fmt lint test race fuzz bench telemetry-smoke profile ci
 
 all: build
 
@@ -28,7 +28,7 @@ test:
 # The CI race job: the concurrent engines and the kernel layer, twice,
 # under the race detector.
 race:
-	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/ ./internal/kernel/
+	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/ ./internal/kernel/ ./internal/telemetry/
 
 # The CI fuzz-smoke job: 20s on each parser fuzz target.
 fuzz:
@@ -41,4 +41,19 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkKernels/micro' -benchtime 0.1s -benchmem ./internal/kernel/ | tee kernel-bench.txt
 
-ci: build lint test race fuzz bench
+# The CI telemetry-smoke step: run the sprinkler example with the probe
+# layer on and assert the JSONL event stream is well-formed and framed.
+telemetry-smoke:
+	$(GO) run ./cmd/credo -bif internal/bif/testdata/sprinkler.bif -mrf \
+		-telemetry -trace-out telemetry.jsonl
+	jq -es 'length > 0 and (.[0].kind == "run_start") and (.[-1].kind == "run_end")' telemetry.jsonl
+
+# CPU-profile the million-edge pool benchmark; open with
+# `go tool pprof cpu.pprof` (the -http flag on credo serves live
+# /debug/pprof endpoints for in-flight runs instead).
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkMillionEdge' -benchtime 1x \
+		-cpuprofile cpu.pprof -o poolbp.test ./internal/poolbp/
+	@echo "wrote cpu.pprof — inspect with: $(GO) tool pprof poolbp.test cpu.pprof"
+
+ci: build lint test race fuzz bench telemetry-smoke

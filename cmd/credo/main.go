@@ -30,6 +30,7 @@ import (
 	"credo/internal/graph"
 	"credo/internal/ml"
 	"credo/internal/mtxbp"
+	"credo/internal/telemetry"
 	"credo/internal/xmlbif"
 )
 
@@ -58,6 +59,9 @@ func run(args []string, out io.Writer) error {
 	modelPath := fs.String("model", "", "load a trained selection forest (from credobench -train) to refine the Node/Edge choice")
 	savePath := fs.String("save", "", "write the posterior beliefs to this file in the mtxbp node format")
 	top := fs.Int("top", 10, "print the n nodes whose beliefs moved the most")
+	telemetryOn := fs.Bool("telemetry", false, "record per-iteration convergence telemetry and print a sparkline report after the run")
+	traceOut := fs.String("trace-out", "", "stream telemetry events to this file as JSONL (one event per line)")
+	httpAddr := fs.String("http", "", "serve live telemetry on this address while the run is in flight: /metrics, /debug/vars and /debug/pprof")
 	var observations multiFlag
 	fs.Var(&observations, "observe", "clamp a node, as node:state (repeatable; node is an id or a name)")
 	if err := fs.Parse(args); err != nil {
@@ -112,12 +116,41 @@ func run(args []string, out io.Writer) error {
 		classifier = forest
 	}
 
+	var probes []telemetry.Probe
+	var recorder *telemetry.Recorder
+	if *telemetryOn {
+		recorder = telemetry.NewRecorder(0)
+		probes = append(probes, recorder)
+	}
+	var traceFile *os.File
+	var traceWriter *telemetry.JSONLWriter
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceWriter = telemetry.NewJSONLWriter(traceFile)
+		probes = append(probes, traceWriter)
+	}
+	if *httpAddr != "" {
+		metrics := &telemetry.Metrics{}
+		probes = append(probes, metrics)
+		server, err := telemetry.NewServer(*httpAddr, metrics)
+		if err != nil {
+			return err
+		}
+		server.Start()
+		defer server.Close()
+		fmt.Fprintf(out, "telemetry: live metrics on http://%s/metrics (profiling on /debug/pprof)\n", server.Addr)
+	}
+
 	eng := core.Engine{
 		Selector: core.Selector{GPU: gpu, Classifier: classifier, PoolWorkers: *workers},
 		Options: bp.Options{
 			Threshold:     float32(*threshold),
 			MaxIterations: *maxIter,
 			WorkQueue:     *queue,
+			Probe:         telemetry.Multi(probes...),
 		},
 	}
 
@@ -173,6 +206,19 @@ func run(args []string, out io.Writer) error {
 	if rep.DeviceStats != nil {
 		fmt.Fprintf(out, "device: %d kernels, %d B to device, %d atomics\n",
 			rep.DeviceStats.KernelsLaunched, rep.DeviceStats.BytesToDevice, rep.DeviceStats.Atomics)
+	}
+
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "telemetry: event stream written to %s\n", *traceOut)
+	}
+	if recorder != nil {
+		telemetry.WriteConvergenceReport(out, recorder.Events())
 	}
 
 	printTopMoved(out, g, prior, *top)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -196,5 +197,60 @@ func TestEngineFlag(t *testing.T) {
 	}
 	if err := run([]string{"-nodes", nodes, "-edges", edges, "-engine", "hyperdrive"}, &out); err == nil {
 		t.Error("unknown engine accepted")
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	trace := filepath.Join(t.TempDir(), "events.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges,
+		"-telemetry", "-trace-out", trace, "-http", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"telemetry: live metrics on http://",
+		"telemetry: event stream written to",
+		"convergence trajectories",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Every line of the trace must be valid JSON framing one run.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d lines, want at least run_start + iteration + run_end", len(lines))
+	}
+	kinds := make([]string, len(lines))
+	for i, line := range lines {
+		var m struct {
+			Kind   string `json:"kind"`
+			Engine string `json:"engine"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		kinds[i] = m.Kind
+	}
+	if kinds[0] != "run_start" || kinds[len(kinds)-1] != "run_end" {
+		t.Errorf("trace framing wrong: first=%s last=%s", kinds[0], kinds[len(kinds)-1])
+	}
+}
+
+func TestTelemetryFlagErrors(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	// Unwritable trace path and unbindable address both surface as errors.
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-trace-out", "/nonexistent/d/t.jsonl"}, &bytes.Buffer{}); err == nil {
+		t.Error("unwritable -trace-out accepted")
+	}
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-http", "256.0.0.1:bad"}, &bytes.Buffer{}); err == nil {
+		t.Error("unbindable -http address accepted")
 	}
 }

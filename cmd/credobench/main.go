@@ -18,6 +18,7 @@ import (
 
 	"credo/internal/bench"
 	"credo/internal/ml"
+	"credo/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,9 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	outPath := fs.String("o", "", "also write the report to this file")
 	trainPath := fs.String("train", "", "instead of running experiments, train the selection forest on the tier's dataset and save it here (JSON, loadable by credo -model)")
+	telemetryOn := fs.Bool("telemetry", false, "record telemetry from every engine run and print a convergence report after the experiments")
+	traceOut := fs.String("trace-out", "", "stream telemetry events from every engine run to this file as JSONL")
+	httpAddr := fs.String("http", "", "serve live telemetry on this address while the experiments run: /metrics, /debug/vars and /debug/pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +51,35 @@ func run(args []string, stdout io.Writer) error {
 	cfg := bench.DefaultConfig(tier)
 	cfg.Seed = *seed
 	cfg.PoolWorkers = *workers
+
+	var probes []telemetry.Probe
+	var recorder *telemetry.Recorder
+	if *telemetryOn {
+		recorder = telemetry.NewRecorder(0)
+		probes = append(probes, recorder)
+	}
+	var traceFile *os.File
+	var traceWriter *telemetry.JSONLWriter
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceWriter = telemetry.NewJSONLWriter(traceFile)
+		probes = append(probes, traceWriter)
+	}
+	if *httpAddr != "" {
+		metrics := &telemetry.Metrics{}
+		probes = append(probes, metrics)
+		server, err := telemetry.NewServer(*httpAddr, metrics)
+		if err != nil {
+			return err
+		}
+		server.Start()
+		defer server.Close()
+		fmt.Fprintf(stdout, "telemetry: live metrics on http://%s/metrics (profiling on /debug/pprof)\n", server.Addr)
+	}
+	cfg.Options.Probe = telemetry.Multi(probes...)
 
 	switch strings.ToLower(*engineName) {
 	case "auto":
@@ -99,6 +132,20 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
 		fmt.Fprintf(out, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "telemetry: event stream written to %s\n", *traceOut)
+	}
+	if recorder != nil {
+		fmt.Fprintln(out)
+		telemetry.WriteConvergenceReport(out, recorder.Events())
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -58,5 +59,67 @@ func TestTrainAndUseModel(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTelemetryExperimentSeedReproducible locks the -seed plumbing end
+// to end: the telemetry experiment's full report — update counts,
+// iteration trajectories, event totals — must be identical across runs
+// with the same seed.
+func TestTelemetryExperimentSeedReproducible(t *testing.T) {
+	report := func(seed string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", "telemetry", "-tier", "ci", "-seed", seed, "-workers", "1"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		// The timing footer varies run to run; everything above it must not.
+		s := out.String()
+		if i := strings.Index(s, "[telemetry completed"); i >= 0 {
+			s = s[:i]
+		}
+		return s
+	}
+	a, b := report("42"), report("42")
+	if a != b {
+		t.Errorf("same seed, different reports:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "seed 42") {
+		t.Errorf("report does not echo the seed:\n%s", a)
+	}
+}
+
+// TestBenchTelemetryFlags exercises credobench's own sinks: -trace-out
+// must capture every engine run of the experiment as JSONL and
+// -telemetry must append the convergence report.
+func TestBenchTelemetryFlags(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "bench.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "telemetry", "-tier", "ci", "-telemetry", "-trace-out", trace}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "convergence trajectories") {
+		t.Errorf("missing convergence report:\n%s", out.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var m struct {
+			Kind   string `json:"kind"`
+			Engine string `json:"engine"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%s", err, line)
+		}
+		if m.Kind == "run_end" {
+			engines[m.Engine] = true
+		}
+	}
+	for _, want := range []string{"bp.node", "bp.edge", "bp.residual", "pool.node", "relax", "omp.node", "cuda.edge"} {
+		if !engines[want] {
+			t.Errorf("trace has no run_end for %s (saw %v)", want, engines)
+		}
 	}
 }

@@ -196,8 +196,8 @@ func TestBuildDataset(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(exps))
+	if len(exps) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {

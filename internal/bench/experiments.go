@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{ID: "openmp", Title: "§2.4: OpenMP and OpenACC parallelization", Run: RunOpenMP},
 		{ID: "pool", Title: "persistent worker-pool engine vs fork-join (§2.4 revisited)", Run: RunPool},
 		{ID: "relax", Title: "relaxed-priority residual scheduling vs synchronous sweeps", Run: RunRelax},
+		{ID: "telemetry", Title: "engine telemetry: probe layer end-to-end", Run: RunTelemetry},
 		{ID: "fig7", Title: "Figure 7: C and CUDA runtimes", Run: RunFig7},
 		{ID: "fig8", Title: "Figure 8: speedup distribution by beliefs", Run: RunFig8},
 		{ID: "fig9", Title: "Figure 9: work-queue speedups", Run: RunFig9},

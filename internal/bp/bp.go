@@ -18,6 +18,7 @@ package bp
 import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // Default parameters from the paper's evaluation (§4): convergence within
@@ -67,6 +68,16 @@ type Options struct {
 	// linear-space fast path; kernel.LogSpace reproduces the historical
 	// log-space scalar path bit-for-bit.
 	Kernel kernel.Config
+
+	// Probe, when non-nil, receives telemetry events at iteration/batch
+	// boundaries: per-iteration residual norms, beliefs-updated counts,
+	// frontier/queue occupancy and engine-specific scheduler counters
+	// (see package telemetry). Every engine — including the parallel and
+	// device ones, whose options embed this struct — reports into the
+	// same probe. Nil (the default) keeps every hot path untouched: the
+	// disabled path is locked at 0 allocs/run and within benchmark noise
+	// of the uninstrumented engines.
+	Probe telemetry.Probe
 }
 
 func (o Options) withDefaults(numNodes int) Options {

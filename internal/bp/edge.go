@@ -3,6 +3,7 @@ package bp
 import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // RunEdge executes loopy BP with per-edge processing (paper §3.3, "C Edge"):
@@ -81,10 +82,16 @@ func runEdge(g *graph.Graph, opts Options, sc *runScratch) Result {
 		res.Ops.QueuePushes += int64(g.NumEdges)
 	}
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engEdge)
+	emitRunStart(probe, engEdge, int64(g.NumEdges), opts.Threshold)
+	var lastNodes, lastEdges int64
+
 	done := false
 	for iter := 0; iter < opts.MaxIterations && !done; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 		copy(prev, g.Beliefs)
 
 		if opts.WorkQueue {
@@ -139,9 +146,31 @@ func runEdge(g *graph.Graph, opts Options, sc *runScratch) Result {
 			res.Converged = true
 			done = true
 		}
+		endIter()
+		if probe != nil {
+			active := int64(-1)
+			if opts.WorkQueue {
+				active = int64(len(queue))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:     telemetry.KindIteration,
+				Engine:   engEdge,
+				Iter:     int32(iter + 1),
+				Delta:    sum,
+				Updated:  res.Ops.NodesProcessed - lastNodes,
+				Edges:    res.Ops.EdgesProcessed - lastEdges,
+				Active:   active,
+				Items:    int64(g.NumEdges),
+				FastPath: sc.ks.Counters.FastPath,
+				Rescales: sc.ks.Counters.Rescales,
+			})
+			lastNodes, lastEdges = res.Ops.NodesProcessed, res.Ops.EdgesProcessed
+		}
 	}
 	sc.queue, sc.next = queue, next
 	res.Ops.addKernelCounters(sc.ks.Counters)
+	emitRunEnd(probe, engEdge, &res)
+	endTask()
 	return res
 }
 

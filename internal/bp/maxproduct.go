@@ -3,6 +3,7 @@ package bp
 import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // RunMaxProduct executes loopy max-product BP (the MAP-decoding sibling of
@@ -40,10 +41,16 @@ func runMaxProduct(g *graph.Graph, opts Options, sc *runScratch) Result {
 		res.Ops.QueuePushes += int64(g.NumNodes)
 	}
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engMaxProduct)
+	emitRunStart(probe, engMaxProduct, int64(g.NumNodes), opts.Threshold)
+	var lastNodes, lastEdges int64
+
 	done := false
 	for iter := 0; iter < opts.MaxIterations && !done; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 		copy(prev, g.Beliefs)
 
 		var sum float32
@@ -83,9 +90,31 @@ func runMaxProduct(g *graph.Graph, opts Options, sc *runScratch) Result {
 			res.Converged = true
 			done = true
 		}
+		endIter()
+		if probe != nil {
+			active := int64(-1)
+			if opts.WorkQueue {
+				active = int64(len(queue))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:     telemetry.KindIteration,
+				Engine:   engMaxProduct,
+				Iter:     int32(iter + 1),
+				Delta:    sum,
+				Updated:  res.Ops.NodesProcessed - lastNodes,
+				Edges:    res.Ops.EdgesProcessed - lastEdges,
+				Active:   active,
+				Items:    int64(g.NumNodes),
+				FastPath: sc.ks.Counters.FastPath,
+				Rescales: sc.ks.Counters.Rescales,
+			})
+			lastNodes, lastEdges = res.Ops.NodesProcessed, res.Ops.EdgesProcessed
+		}
 	}
 	sc.queue, sc.next = queue, next
 	res.Ops.addKernelCounters(sc.ks.Counters)
+	emitRunEnd(probe, engMaxProduct, &res)
+	endTask()
 	return res
 }
 

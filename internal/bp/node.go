@@ -3,6 +3,7 @@ package bp
 import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // RunNode executes loopy BP with per-node processing (paper §3.3, "C Node"):
@@ -54,10 +55,16 @@ func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 		res.Ops.QueuePushes += int64(g.NumNodes)
 	}
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engNode)
+	emitRunStart(probe, engNode, int64(g.NumNodes), opts.Threshold)
+	var lastNodes, lastEdges int64
+
 	done := false
 	for iter := 0; iter < opts.MaxIterations && !done; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 		copy(prev, g.Beliefs)
 
 		var sum float32
@@ -104,9 +111,31 @@ func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 			res.Converged = true
 			done = true
 		}
+		endIter()
+		if probe != nil {
+			active := int64(-1)
+			if opts.WorkQueue {
+				active = int64(len(queue))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:     telemetry.KindIteration,
+				Engine:   engNode,
+				Iter:     int32(iter + 1),
+				Delta:    sum,
+				Updated:  res.Ops.NodesProcessed - lastNodes,
+				Edges:    res.Ops.EdgesProcessed - lastEdges,
+				Active:   active,
+				Items:    int64(g.NumNodes),
+				FastPath: sc.ks.Counters.FastPath,
+				Rescales: sc.ks.Counters.Rescales,
+			})
+			lastNodes, lastEdges = res.Ops.NodesProcessed, res.Ops.EdgesProcessed
+		}
 	}
 	sc.queue, sc.next = queue, next
 	res.Ops.addKernelCounters(sc.ks.Counters)
+	emitRunEnd(probe, engNode, &res)
+	endTask()
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // RunResidual executes asynchronous residual belief propagation — the
@@ -37,9 +38,14 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 
 	var res Result
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engResidual)
+	emitRunStart(probe, engResidual, int64(g.NumNodes), opts.Threshold)
+
 	sc.cand = growF32(sc.cand, s)
 	cand := sc.cand
 
+	endSeed := telemetry.StartRegion(ctx, "seed")
 	pq := &sc.pq
 	pq.reset(g.NumNodes)
 	for v := int32(0); v < int32(g.NumNodes); v++ {
@@ -57,6 +63,11 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 		}
 	}
 
+	endSeed()
+
+	endSched := telemetry.StartRegion(ctx, "schedule")
+	batch := int64(g.NumNodes)
+	var lastNodes, lastEdges int64
 	maxUpdates := int64(opts.MaxIterations) * int64(g.NumNodes)
 	var updates int64
 	for updates < maxUpdates && pq.Len() > 0 {
@@ -93,7 +104,26 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 			pq.update(dst, nr)
 			res.Ops.QueuePushes++
 		}
+
+		// Sweep-equivalent batch boundary: one batch is NumNodes applied
+		// updates, so trajectories stay comparable with sweep engines.
+		if probe != nil && updates%batch == 0 {
+			probe.Emit(telemetry.Event{
+				Kind:     telemetry.KindIteration,
+				Engine:   engResidual,
+				Iter:     int32(updates / batch),
+				Delta:    pq.maxResidual(),
+				Updated:  res.Ops.NodesProcessed - lastNodes,
+				Edges:    res.Ops.EdgesProcessed - lastEdges,
+				Active:   int64(pq.Len()),
+				Items:    int64(g.NumNodes),
+				FastPath: sc.ks.Counters.FastPath,
+				Rescales: sc.ks.Counters.Rescales,
+			})
+			lastNodes, lastEdges = res.Ops.NodesProcessed, res.Ops.EdgesProcessed
+		}
 	}
+	endSched()
 	if pq.Len() == 0 {
 		res.Converged = true
 	}
@@ -104,6 +134,8 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 	res.Ops.Iterations = int64(res.Iterations)
 	res.FinalDelta = pq.maxResidual()
 	res.Ops.addKernelCounters(sc.ks.Counters)
+	emitRunEnd(probe, engResidual, &res)
+	endTask()
 	return res
 }
 

@@ -3,6 +3,7 @@ package bp
 import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // RunTraditional executes the classical non-loopy, level-ordered BP the
@@ -29,6 +30,11 @@ func runTraditional(g *graph.Graph, opts Options, sc *runScratch) Result {
 	k := kernel.New(g, opts.Kernel)
 	var res Result
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engTraditional)
+	emitRunStart(probe, engTraditional, int64(g.NumNodes), opts.Threshold)
+
+	endLevels := telemetry.StartRegion(ctx, "levels")
 	// Level determination: level[v] = 1 + max(level[parent]), computed by
 	// repeated relaxation sweeps over the edge list (the "enormous
 	// overhead" of §2.1.1). Cycles are cut by capping a node's level at
@@ -60,9 +66,11 @@ func runTraditional(g *graph.Graph, opts Options, sc *runScratch) Result {
 		}
 	}
 	res.Ops.MemLoads += 2 * int64(g.NumNodes) * int64(g.NumEdges)
+	endLevels()
 
 	// Forward (φ) sweep: naive by-level processing scans every node at
 	// every level.
+	endForward := telemetry.StartRegion(ctx, "forward")
 	for l := int32(0); l <= maxLevel; l++ {
 		for v := int32(0); v < int32(g.NumNodes); v++ {
 			res.Ops.MemLoads++
@@ -71,7 +79,27 @@ func runTraditional(g *graph.Graph, opts Options, sc *runScratch) Result {
 			}
 		}
 	}
+	endForward()
+	// The two passes report as iterations 1 (forward) and 2 (backward):
+	// the traditional algorithm has no residual, so Delta stays 0 and the
+	// trajectory carries the two sweeps' update counts.
+	if probe != nil {
+		probe.Emit(telemetry.Event{
+			Kind:     telemetry.KindIteration,
+			Engine:   engTraditional,
+			Iter:     1,
+			Updated:  res.Ops.NodesProcessed,
+			Edges:    res.Ops.EdgesProcessed,
+			Active:   -1,
+			Items:    int64(g.NumNodes),
+			FastPath: sc.ks.Counters.FastPath,
+			Rescales: sc.ks.Counters.Rescales,
+		})
+	}
+	fwdNodes, fwdEdges := res.Ops.NodesProcessed, res.Ops.EdgesProcessed
+
 	// Backward (ψ) sweep.
+	endBackward := telemetry.StartRegion(ctx, "backward")
 	for l := maxLevel; l >= 0; l-- {
 		for v := int32(0); v < int32(g.NumNodes); v++ {
 			res.Ops.MemLoads++
@@ -80,10 +108,26 @@ func runTraditional(g *graph.Graph, opts Options, sc *runScratch) Result {
 			}
 		}
 	}
+	endBackward()
+	if probe != nil {
+		probe.Emit(telemetry.Event{
+			Kind:     telemetry.KindIteration,
+			Engine:   engTraditional,
+			Iter:     2,
+			Updated:  res.Ops.NodesProcessed - fwdNodes,
+			Edges:    res.Ops.EdgesProcessed - fwdEdges,
+			Active:   -1,
+			Items:    int64(g.NumNodes),
+			FastPath: sc.ks.Counters.FastPath,
+			Rescales: sc.ks.Counters.Rescales,
+		})
+	}
 
 	res.Iterations = 2
 	res.Converged = true
 	res.Ops.addKernelCounters(sc.ks.Counters)
+	emitRunEnd(probe, engTraditional, &res)
+	endTask()
 	return res
 }
 

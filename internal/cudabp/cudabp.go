@@ -25,6 +25,7 @@ import (
 	"credo/internal/gpusim"
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // DefaultBlockDim is the paper's block size for all benchmarks (§4).
@@ -136,9 +137,14 @@ func RunEdge(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 	shared := g.SharedMatrix()
 	matBytes := int64(s*s) * 4
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engEdge)
+	emitRunStart(probe, engEdge, int64(g.NumEdges), opts.Threshold)
+
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 
 		n := len(active)
 		grid := (n + opts.BlockDim - 1) / opts.BlockDim
@@ -205,6 +211,24 @@ func RunEdge(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 
 		cur, nxt = nxt, cur
 
+		endIter()
+		if probe != nil {
+			qlen := int64(-1)
+			if opts.WorkQueue {
+				qlen = int64(len(active))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:    telemetry.KindIteration,
+				Engine:  engEdge,
+				Iter:    int32(iter + 1),
+				Delta:   sum,
+				Updated: int64(g.NumNodes),
+				Edges:   int64(n),
+				Active:  qlen,
+				Items:   int64(g.NumEdges),
+			})
+		}
+
 		// The convergence scalar only crosses the bus at batch
 		// boundaries, so the device can overrun by up to Batch-1
 		// iterations past true convergence.
@@ -221,6 +245,8 @@ func RunEdge(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 	dev.CopyToHost(int64(len(g.Beliefs)) * 4)
 	res.SimTime = dev.SimTime()
 	res.DeviceStats = dev.Stats()
+	emitRunEnd(probe, engEdge, &res.Result)
+	endTask()
 	return res, nil
 }
 
@@ -252,9 +278,14 @@ func RunNode(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 	shared := g.SharedMatrix()
 	matBytes := int64(s*s) * 4
 
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engNode)
+	emitRunStart(probe, engNode, int64(g.NumNodes), opts.Threshold)
+
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 
 		n := len(active)
 		if opts.WorkQueue && n < g.NumNodes {
@@ -339,6 +370,24 @@ func RunNode(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 
 		cur, nxt = nxt, cur
 
+		endIter()
+		if probe != nil {
+			qlen := int64(-1)
+			if opts.WorkQueue {
+				qlen = int64(len(active))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:    telemetry.KindIteration,
+				Engine:  engNode,
+				Iter:    int32(iter + 1),
+				Delta:   sum,
+				Updated: int64(n),
+				Edges:   edgesThisIter,
+				Active:  qlen,
+				Items:   int64(g.NumNodes),
+			})
+		}
+
 		if (iter+1)%opts.Batch == 0 || iter+1 == opts.MaxIterations {
 			dev.CopyToHost(4)
 			if sum < opts.Threshold || (opts.WorkQueue && len(active) == 0) {
@@ -352,6 +401,8 @@ func RunNode(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 	dev.CopyToHost(int64(len(g.Beliefs)) * 4)
 	res.SimTime = dev.SimTime()
 	res.DeviceStats = dev.Stats()
+	emitRunEnd(probe, engNode, &res.Result)
+	endTask()
 	return res, nil
 }
 

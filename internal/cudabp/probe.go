@@ -1,0 +1,43 @@
+package cudabp
+
+import (
+	"credo/internal/bp"
+	"credo/internal/telemetry"
+)
+
+// Engine names as they appear in telemetry events.
+const (
+	engNode = "cuda.node"
+	engEdge = "cuda.edge"
+)
+
+// Probe events fire once per simulated iteration. On a real device the
+// per-iteration residual lives in VRAM between batch transfers; the
+// simulation computes it host-side every iteration anyway, so the
+// trace reports the series a device-side ring buffer would hold.
+func emitRunStart(probe telemetry.Probe, engine string, items int64, threshold float32) {
+	if probe == nil {
+		return
+	}
+	probe.Emit(telemetry.Event{
+		Kind:      telemetry.KindRunStart,
+		Engine:    engine,
+		Items:     items,
+		Threshold: threshold,
+	})
+}
+
+func emitRunEnd(probe telemetry.Probe, engine string, res *bp.Result) {
+	if probe == nil {
+		return
+	}
+	probe.Emit(telemetry.Event{
+		Kind:      telemetry.KindRunEnd,
+		Engine:    engine,
+		Iter:      int32(res.Iterations),
+		Delta:     res.FinalDelta,
+		Converged: res.Converged,
+		Updated:   res.Ops.NodesProcessed,
+		Edges:     res.Ops.EdgesProcessed,
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"credo/internal/bp"
 	"credo/internal/graph"
 	"credo/internal/kernel"
+	"credo/internal/telemetry"
 )
 
 // Schedule selects the OpenMP-style loop schedule.
@@ -156,9 +157,15 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 		res.Ops.QueuePushes += int64(g.NumNodes)
 	}
 
+	probe := o.Probe
+	ctx, endTask := telemetry.BeginRun(engNode)
+	emitRunStart(probe, engNode, int64(g.NumNodes), o.Threshold)
+	var lastNodes, lastEdges int64
+
 	for iter := 0; iter < o.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 		copy(prev, g.Beliefs)
 		for w := range partial {
 			partial[w] = 0
@@ -213,6 +220,32 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 			active = next
 		}
 
+		endIter()
+		if probe != nil {
+			nodes, edges := nodesProcessed.Load(), edgesProcessed.Load()
+			var fast, resc int64
+			for w := range kss {
+				fast += kss[w].Counters.FastPath
+				resc += kss[w].Counters.Rescales
+			}
+			qlen := int64(-1)
+			if o.WorkQueue {
+				qlen = int64(len(active))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:     telemetry.KindIteration,
+				Engine:   engNode,
+				Iter:     int32(iter + 1),
+				Delta:    sum,
+				Updated:  nodes - lastNodes,
+				Edges:    edges - lastEdges,
+				Active:   qlen,
+				Items:    int64(g.NumNodes),
+				FastPath: fast,
+				Rescales: resc,
+			})
+			lastNodes, lastEdges = nodes, edges
+		}
 		if sum < o.Threshold || (o.WorkQueue && len(active) == 0) {
 			res.Converged = true
 			break
@@ -229,6 +262,8 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 		res.Ops.KernelFastPath += kss[w].Counters.FastPath
 		res.Ops.RescaleOps += kss[w].Counters.Rescales
 	}
+	emitRunEnd(probe, engNode, &res)
+	endTask()
 	return res
 }
 
@@ -283,9 +318,15 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 		res.Ops.QueuePushes += int64(g.NumEdges)
 	}
 
+	probe := o.Probe
+	ctx, endTask := telemetry.BeginRun(engEdge)
+	emitRunStart(probe, engEdge, int64(g.NumEdges), o.Threshold)
+	var lastEdges int64
+
 	for iter := 0; iter < o.MaxIterations; iter++ {
 		res.Iterations = iter + 1
 		res.Ops.Iterations++
+		endIter := telemetry.StartRegion(ctx, "iteration")
 		copy(prev, g.Beliefs)
 
 		// Edge phase: recompute messages and atomically fold the change
@@ -359,6 +400,26 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 			active = next
 		}
 
+		endIter()
+		if probe != nil {
+			edges := edgesProcessed.Load()
+			qlen := int64(-1)
+			if o.WorkQueue {
+				qlen = int64(len(active))
+			}
+			probe.Emit(telemetry.Event{
+				Kind:   telemetry.KindIteration,
+				Engine: engEdge,
+				Iter:   int32(iter + 1),
+				Delta:  sum,
+				// Every iteration's combine phase touches every node.
+				Updated: int64(g.NumNodes),
+				Edges:   edges - lastEdges,
+				Active:  qlen,
+				Items:   int64(g.NumEdges),
+			})
+			lastEdges = edges
+		}
 		if sum < o.Threshold || (o.WorkQueue && len(active) == 0) {
 			res.Converged = true
 			break
@@ -371,5 +432,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	res.Ops.MemLoads = res.Ops.EdgesProcessed*int64(2*s) + res.Ops.NodesProcessed*int64(3*s)
 	res.Ops.MemStores = res.Ops.EdgesProcessed*int64(2*s) + res.Ops.NodesProcessed*int64(s)
 	res.Ops.LogOps = res.Ops.EdgesProcessed*int64(2*s) + res.Ops.NodesProcessed*int64(s)
+	emitRunEnd(probe, engEdge, &res)
+	endTask()
 	return res
 }

@@ -1,0 +1,43 @@
+package ompbp
+
+import (
+	"credo/internal/bp"
+	"credo/internal/telemetry"
+)
+
+// Engine names as they appear in telemetry events.
+const (
+	engNode = "omp.node"
+	engEdge = "omp.edge"
+)
+
+// emitRunStart and emitRunEnd frame one engine execution; both are
+// nil-safe so the disabled path never builds an event.
+func emitRunStart(probe telemetry.Probe, engine string, items int64, threshold float32) {
+	if probe == nil {
+		return
+	}
+	probe.Emit(telemetry.Event{
+		Kind:      telemetry.KindRunStart,
+		Engine:    engine,
+		Items:     items,
+		Threshold: threshold,
+	})
+}
+
+func emitRunEnd(probe telemetry.Probe, engine string, res *bp.Result) {
+	if probe == nil {
+		return
+	}
+	probe.Emit(telemetry.Event{
+		Kind:      telemetry.KindRunEnd,
+		Engine:    engine,
+		Iter:      int32(res.Iterations),
+		Delta:     res.FinalDelta,
+		Converged: res.Converged,
+		Updated:   res.Ops.NodesProcessed,
+		Edges:     res.Ops.EdgesProcessed,
+		FastPath:  res.Ops.KernelFastPath,
+		Rescales:  res.Ops.RescaleOps,
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
 	"credo/internal/ompbp"
+	"credo/internal/telemetry"
 )
 
 // DefaultCheckEvery is the convergence-check batching factor: the global
@@ -133,7 +134,7 @@ func initialShardLists(items, shards int) [][]int32 {
 // independent of the worker count. The returned func runs one rebuild and
 // reports the total number of active items; building the region body once
 // per run keeps the sweep loop allocation-free.
-func newShardRebuilder(p *pool, cursor *atomic.Int64, lists [][]int32, mark []uint32, items, shards int, workerOps []bp.OpCounts) func() int {
+func newShardRebuilder(run func(func(int)), cursor *atomic.Int64, lists [][]int32, mark []uint32, items, shards int, workerOps []bp.OpCounts) func() int {
 	body := func(w int) {
 		ops := &workerOps[w]
 		for {
@@ -157,7 +158,7 @@ func newShardRebuilder(p *pool, cursor *atomic.Int64, lists [][]int32, mark []ui
 	}
 	return func() int {
 		cursor.Store(0)
-		p.run(body)
+		run(body)
 		total := 0
 		for _, lst := range lists {
 			total += len(lst)
@@ -209,11 +210,17 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 		res.Ops.QueuePushes += int64(g.NumNodes)
 	}
 
+	probe := o.Probe
+	ctx, endTask := telemetry.BeginRun(engNode)
+	emitRunStart(probe, engNode, int64(g.NumNodes), o.Threshold)
+
 	p := newPool(workers)
 	defer p.close()
+	rr := newRegionRunner(p, workers, probe != nil)
 	var cursor atomic.Int64
 	totalActive := g.NumNodes
-	rebuild := newShardRebuilder(p, &cursor, activeNodes, mark, g.NumNodes, shards, workerOps)
+	rebuild := newShardRebuilder(rr.run, &cursor, activeNodes, mark, g.NumNodes, shards, workerOps)
+	var lastNodes, lastEdges int64
 
 	// Compute region: workers claim shards; a shard first carries its
 	// belief range into the next buffer, then recomputes its active nodes
@@ -273,11 +280,15 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 		}
 
 		cursor.Store(0)
-		p.run(computeBody)
+		endCompute := telemetry.StartRegion(ctx, "compute")
+		rr.run(computeBody)
+		endCompute()
 		res.Ops.SyncOps += int64(workers)
 
 		if o.WorkQueue {
+			endRebuild := telemetry.StartRegion(ctx, "rebuild")
 			totalActive = rebuild()
+			endRebuild()
 			res.Ops.SyncOps += int64(workers)
 		}
 
@@ -293,6 +304,34 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 			res.FinalDelta = sum
 			if o.RecordDeltas {
 				res.Deltas = append(res.Deltas, sum)
+			}
+			// Check boundary: the workers are parked at the pool barrier,
+			// so the per-worker counters are quiescent and safe to reduce.
+			if probe != nil {
+				var nodes, edges, fast, resc int64
+				for w := range workerOps {
+					nodes += workerOps[w].NodesProcessed
+					edges += workerOps[w].EdgesProcessed
+					fast += ks[w].Counters.FastPath
+					resc += ks[w].Counters.Rescales
+				}
+				active := int64(-1)
+				if o.WorkQueue {
+					active = int64(totalActive)
+				}
+				probe.Emit(telemetry.Event{
+					Kind:     telemetry.KindIteration,
+					Engine:   engNode,
+					Iter:     int32(sweep + 1),
+					Delta:    sum,
+					Updated:  nodes - lastNodes,
+					Edges:    edges - lastEdges,
+					Active:   active,
+					Items:    int64(g.NumNodes),
+					FastPath: fast,
+					Rescales: resc,
+				})
+				lastNodes, lastEdges = nodes, edges
 			}
 			if sum < o.Threshold || exhausted {
 				res.Converged = true
@@ -311,6 +350,9 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 		res.Ops.KernelFastPath += ks[w].Counters.FastPath
 		res.Ops.RescaleOps += ks[w].Counters.Rescales
 	}
+	rr.emitWorkers(probe, engNode)
+	emitRunEnd(probe, engNode, &res)
+	endTask()
 	return res
 }
 
@@ -368,11 +410,17 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 		res.Ops.QueuePushes += int64(g.NumEdges)
 	}
 
+	probe := o.Probe
+	ctx, endTask := telemetry.BeginRun(engEdge)
+	emitRunStart(probe, engEdge, int64(g.NumEdges), o.Threshold)
+
 	p := newPool(workers)
 	defer p.close()
+	rr := newRegionRunner(p, workers, probe != nil)
 	var cursor atomic.Int64
 	totalActive := g.NumEdges
-	rebuild := newShardRebuilder(p, &cursor, activeEdges, mark, g.NumEdges, eShards, workerOps)
+	rebuild := newShardRebuilder(rr.run, &cursor, activeEdges, mark, g.NumEdges, eShards, workerOps)
+	var lastNodes, lastEdges int64
 
 	// Edge region: recompute active messages through the kernel and CAS
 	// the log-domain change into the destination accumulators. LogOps
@@ -463,15 +511,21 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 		}
 
 		cursor.Store(0)
-		p.run(edgeBody)
+		endEdges := telemetry.StartRegion(ctx, "edges")
+		rr.run(edgeBody)
+		endEdges()
 		res.Ops.SyncOps += int64(workers)
 
 		cursor.Store(0)
-		p.run(combineBody)
+		endCombine := telemetry.StartRegion(ctx, "combine")
+		rr.run(combineBody)
+		endCombine()
 		res.Ops.SyncOps += int64(workers)
 
 		if o.WorkQueue {
+			endRebuild := telemetry.StartRegion(ctx, "rebuild")
 			totalActive = rebuild()
+			endRebuild()
 			res.Ops.SyncOps += int64(workers)
 		}
 
@@ -485,6 +539,28 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 			if o.RecordDeltas {
 				res.Deltas = append(res.Deltas, sum)
 			}
+			if probe != nil {
+				var nodes, edges int64
+				for w := range workerOps {
+					nodes += workerOps[w].NodesProcessed
+					edges += workerOps[w].EdgesProcessed
+				}
+				active := int64(-1)
+				if o.WorkQueue {
+					active = int64(totalActive)
+				}
+				probe.Emit(telemetry.Event{
+					Kind:    telemetry.KindIteration,
+					Engine:  engEdge,
+					Iter:    int32(sweep + 1),
+					Delta:   sum,
+					Updated: nodes - lastNodes,
+					Edges:   edges - lastEdges,
+					Active:  active,
+					Items:   int64(g.NumEdges),
+				})
+				lastNodes, lastEdges = nodes, edges
+			}
 			if sum < o.Threshold || exhausted {
 				res.Converged = true
 				break
@@ -495,5 +571,8 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	for _, ops := range workerOps {
 		res.Ops.Add(ops)
 	}
+	rr.emitWorkers(probe, engEdge)
+	emitRunEnd(probe, engEdge, &res)
+	endTask()
 	return res
 }

@@ -5,8 +5,6 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
-
-	"credo/internal/bp"
 )
 
 // entry is one pending update in the relaxed scheduler: a node, the
@@ -120,20 +118,22 @@ func newMultiQueue(q int) *multiQueue {
 	return mq
 }
 
-// lock acquires q's mutex, counting a contention event when the fast
-// TryLock misses and the caller has to wait.
-func (mq *multiQueue) lock(q *pqueue, ops *bp.OpCounts) {
+// lock acquires q's mutex, counting a contention event on the shared
+// live counter when the fast TryLock misses and the caller has to wait.
+// The counter is the same atomic the probes and the final OpCounts read,
+// so contention accounting has one source of truth.
+func (mq *multiQueue) lock(q *pqueue, contention *atomic.Int64) {
 	if q.mu.TryLock() {
 		return
 	}
-	ops.QueueContention++
+	contention.Add(1)
 	q.mu.Lock()
 }
 
 // push inserts e into a uniformly random shard.
-func (mq *multiQueue) push(rng *rand.Rand, e entry, ops *bp.OpCounts) {
+func (mq *multiQueue) push(rng *rand.Rand, e entry, contention *atomic.Int64) {
 	q := &mq.queues[rng.Intn(len(mq.queues))]
-	mq.lock(q, ops)
+	mq.lock(q, contention)
 	q.pushLocked(e)
 	q.mu.Unlock()
 }
@@ -142,7 +142,7 @@ func (mq *multiQueue) push(rng *rand.Rand, e entry, ops *bp.OpCounts) {
 // larger, and falls back to a full scan when the sampled shards are
 // empty (which matters only near the drain, when spread entries must
 // still be found). Returns false when every shard is empty.
-func (mq *multiQueue) pop(rng *rand.Rand, ops *bp.OpCounts) (entry, bool) {
+func (mq *multiQueue) pop(rng *rand.Rand, contention *atomic.Int64) (entry, bool) {
 	n := len(mq.queues)
 	if n > 1 {
 		i := rng.Intn(n)
@@ -153,14 +153,14 @@ func (mq *multiQueue) pop(rng *rand.Rand, ops *bp.OpCounts) (entry, bool) {
 		if mq.queues[j].peekTop() > mq.queues[i].peekTop() {
 			i = j
 		}
-		if e, ok := mq.tryPopFrom(&mq.queues[i], ops); ok {
+		if e, ok := mq.tryPopFrom(&mq.queues[i], contention); ok {
 			return e, true
 		}
 	}
 	// Sampled shards were empty (or raced to empty): scan every shard
 	// once so pending work cannot hide from the sampler.
 	for k := range mq.queues {
-		if e, ok := mq.tryPopFrom(&mq.queues[k], ops); ok {
+		if e, ok := mq.tryPopFrom(&mq.queues[k], contention); ok {
 			return e, true
 		}
 	}
@@ -168,11 +168,11 @@ func (mq *multiQueue) pop(rng *rand.Rand, ops *bp.OpCounts) (entry, bool) {
 }
 
 // tryPopFrom pops q's max entry, or returns false when q is empty.
-func (mq *multiQueue) tryPopFrom(q *pqueue, ops *bp.OpCounts) (entry, bool) {
+func (mq *multiQueue) tryPopFrom(q *pqueue, contention *atomic.Int64) (entry, bool) {
 	if q.peekTop() == emptyTop {
 		return entry{}, false
 	}
-	mq.lock(q, ops)
+	mq.lock(q, contention)
 	if len(q.heap) == 0 {
 		q.mu.Unlock()
 		return entry{}, false
@@ -180,6 +180,20 @@ func (mq *multiQueue) tryPopFrom(q *pqueue, ops *bp.OpCounts) (entry, bool) {
 	e := q.popLocked()
 	q.mu.Unlock()
 	return e, true
+}
+
+// maxTop returns the largest cached shard top — a lock-free estimate of
+// the largest pending residual, emptyTop when every shard is empty. It
+// reads Q atomics and is what the telemetry batch events report as the
+// current residual bound.
+func (mq *multiQueue) maxTop() float32 {
+	top := emptyTop
+	for i := range mq.queues {
+		if t := mq.queues[i].peekTop(); t > top {
+			top = t
+		}
+	}
+	return top
 }
 
 // size returns the total number of queued entries (stale included). It

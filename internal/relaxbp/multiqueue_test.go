@@ -5,7 +5,7 @@ import (
 	"sort"
 	"testing"
 
-	"credo/internal/bp"
+	"sync/atomic"
 )
 
 // TestSingleShardExactOrder: with one shard the MultiQueue degenerates to
@@ -13,7 +13,7 @@ import (
 func TestSingleShardExactOrder(t *testing.T) {
 	mq := newMultiQueue(1)
 	rng := rand.New(rand.NewSource(42))
-	var ops bp.OpCounts
+	var ops atomic.Int64
 	const n = 1000
 	for i := 0; i < n; i++ {
 		mq.push(rng, entry{node: int32(i), seq: 1, prio: rng.Float32() * 2}, &ops)
@@ -41,7 +41,7 @@ func TestMultiQueueNoItemLost(t *testing.T) {
 	for _, shards := range []int{2, 8, 16} {
 		mq := newMultiQueue(shards)
 		rng := rand.New(rand.NewSource(7))
-		var ops bp.OpCounts
+		var ops atomic.Int64
 		const n = 2000
 		pushed := make(map[entry]int, n)
 		for i := 0; i < n; i++ {
@@ -84,7 +84,7 @@ func TestMultiQueueRelaxationBound(t *testing.T) {
 	const shards = 8
 	mq := newMultiQueue(shards)
 	rng := rand.New(rand.NewSource(33))
-	var ops bp.OpCounts
+	var ops atomic.Int64
 	const n = 4000
 	remaining := make([]float32, 0, n)
 	for i := 0; i < n; i++ {
@@ -184,7 +184,7 @@ func TestMultiQueueConcurrentDrain(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			rng := rand.New(rand.NewSource(int64(w)))
-			var ops bp.OpCounts
+			var ops atomic.Int64
 			for i := 0; i < perW; i++ {
 				mq.push(rng, entry{node: int32(w), seq: uint32(i), prio: rng.Float32()}, &ops)
 				if i%2 == 1 {
@@ -204,7 +204,7 @@ func TestMultiQueueConcurrentDrain(t *testing.T) {
 	}
 	// Half were popped concurrently; drain the rest single-threaded.
 	rng := rand.New(rand.NewSource(99))
-	var ops bp.OpCounts
+	var ops atomic.Int64
 	for {
 		e, ok := mq.pop(rng, &ops)
 		if !ok {

@@ -52,7 +52,11 @@ import (
 	"credo/internal/graph"
 	"credo/internal/kernel"
 	"credo/internal/poolbp"
+	"credo/internal/telemetry"
 )
+
+// engineName is how this engine identifies itself in telemetry events.
+const engineName = "relax"
 
 // DefaultQueueFactor is c in the MultiQueue's c·P shard count. Two is
 // the standard choice: enough slack to keep sampled shards distinct,
@@ -142,19 +146,40 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 	var capped atomic.Bool
 	maxUpdates := int64(opts.MaxIterations) * int64(g.NumNodes)
 
+	// Live scheduler counters, shared across workers. These atomics are
+	// the single source of truth for the relaxation cost: workers account
+	// into them directly, the probe's batch events read them mid-flight,
+	// and the final OpCounts is populated from the same values — there is
+	// no per-worker copy for the reported totals to drift from.
+	var staleDrops, wastedUpdates, contention atomic.Int64
+
+	probe := opts.Probe
+	ctx, endTask := telemetry.BeginRun(engineName)
+	if probe != nil {
+		probe.Emit(telemetry.Event{
+			Kind:      telemetry.KindRunStart,
+			Engine:    engineName,
+			Items:     int64(g.NumNodes),
+			Threshold: opts.Threshold,
+		})
+	}
+	batch := int64(g.NumNodes)
+
 	// Initial population, serial and seed-deterministic: every
 	// unobserved node with inputs enters at the maximum residual so its
 	// first pop computes its true one.
+	endSeed := telemetry.StartRegion(ctx, "seed")
 	initRng := rand.New(rand.NewSource(opts.Seed))
 	for v := int32(0); v < int32(g.NumNodes); v++ {
 		if g.Observed[v] || g.InDegree(v) == 0 {
 			continue
 		}
 		seq[v] = 1
-		mq.push(initRng, entry{node: v, seq: 1, prio: maxResidual}, &res.Ops)
+		mq.push(initRng, entry{node: v, seq: 1, prio: maxResidual}, &contention)
 		res.Ops.QueuePushes++
 		live.Add(1)
 	}
+	endSeed()
 
 	workerOps := make([]bp.OpCounts, workers)
 	lastApplied := make([]float32, workers) // residual of the worker's last applied update
@@ -169,6 +194,7 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 	team := poolbp.NewTeam(workers)
 	defer team.Close()
 
+	endSched := telemetry.StartRegion(ctx, "schedule")
 	team.Run(func(w int) {
 		ops := &workerOps[w]
 		ks := &kss[w]
@@ -207,7 +233,7 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 			if capped.Load() {
 				return
 			}
-			e, ok := mq.pop(rng, ops)
+			e, ok := mq.pop(rng, &contention)
 			if !ok {
 				if live.Load() == 0 {
 					return
@@ -218,7 +244,7 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 			if atomic.LoadUint32(&seq[e.node]) != e.seq {
 				// A newer push superseded this entry; the current one is
 				// still queued and will carry the node's update.
-				ops.StaleDrops++
+				staleDrops.Add(1)
 				live.Add(-1)
 				continue
 			}
@@ -229,7 +255,7 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 			// Serialize writers on v so the stored belief is always one
 			// consistent normalized candidate.
 			for !atomic.CompareAndSwapUint32(&writing[v], 0, 1) {
-				ops.QueueContention++
+				contention.Add(1)
 				runtime.Gosched()
 			}
 			loadBelief(cur, v)
@@ -238,7 +264,7 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 				atomic.StoreUint32(&writing[v], 0)
 				// The estimate that scheduled this pop overstated the
 				// node's movement — already converged, nothing to apply.
-				ops.WastedUpdates++
+				wastedUpdates.Add(1)
 				if r > maxPending[w] {
 					maxPending[w] = r
 				}
@@ -257,7 +283,30 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 			if opts.Trace != nil && workers == 1 {
 				*opts.Trace = append(*opts.Trace, v)
 			}
-			if updates.Add(1) >= maxUpdates {
+			n := updates.Add(1)
+			// Sweep-equivalent batch boundary: every NumNodes applied
+			// updates one worker reports the live scheduler state — queue
+			// depth, in-flight count, and the relaxation-cost counters the
+			// probes share with the final OpCounts.
+			if probe != nil && n%batch == 0 {
+				d := mq.maxTop()
+				if d < 0 {
+					d = 0
+				}
+				probe.Emit(telemetry.Event{
+					Kind:       telemetry.KindIteration,
+					Engine:     engineName,
+					Iter:       int32(n / batch),
+					Delta:      d,
+					Updated:    batch,
+					Active:     live.Load(),
+					Items:      int64(g.NumNodes),
+					StaleDrops: staleDrops.Load(),
+					Wasted:     wastedUpdates.Load(),
+					Contention: contention.Load(),
+				})
+			}
+			if n >= maxUpdates {
 				capped.Store(true)
 				return
 			}
@@ -275,12 +324,13 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 				}
 				ns := atomic.AddUint32(&seq[dst], 1)
 				live.Add(1)
-				mq.push(rng, entry{node: dst, seq: ns, prio: r}, ops)
+				mq.push(rng, entry{node: dst, seq: ns, prio: r}, &contention)
 				ops.QueuePushes++
 			}
 			live.Add(-1)
 		}
 	})
+	endSched()
 	res.Ops.SyncOps += int64(workers)
 
 	// Publish the final beliefs. The team barrier ordered all worker
@@ -305,10 +355,34 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 			res.FinalDelta = lastApplied[w]
 		}
 	}
+	// The relaxation-cost counters come straight from the shared live
+	// atomics the workers accounted into (and the probes observed) — the
+	// per-worker OpCounts no longer carry them, so there is exactly one
+	// set of numbers.
+	res.Ops.StaleDrops = staleDrops.Load()
+	res.Ops.WastedUpdates = wastedUpdates.Load()
+	res.Ops.QueueContention = contention.Load()
 	res.Iterations = int((applied + int64(g.NumNodes) - 1) / int64(g.NumNodes))
 	if res.Iterations == 0 && applied > 0 {
 		res.Iterations = 1
 	}
 	res.Ops.Iterations = int64(res.Iterations)
+	if probe != nil {
+		probe.Emit(telemetry.Event{
+			Kind:       telemetry.KindRunEnd,
+			Engine:     engineName,
+			Iter:       int32(res.Iterations),
+			Delta:      res.FinalDelta,
+			Converged:  res.Converged,
+			Updated:    res.Ops.NodesProcessed,
+			Edges:      res.Ops.EdgesProcessed,
+			StaleDrops: res.Ops.StaleDrops,
+			Wasted:     res.Ops.WastedUpdates,
+			Contention: res.Ops.QueueContention,
+			FastPath:   res.Ops.KernelFastPath,
+			Rescales:   res.Ops.RescaleOps,
+		})
+	}
+	endTask()
 	return res
 }

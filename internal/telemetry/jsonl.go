@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// JSONLWriter streams every event as one JSON object per line — the
+// event-stream format of the -trace-out flag. Encoding is hand-rolled
+// with strconv appenders into a reused buffer (encoding/json's
+// reflection would allocate per event), and writes go through a
+// bufio.Writer that is flushed on every KindRunEnd so the file is
+// complete the moment a run finishes. Safe for concurrent emission.
+type JSONLWriter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	buf   []byte
+	seq   int64
+	start time.Time
+}
+
+// NewJSONLWriter returns a writer streaming onto w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// Emit implements Probe.
+func (j *JSONLWriter) Emit(e Event) {
+	j.mu.Lock()
+	j.seq++
+	b := j.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, j.seq, 10)
+	b = append(b, `,"t_ns":`...)
+	b = strconv.AppendInt(b, time.Since(j.start).Nanoseconds(), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","engine":"`...)
+	b = append(b, e.Engine...) // engine names are plain identifiers, no escaping needed
+	b = append(b, '"')
+	switch e.Kind {
+	case KindRunStart:
+		b = appendInt(b, "items", e.Items)
+		b = appendFloat(b, "threshold", e.Threshold)
+	case KindIteration:
+		b = appendInt(b, "iter", int64(e.Iter))
+		b = appendFloat(b, "delta", e.Delta)
+		b = appendInt(b, "updated", e.Updated)
+		b = appendInt(b, "edges", e.Edges)
+		if e.Active >= 0 {
+			b = appendInt(b, "active", e.Active)
+		}
+		b = appendInt(b, "items", e.Items)
+		if e.StaleDrops != 0 || e.Wasted != 0 || e.Contention != 0 {
+			b = appendInt(b, "stale_drops", e.StaleDrops)
+			b = appendInt(b, "wasted_updates", e.Wasted)
+			b = appendInt(b, "queue_contention", e.Contention)
+		}
+		if e.FastPath != 0 || e.Rescales != 0 {
+			b = appendInt(b, "kernel_fast_path", e.FastPath)
+			b = appendInt(b, "kernel_rescales", e.Rescales)
+		}
+	case KindRunEnd:
+		b = appendInt(b, "iter", int64(e.Iter))
+		b = appendFloat(b, "delta", e.Delta)
+		b = appendInt(b, "updated", e.Updated)
+		b = appendInt(b, "edges", e.Edges)
+		b = append(b, `,"converged":`...)
+		b = strconv.AppendBool(b, e.Converged)
+		if e.StaleDrops != 0 || e.Wasted != 0 || e.Contention != 0 {
+			b = appendInt(b, "stale_drops", e.StaleDrops)
+			b = appendInt(b, "wasted_updates", e.Wasted)
+			b = appendInt(b, "queue_contention", e.Contention)
+		}
+	case KindWorker:
+		b = appendInt(b, "worker", int64(e.Worker))
+		b = appendInt(b, "busy_ns", e.BusyNs)
+		b = appendInt(b, "wall_ns", e.WallNs)
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	j.w.Write(b)
+	if e.Kind == KindRunEnd {
+		j.w.Flush()
+	}
+	j.mu.Unlock()
+}
+
+// Flush forces any buffered lines onto the underlying writer.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Flush()
+}
+
+func appendInt(b []byte, key string, v int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendFloat(b []byte, key string, v float32) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendFloat(b, float64(v), 'g', -1, 32)
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONLWellFormed checks the hand-rolled encoder against the real
+// JSON parser: every line of every event kind must round-trip.
+func TestJSONLWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Emit(Event{Kind: KindRunStart, Engine: "bp.node", Items: 100, Threshold: 0.001})
+	w.Emit(Event{Kind: KindIteration, Engine: "bp.node", Iter: 1, Delta: 1.6836238,
+		Updated: 100, Edges: 400, Active: 73, Items: 100})
+	w.Emit(Event{Kind: KindIteration, Engine: "relax", Iter: 2, Delta: 0.25,
+		Updated: 100, Active: 12, Items: 100, StaleDrops: 40, Wasted: 9, Contention: 3})
+	w.Emit(Event{Kind: KindIteration, Engine: "bp.edge", Iter: 3, Delta: 0.1,
+		Updated: 100, Edges: 400, Active: -1, Items: 400, FastPath: 350, Rescales: 2})
+	w.Emit(Event{Kind: KindWorker, Engine: "pool.node", Worker: 3, BusyNs: 900, WallNs: 1000})
+	w.Emit(Event{Kind: KindRunEnd, Engine: "bp.node", Iter: 20, Delta: 0.0009,
+		Converged: true, Updated: 2000, Edges: 8000})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	var decoded []map[string]any
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		decoded = append(decoded, m)
+	}
+
+	// Sequence numbers are monotonically increasing from 1.
+	for i, m := range decoded {
+		if int(m["seq"].(float64)) != i+1 {
+			t.Errorf("line %d: seq = %v, want %d", i+1, m["seq"], i+1)
+		}
+	}
+	if decoded[0]["kind"] != "run_start" || decoded[0]["threshold"].(float64) != 0.001 {
+		t.Errorf("run_start line wrong: %v", decoded[0])
+	}
+	if decoded[1]["active"].(float64) != 73 {
+		t.Errorf("iteration line lost active: %v", decoded[1])
+	}
+	if decoded[2]["stale_drops"].(float64) != 40 || decoded[2]["queue_contention"].(float64) != 3 {
+		t.Errorf("relax counters missing: %v", decoded[2])
+	}
+	if _, ok := decoded[3]["active"]; ok {
+		t.Errorf("active=-1 (no queue) must be omitted, not encoded: %v", decoded[3])
+	}
+	if decoded[3]["kernel_fast_path"].(float64) != 350 {
+		t.Errorf("kernel counters missing: %v", decoded[3])
+	}
+	if decoded[4]["kind"] != "worker" || decoded[4]["busy_ns"].(float64) != 900 {
+		t.Errorf("worker line wrong: %v", decoded[4])
+	}
+	if decoded[5]["converged"] != true {
+		t.Errorf("run_end line wrong: %v", decoded[5])
+	}
+}
+
+// TestJSONLFlushOnRunEnd asserts the file is complete the moment a run
+// finishes, without an explicit Flush.
+func TestJSONLFlushOnRunEnd(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Emit(Event{Kind: KindIteration, Engine: "bp.node", Iter: 1, Delta: 1})
+	w.Emit(Event{Kind: KindRunEnd, Engine: "bp.node", Iter: 1, Delta: 1, Converged: true})
+	if got := buf.String(); !strings.Contains(got, "run_end") {
+		t.Errorf("run_end must flush the stream, buffer holds only:\n%q", got)
+	}
+}
+
+// TestJSONLFloatPrecision locks float32 round-tripping: the residual
+// written must parse back to the exact float32 the engine reported.
+func TestJSONLFloatPrecision(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	const delta = float32(1.6836238)
+	w.Emit(Event{Kind: KindIteration, Engine: "bp.node", Iter: 1, Delta: delta})
+	w.Flush()
+	var m struct {
+		Delta float64 `json:"delta"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if float32(m.Delta) != delta {
+		t.Errorf("delta round-trip %v != %v", m.Delta, delta)
+	}
+}

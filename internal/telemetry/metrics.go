@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the live-export sink: a fixed set of counters and gauges
+// updated atomically on every event and rendered on demand as a
+// Prometheus-style text exposition (WriteText / Handler) or an expvar
+// map. Attach one probe per process and scrape it from the -http
+// endpoint while a long run is in flight.
+type Metrics struct {
+	runs       atomic.Int64  // completed runs (KindRunEnd)
+	converged  atomic.Int64  // completed runs that converged
+	iterations atomic.Int64  // iteration/batch boundaries observed
+	updated    atomic.Int64  // node belief updates
+	edges      atomic.Int64  // edge message computations
+	staleDrops atomic.Int64  // relaxed-queue entries superseded before pop
+	wasted     atomic.Int64  // relaxed-queue pops below threshold
+	contention atomic.Int64  // failed TryLock acquisitions
+	fastPath   atomic.Int64  // kernel linear fast-path folds
+	rescales   atomic.Int64  // kernel max-rescales
+	lastDelta  atomic.Uint64 // float64 bits of the last residual norm
+	lastActive atomic.Int64  // last frontier/queue occupancy (-1 unknown)
+	lastItems  atomic.Int64  // last item-space size
+
+	mu         sync.Mutex
+	lastEngine string
+}
+
+// Emit implements Probe.
+func (m *Metrics) Emit(e Event) {
+	switch e.Kind {
+	case KindRunStart:
+		m.mu.Lock()
+		m.lastEngine = e.Engine
+		m.mu.Unlock()
+		m.lastItems.Store(e.Items)
+	case KindIteration:
+		m.iterations.Add(1)
+		// Iteration events carry per-boundary increments for Updated and
+		// Edges (the Event contract), so summing them yields run totals;
+		// the relaxed/kernel counter groups arrive as running totals and
+		// go through storeMax instead.
+		if e.Updated > 0 {
+			m.updated.Add(e.Updated)
+		}
+		if e.Edges > 0 {
+			m.edges.Add(e.Edges)
+		}
+		m.lastDelta.Store(math.Float64bits(float64(e.Delta)))
+		m.lastActive.Store(e.Active)
+		if e.Items > 0 {
+			m.lastItems.Store(e.Items)
+		}
+		m.storeMax(&m.staleDrops, e.StaleDrops)
+		m.storeMax(&m.wasted, e.Wasted)
+		m.storeMax(&m.contention, e.Contention)
+		m.storeMax(&m.fastPath, e.FastPath)
+		m.storeMax(&m.rescales, e.Rescales)
+	case KindRunEnd:
+		m.runs.Add(1)
+		if e.Converged {
+			m.converged.Add(1)
+		}
+		m.lastDelta.Store(math.Float64bits(float64(e.Delta)))
+		m.storeMax(&m.staleDrops, e.StaleDrops)
+		m.storeMax(&m.wasted, e.Wasted)
+		m.storeMax(&m.contention, e.Contention)
+	}
+}
+
+// storeMax raises c to v when v is larger — cumulative counter groups
+// arrive as running totals, so the largest observation is the total.
+func (m *Metrics) storeMax(c *atomic.Int64, v int64) {
+	for {
+		cur := c.Load()
+		if v <= cur || c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// WriteText renders the Prometheus text exposition format (version
+// 0.0.4: # HELP/# TYPE comments and name value lines).
+func (m *Metrics) WriteText(w io.Writer) {
+	m.mu.Lock()
+	engine := m.lastEngine
+	m.mu.Unlock()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(w, "%s %g\n", name, v)
+	}
+	counter("credo_runs_total", "Completed propagation runs.", m.runs.Load())
+	counter("credo_runs_converged_total", "Completed runs that converged.", m.converged.Load())
+	counter("credo_iterations_total", "Iteration/batch boundaries observed.", m.iterations.Load())
+	counter("credo_belief_updates_total", "Node belief updates.", m.updated.Load())
+	counter("credo_edge_messages_total", "Edge message computations.", m.edges.Load())
+	counter("credo_relax_stale_drops_total", "Relaxed-queue entries superseded before pop.", m.staleDrops.Load())
+	counter("credo_relax_wasted_updates_total", "Relaxed-queue pops recomputed below threshold.", m.wasted.Load())
+	counter("credo_queue_contention_total", "Failed TryLock acquisitions on sharded queues.", m.contention.Load())
+	counter("credo_kernel_fast_path_total", "Kernel linear fast-path folds.", m.fastPath.Load())
+	counter("credo_kernel_rescales_total", "Kernel max-rescales of linear products.", m.rescales.Load())
+	// The residual originates as a float32; format at 32-bit precision so
+	// the exposition shows 0.0008, not the widened float64 digits.
+	fmt.Fprintf(w, "# HELP credo_last_delta Global residual norm at the last boundary.\n# TYPE credo_last_delta gauge\n")
+	fmt.Fprintf(w, "credo_last_delta %s\n",
+		strconv.FormatFloat(math.Float64frombits(m.lastDelta.Load()), 'g', -1, 32))
+	gauge("credo_active_items", "Frontier/queue occupancy at the last boundary.", float64(m.lastActive.Load()))
+	gauge("credo_total_items", "Item-space size of the last observed run.", float64(m.lastItems.Load()))
+	if engine != "" {
+		fmt.Fprintf(w, "# HELP credo_engine_info Engine of the last observed run.\n# TYPE credo_engine_info gauge\ncredo_engine_info{engine=%q} 1\n", engine)
+	}
+}
+
+// Handler returns an http.Handler serving the text exposition.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteText(w)
+	})
+}
+
+// snapshot returns the expvar view of the metrics.
+func (m *Metrics) snapshot() any {
+	m.mu.Lock()
+	engine := m.lastEngine
+	m.mu.Unlock()
+	return map[string]any{
+		"runs":             m.runs.Load(),
+		"runs_converged":   m.converged.Load(),
+		"iterations":       m.iterations.Load(),
+		"belief_updates":   m.updated.Load(),
+		"edge_messages":    m.edges.Load(),
+		"stale_drops":      m.staleDrops.Load(),
+		"wasted_updates":   m.wasted.Load(),
+		"queue_contention": m.contention.Load(),
+		"kernel_fast_path": m.fastPath.Load(),
+		"kernel_rescales":  m.rescales.Load(),
+		"last_delta":       math.Float64frombits(m.lastDelta.Load()),
+		"active_items":     m.lastActive.Load(),
+		"total_items":      m.lastItems.Load(),
+		"engine":           engine,
+	}
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the metrics under the "credo.telemetry" expvar
+// name (idempotent — expvar forbids duplicate names, and the process
+// has one /debug/vars namespace).
+func (m *Metrics) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("credo.telemetry", expvar.Func(m.snapshot))
+	})
+}
+
+// Server is a live telemetry endpoint: /metrics (Prometheus text),
+// /debug/vars (expvar) and /debug/pprof (runtime profiling), all from
+// the standard library.
+type Server struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewServer binds addr and returns the server ready to Start. The
+// metrics probe is published to expvar as a side effect so /debug/vars
+// carries the same numbers as /metrics.
+func NewServer(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	m.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}, nil
+}
+
+// Start serves in a background goroutine until Close.
+func (s *Server) Start() {
+	go s.srv.Serve(s.ln)
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

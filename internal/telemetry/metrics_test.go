@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// metricsStream drives one synthetic converged run into m.
+func metricsStream(m *Metrics) {
+	m.Emit(Event{Kind: KindRunStart, Engine: "relax", Items: 100, Threshold: 0.001})
+	// Iteration events carry per-boundary increments for Updated/Edges and
+	// running totals for the relaxed/kernel counter groups.
+	m.Emit(Event{Kind: KindIteration, Engine: "relax", Iter: 1, Delta: 0.9,
+		Updated: 100, Edges: 400, Active: 80, Items: 100, StaleDrops: 5, Wasted: 1})
+	m.Emit(Event{Kind: KindIteration, Engine: "relax", Iter: 2, Delta: 0.1,
+		Updated: 100, Edges: 400, Active: 10, Items: 100, StaleDrops: 12, Wasted: 4, Contention: 2})
+	m.Emit(Event{Kind: KindRunEnd, Engine: "relax", Iter: 2, Delta: 0.0008,
+		Converged: true, Updated: 200, Edges: 800, StaleDrops: 12, Wasted: 4, Contention: 2})
+}
+
+func TestMetricsAccumulation(t *testing.T) {
+	var m Metrics
+	metricsStream(&m)
+
+	var sb strings.Builder
+	m.WriteText(&sb)
+	got := sb.String()
+	for _, want := range []string{
+		"credo_runs_total 1",
+		"credo_runs_converged_total 1",
+		"credo_iterations_total 2",
+		// Incremental Updated/Edges sum to the run totals — the RunEnd
+		// cumulative copy must not be double-counted.
+		"credo_belief_updates_total 200",
+		"credo_edge_messages_total 800",
+		// Cumulative groups go through storeMax, so replaying the final
+		// totals on RunEnd leaves them unchanged.
+		"credo_relax_stale_drops_total 12",
+		"credo_relax_wasted_updates_total 4",
+		"credo_queue_contention_total 2",
+		"credo_last_delta 0.0008",
+		"credo_active_items 10",
+		"credo_total_items 100",
+		`credo_engine_info{engine="relax"} 1`,
+		"# TYPE credo_runs_total counter",
+		"# TYPE credo_last_delta gauge",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestMetricsServer(t *testing.T) {
+	var m Metrics
+	metricsStream(&m)
+	srv, err := NewServer("127.0.0.1:0", &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if got := get("/metrics"); !strings.Contains(got, "credo_runs_total 1") {
+		t.Errorf("/metrics exposition incomplete:\n%s", got)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(vars["credo.telemetry"], &snap); err != nil {
+		t.Fatalf("credo.telemetry expvar: %v", err)
+	}
+	if snap["runs"].(float64) != 1 || snap["engine"] != "relax" {
+		t.Errorf("expvar snapshot wrong: %v", snap)
+	}
+
+	if got := get("/debug/pprof/cmdline"); got == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"credo/internal/viz"
+)
+
+// trajectory is one engine's recorded convergence series.
+type trajectory struct {
+	engine    string
+	deltas    []float64
+	iters     int32
+	final     float32
+	converged bool
+	ended     bool
+	updated   int64
+	stale     int64
+	wasted    int64
+}
+
+// Trajectories folds a recorded event stream into per-engine
+// convergence series, in first-seen engine order.
+func trajectories(events []Event) []*trajectory {
+	var out []*trajectory
+	byEngine := make(map[string]*trajectory)
+	get := func(name string) *trajectory {
+		tr, ok := byEngine[name]
+		if !ok {
+			tr = &trajectory{engine: name}
+			byEngine[name] = tr
+			out = append(out, tr)
+		}
+		return tr
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindIteration:
+			tr := get(e.Engine)
+			tr.deltas = append(tr.deltas, float64(e.Delta))
+			tr.iters = e.Iter
+			tr.final = e.Delta
+			// The relaxed-queue counters arrive cumulative, so the latest
+			// observation is current even before a run_end closes the run.
+			tr.stale = e.StaleDrops
+			tr.wasted = e.Wasted
+		case KindRunEnd:
+			tr := get(e.Engine)
+			tr.iters = e.Iter
+			tr.final = e.Delta
+			tr.converged = e.Converged
+			tr.ended = true
+			if e.Updated > 0 {
+				tr.updated = e.Updated
+			}
+			tr.stale = e.StaleDrops
+			tr.wasted = e.Wasted
+		}
+	}
+	return out
+}
+
+// WriteConvergenceReport renders the recorded runs as per-engine
+// terminal sparklines of the residual trajectory (log scale — the
+// natural shape for deltas spanning decades) with the convergence
+// outcome alongside. It is the -telemetry flag's end-of-run report.
+func WriteConvergenceReport(w io.Writer, events []Event) {
+	trs := trajectories(events)
+	if len(trs) == 0 {
+		fmt.Fprintln(w, "telemetry: no iteration events recorded")
+		return
+	}
+	nameW := 0
+	for _, tr := range trs {
+		if len(tr.engine) > nameW {
+			nameW = len(tr.engine)
+		}
+	}
+	fmt.Fprintln(w, "convergence trajectories (residual per iteration, log scale):")
+	for _, tr := range trs {
+		status := "hit cap"
+		if tr.converged {
+			status = "converged"
+		} else if !tr.ended {
+			status = "running"
+		}
+		spark := viz.LogSparkline(tr.deltas)
+		if spark == "" {
+			spark = "(no iteration boundaries recorded)"
+		}
+		fmt.Fprintf(w, "  %-*s %s  %d it, Δ=%.3g, %s", nameW, tr.engine, spark, tr.iters, tr.final, status)
+		if tr.updated > 0 {
+			fmt.Fprintf(w, ", %d updates", tr.updated)
+		}
+		if tr.stale > 0 || tr.wasted > 0 {
+			fmt.Fprintf(w, ", stale=%d wasted=%d", tr.stale, tr.wasted)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// reportEvents builds a two-engine stream: one converged run with a
+// decaying residual, one still mid-flight.
+func reportEvents() []Event {
+	events := []Event{
+		{Kind: KindRunStart, Engine: "bp.node", Items: 100, Threshold: 0.001},
+	}
+	deltas := []float32{1.8, 0.9, 0.2, 0.04, 0.0008}
+	for i, d := range deltas {
+		events = append(events, Event{
+			Kind: KindIteration, Engine: "bp.node",
+			Iter: int32(i + 1), Delta: d, Updated: 100, Edges: 400,
+			Active: int64(100 - 20*i), Items: 100,
+		})
+	}
+	events = append(events,
+		Event{Kind: KindRunEnd, Engine: "bp.node", Iter: 5, Delta: 0.0008,
+			Converged: true, Updated: 500, Edges: 2000},
+		Event{Kind: KindRunStart, Engine: "relax", Items: 100, Threshold: 0.001},
+		Event{Kind: KindIteration, Engine: "relax", Iter: 1, Delta: 0.7,
+			Updated: 100, Active: 40, Items: 100, StaleDrops: 12, Wasted: 3},
+	)
+	return events
+}
+
+func TestWriteConvergenceReport(t *testing.T) {
+	var sb strings.Builder
+	WriteConvergenceReport(&sb, reportEvents())
+	got := sb.String()
+	for _, want := range []string{
+		"convergence trajectories",
+		"bp.node",
+		"5 it",
+		"converged",
+		"500 updates",
+		"relax",
+		"running",           // no run_end seen for relax
+		"stale=12 wasted=3", // relaxed-queue cost surfaces in the report
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	// The sparkline must span the full block range for a residual series
+	// spanning decades.
+	if !strings.ContainsRune(got, '█') || !strings.ContainsRune(got, '▁') {
+		t.Errorf("bp.node sparkline should reach both extremes:\n%s", got)
+	}
+}
+
+func TestWriteConvergenceReportHitCap(t *testing.T) {
+	events := []Event{
+		{Kind: KindIteration, Engine: "bp.edge", Iter: 1, Delta: 0.5},
+		{Kind: KindRunEnd, Engine: "bp.edge", Iter: 200, Delta: 0.5, Converged: false},
+	}
+	var sb strings.Builder
+	WriteConvergenceReport(&sb, events)
+	if !strings.Contains(sb.String(), "hit cap") {
+		t.Errorf("unconverged run should report hit cap:\n%s", sb.String())
+	}
+}

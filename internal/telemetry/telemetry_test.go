@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindRunStart:  "run_start",
+		KindIteration: "iteration",
+		KindRunEnd:    "run_end",
+		KindWorker:    "worker",
+		Kind(200):     "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConvergedFraction(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want float64
+	}{
+		{Event{Active: 25, Items: 100}, 0.75},
+		{Event{Active: 0, Items: 100}, 1},
+		{Event{Active: -1, Items: 100}, 0}, // no queue: no occupancy data
+		{Event{Active: 25, Items: 0}, 0},   // no denominator
+		{Event{Active: 150, Items: 100}, 0},
+	}
+	for _, c := range cases {
+		if got := c.e.ConvergedFraction(); got != c.want {
+			t.Errorf("ConvergedFraction(active=%d items=%d) = %g, want %g",
+				c.e.Active, c.e.Items, got, c.want)
+		}
+	}
+}
+
+// countingProbe records how many events it saw.
+type countingProbe struct{ n int }
+
+func (c *countingProbe) Emit(Event) { c.n++ }
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	a := &countingProbe{}
+	if got := Multi(nil, a, nil); got != Probe(a) {
+		t.Error("Multi with one live probe should return it unwrapped")
+	}
+	b := &countingProbe{}
+	m := Multi(a, nil, b)
+	m.Emit(Event{Kind: KindIteration})
+	m.Emit(Event{Kind: KindRunEnd})
+	if a.n != 2 || b.n != 2 {
+		t.Errorf("fan-out counts = %d, %d, want 2, 2", a.n, b.n)
+	}
+}
+
+func TestRecorderZeroValueAndWrap(t *testing.T) {
+	var zero Recorder
+	zero.Emit(Event{Kind: KindRunStart})
+	if zero.Len() != 1 {
+		t.Fatalf("zero-value recorder Len = %d, want 1", zero.Len())
+	}
+
+	r := NewRecorder(4)
+	for i := int32(1); i <= 6; i++ {
+		r.Emit(Event{Kind: KindIteration, Iter: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	events := r.Events()
+	for i, want := range []int32{3, 4, 5, 6} {
+		if events[i].Iter != want {
+			t.Errorf("events[%d].Iter = %d, want %d (ring must stay chronological)", i, events[i].Iter, want)
+		}
+	}
+
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("after Reset: Len=%d Dropped=%d, want 0, 0", r.Len(), r.Dropped())
+	}
+	r.Emit(Event{Kind: KindIteration, Iter: 9})
+	if got := r.Events(); len(got) != 1 || got[0].Iter != 9 {
+		t.Errorf("recorder unusable after Reset: %+v", got)
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < DefaultRecorderCapacity+10; i++ {
+		r.Emit(Event{Kind: KindIteration, Iter: int32(i)})
+	}
+	if r.Len() != DefaultRecorderCapacity {
+		t.Errorf("Len = %d, want %d", r.Len(), DefaultRecorderCapacity)
+	}
+	if r.Dropped() != 10 {
+		t.Errorf("Dropped = %d, want 10", r.Dropped())
+	}
+}
+
+func TestWriteConvergenceReportEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteConvergenceReport(&sb, nil)
+	if !strings.Contains(sb.String(), "no iteration events") {
+		t.Errorf("empty report: %q", sb.String())
+	}
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/trace"
+)
+
+// noop is the shared no-op closure returned whenever execution tracing
+// is off; returning the same func keeps the disabled path allocation
+// free.
+var noop = func() {}
+
+// BeginRun opens a runtime/trace task for one engine execution when the
+// execution tracer is active (go test -trace, or the /debug/pprof/trace
+// endpoint of the telemetry server). The returned context carries the
+// task for StartRegion; the returned func ends it. With tracing off
+// both are no-ops and nothing allocates.
+func BeginRun(engine string) (context.Context, func()) {
+	if !trace.IsEnabled() {
+		return context.Background(), noop
+	}
+	ctx, task := trace.NewTask(context.Background(), engine)
+	return ctx, task.End
+}
+
+// StartRegion opens a trace region (an engine phase: one iteration, a
+// compute region, a frontier rebuild) under the task in ctx and returns
+// the func that ends it. A no-op when tracing is off.
+func StartRegion(ctx context.Context, name string) func() {
+	if !trace.IsEnabled() {
+		return noop
+	}
+	return trace.StartRegion(ctx, name).End
+}

@@ -28,6 +28,58 @@ const (
 	barRune    = '█'
 )
 
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as one line of block characters scaled
+// linearly between the series' minimum and maximum. Empty input renders
+// as the empty string; a flat series renders at the lowest block.
+func Sparkline(values []float64) string {
+	return sparkline(values, func(v float64) (float64, bool) { return v, true })
+}
+
+// LogSparkline renders values on a log10 scale — the right shape for
+// convergence residuals, which fall across decades. Non-positive values
+// render as a space.
+func LogSparkline(values []float64) string {
+	return sparkline(values, func(v float64) (float64, bool) {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	})
+}
+
+// sparkline maps each value through scale and renders the in-domain
+// points across the eight block heights.
+func sparkline(values []float64, scale func(float64) (float64, bool)) string {
+	if len(values) == 0 {
+		return ""
+	}
+	minv, maxv := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if s, ok := scale(v); ok {
+			minv = math.Min(minv, s)
+			maxv = math.Max(maxv, s)
+		}
+	}
+	out := make([]rune, len(values))
+	span := maxv - minv
+	for i, v := range values {
+		s, ok := scale(v)
+		if !ok || math.IsInf(minv, 1) {
+			out[i] = ' '
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int(math.Round((s - minv) / span * float64(len(sparkRunes)-1)))
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
 // BarChart renders horizontal bars scaled linearly to the maximum value.
 func BarChart(w io.Writer, title, unit string, bars []Bar) {
 	if title != "" {
