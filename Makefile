@@ -25,21 +25,27 @@ lint: vet fmt
 test:
 	$(GO) test ./...
 
-# The CI race job: the concurrent engines and the kernel layer, twice,
-# under the race detector.
+# The CI race job: the concurrent engines, the kernel layer, the
+# telemetry sinks and the parallel ingest path, twice, under the race
+# detector.
 race:
-	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/ ./internal/kernel/ ./internal/telemetry/
+	$(GO) test -race -count=2 ./internal/poolbp/ ./internal/ompbp/ ./internal/cudabp/ ./internal/bp/ ./internal/relaxbp/ ./internal/enginetest/ ./internal/kernel/ ./internal/telemetry/ ./internal/mtxbp/ ./internal/graph/
 
-# The CI fuzz-smoke job: 20s on each parser fuzz target.
+# The CI fuzz-smoke job: 20s on each parser fuzz target. The ingest
+# differential runs as its own invocation — -fuzz takes one target, and
+# FuzzRead does not match FuzzParallelRead.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/bif/
 	$(GO) test -fuzz=FuzzRead -fuzztime=20s ./internal/mtxbp/
+	$(GO) test -fuzz=FuzzParallelRead -fuzztime=20s ./internal/mtxbp/
 
 # The CI bench-smoke job: one iteration of every benchmark, output kept,
-# plus the kernel micro-benchmarks with allocation stats.
+# plus the kernel micro-benchmarks with allocation stats and the
+# bit-identity-verified ingest experiment at the CI tier.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkKernels/micro' -benchtime 0.1s -benchmem ./internal/kernel/ | tee kernel-bench.txt
+	$(GO) run ./cmd/credobench -exp ingest -tier ci -o ingest.txt
 
 # The CI telemetry-smoke step: run the sprinkler example with the probe
 # layer on and assert the JSONL event stream is well-formed and framed.

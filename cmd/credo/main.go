@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	implName := fs.String("impl", "auto", "implementation: auto, cedge, cnode, cudaedge, cudanode, pool, relax")
 	engineName := fs.String("engine", "auto", "execution engine: auto (the paper's selection), pool (persistent worker-pool runtime) or relax (relaxed-priority residual runtime)")
 	workers := fs.Int("workers", 0, "worker team size for -engine=pool/relax and -impl pool/relax (0 = NumCPU)")
+	ingestWorkers := fs.Int("ingest-workers", 0, "parallel chunked ingest fan-out for mtxbp inputs (0 = NumCPU, 1 = sequential; gzip always reads sequentially)")
 	gpuName := fs.String("gpu", "pascal", "device profile: pascal or volta")
 	threshold := fs.Float64("threshold", bp.DefaultThreshold, "convergence threshold")
 	maxIter := fs.Int("maxiter", bp.DefaultMaxIterations, "iteration cap")
@@ -68,7 +69,40 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	g, err := load(*nodesPath, *edgesPath, *bifPath, *xmlPath)
+	// Telemetry sinks are assembled before loading so the ingest pipeline
+	// can stream its chunk events through the same probe as the run.
+	var probes []telemetry.Probe
+	var recorder *telemetry.Recorder
+	if *telemetryOn {
+		recorder = telemetry.NewRecorder(0)
+		probes = append(probes, recorder)
+	}
+	var traceFile *os.File
+	var traceWriter *telemetry.JSONLWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		traceWriter = telemetry.NewJSONLWriter(traceFile)
+		probes = append(probes, traceWriter)
+	}
+	if *httpAddr != "" {
+		metrics := &telemetry.Metrics{}
+		probes = append(probes, metrics)
+		server, err := telemetry.NewServer(*httpAddr, metrics)
+		if err != nil {
+			return err
+		}
+		server.Start()
+		defer server.Close()
+		fmt.Fprintf(out, "telemetry: live metrics on http://%s/metrics (profiling on /debug/pprof)\n", server.Addr)
+	}
+	probe := telemetry.Multi(probes...)
+
+	g, err := load(*nodesPath, *edgesPath, *bifPath, *xmlPath,
+		mtxbp.ReadOptions{Workers: *ingestWorkers, Probe: probe})
 	if err != nil {
 		return err
 	}
@@ -116,41 +150,13 @@ func run(args []string, out io.Writer) error {
 		classifier = forest
 	}
 
-	var probes []telemetry.Probe
-	var recorder *telemetry.Recorder
-	if *telemetryOn {
-		recorder = telemetry.NewRecorder(0)
-		probes = append(probes, recorder)
-	}
-	var traceFile *os.File
-	var traceWriter *telemetry.JSONLWriter
-	if *traceOut != "" {
-		traceFile, err = os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		traceWriter = telemetry.NewJSONLWriter(traceFile)
-		probes = append(probes, traceWriter)
-	}
-	if *httpAddr != "" {
-		metrics := &telemetry.Metrics{}
-		probes = append(probes, metrics)
-		server, err := telemetry.NewServer(*httpAddr, metrics)
-		if err != nil {
-			return err
-		}
-		server.Start()
-		defer server.Close()
-		fmt.Fprintf(out, "telemetry: live metrics on http://%s/metrics (profiling on /debug/pprof)\n", server.Addr)
-	}
-
 	eng := core.Engine{
 		Selector: core.Selector{GPU: gpu, Classifier: classifier, PoolWorkers: *workers},
 		Options: bp.Options{
 			Threshold:     float32(*threshold),
 			MaxIterations: *maxIter,
 			WorkQueue:     *queue,
-			Probe:         telemetry.Multi(probes...),
+			Probe:         probe,
 		},
 	}
 
@@ -240,14 +246,14 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func load(nodesPath, edgesPath, bifPath, xmlPath string) (*graph.Graph, error) {
+func load(nodesPath, edgesPath, bifPath, xmlPath string, opts mtxbp.ReadOptions) (*graph.Graph, error) {
 	switch {
 	case bifPath != "":
 		return bif.ParseFile(bifPath)
 	case xmlPath != "":
 		return xmlbif.ParseFile(xmlPath)
 	case nodesPath != "" && edgesPath != "":
-		return mtxbp.ReadFiles(nodesPath, edgesPath)
+		return mtxbp.ReadParallel(nodesPath, edgesPath, opts)
 	default:
 		return nil, fmt.Errorf("need -nodes and -edges, or -bif, or -xmlbif")
 	}

@@ -239,8 +239,18 @@ func TestTelemetryFlags(t *testing.T) {
 		}
 		kinds[i] = m.Kind
 	}
-	if kinds[0] != "run_start" || kinds[len(kinds)-1] != "run_end" {
-		t.Errorf("trace framing wrong: first=%s last=%s", kinds[0], kinds[len(kinds)-1])
+	// An mtxbp input streams through the parallel ingest path, so the
+	// trace opens with its ingest events; the run framing follows them.
+	ingest := 0
+	for ingest < len(kinds) && kinds[ingest] == "ingest" {
+		ingest++
+	}
+	if ingest == 0 {
+		t.Error("trace has no leading ingest events for an mtxbp input")
+	}
+	run := kinds[ingest:]
+	if len(run) < 3 || run[0] != "run_start" || run[len(run)-1] != "run_end" {
+		t.Errorf("trace framing wrong after %d ingest events: %v", ingest, run)
 	}
 }
 

@@ -34,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 	tierName := fs.String("tier", "small", "benchmark tier: ci, small or medium")
 	engineName := fs.String("engine", "auto", "execution engine: auto runs -exp as given; pool focuses on the worker-pool comparison (-exp pool); relax on the relaxed-scheduling comparison (-exp relax)")
 	workers := fs.Int("workers", 8, "worker team size for the pool and relax experiments")
+	ingestWorkers := fs.Int("ingest-workers", 8, "parallel chunked ingest fan-out for the ingest experiment")
 	seed := fs.Int64("seed", 1, "generator seed")
 	outPath := fs.String("o", "", "also write the report to this file")
 	trainPath := fs.String("train", "", "instead of running experiments, train the selection forest on the tier's dataset and save it here (JSON, loadable by credo -model)")
@@ -51,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := bench.DefaultConfig(tier)
 	cfg.Seed = *seed
 	cfg.PoolWorkers = *workers
+	cfg.IngestWorkers = *ingestWorkers
 
 	var probes []telemetry.Probe
 	var recorder *telemetry.Recorder

@@ -196,8 +196,8 @@ func TestBuildDataset(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
@@ -220,7 +220,7 @@ func TestExperimentRegistry(t *testing.T) {
 // TestQuickExperimentsRun smoke-tests the cheap experiments end to end.
 func TestQuickExperimentsRun(t *testing.T) {
 	cfg := DefaultConfig(tinyTier)
-	for _, id := range []string{"table1", "aossoa", "parsers"} {
+	for _, id := range []string{"table1", "aossoa", "parsers", "ingest"} {
 		exp, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

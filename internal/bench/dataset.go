@@ -67,6 +67,10 @@ type Config struct {
 	// PoolWorkers is the persistent worker-pool team size used by the
 	// pool-engine experiment and runners.
 	PoolWorkers int
+
+	// IngestWorkers is the parallel chunked ingest fan-out used by the
+	// ingest experiment (0 keeps the experiment's default sweep).
+	IngestWorkers int
 }
 
 // DefaultConfig returns the paper's §4 environment at the given tier:
@@ -74,12 +78,13 @@ type Config struct {
 // cap, work queues on.
 func DefaultConfig(t Tier) Config {
 	return Config{
-		Tier:        t,
-		CPU:         perfmodel.I7_7700HQ(),
-		GPU:         gpusim.Pascal(),
-		Options:     bp.Options{WorkQueue: true},
-		Seed:        1,
-		PoolWorkers: 8, // the paper's §2.4 maximum thread count
+		Tier:          t,
+		CPU:           perfmodel.I7_7700HQ(),
+		GPU:           gpusim.Pascal(),
+		Options:       bp.Options{WorkQueue: true},
+		Seed:          1,
+		PoolWorkers:   8, // the paper's §2.4 maximum thread count
+		IngestWorkers: 8,
 	}
 }
 

@@ -25,6 +25,7 @@ func Experiments() []Experiment {
 		{ID: "algocmp", Title: "§2.1.1: traditional vs loopy BP", Run: RunAlgoCmp},
 		{ID: "sharedmatrix", Title: "§2.2: shared joint matrix refinement", Run: RunSharedMatrix},
 		{ID: "parsers", Title: "§3.2.1: input format comparison", Run: RunParsers},
+		{ID: "ingest", Title: "parallel chunked mtxbp ingest vs sequential streaming", Run: RunIngest},
 		{ID: "aossoa", Title: "§3.4: AoS vs SoA data layout", Run: RunAoSSoA},
 		{ID: "openmp", Title: "§2.4: OpenMP and OpenACC parallelization", Run: RunOpenMP},
 		{ID: "pool", Title: "persistent worker-pool engine vs fork-join (§2.4 revisited)", Run: RunPool},

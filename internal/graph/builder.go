@@ -77,6 +77,96 @@ func (b *Builder) AddNamedNode(name string, prior []float32) (int32, error) {
 	return id, nil
 }
 
+// ReserveNodes bulk-appends n anonymous nodes with zeroed priors and
+// returns the id of the first, growing every node-indexed array exactly
+// once. The caller must subsequently cover the whole reservation with
+// SetPriorBlock calls — a node left unset keeps a zero prior, which Build
+// does not repair. This is the allocation half of the parallel ingest
+// path's bulk append; the filling half is safe to run concurrently.
+func (b *Builder) ReserveNodes(n int) int32 {
+	id := int32(len(b.observed))
+	b.priors = append(b.priors, make([]float32, n*b.states)...)
+	b.observed = append(b.observed, make([]bool, n)...)
+	return id
+}
+
+// SetPriorBlock installs the priors of the contiguous node block starting
+// at node id start, normalizing each row exactly as AddNode does. priors
+// holds k*States() values for a block of k nodes. It writes only the
+// block's own range of the priors array, so concurrent calls on disjoint
+// blocks are safe — that is what lets the chunked ingest pipeline
+// normalize and install per-chunk arenas in parallel.
+func (b *Builder) SetPriorBlock(start int32, priors []float32) error {
+	if b.states <= 0 || len(priors)%b.states != 0 {
+		return fmt.Errorf("graph: prior block of %d values is not a multiple of %d states", len(priors), b.states)
+	}
+	k := len(priors) / b.states
+	if start < 0 || int(start)+k > len(b.observed) {
+		return fmt.Errorf("graph: prior block [%d,%d) outside the %d reserved nodes", start, int(start)+k, len(b.observed))
+	}
+	dst := b.priors[int(start)*b.states : (int(start)+k)*b.states]
+	copy(dst, priors)
+	for i := 0; i < k; i++ {
+		Normalize(dst[i*b.states : (i+1)*b.states])
+	}
+	return nil
+}
+
+// ReserveEdges bulk-appends m edges with zeroed endpoints (and, in
+// per-edge-matrix mode, zero matrices) and returns the index of the
+// first. As with ReserveNodes, the caller must cover the reservation with
+// SetEdgeBlock calls before Build.
+func (b *Builder) ReserveEdges(m int) int {
+	start := len(b.src)
+	b.src = append(b.src, make([]int32, m)...)
+	b.dst = append(b.dst, make([]int32, m)...)
+	if b.shared == nil {
+		b.mats = append(b.mats, make([]JointMatrix, m)...)
+	}
+	return start
+}
+
+// SetEdgeBlock installs the endpoints (0-based) and, in per-edge mode,
+// the joint matrices of the contiguous edge block starting at index
+// start, applying the same validation as AddEdge. Matrix Data slices are
+// retained, not copied, so per-chunk arenas stay shared. Writes touch
+// only the block's own ranges, so concurrent calls on disjoint blocks are
+// safe. All nodes must already be added: endpoint range checks are
+// against the current node count.
+func (b *Builder) SetEdgeBlock(start int, src, dst []int32, mats []JointMatrix) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("graph: edge block has %d sources but %d destinations", len(src), len(dst))
+	}
+	if start < 0 || start+len(src) > len(b.src) {
+		return fmt.Errorf("graph: edge block [%d,%d) outside the %d reserved edges", start, start+len(src), len(b.src))
+	}
+	if b.shared != nil {
+		if mats != nil {
+			return fmt.Errorf("graph: edge block carries matrices but a shared matrix is installed")
+		}
+	} else if len(mats) != len(src) {
+		return fmt.Errorf("graph: edge block has %d edges but %d matrices", len(src), len(mats))
+	}
+	n := int32(len(b.observed))
+	for i := range src {
+		if src[i] < 0 || src[i] >= n || dst[i] < 0 || dst[i] >= n {
+			return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", src[i], dst[i], n)
+		}
+		if b.shared == nil {
+			if int(mats[i].Rows) != b.states || int(mats[i].Cols) != b.states {
+				return fmt.Errorf("graph: edge (%d,%d) matrix %dx%d, want %dx%d",
+					src[i], dst[i], mats[i].Rows, mats[i].Cols, b.states, b.states)
+			}
+		}
+	}
+	copy(b.src[start:], src)
+	copy(b.dst[start:], dst)
+	if b.shared == nil {
+		copy(b.mats[start:], mats)
+	}
+	return nil
+}
+
 // AddEdge appends a directed edge src→dst. mat supplies the per-edge joint
 // probability matrix; it must be nil when a shared matrix is installed and
 // non-nil otherwise.

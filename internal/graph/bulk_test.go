@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Tests for the bulk-append builder API backing the parallel ingest
+// pipeline: Reserve*/Set*Block must be exactly equivalent to a sequence of
+// AddNode/AddEdge calls, and block installs on disjoint ranges must be
+// safe to run concurrently.
+
+func bitsEqual(t *testing.T, what string, a, b []float32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("%s[%d]: %v != %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func TestBulkAppendMatchesIncremental(t *testing.T) {
+	const states, n, m = 3, 50, 200
+	rng := rand.New(rand.NewSource(7))
+	priors := make([]float32, n*states)
+	for i := range priors {
+		priors[i] = rng.Float32()
+	}
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	mats := make([]JointMatrix, m)
+	for e := 0; e < m; e++ {
+		src[e] = int32(rng.Intn(n))
+		dst[e] = int32(rng.Intn(n))
+		mats[e] = NewJointMatrix(states, states)
+		for i := range mats[e].Data {
+			mats[e].Data[i] = rng.Float32() + 0.01
+		}
+		mats[e].NormalizeRows()
+	}
+
+	inc := NewBuilder(states)
+	for v := 0; v < n; v++ {
+		if _, err := inc.AddNode(priors[v*states : (v+1)*states]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < m; e++ {
+		mat := mats[e]
+		mat.Data = append([]float32(nil), mats[e].Data...)
+		if err := inc.AddEdge(src[e], dst[e], &mat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := inc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bulk := NewBuilder(states)
+	if id := bulk.ReserveNodes(n); id != 0 {
+		t.Fatalf("first reserved node id %d, want 0", id)
+	}
+	// Install in two unequal blocks to exercise non-zero starts.
+	split := 17
+	if err := bulk.SetPriorBlock(0, priors[:split*states]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.SetPriorBlock(int32(split), priors[split*states:]); err != nil {
+		t.Fatal(err)
+	}
+	if at := bulk.ReserveEdges(m); at != 0 {
+		t.Fatalf("first reserved edge index %d, want 0", at)
+	}
+	esplit := 73
+	if err := bulk.SetEdgeBlock(0, src[:esplit], dst[:esplit], mats[:esplit]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.SetEdgeBlock(esplit, src[esplit:], dst[esplit:], mats[esplit:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bulk.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bitsEqual(t, "Priors", want.Priors, got.Priors)
+	bitsEqual(t, "Beliefs", want.Beliefs, got.Beliefs)
+	for e := 0; e < m; e++ {
+		if want.EdgeSrc[e] != got.EdgeSrc[e] || want.EdgeDst[e] != got.EdgeDst[e] {
+			t.Fatalf("edge %d endpoints differ", e)
+		}
+		bitsEqual(t, "EdgeMats.Data", want.EdgeMats[e].Data, got.EdgeMats[e].Data)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBulkAppendConcurrentBlocks(t *testing.T) {
+	const states, n, workers = 2, 4000, 8
+	priors := make([]float32, n*states)
+	for i := range priors {
+		priors[i] = float32(i%7) + 1
+	}
+	b := NewBuilder(states)
+	if err := b.SetShared(uniformJoint(states)); err != nil {
+		t.Fatal(err)
+	}
+	b.ReserveNodes(n)
+	b.ReserveEdges(n)
+	var wg sync.WaitGroup
+	per := n / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*per, (w+1)*per
+			if err := b.SetPriorBlock(int32(lo), priors[lo*states:hi*states]); err != nil {
+				t.Error(err)
+			}
+			src := make([]int32, hi-lo)
+			dst := make([]int32, hi-lo)
+			for i := range src {
+				src[i] = int32(lo + i)
+				dst[i] = int32((lo + i + 1) % n)
+			}
+			if err := b.SetEdgeBlock(lo, src, dst, nil); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for e := 0; e < n; e++ {
+		if g.EdgeSrc[e] != int32(e) || g.EdgeDst[e] != int32((e+1)%n) {
+			t.Fatalf("edge %d endpoints (%d,%d)", e, g.EdgeSrc[e], g.EdgeDst[e])
+		}
+	}
+}
+
+func uniformJoint(states int) JointMatrix {
+	m := NewJointMatrix(states, states)
+	u := float32(1) / float32(states)
+	for i := range m.Data {
+		m.Data[i] = u
+	}
+	return m
+}
+
+func TestBulkAppendErrors(t *testing.T) {
+	b := NewBuilder(2)
+	b.ReserveNodes(4)
+	if err := b.SetPriorBlock(0, []float32{1, 2, 3}); err == nil {
+		t.Error("accepted prior block not a multiple of states")
+	}
+	if err := b.SetPriorBlock(3, []float32{1, 2, 3, 4}); err == nil {
+		t.Error("accepted prior block past the reservation")
+	}
+	if err := b.SetPriorBlock(-1, []float32{1, 2}); err == nil {
+		t.Error("accepted negative block start")
+	}
+	b.ReserveEdges(2)
+	bad := NewJointMatrix(3, 3)
+	if err := b.SetEdgeBlock(0, []int32{0}, []int32{1}, []JointMatrix{bad}); err == nil {
+		t.Error("accepted wrong-shape matrix")
+	}
+	if err := b.SetEdgeBlock(0, []int32{0, 1}, []int32{1}, nil); err == nil {
+		t.Error("accepted src/dst length mismatch")
+	}
+	if err := b.SetEdgeBlock(1, []int32{0, 1}, []int32{1, 0}, []JointMatrix{NewJointMatrix(2, 2), NewJointMatrix(2, 2)}); err == nil {
+		t.Error("accepted edge block past the reservation")
+	}
+	if err := b.SetEdgeBlock(0, []int32{9}, []int32{1}, []JointMatrix{NewJointMatrix(2, 2)}); err == nil {
+		t.Error("accepted endpoint out of range")
+	}
+
+	sh := NewBuilder(2)
+	if err := sh.SetShared(uniformJoint(2)); err != nil {
+		t.Fatal(err)
+	}
+	sh.ReserveNodes(2)
+	sh.ReserveEdges(1)
+	if err := sh.SetEdgeBlock(0, []int32{0}, []int32{1}, []JointMatrix{NewJointMatrix(2, 2)}); err == nil {
+		t.Error("accepted matrices in shared mode")
+	}
+	per := NewBuilder(2)
+	per.ReserveNodes(2)
+	per.ReserveEdges(1)
+	if err := per.SetEdgeBlock(0, []int32{0}, []int32{1}, nil); err == nil {
+		t.Error("accepted missing matrices in per-edge mode")
+	}
+}

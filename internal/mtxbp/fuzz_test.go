@@ -16,6 +16,14 @@ func FuzzRead(f *testing.F) {
 		"%%MatrixMarket credo node beliefs\n1 1 2\n1 1 1 0\n",
 		"%%MatrixMarket credo edge joint shared\n1 1 0\n0 0 0.5 0.5 0.5 0.5\n",
 	)
+	f.Add(
+		"%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n2 2 0.25 0.75\n",
+		"%%MatrixMarket credo edge joint shared\n2 2 2\n0 0 0.8 0.2 0.3 0.7\n1 2\n2 1\n",
+	)
+	f.Add(
+		"%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n  % indented comment\n2 2 0.25 0.75\n",
+		"%%MatrixMarket credo edge joint\n2 2 1\n\t% tabbed comment\n1 2 0.9 0.1 0.2 0.8\n",
+	)
 	f.Add("", "")
 	f.Add("%%MatrixMarket credo node beliefs\n-1 -1 -1\n", "%%MatrixMarket credo edge joint\n0 0 0\n")
 	f.Add("%%MatrixMarket credo node beliefs\n999999999 999999999 2\n", "%%MatrixMarket credo edge joint\n999999999 999999999 0\n")

@@ -39,7 +39,6 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -209,7 +208,10 @@ func Read(nodeR, edgeR io.Reader) (*graph.Graph, error) {
 	if np.header != nodeHeader {
 		return nil, fmt.Errorf("mtxbp: node file: unexpected header %q", np.header)
 	}
-	numNodes, _, states := np.dims[0], np.dims[1], np.dims[2]
+	if np.dims[0] != np.dims[1] {
+		return nil, fmt.Errorf("mtxbp: node file: dimension header %d x %d is not square", np.dims[0], np.dims[1])
+	}
+	numNodes, states := np.dims[0], np.dims[2]
 	if states <= 0 || states > graph.MaxStates {
 		return nil, fmt.Errorf("mtxbp: node file: states %d out of range [1,%d]", states, graph.MaxStates)
 	}
@@ -225,21 +227,27 @@ func Read(nodeR, edgeR io.Reader) (*graph.Graph, error) {
 	if !shared && ep.header != edgeHeader {
 		return nil, fmt.Errorf("mtxbp: edge file: unexpected header %q", ep.header)
 	}
+	if ep.dims[0] != ep.dims[1] {
+		return nil, fmt.Errorf("mtxbp: edge file: dimension header %d x %d is not square", ep.dims[0], ep.dims[1])
+	}
 	if ep.dims[0] != numNodes {
 		return nil, fmt.Errorf("mtxbp: edge file declares %d nodes, node file %d", ep.dims[0], numNodes)
 	}
 	numEdges := ep.dims[2]
+	if numEdges < 0 {
+		return nil, fmt.Errorf("mtxbp: edge file: negative edge count %d", numEdges)
+	}
 
 	b := graph.NewBuilder(states)
+	scratch := make([]float32, 0, states*states)
 
 	// Node pass.
-	prior := make([]float32, states)
 	for line := 0; line < numNodes; line++ {
-		fields, err := np.next()
+		data, err := np.next()
 		if err != nil {
 			return nil, fmt.Errorf("mtxbp: node file line %d: %w", line+3, err)
 		}
-		id1, id2, probs, err := parseEntry(fields)
+		id1, id2, probs, err := parseEntry(data, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("mtxbp: node file line %d: %w", line+3, err)
 		}
@@ -252,19 +260,21 @@ func Read(nodeR, edgeR io.Reader) (*graph.Graph, error) {
 		if len(probs) != states {
 			return nil, fmt.Errorf("mtxbp: node file line %d: %d probabilities, want %d", line+3, len(probs), states)
 		}
-		copy(prior, probs)
-		if _, err := b.AddNode(prior); err != nil {
+		if _, err := b.AddNode(probs); err != nil {
 			return nil, fmt.Errorf("mtxbp: node file line %d: %w", line+3, err)
 		}
+	}
+	if err := np.expectEOF("node file", numNodes, "nodes"); err != nil {
+		return nil, err
 	}
 
 	// Shared matrix line, when present.
 	if shared {
-		fields, err := ep.next()
+		data, err := ep.next()
 		if err != nil {
 			return nil, fmt.Errorf("mtxbp: edge file shared matrix: %w", err)
 		}
-		id1, id2, probs, err := parseEntry(fields)
+		id1, id2, probs, err := parseEntry(data, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("mtxbp: edge file shared matrix: %w", err)
 		}
@@ -285,11 +295,11 @@ func Read(nodeR, edgeR io.Reader) (*graph.Graph, error) {
 
 	// Edge pass.
 	for line := 0; line < numEdges; line++ {
-		fields, err := ep.next()
+		data, err := ep.next()
 		if err != nil {
 			return nil, fmt.Errorf("mtxbp: edge file entry %d: %w", line+1, err)
 		}
-		src, dst, probs, err := parseEntry(fields)
+		src, dst, probs, err := parseEntry(data, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("mtxbp: edge file entry %d: %w", line+1, err)
 		}
@@ -315,15 +325,23 @@ func Read(nodeR, edgeR io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("mtxbp: edge file entry %d: %w", line+1, err)
 		}
 	}
-	if _, err := ep.next(); err != io.EOF {
-		return nil, fmt.Errorf("mtxbp: edge file: trailing data after %d declared edges", numEdges)
+	if err := ep.expectEOF("edge file", numEdges, "edges"); err != nil {
+		return nil, err
 	}
 	return b.Build()
 }
 
 // ReadFiles parses a node file and an edge file into a graph. Paths
-// ending in ".gz" are transparently decompressed.
+// ending in ".gz" are transparently decompressed. Seekable (non-gzip)
+// inputs are ingested by the parallel chunked pipeline with one worker
+// per CPU; the result is bit-identical to the sequential Read.
 func ReadFiles(nodePath, edgePath string) (*graph.Graph, error) {
+	return ReadParallel(nodePath, edgePath, ReadOptions{})
+}
+
+// readFilesSequential is the single-threaded file path: the streaming
+// reader over buffered (and, for .gz, gzip) file readers.
+func readFilesSequential(nodePath, edgePath string) (*graph.Graph, error) {
 	nf, err := os.Open(nodePath)
 	if err != nil {
 		return nil, err
@@ -403,18 +421,19 @@ func newLineParser(r io.Reader) (*lineParser, error) {
 	}
 }
 
-// next returns the fields of the next data line, or io.EOF.
-func (p *lineParser) next() ([]string, error) {
+// next returns the next data line — trimmed of surrounding whitespace,
+// with comment and blank lines skipped — or io.EOF. The returned bytes
+// alias the scanner's buffer and are only valid until the next call. The
+// line is trimmed *before* the comment check, so a comment indented by
+// whitespace is still a comment (the historical untrimmed check parsed
+// "  % note" as a data line and failed with an identifier error).
+func (p *lineParser) next() ([]byte, error) {
 	for p.sc.Scan() {
-		line := p.sc.Text()
+		line := trimLine(p.sc.Bytes())
 		if len(line) == 0 || line[0] == '%' {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		return fields, nil
+		return line, nil
 	}
 	if err := p.sc.Err(); err != nil {
 		return nil, err
@@ -422,32 +441,17 @@ func (p *lineParser) next() ([]string, error) {
 	return nil, io.EOF
 }
 
-// parseEntry splits a data line into its two identifiers and probabilities.
-func parseEntry(fields []string) (id1, id2 int, probs []float32, err error) {
-	if len(fields) < 2 {
-		return 0, 0, nil, fmt.Errorf("line has %d fields, want at least 2", len(fields))
+// expectEOF verifies the stream holds no further data lines, keeping real
+// scanner failures (an over-long line, an I/O error) distinct from genuine
+// trailing data — the historical check collapsed both into a misleading
+// "trailing data" report.
+func (p *lineParser) expectEOF(file string, declared int, what string) error {
+	switch _, err := p.next(); err {
+	case io.EOF:
+		return nil
+	case nil:
+		return fmt.Errorf("mtxbp: %s: trailing data after %d declared %s", file, declared, what)
+	default:
+		return fmt.Errorf("mtxbp: %s: %w", file, err)
 	}
-	id1, err = strconv.Atoi(fields[0])
-	if err != nil {
-		return 0, 0, nil, fmt.Errorf("identifier %q: %w", fields[0], err)
-	}
-	id2, err = strconv.Atoi(fields[1])
-	if err != nil {
-		return 0, 0, nil, fmt.Errorf("identifier %q: %w", fields[1], err)
-	}
-	if len(fields) == 2 {
-		return id1, id2, nil, nil
-	}
-	probs = make([]float32, len(fields)-2)
-	for i, f := range fields[2:] {
-		v, err := strconv.ParseFloat(f, 32)
-		if err != nil {
-			return 0, 0, nil, fmt.Errorf("probability %q: %w", f, err)
-		}
-		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return 0, 0, nil, fmt.Errorf("probability %q is not a valid probability", f)
-		}
-		probs[i] = float32(v)
-	}
-	return id1, id2, probs, nil
 }

@@ -1,0 +1,671 @@
+package mtxbp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"credo/internal/graph"
+	"credo/internal/telemetry"
+)
+
+// This file is the parallel chunked ingest pipeline (the loader-side
+// counterpart of the engines' worker pools). A seekable mtxbp file is
+// split into byte ranges aligned to line boundaries, the ranges are
+// parsed concurrently into per-chunk arenas by the zero-allocation
+// scanner of scan.go, and the arenas are stitched back in file order
+// through the graph builder's bulk-append API. Because node ids are
+// positional (the format requires them sequential) and edges land at
+// offsets computed by a prefix sum over per-chunk line counts, the
+// resulting graph is bit-identical to the sequential Read: same values,
+// same order, same normalization (each prior is normalized exactly once,
+// by SetPriorBlock, just as AddNode normalizes it on the sequential
+// path). Gzip inputs are not seekable mid-stream and fall back to the
+// sequential reader, which shares the same scanner.
+
+// ReadOptions configures the file-based ingest path.
+type ReadOptions struct {
+	// Workers is the parse fan-out. 0 uses one worker per CPU; 1 forces
+	// the sequential path. Gzip inputs always read sequentially.
+	Workers int
+	// Probe, when non-nil, receives telemetry.KindIngest events: one per
+	// parsed chunk and one summary per file phase ("ingest.nodes",
+	// "ingest.edges").
+	Probe telemetry.Probe
+}
+
+// minChunkBytes is the smallest byte range worth dispatching to a worker;
+// below it, goroutine and stitch overhead beat the parse savings. A
+// variable so the tests can force multi-chunk splits on tiny files.
+var minChunkBytes = int64(1 << 16)
+
+// ReadParallel parses a node file and an edge file into a graph using
+// chunked parallel ingest. The result is bit-identical to the sequential
+// Read over the same bytes.
+func ReadParallel(nodePath, edgePath string, opts ReadOptions) (*graph.Graph, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || strings.HasSuffix(nodePath, ".gz") || strings.HasSuffix(edgePath, ".gz") {
+		return readSequentialWithProbe(nodePath, edgePath, opts.Probe)
+	}
+
+	nf, err := os.Open(nodePath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+
+	// Node prologue: header and dimension line.
+	nlr, err := newOffsetLineReader(nf)
+	if err != nil {
+		return nil, fmt.Errorf("mtxbp: node file: %w", err)
+	}
+	nHeader, nDims, err := nlr.prologue()
+	if err != nil {
+		return nil, fmt.Errorf("mtxbp: node file: %w", err)
+	}
+	if nHeader != nodeHeader {
+		return nil, fmt.Errorf("mtxbp: node file: unexpected header %q", nHeader)
+	}
+	if nDims[0] != nDims[1] {
+		return nil, fmt.Errorf("mtxbp: node file: dimension header %d x %d is not square", nDims[0], nDims[1])
+	}
+	numNodes, states := nDims[0], nDims[2]
+	if states <= 0 || states > graph.MaxStates {
+		return nil, fmt.Errorf("mtxbp: node file: states %d out of range [1,%d]", states, graph.MaxStates)
+	}
+	if numNodes < 0 {
+		return nil, fmt.Errorf("mtxbp: node file: negative node count %d", numNodes)
+	}
+
+	// Edge prologue: header, dimension line and, in shared mode, the
+	// matrix line (it must precede every edge, so it belongs to the
+	// sequential prologue, not to a chunk).
+	elr, err := newOffsetLineReader(ef)
+	if err != nil {
+		return nil, fmt.Errorf("mtxbp: edge file: %w", err)
+	}
+	eHeader, eDims, err := elr.prologue()
+	if err != nil {
+		return nil, fmt.Errorf("mtxbp: edge file: %w", err)
+	}
+	shared := eHeader == edgeHeaderShared
+	if !shared && eHeader != edgeHeader {
+		return nil, fmt.Errorf("mtxbp: edge file: unexpected header %q", eHeader)
+	}
+	if eDims[0] != eDims[1] {
+		return nil, fmt.Errorf("mtxbp: edge file: dimension header %d x %d is not square", eDims[0], eDims[1])
+	}
+	if eDims[0] != numNodes {
+		return nil, fmt.Errorf("mtxbp: edge file declares %d nodes, node file %d", eDims[0], numNodes)
+	}
+	numEdges := eDims[2]
+	if numEdges < 0 {
+		return nil, fmt.Errorf("mtxbp: edge file: negative edge count %d", numEdges)
+	}
+
+	b := graph.NewBuilder(states)
+	scratch := make([]float32, 0, states*states)
+
+	if shared {
+		line, err := elr.nextData()
+		if err != nil {
+			return nil, fmt.Errorf("mtxbp: edge file shared matrix: %w", err)
+		}
+		id1, id2, probs, err := parseEntry(line, scratch)
+		if err != nil {
+			return nil, fmt.Errorf("mtxbp: edge file shared matrix: %w", err)
+		}
+		if id1 != 0 || id2 != 0 {
+			return nil, fmt.Errorf("mtxbp: edge file: shared header without 0 0 matrix line")
+		}
+		if len(probs) != states*states {
+			return nil, fmt.Errorf("mtxbp: shared matrix has %d entries, want %d", len(probs), states*states)
+		}
+		m := graph.JointMatrix{Rows: uint32(states), Cols: uint32(states), Data: append([]float32(nil), probs...)}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("mtxbp: shared matrix: %w", err)
+		}
+		if err := b.SetShared(m); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := parseNodesParallel(nf, nlr.off, b, numNodes, states, workers, opts.Probe); err != nil {
+		return nil, err
+	}
+	if err := parseEdgesParallel(ef, elr.off, b, numNodes, numEdges, states, shared, workers, opts.Probe); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// readSequentialWithProbe is the fallback path (gzip inputs, one worker):
+// the streaming reader, framed by the same ingest telemetry.
+func readSequentialWithProbe(nodePath, edgePath string, probe telemetry.Probe) (*graph.Graph, error) {
+	if probe == nil {
+		return readFilesSequential(nodePath, edgePath)
+	}
+	start := time.Now()
+	g, err := readFilesSequential(nodePath, edgePath)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Nanoseconds()
+	nBytes := fileSizeOrZero(nodePath)
+	eBytes := fileSizeOrZero(edgePath)
+	emitIngestPhase(probe, "ingest.nodes", 1, int64(g.NumNodes), nBytes, wall, wall, []chunkStat{{lines: int64(g.NumNodes), bytes: nBytes, busyNs: wall}})
+	eLines := int64(g.NumEdges)
+	if g.SharedMatrix() {
+		eLines++
+	}
+	emitIngestPhase(probe, "ingest.edges", 1, eLines, eBytes, 0, 0, []chunkStat{{lines: eLines, bytes: eBytes, busyNs: 0}})
+	return g, nil
+}
+
+func fileSizeOrZero(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// chunkStat is the per-chunk accounting behind the telemetry events.
+type chunkStat struct {
+	lines  int64
+	bytes  int64
+	busyNs int64
+}
+
+// emitIngestPhase sends one KindIngest event per chunk plus the phase
+// summary (Worker == -1). parseWallNs is the wall clock of the phase's
+// fan-out sub-spans alone (chunk parse plus block install) — the
+// parallelizable span, carried in the summary's Active field so scaling
+// models can separate it from the serial prologue and stitch checks.
+func emitIngestPhase(probe telemetry.Probe, engine string, chunks int, lines, totalBytes, wallNs, parseWallNs int64, stats []chunkStat) {
+	if probe == nil {
+		return
+	}
+	var busy int64
+	for i, s := range stats {
+		busy += s.busyNs
+		probe.Emit(telemetry.Event{
+			Kind:    telemetry.KindIngest,
+			Engine:  engine,
+			Worker:  int32(i),
+			Updated: s.lines,
+			Edges:   s.bytes,
+			BusyNs:  s.busyNs,
+		})
+	}
+	probe.Emit(telemetry.Event{
+		Kind:    telemetry.KindIngest,
+		Engine:  engine,
+		Worker:  -1,
+		Iter:    int32(chunks),
+		Updated: lines,
+		Edges:   totalBytes,
+		Items:   totalBytes,
+		Active:  parseWallNs,
+		BusyNs:  busy,
+		WallNs:  wallNs,
+	})
+}
+
+// offsetLineReader reads lines while tracking the count of consumed bytes,
+// so the prologue scan can report the exact offset where data begins.
+type offsetLineReader struct {
+	br  *bufio.Reader
+	off int64
+	buf []byte
+}
+
+func newOffsetLineReader(r io.Reader) (*offsetLineReader, error) {
+	return &offsetLineReader{br: bufio.NewReaderSize(r, 1<<16)}, nil
+}
+
+// line returns the next raw line without its terminator, advancing off
+// past it (terminator included). io.EOF is returned only with no bytes
+// consumed.
+func (r *offsetLineReader) line() ([]byte, error) {
+	r.buf = r.buf[:0]
+	for {
+		chunk, err := r.br.ReadSlice('\n')
+		r.off += int64(len(chunk))
+		if err == bufio.ErrBufferFull {
+			r.buf = append(r.buf, chunk...)
+			if len(r.buf) > maxLineBytes {
+				return nil, bufio.ErrTooLong
+			}
+			continue
+		}
+		line := chunk
+		if len(r.buf) > 0 {
+			r.buf = append(r.buf, chunk...)
+			line = r.buf
+		}
+		if len(line) > maxLineBytes {
+			return nil, bufio.ErrTooLong
+		}
+		if err != nil {
+			if err == io.EOF && len(line) > 0 {
+				return line, nil
+			}
+			return nil, err
+		}
+		line = line[:len(line)-1] // strip '\n'
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return line, nil
+	}
+}
+
+// prologue consumes the header line and the dimension line (skipping
+// comments and blanks), mirroring newLineParser.
+func (r *offsetLineReader) prologue() (header string, dims [3]int, err error) {
+	hline, err := r.line()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return "", dims, err
+	}
+	header = string(bytes.TrimSpace(hline))
+	for {
+		raw, err := r.line()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return "", dims, err
+		}
+		line := trimLine(raw)
+		if len(line) == 0 || line[0] == '%' {
+			continue
+		}
+		var fields [3][]byte
+		n := 0
+		rest := line
+		for n < 3 {
+			var f []byte
+			f, rest = nextField(rest)
+			if len(f) == 0 {
+				break
+			}
+			fields[n] = f
+			n++
+		}
+		if extra, _ := nextField(rest); n != 3 || len(extra) != 0 {
+			return "", dims, fmt.Errorf("dimension line has wrong field count, want 3")
+		}
+		for i := 0; i < 3; i++ {
+			v, err := parseID(fields[i])
+			if err != nil {
+				return "", dims, fmt.Errorf("dimension %q: %w", fields[i], err)
+			}
+			dims[i] = v
+		}
+		return header, dims, nil
+	}
+}
+
+// nextData returns the next data line, skipping comments and blanks.
+func (r *offsetLineReader) nextData() ([]byte, error) {
+	for {
+		raw, err := r.line()
+		if err != nil {
+			return nil, err
+		}
+		line := trimLine(raw)
+		if len(line) == 0 || line[0] == '%' {
+			continue
+		}
+		return line, nil
+	}
+}
+
+// chunkBoundaries splits the byte range [start, end) of f into up to n
+// ranges whose boundaries sit immediately after a newline, so every line
+// belongs to exactly one chunk. Returned as an ascending offset list
+// b[0]=start … b[len-1]=end describing len-1 chunks.
+func chunkBoundaries(f *os.File, start, end int64, n int) ([]int64, error) {
+	bounds := []int64{start}
+	if size := end - start; int64(n) > size/minChunkBytes {
+		n = int(size / minChunkBytes)
+	}
+	if n < 1 {
+		n = 1
+	}
+	target := (end - start) / int64(n)
+	for k := 1; k < n; k++ {
+		pos := start + int64(k)*target
+		if pos <= bounds[len(bounds)-1] {
+			continue
+		}
+		aligned, err := alignToLine(f, pos, end)
+		if err != nil {
+			return nil, err
+		}
+		if aligned >= end {
+			break
+		}
+		if aligned > bounds[len(bounds)-1] {
+			bounds = append(bounds, aligned)
+		}
+	}
+	return append(bounds, end), nil
+}
+
+// alignToLine returns the offset of the first byte after the next '\n' at
+// or after pos, or end when the range holds no further newline.
+func alignToLine(f *os.File, pos, end int64) (int64, error) {
+	buf := make([]byte, 32<<10)
+	scanned := int64(0)
+	for pos < end {
+		n := int64(len(buf))
+		if end-pos < n {
+			n = end - pos
+		}
+		m, err := f.ReadAt(buf[:n], pos)
+		if m == 0 && err != nil {
+			if err == io.EOF {
+				return end, nil
+			}
+			return 0, err
+		}
+		if i := bytes.IndexByte(buf[:m], '\n'); i >= 0 {
+			return pos + int64(i) + 1, nil
+		}
+		pos += int64(m)
+		scanned += int64(m)
+		if scanned > maxLineBytes {
+			return 0, bufio.ErrTooLong
+		}
+	}
+	return end, nil
+}
+
+// chunkScanner wraps a section of f in a line scanner with the package's
+// line-size cap.
+func chunkScanner(f *os.File, off, end int64) *bufio.Scanner {
+	sc := bufio.NewScanner(io.NewSectionReader(f, off, end-off))
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return sc
+}
+
+// nodeChunk is one parsed node byte range.
+type nodeChunk struct {
+	priors  []float32 // raw (un-normalized) parsed rows, states apart
+	count   int
+	firstID int
+	busyNs  int64
+	err     error
+}
+
+// parseNodesParallel fans the node data region out to the worker pool and
+// stitches the chunks into b in file order.
+func parseNodesParallel(f *os.File, dataOff int64, b *graph.Builder, numNodes, states, workers int, probe telemetry.Probe) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	end := fi.Size()
+	bounds, err := chunkBoundaries(f, dataOff, end, workers)
+	if err != nil {
+		return fmt.Errorf("mtxbp: node file: %w", err)
+	}
+	phaseStart := time.Now()
+	chunks := make([]nodeChunk, len(bounds)-1)
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parseNodeChunk(f, bounds[i], bounds[i+1], states, &chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	parseWall := time.Since(phaseStart).Nanoseconds()
+
+	total := 0
+	for i := range chunks {
+		c := &chunks[i]
+		if c.err != nil {
+			return fmt.Errorf("mtxbp: node file: %w", c.err)
+		}
+		if c.count == 0 {
+			continue
+		}
+		if c.firstID != total+1 {
+			return fmt.Errorf("mtxbp: node file: node id %d out of order (want %d)", c.firstID, total+1)
+		}
+		total += c.count
+	}
+	switch {
+	case total < numNodes:
+		return fmt.Errorf("mtxbp: node file: %d nodes present, %d declared: %w", total, numNodes, io.ErrUnexpectedEOF)
+	case total > numNodes:
+		return fmt.Errorf("mtxbp: node file: trailing data after %d declared nodes", numNodes)
+	}
+
+	// Stitch: one reservation, then concurrent installs of disjoint
+	// blocks (SetPriorBlock also normalizes, so that cost parallelizes).
+	b.ReserveNodes(numNodes)
+	installStart := time.Now()
+	errs := make([]error, len(chunks))
+	start := int32(0)
+	for i := range chunks {
+		c := &chunks[i]
+		if c.count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, at int32) {
+			defer wg.Done()
+			errs[i] = b.SetPriorBlock(at, chunks[i].priors)
+		}(i, start)
+		start += int32(c.count)
+	}
+	wg.Wait()
+	parseWall += time.Since(installStart).Nanoseconds()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	if probe != nil {
+		stats := make([]chunkStat, len(chunks))
+		for i := range chunks {
+			stats[i] = chunkStat{lines: int64(chunks[i].count), bytes: bounds[i+1] - bounds[i], busyNs: chunks[i].busyNs}
+		}
+		emitIngestPhase(probe, "ingest.nodes", len(chunks), int64(total), end-dataOff, time.Since(phaseStart).Nanoseconds(), parseWall, stats)
+	}
+	return nil
+}
+
+func parseNodeChunk(f *os.File, off, end int64, states int, c *nodeChunk) {
+	begin := time.Now()
+	defer func() { c.busyNs = time.Since(begin).Nanoseconds() }()
+	sc := chunkScanner(f, off, end)
+	scratch := make([]float32, 0, states)
+	for sc.Scan() {
+		line := trimLine(sc.Bytes())
+		if len(line) == 0 || line[0] == '%' {
+			continue
+		}
+		id1, id2, probs, err := parseEntry(line, scratch)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if id1 != id2 {
+			c.err = fmt.Errorf("node %d: identifiers %d/%d differ", id1, id1, id2)
+			return
+		}
+		if len(probs) != states {
+			c.err = fmt.Errorf("node %d: %d probabilities, want %d", id1, len(probs), states)
+			return
+		}
+		if c.count == 0 {
+			c.firstID = id1
+		} else if id1 != c.firstID+c.count {
+			c.err = fmt.Errorf("node id %d out of order (want %d)", id1, c.firstID+c.count)
+			return
+		}
+		c.priors = append(c.priors, probs...)
+		c.count++
+	}
+	c.err = sc.Err()
+}
+
+// edgeChunk is one parsed edge byte range. In per-edge-matrix mode the
+// matrices live in one arena, states*states values per edge.
+type edgeChunk struct {
+	src, dst []int32
+	matData  []float32
+	busyNs   int64
+	err      error
+}
+
+// parseEdgesParallel fans the edge data region out to the worker pool and
+// stitches the chunks into b in file order at prefix-sum offsets.
+func parseEdgesParallel(f *os.File, dataOff int64, b *graph.Builder, numNodes, numEdges, states int, shared bool, workers int, probe telemetry.Probe) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	end := fi.Size()
+	bounds, err := chunkBoundaries(f, dataOff, end, workers)
+	if err != nil {
+		return fmt.Errorf("mtxbp: edge file: %w", err)
+	}
+	phaseStart := time.Now()
+	chunks := make([]edgeChunk, len(bounds)-1)
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parseEdgeChunk(f, bounds[i], bounds[i+1], numNodes, states, shared, &chunks[i])
+		}(i)
+	}
+	wg.Wait()
+	parseWall := time.Since(phaseStart).Nanoseconds()
+
+	total := 0
+	for i := range chunks {
+		c := &chunks[i]
+		if c.err != nil {
+			return fmt.Errorf("mtxbp: edge file: %w", c.err)
+		}
+		total += len(c.src)
+	}
+	switch {
+	case total < numEdges:
+		return fmt.Errorf("mtxbp: edge file: %d edges present, %d declared: %w", total, numEdges, io.ErrUnexpectedEOF)
+	case total > numEdges:
+		return fmt.Errorf("mtxbp: edge file: trailing data after %d declared edges", numEdges)
+	}
+
+	// Stitch at prefix-sum offsets, concurrently per chunk.
+	b.ReserveEdges(numEdges)
+	installStart := time.Now()
+	errs := make([]error, len(chunks))
+	start := 0
+	ss := states * states
+	for i := range chunks {
+		c := &chunks[i]
+		if len(c.src) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i, at int) {
+			defer wg.Done()
+			c := &chunks[i]
+			var mats []graph.JointMatrix
+			if !shared {
+				mats = make([]graph.JointMatrix, len(c.src))
+				for e := range mats {
+					mats[e] = graph.JointMatrix{Rows: uint32(states), Cols: uint32(states), Data: c.matData[e*ss : (e+1)*ss]}
+				}
+			}
+			errs[i] = b.SetEdgeBlock(at, c.src, c.dst, mats)
+		}(i, start)
+		start += len(c.src)
+	}
+	wg.Wait()
+	parseWall += time.Since(installStart).Nanoseconds()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	if probe != nil {
+		stats := make([]chunkStat, len(chunks))
+		for i := range chunks {
+			stats[i] = chunkStat{lines: int64(len(chunks[i].src)), bytes: bounds[i+1] - bounds[i], busyNs: chunks[i].busyNs}
+		}
+		emitIngestPhase(probe, "ingest.edges", len(chunks), int64(total), end-dataOff, time.Since(phaseStart).Nanoseconds(), parseWall, stats)
+	}
+	return nil
+}
+
+func parseEdgeChunk(f *os.File, off, end int64, numNodes, states int, shared bool, c *edgeChunk) {
+	begin := time.Now()
+	defer func() { c.busyNs = time.Since(begin).Nanoseconds() }()
+	sc := chunkScanner(f, off, end)
+	ss := states * states
+	scratch := make([]float32, 0, ss)
+	for sc.Scan() {
+		line := trimLine(sc.Bytes())
+		if len(line) == 0 || line[0] == '%' {
+			continue
+		}
+		src, dst, probs, err := parseEntry(line, scratch)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if src < 1 || src > numNodes || dst < 1 || dst > numNodes {
+			c.err = fmt.Errorf("endpoints (%d,%d) out of range", src, dst)
+			return
+		}
+		if shared {
+			if len(probs) != 0 {
+				c.err = fmt.Errorf("edge (%d,%d): matrix data in shared mode", src, dst)
+				return
+			}
+		} else {
+			if len(probs) != ss {
+				c.err = fmt.Errorf("edge (%d,%d): %d matrix entries, want %d", src, dst, len(probs), ss)
+				return
+			}
+			m := graph.JointMatrix{Rows: uint32(states), Cols: uint32(states), Data: probs}
+			if err := m.Validate(); err != nil {
+				c.err = fmt.Errorf("edge (%d,%d): %w", src, dst, err)
+				return
+			}
+			c.matData = append(c.matData, probs...)
+		}
+		c.src = append(c.src, int32(src-1))
+		c.dst = append(c.dst, int32(dst-1))
+	}
+	c.err = sc.Err()
+}

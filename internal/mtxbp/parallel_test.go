@@ -1,0 +1,347 @@
+package mtxbp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/telemetry"
+)
+
+// withMinChunk shrinks the chunk floor so tiny test files still split
+// into multiple chunks, restoring the default afterwards. Tests using it
+// must not call t.Parallel.
+func withMinChunk(t *testing.T, n int64) {
+	t.Helper()
+	old := minChunkBytes
+	minChunkBytes = n
+	t.Cleanup(func() { minChunkBytes = old })
+}
+
+// f32Equal compares two float arrays bit for bit — the parallel reader's
+// contract is bit-identical output, so no tolerance.
+func f32Equal(t *testing.T, what string, a, b []float32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("%s[%d]: %v (bits %08x) != %v (bits %08x)",
+				what, i, a[i], math.Float32bits(a[i]), b[i], math.Float32bits(b[i]))
+		}
+	}
+}
+
+func i32Equal(t *testing.T, what string, a, b []int32) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s[%d]: %d != %d", what, i, a[i], b[i])
+		}
+	}
+}
+
+// graphsIdentical asserts g2 is bit-identical to g1 across every array the
+// Builder fills: same shapes, same values, same order.
+func graphsIdentical(t *testing.T, g1, g2 *graph.Graph) {
+	t.Helper()
+	if g1.NumNodes != g2.NumNodes || g1.NumEdges != g2.NumEdges || g1.States != g2.States {
+		t.Fatalf("shape: %d/%d/%d != %d/%d/%d",
+			g1.NumNodes, g1.NumEdges, g1.States, g2.NumNodes, g2.NumEdges, g2.States)
+	}
+	f32Equal(t, "Priors", g1.Priors, g2.Priors)
+	f32Equal(t, "Beliefs", g1.Beliefs, g2.Beliefs)
+	f32Equal(t, "Messages", g1.Messages, g2.Messages)
+	i32Equal(t, "EdgeSrc", g1.EdgeSrc, g2.EdgeSrc)
+	i32Equal(t, "EdgeDst", g1.EdgeDst, g2.EdgeDst)
+	i32Equal(t, "InOffsets", g1.InOffsets, g2.InOffsets)
+	i32Equal(t, "InEdges", g1.InEdges, g2.InEdges)
+	i32Equal(t, "OutOffsets", g1.OutOffsets, g2.OutOffsets)
+	i32Equal(t, "OutEdges", g1.OutEdges, g2.OutEdges)
+	if len(g1.Observed) != len(g2.Observed) {
+		t.Fatalf("Observed length %d != %d", len(g1.Observed), len(g2.Observed))
+	}
+	for i := range g1.Observed {
+		if g1.Observed[i] != g2.Observed[i] {
+			t.Fatalf("Observed[%d] differs", i)
+		}
+	}
+	if g1.SharedMatrix() != g2.SharedMatrix() {
+		t.Fatalf("shared mode %v != %v", g1.SharedMatrix(), g2.SharedMatrix())
+	}
+	if g1.SharedMatrix() {
+		f32Equal(t, "Shared.Data", g1.Shared.Data, g2.Shared.Data)
+		f32Equal(t, "Shared.T", g1.Shared.T, g2.Shared.T)
+	} else {
+		if len(g1.EdgeMats) != len(g2.EdgeMats) {
+			t.Fatalf("EdgeMats length %d != %d", len(g1.EdgeMats), len(g2.EdgeMats))
+		}
+		for e := range g1.EdgeMats {
+			f32Equal(t, "EdgeMats.Data", g1.EdgeMats[e].Data, g2.EdgeMats[e].Data)
+			f32Equal(t, "EdgeMats.T", g1.EdgeMats[e].T, g2.EdgeMats[e].T)
+		}
+	}
+}
+
+// writeCorpus materializes a generated graph as an mtxbp file pair.
+func writeCorpus(t *testing.T, dir, name string, n, m int, cfg gen.Config) (nodePath, edgePath string) {
+	t.Helper()
+	g, err := gen.Synthetic(n, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePath = filepath.Join(dir, name+".nodes.mtx")
+	edgePath = filepath.Join(dir, name+".edges.mtx")
+	if err := WriteFiles(nodePath, edgePath, g); err != nil {
+		t.Fatal(err)
+	}
+	return nodePath, edgePath
+}
+
+// TestParallelReadBitIdentical is the differential pin: for every corpus
+// and every worker count, the chunked parallel reader must produce a graph
+// bit-identical to the sequential streaming reader.
+func TestParallelReadBitIdentical(t *testing.T) {
+	withMinChunk(t, 256)
+	dir := t.TempDir()
+	corpora := []struct {
+		name string
+		n, m int
+		cfg  gen.Config
+	}{
+		{"binary", 120, 480, gen.Config{Seed: 11, States: 2}},
+		{"ternary", 90, 400, gen.Config{Seed: 12, States: 3}},
+		{"shared", 150, 700, gen.Config{Seed: 13, States: 4, Shared: true}},
+		{"wide", 40, 120, gen.Config{Seed: 14, States: 8}},
+		{"edgeless", 17, 0, gen.Config{Seed: 15, States: 2}},
+	}
+	for _, c := range corpora {
+		np, ep := writeCorpus(t, dir, c.name, c.n, c.m, c.cfg)
+		want, err := readFilesSequential(np, ep)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", c.name, err)
+		}
+		for _, workers := range []int{1, 2, 3, 5, 16} {
+			got, err := ReadParallel(np, ep, ReadOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s/w=%d: ReadParallel: %v", c.name, workers, err)
+			}
+			t.Run(c.name, func(t *testing.T) { graphsIdentical(t, want, got) })
+		}
+	}
+}
+
+// TestParallelReadGzipFallback pins the fallback: gzip inputs are not
+// seekable, so ReadParallel must route them through the sequential reader
+// and still match it.
+func TestParallelReadGzipFallback(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.Synthetic(60, 240, gen.Config{Seed: 21, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := filepath.Join(dir, "g.nodes.mtx.gz")
+	ep := filepath.Join(dir, "g.edges.mtx.gz")
+	if err := WriteFiles(np, ep, g); err != nil {
+		t.Fatal(err)
+	}
+	want, err := readFilesSequential(np, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParallel(np, ep, ReadOptions{Workers: 8})
+	if err != nil {
+		t.Fatalf("ReadParallel on gzip: %v", err)
+	}
+	graphsIdentical(t, want, got)
+}
+
+// TestParallelReadComments forces a multi-chunk split over a file whose
+// data region is littered with comments and blank lines, including
+// indented ones, so chunk workers exercise the same classification as the
+// sequential path.
+func TestParallelReadComments(t *testing.T) {
+	withMinChunk(t, 16)
+	dir := t.TempDir()
+	nodes := "%%MatrixMarket credo node beliefs\n% header comment\n4 4 2\n1 1 0.5 0.5\n  % indented\n2 2 0.25 0.75\n\n3 3 0.1 0.9\n\t% tabbed\n4 4 0.6 0.4\n"
+	edges := "%%MatrixMarket credo edge joint shared\n4 4 3\n0 0 0.8 0.2 0.3 0.7\n1 2\n% mid-stream comment\n2 3\n   % another\n3 4\n"
+	np := filepath.Join(dir, "c.nodes.mtx")
+	ep := filepath.Join(dir, "c.edges.mtx")
+	if err := os.WriteFile(np, []byte(nodes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ep, []byte(edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := readFilesSequential(np, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParallel(np, ep, ReadOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("ReadParallel: %v", err)
+	}
+	graphsIdentical(t, want, got)
+}
+
+// TestParallelReadErrors pins error parity on the malformed inputs the
+// sequential reader rejects: the parallel path must reject them too, even
+// when the defect straddles a chunk boundary.
+func TestParallelReadErrors(t *testing.T) {
+	withMinChunk(t, 16)
+	dir := t.TempDir()
+	nodesOK := "%%MatrixMarket credo node beliefs\n3 3 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n3 3 0.5 0.5\n"
+	cases := []struct {
+		name, nodes, edges, want string
+	}{
+		{"trailing node data", nodesOK + "4 4 0.5 0.5\n",
+			"%%MatrixMarket credo edge joint\n3 3 0\n", "trailing data"},
+		{"truncated node file", "%%MatrixMarket credo node beliefs\n3 3 2\n1 1 0.5 0.5\n",
+			"%%MatrixMarket credo edge joint\n3 3 0\n", "3 declared"},
+		{"node id out of order", "%%MatrixMarket credo node beliefs\n3 3 2\n1 1 0.5 0.5\n3 3 0.5 0.5\n2 2 0.5 0.5\n",
+			"%%MatrixMarket credo edge joint\n3 3 0\n", "out of order"},
+		{"node dims not square", "%%MatrixMarket credo node beliefs\n3 4 2\n",
+			"%%MatrixMarket credo edge joint\n3 3 0\n", "not square"},
+		{"negative edge count", nodesOK,
+			"%%MatrixMarket credo edge joint\n3 3 -1\n", "negative edge count"},
+		{"endpoint out of range", nodesOK,
+			"%%MatrixMarket credo edge joint\n3 3 1\n1 9 0.9 0.1 0.2 0.8\n", "out of range"},
+		{"trailing edge data", nodesOK,
+			"%%MatrixMarket credo edge joint shared\n3 3 1\n0 0 0.5 0.5 0.5 0.5\n1 2\n2 3\n", "trailing data"},
+		{"edge count mismatch", nodesOK,
+			"%%MatrixMarket credo edge joint\n4 4 0\n", "declares"},
+		{"bad edge header", nodesOK, "%%wrong\n3 3 0\n", "header"},
+		{"garbage probability mid-file", "%%MatrixMarket credo node beliefs\n3 3 2\n1 1 0.5 0.5\n2 2 zz 0.5\n3 3 0.5 0.5\n",
+			"%%MatrixMarket credo edge joint\n3 3 0\n", "probability"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			np := filepath.Join(dir, "e.nodes.mtx")
+			ep := filepath.Join(dir, "e.edges.mtx")
+			if err := os.WriteFile(np, []byte(tc.nodes), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(ep, []byte(tc.edges), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := readFilesSequential(np, ep); err == nil {
+				t.Fatal("sequential reader accepted malformed input")
+			}
+			_, err := ReadParallel(np, ep, ReadOptions{Workers: 4})
+			if err == nil {
+				t.Fatal("parallel reader accepted malformed input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// collectProbe records events for assertion.
+type collectProbe struct {
+	events []telemetry.Event
+}
+
+func (p *collectProbe) Emit(e telemetry.Event) { p.events = append(p.events, e) }
+
+// TestParallelReadProbe checks the ingest telemetry contract: per-chunk
+// events whose line counts sum to the phase summary, for both phases.
+func TestParallelReadProbe(t *testing.T) {
+	withMinChunk(t, 256)
+	dir := t.TempDir()
+	np, ep := writeCorpus(t, dir, "p", 200, 800, gen.Config{Seed: 31, States: 3})
+	probe := &collectProbe{}
+	g, err := ReadParallel(np, ep, ReadOptions{Workers: 4, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]struct {
+		chunkLines int64
+		summary    *telemetry.Event
+	}{}
+	for i := range probe.events {
+		e := probe.events[i]
+		if e.Kind != telemetry.KindIngest {
+			t.Fatalf("unexpected event kind %v", e.Kind)
+		}
+		ph := phases[e.Engine]
+		if e.Worker >= 0 {
+			ph.chunkLines += e.Updated
+		} else {
+			ph.summary = &probe.events[i]
+		}
+		phases[e.Engine] = ph
+	}
+	for _, engine := range []string{"ingest.nodes", "ingest.edges"} {
+		ph, ok := phases[engine]
+		if !ok || ph.summary == nil {
+			t.Fatalf("missing %s summary event", engine)
+		}
+		if ph.chunkLines != ph.summary.Updated {
+			t.Errorf("%s: chunk lines %d != summary %d", engine, ph.chunkLines, ph.summary.Updated)
+		}
+		if int(ph.summary.Iter) < 2 {
+			t.Errorf("%s: expected a multi-chunk split, got %d chunks", engine, ph.summary.Iter)
+		}
+	}
+	if want := int64(g.NumNodes); phases["ingest.nodes"].summary.Updated != want {
+		t.Errorf("node lines %d != %d nodes", phases["ingest.nodes"].summary.Updated, want)
+	}
+	if want := int64(g.NumEdges); phases["ingest.edges"].summary.Updated != want {
+		t.Errorf("edge lines %d != %d edges", phases["ingest.edges"].summary.Updated, want)
+	}
+}
+
+// FuzzParallelRead is the differential fuzz target: any input pair the
+// sequential reader accepts must be accepted by the parallel reader with a
+// bit-identical graph, and any input it rejects must be rejected too.
+func FuzzParallelRead(f *testing.F) {
+	f.Add(
+		"%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n2 2 0.25 0.75\n",
+		"%%MatrixMarket credo edge joint\n2 2 1\n1 2 0.9 0.1 0.2 0.8\n",
+	)
+	f.Add(
+		"%%MatrixMarket credo node beliefs\n1 1 2\n1 1 1 0\n",
+		"%%MatrixMarket credo edge joint shared\n1 1 1\n0 0 0.5 0.5 0.5 0.5\n1 1\n",
+	)
+	f.Add(
+		"%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n  % indented comment\n2 2 0.25 0.75\n",
+		"%%MatrixMarket credo edge joint\n2 2 0\n",
+	)
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, nodes, edges string) {
+		old := minChunkBytes
+		minChunkBytes = 8
+		defer func() { minChunkBytes = old }()
+		dir := t.TempDir()
+		np := filepath.Join(dir, "f.nodes.mtx")
+		ep := filepath.Join(dir, "f.edges.mtx")
+		if err := os.WriteFile(np, []byte(nodes), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ep, []byte(edges), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want, seqErr := readFilesSequential(np, ep)
+		got, parErr := ReadParallel(np, ep, ReadOptions{Workers: 3})
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("accept/reject disagreement: sequential=%v parallel=%v", seqErr, parErr)
+		}
+		if seqErr != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("parallel reader accepted input but built invalid graph: %v", err)
+		}
+		graphsIdentical(t, want, got)
+	})
+}

@@ -1,0 +1,143 @@
+package mtxbp
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression tests for the historical parser defects fixed alongside the
+// parallel ingest work. Each test failed against the old reader.
+
+// The old Read verified only the edge file for trailing data; extra lines
+// after the declared node entries were silently ignored.
+func TestReadRejectsTrailingNodeData(t *testing.T) {
+	nodes := "%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n3 3 0.5 0.5\n"
+	edges := "%%MatrixMarket credo edge joint\n2 2 0\n"
+	_, err := Read(strings.NewReader(nodes), strings.NewReader(edges))
+	if err == nil {
+		t.Fatal("Read accepted node file with trailing data")
+	}
+	if !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("error %q does not mention trailing data", err)
+	}
+}
+
+// The old trailing-data check treated any non-EOF scanner state as
+// trailing data, so a real failure — here a line past the scanner's
+// buffer cap — surfaced as a misleading "trailing data" report instead of
+// the underlying error.
+func TestReadSurfacesScannerErrorAtTrailingCheck(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("%%MatrixMarket credo node beliefs\n1 1 2\n1 1 0.5 0.5\n")
+	sb.WriteString("% ")
+	sb.WriteString(strings.Repeat("x", maxLineBytes+1))
+	sb.WriteByte('\n')
+	edges := "%%MatrixMarket credo edge joint\n1 1 0\n"
+	_, err := Read(strings.NewReader(sb.String()), strings.NewReader(edges))
+	if err == nil {
+		t.Fatal("Read accepted input with an over-long line")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error %q does not wrap bufio.ErrTooLong", err)
+	}
+	if strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("scanner failure misreported as trailing data: %q", err)
+	}
+}
+
+// errAfterReader yields its payload, then a non-EOF error — an I/O
+// failure hitting exactly at the trailing-data check.
+type errAfterReader struct {
+	r   *strings.Reader
+	err error
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err != nil {
+		return n, e.err
+	}
+	return n, nil
+}
+
+func TestReadSurfacesIOErrorAtTrailingCheck(t *testing.T) {
+	ioErr := errors.New("disk on fire")
+	nodes := &errAfterReader{r: strings.NewReader("%%MatrixMarket credo node beliefs\n1 1 2\n1 1 0.5 0.5\n"), err: ioErr}
+	edges := strings.NewReader("%%MatrixMarket credo edge joint\n1 1 0\n")
+	_, err := Read(nodes, edges)
+	if err == nil {
+		t.Fatal("Read swallowed the I/O error")
+	}
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("error %q does not wrap the underlying I/O error", err)
+	}
+	if strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("I/O failure misreported as trailing data: %q", err)
+	}
+}
+
+// The old data-line classifier tested line[0] == '%' before trimming, so
+// a comment indented by whitespace was parsed as a data line and failed
+// with an identifier error.
+func TestReadAcceptsIndentedComments(t *testing.T) {
+	nodes := "%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n  % indented comment\n\t% tab-indented comment\n2 2 0.25 0.75\n"
+	edges := "%%MatrixMarket credo edge joint\n2 2 1\n   % another one\n1 2 0.9 0.1 0.2 0.8\n"
+	g, err := Read(strings.NewReader(nodes), strings.NewReader(edges))
+	if err != nil {
+		t.Fatalf("Read rejected indented comments: %v", err)
+	}
+	if g.NumNodes != 2 || g.NumEdges != 1 {
+		t.Fatalf("shape %d/%d", g.NumNodes, g.NumEdges)
+	}
+	if g.Belief(1)[1] != 0.75 {
+		t.Errorf("node 2 prior = %v", g.Belief(1))
+	}
+}
+
+// The old reader used only dims[0] and never cross-checked dims[1], so a
+// non-square dimension header — a malformed file by the Matrix Market
+// convention the format inherits — was accepted without complaint.
+func TestReadRejectsNonSquareDims(t *testing.T) {
+	nodesOK := "%%MatrixMarket credo node beliefs\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n"
+	cases := []struct {
+		name, nodes, edges, want string
+	}{
+		{
+			"node dims",
+			"%%MatrixMarket credo node beliefs\n2 3 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n",
+			"%%MatrixMarket credo edge joint\n2 2 0\n",
+			"not square",
+		},
+		{
+			"edge dims",
+			nodesOK,
+			"%%MatrixMarket credo edge joint\n2 3 0\n",
+			"not square",
+		},
+		{
+			"negative edge count",
+			nodesOK,
+			"%%MatrixMarket credo edge joint\n2 2 -1\n",
+			"negative edge count",
+		},
+		{
+			"negative node count",
+			"%%MatrixMarket credo node beliefs\n-2 -2 2\n",
+			"%%MatrixMarket credo edge joint\n-2 -2 0\n",
+			"negative node count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.nodes), strings.NewReader(tc.edges))
+			if err == nil {
+				t.Fatal("Read accepted malformed dimension header")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

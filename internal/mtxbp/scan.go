@@ -1,0 +1,220 @@
+package mtxbp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// This file is the zero-allocation field/float scanner shared by the
+// sequential and parallel ingest paths. The old reader split every line
+// with strings.Fields (one []string plus one string per field) and ran
+// strconv over the pieces; at Table-1 scale those per-line allocations
+// dominate ingest. Here a data line is consumed directly as bytes: fields
+// are sliced out in place, identifiers are parsed with a hand-rolled
+// integer loop, and probabilities take a Clinger-style fast path — up to 7
+// significant digits and a small decimal exponent are assembled with one
+// exact float32 multiply or divide, which is bit-identical to strconv's
+// correctly rounded result (both operands are exact in float32, so the
+// single IEEE rounding is the correct rounding of the true value). The
+// writers emit %g with 7 significant digits, so round-tripped files stay
+// on the fast path throughout; anything longer or stranger (long
+// mantissas, huge exponents, inf/nan spellings, hex floats) falls back to
+// strconv.ParseFloat on an allocated copy.
+
+// pow10f32 holds the powers of ten exact in float32: 10^10 = 2^10 * 5^10
+// and 5^10 = 9765625 < 2^24, so every entry is representable.
+var pow10f32 = [11]float32{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// isLineSpace reports the ASCII whitespace accepted between fields.
+func isLineSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// trimLine strips leading and trailing ASCII whitespace in place (a
+// subslice, no copy).
+func trimLine(b []byte) []byte {
+	for len(b) > 0 && isLineSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isLineSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// nextField slices the first whitespace-delimited field off b, returning
+// the field and the remainder. An empty field means b was exhausted.
+func nextField(b []byte) (field, rest []byte) {
+	for len(b) > 0 && isLineSpace(b[0]) {
+		b = b[1:]
+	}
+	i := 0
+	for i < len(b) && !isLineSpace(b[i]) {
+		i++
+	}
+	return b[:i], b[i:]
+}
+
+// parseID parses a decimal identifier (sign accepted so that negative ids
+// reach the range checks with their value, as strconv.Atoi allowed).
+func parseID(b []byte) (int, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return 0, fmt.Errorf("identifier %q: invalid syntax", b)
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("identifier %q: invalid syntax", b)
+		}
+		if n > (math.MaxInt-9)/10 {
+			return 0, fmt.Errorf("identifier %q: value out of range", b)
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// parseProbFast is the allocation-free float32 fast path. ok is false when
+// the token needs the strconv fallback (which also handles every syntax
+// error, so this function never rejects anything itself).
+func parseProbFast(b []byte) (v float32, ok bool) {
+	i, n := 0, len(b)
+	if n == 0 || n > 24 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+	}
+	var mant uint32
+	sawDigit, sawDot := false, false
+	fracDigits := 0
+	for ; i < n; i++ {
+		c := b[i]
+		switch {
+		case c >= '0' && c <= '9':
+			sawDigit = true
+			if mant >= 10_000_000 {
+				return 0, false // more than 7 significant digits
+			}
+			mant = mant*10 + uint32(c-'0')
+			if sawDot {
+				fracDigits++
+			}
+		case c == '.':
+			if sawDot {
+				return 0, false
+			}
+			sawDot = true
+		case c == 'e' || c == 'E':
+			goto exponent
+		default:
+			return 0, false
+		}
+	}
+	i = n
+exponent:
+	if !sawDigit {
+		return 0, false
+	}
+	exp := -fracDigits
+	if i < n { // b[i] is 'e' or 'E'
+		i++
+		eneg := false
+		if i < n && (b[i] == '+' || b[i] == '-') {
+			eneg = b[i] == '-'
+			i++
+		}
+		if i == n {
+			return 0, false
+		}
+		e := 0
+		for ; i < n; i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			e = e*10 + int(c-'0')
+			if e > 99 {
+				return 0, false
+			}
+		}
+		if eneg {
+			e = -e
+		}
+		exp += e
+	}
+	if exp < -10 || exp > 10 {
+		return 0, false
+	}
+	// mant < 2^24 and 10^|exp| are both exact float32 values, so the one
+	// multiply or divide below performs the single correct rounding.
+	v = float32(mant)
+	if exp >= 0 {
+		v *= pow10f32[exp]
+	} else {
+		v /= pow10f32[-exp]
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// parseProb parses one probability token, fast path first.
+func parseProb(b []byte) (float32, error) {
+	if v, ok := parseProbFast(b); ok {
+		return v, nil
+	}
+	v, err := strconv.ParseFloat(string(b), 32)
+	if err != nil {
+		return 0, fmt.Errorf("probability %q: %w", b, err)
+	}
+	return float32(v), nil
+}
+
+// parseEntry splits a data line into its two identifiers and
+// probabilities. The probabilities are appended into probs[:0] so callers
+// can reuse one buffer across lines; the returned slice aliases it.
+func parseEntry(line []byte, probs []float32) (id1, id2 int, out []float32, err error) {
+	f1, rest := nextField(line)
+	f2, rest := nextField(rest)
+	if len(f2) == 0 {
+		return 0, 0, nil, fmt.Errorf("line has fewer than 2 fields")
+	}
+	id1, err = parseID(f1)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	id2, err = parseID(f2)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	out = probs[:0]
+	for {
+		var f []byte
+		f, rest = nextField(rest)
+		if len(f) == 0 {
+			return id1, id2, out, nil
+		}
+		v, perr := parseProb(f)
+		if perr != nil {
+			return 0, 0, nil, perr
+		}
+		if v < 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return 0, 0, nil, fmt.Errorf("probability %q is not a valid probability", f)
+		}
+		out = append(out, v)
+	}
+}

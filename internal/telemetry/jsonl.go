@@ -79,6 +79,18 @@ func (j *JSONLWriter) Emit(e Event) {
 		b = appendInt(b, "worker", int64(e.Worker))
 		b = appendInt(b, "busy_ns", e.BusyNs)
 		b = appendInt(b, "wall_ns", e.WallNs)
+	case KindIngest:
+		if e.Worker >= 0 {
+			b = appendInt(b, "chunk", int64(e.Worker))
+		} else {
+			b = appendInt(b, "chunks", int64(e.Iter))
+			b = appendInt(b, "total_bytes", e.Items)
+			b = appendInt(b, "wall_ns", e.WallNs)
+			b = appendInt(b, "parse_wall_ns", e.Active)
+		}
+		b = appendInt(b, "lines", e.Updated)
+		b = appendInt(b, "bytes", e.Edges)
+		b = appendInt(b, "busy_ns", e.BusyNs)
 	}
 	b = append(b, '}', '\n')
 	j.buf = b

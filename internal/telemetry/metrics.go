@@ -33,6 +33,9 @@ type Metrics struct {
 	lastActive atomic.Int64  // last frontier/queue occupancy (-1 unknown)
 	lastItems  atomic.Int64  // last item-space size
 
+	ingestBytes atomic.Int64 // bytes consumed by the ingest chunk parsers
+	ingestLines atomic.Int64 // data lines parsed by the ingest chunk parsers
+
 	mu         sync.Mutex
 	lastEngine string
 }
@@ -76,6 +79,13 @@ func (m *Metrics) Emit(e Event) {
 		m.storeMax(&m.staleDrops, e.StaleDrops)
 		m.storeMax(&m.wasted, e.Wasted)
 		m.storeMax(&m.contention, e.Contention)
+	case KindIngest:
+		// Only per-chunk events (Worker >= 0) carry increments; the phase
+		// summary repeats the totals and would double-count.
+		if e.Worker >= 0 {
+			m.ingestBytes.Add(e.Edges)
+			m.ingestLines.Add(e.Updated)
+		}
 	}
 }
 
@@ -114,6 +124,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("credo_queue_contention_total", "Failed TryLock acquisitions on sharded queues.", m.contention.Load())
 	counter("credo_kernel_fast_path_total", "Kernel linear fast-path folds.", m.fastPath.Load())
 	counter("credo_kernel_rescales_total", "Kernel max-rescales of linear products.", m.rescales.Load())
+	counter("credo_ingest_bytes_total", "Bytes consumed by the mtxbp ingest parsers.", m.ingestBytes.Load())
+	counter("credo_ingest_lines_total", "Data lines parsed by the mtxbp ingest parsers.", m.ingestLines.Load())
 	// The residual originates as a float32; format at 32-bit precision so
 	// the exposition shows 0.0008, not the widened float64 digits.
 	fmt.Fprintf(w, "# HELP credo_last_delta Global residual norm at the last boundary.\n# TYPE credo_last_delta gauge\n")
@@ -150,6 +162,8 @@ func (m *Metrics) snapshot() any {
 		"queue_contention": m.contention.Load(),
 		"kernel_fast_path": m.fastPath.Load(),
 		"kernel_rescales":  m.rescales.Load(),
+		"ingest_bytes":     m.ingestBytes.Load(),
+		"ingest_lines":     m.ingestLines.Load(),
 		"last_delta":       math.Float64frombits(m.lastDelta.Load()),
 		"active_items":     m.lastActive.Load(),
 		"total_items":      m.lastItems.Load(),

@@ -40,6 +40,16 @@ const (
 	// KindWorker reports one worker's utilization for the whole run:
 	// Worker, BusyNs and WallNs are set (sync wait = WallNs - BusyNs).
 	KindWorker
+	// KindIngest reports graph-loading progress from the parallel chunked
+	// ingest path (internal/mtxbp). Engine is the phase ("ingest.nodes",
+	// "ingest.edges"); a per-chunk event has Worker >= 0 (the chunk
+	// index) and carries that chunk's increments — Updated data lines
+	// parsed, Edges bytes consumed, BusyNs parse time; the phase summary
+	// has Worker == -1 and carries Iter chunk count, Items total region
+	// bytes, BusyNs summed parse time, WallNs the phase wall clock and
+	// Active the wall clock of the phase's fan-out sub-spans alone
+	// (chunk parse plus block install — the parallelizable span).
+	KindIngest
 )
 
 // String returns the JSONL name of the kind.
@@ -53,6 +63,8 @@ func (k Kind) String() string {
 		return "run_end"
 	case KindWorker:
 		return "worker"
+	case KindIngest:
+		return "ingest"
 	}
 	return "unknown"
 }
