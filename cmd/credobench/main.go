@@ -69,6 +69,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		traceWriter = telemetry.NewJSONLWriter(traceFile)
 		probes = append(probes, traceWriter)
+		// The success path flushes and closes explicitly (and reports the
+		// errors); this defer only covers early error returns between here
+		// and there, which nil traceFile out after closing.
+		defer func() {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+		}()
 	}
 	if *httpAddr != "" {
 		metrics := &telemetry.Metrics{}
@@ -140,8 +148,10 @@ func run(args []string, stdout io.Writer) error {
 		if err := traceWriter.Flush(); err != nil {
 			return err
 		}
-		if err := traceFile.Close(); err != nil {
-			return err
+		closeErr := traceFile.Close()
+		traceFile = nil
+		if closeErr != nil {
+			return closeErr
 		}
 		fmt.Fprintf(out, "telemetry: event stream written to %s\n", *traceOut)
 	}

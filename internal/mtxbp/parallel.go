@@ -153,26 +153,71 @@ func ReadParallel(nodePath, edgePath string, opts ReadOptions) (*graph.Graph, er
 	return b.Build()
 }
 
+// eofStampReader records the wall-clock instant its underlying reader
+// first returns io.EOF. Wrapped around the node file, that instant is the
+// node/edge phase boundary of the sequential Read: the node reader is
+// drained to EOF (expectEOF) before the first edge data line is parsed.
+// The scanner's read-ahead buffer makes the stamp early by at most one
+// buffer fill, which is negligible against whole-file parse time.
+type eofStampReader struct {
+	r  io.Reader
+	at time.Time
+}
+
+func (s *eofStampReader) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	if err == io.EOF && s.at.IsZero() {
+		s.at = time.Now()
+	}
+	return n, err
+}
+
 // readSequentialWithProbe is the fallback path (gzip inputs, one worker):
-// the streaming reader, framed by the same ingest telemetry.
+// the streaming reader, framed by the same ingest telemetry. The node and
+// edge phases are timed separately so parse_wall_ns stays meaningful for
+// Amdahl modelling over gzip/1-worker runs.
 func readSequentialWithProbe(nodePath, edgePath string, probe telemetry.Probe) (*graph.Graph, error) {
 	if probe == nil {
 		return readFilesSequential(nodePath, edgePath)
 	}
+	nf, err := os.Open(nodePath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	nr, err := newFileReader(nf, nodePath)
+	if err != nil {
+		return nil, err
+	}
+	er, err := newFileReader(ef, edgePath)
+	if err != nil {
+		return nil, err
+	}
+	stamp := &eofStampReader{r: nr}
 	start := time.Now()
-	g, err := readFilesSequential(nodePath, edgePath)
+	g, err := Read(stamp, er)
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(start).Nanoseconds()
+	nodeWall := wall
+	if !stamp.at.IsZero() {
+		nodeWall = stamp.at.Sub(start).Nanoseconds()
+	}
+	edgeWall := wall - nodeWall
 	nBytes := fileSizeOrZero(nodePath)
 	eBytes := fileSizeOrZero(edgePath)
-	emitIngestPhase(probe, "ingest.nodes", 1, int64(g.NumNodes), nBytes, wall, wall, []chunkStat{{lines: int64(g.NumNodes), bytes: nBytes, busyNs: wall}})
+	emitIngestPhase(probe, "ingest.nodes", 1, int64(g.NumNodes), nBytes, nodeWall, nodeWall, []chunkStat{{lines: int64(g.NumNodes), bytes: nBytes, busyNs: nodeWall}})
 	eLines := int64(g.NumEdges)
 	if g.SharedMatrix() {
 		eLines++
 	}
-	emitIngestPhase(probe, "ingest.edges", 1, eLines, eBytes, 0, 0, []chunkStat{{lines: eLines, bytes: eBytes, busyNs: 0}})
+	emitIngestPhase(probe, "ingest.edges", 1, eLines, eBytes, edgeWall, edgeWall, []chunkStat{{lines: eLines, bytes: eBytes, busyNs: edgeWall}})
 	return g, nil
 }
 

@@ -105,8 +105,12 @@ func parseProbFast(b []byte) (v float32, ok bool) {
 		switch {
 		case c >= '0' && c <= '9':
 			sawDigit = true
-			if mant >= 10_000_000 {
-				return 0, false // more than 7 significant digits
+			if mant >= 1_000_000 {
+				// Appending an 8th significant digit could push mant past
+				// 2^24, where float32(mant) is no longer exact and the
+				// multiply below double-rounds; cap at 7 digits
+				// (mant <= 9,999,999 < 2^24) and let strconv handle the rest.
+				return 0, false
 			}
 			mant = mant*10 + uint32(c-'0')
 			if sawDot {

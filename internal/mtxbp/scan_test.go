@@ -1,0 +1,86 @@
+package mtxbp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// checkProbExact asserts parseProb returns bit-identical results to
+// strconv.ParseFloat, the file's stated invariant.
+func checkProbExact(t *testing.T, tok string) {
+	t.Helper()
+	got, err := parseProb([]byte(tok))
+	if err != nil {
+		t.Fatalf("parseProb(%q): %v", tok, err)
+	}
+	w, err := strconv.ParseFloat(tok, 32)
+	if err != nil {
+		t.Fatalf("strconv.ParseFloat(%q): %v", tok, err)
+	}
+	want := float32(w)
+	if math.Float32bits(got) != math.Float32bits(want) {
+		t.Errorf("parseProb(%q) = %v (%#08x), strconv = %v (%#08x)",
+			tok, got, math.Float32bits(got), want, math.Float32bits(want))
+	}
+}
+
+// The fast path originally admitted 8 significant digits (mantissas up to
+// 99,999,999 > 2^24), where float32(mant) is inexact and the scale
+// multiply double-rounds — inputs like "16777217e-8" parsed 1 ulp off
+// from strconv. These must now match strconv exactly (via fallback).
+func TestParseProbEightDigitMantissas(t *testing.T) {
+	cases := []string{
+		"16777217e-8", // 2^24+1: first integer inexact in float32
+		"0.16777217",
+		"16777217",
+		"1.6777217",
+		"99999999e-9",
+		"0.99999999",
+		"33554431e-8", // 2^25-1
+		"0.000000016777217",
+		"16777219e-4",
+	}
+	for _, tok := range cases {
+		checkProbExact(t, tok)
+	}
+	// Boundary sweep around 2^24, every decimal-point placement.
+	for mant := uint64(1<<24 - 20); mant <= 1<<24+20; mant++ {
+		d := strconv.FormatUint(mant, 10)
+		for exp := -10; exp <= 2; exp++ {
+			checkProbExact(t, fmt.Sprintf("%se%d", d, exp))
+		}
+	}
+	// Random 8-digit mantissas (deterministic seed).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		mant := 10_000_000 + rng.Int63n(90_000_000)
+		exp := rng.Intn(13) - 10
+		checkProbExact(t, fmt.Sprintf("%de%d", mant, exp))
+	}
+}
+
+// Seven significant digits must stay on the allocation-free fast path and
+// still agree with strconv bit for bit.
+func TestParseProbFastSevenDigitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		mant := rng.Int63n(10_000_000)
+		exp := rng.Intn(21) - 10
+		tok := fmt.Sprintf("%de%d", mant, exp)
+		if _, ok := parseProbFast([]byte(tok)); !ok {
+			t.Fatalf("parseProbFast rejected 7-digit token %q", tok)
+		}
+		checkProbExact(t, tok)
+	}
+	// The writer's own %g output (up to 7 significant digits, possible
+	// leading zeros after the point) must also stay fast.
+	for _, tok := range []string{"0.5", "0.0078125", "1e-07", "0.9999999", "9999999", "0.001234567"} {
+		if _, ok := parseProbFast([]byte(tok)); !ok {
+			t.Errorf("parseProbFast rejected writer-shaped token %q", tok)
+		}
+		checkProbExact(t, tok)
+	}
+}
