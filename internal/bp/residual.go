@@ -26,12 +26,41 @@ import (
 // with the sweep engines.
 func RunResidual(g *graph.Graph, opts Options) Result {
 	sc := getScratch()
-	res := runResidual(g, opts, sc)
+	res := runResidual(g, opts, sc, nil)
 	sc.release()
 	return res
 }
 
-func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
+// RunResidualFrom executes residual BP resuming from the graph's current
+// beliefs: instead of seeding every node, only the given seed nodes'
+// residuals are computed and enqueued, and the scheduling loop spreads
+// from there exactly as in a cold run (an applied update always
+// refreshes its successors). It is the warm-start entry point of the
+// serving layer: when the graph holds a converged fixpoint for a nearby
+// evidence set, passing the evidence-perturbed frontier (the changed
+// nodes plus their out-neighbours) re-converges with a fraction of a
+// cold start's belief updates.
+//
+// A nil seeds slice means every node — identical to RunResidual. An
+// empty non-nil slice is a valid warm start with no perturbation: the
+// run returns immediately, converged, with zero updates. Out-of-range,
+// observed and input-free seed nodes are skipped; duplicates are
+// harmless.
+func RunResidualFrom(g *graph.Graph, opts Options, seeds []int32) Result {
+	sc := getScratch()
+	var res Result
+	if seeds == nil {
+		res = runResidual(g, opts, sc, nil)
+	} else {
+		res = runResidual(g, opts, sc, &seeds)
+	}
+	sc.release()
+	return res
+}
+
+// runResidual drives the residual schedule. seeds == nil seeds the full
+// node space (cold start); otherwise only *seeds enter the queue.
+func runResidual(g *graph.Graph, opts Options, sc *runScratch, seeds *[]int32) Result {
 	opts = opts.withDefaults(g.NumNodes)
 	s := g.States
 	k := kernel.New(g, opts.Kernel)
@@ -48,9 +77,9 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 	endSeed := telemetry.StartRegion(ctx, "seed")
 	pq := &sc.pq
 	pq.reset(g.NumNodes)
-	for v := int32(0); v < int32(g.NumNodes); v++ {
-		if g.Observed[v] || g.InDegree(v) == 0 {
-			continue
+	seedOne := func(v int32) {
+		if v < 0 || int(v) >= g.NumNodes || g.Observed[v] || g.InDegree(v) == 0 {
+			return
 		}
 		residualCandidate(g, &k, sc, &res, v, cand)
 		r := graph.L1Diff(cand, g.Belief(v))
@@ -60,6 +89,15 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch) Result {
 		if r > opts.QueueThreshold {
 			pq.update(v, r)
 			res.Ops.QueuePushes++
+		}
+	}
+	if seeds == nil {
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			seedOne(v)
+		}
+	} else {
+		for _, v := range *seeds {
+			seedOne(v)
 		}
 	}
 

@@ -1,0 +1,27 @@
+package graph
+
+import "fmt"
+
+// CopyStateFrom resets g's numeric state — beliefs, priors, observed
+// flags and messages — to src's, leaving g's adjacency, names and joint
+// matrices untouched. It is the evidence-overlay primitive behind the
+// serving layer: a resident graph stays pristine and read-only while
+// each query leases a structural clone, re-bases its numeric state with
+// CopyStateFrom, clamps its own evidence and runs propagation, so
+// concurrent queries never observe each other's clamps or beliefs.
+//
+// g and src must have the same shape (node count, edge count, belief
+// width); a leased clone always does. Only numeric arrays are written,
+// so any number of overlays may CopyStateFrom one shared src
+// concurrently.
+func (g *Graph) CopyStateFrom(src *Graph) error {
+	if g.NumNodes != src.NumNodes || g.NumEdges != src.NumEdges || g.States != src.States {
+		return fmt.Errorf("graph: overlay shape %d nodes/%d edges/%d states does not match source %d/%d/%d",
+			g.NumNodes, g.NumEdges, g.States, src.NumNodes, src.NumEdges, src.States)
+	}
+	copy(g.Beliefs, src.Beliefs)
+	copy(g.Priors, src.Priors)
+	copy(g.Observed, src.Observed)
+	copy(g.Messages, src.Messages)
+	return nil
+}

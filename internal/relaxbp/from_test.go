@@ -1,0 +1,83 @@
+package relaxbp
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+func fromGrid(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Grid(16, 16, gen.Config{Seed: 5, States: 2, Shared: true, Keep: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunFromEmptySeedsIsFree(t *testing.T) {
+	g := fromGrid(t)
+	if res := Run(g, Options{Workers: 2}); !res.Converged {
+		t.Fatalf("cold run did not converge (delta %g)", res.FinalDelta)
+	}
+	res := RunFrom(g, Options{Workers: 2}, []int32{})
+	if !res.Converged {
+		t.Fatal("empty-seed warm start did not report convergence")
+	}
+	if res.Ops.NodesProcessed != 0 {
+		t.Fatalf("empty-seed warm start applied %d updates, want 0", res.Ops.NodesProcessed)
+	}
+}
+
+func TestRunFromWarmMatchesColdWithFewerUpdates(t *testing.T) {
+	warm := fromGrid(t)
+	if res := Run(warm, Options{Workers: 2}); !res.Converged {
+		t.Fatalf("initial run did not converge (delta %g)", res.FinalDelta)
+	}
+	const clamped = 8*16 + 8
+	if err := warm.Observe(clamped, 1); err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{clamped}
+	for _, e := range warm.OutEdges[warm.OutOffsets[clamped]:warm.OutOffsets[clamped+1]] {
+		seeds = append(seeds, warm.EdgeDst[e])
+	}
+	// Degenerate seeds ride along to prove they are skipped, not fatal.
+	seeds = append(seeds, -1, int32(warm.NumNodes)+5, clamped)
+	warmRes := RunFrom(warm, Options{Workers: 2}, seeds)
+	if !warmRes.Converged {
+		t.Fatalf("warm run did not converge (delta %g)", warmRes.FinalDelta)
+	}
+
+	cold := fromGrid(t)
+	if err := cold.Observe(clamped, 1); err != nil {
+		t.Fatal(err)
+	}
+	coldRes := Run(cold, Options{Workers: 2})
+	if !coldRes.Converged {
+		t.Fatalf("cold run did not converge (delta %g)", coldRes.FinalDelta)
+	}
+
+	// The relaxed schedule is nondeterministic for Workers > 1, so the
+	// warm and cold runs are fixpoint-close rather than bitwise equal:
+	// each stops once every pending residual is below the element
+	// threshold, so the cross-run distance is locked at 10x the threshold
+	// (measured ~3x on this grid), the enginetest cross-run precedent.
+	tol := float32(10 * bp.DefaultThreshold)
+	var worst float32
+	for v := int32(0); v < int32(warm.NumNodes); v++ {
+		if d := graph.L1Diff(warm.Belief(v), cold.Belief(v)); d > worst {
+			worst = d
+		}
+	}
+	if worst > tol {
+		t.Fatalf("warm start diverges from cold start by %g (tolerance %g)", worst, tol)
+	}
+	if warmRes.Ops.NodesProcessed >= coldRes.Ops.NodesProcessed {
+		t.Fatalf("warm start applied %d updates, cold %d — no saving",
+			warmRes.Ops.NodesProcessed, coldRes.Ops.NodesProcessed)
+	}
+	t.Logf("updates: warm %d vs cold %d", warmRes.Ops.NodesProcessed, coldRes.Ops.NodesProcessed)
+}

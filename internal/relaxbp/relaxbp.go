@@ -116,6 +116,23 @@ func (o Options) withDefaults() Options {
 // count (sweep-equivalents, rounded up) so reports stay comparable with
 // the sweep engines, exactly like the sequential residual engine.
 func Run(g *graph.Graph, opts Options) bp.Result {
+	return RunFrom(g, opts, nil)
+}
+
+// RunFrom executes relaxed residual BP resuming from the graph's current
+// beliefs: only the given seed nodes enter the initial queue population
+// (at the maximum residual, so their first pop computes the true one),
+// and the relaxed schedule spreads from there exactly as in a cold run.
+// It is the warm-start entry point of the serving layer — see
+// bp.RunResidualFrom for the discipline and its guarantees.
+//
+// A nil seeds slice means every node — identical to Run. An empty
+// non-nil slice is a valid warm start with no perturbation: the workers
+// find an empty queue and the run returns converged with zero updates.
+// Out-of-range, observed and input-free seed nodes are skipped;
+// duplicate seeds enqueue superseded entries that the epoch check drops
+// as stale.
+func RunFrom(g *graph.Graph, opts Options, seeds []int32) bp.Result {
 	opts = opts.withDefaults()
 	s := g.States
 	workers := opts.Workers
@@ -170,14 +187,23 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 	// first pop computes its true one.
 	endSeed := telemetry.StartRegion(ctx, "seed")
 	initRng := rand.New(rand.NewSource(opts.Seed))
-	for v := int32(0); v < int32(g.NumNodes); v++ {
-		if g.Observed[v] || g.InDegree(v) == 0 {
-			continue
+	seedOne := func(v int32) {
+		if v < 0 || int(v) >= g.NumNodes || g.Observed[v] || g.InDegree(v) == 0 {
+			return
 		}
-		seq[v] = 1
-		mq.push(initRng, entry{node: v, seq: 1, prio: maxResidual}, &contention)
+		seq[v]++
+		mq.push(initRng, entry{node: v, seq: seq[v], prio: maxResidual}, &contention)
 		res.Ops.QueuePushes++
 		live.Add(1)
+	}
+	if seeds == nil {
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			seedOne(v)
+		}
+	} else {
+		for _, v := range seeds {
+			seedOne(v)
+		}
 	}
 	endSeed()
 

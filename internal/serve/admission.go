@@ -1,0 +1,52 @@
+package serve
+
+import "sync/atomic"
+
+// admission is the load-shedding gate: a fixed set of execution slots
+// plus a bounded waiting line. A request first tries to take a slot
+// directly; failing that it joins the line and blocks until a slot
+// frees — unless the line is already full, in which case it is shed
+// immediately (the HTTP layer turns that into 429 + Retry-After).
+//
+// Shedding at the door instead of queueing without bound is what keeps a
+// burst survivable: latency for admitted queries stays bounded by
+// line-length x service time, and rejected clients learn to back off at
+// the cost of one fast round trip.
+type admission struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newAdmission(inflight, maxQueue int) *admission {
+	return &admission{
+		slots:   make(chan struct{}, inflight),
+		maxWait: int64(maxQueue),
+	}
+}
+
+// admit takes an execution slot, waiting in line when none is free.
+// It reports false — without blocking — when the line is full.
+func (a *admission) admit() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		return false
+	}
+	a.slots <- struct{}{}
+	a.waiting.Add(-1)
+	return true
+}
+
+// release frees an execution slot.
+func (a *admission) release() { <-a.slots }
+
+// depth is the current admission depth: queries executing plus waiting.
+func (a *admission) depth() int64 { return int64(len(a.slots)) + a.waiting.Load() }
+
+// capacity is the depth at which requests start being shed.
+func (a *admission) capacity() int64 { return int64(cap(a.slots)) + a.maxWait }

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"credo/internal/enginetest"
+	"credo/internal/graph"
+)
+
+// TestConcurrentQueriesMatchOracle is the serving-layer differential
+// test: many goroutines fire mixed-evidence queries at one resident —
+// warm and cold starts interleaving, snapshots racing to publish — and
+// every response must land within the cross-engine tolerance of a fresh
+// single-threaded oracle run of the same evidence. Run under -race in CI.
+func TestConcurrentQueriesMatchOracle(t *testing.T) {
+	s, r := newGridServer(t, Config{Workers: 2, MaxInFlight: 8})
+
+	// The evidence mix: disjoint clamps so consecutive queries genuinely
+	// perturb each other's snapshots, plus the evidence-free query so
+	// retraction races too.
+	docs := []string{
+		`{}`,
+		`{"evidence":[{"node":"136","state":1}]}`,
+		`{"evidence":[{"node":"40","state":0}]}`,
+		`{"evidence":[{"node":"136","state":1},{"node":"40","state":0}]}`,
+		`{"evidence":[{"node":"200","state":1}]}`,
+	}
+
+	// Oracle posteriors per evidence set, computed single-threaded on a
+	// fresh clone with the reference sweep engine.
+	oracles := make([]*graph.Graph, len(docs))
+	for i, doc := range docs {
+		rq := decode(t, r, doc)
+		g := r.base.Clone()
+		for _, ev := range rq.evidence {
+			if err := g.Observe(ev.node, int(ev.state)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if res := enginetest.Oracle(g); !res.Converged {
+			t.Fatalf("oracle did not converge on %s (delta %g)", doc, res.FinalDelta)
+		}
+		oracles[i] = g
+	}
+
+	const (
+		workers = 8
+		rounds  = 6
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				pick := (w + round) % len(docs)
+				rq, err := r.DecodeQuery([]byte(docs[pick]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := s.QueryResident(r, EngineAuto, rq)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.Converged {
+					errs <- fmt.Errorf("worker %d round %d: not converged (delta %g)", w, round, resp.FinalDelta)
+					return
+				}
+				if err := compareToOracle(resp, oracles[pick], r); err != nil {
+					errs <- fmt.Errorf("worker %d round %d evidence %s: %w", w, round, docs[pick], err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// compareToOracle checks every reported posterior against the oracle
+// graph's converged beliefs at the enginetest cross-engine tolerance
+// (per-node L1, the same bound the batch engines are held to).
+func compareToOracle(resp *Response, oracle *graph.Graph, r *Resident) error {
+	for v := int32(0); v < int32(oracle.NumNodes); v++ {
+		got, ok := resp.Beliefs[r.nodeLabel(v)]
+		if !ok {
+			return fmt.Errorf("node %d missing from response", v)
+		}
+		want := oracle.Belief(v)
+		if len(got) != len(want) {
+			return fmt.Errorf("node %d has %d states, oracle %d", v, len(got), len(want))
+		}
+		l1 := 0.0
+		for i := range want {
+			l1 += math.Abs(float64(got[i]) - float64(want[i]))
+		}
+		if l1 > float64(enginetest.DefaultTol) {
+			return fmt.Errorf("node %d L1 distance %g exceeds %g (got %v, oracle %v)",
+				v, l1, float64(enginetest.DefaultTol), got, want)
+		}
+	}
+	return nil
+}
+
+// TestConcurrentLeasesAreIsolated: overlays leased to concurrent queries
+// never alias, and the resident base never sees a clamp.
+func TestConcurrentLeasesAreIsolated(t *testing.T) {
+	_, r := newGridServer(t, Config{})
+	a, b := r.lease(), r.lease()
+	if a == b {
+		t.Fatal("two live leases alias the same overlay")
+	}
+	if a == r.base || b == r.base {
+		t.Fatal("lease handed out the resident base")
+	}
+	if err := a.Observe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.base.Observed[0] || b.Observed[0] {
+		t.Fatal("clamping one lease leaked into the base or a sibling lease")
+	}
+	r.release(a)
+	c := r.lease() // may reuse a's arrays — must come back pristine
+	if c.Observed[0] {
+		t.Fatal("recycled lease kept the previous query's evidence")
+	}
+	r.release(b)
+	r.release(c)
+}

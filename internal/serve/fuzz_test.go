@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+
+	"credo/internal/gen"
+)
+
+// FuzzQueryDecode throws arbitrary bytes at the strict query decoder.
+// The invariant is total: DecodeQuery never panics, and anything it
+// accepts is internally consistent — evidence nodes unique and in range,
+// states within the graph's belief width, response nodes resolvable.
+// Malformed states, unknown nodes and duplicate evidence must error
+// (the deterministic cases are locked by TestDecodeQueryErrors; the
+// fuzzer explores the space between them).
+func FuzzQueryDecode(f *testing.F) {
+	g, err := gen.Grid(4, 4, gen.Config{Seed: 9, States: 3, Shared: true, Keep: 0.6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := NewResident("fuzz", g)
+
+	seeds := []string{
+		`{}`,
+		`{"evidence":[],"nodes":[]}`,
+		`{"evidence":[{"node":"0","state":1}]}`,
+		`{"evidence":[{"node":"3","state":2}],"nodes":["1","2"]}`,
+		`{"evidence":[{"node":"0","state":0},{"node":"0","state":1}]}`,
+		`{"evidence":[{"node":"bogus","state":0}]}`,
+		`{"evidence":[{"node":"0"}]}`,
+		`{"evidence":[{"node":"0","state":99}]}`,
+		`{"evidence":[{"node":"-7","state":0}]}`,
+		`{"nodes":["15"]} trailing`,
+		`{"unknown":true}`,
+		`[1,2,3]`,
+		`"a string"`,
+		"\x00\xff\xfe",
+		`{"evidence":[{"node":"0","state":null}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rq, err := r.DecodeQuery(data)
+		if err != nil {
+			return
+		}
+		seen := make(map[int32]bool)
+		for _, ev := range rq.evidence {
+			if ev.node < 0 || int(ev.node) >= g.NumNodes {
+				t.Fatalf("accepted out-of-range evidence node %d", ev.node)
+			}
+			if ev.state < 0 || int(ev.state) >= g.States {
+				t.Fatalf("accepted out-of-range state %d for node %d", ev.state, ev.node)
+			}
+			if seen[ev.node] {
+				t.Fatalf("accepted duplicate evidence for node %d", ev.node)
+			}
+			seen[ev.node] = true
+			if rq.dense[ev.node] != ev.state {
+				t.Fatalf("dense view disagrees with evidence pair for node %d", ev.node)
+			}
+		}
+		for _, v := range rq.nodes {
+			if v < 0 || int(v) >= g.NumNodes {
+				t.Fatalf("accepted out-of-range response node %d", v)
+			}
+		}
+	})
+}

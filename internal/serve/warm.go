@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/core"
+	"credo/internal/graph"
+	"credo/internal/relaxbp"
+)
+
+// warmState is one converged fixpoint: the beliefs and the evidence they
+// were converged under. A stored warmState is immutable — Query builds a
+// fresh one per convergence and swaps the pointer under warmMu — so
+// readers only need the pointer.
+type warmState struct {
+	beliefs  []float32
+	evidence []int32 // dense per-node clamped state, -1 = unobserved
+}
+
+// snapshot returns the current warm state (nil when none).
+func (r *Resident) snapshot() *warmState {
+	r.warmMu.Lock()
+	w := r.warm
+	r.warmMu.Unlock()
+	return w
+}
+
+// storeSnapshot publishes a converged fixpoint as the new warm state.
+func (r *Resident) storeSnapshot(g *graph.Graph, dense []int32) {
+	w := &warmState{
+		beliefs:  append([]float32(nil), g.Beliefs...),
+		evidence: append([]int32(nil), dense...),
+	}
+	r.warmMu.Lock()
+	r.warm = w
+	r.warmMu.Unlock()
+}
+
+// InvalidateWarm drops the warm-start snapshot (operator hook: after
+// reloading a graph in place the old fixpoint is meaningless).
+func (r *Resident) InvalidateWarm() {
+	r.warmMu.Lock()
+	r.warm = nil
+	r.warmMu.Unlock()
+}
+
+// perturbedFrontier returns the warm-start seed set for moving from the
+// snapshot's evidence to the query's: every node whose clamp changed
+// (added, retracted or re-stated) plus each such node's out-neighbours —
+// exactly the nodes whose residual the evidence delta can move before
+// any update is applied. The returned changed list is the nodes whose
+// beliefs must not be taken from the snapshot.
+func perturbedFrontier(g *graph.Graph, old, cur []int32) (changed, seeds []int32) {
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if old[v] == cur[v] {
+			continue
+		}
+		changed = append(changed, v)
+		seeds = append(seeds, v)
+		for _, e := range g.OutEdges[g.OutOffsets[v]:g.OutOffsets[v+1]] {
+			seeds = append(seeds, g.EdgeDst[e])
+		}
+	}
+	return changed, seeds
+}
+
+// Response is the wire shape of a served posterior query.
+type Response struct {
+	Graph      string               `json:"graph"`
+	Engine     string               `json:"engine"`
+	Warm       bool                 `json:"warm"`
+	Converged  bool                 `json:"converged"`
+	Iterations int                  `json:"iterations"`
+	Updates    int64                `json:"updates"`
+	Edges      int64                `json:"edges"`
+	FinalDelta float64              `json:"final_delta"`
+	WallNs     int64                `json:"wall_ns"`
+	Beliefs    map[string][]float32 `json:"beliefs"`
+}
+
+// Query executes one posterior query against the resident: lease an
+// overlay, clamp the evidence, pick an engine (the explicit override
+// first, the warm path when a snapshot exists and the engine family
+// supports seeded starts, the classifier-driven cold selection
+// otherwise), run, snapshot on convergence, and marshal the requested
+// beliefs.
+func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*Response, error) {
+	engine, err := ParseEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	g := r.lease()
+	defer r.release(g)
+	for _, ev := range rq.evidence {
+		if err := g.Observe(ev.node, int(ev.state)); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+
+	opts := s.cfg.Options
+	opts.Probe = s.cfg.Probe
+
+	// Warm path: the residual-family engines resume from the snapshot.
+	warmable := engine == EngineAuto || engine == EngineResidual || engine == EngineRelax
+	var res bp.Result
+	var label string
+	warm := false
+	if snap := r.snapshot(); warmable && snap != nil {
+		warm = true
+		changed, seeds := perturbedFrontier(g, snap.evidence, rq.dense)
+		// Adopt the fixpoint everywhere the evidence still supports it;
+		// changed nodes restart from their (possibly re-clamped) prior.
+		copy(g.Beliefs, snap.beliefs)
+		for _, v := range changed {
+			copy(g.Belief(v), g.Prior(v))
+		}
+		if engine == EngineRelax {
+			label = EngineRelax
+			res = relaxbp.RunFrom(g, relaxbp.Options{Options: opts, Workers: s.cfg.Workers}, seeds)
+		} else {
+			label = EngineResidual
+			res = bp.RunResidualFrom(g, opts, seeds)
+		}
+	} else {
+		label, res, err = s.runCold(r, g, engine, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if res.Converged {
+		r.storeSnapshot(g, rq.dense)
+		if warm {
+			r.warmMu.Lock()
+			r.warmed++
+			r.warmMu.Unlock()
+		}
+	}
+
+	resp := &Response{
+		Graph:      r.Name,
+		Engine:     label,
+		Warm:       warm,
+		Converged:  res.Converged,
+		Iterations: res.Iterations,
+		Updates:    res.Ops.NodesProcessed,
+		Edges:      res.Ops.EdgesProcessed,
+		FinalDelta: float64(res.FinalDelta),
+		WallNs:     time.Since(start).Nanoseconds(),
+		Beliefs:    marshalBeliefs(r, g, rq.nodes),
+	}
+	return resp, nil
+}
+
+// runCold dispatches a cold start: an explicit engine when overridden,
+// the selector's choice (platform rule + Node/Edge classifier) for auto.
+func (s *Server) runCold(r *Resident, g *graph.Graph, engine string, opts bp.Options) (string, bp.Result, error) {
+	eng := core.Engine{Selector: s.cfg.Selector, Options: opts}
+	var impl core.Implementation
+	switch engine {
+	case EngineAuto:
+		impl = eng.Choose(r.md, r.footprint)
+	case EngineNode:
+		impl = core.CNode
+	case EngineEdge:
+		impl = core.CEdge
+	case EngineResidual:
+		// Sequential residual scheduling has no core implementation id;
+		// run it directly.
+		return EngineResidual, bp.RunResidualFrom(g, opts, nil), nil
+	case EngineRelax:
+		return EngineRelax, relaxbp.Run(g, relaxbp.Options{Options: opts, Workers: s.cfg.Workers}), nil
+	case EnginePool:
+		impl = core.Pool
+		if eng.PoolWorkers <= 0 {
+			eng.PoolWorkers = s.cfg.Workers
+		}
+	}
+	if impl == core.Relax && eng.RelaxWorkers <= 0 {
+		eng.RelaxWorkers = s.cfg.Workers
+	}
+	rep, err := eng.RunWith(g, impl)
+	if err != nil {
+		return "", bp.Result{}, fmt.Errorf("serve: %w", err)
+	}
+	return rep.Implementation.String(), rep.Result, nil
+}
+
+// marshalBeliefs copies the requested nodes' posteriors (all nodes when
+// nodes is nil) into a name-keyed response map.
+func marshalBeliefs(r *Resident, g *graph.Graph, nodes []int32) map[string][]float32 {
+	if nodes == nil {
+		out := make(map[string][]float32, g.NumNodes)
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			out[r.nodeLabel(v)] = append([]float32(nil), g.Belief(v)...)
+		}
+		return out
+	}
+	out := make(map[string][]float32, len(nodes))
+	for _, v := range nodes {
+		out[r.nodeLabel(v)] = append([]float32(nil), g.Belief(v)...)
+	}
+	return out
+}

@@ -91,11 +91,23 @@ func (j *JSONLWriter) Emit(e Event) {
 		b = appendInt(b, "lines", e.Updated)
 		b = appendInt(b, "bytes", e.Edges)
 		b = appendInt(b, "busy_ns", e.BusyNs)
+	case KindServe:
+		if e.Engine == "serve.query" {
+			b = append(b, `,"warm":`...)
+			b = strconv.AppendBool(b, e.Warm)
+			b = append(b, `,"converged":`...)
+			b = strconv.AppendBool(b, e.Converged)
+			b = appendInt(b, "updated", e.Updated)
+			b = appendInt(b, "iter", int64(e.Iter))
+		}
+		b = appendInt(b, "depth", e.Active)
+		b = appendInt(b, "capacity", e.Items)
+		b = appendInt(b, "wall_ns", e.BusyNs)
 	}
 	b = append(b, '}', '\n')
 	j.buf = b
 	j.w.Write(b)
-	if e.Kind == KindRunEnd {
+	if e.Kind == KindRunEnd || e.Kind == KindServe {
 		j.w.Flush()
 	}
 	j.mu.Unlock()

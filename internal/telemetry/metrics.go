@@ -36,6 +36,13 @@ type Metrics struct {
 	ingestBytes atomic.Int64 // bytes consumed by the ingest chunk parsers
 	ingestLines atomic.Int64 // data lines parsed by the ingest chunk parsers
 
+	servQueries atomic.Int64 // served queries completed (serve.query)
+	servWarm    atomic.Int64 // served queries that warm-started
+	servShed    atomic.Int64 // requests rejected by admission control
+	servLoads   atomic.Int64 // graphs loaded into the serving registry
+	servDepth   atomic.Int64 // last observed admission depth (in-flight + waiting)
+	servWallNs  atomic.Int64 // wall clock of the last served query
+
 	mu         sync.Mutex
 	lastEngine string
 }
@@ -86,6 +93,21 @@ func (m *Metrics) Emit(e Event) {
 			m.ingestBytes.Add(e.Edges)
 			m.ingestLines.Add(e.Updated)
 		}
+	case KindServe:
+		switch e.Engine {
+		case "serve.query":
+			m.servQueries.Add(1)
+			if e.Warm {
+				m.servWarm.Add(1)
+			}
+			m.servWallNs.Store(e.BusyNs)
+			m.servDepth.Store(e.Active)
+		case "serve.shed":
+			m.servShed.Add(1)
+			m.servDepth.Store(e.Active)
+		case "serve.load":
+			m.servLoads.Add(1)
+		}
 	}
 }
 
@@ -126,6 +148,12 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("credo_kernel_rescales_total", "Kernel max-rescales of linear products.", m.rescales.Load())
 	counter("credo_ingest_bytes_total", "Bytes consumed by the mtxbp ingest parsers.", m.ingestBytes.Load())
 	counter("credo_ingest_lines_total", "Data lines parsed by the mtxbp ingest parsers.", m.ingestLines.Load())
+	counter("credo_serve_queries_total", "Posterior queries served.", m.servQueries.Load())
+	counter("credo_serve_warm_total", "Served queries that re-converged from a warm-start snapshot.", m.servWarm.Load())
+	counter("credo_serve_shed_total", "Requests rejected by admission control.", m.servShed.Load())
+	counter("credo_serve_loads_total", "Graphs loaded into the serving registry.", m.servLoads.Load())
+	gauge("credo_serve_depth", "Admission depth (in-flight + waiting) at the last serve event.", float64(m.servDepth.Load()))
+	gauge("credo_serve_last_wall_ns", "Wall clock of the last served query in nanoseconds.", float64(m.servWallNs.Load()))
 	// The residual originates as a float32; format at 32-bit precision so
 	// the exposition shows 0.0008, not the widened float64 digits.
 	fmt.Fprintf(w, "# HELP credo_last_delta Global residual norm at the last boundary.\n# TYPE credo_last_delta gauge\n")
@@ -164,6 +192,12 @@ func (m *Metrics) snapshot() any {
 		"kernel_rescales":  m.rescales.Load(),
 		"ingest_bytes":     m.ingestBytes.Load(),
 		"ingest_lines":     m.ingestLines.Load(),
+		"serve_queries":    m.servQueries.Load(),
+		"serve_warm":       m.servWarm.Load(),
+		"serve_shed":       m.servShed.Load(),
+		"serve_loads":      m.servLoads.Load(),
+		"serve_depth":      m.servDepth.Load(),
+		"serve_wall_ns":    m.servWallNs.Load(),
 		"last_delta":       math.Float64frombits(m.lastDelta.Load()),
 		"active_items":     m.lastActive.Load(),
 		"total_items":      m.lastItems.Load(),

@@ -50,6 +50,15 @@ const (
 	// Active the wall clock of the phase's fan-out sub-spans alone
 	// (chunk parse plus block install — the parallelizable span).
 	KindIngest
+	// KindServe reports one serving-layer outcome (internal/serve).
+	// Engine discriminates the path: "serve.query" is a completed query
+	// (Warm marks a warm start, Converged the outcome, Updated the belief
+	// updates applied, BusyNs the query wall clock, Active the admission
+	// depth — in-flight plus waiting — observed at completion, Items the
+	// admission capacity); "serve.shed" is a request rejected by
+	// admission control (Active/Items as above); "serve.load" is a graph
+	// loaded into the registry (Items its node count, BusyNs load wall).
+	KindServe
 )
 
 // String returns the JSONL name of the kind.
@@ -65,6 +74,8 @@ func (k Kind) String() string {
 		return "worker"
 	case KindIngest:
 		return "ingest"
+	case KindServe:
+		return "serve"
 	}
 	return "unknown"
 }
@@ -112,6 +123,10 @@ type Event struct {
 
 	// Converged reports a KindRunEnd outcome.
 	Converged bool
+
+	// Warm marks a KindServe query that re-converged from a warm-start
+	// snapshot instead of from the priors.
+	Warm bool
 
 	// Relaxed-scheduling counters, cumulative, read from the live
 	// atomics the engine itself accounts with (single source of truth

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Black-box smoke test of the credoserved daemon — the CI server-smoke
+# job and `make server-smoke` both run exactly this script.
+#
+# It builds the binary, boots it on ephemeral ports with the sprinkler
+# network and a JSONL trace, then drives the public surface with curl:
+# liveness, the registry listing, a cold posterior query (validated for
+# shape and normalization with jq), a warm-start second query, the error
+# body contract, and the Prometheus counters on the ops sidecar. Finally
+# it shuts the daemon down gracefully and checks the telemetry trace is
+# well-formed JSONL covering the load and both queries.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-./credoserved.smoke}
+LOG=${LOG:-server-smoke.log}
+TRACE=${TRACE:-server-smoke.jsonl}
+rm -f "$LOG" "$TRACE"
+
+go build -o "$BIN" ./cmd/credoserved
+
+"$BIN" -listen 127.0.0.1:0 -ops 127.0.0.1:0 \
+  -load sprinkler=bif:internal/bif/testdata/sprinkler.bif \
+  -trace-out "$TRACE" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# The daemon prints its bound addresses once each plane is listening.
+ADDR= OPS=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's#^serving .* on http://\([0-9.:]*\)/v1/query$#\1#p' "$LOG")
+  OPS=$(sed -n 's#^ops plane on http://\([0-9.:]*\)/metrics.*$#\1#p' "$LOG")
+  [ -n "$ADDR" ] && [ -n "$OPS" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ] || [ -z "$OPS" ]; then
+  echo "daemon did not become ready; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "query plane on $ADDR, ops plane on $OPS"
+
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+curl -fsS "http://$ADDR/v1/graphs" \
+  | jq -e '.[0].name == "sprinkler" and .[0].nodes == 4 and .[0].warm == false' >/dev/null
+
+# Cold query: converged, not warm, posterior is a 2-state distribution.
+curl -fsS -X POST "http://$ADDR/v1/query" \
+  -H 'Content-Type: application/json' \
+  -d '{"evidence":[{"node":"wetgrass","state":1}],"nodes":["rain"]}' \
+  | jq -e '.converged == true and .warm == false
+      and (.beliefs.rain | length) == 2
+      and ((.beliefs.rain | add) > 0.999) and ((.beliefs.rain | add) < 1.001)' >/dev/null
+echo "cold query OK"
+
+# Second query with extra evidence: must take the warm-start path.
+curl -fsS -X POST "http://$ADDR/v1/query?engine=residual" \
+  -H 'Content-Type: application/json' \
+  -d '{"evidence":[{"node":"wetgrass","state":1},{"node":"cloudy","state":0}],"nodes":["rain"]}' \
+  | jq -e '.converged == true and .warm == true' >/dev/null
+echo "warm query OK"
+
+# Error contract: bad requests come back as {"error": ...}.
+curl -s -X POST "http://$ADDR/v1/query?engine=bogus" -d '{}' \
+  | jq -e '.error | length > 0' >/dev/null
+curl -s -X POST "http://$ADDR/v1/query" \
+  -d '{"evidence":[{"node":"nope","state":0}]}' \
+  | jq -e '.error | length > 0' >/dev/null
+echo "error contract OK"
+
+# Ops sidecar: the serve counters reflect the two successful queries,
+# one of them warm.
+METRICS=$(curl -fsS "http://$OPS/metrics")
+echo "$METRICS" | grep -q '^credo_serve_queries_total 2$'
+echo "$METRICS" | grep -q '^credo_serve_warm_total 1$'
+echo "$METRICS" | grep -q '^credo_serve_loads_total 1$'
+echo "ops sidecar OK"
+
+# Graceful shutdown on SIGTERM.
+kill "$PID"
+wait "$PID"
+trap - EXIT
+
+# The trace is valid JSONL and frames the session: the startup load and
+# both queries, the second warm.
+jq -es 'length > 0
+    and any(.[]; .engine == "serve.load")
+    and ([.[] | select(.engine == "serve.query")] | length) == 2
+    and any(.[]; .engine == "serve.query" and .warm == true)' "$TRACE" >/dev/null
+echo "telemetry trace OK"
+
+echo "server smoke OK"
