@@ -28,6 +28,7 @@ import (
 	"credo/internal/features"
 	"credo/internal/gpusim"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 	"credo/internal/ml"
 	"credo/internal/mtxbp"
 	"credo/internal/telemetry"
@@ -55,6 +56,8 @@ func run(args []string, out io.Writer) error {
 	threshold := fs.Float64("threshold", bp.DefaultThreshold, "convergence threshold")
 	maxIter := fs.Int("maxiter", bp.DefaultMaxIterations, "iteration cap")
 	queue := fs.Bool("queue", true, "enable the unconverged-element work queues")
+	damping := fs.Float64("damping", 0, "damping factor d in [0,1): belief ← (1−d)·update + d·old (0 keeps the vanilla fast path)")
+	variantName := fs.String("variant", "vanilla", "update rule: vanilla, damped, circular, or auto (selector picks from the oscillation-risk features)")
 	mrf := fs.Bool("mrf", false, "treat the network as an undirected MRF: store each link as two directed edges so evidence flows against edge direction too (recommended for BIF inputs)")
 	explain := fs.Bool("explain", false, "print the graph's metadata, feature vector and the selection reasoning before running")
 	modelPath := fs.String("model", "", "load a trained selection forest (from credobench -train) to refine the Node/Edge choice")
@@ -158,6 +161,20 @@ func run(args []string, out io.Writer) error {
 		classifier = forest
 	}
 
+	autoVariant := false
+	var variant kernel.Variant
+	if strings.ToLower(*variantName) == "auto" {
+		autoVariant = true
+	} else {
+		variant, err = kernel.ParseVariant(strings.ToLower(*variantName))
+		if err != nil {
+			return err
+		}
+	}
+	if *damping < 0 || *damping >= 1 {
+		return fmt.Errorf("-damping %g outside [0,1)", *damping)
+	}
+
 	eng := core.Engine{
 		Selector: core.Selector{GPU: gpu, Classifier: classifier, PoolWorkers: *workers},
 		Options: bp.Options{
@@ -165,8 +182,12 @@ func run(args []string, out io.Writer) error {
 			MaxIterations: *maxIter,
 			WorkQueue:     *queue,
 			Probe:         probe,
+			Damping:       float32(*damping),
+			Variant:       variant,
 		},
+		AutoVariant: autoVariant,
 	}
+	eng.Options = eng.Options.ResolveVariant()
 
 	switch strings.ToLower(*engineName) {
 	case "auto":
@@ -214,6 +235,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "implementation: %s\n", rep.Implementation)
+	fmt.Fprintf(out, "variant: %s\n", rep.Variant)
 	fmt.Fprintf(out, "iterations: %d, converged: %v, final delta: %g\n",
 		rep.Result.Iterations, rep.Result.Converged, rep.Result.FinalDelta)
 	fmt.Fprintf(out, "modelled execution time: %v\n", rep.EstimatedTime)

@@ -55,6 +55,90 @@ func TestRunForcedImplementations(t *testing.T) {
 	}
 }
 
+// writeHardGraph writes a strongly-coupled hub graph — pinned diverging
+// under vanilla BP — in the mtxbp format.
+func writeHardGraph(t *testing.T) (nodes, edges string) {
+	t.Helper()
+	g, err := gen.HubSkew(6, 300, gen.Config{Seed: 13, States: 2, Keep: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	nodes = filepath.Join(dir, "hub.nodes.mtx")
+	edges = filepath.Join(dir, "hub.edges.mtx")
+	if err := mtxbp.WriteFiles(nodes, edges, g); err != nil {
+		t.Fatal(err)
+	}
+	return nodes, edges
+}
+
+// TestVariantFlags exercises -variant and -damping end to end: the
+// report echoes the update rule, an explicit damping factor implies the
+// damped variant, and -variant auto rescues a hard graph vanilla cannot
+// solve (degrading circular to damped on the edge-paradigm default).
+func TestVariantFlags(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-edges", edges}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "variant: vanilla") {
+		t.Errorf("default run does not report the vanilla variant:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-damping", "0.4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "variant: damped") {
+		t.Errorf("-damping 0.4 does not imply the damped variant:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-edges", edges, "-variant", "circular", "-impl", "cnode"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "variant: circular") {
+		t.Errorf("-variant circular not echoed:\n%s", out.String())
+	}
+
+	hardNodes, hardEdges := writeHardGraph(t)
+	out.Reset()
+	if err := run([]string{"-nodes", hardNodes, "-edges", hardEdges, "-variant", "auto"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "variant: damped") {
+		t.Errorf("-variant auto on a hard attractive graph: want damped (circular degraded off the node schedule):\n%s", s)
+	}
+	if !strings.Contains(s, "converged: true") {
+		t.Errorf("-variant auto did not converge on the hard graph:\n%s", s)
+	}
+
+	out.Reset()
+	if err := run([]string{"-nodes", hardNodes, "-edges", hardEdges}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "converged: false") {
+		t.Errorf("hard graph went stale: vanilla run converged:\n%s", out.String())
+	}
+}
+
+// TestVariantFlagErrors pins the flag validation.
+func TestVariantFlagErrors(t *testing.T) {
+	nodes, edges := writeTestGraph(t)
+	for _, args := range [][]string{
+		{"-nodes", nodes, "-edges", edges, "-variant", "bogus"},
+		{"-nodes", nodes, "-edges", edges, "-damping", "1.5"},
+		{"-nodes", nodes, "-edges", edges, "-damping", "-0.1"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
 func TestRunBIFByName(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "net.bif")

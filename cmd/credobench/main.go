@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"credo/internal/bench"
+	"credo/internal/kernel"
 	"credo/internal/ml"
 	"credo/internal/telemetry"
 )
@@ -36,6 +37,8 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 8, "worker team size for the pool and relax experiments")
 	ingestWorkers := fs.Int("ingest-workers", 8, "parallel chunked ingest fan-out for the ingest experiment")
 	seed := fs.Int64("seed", 1, "generator seed")
+	damping := fs.Float64("damping", 0, "damping factor d in [0,1) applied to every engine run (0 keeps the vanilla fast path)")
+	variantName := fs.String("variant", "vanilla", "update rule for every engine run: vanilla, damped or circular")
 	outPath := fs.String("o", "", "also write the report to this file")
 	trainPath := fs.String("train", "", "instead of running experiments, train the selection forest on the tier's dataset and save it here (JSON, loadable by credo -model)")
 	telemetryOn := fs.Bool("telemetry", false, "record telemetry from every engine run and print a convergence report after the experiments")
@@ -53,6 +56,15 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Seed = *seed
 	cfg.PoolWorkers = *workers
 	cfg.IngestWorkers = *ingestWorkers
+	if *damping < 0 || *damping >= 1 {
+		return fmt.Errorf("-damping %g outside [0,1)", *damping)
+	}
+	cfg.Options.Damping = float32(*damping)
+	cfg.Options.Variant, err = kernel.ParseVariant(strings.ToLower(*variantName))
+	if err != nil {
+		return err
+	}
+	cfg.Options = cfg.Options.ResolveVariant()
 
 	var probes []telemetry.Probe
 	var recorder *telemetry.Recorder

@@ -88,6 +88,40 @@ func TestTelemetryExperimentSeedReproducible(t *testing.T) {
 	}
 }
 
+// TestRobustExperimentReproducible locks the deterministic body of the
+// robust report — the converged-fraction table and the per-case selector
+// table — across runs (the adversarial corpus carries its own seeds), and
+// pins the acceptance shape: vanilla converges nowhere on the corpus,
+// damping rescues every case, and the oscillation-risk selector never
+// picks a variant that is pinned diverging.
+func TestRobustExperimentReproducible(t *testing.T) {
+	report := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", "robust", "-tier", "ci", "-workers", "4"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		// The wall-clock footer varies run to run; everything above it
+		// must not.
+		s := out.String()
+		if i := strings.Index(s, "wall-clock"); i >= 0 {
+			s = s[:i]
+		}
+		return s
+	}
+	a, b := report(), report()
+	if a != b {
+		t.Errorf("same corpus, different reports:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	for _, want := range []string{"0/7", "7/7"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("report lacks the pinned convergence shape %q:\n%s", want, a)
+		}
+	}
+	if strings.Contains(a, "selector miss") {
+		t.Errorf("selector picked a pinned-diverging variant:\n%s", a)
+	}
+}
+
 // TestBenchTelemetryFlags exercises credobench's own sinks: -trace-out
 // must capture every engine run of the experiment as JSONL and
 // -telemetry must append the convergence report.

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/enginetest"
+	"credo/internal/features"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+	"credo/internal/poolbp"
+)
+
+// RunRobust compares the update-rule variants (vanilla, damped, Circular
+// BP) over the adversarial hard-graph corpus: per engine × variant it
+// reports how many cases converge, the summed iteration cost of the
+// converged runs, and the worst L∞ distance to the variant-matched
+// log-space sequential oracle. A second table shows what the
+// oscillation-risk selector (features.RecommendVariant) would pick for
+// each case, next to the coupling features that drive the call.
+//
+// The corpus cases carry their own seeds (they are pinned adversaries,
+// regression-locked in internal/enginetest), so unlike the other
+// experiments this report does not vary with -seed. Everything above the
+// wall-clock footer is deterministic for a fixed -workers, which the
+// seed-locked credobench test relies on.
+func RunRobust(w io.Writer, cfg Config) error {
+	workers := cfg.PoolWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	corpus := enginetest.HardCorpus()
+	variants := enginetest.HardVariants()
+
+	type engineRow struct {
+		name string
+		run  func(g *graph.Graph, o bp.Options) bp.Result
+	}
+	engines := []engineRow{
+		{"bp.node", func(g *graph.Graph, o bp.Options) bp.Result { return bp.RunNode(g, o) }},
+		{"pool.node", func(g *graph.Graph, o bp.Options) bp.Result {
+			return poolbp.RunNode(g, poolbp.Options{Options: o, Workers: workers})
+		}},
+	}
+
+	fmt.Fprintf(w, "robust — update-rule variants on the %d-case adversarial hard-graph corpus (%d workers)\n",
+		len(corpus), workers)
+	fmt.Fprintln(w, "every converged run is scored against the variant-matched log-space sequential oracle")
+
+	// The matched oracle is the slow part (log-space, possibly burning the
+	// full iteration cap); compute it once per case × variant and share it
+	// across engines.
+	type oracleKey struct {
+		c string
+		v kernel.Variant
+	}
+	oracles := make(map[oracleKey]enginetest.HardOracle, len(corpus)*len(variants))
+	for _, c := range corpus {
+		for _, v := range variants {
+			o, err := enginetest.ComputeHardOracle(c, v)
+			if err != nil {
+				return err
+			}
+			oracles[oracleKey{c.Name, v}] = o
+		}
+	}
+
+	fmt.Fprintf(w, "\n%-10s %-9s %10s %9s %12s %10s\n",
+		"engine", "variant", "converged", "fraction", "iters(conv)", "max linf")
+	type wallRow struct {
+		engine  string
+		variant kernel.Variant
+		wall    time.Duration
+	}
+	var walls []wallRow
+	for _, e := range engines {
+		for _, v := range variants {
+			s := enginetest.RobustStats{Variant: v}
+			start := time.Now()
+			for _, c := range corpus {
+				r, err := enginetest.RunHardWithOracle(c, v, e.run, oracles[oracleKey{c.Name, v}])
+				if err != nil {
+					return err
+				}
+				s.Cases++
+				if r.Converged {
+					s.Converged++
+					s.TotalIters += r.Iters
+					if r.OracleConverged && r.Linf > s.MaxLinf {
+						s.MaxLinf = r.Linf
+					}
+				}
+			}
+			walls = append(walls, wallRow{e.name, v, time.Since(start)})
+			fmt.Fprintf(w, "%-10s %-9s %7d/%-2d %9.2f %12d %10.2e\n",
+				e.name, v, s.Converged, s.Cases, s.ConvergedFraction(), s.TotalIters, s.MaxLinf)
+		}
+	}
+
+	fmt.Fprintf(w, "\nper-case variant selection (oscillation-risk rule, input-only features):\n")
+	fmt.Fprintf(w, "%-22s %9s %7s %6s  %-9s %s\n",
+		"case", "strength", "repel", "skew", "pick", "pinned outcome")
+	for _, c := range corpus {
+		g := oracles[oracleKey{c.Name, kernel.VariantVanilla}].G
+		cs := g.CouplingStats()
+		pick := features.RecommendVariant(g)
+		outcome := "converges"
+		if !c.Expect[pick] {
+			outcome = "DIVERGES (selector miss)"
+		}
+		fmt.Fprintf(w, "%-22s %9.2f %7.2f %6.2f  %-9s %s\n",
+			c.Name, cs.MeanStrength, cs.RepulsiveFraction, 1-g.Stats().Skew(), pick, outcome)
+	}
+
+	fmt.Fprintln(w, "\nwall-clock per engine × variant (varies run to run):")
+	for _, r := range walls {
+		fmt.Fprintf(w, "  %-10s %-9s %v\n", r.engine, r.variant, r.wall.Round(time.Millisecond))
+	}
+	return nil
+}

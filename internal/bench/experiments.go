@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{ID: "accuracy", Title: "loopy BP approximation quality vs exact inference", Run: RunAccuracy},
 		{ID: "fig11", Title: "Figure 11: Credo vs C Edge (Pascal)", Run: RunFig11},
 		{ID: "fig12", Title: "Figure 12: portability to Volta", Run: RunFig12},
+		{ID: "robust", Title: "convergence robustness: update-rule variants on the adversarial corpus", Run: RunRobust},
 	}
 }
 

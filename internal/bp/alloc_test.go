@@ -42,15 +42,20 @@ func TestEnginesAllocFree(t *testing.T) {
 		for _, eng := range engines {
 			for _, mode := range modes {
 				for _, wq := range []bool{false, true} {
-					g := allocGraph(t, states, states == 2)
-					opts := Options{WorkQueue: wq, Kernel: kernel.Config{Mode: mode}}
-					// AllocsPerRun's extra warm-up call primes the pool.
-					allocs := testing.AllocsPerRun(5, func() {
-						eng.run(g, opts)
-					})
-					if allocs != 0 {
-						t.Errorf("%s states=%d mode=%v workqueue=%v: %.1f allocs/run, want 0",
-							eng.name, states, mode, wq, allocs)
+					// Damping must ride the same zero-allocation path:
+					// the blend happens in place inside the kernel (or
+					// the engine's combine), with no extra state.
+					for _, damping := range []float32{0, 0.5} {
+						g := allocGraph(t, states, states == 2)
+						opts := Options{WorkQueue: wq, Damping: damping, Kernel: kernel.Config{Mode: mode}}
+						// AllocsPerRun's extra warm-up call primes the pool.
+						allocs := testing.AllocsPerRun(5, func() {
+							eng.run(g, opts)
+						})
+						if allocs != 0 {
+							t.Errorf("%s states=%d mode=%v workqueue=%v damping=%g: %.1f allocs/run, want 0",
+								eng.name, states, mode, wq, damping, allocs)
+						}
 					}
 				}
 			}

@@ -60,8 +60,16 @@ type Options struct {
 	// Damping blends each new belief with the previous one:
 	// b ← (1−Damping)·b_new + Damping·b_old. Zero disables it. Damping is
 	// the standard stabilizer for loopy BP on graphs where synchronous
-	// updates oscillate; the ablation benchmark measures its cost.
+	// updates oscillate; the ablation benchmark measures its cost. Setting
+	// it implies Variant=VariantDamped (see ResolveVariant).
 	Damping float32
+
+	// Variant selects the message-update rule: vanilla (the default),
+	// damped, or circular (Circular-BP loop correction through the kernel
+	// layer's per-edge correction state). VariantDamped with Damping left
+	// zero uses kernel.DefaultDamping; VariantCircular with Kernel.Alpha
+	// left zero uses kernel.DefaultAlpha. See kernel.Variant.
+	Variant kernel.Variant
 
 	// Kernel selects the message-kernel implementation and its numerical
 	// policy (see package kernel). The zero value is the width-specialized
@@ -90,6 +98,41 @@ func (o Options) withDefaults(numNodes int) Options {
 	if o.QueueThreshold == 0 {
 		o.QueueThreshold = o.Threshold
 	}
+	return o.ResolveVariant()
+}
+
+// ResolveVariant normalizes the (Variant, Damping, Kernel.Alpha) triple so
+// every engine sees one consistent picture:
+//
+//   - VariantDamped with Damping unset takes kernel.DefaultDamping;
+//     conversely a positive Damping alone implies VariantDamped.
+//   - VariantCircular with Kernel.Alpha unset takes kernel.DefaultAlpha;
+//     a positive Alpha alone implies VariantCircular.
+//   - Kernel.Damping always mirrors Damping, so engines driving the
+//     kernel's NodeUpdate path damp inside the kernel while engines with
+//     their own combine stage read Damping directly — never both.
+//
+// Every engine's withDefaults calls it (the parallel engines' option
+// structs embed this one), so explicit calls are only needed when passing
+// a Config straight to kernel.New.
+func (o Options) ResolveVariant() Options {
+	switch o.Variant {
+	case kernel.VariantDamped:
+		if o.Damping <= 0 {
+			o.Damping = kernel.DefaultDamping
+		}
+	case kernel.VariantCircular:
+		if o.Kernel.Alpha <= 0 {
+			o.Kernel.Alpha = kernel.DefaultAlpha
+		}
+	default:
+		if o.Kernel.Alpha > 0 {
+			o.Variant = kernel.VariantCircular
+		} else if o.Damping > 0 {
+			o.Variant = kernel.VariantDamped
+		}
+	}
+	o.Kernel.Damping = o.Damping
 	return o
 }
 

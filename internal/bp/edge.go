@@ -96,11 +96,11 @@ func runEdge(g *graph.Graph, opts Options, sc *runScratch) Result {
 
 		if opts.WorkQueue {
 			for _, e := range queue {
-				edgeStep(g, &k, &res, e, prev, acc, lmsg, msg, matLines)
+				edgeStep(g, &k, &sc.ks, &res, e, prev, acc, lmsg, msg, matLines)
 			}
 		} else {
 			for e := int32(0); e < int32(g.NumEdges); e++ {
-				edgeStep(g, &k, &res, e, prev, acc, lmsg, msg, matLines)
+				edgeStep(g, &k, &sc.ks, &res, e, prev, acc, lmsg, msg, matLines)
 			}
 		}
 
@@ -177,11 +177,11 @@ func runEdge(g *graph.Graph, opts Options, sc *runScratch) Result {
 // edgeStep recomputes edge e's message from its source's previous belief
 // and folds the change into the destination's log accumulator, using the
 // cached log of the outgoing message instead of recomputing it.
-func edgeStep(g *graph.Graph, k *kernel.Kernel, res *Result, e int32, prev, acc, lmsg, msg []float32, matLines int64) {
+func edgeStep(g *graph.Graph, k *kernel.Kernel, ks *kernel.Scratch, res *Result, e int32, prev, acc, lmsg, msg []float32, matLines int64) {
 	res.Ops.EdgesProcessed++
 	s := len(msg)
 	src, dst := g.EdgeSrc[e], g.EdgeDst[e]
-	k.Message(msg, e, prev[int(src)*s:int(src)*s+s])
+	k.Message(ks, msg, e, prev[int(src)*s:int(src)*s+s])
 	old := g.Messages[int(e)*s : int(e)*s+s]
 	a := acc[int(dst)*s : int(dst)*s+s]
 	lm := lmsg[int(e)*s : int(e)*s+s]

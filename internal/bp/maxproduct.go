@@ -57,7 +57,7 @@ func runMaxProduct(g *graph.Graph, opts Options, sc *runScratch) Result {
 		if opts.WorkQueue {
 			next = next[:0]
 			for _, v := range queue {
-				d := maxStep(g, &k, sc, &res, v, prev, opts.Damping)
+				d := maxStep(g, &k, sc, &res, v, prev)
 				sum += d
 				if d <= opts.QueueThreshold {
 					continue
@@ -78,7 +78,7 @@ func runMaxProduct(g *graph.Graph, opts Options, sc *runScratch) Result {
 			queue, next = next, queue
 		} else {
 			for v := int32(0); v < int32(g.NumNodes); v++ {
-				sum += maxStep(g, &k, sc, &res, v, prev, opts.Damping)
+				sum += maxStep(g, &k, sc, &res, v, prev)
 			}
 		}
 
@@ -119,8 +119,9 @@ func runMaxProduct(g *graph.Graph, opts Options, sc *runScratch) Result {
 }
 
 // maxStep recomputes node v's max-marginal from prev through the kernel's
-// max-product fold and returns its L1 change.
-func maxStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, prev []float32, damping float32) float32 {
+// max-product fold and returns its L1 change. Damping happens inside the
+// kernel (Options.Kernel carries it after ResolveVariant).
+func maxStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, prev []float32) float32 {
 	if g.Observed[v] {
 		return 0
 	}
@@ -129,7 +130,6 @@ func maxStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v in
 	b := g.Beliefs[int(v)*s : int(v)*s+s]
 	old := prev[int(v)*s : int(v)*s+s]
 	deg := int64(k.NodeUpdateMax(&sc.ks, b, v, prev))
-	Blend(b, old, damping)
 	res.Ops.EdgesProcessed += deg
 	res.Ops.MatrixOps += deg * int64(s*s)
 	res.Ops.LogOps += deg*int64(s) + int64(s)

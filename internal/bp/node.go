@@ -71,7 +71,7 @@ func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 		if opts.WorkQueue {
 			next = next[:0]
 			for _, v := range queue {
-				d := nodeStep(g, &k, sc, &res, v, prev, opts.Damping, gatherLines, matLines)
+				d := nodeStep(g, &k, sc, &res, v, prev, gatherLines, matLines)
 				sum += d
 				if d <= opts.QueueThreshold {
 					continue
@@ -94,7 +94,7 @@ func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 			queue, next = next, queue
 		} else {
 			for v := int32(0); v < int32(g.NumNodes); v++ {
-				sum += nodeStep(g, &k, sc, &res, v, prev, opts.Damping, gatherLines, matLines)
+				sum += nodeStep(g, &k, sc, &res, v, prev, gatherLines, matLines)
 			}
 		}
 
@@ -142,8 +142,10 @@ func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 // nodeStep recomputes node v's belief from prev through the kernel and
 // returns its L1 change. It is the per-node body of both the full sweep
 // and the frontier sweep, kept a plain function so RunNode's hot path
-// carries no closures (closures allocate).
-func nodeStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, prev []float32, damping float32, gatherLines, matLines int64) float32 {
+// carries no closures (closures allocate). Damping and loop correction
+// happen inside the kernel (Options.Kernel carries both after
+// ResolveVariant).
+func nodeStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v int32, prev []float32, gatherLines, matLines int64) float32 {
 	if g.Observed[v] {
 		return 0
 	}
@@ -152,7 +154,6 @@ func nodeStep(g *graph.Graph, k *kernel.Kernel, sc *runScratch, res *Result, v i
 	b := g.Beliefs[int(v)*s : int(v)*s+s]
 	old := prev[int(v)*s : int(v)*s+s]
 	deg := int64(k.NodeUpdate(&sc.ks, b, v, prev))
-	Blend(b, old, damping)
 	res.Ops.EdgesProcessed += deg
 	res.Ops.RandomLoads += deg * (gatherLines + matLines)
 	res.Ops.MemLoads += deg*int64(s) + int64(2*s) // parent gathers + prior + previous belief

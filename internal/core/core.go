@@ -22,6 +22,7 @@ import (
 	"credo/internal/features"
 	"credo/internal/gpusim"
 	"credo/internal/graph"
+	"credo/internal/kernel"
 	"credo/internal/ml"
 	"credo/internal/perfmodel"
 	"credo/internal/poolbp"
@@ -101,6 +102,14 @@ type Selector struct {
 	// scheduling saves message updates on exactly the graphs where sweeps
 	// are expensive.
 	RelaxWorkers int
+
+	// VariantClassifier decides the update rule (vanilla, damped,
+	// circular) from the oscillation-risk feature vector
+	// (features.RiskVector). Nil falls back to the calibrated threshold
+	// rule (features.RecommendVariant). Orthogonal to Classifier: one
+	// picks HOW messages flow (paradigm), the other WHICH update rule
+	// keeps them convergent.
+	VariantClassifier ml.Classifier
 }
 
 // cudaCrossover returns the node count above which the device pays for
@@ -162,6 +171,18 @@ func (s *Selector) Choose(md graph.Metadata, footprint int64) Implementation {
 	}
 }
 
+// ChooseVariant picks the update rule for a graph: the trained variant
+// classifier's call when one is loaded, the calibrated threshold rule
+// (features.RecommendVariant) otherwise.
+func (s *Selector) ChooseVariant(g *graph.Graph) kernel.Variant {
+	if s.VariantClassifier != nil {
+		if p := s.VariantClassifier.Predict(features.RiskVector(g)); p >= 0 && p <= int(kernel.VariantCircular) {
+			return kernel.Variant(p)
+		}
+	}
+	return features.RecommendVariant(g)
+}
+
 // paradigmNode reports whether the Node paradigm should drive a CPU-side
 // run of the given metadata: the classifier's call when one is loaded, the
 // coarse Edge-dominates-the-CPU rule otherwise.
@@ -187,12 +208,21 @@ type Engine struct {
 	// CUDAOptions shape device runs (block size, convergence batching).
 	BlockDim int
 	Batch    int
+
+	// AutoVariant lets the selector pick the update rule per graph
+	// (Selector.ChooseVariant) when Options carry no explicit variant
+	// request. Explicit Variant/Damping/Alpha settings always win.
+	AutoVariant bool
 }
 
 // Report describes one Credo execution.
 type Report struct {
 	// Implementation is the back end Credo selected (or was forced to).
 	Implementation Implementation
+	// Variant is the update rule the run used (vanilla, damped or
+	// circular — chosen by the selector under AutoVariant, or passed
+	// through from Options).
+	Variant kernel.Variant
 	// Result is the propagation outcome.
 	Result bp.Result
 	// EstimatedTime is the modelled execution time: the priced operation
@@ -206,11 +236,49 @@ type Report struct {
 // Run selects an implementation for g and executes it. The graph's
 // beliefs are updated in place.
 func (e *Engine) Run(g *graph.Graph) (Report, error) {
-	impl := e.Choose(g.Stats(), deviceFootprint(g))
-	return e.RunWith(g, impl)
+	return e.RunWith(g, e.Choose(g.Stats(), deviceFootprint(g)))
 }
 
-// RunWith executes a specific implementation on g.
+// circularSafe reports whether an implementation runs the synchronous
+// node-paradigm schedule the circular correction is calibrated on. The
+// edge-interleaved schedules read reverse-message state mid-sweep in an
+// order that re-excites the very echo the correction cancels — on the
+// hard corpus their circular runs diverge — so the auto-variant path
+// degrades circular to damped for them.
+func (e *Engine) circularSafe(impl Implementation, md graph.Metadata) bool {
+	switch impl {
+	case CNode, CUDANode:
+		return true
+	case Pool:
+		return e.paradigmNode(md)
+	}
+	return false
+}
+
+// withAutoVariant returns the engine whose Options carry the update rule
+// the run should use: e itself when AutoVariant is off or Options already
+// request a variant (explicit settings always win), otherwise a copy with
+// the selector's pick resolved in.
+func (e *Engine) withAutoVariant(g *graph.Graph, impl Implementation) *Engine {
+	noExplicit := e.Options.Variant == kernel.VariantVanilla &&
+		e.Options.Damping == 0 && e.Options.Kernel.Alpha == 0
+	if !e.AutoVariant || !noExplicit {
+		return e
+	}
+	v := e.ChooseVariant(g)
+	if v == kernel.VariantCircular && !e.circularSafe(impl, g.Stats()) {
+		v = kernel.VariantDamped
+	}
+	auto := *e
+	auto.Options.Variant = v
+	auto.Options = auto.Options.ResolveVariant()
+	return &auto
+}
+
+// RunWith executes a specific implementation on g. Under AutoVariant, the
+// selector picks the update rule — unless Options already request one —
+// degrading circular to damped when impl does not run the node-paradigm
+// schedule circular is pinned convergent on.
 func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 	cpu := e.CPU
 	if cpu.Name == "" {
@@ -220,6 +288,8 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 	if gpu.Name == "" {
 		gpu = gpusim.Pascal()
 	}
+	e = e.withAutoVariant(g, impl)
+	variant := e.Options.ResolveVariant().Variant
 	switch impl {
 	case CEdge, CNode:
 		var res bp.Result
@@ -230,6 +300,7 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 		}
 		return Report{
 			Implementation: impl,
+			Variant:        variant,
 			Result:         res,
 			EstimatedTime:  cpu.SequentialTime(res.Ops),
 		}, nil
@@ -247,6 +318,7 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 		}
 		return Report{
 			Implementation: impl,
+			Variant:        variant,
 			Result:         res,
 			EstimatedTime:  cpu.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: workers}),
 		}, nil
@@ -258,6 +330,7 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 		res := relaxbp.Run(g, relaxbp.Options{Options: e.Options, Workers: workers})
 		return Report{
 			Implementation: impl,
+			Variant:        variant,
 			Result:         res,
 			EstimatedTime:  cpu.RelaxTime(res.Ops, perfmodel.RelaxOptions{Workers: workers}),
 		}, nil
@@ -277,6 +350,7 @@ func (e *Engine) RunWith(g *graph.Graph, impl Implementation) (Report, error) {
 		stats := res.DeviceStats
 		return Report{
 			Implementation: impl,
+			Variant:        variant,
 			Result:         res.Result,
 			EstimatedTime:  res.SimTime,
 			DeviceStats:    &stats,

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// must adapts a generator's (graph, error) return for test setup.
+func must(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	return func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+// TestChooseVariantRule ties the selector's variant call to the
+// calibrated regimes: weak coupling stays vanilla, frustration goes
+// damped, strong attractive coupling goes circular.
+func TestChooseVariantRule(t *testing.T) {
+	var s Selector
+	easy := must(t)(gen.Synthetic(50, 200, gen.Config{Seed: 1, States: 2}))
+	if v := s.ChooseVariant(easy); v != kernel.VariantVanilla {
+		t.Errorf("weakly coupled graph: chose %s, want vanilla", v)
+	}
+	frust := must(t)(gen.FrustratedGrid(10, 10, 0.5, gen.Config{Seed: 11, States: 2, Keep: 0.95}))
+	if v := s.ChooseVariant(frust); v != kernel.VariantDamped {
+		t.Errorf("frustrated grid: chose %s, want damped", v)
+	}
+	hub := must(t)(gen.HubSkew(4, 60, gen.Config{Seed: 13, States: 2, Keep: 0.95}))
+	if v := s.ChooseVariant(hub); v != kernel.VariantCircular {
+		t.Errorf("attractive hub graph: chose %s, want circular", v)
+	}
+}
+
+// fixedVariant is an ml.Classifier stub returning one class.
+type fixedVariant int
+
+func (f fixedVariant) Fit([][]float64, []int) error { return nil }
+func (f fixedVariant) Predict([]float64) int        { return int(f) }
+
+// TestChooseVariantClassifier checks that a loaded variant classifier
+// overrides the threshold rule, and that out-of-range predictions fall
+// back to it.
+func TestChooseVariantClassifier(t *testing.T) {
+	easy := must(t)(gen.Synthetic(50, 200, gen.Config{Seed: 1, States: 2}))
+	s := Selector{VariantClassifier: fixedVariant(kernel.VariantDamped)}
+	if v := s.ChooseVariant(easy); v != kernel.VariantDamped {
+		t.Errorf("classifier says damped, got %s", v)
+	}
+	s.VariantClassifier = fixedVariant(99)
+	if v := s.ChooseVariant(easy); v != kernel.VariantVanilla {
+		t.Errorf("bogus classifier class must fall back to the rule, got %s", v)
+	}
+}
+
+// TestAutoVariantEndToEnd runs the engine with AutoVariant on the three
+// regimes and checks the report carries the selected rule and a
+// converged result — including on a hub graph where vanilla is pinned
+// diverging.
+func TestAutoVariantEndToEnd(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+		want  kernel.Variant
+	}{
+		{"easy-vanilla", func() (*graph.Graph, error) {
+			return gen.Synthetic(50, 200, gen.Config{Seed: 1, States: 2})
+		}, kernel.VariantVanilla},
+		{"frustgrid-damped", func() (*graph.Graph, error) {
+			return gen.FrustratedGrid(10, 10, 0.5, gen.Config{Seed: 11, States: 2, Keep: 0.95})
+		}, kernel.VariantDamped},
+		// The corpus acceptance case: vanilla is pinned diverging here.
+		{"hubskew-circular", func() (*graph.Graph, error) {
+			return gen.HubSkew(6, 300, gen.Config{Seed: 13, States: 2, Keep: 0.95})
+		}, kernel.VariantCircular},
+	}
+	for _, c := range cases {
+		g := must(t)(c.build())
+		eng := Engine{AutoVariant: true}
+		// Force the node implementation: it is the schedule every variant
+		// is pinned convergent on (circularSafe).
+		rep, err := eng.RunWith(g, CNode)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.Variant != c.want {
+			t.Errorf("%s: report variant %s, want %s", c.name, rep.Variant, c.want)
+		}
+		if !rep.Result.Converged {
+			t.Errorf("%s: auto-selected %s did not converge (%d iterations)",
+				c.name, rep.Variant, rep.Result.Iterations)
+		}
+	}
+}
+
+// TestAutoVariantDegradesCircularOffNodeSchedule pins the safety
+// downgrade: on a strong attractive graph the selector picks circular,
+// but an edge-paradigm run must degrade to damped (circular is pinned
+// DIVERGING under edge interleaving) — and still converge.
+func TestAutoVariantDegradesCircularOffNodeSchedule(t *testing.T) {
+	g := must(t)(gen.HubSkew(6, 300, gen.Config{Seed: 13, States: 2, Keep: 0.95}))
+	eng := Engine{AutoVariant: true}
+	rep, err := eng.RunWith(g, CEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variant != kernel.VariantDamped {
+		t.Errorf("edge run variant %s, want damped (degraded from circular)", rep.Variant)
+	}
+	if !rep.Result.Converged {
+		t.Errorf("degraded damped edge run did not converge (%d iterations)", rep.Result.Iterations)
+	}
+}
+
+// TestAutoVariantExplicitOptionsWin: any explicit variant request —
+// enum, damping factor, or correction strength — disables the selector.
+func TestAutoVariantExplicitOptionsWin(t *testing.T) {
+	g := must(t)(gen.HubSkew(6, 300, gen.Config{Seed: 13, States: 2, Keep: 0.95}))
+	explicit := []struct {
+		name string
+		opts bp.Options
+		want kernel.Variant
+	}{
+		{"damping", bp.Options{Damping: 0.6}, kernel.VariantDamped},
+		{"variant-enum", bp.Options{Variant: kernel.VariantDamped}, kernel.VariantDamped},
+		{"alpha", bp.Options{Kernel: kernel.Config{Alpha: 0.9}}, kernel.VariantCircular},
+	}
+	for _, c := range explicit {
+		eng := Engine{AutoVariant: true, Options: c.opts}
+		rep, err := eng.RunWith(g.Clone(), CNode)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.Variant != c.want {
+			t.Errorf("%s: report variant %s, want the explicit %s", c.name, rep.Variant, c.want)
+		}
+	}
+}

@@ -67,6 +67,7 @@ func (o Options) withDefaults(numNodes int) Options {
 	if o.QueueThreshold == 0 {
 		o.QueueThreshold = o.Threshold
 	}
+	o.Options = o.Options.ResolveVariant()
 	return o
 }
 
@@ -155,10 +156,11 @@ func RunEdge(g *graph.Graph, dev *gpusim.Device, opts Options) (Result, error) {
 				hi = n
 			}
 			msg := make([]float32, s)
+			var ks kernel.Scratch
 			for _, e := range active[lo:hi] {
 				src, dst := g.EdgeSrc[e], g.EdgeDst[e]
 				parent := cur[int(src)*s : int(src)*s+s]
-				k.Message(msg, e, parent)
+				k.Message(&ks, msg, e, parent)
 				old := g.Message(e)
 				base := int(dst) * s
 				for j := 0; j < s; j++ {

@@ -132,6 +132,16 @@ type Engine struct {
 	// Workers > 1: worker interleaving chooses the update order, and only
 	// the fixpoint tolerance is guaranteed.
 	Deterministic bool
+	// Sweep marks synchronous Jacobi-schedule engines: every sweep reads
+	// the previous sweep's beliefs, so their trajectory — and on hard
+	// graphs their divergence behavior — matches the sequential node
+	// oracle. Asynchronous engines (residual, relaxbp) choose their own
+	// update order and may converge where synchronous sweeps oscillate.
+	Sweep bool
+	// RunOpts executes the engine under full solver options, including
+	// the convergence-robustness variant fields (Variant, Damping,
+	// Alpha). The hard-graph corpus drives this entry point.
+	RunOpts func(g *graph.Graph, o bp.Options) bp.Result
 	// Run executes the engine on g under the given message-kernel
 	// configuration; the harness drives every row once per kernel mode.
 	Run func(g *graph.Graph, kc kernel.Config) bp.Result
@@ -140,29 +150,36 @@ type Engine struct {
 // Engines returns the full engine table. Parallel engines run with the
 // given team size.
 func Engines(workers int) []Engine {
-	return []Engine{
-		{Name: "traditional", Fixpoint: false, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return bp.RunTraditional(g, bp.Options{Kernel: kc})
+	rows := []Engine{
+		{Name: "traditional", Fixpoint: false, Deterministic: true, Sweep: false, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return bp.RunTraditional(g, o)
 		}},
-		{Name: "node", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return bp.RunNode(g, bp.Options{Kernel: kc})
+		{Name: "node", Fixpoint: true, Deterministic: true, Sweep: true, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return bp.RunNode(g, o)
 		}},
-		{Name: "edge", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return bp.RunEdge(g, bp.Options{Kernel: kc})
+		{Name: "edge", Fixpoint: true, Deterministic: true, Sweep: true, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return bp.RunEdge(g, o)
 		}},
-		{Name: "residual", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return bp.RunResidual(g, bp.Options{Kernel: kc})
+		{Name: "residual", Fixpoint: true, Deterministic: true, Sweep: false, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return bp.RunResidual(g, o)
 		}},
-		{Name: "ompbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return ompbp.RunNode(g, ompbp.Options{Threads: workers, Options: bp.Options{Kernel: kc}})
+		{Name: "ompbp", Fixpoint: true, Deterministic: true, Sweep: true, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return ompbp.RunNode(g, ompbp.Options{Threads: workers, Options: o})
 		}},
-		{Name: "poolbp", Fixpoint: true, Deterministic: true, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return poolbp.RunNode(g, poolbp.Options{Workers: workers, Options: bp.Options{Kernel: kc}})
+		{Name: "poolbp", Fixpoint: true, Deterministic: true, Sweep: true, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return poolbp.RunNode(g, poolbp.Options{Workers: workers, Options: o})
 		}},
-		{Name: "relaxbp", Fixpoint: true, Deterministic: workers <= 1, Run: func(g *graph.Graph, kc kernel.Config) bp.Result {
-			return relaxbp.Run(g, relaxbp.Options{Workers: workers, Options: bp.Options{Kernel: kc}})
+		{Name: "relaxbp", Fixpoint: true, Deterministic: workers <= 1, Sweep: false, RunOpts: func(g *graph.Graph, o bp.Options) bp.Result {
+			return relaxbp.Run(g, relaxbp.Options{Workers: workers, Options: o})
 		}},
 	}
+	for i := range rows {
+		run := rows[i].RunOpts
+		rows[i].Run = func(g *graph.Graph, kc kernel.Config) bp.Result {
+			return run(g, bp.Options{Kernel: kc})
+		}
+	}
+	return rows
 }
 
 // Kernels returns the kernel configurations every engine row is driven

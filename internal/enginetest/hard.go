@@ -1,0 +1,322 @@
+package enginetest
+
+import (
+	"fmt"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// The adversarial hard-graph corpus: seeded graphs on which vanilla
+// synchronous BP demonstrably fails to converge, pinned together with
+// which robustness variant rescues each one. The corpus is the empirical
+// ground truth behind three consumers:
+//
+//   - the divergence regression tests (hard_test.go), which fail loudly
+//     if a pinned-diverging case starts converging under vanilla or a
+//     pinned-converging variant stops;
+//   - the variant selector (features.RecommendVariant), whose decision
+//     rule was calibrated on exactly these outcomes;
+//   - the credobench `robust` experiment, which reports converged
+//     fraction and wall time per variant over the same cases.
+//
+// The failure modes are deliberately complementary — no single variant
+// fixes everything:
+//
+//   - hub-skew attractive graphs (echo through a hub clique): damping and
+//     circular BP both rescue them, circular in far fewer sweeps;
+//   - frustrated grids (mixed attractive/repulsive couplings): only
+//     damping helps — there is no coherent echo for the circular
+//     correction to cancel;
+//   - strongly-coupled attractive bipartite trees (two-coloring makes
+//     synchronous sweeps oscillate between colorings): circular BP
+//     converges almost immediately; damping needs a stronger factor than
+//     the 0.5 default;
+//   - repulsive dense random graphs: only damping helps.
+
+// HardTol is the L∞ belief tolerance against the variant-matched
+// log-space oracle for converged hard-corpus runs. Measured agreement is
+// ~1e-6; the pin is the acceptance bound, two orders looser.
+const HardTol = 1e-4
+
+// HardVariants lists the variants every hard case records expectations
+// for, in reporting order.
+func HardVariants() []kernel.Variant {
+	return []kernel.Variant{kernel.VariantVanilla, kernel.VariantDamped, kernel.VariantCircular}
+}
+
+// HardCase is one adversarial corpus entry.
+type HardCase struct {
+	Name  string
+	Build func() (*graph.Graph, error)
+	// Damping is the damping factor the damped variant of this case
+	// runs with (most cases use kernel.DefaultDamping; the bipartite
+	// tree needs more inertia).
+	Damping float32
+	// Alpha is the circular-BP correction strength for this case.
+	Alpha float32
+	// Expect records, per variant, whether the synchronous node sweep
+	// converges. Pinned from seeded measurement; a flip on either side
+	// is a regression (lost robustness, or a case gone stale as an
+	// adversary).
+	Expect map[kernel.Variant]bool
+}
+
+// Options returns the solver options for one variant of the case, with
+// the case's calibrated damping factor and correction strength applied.
+func (c HardCase) Options(v kernel.Variant) bp.Options {
+	o := bp.Options{Variant: v}
+	switch v {
+	case kernel.VariantDamped:
+		o.Damping = c.Damping
+	case kernel.VariantCircular:
+		o.Kernel.Alpha = c.Alpha
+	}
+	return o.ResolveVariant()
+}
+
+// HardCorpus returns the named adversarial cases. Every graph is seeded
+// and deterministic; names encode topology, size and coupling so a
+// failure message identifies the regime at a glance.
+func HardCorpus() []HardCase {
+	return []HardCase{
+		{
+			// The acceptance-criterion case: vanilla diverges, BOTH
+			// rescue variants converge.
+			Name:    "hubskew-6x300-k95",
+			Damping: kernel.DefaultDamping,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.HubSkew(6, 300, gen.Config{Seed: 13, States: 2, Keep: 0.95})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: true,
+			},
+		},
+		{
+			Name:    "hubskew-8x400-k90-s3",
+			Damping: kernel.DefaultDamping,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.HubSkew(8, 400, gen.Config{Seed: 14, States: 3, Keep: 0.9})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: true,
+			},
+		},
+		{
+			Name:    "frustgrid-12x12-k95",
+			Damping: kernel.DefaultDamping,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.FrustratedGrid(12, 12, 0.5, gen.Config{Seed: 11, States: 2, Keep: 0.95})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: false,
+			},
+		},
+		{
+			Name:    "frustgrid-10x10-k99",
+			Damping: kernel.DefaultDamping,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.FrustratedGrid(10, 10, 0.5, gen.Config{Seed: 12, States: 2, Keep: 0.99})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: false,
+			},
+		},
+		{
+			// Bipartite oscillation: the 0.5 default still flips between
+			// the two colorings; 0.7 crosses into the contractive regime.
+			// Circular BP cancels the echo outright and converges in a
+			// handful of sweeps.
+			Name:    "tree-255-k97",
+			Damping: 0.7,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.Tree(255, 2, gen.Config{Seed: 15, States: 2, Keep: 0.97})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: true,
+			},
+		},
+		{
+			Name:    "denseER-48x500-k05",
+			Damping: kernel.DefaultDamping,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.DenseER(48, 500, gen.Config{Seed: 16, States: 2, Keep: 0.05})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: false,
+			},
+		},
+		{
+			Name:    "denseER-80x900-k10-s3",
+			Damping: kernel.DefaultDamping,
+			Alpha:   kernel.DefaultAlpha,
+			Build: func() (*graph.Graph, error) {
+				return gen.DenseER(80, 900, gen.Config{Seed: 17, States: 3, Keep: 0.1})
+			},
+			Expect: map[kernel.Variant]bool{
+				kernel.VariantVanilla:  false,
+				kernel.VariantDamped:   true,
+				kernel.VariantCircular: false,
+			},
+		},
+	}
+}
+
+// MatchedOracle runs the log-space sequential node sweep under the SAME
+// variant configuration as the engine under test. On hard graphs the
+// vanilla oracle diverges too, so comparing a damped engine against it
+// would measure the variant, not the engine; the matched oracle isolates
+// the engine's numerics.
+func MatchedOracle(g *graph.Graph, o bp.Options) bp.Result {
+	o.Kernel.Mode = kernel.LogSpace
+	return bp.RunNode(g, o)
+}
+
+// MaxBeliefLinf returns the largest per-element belief difference
+// between two runs of the same graph (the acceptance metric of the hard
+// corpus; MaxBeliefDiff is the per-node L1 used by the easy corpus).
+func MaxBeliefLinf(a, b *graph.Graph) float32 {
+	var worst float32
+	for i := range a.Beliefs {
+		d := a.Beliefs[i] - b.Beliefs[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// HardRun is the outcome of one engine on one hard case under one
+// variant.
+type HardRun struct {
+	Case      string
+	Variant   kernel.Variant
+	Converged bool
+	Iters     int
+	// Linf is the L∞ belief distance to the variant-matched log-space
+	// oracle. Meaningful when both the run and the oracle converged;
+	// diverging trajectories amplify float noise chaotically.
+	Linf float32
+	// OracleConverged reports whether the matched oracle converged.
+	OracleConverged bool
+}
+
+// HardOracle is a variant-matched oracle run, cacheable so harnesses
+// driving many engines over the same case pay the (slow, log-space,
+// possibly non-converging) oracle once per case × variant.
+type HardOracle struct {
+	G   *graph.Graph
+	Res bp.Result
+}
+
+// ComputeHardOracle builds the case graph and runs the variant-matched
+// oracle on it.
+func ComputeHardOracle(c HardCase, v kernel.Variant) (HardOracle, error) {
+	g, err := c.Build()
+	if err != nil {
+		return HardOracle{}, fmt.Errorf("%s: build: %w", c.Name, err)
+	}
+	return HardOracle{G: g, Res: MatchedOracle(g, c.Options(v))}, nil
+}
+
+// RunHardWithOracle drives one engine over one hard case under one
+// variant, comparing against a precomputed matched oracle.
+func RunHardWithOracle(c HardCase, v kernel.Variant, run func(g *graph.Graph, o bp.Options) bp.Result, oracle HardOracle) (HardRun, error) {
+	g, err := c.Build()
+	if err != nil {
+		return HardRun{}, fmt.Errorf("%s: build: %w", c.Name, err)
+	}
+	res := run(g, c.Options(v))
+	if err := g.Validate(); err != nil {
+		return HardRun{}, fmt.Errorf("%s/%s: invalid beliefs: %w", c.Name, v, err)
+	}
+	return HardRun{
+		Case:            c.Name,
+		Variant:         v,
+		Converged:       res.Converged,
+		Iters:           res.Iterations,
+		Linf:            MaxBeliefLinf(g, oracle.G),
+		OracleConverged: oracle.Res.Converged,
+	}, nil
+}
+
+// RunHard drives one engine over one hard case under one variant and
+// compares it to the variant-matched oracle.
+func RunHard(c HardCase, v kernel.Variant, run func(g *graph.Graph, o bp.Options) bp.Result) (HardRun, error) {
+	oracle, err := ComputeHardOracle(c, v)
+	if err != nil {
+		return HardRun{}, err
+	}
+	return RunHardWithOracle(c, v, run, oracle)
+}
+
+// RobustStats aggregates one variant's behavior over the whole hard
+// corpus — the summary the credobench `robust` experiment and the CI
+// corpus report print.
+type RobustStats struct {
+	Variant   kernel.Variant
+	Cases     int
+	Converged int
+	// MaxLinf is the worst L∞ distance to the matched oracle across
+	// cases where both the engine and the oracle converged.
+	MaxLinf float32
+	// TotalIters sums iterations over converged cases (diverging runs
+	// always burn MaxIterations and would drown the signal).
+	TotalIters int
+}
+
+// ConvergedFraction returns the fraction of corpus cases that converged.
+func (s RobustStats) ConvergedFraction() float64 {
+	if s.Cases == 0 {
+		return 0
+	}
+	return float64(s.Converged) / float64(s.Cases)
+}
+
+// RobustSweep runs one engine over the full hard corpus under every
+// variant and aggregates per-variant stats.
+func RobustSweep(run func(g *graph.Graph, o bp.Options) bp.Result) ([]RobustStats, error) {
+	var out []RobustStats
+	for _, v := range HardVariants() {
+		s := RobustStats{Variant: v}
+		for _, c := range HardCorpus() {
+			r, err := RunHard(c, v, run)
+			if err != nil {
+				return nil, err
+			}
+			s.Cases++
+			if r.Converged {
+				s.Converged++
+				s.TotalIters += r.Iters
+				if r.OracleConverged && r.Linf > s.MaxLinf {
+					s.MaxLinf = r.Linf
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

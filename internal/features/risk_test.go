@@ -1,0 +1,160 @@
+package features_test
+
+import (
+	"testing"
+
+	"credo/internal/enginetest"
+	"credo/internal/features"
+	"credo/internal/gen"
+	"credo/internal/kernel"
+	"credo/internal/ml"
+)
+
+func TestRiskVectorShape(t *testing.T) {
+	if len(features.RiskNames()) != features.RiskCount {
+		t.Fatalf("RiskNames has %d entries, RiskCount is %d", len(features.RiskNames()), features.RiskCount)
+	}
+	g, err := gen.Synthetic(50, 200, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := features.RiskVector(g)
+	if len(v) != features.RiskCount {
+		t.Fatalf("RiskVector has %d entries, want %d", len(v), features.RiskCount)
+	}
+	// All risk features except avg_degree are ratios in [0,1].
+	for i, x := range v[1:] {
+		if x < 0 || x > 1 {
+			t.Errorf("feature %s = %g outside [0,1]", features.RiskNames()[i+1], x)
+		}
+	}
+}
+
+// TestRecommendVariantHardCorpus ties the decision rule to its
+// calibration ground truth: for every adversarial corpus case the
+// recommended variant must be one that is pinned CONVERGING for that
+// case — never vanilla (pinned diverging everywhere there), and never
+// the rescue variant that fails (e.g. circular on a frustrated grid).
+func TestRecommendVariantHardCorpus(t *testing.T) {
+	for _, c := range enginetest.HardCorpus() {
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := features.RecommendVariant(g)
+		if !c.Expect[got] {
+			t.Errorf("%s: recommended %s, which is pinned non-converging (expectations: %v)",
+				c.Name, got, c.Expect)
+		}
+		if got == kernel.VariantVanilla {
+			t.Errorf("%s: recommended vanilla on an adversarial case", c.Name)
+		}
+	}
+}
+
+// TestRecommendVariantEasyCorpus guards the other side: the rule must
+// keep every generator graph of the easy differential corpus — all
+// vanilla-convergent by construction — on the zero-overhead vanilla
+// path. (BIF cases are skipped: real CPTs don't reduce to a single
+// diagonal-coupling axis, and the corpus pins their convergence
+// elsewhere.)
+func TestRecommendVariantEasyCorpus(t *testing.T) {
+	for _, c := range enginetest.Corpus() {
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := g.CouplingStats()
+		if cs.Edges == 0 {
+			continue
+		}
+		if got := features.RecommendVariant(g); got != kernel.VariantVanilla {
+			t.Errorf("%s: recommended %s on a vanilla-convergent graph (mean strength %.2f)",
+				c.Name, got, cs.MeanStrength)
+		}
+	}
+}
+
+// TestCouplingStats pins the potential summary on known generators.
+func TestCouplingStats(t *testing.T) {
+	attract, err := gen.HubSkew(4, 40, gen.Config{Seed: 2, States: 2, Keep: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := attract.CouplingStats()
+	if cs.RepulsiveFraction != 0 {
+		t.Errorf("attractive graph: repulsive fraction %g, want 0", cs.RepulsiveFraction)
+	}
+	if cs.MeanStrength < 0.85 || cs.MeanStrength > 0.95 {
+		t.Errorf("keep=0.95 s=2: mean strength %g, want ≈0.9", cs.MeanStrength)
+	}
+	repulse, err := gen.DenseER(30, 100, gen.Config{Seed: 3, States: 2, Keep: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = repulse.CouplingStats()
+	if cs.RepulsiveFraction != 1 {
+		t.Errorf("repulsive graph: repulsive fraction %g, want 1", cs.RepulsiveFraction)
+	}
+	mixed, err := gen.FrustratedGrid(8, 8, 0.5, gen.Config{Seed: 4, States: 2, Keep: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = mixed.CouplingStats()
+	if cs.RepulsiveFraction < 0.3 || cs.RepulsiveFraction > 0.7 {
+		t.Errorf("flip=0.5 grid: repulsive fraction %g, want ≈0.5", cs.RepulsiveFraction)
+	}
+}
+
+// TestVariantClassifierFromCorpus demonstrates the trained path the
+// selector exposes (Selector.VariantClassifier): a random forest fit on
+// the risk vectors of the two corpora, labeled with each graph's
+// calibrated variant, must reproduce the rule's calls on its training
+// graphs. (Tiny corpus, so this is a smoke check of the plumbing, not a
+// generalization claim — the threshold rule stays the default.)
+func TestVariantClassifierFromCorpus(t *testing.T) {
+	X, y := trainingSet(t)
+	forest := &ml.RandomForest{Trees: 20, MaxDepth: 4, Seed: 1}
+	if err := forest.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if got := forest.Predict(X[i]); got != y[i] {
+			t.Errorf("training graph %d: forest predicts %s, labeled %s",
+				i, kernel.Variant(got), kernel.Variant(y[i]))
+		}
+	}
+}
+
+// trainingSet builds the (risk vector, variant label) pairs from both
+// corpora: hard cases labeled with their cheapest pinned-converging
+// rescue variant, easy generator cases labeled vanilla.
+func trainingSet(t *testing.T) ([][]float64, []int) {
+	t.Helper()
+	var X [][]float64
+	var y []int
+	for _, c := range enginetest.HardCorpus() {
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := kernel.VariantDamped
+		if c.Expect[kernel.VariantCircular] {
+			label = kernel.VariantCircular // converges in far fewer sweeps
+		}
+		X = append(X, features.RiskVector(g))
+		y = append(y, int(label))
+	}
+	for _, c := range enginetest.Corpus() {
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.CouplingStats().Edges == 0 {
+			continue
+		}
+		X = append(X, features.RiskVector(g))
+		y = append(y, int(kernel.VariantVanilla))
+	}
+	return X, y
+}

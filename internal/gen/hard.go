@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"credo/internal/graph"
+)
+
+// The adversarial generators below produce the topologies vanilla loopy BP
+// is known to dislike — the graphs the unique-fixpoint corpus had to
+// exclude. All three emit undirected links (both directed edges per link),
+// so every edge has a reverse partner and the cyclic echo the Circular-BP
+// correction targets is actually present.
+//
+//   - DenseER: dense Erdős–Rényi with strong uniform coupling. Short loops
+//     everywhere; synchronous sweeps amplify feedback until beliefs
+//     oscillate.
+//   - FrustratedGrid: a lattice whose links are randomly attractive or
+//     repulsive. Odd loops cannot satisfy all their couplings
+//     (frustration, the classic spin-glass failure mode of BP).
+//   - HubSkew: a few fully-interconnected hubs carrying many leaves. The
+//     hub clique recirculates every perturbation, and the degree skew
+//     concentrates it.
+
+// repelKeep returns the diagonal mass of the repulsive counterpart of an
+// attractive coupling with diagonal mass keep: the complement spread over
+// the off-diagonal states, i.e. same-state mass (1−keep)/(s−1)·…
+// normalized so that a keep of 0.95 at two states flips to 0.05.
+func repelKeep(states int, keep float32) float32 {
+	if states <= 1 {
+		return keep
+	}
+	return (1 - keep) / float32(states-1)
+}
+
+// DenseER generates a dense Erdős–Rényi multigraph: n nodes and m
+// undirected links between uniformly random distinct pairs, every link
+// attractively coupled with diagonal mass cfg.Keep. With Keep near 1 and
+// average degree well past the tree-like regime, vanilla synchronous BP
+// oscillates.
+func DenseER(n, m int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if n < 2 {
+		return nil, fmt.Errorf("gen: dense ER needs n >= 2, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(n, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		src := int32(rng.Intn(n))
+		dst := int32(rng.Intn(n))
+		for dst == src {
+			dst = int32(rng.Intn(n))
+		}
+		var mat *graph.JointMatrix
+		if !cfg.Shared {
+			jm := graph.DiagonalJointMatrix(cfg.States, cfg.Keep)
+			mat = &jm
+		}
+		if err := b.AddUndirected(src, dst, mat); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// FrustratedGrid generates a w×h lattice whose links are attractive
+// (diagonal mass cfg.Keep) with probability 1−flip and repulsive (the
+// complementary mass) with probability flip. Plaquettes mixing signs are
+// frustrated: no joint state satisfies every link, and vanilla BP chases
+// the contradiction instead of converging. Shared-matrix mode cannot
+// express per-link signs and is rejected.
+func FrustratedGrid(w, h int, flip float64, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("gen: frustrated grid needs positive dims, got %dx%d", w, h)
+	}
+	if cfg.Shared {
+		return nil, fmt.Errorf("gen: frustrated grid needs per-edge matrices (Shared unsupported)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(w*h, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	link := func(a, bNode int32) error {
+		keep := cfg.Keep
+		if rng.Float64() < flip {
+			keep = repelKeep(cfg.States, cfg.Keep)
+		}
+		jm := graph.DiagonalJointMatrix(cfg.States, keep)
+		return b.AddUndirected(a, bNode, &jm)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := int32(y*w + x)
+			if x+1 < w {
+				if err := link(id, id+1); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := link(id, id+int32(w)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// HubSkew generates a high-degree-skew graph: hubs fully interconnected
+// pairwise plus leaves each attached to one hub round-robin, every link
+// attractively coupled with diagonal mass cfg.Keep. The hub clique
+// recirculates perturbations through short loops while the leaves multiply
+// each hub's degree — the degree-imbalance/skew profile of the paper's
+// social benchmarks pushed into BP's unstable regime.
+func HubSkew(hubs, leaves int, cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if hubs < 2 {
+		return nil, fmt.Errorf("gen: hub-skew graph needs hubs >= 2, got %d", hubs)
+	}
+	if leaves < 0 {
+		return nil, fmt.Errorf("gen: hub-skew graph needs leaves >= 0, got %d", leaves)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b, err := builderFor(hubs+leaves, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	link := func(a, bNode int32) error {
+		var mat *graph.JointMatrix
+		if !cfg.Shared {
+			jm := graph.DiagonalJointMatrix(cfg.States, cfg.Keep)
+			mat = &jm
+		}
+		return b.AddUndirected(a, bNode, mat)
+	}
+	for i := 0; i < hubs; i++ {
+		for j := i + 1; j < hubs; j++ {
+			if err := link(int32(i), int32(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for l := 0; l < leaves; l++ {
+		if err := link(int32(l%hubs), int32(hubs+l)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

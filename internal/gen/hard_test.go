@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"testing"
+
+	"credo/internal/graph"
+)
+
+// sameGraph compares the structural identity two seeded generator calls
+// must share: topology, matrices and priors, element for element.
+func sameGraph(t *testing.T, name string, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumNodes != b.NumNodes || a.NumEdges != b.NumEdges {
+		t.Fatalf("%s: same seed, different shape: %dx%d vs %dx%d",
+			name, a.NumNodes, a.NumEdges, b.NumNodes, b.NumEdges)
+	}
+	for e := 0; e < a.NumEdges; e++ {
+		if a.EdgeSrc[e] != b.EdgeSrc[e] || a.EdgeDst[e] != b.EdgeDst[e] {
+			t.Fatalf("%s: same seed, edge %d differs: %d→%d vs %d→%d",
+				name, e, a.EdgeSrc[e], a.EdgeDst[e], b.EdgeSrc[e], b.EdgeDst[e])
+		}
+	}
+	for i := range a.Priors {
+		if a.Priors[i] != b.Priors[i] {
+			t.Fatalf("%s: same seed, prior %d differs: %g vs %g", name, i, a.Priors[i], b.Priors[i])
+		}
+	}
+	for e := range a.EdgeMats {
+		am, bm := a.EdgeMats[e], b.EdgeMats[e]
+		for i := range am.Data {
+			if am.Data[i] != bm.Data[i] {
+				t.Fatalf("%s: same seed, matrix of edge %d differs", name, e)
+			}
+		}
+	}
+}
+
+// reverseEdges checks every directed edge has a reverse partner — the
+// adversarial generators emit undirected links, and the circular
+// correction needs the echo path to exist.
+func reverseEdges(t *testing.T, name string, g *graph.Graph) {
+	t.Helper()
+	type pair struct{ s, d int32 }
+	count := map[pair]int{}
+	for e := 0; e < g.NumEdges; e++ {
+		count[pair{g.EdgeSrc[e], g.EdgeDst[e]}]++
+	}
+	for p, n := range count {
+		if rn := count[pair{p.d, p.s}]; rn != n {
+			t.Fatalf("%s: %d edges %d→%d but %d reverse", name, n, p.s, p.d, rn)
+		}
+	}
+}
+
+func TestHardGeneratorsDeterministicAndUndirected(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func(seed int64) (*graph.Graph, error)
+	}{
+		{"denseER", func(seed int64) (*graph.Graph, error) {
+			return DenseER(30, 100, Config{Seed: seed, States: 2, Keep: 0.05})
+		}},
+		{"frustgrid", func(seed int64) (*graph.Graph, error) {
+			return FrustratedGrid(8, 8, 0.5, Config{Seed: seed, States: 2, Keep: 0.95})
+		}},
+		{"hubskew", func(seed int64) (*graph.Graph, error) {
+			return HubSkew(4, 40, Config{Seed: seed, States: 2, Keep: 0.95})
+		}},
+	}
+	for _, b := range builds {
+		a, err := b.build(7)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: invalid graph: %v", b.name, err)
+		}
+		c, err := b.build(7)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		sameGraph(t, b.name, a, c)
+		reverseEdges(t, b.name, a)
+		d, err := b.build(8)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if graph.L1Diff(a.Priors, d.Priors) == 0 {
+			t.Errorf("%s: different seeds produced identical priors", b.name)
+		}
+	}
+}
+
+func TestHardGeneratorSizes(t *testing.T) {
+	g, err := DenseER(30, 100, Config{Seed: 1, States: 2, Keep: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 30 || g.NumEdges != 200 {
+		t.Errorf("denseER: %d nodes, %d directed edges; want 30, 200", g.NumNodes, g.NumEdges)
+	}
+	g, err = FrustratedGrid(5, 4, 0.5, Config{Seed: 1, States: 2, Keep: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A w×h lattice has w(h−1)+h(w−1) links, two directed edges each.
+	if g.NumNodes != 20 || g.NumEdges != 2*(5*3+4*4) {
+		t.Errorf("frustgrid: %d nodes, %d directed edges; want 20, %d", g.NumNodes, g.NumEdges, 2*(5*3+4*4))
+	}
+	g, err = HubSkew(4, 10, Config{Seed: 1, States: 2, Keep: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 hubs pairwise (6 links) plus one link per leaf.
+	if g.NumNodes != 14 || g.NumEdges != 2*(6+10) {
+		t.Errorf("hubskew: %d nodes, %d directed edges; want 14, %d", g.NumNodes, g.NumEdges, 2*(6+10))
+	}
+	md := g.Stats()
+	if md.MaxInDegree < 5 {
+		t.Errorf("hubskew: max degree %d, want hub-dominated (>=5)", md.MaxInDegree)
+	}
+}
+
+func TestRepelKeep(t *testing.T) {
+	if got := repelKeep(2, 0.95); got < 0.049 || got > 0.051 {
+		t.Errorf("repelKeep(2, 0.95) = %g, want 0.05", got)
+	}
+	if got := repelKeep(1, 0.95); got != 0.95 {
+		t.Errorf("repelKeep(1, 0.95) = %g, want passthrough", got)
+	}
+}
+
+func TestHardGeneratorErrors(t *testing.T) {
+	if _, err := DenseER(1, 10, Config{States: 2}); err == nil {
+		t.Error("denseER with n=1 must fail")
+	}
+	if _, err := FrustratedGrid(0, 5, 0.5, Config{States: 2}); err == nil {
+		t.Error("frustrated grid with zero width must fail")
+	}
+	if _, err := FrustratedGrid(5, 5, 0.5, Config{States: 2, Shared: true}); err == nil {
+		t.Error("frustrated grid with a shared matrix must fail")
+	}
+	if _, err := HubSkew(1, 10, Config{States: 2}); err == nil {
+		t.Error("hub-skew with one hub must fail")
+	}
+	if _, err := HubSkew(3, -1, Config{States: 2}); err == nil {
+		t.Error("hub-skew with negative leaves must fail")
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+// CouplingStats summarizes the edge potentials of a graph: how strongly
+// edges couple their endpoints and in which direction. Unlike the
+// adjacency statistics in Metadata, these need one pass over the joint
+// matrices — still input-only work, available before any propagation, so
+// the variant selector can score oscillation risk from parsing alone.
+//
+// Each square edge matrix is reduced to its mean diagonal mass d̄ (the
+// average probability of the destination copying the source state).
+// d̄ above uniform is attractive coupling, below uniform repulsive;
+// distance from uniform, normalized to [0,1], is the coupling strength.
+// Non-square matrices (state-translating edges) carry no copy/anti-copy
+// notion and are skipped.
+type CouplingStats struct {
+	// Edges is the number of square-matrix edges measured.
+	Edges int
+	// RepulsiveFraction is the fraction of measured edges whose mean
+	// diagonal sits below uniform. Anything meaningfully above zero on a
+	// loopy graph is a frustration proxy: loops mixing attractive and
+	// repulsive couplings (or odd loops of pure repulsion) cannot
+	// satisfy every edge, the classic spin-glass failure mode of BP.
+	RepulsiveFraction float64
+	// MeanStrength and MaxStrength are the average and maximum
+	// normalized coupling strength |d̄ − 1/s| / (1 − 1/s) over measured
+	// edges. Near 0 the potentials barely constrain endpoints; near 1
+	// they approach deterministic (anti-)copying, the regime where
+	// synchronous BP oscillates.
+	MeanStrength float64
+	MaxStrength  float64
+}
+
+// matrixCoupling returns the normalized strength and repulsion flag of
+// one square matrix, and ok=false for non-square ones.
+func matrixCoupling(m *JointMatrix, states int) (strength float64, repulsive, ok bool) {
+	if m == nil || m.Rows != m.Cols || int(m.Rows) != states || states <= 1 {
+		return 0, false, false
+	}
+	var diag float64
+	for i := 0; i < states; i++ {
+		diag += float64(m.At(i, i))
+	}
+	diag /= float64(states)
+	uniform := 1 / float64(states)
+	if diag >= uniform {
+		strength = (diag - uniform) / (1 - uniform)
+	} else {
+		// A repulsive diagonal can drop at most uniform below uniform;
+		// renormalize that range to [0,1] so "fully repulsive" and
+		// "fully attractive" both score 1.
+		repulsive = true
+		strength = (uniform - diag) / uniform
+	}
+	if strength > 1 {
+		strength = 1
+	}
+	return strength, repulsive, true
+}
+
+// CouplingStats computes the potential summary in one pass. A shared
+// matrix is measured once and weighted over every edge.
+func (g *Graph) CouplingStats() CouplingStats {
+	var cs CouplingStats
+	if g.Shared != nil {
+		s, rep, ok := matrixCoupling(g.Shared, g.States)
+		if !ok || g.NumEdges == 0 {
+			return cs
+		}
+		cs.Edges = g.NumEdges
+		cs.MeanStrength = s
+		cs.MaxStrength = s
+		if rep {
+			cs.RepulsiveFraction = 1
+		}
+		return cs
+	}
+	var sum float64
+	var repulsive int
+	for e := range g.EdgeMats {
+		s, rep, ok := matrixCoupling(&g.EdgeMats[e], g.States)
+		if !ok {
+			continue
+		}
+		cs.Edges++
+		sum += s
+		if s > cs.MaxStrength {
+			cs.MaxStrength = s
+		}
+		if rep {
+			repulsive++
+		}
+	}
+	if cs.Edges > 0 {
+		cs.MeanStrength = sum / float64(cs.Edges)
+		cs.RepulsiveFraction = float64(repulsive) / float64(cs.Edges)
+	}
+	return cs
+}

@@ -131,6 +131,22 @@ type Config struct {
 	// MaxRescales is the number of linear-product rescales after which a
 	// combine converts to log space. Zero means DefaultMaxRescales.
 	MaxRescales int
+
+	// Damping, when positive, blends every NodeUpdate/NodeUpdateMax result
+	// with the node's previous belief: b ← (1−d)·b_new + d·b_old (the
+	// VariantDamped rule). Zero keeps the vanilla path bit-identical —
+	// the only cost is one compare per node update. Engines whose combine
+	// stage bypasses NodeUpdate (the edge paradigms, relaxbp, cudabp)
+	// apply the same blend themselves via bp.Blend.
+	Damping float32
+
+	// Alpha, when positive, enables Circular-BP loop correction
+	// (VariantCircular): each message along e=(u→v) is computed from the
+	// corrected source belief b_u · m_{v→u}^(−α), requiring per-edge
+	// correction state allocated by New (O(NumEdges·States) — the one
+	// configuration that is not allocation-free). Zero keeps the vanilla
+	// path: one nil check per fold.
+	Alpha float32
 }
 
 // Counters reports what the numerical policy did during a run. Engines
@@ -164,7 +180,9 @@ type Scratch struct {
 
 	prod     [graph.MaxStates]float32 // linear running product
 	acc      [graph.MaxStates]float32 // log-space accumulator
-	msg      [graph.MaxStates]float32 // materialized message (log paths)
+	msg      [graph.MaxStates]float32 // materialized message (log + circular paths)
+	corr     [graph.MaxStates]float32 // circular-corrected parent belief
+	rmsg     [graph.MaxStates]float32 // circular reverse-message snapshot
 	prior    []float32                // node prior, set by Begin
 	log      bool                     // combine is in log space
 	rescales int                      // rescales of the current combine
@@ -187,6 +205,16 @@ type Kernel struct {
 	logFallbackDegree int
 	maxRescales       int
 
+	// damping is the VariantDamped blend weight applied by
+	// NodeUpdate/NodeUpdateMax; zero means vanilla (no blend, no cost).
+	damping float32
+
+	// st carries the Circular-BP per-edge correction state; nil means
+	// vanilla (every fold pays one nil check). It is shared by all copies
+	// of the kernel value, which is what lets concurrent workers exchange
+	// reverse messages.
+	st *edgeState
+
 	// sharedT/shared cache the shared-matrix case so per-edge dispatch is
 	// a nil check, not a branch through the graph.
 	sharedT []float32
@@ -203,6 +231,10 @@ func New(g *graph.Graph, cfg Config) Kernel {
 		mode:              cfg.Mode,
 		logFallbackDegree: cfg.LogFallbackDegree,
 		maxRescales:       cfg.MaxRescales,
+		damping:           cfg.Damping,
+	}
+	if cfg.Alpha > 0 {
+		k.st = newEdgeState(g, g.States, cfg.Alpha)
 	}
 	if k.logFallbackDegree <= 0 {
 		k.logFallbackDegree = DefaultLogFallbackDegree
@@ -279,6 +311,10 @@ func (k *Kernel) Begin(sc *Scratch, prior []float32, inDegree int) {
 // combine — the fused gather: message and accumulation in one pass, with
 // no materialized msg on the linear path.
 func (k *Kernel) Accumulate(sc *Scratch, e int32, parent []float32) {
+	if k.st != nil {
+		k.accumulateCircular(sc, e, parent, false)
+		return
+	}
 	if sc.log {
 		s := k.s
 		msg := sc.msg[:s]
@@ -437,6 +473,10 @@ func (k *Kernel) rescale(sc *Scratch, m float32) {
 // AccumulateMax folds in-edge e with max-product semantics:
 // raw[j] = max_i parent[i]·M[i,j] instead of the sum.
 func (k *Kernel) AccumulateMax(sc *Scratch, e int32, parent []float32) {
+	if k.st != nil {
+		k.accumulateCircular(sc, e, parent, true)
+		return
+	}
 	s := k.s
 	if sc.log {
 		msg := sc.msg[:s]
@@ -558,6 +598,9 @@ func (k *Kernel) NodeUpdate(sc *Scratch, dst []float32, v int32, from []float32)
 		k.Accumulate(sc, e, from[src*s:src*s+s])
 	}
 	k.Finish(sc, dst)
+	if k.damping > 0 {
+		k.damp(dst, from[int(v)*s:int(v)*s+s])
+	}
 	return int(hi - lo)
 }
 
@@ -572,14 +615,23 @@ func (k *Kernel) NodeUpdateMax(sc *Scratch, dst []float32, v int32, from []float
 		k.AccumulateMax(sc, e, from[src*s:src*s+s])
 	}
 	k.Finish(sc, dst)
+	if k.damping > 0 {
+		k.damp(dst, from[int(v)*s:int(v)*s+s])
+	}
 	return int(hi - lo)
 }
 
 // Message writes the normalized message along edge e given the parent
 // belief — the materialized form the edge paradigm folds into destination
 // accumulators. In LogSpace mode it is bit-for-bit the historical
-// computeMessage.
-func (k *Kernel) Message(msg []float32, e int32, parent []float32) {
+// computeMessage. Under VariantCircular the message is computed from the
+// α-corrected parent and published to the correction state (sc provides
+// the correction buffers; it is untouched on the vanilla path).
+func (k *Kernel) Message(sc *Scratch, msg []float32, e int32, parent []float32) {
+	if k.st != nil {
+		k.messageCircular(sc, msg, e, parent)
+		return
+	}
 	k.rawInto(msg, k.matT(e), parent)
 	graph.Normalize(msg)
 }

@@ -109,9 +109,10 @@ func TestMessageLogSpaceBitwise(t *testing.T) {
 		k := kernel.New(g, kernel.Config{Mode: kernel.LogSpace})
 		got := make([]float32, s)
 		want := make([]float32, s)
+		var sc kernel.Scratch
 		for e := int32(0); e < int32(g.NumEdges); e++ {
 			parent := g.Belief(g.EdgeSrc[e])
-			k.Message(got, e, parent)
+			k.Message(&sc, got, e, parent)
 			g.Matrix(e).PropagateInto(want, parent)
 			graph.Normalize(want)
 			for j := 0; j < s; j++ {

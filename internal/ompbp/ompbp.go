@@ -52,6 +52,7 @@ func (o Options) withDefaults() Options {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 256
 	}
+	o.Options = o.Options.ResolveVariant()
 	return o
 }
 
@@ -303,6 +304,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	for w := range scratch {
 		scratch[w] = make([]float32, s)
 	}
+	kss := make([]kernel.Scratch, opts.Threads)
 	nodeDelta := make([]float32, g.NumNodes)
 	inNext := make([]bool, g.NumEdges)
 	partial := make([]float32, opts.Threads)
@@ -337,7 +339,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 			src, dst := g.EdgeSrc[e], g.EdgeDst[e]
 			msg := scratch[worker]
 			parent := prev[int(src)*s : int(src)*s+s]
-			k.Message(msg, e, parent)
+			k.Message(&kss[worker], msg, e, parent)
 			old := g.Message(e)
 			base := int(dst) * s
 			for j := 0; j < s; j++ {

@@ -36,27 +36,33 @@ func TestSweepsAllocFree(t *testing.T) {
 	const slack = 200 // runtime noise (goroutine scheduling, timer wheel)
 	for _, eng := range engines {
 		for _, mode := range []kernel.Mode{kernel.Specialized, kernel.LogSpace} {
-			g := allocGraph(t, 3, false)
-			opts := Options{
-				Options: bp.Options{
-					// Unreachably small threshold keeps every sweep running
-					// to the iteration cap.
-					Threshold: 1e-35,
-					Kernel:    kernel.Config{Mode: mode},
-				},
-				Workers: 4,
-			}
-			measure := func(iters int) float64 {
-				opts.MaxIterations = iters
-				return testing.AllocsPerRun(3, func() {
-					eng.run(g.Clone(), opts)
-				})
-			}
-			short := measure(4)
-			long := measure(54)
-			if long > short+slack {
-				t.Errorf("%s mode=%v: %d sweeps allocated %.0f, %d sweeps %.0f — allocations scale with sweeps",
-					eng.name, mode, 54, long, 4, short)
+			// Damped sweeps must reuse the same hoisted state as vanilla:
+			// the blend is in place, so the per-sweep allocation profile
+			// cannot change.
+			for _, damping := range []float32{0, 0.5} {
+				g := allocGraph(t, 3, false)
+				opts := Options{
+					Options: bp.Options{
+						// Unreachably small threshold keeps every sweep running
+						// to the iteration cap.
+						Threshold: 1e-35,
+						Damping:   damping,
+						Kernel:    kernel.Config{Mode: mode},
+					},
+					Workers: 4,
+				}
+				measure := func(iters int) float64 {
+					opts.MaxIterations = iters
+					return testing.AllocsPerRun(3, func() {
+						eng.run(g.Clone(), opts)
+					})
+				}
+				short := measure(4)
+				long := measure(54)
+				if long > short+slack {
+					t.Errorf("%s mode=%v damping=%g: %d sweeps allocated %.0f, %d sweeps %.0f — allocations scale with sweeps",
+						eng.name, mode, damping, 54, long, 4, short)
+				}
 			}
 		}
 	}

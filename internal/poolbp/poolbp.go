@@ -81,6 +81,7 @@ func (o Options) withDefaults() Options {
 	if o.QueueThreshold == 0 {
 		o.QueueThreshold = o.Threshold
 	}
+	o.Options = o.Options.ResolveVariant()
 	return o
 }
 
@@ -250,8 +251,7 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 				ops.NodesProcessed++
 				b := nxt[int(v)*s : int(v)*s+s]
 				old := cur[int(v)*s : int(v)*s+s]
-				deg := int64(k.NodeUpdate(sc, b, v, cur))
-				bp.Blend(b, old, o.Damping)
+				deg := int64(k.NodeUpdate(sc, b, v, cur)) // damping applied in-kernel
 				dv := graph.L1Diff(b, old)
 				d += dv
 				ops.EdgesProcessed += deg
@@ -404,6 +404,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	for w := range scratch {
 		scratch[w] = make([]float32, 2*s)
 	}
+	kss := make([]kernel.Scratch, workers)
 
 	var res bp.Result
 	if o.WorkQueue {
@@ -430,6 +431,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	edgeBody := func(w int) {
 		ops := &workerOps[w]
 		msg := scratch[w][:s]
+		ks := &kss[w]
 		for {
 			sh := int(cursor.Add(1)) - 1
 			if sh >= eShards {
@@ -439,7 +441,7 @@ func RunEdge(g *graph.Graph, opts Options) bp.Result {
 				ops.EdgesProcessed++
 				src, dst := g.EdgeSrc[e], g.EdgeDst[e]
 				parent := prev[int(src)*s : int(src)*s+s]
-				k.Message(msg, e, parent)
+				k.Message(ks, msg, e, parent)
 				old := g.Message(e)
 				base := int(dst) * s
 				lm := lmsg[int(e)*s : int(e)*s+s]

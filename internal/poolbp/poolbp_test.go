@@ -231,6 +231,30 @@ func TestDampingStabilizes(t *testing.T) {
 	}
 }
 
+// TestDampedNodeDeterministicAcrossWorkerCounts extends the pool's
+// fixpoint-determinism contract to damped mode: the in-kernel blend is a
+// pure function of the previous sweep's beliefs, so damped runs must stay
+// bitwise identical across team sizes exactly like vanilla runs.
+func TestDampedNodeDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := testGraph(t, 400, 1600, 21, 3)
+	ref := base.Clone()
+	refRes := RunNode(ref, Options{Workers: 1, Options: bp.Options{Damping: 0.5}})
+	for _, workers := range []int{4, 16} {
+		g := base.Clone()
+		res := RunNode(g, Options{Workers: workers, Options: bp.Options{Damping: 0.5}})
+		for i := range ref.Beliefs {
+			if ref.Beliefs[i] != g.Beliefs[i] {
+				t.Fatalf("workers=%d: damped belief[%d] %v != %v (not bitwise identical)",
+					workers, i, g.Beliefs[i], ref.Beliefs[i])
+			}
+		}
+		if res.Iterations != refRes.Iterations || res.Converged != refRes.Converged {
+			t.Errorf("workers=%d: iterations/converged %d/%v, want %d/%v",
+				workers, res.Iterations, res.Converged, refRes.Iterations, refRes.Converged)
+		}
+	}
+}
+
 // TestShardCountIndependentOfWorkers pins the property the determinism
 // contract rests on.
 func TestShardCountIndependentOfWorkers(t *testing.T) {

@@ -17,33 +17,39 @@ import (
 // would show up thousands of times.
 func TestUpdatesAllocFree(t *testing.T) {
 	for _, mode := range []kernel.Mode{kernel.Specialized, kernel.LogSpace} {
-		g, err := gen.Synthetic(200, 800, gen.Config{Seed: 5, States: 3})
-		if err != nil {
-			t.Fatalf("Synthetic: %v", err)
-		}
-		opts := Options{
-			Options: bp.Options{
-				// Unreachably small thresholds keep updates flowing to the
-				// update cap (MaxIterations sweep-equivalents).
-				Threshold:      1e-35,
-				QueueThreshold: 1e-35,
-				Kernel:         kernel.Config{Mode: mode},
-			},
-			Workers: 4,
-			Seed:    7,
-		}
-		measure := func(iters int) float64 {
-			opts.MaxIterations = iters
-			return testing.AllocsPerRun(3, func() {
-				Run(g.Clone(), opts)
-			})
-		}
-		short := measure(2)
-		long := measure(20)
-		const slack = 400 // runtime noise + amortized heap growth
-		if long > short+slack {
-			t.Errorf("mode=%v: 20-sweep cap allocated %.0f, 2-sweep cap %.0f — allocations scale with updates",
-				mode, long, short)
+		// The damped relaxed engine blends under the writing spinlock
+		// with no extra state, so its allocation profile must match
+		// vanilla's.
+		for _, damping := range []float32{0, 0.5} {
+			g, err := gen.Synthetic(200, 800, gen.Config{Seed: 5, States: 3})
+			if err != nil {
+				t.Fatalf("Synthetic: %v", err)
+			}
+			opts := Options{
+				Options: bp.Options{
+					// Unreachably small thresholds keep updates flowing to the
+					// update cap (MaxIterations sweep-equivalents).
+					Threshold:      1e-35,
+					QueueThreshold: 1e-35,
+					Damping:        damping,
+					Kernel:         kernel.Config{Mode: mode},
+				},
+				Workers: 4,
+				Seed:    7,
+			}
+			measure := func(iters int) float64 {
+				opts.MaxIterations = iters
+				return testing.AllocsPerRun(3, func() {
+					Run(g.Clone(), opts)
+				})
+			}
+			short := measure(2)
+			long := measure(20)
+			const slack = 400 // runtime noise + amortized heap growth
+			if long > short+slack {
+				t.Errorf("mode=%v damping=%g: 20-sweep cap allocated %.0f, 2-sweep cap %.0f — allocations scale with updates",
+					mode, damping, long, short)
+			}
 		}
 	}
 }

@@ -108,6 +108,7 @@ func (o Options) withDefaults() Options {
 	if o.QueueThreshold == 0 {
 		o.QueueThreshold = o.Threshold
 	}
+	o.Options = o.Options.ResolveVariant()
 	return o
 }
 
@@ -285,6 +286,13 @@ func RunFrom(g *graph.Graph, opts Options, seeds []int32) bp.Result {
 				runtime.Gosched()
 			}
 			loadBelief(cur, v)
+			// The residual is the UNDAMPED pending move: damping scales
+			// every applied step, and measuring the scaled step would
+			// drain the queue while the node still wants to move (the
+			// fixpoint criterion must not depend on the step size). The
+			// blend below applies only to the stored belief. (The kernel
+			// can't damp here: the combine composes
+			// Begin/Accumulate/Finish, not NodeUpdate.)
 			r := graph.L1Diff(cand, cur)
 			if r <= opts.QueueThreshold {
 				atomic.StoreUint32(&writing[v], 0)
@@ -297,6 +305,7 @@ func RunFrom(g *graph.Graph, opts Options, seeds []int32) bp.Result {
 				live.Add(-1)
 				continue
 			}
+			bp.Blend(cand, cur, opts.Damping)
 			base := int(v) * s
 			for j := 0; j < s; j++ {
 				atomic.StoreUint32(&bel[base+j], math.Float32bits(cand[j]))
@@ -351,6 +360,17 @@ func RunFrom(g *graph.Graph, opts Options, seeds []int32) bp.Result {
 				ns := atomic.AddUint32(&seq[dst], 1)
 				live.Add(1)
 				mq.push(rng, entry{node: dst, seq: ns, prio: r}, &contention)
+				ops.QueuePushes++
+			}
+			// A damped apply moves the belief only (1−d) of the way, so
+			// d·r of the node's own residual is still pending; re-queue
+			// the node itself or that remainder strands once its
+			// neighbors settle (convergence must mean small UNDAMPED
+			// residuals everywhere, regardless of step size).
+			if rem := opts.Damping * r; rem > opts.QueueThreshold {
+				ns := atomic.AddUint32(&seq[v], 1)
+				live.Add(1)
+				mq.push(rng, entry{node: v, seq: ns, prio: rem}, &contention)
 				ops.QueuePushes++
 			}
 			live.Add(-1)

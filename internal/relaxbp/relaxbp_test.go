@@ -145,6 +145,39 @@ func TestSeededDeterminism(t *testing.T) {
 	}
 }
 
+// TestSeededDeterminismDamped extends the seeded-determinism contract to
+// damped mode: the blend is applied under the writing spinlock as a pure
+// function of the live belief, so single-worker seeded runs must stay
+// bitwise repeatable with damping on, and the damped fixpoint must stay
+// within tolerance of the vanilla one on an easy graph.
+func TestSeededDeterminismDamped(t *testing.T) {
+	mk := func() *graph.Graph {
+		g, err := gen.Synthetic(200, 800, gen.Config{Seed: 33, States: 2, Shared: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	opts := Options{Workers: 1, Seed: 9, Options: bp.Options{Damping: 0.5}}
+	g1 := mk()
+	res1 := Run(g1, opts)
+	g2 := mk()
+	Run(g2, opts)
+	if !res1.Converged {
+		t.Fatal("damped seeded run did not converge")
+	}
+	for i := range g1.Beliefs {
+		if g1.Beliefs[i] != g2.Beliefs[i] {
+			t.Fatalf("damped beliefs not bitwise identical at %d", i)
+		}
+	}
+	g3 := mk()
+	Run(g3, Options{Workers: 1, Seed: 9})
+	if d := maxBeliefDiff(g1, g3); d > fixpointTol {
+		t.Errorf("damped and vanilla fixpoints %g apart", d)
+	}
+}
+
 // TestTraceOnlyForSingleWorker: the deterministic trace hook must stay
 // silent on nondeterministic (multi-worker) runs.
 func TestTraceOnlyForSingleWorker(t *testing.T) {
