@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"credo/internal/bif"
+	"credo/internal/bp"
+	"credo/internal/graph"
+	"credo/internal/poolbp"
+)
+
+// sprinklerBIF is the classic four-node Pearl network, embedded so the
+// experiment has a tier-independent named-network sanity case (the same
+// fixture internal/bif/testdata ships for the parser tests).
+const sprinklerBIF = `
+network sprinkler {
+  property "classic example" ;
+}
+variable cloudy {
+  type discrete [ 2 ] { true, false };
+}
+variable sprinkler {
+  type discrete [ 2 ] { true, false };
+}
+variable rain {
+  type discrete [ 2 ] { true, false };
+}
+variable wetgrass {
+  type discrete [ 2 ] { true, false };
+}
+probability ( cloudy ) {
+  table 0.5, 0.5;
+}
+probability ( sprinkler | cloudy ) {
+  ( true ) 0.1, 0.9;
+  ( false ) 0.5, 0.5;
+}
+probability ( rain | cloudy ) {
+  ( true ) 0.8, 0.2;
+  ( false ) 0.2, 0.8;
+}
+probability ( wetgrass | sprinkler, rain ) {
+  ( true, true ) 0.99, 0.01;
+  ( true, false ) 0.90, 0.10;
+  ( false, true ) 0.90, 0.10;
+  ( false, false ) 0.00, 1.00;
+}
+`
+
+// sprinklerMRF parses the embedded sprinkler network and doubles it into
+// MRF form, as the serving layer loads it.
+func sprinklerMRF() (*graph.Graph, error) {
+	g, err := bif.Parse(strings.NewReader(sprinklerBIF))
+	if err != nil {
+		return nil, err
+	}
+	return g.Undirected()
+}
+
+// laneEvidenceSpread assigns lane l's evidence clamps, the spread the
+// batch engine tests use: lane 0 evidence-free, odd lanes one clamp,
+// lanes >= 4 two clamps — different posteriors and different convergence
+// times inside one batch.
+func laneEvidenceSpread(lane, numNodes, states int) [][2]int {
+	if lane == 0 {
+		return nil
+	}
+	ev := [][2]int{{(lane * 7) % numNodes, lane % states}}
+	if lane >= 4 {
+		second := [2]int{(lane*13 + 3) % numNodes, (lane + 1) % states}
+		if second[0] != ev[0][0] {
+			ev = append(ev, second)
+		}
+	}
+	return ev
+}
+
+// batchCase measures one graph at one batch width: K queries run solo
+// (clone + observe + RunNode) against the same K staged as one SoA
+// batch, on both the sequential and the pool back end.
+type batchCase struct {
+	name    string
+	k       int
+	nodes   int
+	edges   int
+	sweeps  int // batch sweep count (slowest lane)
+	bitwise bool
+
+	soloUpdates  int64 // total belief updates across the K solo runs
+	soloRandom   int64 // total random-order cache-line loads, solo
+	batchRandom  int64 // same, batched (the amortized structure pass)
+	soloModel    time.Duration
+	batchModel   time.Duration
+	soloWall     time.Duration
+	batchWall    time.Duration
+	poolSoloWall time.Duration
+	poolWall     time.Duration
+}
+
+// runBatchCase executes the solo/batched comparison on g.
+func runBatchCase(name string, g *graph.Graph, k int, cfg Config) (batchCase, error) {
+	c := batchCase{name: name, k: k, nodes: g.NumNodes, edges: g.NumEdges}
+	opts := cfg.Options
+	opts.Probe = nil
+	// The batched sweep is the synchronous node-paradigm schedule; solo
+	// runs drop the work queue so both sides execute the same algorithm
+	// and the lanes can be checked bitwise.
+	opts.WorkQueue = false
+
+	type soloOut struct {
+		beliefs []float32
+		res     bp.Result
+	}
+	solos := make([]soloOut, k)
+	start := time.Now()
+	for l := 0; l < k; l++ {
+		sg := g.Clone()
+		for _, e := range laneEvidenceSpread(l, g.NumNodes, g.States) {
+			if err := sg.Observe(int32(e[0]), e[1]); err != nil {
+				return c, err
+			}
+		}
+		res := bp.RunNode(sg, opts)
+		solos[l] = soloOut{beliefs: sg.Beliefs, res: res}
+		c.soloUpdates += res.Ops.NodesProcessed
+		c.soloRandom += res.Ops.RandomLoads
+		c.soloModel += cfg.CPU.SequentialTime(res.Ops)
+	}
+	c.soloWall = time.Since(start)
+
+	bs, err := graph.NewBatchState(g, k)
+	if err != nil {
+		return c, err
+	}
+	stage := func(bs *graph.BatchState) error {
+		for l := 0; l < k; l++ {
+			for _, e := range laneEvidenceSpread(l, g.NumNodes, g.States) {
+				if err := bs.Observe(l, int32(e[0]), e[1]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := stage(bs); err != nil {
+		return c, err
+	}
+	start = time.Now()
+	bres := bp.RunBatch(g, bs, opts)
+	c.batchWall = time.Since(start)
+	c.sweeps = bres.Iterations
+	c.batchRandom = bres.Ops.RandomLoads
+	c.batchModel = cfg.CPU.SequentialTime(bres.Ops)
+
+	// Lane-vs-solo differential, inline: the speedup table is only worth
+	// reporting if the batch computes the same answers.
+	c.bitwise = true
+	lane := make([]float32, g.NumNodes*g.States)
+	for l := 0; l < k; l++ {
+		bs.ExtractLane(l, lane)
+		if bres.Lanes[l].Iterations != solos[l].res.Iterations {
+			c.bitwise = false
+		}
+		for i := range lane {
+			if math.Float32bits(lane[i]) != math.Float32bits(solos[l].beliefs[i]) {
+				c.bitwise = false
+				break
+			}
+		}
+	}
+
+	// Pool back end, same comparison (wall only; the deterministic table
+	// is carried by the sequential engine).
+	workers := cfg.PoolWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	popts := poolbp.Options{Options: opts, Workers: workers}
+	start = time.Now()
+	for l := 0; l < k; l++ {
+		sg := g.Clone()
+		for _, e := range laneEvidenceSpread(l, g.NumNodes, g.States) {
+			if err := sg.Observe(int32(e[0]), e[1]); err != nil {
+				return c, err
+			}
+		}
+		poolbp.RunNode(sg, popts)
+	}
+	c.poolSoloWall = time.Since(start)
+	pbs, err := graph.NewBatchState(g, k)
+	if err != nil {
+		return c, err
+	}
+	if err := stage(pbs); err != nil {
+		return c, err
+	}
+	start = time.Now()
+	poolbp.RunBatch(g, pbs, popts)
+	c.poolWall = time.Since(start)
+	return c, nil
+}
+
+// RunBatchStudy is the cross-query batching study (EXPERIMENTS.md X7):
+// K concurrent queries with different evidence over one structure,
+// served as K solo runs vs one K-lane SoA batch. The deterministic body
+// reports per-query update counts and the random-order structure
+// traffic the batch amortizes (plus the modelled per-query time); the
+// wall-clock footer reports the measured per-query latency and
+// updates/sec on this host.
+//
+// The amortization model: a solo sweep pays one random-order structure
+// pass (parent gathers + matrix rows) per query, so K queries pay K
+// passes. The batch pays ceil(states*K*4/64) cache lines per gather —
+// one pass of K-wide lines — so the structure traffic per query falls
+// roughly as min(K, 16/states) until the K-wide lane block outgrows a
+// cache line. Compute (MACs) is not amortized; the win is bounded by
+// the memory-bound share of the sweep.
+func RunBatchStudy(w io.Writer, cfg Config) error {
+	type graphCase struct {
+		name string
+		g    *graph.Graph
+	}
+	var cases []graphCase
+	sprinkler, err := sprinklerMRF()
+	if err != nil {
+		return err
+	}
+	cases = append(cases, graphCase{"sprinkler", sprinkler})
+	for _, abbrev := range []string{"GO", "1Mx4M"} {
+		spec, ok := specByAbbrev(abbrev)
+		if !ok {
+			return fmt.Errorf("bench: missing spec %s", abbrev)
+		}
+		g, err := spec.Generate(2, cfg.Tier, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cases = append(cases, graphCase{spec.Abbrev, g})
+	}
+
+	fmt.Fprintf(w, "batch — cross-query batched inference: K solo runs vs one K-lane SoA batch (tier %s)\n", cfg.Tier.Name)
+	fmt.Fprintln(w, "solo and batch run the synchronous node schedule; every lane is checked bitwise against its solo run")
+
+	ks := []int{1, 8, 32}
+	var rows []batchCase
+	for _, gc := range cases {
+		for _, k := range ks {
+			c, err := runBatchCase(gc.name, gc.g, k, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, c)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%-10s %4s %8s %8s %7s %12s %14s %14s %9s %8s\n",
+		"graph", "K", "nodes", "edges", "sweeps", "updates/qry", "rndlines/qry", "batch rnd/qry", "amortize", "bitwise")
+	for _, c := range rows {
+		k64 := int64(c.k)
+		amort := float64(c.soloRandom) / float64(c.batchRandom)
+		fmt.Fprintf(w, "%-10s %4d %8d %8d %7d %12d %14d %14d %8.2fx %8v\n",
+			c.name, c.k, c.nodes, c.edges, c.sweeps,
+			c.soloUpdates/k64, c.soloRandom/k64, c.batchRandom/k64, amort, c.bitwise)
+	}
+
+	fmt.Fprintf(w, "\nmodelled per-query time (%s, deterministic):\n", cfg.CPU.Name)
+	fmt.Fprintf(w, "%-10s %4s %12s %12s %9s\n", "graph", "K", "solo/qry", "batch/qry", "speedup")
+	for _, c := range rows {
+		fmt.Fprintf(w, "%-10s %4d %12s %12s %9s\n",
+			c.name, c.k,
+			fmtDur(c.soloModel/time.Duration(c.k)),
+			fmtDur(c.batchModel/time.Duration(c.k)),
+			fmtRatio(float64(c.soloModel)/float64(c.batchModel)))
+	}
+
+	fmt.Fprintln(w, "\nmeasured wall-clock on this host (varies run to run):")
+	fmt.Fprintf(w, "%-10s %4s %12s %12s %9s %14s %12s %12s %9s\n",
+		"graph", "K", "solo/qry", "batch/qry", "speedup", "batch upd/s", "pool solo", "pool batch", "speedup")
+	for _, c := range rows {
+		updPerSec := float64(c.soloUpdates) / c.batchWall.Seconds()
+		fmt.Fprintf(w, "%-10s %4d %12s %12s %9s %14.3g %12s %12s %9s\n",
+			c.name, c.k,
+			fmtDur(c.soloWall/time.Duration(c.k)),
+			fmtDur(c.batchWall/time.Duration(c.k)),
+			fmtRatio(float64(c.soloWall)/float64(c.batchWall)),
+			updPerSec,
+			fmtDur(c.poolSoloWall/time.Duration(c.k)),
+			fmtDur(c.poolWall/time.Duration(c.k)),
+			fmtRatio(float64(c.poolSoloWall)/float64(c.poolWall)))
+	}
+	return nil
+}

@@ -46,6 +46,8 @@ func Experiments() []Experiment {
 		{ID: "fig11", Title: "Figure 11: Credo vs C Edge (Pascal)", Run: RunFig11},
 		{ID: "fig12", Title: "Figure 12: portability to Volta", Run: RunFig12},
 		{ID: "robust", Title: "convergence robustness: update-rule variants on the adversarial corpus", Run: RunRobust},
+		{ID: "batch", Title: "cross-query batched inference: K solo runs vs one K-lane SoA batch", Run: RunBatchStudy},
+		{ID: "serve", Title: "serving warm starts and batched throughput across evidence churn", Run: RunServeStudy},
 	}
 }
 

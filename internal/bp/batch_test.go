@@ -1,0 +1,269 @@
+package bp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// batchEvidence assigns lane l's evidence: lane 0 stays evidence-free,
+// odd lanes clamp one node, lanes ≥ 4 clamp two — a spread of different
+// posteriors and different convergence times inside one batch.
+func batchEvidence(lane, numNodes, states int) [][2]int {
+	if lane == 0 {
+		return nil
+	}
+	ev := [][2]int{{(lane * 7) % numNodes, lane % states}}
+	if lane >= 4 {
+		ev = append(ev, [2]int{(lane*13 + 3) % numNodes, (lane + 1) % states})
+	}
+	if ev[0][0] == ev[len(ev)-1][0] && len(ev) > 1 {
+		ev = ev[:1] // duplicate node: keep one clamp
+	}
+	return ev
+}
+
+// soloRun clones the base graph, applies one lane's evidence and runs the
+// standalone engine the batch must reproduce.
+func soloRun(t *testing.T, base *graph.Graph, ev [][2]int, opts Options) (*graph.Graph, Result) {
+	t.Helper()
+	g := base.Clone()
+	for _, e := range ev {
+		if err := g.Observe(int32(e[0]), e[1]); err != nil {
+			t.Fatalf("Observe(%d,%d): %v", e[0], e[1], err)
+		}
+	}
+	return g, RunNode(g, opts)
+}
+
+// TestBatchLaneEquivalence is the acceptance differential: every lane of
+// a K=8/32 batch — mixed evidence, mixed convergence times — must match
+// its standalone K=1 run bitwise, across widths, kernel modes and update
+// variants. Bitwise equality of the final beliefs, the stopping sweep,
+// the final delta and the update count means the batched path is the solo
+// path, K lanes at a time, which is exactly what lets the server batch
+// queries without changing answers.
+func TestBatchLaneEquivalence(t *testing.T) {
+	type cfg struct {
+		states  int
+		k       int
+		mode    kernel.Mode
+		variant kernel.Variant
+	}
+	var cfgs []cfg
+	for _, states := range []int{2, 3, 5} {
+		for _, k := range []int{8, 32} {
+			cfgs = append(cfgs,
+				cfg{states, k, kernel.Specialized, kernel.VariantVanilla},
+				cfg{states, k, kernel.LogSpace, kernel.VariantVanilla},
+			)
+		}
+		cfgs = append(cfgs,
+			cfg{states, 8, kernel.Specialized, kernel.VariantDamped},
+			cfg{states, 8, kernel.Specialized, kernel.VariantCircular},
+		)
+	}
+	for _, c := range cfgs {
+		name := fmt.Sprintf("states=%d/k=%d/mode=%v/variant=%v", c.states, c.k, c.mode, c.variant)
+		t.Run(name, func(t *testing.T) {
+			base, err := gen.Synthetic(120, 480, gen.Config{Seed: 7, States: c.states, Shared: c.states == 2})
+			if err != nil {
+				t.Fatalf("Synthetic: %v", err)
+			}
+			opts := Options{Variant: c.variant, Kernel: kernel.Config{Mode: c.mode}}
+
+			bs, err := graph.NewBatchState(base, c.k)
+			if err != nil {
+				t.Fatalf("NewBatchState: %v", err)
+			}
+			for l := 0; l < c.k; l++ {
+				for _, e := range batchEvidence(l, base.NumNodes, c.states) {
+					if err := bs.Observe(l, int32(e[0]), e[1]); err != nil {
+						t.Fatalf("lane %d Observe: %v", l, err)
+					}
+				}
+			}
+			res := RunBatch(base, bs, opts)
+			if len(res.Lanes) != c.k {
+				t.Fatalf("got %d lane results, want %d", len(res.Lanes), c.k)
+			}
+
+			iters := map[int]bool{}
+			lane := make([]float32, base.NumNodes*base.States)
+			for l := 0; l < c.k; l++ {
+				ev := batchEvidence(l, base.NumNodes, c.states)
+				sg, sres := soloRun(t, base, ev, opts)
+				lr := res.Lanes[l]
+				if lr.Iterations != sres.Iterations || lr.Converged != sres.Converged {
+					t.Errorf("lane %d: iterations/converged = %d/%v, solo %d/%v",
+						l, lr.Iterations, lr.Converged, sres.Iterations, sres.Converged)
+				}
+				if math.Float32bits(lr.FinalDelta) != math.Float32bits(sres.FinalDelta) {
+					t.Errorf("lane %d: final delta %g, solo %g", l, lr.FinalDelta, sres.FinalDelta)
+				}
+				if lr.Updates != sres.Ops.NodesProcessed {
+					t.Errorf("lane %d: updates %d, solo %d", l, lr.Updates, sres.Ops.NodesProcessed)
+				}
+				if lr.Edges != sres.Ops.EdgesProcessed {
+					t.Errorf("lane %d: edges %d, solo %d", l, lr.Edges, sres.Ops.EdgesProcessed)
+				}
+				bs.ExtractLane(l, lane)
+				for i := range lane {
+					if math.Float32bits(lane[i]) != math.Float32bits(sg.Beliefs[i]) {
+						t.Fatalf("lane %d: belief[%d] = %g, solo %g (not bitwise)",
+							l, i, lane[i], sg.Beliefs[i])
+					}
+				}
+				iters[sres.Iterations] = true
+			}
+			if len(iters) < 2 {
+				t.Errorf("every lane converged at the same sweep (%v) — the mixed-convergence case is not exercised", iters)
+			}
+		})
+	}
+}
+
+// TestBatchPartialOccupancy pins the Used contract: lanes beyond Used are
+// never written (the batcher flushes partial batches through the same
+// pooled state), and the staged lanes still match their solo runs.
+func TestBatchPartialOccupancy(t *testing.T) {
+	base, err := gen.Synthetic(80, 320, gen.Config{Seed: 11, States: 2, Shared: true})
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	bs, err := graph.NewBatchState(base, 8)
+	if err != nil {
+		t.Fatalf("NewBatchState: %v", err)
+	}
+	bs.Used = 3
+	for l := 0; l < bs.Used; l++ {
+		for _, e := range batchEvidence(l+1, base.NumNodes, 2) {
+			if err := bs.Observe(l, int32(e[0]), e[1]); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+	}
+	res := RunBatch(base, bs, Options{})
+	if len(res.Lanes) != 3 {
+		t.Fatalf("got %d lane results, want 3", len(res.Lanes))
+	}
+	lane := make([]float32, base.NumNodes*base.States)
+	for l := 0; l < 3; l++ {
+		sg, _ := soloRun(t, base, batchEvidence(l+1, base.NumNodes, 2), Options{})
+		bs.ExtractLane(l, lane)
+		for i := range lane {
+			if math.Float32bits(lane[i]) != math.Float32bits(sg.Beliefs[i]) {
+				t.Fatalf("lane %d: belief[%d] = %g, solo %g", l, i, lane[i], sg.Beliefs[i])
+			}
+		}
+	}
+	// Idle lanes keep the base graph's staged beliefs untouched.
+	for l := 3; l < 8; l++ {
+		bs.ExtractLane(l, lane)
+		for i := range lane {
+			if math.Float32bits(lane[i]) != math.Float32bits(base.Beliefs[i]) {
+				t.Fatalf("idle lane %d: belief[%d] = %g, staged %g — engines must not touch lanes beyond Used",
+					l, i, lane[i], base.Beliefs[i])
+			}
+		}
+	}
+}
+
+// TestBatchAllocFree extends the kernel PR's 0-allocs contract to the
+// batched path: with the BatchState staged and the lane-result storage
+// caller-provided, a batched run allocates nothing after warmup for the
+// vanilla and damped kernels. (Circular is exempt: its per-edge-per-lane
+// correction state is allocated per run, exactly like the solo engines'.)
+func TestBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the 0-allocs contract is asserted in the non-race build")
+	}
+	for _, states := range []int{2, 5} {
+		for _, damping := range []float32{0, 0.5} {
+			g := allocGraph(t, states, states == 2)
+			bs, err := graph.NewBatchState(g, 8)
+			if err != nil {
+				t.Fatalf("NewBatchState: %v", err)
+			}
+			for l := 0; l < 8; l++ {
+				for _, e := range batchEvidence(l, g.NumNodes, states) {
+					if err := bs.Observe(l, int32(e[0]), e[1]); err != nil {
+						t.Fatalf("Observe: %v", err)
+					}
+				}
+			}
+			lanes := make([]LaneResult, 8)
+			opts := Options{Damping: damping}
+			allocs := testing.AllocsPerRun(5, func() {
+				RunBatchInto(g, bs, opts, lanes)
+			})
+			if allocs != 0 {
+				t.Errorf("RunBatchInto states=%d damping=%g: %.1f allocs/run, want 0", states, damping, allocs)
+			}
+		}
+	}
+}
+
+// FuzzBatchLaneEquivalence drives the differential with fuzzer-chosen
+// evidence: arbitrary (node, state) clamps spread across lanes must
+// leave every lane bitwise equal to its standalone run.
+func FuzzBatchLaneEquivalence(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 1, 2, 3})
+	f.Add(uint8(3), []byte{7, 0, 9, 2, 40, 1})
+	f.Add(uint8(5), []byte{})
+	f.Fuzz(func(t *testing.T, states uint8, evidence []byte) {
+		s := int(states)
+		if s < 2 || s > 6 {
+			t.Skip()
+		}
+		if len(evidence) > 64 {
+			evidence = evidence[:64]
+		}
+		base, err := gen.Synthetic(60, 240, gen.Config{Seed: 3, States: s, Shared: s == 2})
+		if err != nil {
+			t.Skip()
+		}
+		const k = 8
+		bs, err := graph.NewBatchState(base, k)
+		if err != nil {
+			t.Fatalf("NewBatchState: %v", err)
+		}
+		// Spread the fuzzed (node, state) pairs round-robin across lanes.
+		laneEv := make([][][2]int, k)
+		for i := 0; i+1 < len(evidence); i += 2 {
+			l := (i / 2) % k
+			v := int(evidence[i]) % base.NumNodes
+			st := int(evidence[i+1]) % s
+			laneEv[l] = append(laneEv[l], [2]int{v, st})
+			if err := bs.Observe(l, int32(v), st); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+		res := RunBatch(base, bs, Options{})
+		lane := make([]float32, base.NumNodes*base.States)
+		for l := 0; l < k; l++ {
+			sg := base.Clone()
+			for _, e := range laneEv[l] {
+				if err := sg.Observe(int32(e[0]), e[1]); err != nil {
+					t.Fatalf("solo Observe: %v", err)
+				}
+			}
+			sres := RunNode(sg, Options{})
+			lr := res.Lanes[l]
+			if lr.Iterations != sres.Iterations || lr.Converged != sres.Converged {
+				t.Fatalf("lane %d: iterations/converged = %d/%v, solo %d/%v",
+					l, lr.Iterations, lr.Converged, sres.Iterations, sres.Converged)
+			}
+			bs.ExtractLane(l, lane)
+			for i := range lane {
+				if math.Float32bits(lane[i]) != math.Float32bits(sg.Beliefs[i]) {
+					t.Fatalf("lane %d: belief[%d] = %g, solo %g (not bitwise)", l, i, lane[i], sg.Beliefs[i])
+				}
+			}
+		}
+	})
+}

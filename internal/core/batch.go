@@ -1,0 +1,74 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/features"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+	"credo/internal/perfmodel"
+	"credo/internal/poolbp"
+)
+
+// BatchReport describes one batched Credo execution: K queries with
+// different evidence over one structure, serviced by a single SoA pass
+// per sweep.
+type BatchReport struct {
+	// Implementation is the back end the batch ran on — CNode for the
+	// sequential batched sweep, Pool for the worker-pool form. The device
+	// and edge-paradigm back ends have no batched path.
+	Implementation Implementation
+	// Variant is the update rule every lane used.
+	Variant kernel.Variant
+	// Result is the batched propagation outcome, one LaneResult per
+	// staged query.
+	Result bp.BatchResult
+	// EstimatedTime is the modelled execution time of the whole batch.
+	EstimatedTime time.Duration
+}
+
+// RunBatch executes the queries staged in bs over g through the batched
+// node paradigm. Selection is the CPU-side subset of Choose: the
+// persistent pool takes the batch when PoolWorkers is set and the graph
+// carries enough per-sweep work (features.PoolViable), otherwise the
+// sequential batched sweep runs it. Batched execution is always the
+// node-paradigm synchronous schedule — the one SoA amortization is
+// defined on — so under AutoVariant the circular rule stays eligible.
+// The staged beliefs are updated in place, lane by lane.
+func (e *Engine) RunBatch(g *graph.Graph, bs *graph.BatchState) BatchReport {
+	cpu := e.CPU
+	if cpu.Name == "" {
+		cpu = perfmodel.I7_7700HQ()
+	}
+	impl := CNode
+	if e.PoolWorkers > 0 && features.PoolViable(g.Stats()) {
+		impl = Pool
+	}
+	// Both batched back ends run the node-paradigm schedule, so the
+	// variant pick is made for CNode even when the pool executes it —
+	// circular must not be degraded by the solo pool's paradigm rule.
+	e = e.withAutoVariant(g, CNode)
+	variant := e.Options.ResolveVariant().Variant
+	if impl == Pool {
+		workers := e.PoolWorkers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		res := poolbp.RunBatch(g, bs, poolbp.Options{Options: e.Options, Workers: workers})
+		return BatchReport{
+			Implementation: Pool,
+			Variant:        variant,
+			Result:         res,
+			EstimatedTime:  cpu.PoolTime(res.Ops, perfmodel.PoolOptions{Workers: workers}),
+		}
+	}
+	res := bp.RunBatch(g, bs, e.Options)
+	return BatchReport{
+		Implementation: CNode,
+		Variant:        variant,
+		Result:         res,
+		EstimatedTime:  cpu.SequentialTime(res.Ops),
+	}
+}

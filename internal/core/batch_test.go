@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// stageBatch builds a K-lane batch state over g with a distinct evidence
+// clamp per lane past lane 0.
+func stageBatch(t *testing.T, g *graph.Graph, k int) *graph.BatchState {
+	t.Helper()
+	bs, err := graph.NewBatchState(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l < k; l++ {
+		if err := bs.Observe(l, int32((l*7)%g.NumNodes), l%g.States); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bs
+}
+
+// TestRunBatchSequentialDispatch pins the small-graph path: below the
+// pool-viability floor RunBatch runs the sequential batched sweep even
+// with PoolWorkers set, and every lane matches its solo run bitwise.
+func TestRunBatchSequentialDispatch(t *testing.T) {
+	g, err := gen.Synthetic(300, 1200, gen.Config{Seed: 19, States: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	bs := stageBatch(t, g, k)
+	e := &Engine{Options: bp.Options{WorkQueue: true}}
+	e.PoolWorkers = 4 // 1200 edges is far below features.MinPoolEdges
+	rep := e.RunBatch(g, bs)
+	if rep.Implementation != CNode {
+		t.Fatalf("small-graph batch dispatched to %v, want C Node", rep.Implementation)
+	}
+	if rep.Variant != kernel.VariantVanilla {
+		t.Errorf("variant = %v, want vanilla", rep.Variant)
+	}
+	if len(rep.Result.Lanes) != k {
+		t.Fatalf("got %d lane results, want %d", len(rep.Result.Lanes), k)
+	}
+	if rep.EstimatedTime <= 0 {
+		t.Error("no modelled time on the sequential batch report")
+	}
+
+	// The engine must hand the kernel the same schedule the solo node
+	// paradigm runs (work queue stripped by the batch layer), so lanes
+	// reproduce solo answers bitwise.
+	lane := make([]float32, g.NumNodes*g.States)
+	solo := bp.Options{WorkQueue: false}
+	for l := 0; l < k; l++ {
+		sg := g.Clone()
+		if l > 0 {
+			if err := sg.Observe(int32((l*7)%g.NumNodes), l%g.States); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := bp.RunNode(sg, solo)
+		if res.Iterations != rep.Result.Lanes[l].Iterations {
+			t.Errorf("lane %d: %d sweeps, solo %d", l, rep.Result.Lanes[l].Iterations, res.Iterations)
+		}
+		bs.ExtractLane(l, lane)
+		for i := range lane {
+			if math.Float32bits(lane[i]) != math.Float32bits(sg.Beliefs[i]) {
+				t.Fatalf("lane %d diverges from solo at %d: %g vs %g", l, i, lane[i], sg.Beliefs[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchPoolDispatch pins the large-graph path: past the viability
+// floor an engine with PoolWorkers routes the batch to the worker pool.
+func TestRunBatchPoolDispatch(t *testing.T) {
+	g, err := gen.Synthetic(12_500, 50_000, gen.Config{Seed: 7, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := stageBatch(t, g, 2)
+	e := &Engine{Options: bp.Options{MaxIterations: 8}}
+	e.PoolWorkers = 4
+	rep := e.RunBatch(g, bs)
+	if rep.Implementation != Pool {
+		t.Fatalf("viable batch dispatched to %v, want Pool", rep.Implementation)
+	}
+	if len(rep.Result.Lanes) != 2 || rep.EstimatedTime <= 0 {
+		t.Fatalf("incomplete pool batch report: %+v", rep)
+	}
+
+	// Without PoolWorkers the same graph stays on the sequential sweep.
+	e2 := &Engine{Options: bp.Options{MaxIterations: 8}}
+	if rep2 := e2.RunBatch(g, stageBatch(t, g, 2)); rep2.Implementation != CNode {
+		t.Fatalf("no-pool batch dispatched to %v, want C Node", rep2.Implementation)
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+import "fmt"
+
+// BatchState is the struct-of-arrays staging area for K concurrent
+// belief-propagation problems over one structure: K independent evidence
+// sets, priors and belief vectors carried lane-by-lane so a single pass
+// over the adjacency can service all K queries at once.
+//
+// Layout: entry (node v, state j, lane k) lives at (v*States+j)*K + k —
+// the K lanes of one state are contiguous, so a batched kernel loads a
+// joint-matrix coefficient once and applies it to K lanes with unit-stride
+// reads and writes. Observed is per node per lane (v*K + k): each lane
+// clamps its own evidence without touching its neighbours.
+//
+// A BatchState is built against a base graph and restaged with Reset, so
+// serving layers can pool them like evidence overlays.
+type BatchState struct {
+	// K is the lane capacity of the batch.
+	K int
+	// Used is the number of leading lanes actually staged with a query;
+	// lanes in [Used, K) are idle and engines skip them. NewBatchState
+	// and Reset set it to K.
+	Used int
+	// NumNodes and States mirror the base graph's shape.
+	NumNodes int
+	States   int
+
+	// Beliefs, Priors: stride States*K per node, K lanes per state
+	// contiguous (see the layout note above).
+	Beliefs []float32
+	Priors  []float32
+	// Observed marks node v clamped in lane k at index v*K+k.
+	Observed []bool
+}
+
+// NewBatchState stages K lanes of g's numeric state: every lane starts
+// as a copy of the base graph's priors, beliefs and observations.
+func NewBatchState(g *Graph, k int) (*BatchState, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: batch lane count %d, want >= 1", k)
+	}
+	bs := &BatchState{
+		K:        k,
+		Used:     k,
+		NumNodes: g.NumNodes,
+		States:   g.States,
+		Beliefs:  make([]float32, g.NumNodes*g.States*k),
+		Priors:   make([]float32, g.NumNodes*g.States*k),
+		Observed: make([]bool, g.NumNodes*k),
+	}
+	bs.Reset(g)
+	return bs, nil
+}
+
+// Reset restages every lane from the base graph: priors and beliefs are
+// replicated across lanes, per-lane observations mirror the base, and
+// Used returns to K. The base must have the shape the state was built
+// for.
+func (bs *BatchState) Reset(g *Graph) {
+	s, k := bs.States, bs.K
+	for v := 0; v < bs.NumNodes; v++ {
+		for j := 0; j < s; j++ {
+			b := g.Beliefs[v*s+j]
+			p := g.Priors[v*s+j]
+			base := (v*s + j) * k
+			for l := 0; l < k; l++ {
+				bs.Beliefs[base+l] = b
+				bs.Priors[base+l] = p
+			}
+		}
+		o := g.Observed[v]
+		for l := 0; l < k; l++ {
+			bs.Observed[v*k+l] = o
+		}
+	}
+	bs.Used = k
+}
+
+// Observe clamps node v to state s in lane lane only: that lane's belief
+// and prior become the indicator distribution and the lane's propagation
+// will never change them.
+func (bs *BatchState) Observe(lane int, v int32, s int) error {
+	if lane < 0 || lane >= bs.K {
+		return fmt.Errorf("graph: batch lane %d out of range [0,%d)", lane, bs.K)
+	}
+	if s < 0 || s >= bs.States {
+		return fmt.Errorf("graph: observe node %d: state %d out of range [0,%d)", v, s, bs.States)
+	}
+	if v < 0 || int(v) >= bs.NumNodes {
+		return fmt.Errorf("graph: observe node %d out of range [0,%d)", v, bs.NumNodes)
+	}
+	base := int(v) * bs.States * bs.K
+	for j := 0; j < bs.States; j++ {
+		bs.Beliefs[base+j*bs.K+lane] = 0
+		bs.Priors[base+j*bs.K+lane] = 0
+	}
+	bs.Beliefs[base+s*bs.K+lane] = 1
+	bs.Priors[base+s*bs.K+lane] = 1
+	bs.Observed[int(v)*bs.K+lane] = true
+	return nil
+}
+
+// LaneBelief copies node v's belief in lane lane into dst (length
+// States) and returns it. The lanes of one state are strided, so a view
+// cannot be returned.
+func (bs *BatchState) LaneBelief(lane int, v int32, dst []float32) []float32 {
+	base := int(v) * bs.States * bs.K
+	for j := 0; j < bs.States; j++ {
+		dst[j] = bs.Beliefs[base+j*bs.K+lane]
+	}
+	return dst
+}
+
+// ExtractLane copies lane lane's full belief array into dst, which must
+// have length NumNodes*States in the graph's flat stride-States layout.
+func (bs *BatchState) ExtractLane(lane int, dst []float32) {
+	k := bs.K
+	for i := 0; i < bs.NumNodes*bs.States; i++ {
+		dst[i] = bs.Beliefs[i*k+lane]
+	}
+}
+
+// SetLaneBeliefs overwrites lane lane's beliefs from a flat
+// stride-States array (warm-start staging from a converged snapshot).
+// Clamped entries are intentionally overwritten too — callers stage
+// beliefs first and apply clamps after.
+func (bs *BatchState) SetLaneBeliefs(lane int, src []float32) {
+	k := bs.K
+	for i := 0; i < bs.NumNodes*bs.States; i++ {
+		bs.Beliefs[i*k+lane] = src[i]
+	}
+}
+
+// SetLaneNodeBelief overwrites node v's belief in lane lane from a
+// stride-States view (e.g. a prior slice when restarting a perturbed
+// node).
+func (bs *BatchState) SetLaneNodeBelief(lane int, v int32, src []float32) {
+	base := int(v) * bs.States * bs.K
+	for j := 0; j < bs.States; j++ {
+		bs.Beliefs[base+j*bs.K+lane] = src[j]
+	}
+}

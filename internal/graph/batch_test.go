@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// batchTestGraph builds a tiny 3-node chain with non-uniform priors so
+// replication and clamping are distinguishable.
+func batchTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(2)
+	m := UniformJointMatrix(2)
+	if err := b.SetShared(m); err != nil {
+		t.Fatalf("SetShared: %v", err)
+	}
+	for i, p := range [][]float32{{0.9, 0.1}, {0.3, 0.7}, {0.5, 0.5}} {
+		if _, err := b.AddNode(p); err != nil {
+			t.Fatalf("AddNode %d: %v", i, err)
+		}
+	}
+	if err := b.AddEdge(0, 1, nil); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := b.AddEdge(1, 2, nil); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestNewBatchStateReplicates(t *testing.T) {
+	g := batchTestGraph(t)
+	if err := g.Observe(1, 0); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	const k = 4
+	bs, err := NewBatchState(g, k)
+	if err != nil {
+		t.Fatalf("NewBatchState: %v", err)
+	}
+	if bs.Used != k || bs.NumNodes != g.NumNodes || bs.States != g.States {
+		t.Fatalf("shape: Used=%d NumNodes=%d States=%d", bs.Used, bs.NumNodes, bs.States)
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		for j := 0; j < g.States; j++ {
+			for l := 0; l < k; l++ {
+				at := (v*g.States+j)*k + l
+				if bs.Beliefs[at] != g.Beliefs[v*g.States+j] {
+					t.Errorf("belief (%d,%d,%d) = %g, base %g", v, j, l, bs.Beliefs[at], g.Beliefs[v*g.States+j])
+				}
+				if bs.Priors[at] != g.Priors[v*g.States+j] {
+					t.Errorf("prior (%d,%d,%d) = %g, base %g", v, j, l, bs.Priors[at], g.Priors[v*g.States+j])
+				}
+			}
+		}
+		for l := 0; l < k; l++ {
+			if bs.Observed[v*k+l] != g.Observed[v] {
+				t.Errorf("observed (%d,%d) = %v, base %v", v, l, bs.Observed[v*k+l], g.Observed[v])
+			}
+		}
+	}
+
+	if _, err := NewBatchState(g, 0); err == nil {
+		t.Error("NewBatchState(g, 0) accepted, want error")
+	}
+}
+
+func TestBatchObserveIsPerLane(t *testing.T) {
+	g := batchTestGraph(t)
+	const k = 3
+	bs, err := NewBatchState(g, k)
+	if err != nil {
+		t.Fatalf("NewBatchState: %v", err)
+	}
+	if err := bs.Observe(1, 0, 1); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	buf := make([]float32, 2)
+	if b := bs.LaneBelief(1, 0, buf); b[0] != 0 || b[1] != 1 {
+		t.Errorf("clamped lane belief = %v, want [0 1]", b)
+	}
+	if !bs.Observed[0*k+1] {
+		t.Error("lane 1 not marked observed")
+	}
+	// Neighbouring lanes keep the base state.
+	for _, l := range []int{0, 2} {
+		bs.LaneBelief(l, 0, buf)
+		if buf[0] != g.Beliefs[0] || buf[1] != g.Beliefs[1] {
+			t.Errorf("lane %d belief = %v, want base %v", l, buf, g.Beliefs[:2])
+		}
+		if bs.Observed[0*k+l] {
+			t.Errorf("lane %d marked observed", l)
+		}
+	}
+
+	for _, bad := range []struct {
+		lane  int
+		v     int32
+		state int
+	}{{-1, 0, 0}, {3, 0, 0}, {0, -1, 0}, {0, 3, 0}, {0, 0, -1}, {0, 0, 2}} {
+		if err := bs.Observe(bad.lane, bad.v, bad.state); err == nil {
+			t.Errorf("Observe(%d,%d,%d) accepted, want range error", bad.lane, bad.v, bad.state)
+		}
+	}
+}
+
+func TestBatchLaneRoundTrip(t *testing.T) {
+	g := batchTestGraph(t)
+	const k = 4
+	bs, err := NewBatchState(g, k)
+	if err != nil {
+		t.Fatalf("NewBatchState: %v", err)
+	}
+	src := make([]float32, g.NumNodes*g.States)
+	for i := range src {
+		src[i] = float32(i) * 0.125
+	}
+	bs.SetLaneBeliefs(2, src)
+	got := make([]float32, len(src))
+	bs.ExtractLane(2, got)
+	for i := range src {
+		if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("round trip at %d: %g != %g", i, got[i], src[i])
+		}
+	}
+	// Other lanes untouched.
+	bs.ExtractLane(1, got)
+	for i := range got {
+		if got[i] != g.Beliefs[i] {
+			t.Fatalf("lane 1 disturbed at %d: %g != %g", i, got[i], g.Beliefs[i])
+		}
+	}
+
+	bs.SetLaneNodeBelief(1, 2, []float32{0.25, 0.75})
+	bs.ExtractLane(1, got)
+	if got[4] != 0.25 || got[5] != 0.75 {
+		t.Errorf("SetLaneNodeBelief: node 2 = %v", got[4:6])
+	}
+
+	// Reset restages every lane from the base.
+	bs.Used = 1
+	bs.Reset(g)
+	if bs.Used != k {
+		t.Errorf("Reset: Used = %d, want %d", bs.Used, k)
+	}
+	for l := 0; l < k; l++ {
+		bs.ExtractLane(l, got)
+		for i := range got {
+			if got[i] != g.Beliefs[i] {
+				t.Fatalf("Reset lane %d at %d: %g != %g", l, i, got[i], g.Beliefs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// stageBatch replicates g into a K-lane BatchState and then randomizes
+// every lane's beliefs independently, returning the state plus one flat
+// per-lane belief array per lane — the inputs a solo combine of that lane
+// would see.
+func stageBatch(t testing.TB, g *graph.Graph, k int, seed int64) (*graph.BatchState, [][]float32) {
+	t.Helper()
+	bs, err := graph.NewBatchState(g, k)
+	if err != nil {
+		t.Fatalf("NewBatchState: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flat := make([][]float32, k)
+	dist := make([]float32, g.States)
+	for l := 0; l < k; l++ {
+		flat[l] = make([]float32, len(g.Beliefs))
+		copy(flat[l], g.Beliefs)
+		for v := 0; v < g.NumNodes; v++ {
+			if g.Observed[v] {
+				copy(flat[l][v*g.States:(v+1)*g.States], g.Beliefs[v*g.States:(v+1)*g.States])
+				continue
+			}
+			gen.RandomDistribution(rng, dist)
+			copy(flat[l][v*g.States:(v+1)*g.States], dist)
+			bs.SetLaneNodeBelief(l, int32(v), dist)
+		}
+	}
+	return bs, flat
+}
+
+// TestNodeUpdateBatchMatchesSolo is the kernel-level differential: one
+// K-way SoA combine must produce, in every lane, bit-for-bit the belief
+// the solo kernel computes from that lane's inputs — across widths,
+// shared/per-edge matrices, numerical modes, the rescale and log-fallback
+// guards, and the damped/circular variants. Lanes carry different parent
+// beliefs, so any cross-lane contamination (a stray stride, a shared
+// guard flag, a shared circular message) breaks the bitwise match.
+func TestNodeUpdateBatchMatchesSolo(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func(t testing.TB) *graph.Graph
+		cfg    kernel.Config
+		lanes  int
+		counts func(t *testing.T, sc *kernel.BatchScratch)
+	}{
+		{name: "w2/shared", build: func(t testing.TB) *graph.Graph { return buildStar(t, 2, 6, true, 101) }, lanes: 8},
+		{name: "w2/peredge", build: func(t testing.TB) *graph.Graph { return buildStar(t, 2, 6, false, 102) }, lanes: 8},
+		{name: "w3", build: func(t testing.TB) *graph.Graph { return buildStar(t, 3, 6, false, 103) }, lanes: 8},
+		{name: "w4", build: func(t testing.TB) *graph.Graph { return buildStar(t, 4, 6, false, 104) }, lanes: 8},
+		{name: "generic5", build: func(t testing.TB) *graph.Graph { return buildStar(t, 5, 6, false, 105) }, lanes: 8},
+		{name: "generic9/k32", build: func(t testing.TB) *graph.Graph { return buildStar(t, 9, 4, false, 106) }, lanes: 32},
+		{name: "logspace", build: func(t testing.TB) *graph.Graph { return buildStar(t, 3, 6, false, 107) },
+			cfg: kernel.Config{Mode: kernel.LogSpace}, lanes: 8},
+		{name: "degree-guard", build: func(t testing.TB) *graph.Graph { return buildStar(t, 3, 8, false, 108) },
+			cfg: kernel.Config{LogFallbackDegree: 4}, lanes: 8},
+		{name: "rescale", build: func(t testing.TB) *graph.Graph { return degenerateStar(t, 20) }, lanes: 8,
+			counts: func(t *testing.T, sc *kernel.BatchScratch) {
+				if sc.Counters.Rescales == 0 {
+					t.Error("degenerate star did not trigger any per-lane rescale")
+				}
+			}},
+		{name: "magnitude-guard", build: func(t testing.TB) *graph.Graph { return degenerateStar(t, 20) },
+			cfg: kernel.Config{MaxRescales: 2}, lanes: 8,
+			counts: func(t *testing.T, sc *kernel.BatchScratch) {
+				if sc.Counters.LogFallbacks == 0 {
+					t.Error("magnitude guard did not convert any lane to log space")
+				}
+			}},
+		{name: "damped", build: func(t testing.TB) *graph.Graph { return buildStar(t, 3, 6, false, 109) },
+			cfg: kernel.Config{Damping: 0.5}, lanes: 8},
+		{name: "circular", build: func(t testing.TB) *graph.Graph { return buildStar(t, 3, 6, false, 110) },
+			cfg: kernel.Config{Alpha: 1}, lanes: 8},
+		{name: "circular/w2", build: func(t testing.TB) *graph.Graph { return buildStar(t, 2, 6, true, 111) },
+			cfg: kernel.Config{Alpha: 0.7}, lanes: 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build(t)
+			s := g.States
+			bs, flat := stageBatch(t, g, c.lanes, 555)
+			active := make([]bool, c.lanes)
+			for l := range active {
+				active[l] = true
+			}
+
+			bk := kernel.NewBatch(g, c.cfg, c.lanes)
+			var bsc kernel.BatchScratch
+			dst := make([]float32, len(bs.Beliefs))
+			deg, wrote := bk.NodeUpdateBatch(&bsc, dst, 0, bs.Beliefs, bs.Priors, bs.Observed, active)
+			if wrote != c.lanes {
+				t.Fatalf("wrote %d lanes, want %d", wrote, c.lanes)
+			}
+			if deg != int(g.InOffsets[1]-g.InOffsets[0]) {
+				t.Fatalf("deg = %d, want %d", deg, g.InOffsets[1]-g.InOffsets[0])
+			}
+
+			got := make([]float32, s)
+			want := make([]float32, s)
+			for l := 0; l < c.lanes; l++ {
+				// A fresh solo kernel per lane: the circular variant keeps
+				// per-edge message state, which the batch keeps per lane.
+				k := kernel.New(g, c.cfg)
+				var sc kernel.Scratch
+				k.NodeUpdate(&sc, want, 0, flat[l])
+				for j := 0; j < s; j++ {
+					got[j] = dst[j*c.lanes+l]
+				}
+				for j := 0; j < s; j++ {
+					if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+						t.Fatalf("lane %d state %d: %g, solo %g (not bitwise)", l, j, got[j], want[j])
+					}
+				}
+			}
+			if c.counts != nil {
+				c.counts(t, &bsc)
+			}
+		})
+	}
+}
+
+// TestNodeUpdateBatchMasks pins the write-mask contract: frozen lanes and
+// per-lane-clamped nodes keep their belief entries untouched, and a node
+// with no writable lane is skipped entirely.
+func TestNodeUpdateBatchMasks(t *testing.T) {
+	g := buildStar(t, 3, 5, false, 200)
+	const k = 4
+	bs, _ := stageBatch(t, g, k, 77)
+	// Lane 1 is frozen; lane 2 clamps the hub itself.
+	active := []bool{true, false, true, true}
+	if err := bs.Observe(2, 0, 1); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+
+	bk := kernel.NewBatch(g, kernel.Config{}, k)
+	var sc kernel.BatchScratch
+	dst := make([]float32, len(bs.Beliefs))
+	const sentinel = float32(-42)
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	_, wrote := bk.NodeUpdateBatch(&sc, dst, 0, bs.Beliefs, bs.Priors, bs.Observed, active)
+	if wrote != 2 {
+		t.Fatalf("wrote = %d, want 2 (lane 1 frozen, lane 2 clamped)", wrote)
+	}
+	for j := 0; j < g.States; j++ {
+		if dst[j*k+1] != sentinel {
+			t.Errorf("frozen lane 1 state %d written: %g", j, dst[j*k+1])
+		}
+		if dst[j*k+2] != sentinel {
+			t.Errorf("clamped lane 2 state %d written: %g", j, dst[j*k+2])
+		}
+		if dst[j*k+0] == sentinel || dst[j*k+3] == sentinel {
+			t.Errorf("live lane state %d not written", j)
+		}
+	}
+
+	// All lanes masked: the node must be skipped without touching dst.
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	deg, wrote := bk.NodeUpdateBatch(&sc, dst, 0, bs.Beliefs, bs.Priors, bs.Observed, []bool{false, false, false, false})
+	if deg != 0 || wrote != 0 {
+		t.Fatalf("all-masked node: deg=%d wrote=%d, want 0,0", deg, wrote)
+	}
+	for i := range dst {
+		if dst[i] != sentinel {
+			t.Fatalf("all-masked node wrote dst[%d]", i)
+		}
+	}
+}
+
+// TestBatchScratchReuse runs many K-way combines through one scratch —
+// including mode flips between log-heavy and linear graphs — and checks
+// results never drift, so pooled scratches cannot leak lane state.
+func TestBatchScratchReuse(t *testing.T) {
+	g := buildStar(t, 4, 5, true, 300)
+	stress := degenerateStar(t, 20)
+	const k = 8
+	bs, _ := stageBatch(t, g, k, 88)
+	sbs, _ := stageBatch(t, stress, k, 89)
+	active := make([]bool, k)
+	for l := range active {
+		active[l] = true
+	}
+	bk := kernel.NewBatch(g, kernel.Config{}, k)
+	sk := kernel.NewBatch(stress, kernel.Config{MaxRescales: 2}, k)
+	var sc kernel.BatchScratch
+	first := make([]float32, len(bs.Beliefs))
+	bk.NodeUpdateBatch(&sc, first, 0, bs.Beliefs, bs.Priors, bs.Observed, active)
+	scratch := make([]float32, len(sbs.Beliefs))
+	again := make([]float32, len(bs.Beliefs))
+	for i := 0; i < 5; i++ {
+		// Interleave a log-converting combine to dirty the scratch.
+		sk.NodeUpdateBatch(&sc, scratch, 0, sbs.Beliefs, sbs.Priors, sbs.Observed, active)
+		bk.NodeUpdateBatch(&sc, again, 0, bs.Beliefs, bs.Priors, bs.Observed, active)
+		for j := range again {
+			if math.Float32bits(again[j]) != math.Float32bits(first[j]) {
+				t.Fatalf("round %d: combine drifted at %d: %g != %g", i, j, again[j], first[j])
+			}
+		}
+	}
+}
+
+// TestBatchKernelLanes exercises the lane-count accessor.
+func TestBatchKernelLanes(t *testing.T) {
+	g := buildStar(t, 2, 2, true, 1)
+	for _, k := range []int{1, 8, 32} {
+		bk := kernel.NewBatch(g, kernel.Config{}, k)
+		if bk.Lanes() != k {
+			t.Errorf("Lanes() = %d, want %d", bk.Lanes(), k)
+		}
+	}
+}

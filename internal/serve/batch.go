@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"credo/internal/core"
+	"credo/internal/graph"
+	"credo/internal/telemetry"
+)
+
+// DefaultBatchK is the lane capacity of a batch flush when Config leaves
+// BatchK zero: eight lanes keep the K-wide gathers inside one or two
+// cache lines for small state counts, which is where the SoA
+// amortization pays most.
+const DefaultBatchK = 8
+
+// DefaultBatchWindow is the accumulation deadline when Config leaves
+// BatchWindow zero. Two milliseconds is well under interactive latency
+// budgets but long enough for concurrent clients to land in one flush.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+// errSaturated marks a batch flush rejected by admission control; the
+// HTTP layer turns it into 429 + Retry-After, exactly like a solo shed.
+var errSaturated = errors.New("serve: saturated")
+
+// warmDeltaMax is the per-lane warm-staging gate: a lane adopts the
+// snapshot fixpoint only when the fraction of nodes whose clamp differs
+// from the snapshot's evidence is at most this. The solo warm path has
+// no such gate because residual scheduling is frontier-seeded — its
+// cost scales with the delta and degrades gracefully toward a cold run.
+// The batch is full-sweep Jacobi: started from a fixpoint the new
+// evidence contradicts wholesale, it can oscillate to the iteration cap
+// and drag every lane of the flush with it, so large-delta lanes stage
+// cold (prior + evidence) instead. A small absolute delta is always a
+// frontier-sized perturbation no matter the graph size — on a 4-node
+// sprinkler one toggled clamp is 25% of nodes — so deltas up to
+// warmDeltaMinNodes warm-start regardless of the fraction.
+const (
+	warmDeltaMax      = 0.10
+	warmDeltaMinNodes = 8
+)
+
+// batcher accumulates same-graph queries and runs them as one K-way SoA
+// batch. One batcher exists per resident; requests append to pending and
+// block on their done channel. The batch flushes when K lanes fill or
+// when the accumulation window expires, whichever comes first, so a lone
+// query pays at most the window in added latency while a burst pays one
+// structure pass for all K of its queries.
+type batcher struct {
+	s      *Server
+	r      *Resident
+	k      int
+	window time.Duration
+
+	// pool recycles the SoA overlay between flushes — the batch analogue
+	// of the resident's solo lease pool.
+	pool sync.Pool
+
+	mu      sync.Mutex
+	pending []*pendingQuery
+	timer   *time.Timer
+}
+
+// pendingQuery is one enqueued request: its decoded query going in, its
+// response (or error) coming back out of the flush.
+type pendingQuery struct {
+	rq   *ResolvedQuery
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+func newBatcher(s *Server, r *Resident) *batcher {
+	b := &batcher{s: s, r: r, k: s.cfg.BatchK, window: s.cfg.BatchWindow}
+	b.pool.New = func() any {
+		bs, err := graph.NewBatchState(r.base, b.k)
+		if err != nil {
+			// Unreachable: the server only builds batchers with k > 1.
+			panic(err)
+		}
+		return bs
+	}
+	return b
+}
+
+// batcherFor returns the resident's batcher, creating it on first use.
+// A resident replaced by a reload gets a fresh batcher; in-flight
+// flushes against the old resident drain independently.
+func (s *Server) batcherFor(r *Resident) *batcher {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	b := s.batchers[r.Name]
+	if b == nil || b.r != r {
+		b = newBatcher(s, r)
+		s.batchers[r.Name] = b
+	}
+	return b
+}
+
+// enqueue adds one query to the pending batch and blocks until its flush
+// completes. The Kth arrival flushes immediately on its own goroutine;
+// otherwise the window timer (armed by the first arrival) flushes
+// whatever accumulated.
+func (b *batcher) enqueue(rq *ResolvedQuery) (*Response, error) {
+	p := &pendingQuery{rq: rq, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, p)
+	if len(b.pending) >= b.k {
+		batch := b.pending
+		b.pending = nil
+		if b.timer != nil {
+			b.timer.Stop()
+			b.timer = nil
+		}
+		b.mu.Unlock()
+		b.flush(batch)
+	} else {
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.window, b.flushDeadline)
+		}
+		b.mu.Unlock()
+	}
+	<-p.done
+	return p.resp, p.err
+}
+
+// flushDeadline is the window-expiry path: take whatever accumulated.
+func (b *batcher) flushDeadline() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.timer = nil
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// flush runs one accumulated batch through admission and the batched
+// engine, fanning results back to the waiting requests. The whole flush
+// takes a single admission slot — that is the batching win on the
+// admission side: K queries cost one unit of the concurrency budget.
+func (b *batcher) flush(batch []*pendingQuery) {
+	defer func() {
+		for _, p := range batch {
+			close(p.done)
+		}
+	}()
+	if !b.s.adm.admit() {
+		for range batch {
+			b.s.emit(telemetry.Event{
+				Kind:   telemetry.KindServe,
+				Engine: "serve.shed",
+				Worker: -1,
+				Active: b.s.adm.depth(),
+				Items:  b.s.adm.capacity(),
+			})
+		}
+		for _, p := range batch {
+			p.err = errSaturated
+		}
+		return
+	}
+	defer b.s.adm.release()
+
+	rqs := make([]*ResolvedQuery, len(batch))
+	for i, p := range batch {
+		rqs[i] = p.rq
+	}
+	out, err := b.runFlush(rqs)
+	for i, p := range batch {
+		if err != nil {
+			p.err = err
+			continue
+		}
+		p.resp = out[i]
+	}
+}
+
+// QueryBatched runs up to Config.BatchK decoded queries as one SoA batch
+// flush against the resident — the direct entry point for tests and the
+// credobench serve experiment. It bypasses the accumulation window and
+// admission control (callers own their concurrency) but is otherwise the
+// batcher's exact execution path: warm staging, one batched run, one
+// snapshot store, per-lane responses labelled "batch".
+func (s *Server) QueryBatched(r *Resident, rqs []*ResolvedQuery) ([]*Response, error) {
+	return s.batcherFor(r).runFlush(rqs)
+}
+
+// runFlush stages the queries into a pooled BatchState, runs the batched
+// node-paradigm engine over the resident's base structure, snapshots a
+// converged lane for future warm starts and marshals per-lane responses.
+func (b *batcher) runFlush(rqs []*ResolvedQuery) ([]*Response, error) {
+	if len(rqs) == 0 || len(rqs) > b.k {
+		return nil, fmt.Errorf("serve: batch of %d queries, want 1..%d", len(rqs), b.k)
+	}
+	start := time.Now()
+
+	bs := b.pool.Get().(*graph.BatchState)
+	defer b.pool.Put(bs)
+	bs.Reset(b.r.base)
+	bs.Used = len(rqs)
+
+	snap := b.r.snapshot()
+	laneWarm := make([]bool, len(rqs))
+	for l, rq := range rqs {
+		w, err := b.stageLane(bs, l, rq, snap)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		laneWarm[l] = w
+	}
+	warm := false
+	for _, w := range laneWarm {
+		warm = warm || w
+	}
+
+	opts := b.s.cfg.Options
+	opts.Probe = b.s.cfg.Probe
+	eng := core.Engine{Selector: b.s.cfg.Selector, Options: opts}
+	if eng.PoolWorkers <= 0 {
+		eng.PoolWorkers = b.s.cfg.Workers
+	}
+	rep := eng.RunBatch(b.r.base, bs)
+	wall := time.Since(start)
+
+	// Publish one converged lane as the warm snapshot; the last staged
+	// lane wins so back-to-back flushes behave like sequential queries.
+	for l := len(rqs) - 1; l >= 0; l-- {
+		if !rep.Result.Lanes[l].Converged {
+			continue
+		}
+		flat := make([]float32, len(b.r.base.Beliefs))
+		bs.ExtractLane(l, flat)
+		b.r.storeSnapshotBeliefs(flat, rqs[l].dense)
+		if laneWarm[l] {
+			b.r.warmMu.Lock()
+			b.r.warmed++
+			b.r.warmMu.Unlock()
+		}
+		break
+	}
+
+	out := make([]*Response, len(rqs))
+	for l, rq := range rqs {
+		lr := rep.Result.Lanes[l]
+		out[l] = &Response{
+			Graph:      b.r.Name,
+			Engine:     EngineBatch,
+			Warm:       laneWarm[l],
+			Converged:  lr.Converged,
+			Iterations: lr.Iterations,
+			Updates:    lr.Updates,
+			Edges:      lr.Edges,
+			FinalDelta: float64(lr.FinalDelta),
+			WallNs:     wall.Nanoseconds(),
+			Beliefs:    marshalLaneBeliefs(b.r, bs, l, rq.nodes),
+		}
+	}
+	b.s.emit(telemetry.Event{
+		Kind:      telemetry.KindServe,
+		Engine:    "serve.batch",
+		Worker:    -1,
+		Warm:      warm,
+		Converged: rep.Result.Converged,
+		Iter:      int32(rep.Result.Iterations),
+		BusyNs:    wall.Nanoseconds(),
+		Active:    int64(len(rqs)), // occupancy: lanes actually staged
+		Items:     int64(b.k),      // capacity: lanes available
+	})
+	return out, nil
+}
+
+// stageLane prepares one lane and reports whether it warm-started: lanes
+// whose evidence delta against the snapshot passes warmDeltaMax adopt
+// the snapshot fixpoint, with changed-and-unclamped nodes restarted from
+// their prior — the same staging the solo warm path applies to its
+// overlay, done per lane on the SoA state. Lanes with no snapshot or too
+// large a delta stage cold (priors plus evidence, the Reset state).
+func (b *batcher) stageLane(bs *graph.BatchState, l int, rq *ResolvedQuery, snap *warmState) (bool, error) {
+	warm := false
+	if snap != nil {
+		changed := 0
+		for v := range rq.dense {
+			if snap.evidence[v] != rq.dense[v] {
+				changed++
+			}
+		}
+		warm = changed <= warmDeltaMinNodes ||
+			float64(changed) <= warmDeltaMax*float64(bs.NumNodes)
+	}
+	if warm {
+		bs.SetLaneBeliefs(l, snap.beliefs)
+	}
+	for _, ev := range rq.evidence {
+		if err := bs.Observe(l, ev.node, int(ev.state)); err != nil {
+			return false, err
+		}
+	}
+	if !warm {
+		return false, nil
+	}
+	s, kk := bs.States, bs.K
+	for v := 0; v < bs.NumNodes; v++ {
+		// Unchanged clamps keep the fixpoint; re-clamped nodes were just
+		// reset by Observe. Only retracted or never-clamped changed nodes
+		// need their beliefs returned to the prior.
+		if snap.evidence[v] == rq.dense[v] || rq.dense[v] != -1 {
+			continue
+		}
+		base := v * s * kk
+		for j := 0; j < s; j++ {
+			bs.Beliefs[base+j*kk+l] = bs.Priors[base+j*kk+l]
+		}
+	}
+	return true, nil
+}
+
+// marshalLaneBeliefs copies one lane's requested posteriors (all nodes
+// when nodes is nil) into a name-keyed response map.
+func marshalLaneBeliefs(r *Resident, bs *graph.BatchState, lane int, nodes []int32) map[string][]float32 {
+	get := func(v int32) []float32 {
+		return bs.LaneBelief(lane, v, make([]float32, bs.States))
+	}
+	if nodes == nil {
+		out := make(map[string][]float32, bs.NumNodes)
+		for v := int32(0); v < int32(bs.NumNodes); v++ {
+			out[r.nodeLabel(v)] = get(v)
+		}
+		return out
+	}
+	out := make(map[string][]float32, len(nodes))
+	for _, v := range nodes {
+		out[r.nodeLabel(v)] = get(v)
+	}
+	return out
+}

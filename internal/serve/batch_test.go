@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"credo/internal/telemetry"
+)
+
+// batchDocs builds n distinct query documents over the grid resident —
+// different evidence per lane, a node subset on some.
+func batchDocs(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		switch {
+		case i == 0:
+			docs[i] = `{}`
+		case i%3 == 0:
+			docs[i] = fmt.Sprintf(`{"evidence":[{"node":"%d","state":%d},{"node":"%d","state":%d}]}`,
+				(i*7)%256, i%2, (i*13+3)%256, (i+1)%2)
+		default:
+			docs[i] = fmt.Sprintf(`{"evidence":[{"node":"%d","state":%d}]}`, (i*7)%256, i%2)
+		}
+	}
+	return docs
+}
+
+// TestQueryBatchedMatchesSolo is the serving-layer differential: every
+// lane of a cold batch flush must land within WarmTol of the same query
+// served solo on a fresh server — the batch must not change answers.
+func TestQueryBatchedMatchesSolo(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	docs := batchDocs(6)
+	rqs := make([]*ResolvedQuery, len(docs))
+	for i, d := range docs {
+		rqs[i] = decode(t, r, d)
+	}
+	out, err := s.QueryBatched(r, rqs)
+	if err != nil {
+		t.Fatalf("QueryBatched: %v", err)
+	}
+	if len(out) != len(docs) {
+		t.Fatalf("got %d responses, want %d", len(out), len(docs))
+	}
+	for i, resp := range out {
+		if resp.Engine != EngineBatch {
+			t.Errorf("lane %d: engine %q, want %q", i, resp.Engine, EngineBatch)
+		}
+		if resp.Warm || !resp.Converged {
+			t.Errorf("lane %d: warm=%v converged=%v, want cold converged", i, resp.Warm, resp.Converged)
+		}
+		soloSrv, soloRes := newGridServer(t, Config{})
+		solo, err := soloSrv.QueryResident(soloRes, EngineAuto, decode(t, soloRes, docs[i]))
+		if err != nil {
+			t.Fatalf("solo lane %d: %v", i, err)
+		}
+		if gap := maxBeliefGap(t, resp, solo); gap > WarmTol {
+			t.Errorf("lane %d: belief gap %g vs solo, tol %g", i, gap, WarmTol)
+		}
+		if resp.Updates <= 0 || resp.Edges <= 0 || resp.Iterations <= 0 {
+			t.Errorf("lane %d: empty accounting %+v", i, resp)
+		}
+	}
+}
+
+// TestQueryBatchedWarmStart locks the batcher's warm staging: a second
+// flush adopts the snapshot the first stored, reports warm, re-converges
+// in fewer sweeps than the cold flush, and still lands within WarmTol of
+// a cold run of the same evidence.
+func TestQueryBatchedWarmStart(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	first, err := s.QueryBatched(r, []*ResolvedQuery{
+		decode(t, r, `{"evidence":[{"node":"136","state":1}]}`),
+		decode(t, r, `{"evidence":[{"node":"40","state":0}]}`),
+	})
+	if err != nil {
+		t.Fatalf("cold flush: %v", err)
+	}
+	if first[0].Warm || !r.HasWarm() {
+		t.Fatalf("cold flush: warm=%v hasWarm=%v", first[0].Warm, r.HasWarm())
+	}
+
+	warmDoc := `{"evidence":[{"node":"40","state":0},{"node":"137","state":1}]}`
+	warm, err := s.QueryBatched(r, []*ResolvedQuery{decode(t, r, warmDoc)})
+	if err != nil {
+		t.Fatalf("warm flush: %v", err)
+	}
+	if !warm[0].Warm || !warm[0].Converged {
+		t.Fatalf("warm flush: warm=%v converged=%v", warm[0].Warm, warm[0].Converged)
+	}
+	if warm[0].Iterations >= first[0].Iterations {
+		t.Errorf("warm flush took %d sweeps, cold took %d — the snapshot bought nothing",
+			warm[0].Iterations, first[0].Iterations)
+	}
+
+	coldSrv, coldRes := newGridServer(t, Config{})
+	cold, err := coldSrv.QueryBatched(coldRes, []*ResolvedQuery{decode(t, coldRes, warmDoc)})
+	if err != nil {
+		t.Fatalf("cold reference: %v", err)
+	}
+	if gap := maxBeliefGap(t, warm[0], cold[0]); gap > WarmTol {
+		t.Errorf("warm flush gap %g vs cold, tol %g", gap, WarmTol)
+	}
+}
+
+// TestBatcherFlushOnFull pins the K trigger: with an effectively infinite
+// window, BatchK concurrent requests complete as exactly one flush at
+// full occupancy.
+func TestBatcherFlushOnFull(t *testing.T) {
+	m := &telemetry.Metrics{}
+	s, r := newGridServer(t, Config{BatchK: 4, BatchWindow: time.Hour, Probe: m})
+	b := s.batcherFor(r)
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, 4)
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = b.enqueue(decode(t, r, fmt.Sprintf(`{"evidence":[{"node":"%d","state":1}]}`, i*11)))
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("full batch never flushed — the K trigger did not fire")
+	}
+	for i := 0; i < 4; i++ {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if !resps[i].Converged || resps[i].Engine != EngineBatch {
+			t.Errorf("lane %d: %+v", i, resps[i])
+		}
+	}
+	var text bytes.Buffer
+	m.WriteText(&text)
+	for _, want := range []string{"credo_serve_batch_flushes 1", "credo_serve_batch_occupancy 4"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("metrics text misses %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestBatcherFlushOnDeadline pins the window trigger: a lone query in an
+// 8-lane batcher flushes at the window, not at K.
+func TestBatcherFlushOnDeadline(t *testing.T) {
+	m := &telemetry.Metrics{}
+	s, r := newGridServer(t, Config{BatchK: 8, BatchWindow: 5 * time.Millisecond, Probe: m})
+	resp, err := s.batcherFor(r).enqueue(decode(t, r, `{"evidence":[{"node":"136","state":1}]}`))
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if !resp.Converged || resp.Engine != EngineBatch {
+		t.Fatalf("deadline flush: %+v", resp)
+	}
+	var text bytes.Buffer
+	m.WriteText(&text)
+	for _, want := range []string{"credo_serve_batch_flushes 1", "credo_serve_batch_occupancy 1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("metrics text misses %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestBatcherShedsWhenSaturated locks the admission contract of a flush:
+// a saturated gate sheds the whole batch as errSaturated (the HTTP layer
+// turns that into 429) and counts one shed per pending request.
+func TestBatcherShedsWhenSaturated(t *testing.T) {
+	m := &telemetry.Metrics{}
+	s, r := newGridServer(t, Config{MaxInFlight: 1, MaxQueue: 1, BatchK: 4, BatchWindow: time.Millisecond, Probe: m})
+	s.adm.slots <- struct{}{}
+	s.adm.waiting.Add(1)
+	defer func() {
+		<-s.adm.slots
+		s.adm.waiting.Add(-1)
+	}()
+
+	_, err := s.batcherFor(r).enqueue(decode(t, r, `{}`))
+	if !errors.Is(err, errSaturated) {
+		t.Fatalf("saturated enqueue: err = %v, want errSaturated", err)
+	}
+	var text bytes.Buffer
+	m.WriteText(&text)
+	if !strings.Contains(text.String(), "credo_serve_shed_total 1") {
+		t.Errorf("metrics text misses the shed counter:\n%s", text.String())
+	}
+}
+
+// TestQueryBatchedValidation pins the flush-size contract.
+func TestQueryBatchedValidation(t *testing.T) {
+	s, r := newGridServer(t, Config{BatchK: 2})
+	if _, err := s.QueryBatched(r, nil); err == nil {
+		t.Error("empty flush accepted")
+	}
+	rq := decode(t, r, `{}`)
+	if _, err := s.QueryBatched(r, []*ResolvedQuery{rq, rq, rq}); err == nil {
+		t.Error("over-capacity flush accepted")
+	}
+}
+
+// TestBatcherReplacedOnReload pins the registry interaction: reloading a
+// graph under the same name rebinds the batcher to the new resident.
+func TestBatcherReplacedOnReload(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	b1 := s.batcherFor(r)
+	r2, err := s.Load("grid", testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := s.batcherFor(r2)
+	if b1 == b2 {
+		t.Error("batcher survived a reload — flushes would run against the dropped resident")
+	}
+}

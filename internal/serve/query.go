@@ -18,6 +18,9 @@ const (
 	EngineResidual = "residual"
 	EngineRelax    = "relax"
 	EnginePool     = "pool"
+	// EngineBatch requests the cross-query batcher explicitly; auto
+	// routes there too whenever batching is enabled (Config.BatchK > 1).
+	EngineBatch = "batch"
 )
 
 // queryPayload is the wire shape of a posterior query. Evidence is a
@@ -131,8 +134,8 @@ func ParseEngine(s string) (string, error) {
 	switch s {
 	case "", EngineAuto:
 		return EngineAuto, nil
-	case EngineNode, EngineEdge, EngineResidual, EngineRelax, EnginePool:
+	case EngineNode, EngineEdge, EngineResidual, EngineRelax, EnginePool, EngineBatch:
 		return s, nil
 	}
-	return "", fmt.Errorf("serve: unknown engine %q (want auto, node, edge, residual, relax or pool)", s)
+	return "", fmt.Errorf("serve: unknown engine %q (want auto, node, edge, residual, relax, pool or batch)", s)
 }

@@ -88,6 +88,17 @@ type Config struct {
 	// one second.
 	RetryAfter time.Duration
 
+	// BatchK is the lane capacity of the cross-query batcher: auto-engine
+	// queries against one resident accumulate and run as a single K-way
+	// SoA batch. Zero means DefaultBatchK; 1 or negative disables
+	// batching (every query runs solo, the pre-batching behaviour).
+	BatchK int
+
+	// BatchWindow is the batcher's accumulation deadline: a partial batch
+	// flushes this long after its first query arrives. Zero means
+	// DefaultBatchWindow.
+	BatchWindow time.Duration
+
 	// Probe receives both the engines' run telemetry and the serving
 	// layer's KindServe events. Nil disables instrumentation.
 	Probe telemetry.Probe
@@ -116,6 +127,9 @@ type Server struct {
 
 	mu     sync.RWMutex
 	graphs map[string]*Resident
+
+	batchMu  sync.Mutex
+	batchers map[string]*batcher
 }
 
 // New returns an empty serving instance.
@@ -131,10 +145,17 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.BatchK == 0 {
+		cfg.BatchK = DefaultBatchK
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
 	return &Server{
-		cfg:    cfg,
-		adm:    newAdmission(inflight, maxQueue),
-		graphs: make(map[string]*Resident),
+		cfg:      cfg,
+		adm:      newAdmission(inflight, maxQueue),
+		graphs:   make(map[string]*Resident),
+		batchers: make(map[string]*batcher),
 	}
 }
 
@@ -156,6 +177,11 @@ func (s *Server) load(name string, g *graph.Graph, wall time.Duration) (*Residen
 	s.mu.Lock()
 	s.graphs[name] = r
 	s.mu.Unlock()
+	// Drop any batcher bound to a replaced resident; batcherFor rebuilds
+	// one against the new graph on the next batched query.
+	s.batchMu.Lock()
+	delete(s.batchers, name)
+	s.batchMu.Unlock()
 	if s.cfg.Probe != nil {
 		s.cfg.Probe.Emit(telemetry.Event{
 			Kind:   telemetry.KindServe,

@@ -29,8 +29,14 @@ func (r *Resident) snapshot() *warmState {
 
 // storeSnapshot publishes a converged fixpoint as the new warm state.
 func (r *Resident) storeSnapshot(g *graph.Graph, dense []int32) {
+	r.storeSnapshotBeliefs(g.Beliefs, dense)
+}
+
+// storeSnapshotBeliefs is storeSnapshot over a bare belief array — the
+// batched path extracts one lane of its SoA state and publishes it here.
+func (r *Resident) storeSnapshotBeliefs(beliefs []float32, dense []int32) {
 	w := &warmState{
-		beliefs:  append([]float32(nil), g.Beliefs...),
+		beliefs:  append([]float32(nil), beliefs...),
 		evidence: append([]int32(nil), dense...),
 	}
 	r.warmMu.Lock()
@@ -90,6 +96,12 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 	engine, err := ParseEngine(engine)
 	if err != nil {
 		return nil, err
+	}
+	if engine == EngineBatch {
+		// The solo path has no batched implementation; an explicit batch
+		// override reaching it (direct callers, batching disabled) runs
+		// as auto.
+		engine = EngineAuto
 	}
 	start := time.Now()
 

@@ -42,6 +42,8 @@ type Metrics struct {
 	servLoads   atomic.Int64 // graphs loaded into the serving registry
 	servDepth   atomic.Int64 // last observed admission depth (in-flight + waiting)
 	servWallNs  atomic.Int64 // wall clock of the last served query
+	servFlushes atomic.Int64 // cross-query batch flushes (serve.batch)
+	servBatched atomic.Int64 // lanes occupied across batch flushes
 
 	mu         sync.Mutex
 	lastEngine string
@@ -105,6 +107,11 @@ func (m *Metrics) Emit(e Event) {
 		case "serve.shed":
 			m.servShed.Add(1)
 			m.servDepth.Store(e.Active)
+		case "serve.batch":
+			// One event per flush: Active carries the lane occupancy, so
+			// occupancy/flushes is the mean batch fill.
+			m.servFlushes.Add(1)
+			m.servBatched.Add(e.Active)
 		case "serve.load":
 			m.servLoads.Add(1)
 		}
@@ -152,6 +159,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("credo_serve_warm_total", "Served queries that re-converged from a warm-start snapshot.", m.servWarm.Load())
 	counter("credo_serve_shed_total", "Requests rejected by admission control.", m.servShed.Load())
 	counter("credo_serve_loads_total", "Graphs loaded into the serving registry.", m.servLoads.Load())
+	counter("credo_serve_batch_flushes", "Cross-query batch flushes executed.", m.servFlushes.Load())
+	counter("credo_serve_batch_occupancy", "Lanes occupied across batch flushes (occupancy/flushes = mean fill).", m.servBatched.Load())
 	gauge("credo_serve_depth", "Admission depth (in-flight + waiting) at the last serve event.", float64(m.servDepth.Load()))
 	gauge("credo_serve_last_wall_ns", "Wall clock of the last served query in nanoseconds.", float64(m.servWallNs.Load()))
 	// The residual originates as a float32; format at 32-bit precision so
@@ -180,28 +189,30 @@ func (m *Metrics) snapshot() any {
 	engine := m.lastEngine
 	m.mu.Unlock()
 	return map[string]any{
-		"runs":             m.runs.Load(),
-		"runs_converged":   m.converged.Load(),
-		"iterations":       m.iterations.Load(),
-		"belief_updates":   m.updated.Load(),
-		"edge_messages":    m.edges.Load(),
-		"stale_drops":      m.staleDrops.Load(),
-		"wasted_updates":   m.wasted.Load(),
-		"queue_contention": m.contention.Load(),
-		"kernel_fast_path": m.fastPath.Load(),
-		"kernel_rescales":  m.rescales.Load(),
-		"ingest_bytes":     m.ingestBytes.Load(),
-		"ingest_lines":     m.ingestLines.Load(),
-		"serve_queries":    m.servQueries.Load(),
-		"serve_warm":       m.servWarm.Load(),
-		"serve_shed":       m.servShed.Load(),
-		"serve_loads":      m.servLoads.Load(),
-		"serve_depth":      m.servDepth.Load(),
-		"serve_wall_ns":    m.servWallNs.Load(),
-		"last_delta":       math.Float64frombits(m.lastDelta.Load()),
-		"active_items":     m.lastActive.Load(),
-		"total_items":      m.lastItems.Load(),
-		"engine":           engine,
+		"runs":                  m.runs.Load(),
+		"runs_converged":        m.converged.Load(),
+		"iterations":            m.iterations.Load(),
+		"belief_updates":        m.updated.Load(),
+		"edge_messages":         m.edges.Load(),
+		"stale_drops":           m.staleDrops.Load(),
+		"wasted_updates":        m.wasted.Load(),
+		"queue_contention":      m.contention.Load(),
+		"kernel_fast_path":      m.fastPath.Load(),
+		"kernel_rescales":       m.rescales.Load(),
+		"ingest_bytes":          m.ingestBytes.Load(),
+		"ingest_lines":          m.ingestLines.Load(),
+		"serve_queries":         m.servQueries.Load(),
+		"serve_warm":            m.servWarm.Load(),
+		"serve_shed":            m.servShed.Load(),
+		"serve_loads":           m.servLoads.Load(),
+		"serve_batch_flushes":   m.servFlushes.Load(),
+		"serve_batch_occupancy": m.servBatched.Load(),
+		"serve_depth":           m.servDepth.Load(),
+		"serve_wall_ns":         m.servWallNs.Load(),
+		"last_delta":            math.Float64frombits(m.lastDelta.Load()),
+		"active_items":          m.lastActive.Load(),
+		"total_items":           m.lastItems.Load(),
+		"engine":                engine,
 	}
 }
 

@@ -71,11 +71,15 @@ curl -s -X POST "http://$ADDR/v1/query" \
 echo "error contract OK"
 
 # Ops sidecar: the serve counters reflect the two successful queries,
-# one of them warm.
+# one of them warm. The cold auto-engine query ran through the
+# cross-query batcher (on by default), so exactly one flush executed at
+# occupancy 1; the explicit engine=residual query took the solo path.
 METRICS=$(curl -fsS "http://$OPS/metrics")
 echo "$METRICS" | grep -q '^credo_serve_queries_total 2$'
 echo "$METRICS" | grep -q '^credo_serve_warm_total 1$'
 echo "$METRICS" | grep -q '^credo_serve_loads_total 1$'
+echo "$METRICS" | grep -q '^credo_serve_batch_flushes 1$'
+echo "$METRICS" | grep -q '^credo_serve_batch_occupancy 1$'
 echo "ops sidecar OK"
 
 # Graceful shutdown on SIGTERM.
@@ -83,12 +87,13 @@ kill "$PID"
 wait "$PID"
 trap - EXIT
 
-# The trace is valid JSONL and frames the session: the startup load and
-# both queries, the second warm.
+# The trace is valid JSONL and frames the session: the startup load,
+# both queries (the second warm), and the batcher's single flush.
 jq -es 'length > 0
     and any(.[]; .engine == "serve.load")
     and ([.[] | select(.engine == "serve.query")] | length) == 2
-    and any(.[]; .engine == "serve.query" and .warm == true)' "$TRACE" >/dev/null
+    and any(.[]; .engine == "serve.query" and .warm == true)
+    and ([.[] | select(.engine == "serve.batch")] | length) == 1' "$TRACE" >/dev/null
 echo "telemetry trace OK"
 
 echo "server smoke OK"
