@@ -67,8 +67,11 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkKernels/micro' -benchtime 0.1s -benchmem ./internal/kernel/ | tee kernel-bench.txt
+	$(GO) test -run '^$$' -bench BenchmarkProbeOverhead -benchtime 0.1s -benchmem ./internal/telemetry/ | tee probe-bench.txt
+	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead -benchtime 0.1s -benchmem ./internal/serve/ | tee trace-bench.txt
 	$(GO) run ./cmd/credobench -exp ingest -tier ci -o ingest.txt
 	$(GO) run ./cmd/credobench -exp robust -tier ci -o robust.txt
+	$(GO) run ./cmd/credobench -exp batch -tier ci -o batch.txt
 
 # The CI telemetry-smoke step: run the sprinkler example with the probe
 # layer on and assert the JSONL event stream is well-formed and framed.
@@ -93,9 +96,11 @@ profile:
 
 # Remove every artifact the smoke and bench targets leave behind.
 clean:
-	rm -f bench.txt kernel-bench.txt probe-bench.txt ingest.txt robust.txt \
+	rm -f bench.txt kernel-bench.txt probe-bench.txt trace-bench.txt \
+		ingest.txt robust.txt batch.txt \
 		results_ci.txt coverage.out \
-		telemetry.jsonl server-smoke.jsonl server-smoke.log credoserved.smoke \
+		telemetry.jsonl server-smoke.jsonl server-smoke.log \
+		server-smoke-flight.json credoserved.smoke \
 		cpu.pprof poolbp.test
 
 ci: build lint test cover race fuzz bench telemetry-smoke server-smoke

@@ -102,7 +102,7 @@ func run(args []string, out io.Writer) error {
 	if *httpAddr != "" {
 		metrics := &telemetry.Metrics{}
 		probes = append(probes, metrics)
-		server, err := telemetry.NewServer(*httpAddr, metrics)
+		server, err := telemetry.NewServer(*httpAddr, metrics, nil)
 		if err != nil {
 			return err
 		}

@@ -93,7 +93,7 @@ func run(args []string, stdout io.Writer) error {
 	if *httpAddr != "" {
 		metrics := &telemetry.Metrics{}
 		probes = append(probes, metrics)
-		server, err := telemetry.NewServer(*httpAddr, metrics)
+		server, err := telemetry.NewServer(*httpAddr, metrics, nil)
 		if err != nil {
 			return err
 		}

@@ -59,6 +59,8 @@ type app struct {
 	traceFile   *os.File
 	traceWriter *telemetry.JSONLWriter
 	metrics     *telemetry.Metrics
+	tracer      *telemetry.Tracer
+	flight      *telemetry.FlightRecorder
 }
 
 // build parses flags, assembles telemetry, and loads every -load graph
@@ -83,6 +85,9 @@ func build(args []string, out io.Writer) (*app, error) {
 	cuda := fs.Bool("cuda", false, "let automatic selection route queries to the simulated CUDA device (off for serving: the simulator models batch offload, not query latency)")
 	modelPath := fs.String("model", "", "load a trained selection forest (from credobench -train) to refine the Node/Edge choice")
 	traceOut := fs.String("trace-out", "", "stream telemetry events (queries, sheds, loads, engine runs) to this file as JSONL")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of queries carrying a request-scoped span trace (1 = all, 0 disables tracing)")
+	flightSlowMs := fs.Int("flight-slow-ms", 250, "latency threshold flagging a traced query slow and capturing it in the flight recorder (0 captures every traced query, negative disables the latency trigger)")
+	flightDepth := fs.Int("flight-depth", telemetry.DefaultFlightDepth, "anomalous traces retained by the flight recorder ring (served at /debug/flight on the ops plane)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -102,6 +107,20 @@ func build(args []string, out io.Writer) (*app, error) {
 	if *ops != "" {
 		a.metrics = &telemetry.Metrics{}
 		probes = append(probes, a.metrics)
+	}
+	// Tracing rides on the telemetry sinks: without an ops plane or a
+	// trace file there is nowhere for spans or flight records to go, so
+	// the tracer stays nil and the span path costs nothing.
+	if *traceSample > 0 && (*ops != "" || *traceOut != "") {
+		a.tracer = telemetry.NewTracer(*traceSample)
+		a.tracer.Metrics = a.metrics
+		a.tracer.SlowNs = int64(*flightSlowMs) * 1e6
+		if *flightSlowMs < 0 {
+			a.tracer.SlowNs = -1
+		}
+		a.flight = telemetry.NewFlightRecorder(*flightDepth)
+		a.flight.SetSink(a.traceWriter)
+		a.tracer.Flight = a.flight
 	}
 
 	var classifier ml.Classifier
@@ -139,6 +158,7 @@ func build(args []string, out io.Writer) (*app, error) {
 		BatchK:        *batchK,
 		BatchWindow:   *batchWindow,
 		Probe:         telemetry.Multi(probes...),
+		Tracer:        a.tracer,
 		MRF:           *mrf,
 		IngestWorkers: *ingestWorkers,
 	})
@@ -168,7 +188,7 @@ func (a *app) run(ctx context.Context, ready func(addr string)) error {
 	defer a.closeTrace()
 
 	if a.ops != "" {
-		opsSrv, err := telemetry.NewServer(a.ops, a.metrics)
+		opsSrv, err := telemetry.NewServer(a.ops, a.metrics, a.flight)
 		if err != nil {
 			return err
 		}
@@ -197,6 +217,10 @@ func (a *app) run(ctx context.Context, ready func(addr string)) error {
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// Flush pending batches before the shutdown deadline can bite:
+	// Shutdown waits for in-flight handlers, and batched handlers block
+	// on their window timer.
+	a.srv.DrainBatchers()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
 	}

@@ -107,6 +107,7 @@ func RunBatchInto(g *graph.Graph, bs *graph.BatchState, opts Options, lanes []La
 
 func runBatch(g *graph.Graph, bs *graph.BatchState, opts Options, sc *batchScratch, lanes []LaneResult) BatchResult {
 	opts = opts.withDefaults(g.NumNodes)
+	defer opts.Trace.Span(engBatch).End()
 	s := g.States
 	kk := bs.K
 	used := bs.Used

@@ -86,6 +86,15 @@ type Options struct {
 	// disabled path is locked at 0 allocs/run and within benchmark noise
 	// of the uninstrumented engines.
 	Probe telemetry.Probe
+
+	// Trace, when non-nil, is the request-scoped trace this run belongs
+	// to (the serving layer's span tree): the engine opens one span
+	// covering its execution, so a query's trace shows exactly how much
+	// of its wall clock the propagation itself consumed versus the
+	// pipeline around it. Nil (the default) costs one pointer check —
+	// the span helpers are nil-safe no-ops and the disabled path stays
+	// at 0 allocs/run.
+	Trace *telemetry.Trace
 }
 
 func (o Options) withDefaults(numNodes int) Options {

@@ -38,6 +38,7 @@ func RunEdge(g *graph.Graph, opts Options) Result {
 
 func runEdge(g *graph.Graph, opts Options, sc *runScratch) Result {
 	opts = opts.withDefaults(g.NumNodes)
+	defer opts.Trace.Span(engEdge).End()
 	s := g.States
 	matLines := int64(0) // per-edge joint matrices cost a random gather each
 	if !g.SharedMatrix() {

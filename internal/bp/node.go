@@ -33,6 +33,7 @@ func RunNode(g *graph.Graph, opts Options) Result {
 
 func runNode(g *graph.Graph, opts Options, sc *runScratch) Result {
 	opts = opts.withDefaults(g.NumNodes)
+	defer opts.Trace.Span(engNode).End()
 	s := g.States
 	gatherLines := int64((s*4 + 63) / 64) // cache lines per random parent gather
 	matLines := int64(0)                  // per-edge joint matrices are a second random gather

@@ -62,6 +62,7 @@ func RunResidualFrom(g *graph.Graph, opts Options, seeds []int32) Result {
 // node space (cold start); otherwise only *seeds enter the queue.
 func runResidual(g *graph.Graph, opts Options, sc *runScratch, seeds *[]int32) Result {
 	opts = opts.withDefaults(g.NumNodes)
+	defer opts.Trace.Span(engResidual).End()
 	s := g.States
 	k := kernel.New(g, opts.Kernel)
 

@@ -34,6 +34,7 @@ const engBatch = "pool.batch"
 func RunBatch(g *graph.Graph, bs *graph.BatchState, opts Options) bp.BatchResult {
 	opts = opts.withDefaults()
 	o := opts.Options
+	defer o.Trace.Span(engBatch).End()
 	s := g.States
 	kk := bs.K
 	used := bs.Used

@@ -184,6 +184,7 @@ func markOnce(mark []uint32, i int32) {
 func RunNode(g *graph.Graph, opts Options) bp.Result {
 	opts = opts.withDefaults()
 	o := opts.Options
+	defer o.Trace.Span(engNode).End()
 	s := g.States
 	gatherLines := int64((s*4 + 63) / 64) // cache lines per random parent gather
 	matLines := int64(0)                  // per-edge joint matrices are a second random gather
@@ -365,6 +366,7 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 func RunEdge(g *graph.Graph, opts Options) bp.Result {
 	opts = opts.withDefaults()
 	o := opts.Options
+	defer o.Trace.Span(engEdge).End()
 	s := g.States
 	matLines := int64(0)
 	if !g.SharedMatrix() {

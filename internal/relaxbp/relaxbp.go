@@ -135,6 +135,7 @@ func Run(g *graph.Graph, opts Options) bp.Result {
 // as stale.
 func RunFrom(g *graph.Graph, opts Options, seeds []int32) bp.Result {
 	opts = opts.withDefaults()
+	defer opts.Options.Trace.Span(engineName).End()
 	s := g.States
 	workers := opts.Workers
 	gatherLines := int64((s*4 + 63) / 64)

@@ -45,6 +45,10 @@ func (a *admission) admit() bool {
 // release frees an execution slot.
 func (a *admission) release() { <-a.slots }
 
+// waitDepth is the number of requests currently blocked in the waiting
+// line — the queue a shed request failed to join.
+func (a *admission) waitDepth() int64 { return a.waiting.Load() }
+
 // depth is the current admission depth: queries executing plus waiting.
 func (a *admission) depth() int64 { return int64(len(a.slots)) + a.waiting.Load() }
 

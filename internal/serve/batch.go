@@ -65,9 +65,13 @@ type batcher struct {
 }
 
 // pendingQuery is one enqueued request: its decoded query going in, its
-// response (or error) coming back out of the flush.
+// response (or error) coming back out of the flush, plus the request's
+// trace — its wait span measures exactly the accumulation delay the
+// batching window cost this query.
 type pendingQuery struct {
 	rq   *ResolvedQuery
+	tr   *telemetry.Trace
+	wait telemetry.Span
 	resp *Response
 	err  error
 	done chan struct{}
@@ -104,8 +108,8 @@ func (s *Server) batcherFor(r *Resident) *batcher {
 // completes. The Kth arrival flushes immediately on its own goroutine;
 // otherwise the window timer (armed by the first arrival) flushes
 // whatever accumulated.
-func (b *batcher) enqueue(rq *ResolvedQuery) (*Response, error) {
-	p := &pendingQuery{rq: rq, done: make(chan struct{})}
+func (b *batcher) enqueue(rq *ResolvedQuery, tr *telemetry.Trace) (*Response, error) {
+	p := &pendingQuery{rq: rq, tr: tr, wait: tr.Span("batch.wait"), done: make(chan struct{})}
 	b.mu.Lock()
 	b.pending = append(b.pending, p)
 	if len(b.pending) >= b.k {
@@ -116,7 +120,7 @@ func (b *batcher) enqueue(rq *ResolvedQuery) (*Response, error) {
 			b.timer = nil
 		}
 		b.mu.Unlock()
-		b.flush(batch)
+		b.flush(batch, telemetry.FlushFull)
 	} else {
 		if len(b.pending) == 1 {
 			b.timer = time.AfterFunc(b.window, b.flushDeadline)
@@ -135,7 +139,38 @@ func (b *batcher) flushDeadline() {
 	b.timer = nil
 	b.mu.Unlock()
 	if len(batch) > 0 {
-		b.flush(batch)
+		b.flush(batch, telemetry.FlushDeadline)
+	}
+}
+
+// drain flushes whatever is pending right now — the shutdown path, so
+// in-flight clients get answers instead of hung connections.
+func (b *batcher) drain() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch, telemetry.FlushShutdown)
+	}
+}
+
+// DrainBatchers flushes every batcher's pending queries immediately,
+// labelled as shutdown flushes. The daemon calls it after the listener
+// stops accepting so graceful shutdown never waits out a batch window.
+func (s *Server) DrainBatchers() {
+	s.batchMu.Lock()
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.batchMu.Unlock()
+	for _, b := range bs {
+		b.drain()
 	}
 }
 
@@ -143,20 +178,26 @@ func (b *batcher) flushDeadline() {
 // engine, fanning results back to the waiting requests. The whole flush
 // takes a single admission slot — that is the batching win on the
 // admission side: K queries cost one unit of the concurrency budget.
-func (b *batcher) flush(batch []*pendingQuery) {
+func (b *batcher) flush(batch []*pendingQuery, reason telemetry.FlushReason) {
+	for _, p := range batch {
+		p.wait.End()
+	}
 	defer func() {
 		for _, p := range batch {
 			close(p.done)
 		}
 	}()
 	if !b.s.adm.admit() {
-		for range batch {
+		for _, p := range batch {
+			p.tr.MarkShed()
 			b.s.emit(telemetry.Event{
-				Kind:   telemetry.KindServe,
-				Engine: "serve.shed",
-				Worker: -1,
-				Active: b.s.adm.depth(),
-				Items:  b.s.adm.capacity(),
+				Kind:          telemetry.KindServe,
+				Engine:        "serve.shed",
+				Worker:        -1,
+				Active:        b.s.adm.depth(),
+				Items:         b.s.adm.capacity(),
+				RetryAfterSec: int64(retryAfterSeconds(b.s.cfg.RetryAfter)),
+				Waiting:       b.s.adm.waitDepth(),
 			})
 		}
 		for _, p := range batch {
@@ -167,10 +208,12 @@ func (b *batcher) flush(batch []*pendingQuery) {
 	defer b.s.adm.release()
 
 	rqs := make([]*ResolvedQuery, len(batch))
+	trs := make([]*telemetry.Trace, len(batch))
 	for i, p := range batch {
 		rqs[i] = p.rq
+		trs[i] = p.tr
 	}
-	out, err := b.runFlush(rqs)
+	out, err := b.runFlush(rqs, trs, reason)
 	for i, p := range batch {
 		if err != nil {
 			p.err = err
@@ -187,15 +230,24 @@ func (b *batcher) flush(batch []*pendingQuery) {
 // batcher's exact execution path: warm staging, one batched run, one
 // snapshot store, per-lane responses labelled "batch".
 func (s *Server) QueryBatched(r *Resident, rqs []*ResolvedQuery) ([]*Response, error) {
-	return s.batcherFor(r).runFlush(rqs)
+	return s.batcherFor(r).runFlush(rqs, nil, telemetry.FlushDirect)
 }
 
 // runFlush stages the queries into a pooled BatchState, runs the batched
 // node-paradigm engine over the resident's base structure, snapshots a
 // converged lane for future warm starts and marshals per-lane responses.
-func (b *batcher) runFlush(rqs []*ResolvedQuery) ([]*Response, error) {
+// trs carries the requests' traces lane-aligned with rqs (nil when the
+// caller owns no traces): each lane records its staging, the shared run
+// and its extraction, and lanes that stage cold despite an available
+// snapshot — the large-delta demotion — are flagged for the flight
+// recorder, since that demotion is exactly the pathology the staging
+// gate exists to catch.
+func (b *batcher) runFlush(rqs []*ResolvedQuery, trs []*telemetry.Trace, reason telemetry.FlushReason) ([]*Response, error) {
 	if len(rqs) == 0 || len(rqs) > b.k {
 		return nil, fmt.Errorf("serve: batch of %d queries, want 1..%d", len(rqs), b.k)
+	}
+	if trs == nil {
+		trs = make([]*telemetry.Trace, len(rqs))
 	}
 	start := time.Now()
 
@@ -207,11 +259,16 @@ func (b *batcher) runFlush(rqs []*ResolvedQuery) ([]*Response, error) {
 	snap := b.r.snapshot()
 	laneWarm := make([]bool, len(rqs))
 	for l, rq := range rqs {
+		stage := trs[l].Span("stage")
 		w, err := b.stageLane(bs, l, rq, snap)
+		stage.End()
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 		laneWarm[l] = w
+		if snap != nil && !w {
+			trs[l].MarkColdDelta()
+		}
 	}
 	warm := false
 	for _, w := range laneWarm {
@@ -220,11 +277,26 @@ func (b *batcher) runFlush(rqs []*ResolvedQuery) ([]*Response, error) {
 
 	opts := b.s.cfg.Options
 	opts.Probe = b.s.cfg.Probe
+	for _, tr := range trs {
+		if tr != nil {
+			// Every lane's trace sees the shared run's iteration events:
+			// the flush converges (or fails to) as one unit, so the
+			// trajectory belongs on each query it carried.
+			opts.Probe = telemetry.Multi(opts.Probe, tr)
+		}
+	}
 	eng := core.Engine{Selector: b.s.cfg.Selector, Options: opts}
 	if eng.PoolWorkers <= 0 {
 		eng.PoolWorkers = b.s.cfg.Workers
 	}
+	runSpans := make([]telemetry.Span, len(trs))
+	for l, tr := range trs {
+		runSpans[l] = tr.Span("run")
+	}
 	rep := eng.RunBatch(b.r.base, bs)
+	for _, sp := range runSpans {
+		sp.End()
+	}
 	wall := time.Since(start)
 
 	// Publish one converged lane as the warm snapshot; the last staged
@@ -247,6 +319,16 @@ func (b *batcher) runFlush(rqs []*ResolvedQuery) ([]*Response, error) {
 	out := make([]*Response, len(rqs))
 	for l, rq := range rqs {
 		lr := rep.Result.Lanes[l]
+		trs[l].SetQuery(EngineBatch, b.s.variant, laneWarm[l], true)
+		if !lr.Converged {
+			trs[l].MarkNonConverged()
+			if lr.Iterations >= maxIterCap(b.s.cfg.Options.MaxIterations) {
+				trs[l].MarkIterCap()
+			}
+		}
+		ext := trs[l].Span("extract")
+		beliefs := marshalLaneBeliefs(b.r, bs, l, rq.nodes)
+		ext.End()
 		out[l] = &Response{
 			Graph:      b.r.Name,
 			Engine:     EngineBatch,
@@ -257,13 +339,14 @@ func (b *batcher) runFlush(rqs []*ResolvedQuery) ([]*Response, error) {
 			Edges:      lr.Edges,
 			FinalDelta: float64(lr.FinalDelta),
 			WallNs:     wall.Nanoseconds(),
-			Beliefs:    marshalLaneBeliefs(b.r, bs, l, rq.nodes),
+			Beliefs:    beliefs,
 		}
 	}
 	b.s.emit(telemetry.Event{
 		Kind:      telemetry.KindServe,
 		Engine:    "serve.batch",
 		Worker:    -1,
+		Flush:     reason,
 		Warm:      warm,
 		Converged: rep.Result.Converged,
 		Iter:      int32(rep.Result.Iterations),

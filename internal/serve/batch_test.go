@@ -123,7 +123,7 @@ func TestBatcherFlushOnFull(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i], errs[i] = b.enqueue(decode(t, r, fmt.Sprintf(`{"evidence":[{"node":"%d","state":1}]}`, i*11)))
+			resps[i], errs[i] = b.enqueue(decode(t, r, fmt.Sprintf(`{"evidence":[{"node":"%d","state":1}]}`, i*11)), nil)
 		}(i)
 	}
 	done := make(chan struct{})
@@ -143,7 +143,7 @@ func TestBatcherFlushOnFull(t *testing.T) {
 	}
 	var text bytes.Buffer
 	m.WriteText(&text)
-	for _, want := range []string{"credo_serve_batch_flushes 1", "credo_serve_batch_occupancy 4"} {
+	for _, want := range []string{`credo_serve_batch_flushes{reason="full"} 1`, "credo_serve_batch_occupancy 4"} {
 		if !strings.Contains(text.String(), want) {
 			t.Errorf("metrics text misses %q:\n%s", want, text.String())
 		}
@@ -155,7 +155,7 @@ func TestBatcherFlushOnFull(t *testing.T) {
 func TestBatcherFlushOnDeadline(t *testing.T) {
 	m := &telemetry.Metrics{}
 	s, r := newGridServer(t, Config{BatchK: 8, BatchWindow: 5 * time.Millisecond, Probe: m})
-	resp, err := s.batcherFor(r).enqueue(decode(t, r, `{"evidence":[{"node":"136","state":1}]}`))
+	resp, err := s.batcherFor(r).enqueue(decode(t, r, `{"evidence":[{"node":"136","state":1}]}`), nil)
 	if err != nil {
 		t.Fatalf("enqueue: %v", err)
 	}
@@ -164,7 +164,7 @@ func TestBatcherFlushOnDeadline(t *testing.T) {
 	}
 	var text bytes.Buffer
 	m.WriteText(&text)
-	for _, want := range []string{"credo_serve_batch_flushes 1", "credo_serve_batch_occupancy 1"} {
+	for _, want := range []string{`credo_serve_batch_flushes{reason="deadline"} 1`, "credo_serve_batch_occupancy 1"} {
 		if !strings.Contains(text.String(), want) {
 			t.Errorf("metrics text misses %q:\n%s", want, text.String())
 		}
@@ -184,7 +184,7 @@ func TestBatcherShedsWhenSaturated(t *testing.T) {
 		s.adm.waiting.Add(-1)
 	}()
 
-	_, err := s.batcherFor(r).enqueue(decode(t, r, `{}`))
+	_, err := s.batcherFor(r).enqueue(decode(t, r, `{}`), nil)
 	if !errors.Is(err, errSaturated) {
 		t.Fatalf("saturated enqueue: err = %v, want errSaturated", err)
 	}

@@ -126,31 +126,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	if !s.adm.admit() {
-		s.emit(telemetry.Event{
-			Kind:   telemetry.KindServe,
-			Engine: "serve.shed",
-			Worker: -1,
-			Active: s.adm.depth(),
-			Items:  s.adm.capacity(),
-		})
+	tr := s.cfg.Tracer.Start("query")
+	defer tr.Finish()
+
+	admit := tr.Span("admit")
+	admitted := s.adm.admit()
+	admit.End()
+	if !admitted {
+		s.shed(tr)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
 		return
 	}
 	defer s.adm.release()
 
+	dec := tr.Span("decode")
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxQueryBytes))
 	if err != nil {
+		dec.End()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read query: %v", err))
 		return
 	}
 	rq, err := r.DecodeQuery(body)
+	dec.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := s.QueryResident(r, engine, rq)
+	resp, err := s.queryResident(r, engine, rq, tr)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -159,6 +162,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		Kind:      telemetry.KindServe,
 		Engine:    "serve.query",
 		Worker:    -1,
+		Impl:      resp.Engine,
+		Variant:   s.variant,
 		Warm:      resp.Warm,
 		Converged: resp.Converged,
 		Updated:   resp.Updates,
@@ -170,6 +175,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// shed flags the trace and emits the single serve.shed event for one
+// rejected request, carrying the Retry-After hint actually sent on the
+// wire and the waiting-line depth at rejection time — the two numbers a
+// backoff post-mortem needs side by side.
+func (s *Server) shed(tr *telemetry.Trace) {
+	tr.MarkShed()
+	s.emit(telemetry.Event{
+		Kind:          telemetry.KindServe,
+		Engine:        "serve.shed",
+		Worker:        -1,
+		Active:        s.adm.depth(),
+		Items:         s.adm.capacity(),
+		RetryAfterSec: int64(retryAfterSeconds(s.cfg.RetryAfter)),
+		Waiting:       s.adm.waitDepth(),
+	})
+}
+
 // handleBatchedQuery enqueues one request on the resident's batcher and
 // blocks until its flush completes. Admission happens per flush inside
 // the batcher; a shed flush surfaces here as errSaturated and keeps the
@@ -177,17 +199,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 // serve.query event, so the per-query counters stay comparable across
 // batched and solo serving.
 func (s *Server) handleBatchedQuery(w http.ResponseWriter, req *http.Request, r *Resident) {
+	tr := s.cfg.Tracer.Start("query")
+	defer tr.Finish()
+
+	dec := tr.Span("decode")
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxQueryBytes))
 	if err != nil {
+		dec.End()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read query: %v", err))
 		return
 	}
 	rq, err := r.DecodeQuery(body)
+	dec.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := s.batcherFor(r).enqueue(rq)
+	resp, err := s.batcherFor(r).enqueue(rq, tr)
 	if err != nil {
 		if errors.Is(err, errSaturated) {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
@@ -201,6 +229,9 @@ func (s *Server) handleBatchedQuery(w http.ResponseWriter, req *http.Request, r 
 		Kind:      telemetry.KindServe,
 		Engine:    "serve.query",
 		Worker:    -1,
+		Impl:      resp.Engine,
+		Variant:   s.variant,
+		Batched:   true,
 		Warm:      resp.Warm,
 		Converged: resp.Converged,
 		Updated:   resp.Updates,

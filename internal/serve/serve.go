@@ -103,6 +103,13 @@ type Config struct {
 	// layer's KindServe events. Nil disables instrumentation.
 	Probe telemetry.Probe
 
+	// Tracer, when non-nil, samples requests into request-scoped traces:
+	// the HTTP layer opens a trace per sampled query and every stage the
+	// request crosses (admission, decode, batching, staging, the engine
+	// run, extraction) records a span on it. Anomalous traces land in the
+	// tracer's flight recorder. Nil disables tracing entirely.
+	Tracer *telemetry.Tracer
+
 	// MRF doubles directed BIF/XMLBIF networks into MRF form on load, so
 	// evidence flows against edge direction (recommended; mtxbp inputs
 	// are stored pre-doubled).
@@ -124,6 +131,11 @@ const DefaultMaxInFlight = 4
 type Server struct {
 	cfg Config
 	adm *admission
+
+	// variant labels every query's latency observation with the resolved
+	// message-update rule; the config template never changes after New,
+	// so it is resolved once.
+	variant string
 
 	mu     sync.RWMutex
 	graphs map[string]*Resident
@@ -154,6 +166,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:      cfg,
 		adm:      newAdmission(inflight, maxQueue),
+		variant:  cfg.Options.ResolveVariant().Variant.String(),
 		graphs:   make(map[string]*Resident),
 		batchers: make(map[string]*batcher),
 	}

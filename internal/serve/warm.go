@@ -8,6 +8,7 @@ import (
 	"credo/internal/core"
 	"credo/internal/graph"
 	"credo/internal/relaxbp"
+	"credo/internal/telemetry"
 )
 
 // warmState is one converged fixpoint: the beliefs and the evidence they
@@ -86,13 +87,21 @@ type Response struct {
 	Beliefs    map[string][]float32 `json:"beliefs"`
 }
 
-// Query executes one posterior query against the resident: lease an
-// overlay, clamp the evidence, pick an engine (the explicit override
-// first, the warm path when a snapshot exists and the engine family
-// supports seeded starts, the classifier-driven cold selection
+// QueryResident executes one posterior query against the resident:
+// lease an overlay, clamp the evidence, pick an engine (the explicit
+// override first, the warm path when a snapshot exists and the engine
+// family supports seeded starts, the classifier-driven cold selection
 // otherwise), run, snapshot on convergence, and marshal the requested
 // beliefs.
 func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*Response, error) {
+	return s.queryResident(r, engine, rq, nil)
+}
+
+// queryResident is QueryResident carrying the request's trace: staging,
+// the engine run (via Options.Trace plus the probe chain) and belief
+// extraction each record a span, and the run outcome sets the trace's
+// anomaly flags. A nil trace is free.
+func (s *Server) queryResident(r *Resident, engine string, rq *ResolvedQuery, tr *telemetry.Trace) (*Response, error) {
 	engine, err := ParseEngine(engine)
 	if err != nil {
 		return nil, err
@@ -115,6 +124,10 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 
 	opts := s.cfg.Options
 	opts.Probe = s.cfg.Probe
+	if tr != nil {
+		opts.Trace = tr
+		opts.Probe = telemetry.Multi(opts.Probe, tr)
+	}
 
 	// Warm path: the residual-family engines resume from the snapshot.
 	warmable := engine == EngineAuto || engine == EngineResidual || engine == EngineRelax
@@ -123,6 +136,7 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 	warm := false
 	if snap := r.snapshot(); warmable && snap != nil {
 		warm = true
+		stage := tr.Span("stage.warm")
 		changed, seeds := perturbedFrontier(g, snap.evidence, rq.dense)
 		// Adopt the fixpoint everywhere the evidence still supports it;
 		// changed nodes restart from their (possibly re-clamped) prior.
@@ -130,6 +144,7 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 		for _, v := range changed {
 			copy(g.Belief(v), g.Prior(v))
 		}
+		stage.End()
 		if engine == EngineRelax {
 			label = EngineRelax
 			res = relaxbp.RunFrom(g, relaxbp.Options{Options: opts, Workers: s.cfg.Workers}, seeds)
@@ -138,10 +153,14 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 			res = bp.RunResidualFrom(g, opts, seeds)
 		}
 	} else {
-		label, res, err = s.runCold(r, g, engine, opts)
+		label, res, err = s.runCold(r, g, engine, opts, tr)
 		if err != nil {
 			return nil, err
 		}
+	}
+	tr.SetQuery(label, s.variant, warm, false)
+	if cap := opts.MaxIterations; res.Iterations >= maxIterCap(cap) && !res.Converged {
+		tr.MarkIterCap()
 	}
 
 	if res.Converged {
@@ -153,6 +172,9 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 		}
 	}
 
+	ext := tr.Span("extract")
+	beliefs := marshalBeliefs(r, g, rq.nodes)
+	ext.End()
 	resp := &Response{
 		Graph:      r.Name,
 		Engine:     label,
@@ -163,19 +185,31 @@ func (s *Server) QueryResident(r *Resident, engine string, rq *ResolvedQuery) (*
 		Edges:      res.Ops.EdgesProcessed,
 		FinalDelta: float64(res.FinalDelta),
 		WallNs:     time.Since(start).Nanoseconds(),
-		Beliefs:    marshalBeliefs(r, g, rq.nodes),
+		Beliefs:    beliefs,
 	}
 	return resp, nil
 }
 
+// maxIterCap resolves the effective iteration cap of an options
+// template (zero means the bp default), the bound the iter_cap anomaly
+// flag is judged against.
+func maxIterCap(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return bp.DefaultMaxIterations
+}
+
 // runCold dispatches a cold start: an explicit engine when overridden,
 // the selector's choice (platform rule + Node/Edge classifier) for auto.
-func (s *Server) runCold(r *Resident, g *graph.Graph, engine string, opts bp.Options) (string, bp.Result, error) {
+func (s *Server) runCold(r *Resident, g *graph.Graph, engine string, opts bp.Options, tr *telemetry.Trace) (string, bp.Result, error) {
 	eng := core.Engine{Selector: s.cfg.Selector, Options: opts}
 	var impl core.Implementation
 	switch engine {
 	case EngineAuto:
+		sel := tr.Span("select")
 		impl = eng.Choose(r.md, r.footprint)
+		sel.End()
 	case EngineNode:
 		impl = core.CNode
 	case EngineEdge:

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func flightRec(id uint64) *FlightRecord {
+	return &FlightRecord{Kind: "flight", ID: id, Name: "query", Reasons: []string{"slow"}}
+}
+
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		f.Capture(flightRec(uint64(i)))
+	}
+	if f.Captured() != 5 || f.Depth() != 3 {
+		t.Fatalf("captured %d depth %d", f.Captured(), f.Depth())
+	}
+	recs := f.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d, want 3", len(recs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if recs[i].ID != want {
+			t.Errorf("records[%d].ID = %d, want %d (oldest first)", i, recs[i].ID, want)
+		}
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Capture(flightRec(1))
+	f.SetSink(nil)
+	if f.Captured() != 0 || f.Depth() != 0 || f.Records() != nil {
+		t.Error("nil recorder not inert")
+	}
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	var dump struct {
+		Captured int64           `json:"captured"`
+		Depth    int             `json:"depth"`
+		Records  []*FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("nil handler body: %v", err)
+	}
+	if dump.Captured != 0 || dump.Records == nil || len(dump.Records) != 0 {
+		t.Errorf("nil dump: %+v", dump)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Capture(flightRec(7))
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var dump struct {
+		Captured int64           `json:"captured"`
+		Depth    int             `json:"depth"`
+		Records  []*FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Captured != 1 || dump.Depth != 8 || len(dump.Records) != 1 || dump.Records[0].ID != 7 {
+		t.Errorf("dump: %+v", dump)
+	}
+}
+
+// TestFlightJSONLSink checks captured records append to the trace file
+// as "kind":"flight" lines interleaving with ordinary events.
+func TestFlightJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	f := NewFlightRecorder(4)
+	f.SetSink(w)
+
+	w.Emit(Event{Kind: KindRunStart, Engine: "relax", Items: 10})
+	f.Capture(&FlightRecord{Kind: "flight", ID: 3, Name: "query", Reasons: []string{"shed"},
+		Spans: []FlightSpan{{Name: "admit", Parent: -1, StartNs: 10, EndNs: 20}}})
+	w.Flush()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	var rec FlightRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("flight line not JSON: %v", err)
+	}
+	if rec.Kind != "flight" || rec.ID != 3 || len(rec.Spans) != 1 {
+		t.Errorf("flight line: %+v", rec)
+	}
+	// Every line in the stream must remain independently parseable.
+	for i, l := range lines {
+		var any map[string]any
+		if err := json.Unmarshal([]byte(l), &any); err != nil {
+			t.Errorf("line %d not JSON: %v", i, err)
+		}
+	}
+}
+
+// TestFlightConcurrentCaptureAndRead hammers the ring from writer
+// goroutines while readers snapshot it — the lock-free path the serving
+// layer relies on; run under -race in CI.
+func TestFlightConcurrentCaptureAndRead(t *testing.T) {
+	f := NewFlightRecorder(8)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 500; i++ {
+				f.Capture(flightRec(uint64(w*1000 + i)))
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- struct{}{}
+				return
+			default:
+				for _, r := range f.Records() {
+					if r.Kind != "flight" {
+						panic(fmt.Sprintf("torn record: %+v", r))
+					}
+				}
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	close(stop)
+	<-done
+	if f.Captured() != 2000 {
+		t.Errorf("captured %d, want 2000", f.Captured())
+	}
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bound, atomically updated distribution sink: a
+// set of cumulative-style buckets (each bucket i counts observations
+// <= bounds[i], with an implicit +Inf overflow bucket) plus a running
+// count and sum. Observe is lock-free — one binary search and two
+// atomic adds — so the serving path can record every query latency
+// without contending on a mutex, and scrapes read whatever mix of
+// observations has landed (each bucket is individually consistent,
+// which is all the Prometheus exposition promises anyway).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated (cold relative to counts)
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. The bounds slice is retained; callers must not mutate it.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// LogBounds returns n log-spaced upper bounds starting at start and
+// multiplying by factor — the bucketing scheme of the latency
+// histograms: constant relative error per bucket, so the same bounds
+// resolve a 40µs sprinkler query and a 4s million-node run.
+func LogBounds(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefaultLatencyBounds covers 1µs to ~67s in factor-2 buckets — wide
+// enough that no realistic query lands in the overflow bucket, tight
+// enough (±50%) for meaningful p99 interpolation.
+var DefaultLatencyBounds = LogBounds(1e-6, 2, 27)
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank, the same
+// estimate Prometheus' histogram_quantile computes server-side. An
+// observation in the overflow bucket clamps to the largest bound; an
+// empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return h.bounds[i]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// WriteProm renders the histogram as one Prometheus series: cumulative
+// name_bucket{...,le="..."} lines (zero buckets elided to keep the
+// exposition readable, +Inf always present), then name_sum and
+// name_count. labels is the pre-rendered label set without braces
+// (empty for none); HELP/TYPE headers are the caller's, emitted once
+// per metric family.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		cum += c
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
+			strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum(), name, h.count.Load())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.Sum(), name, labels, h.count.Load())
+}
+
+// histVec is a label-keyed family of histograms sharing one bound set.
+// The hot path is an RLock plus a map lookup; a new label combination
+// takes the write lock once and never again.
+type histVec[K comparable] struct {
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[K]*Histogram
+}
+
+func newHistVec[K comparable](bounds []float64) *histVec[K] {
+	return &histVec[K]{bounds: bounds, m: make(map[K]*Histogram)}
+}
+
+// at returns the histogram for key, creating it on first use.
+func (v *histVec[K]) at(key K) *Histogram {
+	v.mu.RLock()
+	h := v.m[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[key]; h == nil {
+		h = NewHistogram(v.bounds)
+		v.m[key] = h
+	}
+	return h
+}
+
+// keys returns the registered label combinations, unsorted.
+func (v *histVec[K]) keys() []K {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	ks := make([]K, 0, len(v.m))
+	for k := range v.m {
+		ks = append(ks, k)
+	}
+	return ks
+}

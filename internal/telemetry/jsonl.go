@@ -92,13 +92,37 @@ func (j *JSONLWriter) Emit(e Event) {
 		b = appendInt(b, "bytes", e.Edges)
 		b = appendInt(b, "busy_ns", e.BusyNs)
 	case KindServe:
-		if e.Engine == "serve.query" {
+		switch e.Engine {
+		case "serve.query":
 			b = append(b, `,"warm":`...)
 			b = strconv.AppendBool(b, e.Warm)
 			b = append(b, `,"converged":`...)
 			b = strconv.AppendBool(b, e.Converged)
 			b = appendInt(b, "updated", e.Updated)
 			b = appendInt(b, "iter", int64(e.Iter))
+			if e.Impl != "" {
+				// Engine/variant labels are plain identifiers from the
+				// serving layer's fixed sets, no escaping needed.
+				b = append(b, `,"impl":"`...)
+				b = append(b, e.Impl...)
+				b = append(b, '"')
+			}
+			if e.Variant != "" {
+				b = append(b, `,"variant":"`...)
+				b = append(b, e.Variant...)
+				b = append(b, '"')
+			}
+			b = append(b, `,"batched":`...)
+			b = strconv.AppendBool(b, e.Batched)
+		case "serve.shed":
+			b = appendInt(b, "retry_after_s", e.RetryAfterSec)
+			b = appendInt(b, "waiting", e.Waiting)
+		case "serve.batch":
+			if e.Flush != FlushNone {
+				b = append(b, `,"flush":"`...)
+				b = append(b, e.Flush.String()...)
+				b = append(b, '"')
+			}
 		}
 		b = appendInt(b, "depth", e.Active)
 		b = appendInt(b, "capacity", e.Items)
@@ -110,6 +134,17 @@ func (j *JSONLWriter) Emit(e Event) {
 	if e.Kind == KindRunEnd || e.Kind == KindServe {
 		j.w.Flush()
 	}
+	j.mu.Unlock()
+}
+
+// WriteRaw appends one pre-encoded JSON document as its own line and
+// flushes — the flight recorder's path into the event stream, so flight
+// dumps land in file order with the events that produced them.
+func (j *JSONLWriter) WriteRaw(line []byte) {
+	j.mu.Lock()
+	j.w.Write(line)
+	j.w.WriteByte('\n')
+	j.w.Flush()
 	j.mu.Unlock()
 }
 

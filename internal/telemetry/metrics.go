@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -44,9 +45,50 @@ type Metrics struct {
 	servWallNs  atomic.Int64 // wall clock of the last served query
 	servFlushes atomic.Int64 // cross-query batch flushes (serve.batch)
 	servBatched atomic.Int64 // lanes occupied across batch flushes
+	servWaiting atomic.Int64 // waiting-line depth at the last shed
+
+	// flushBy counts batch flushes by FlushReason (indexed by the
+	// reason's ordinal) — the signal adaptive -batch-window tuning needs.
+	flushBy [FlushDirect + 1]atomic.Int64
+
+	// Histogram families, created on first use so the zero-value
+	// Metrics literal every caller builds keeps working.
+	histOnce    sync.Once
+	lat         *histVec[LatencyKey] // serve latency by query labels
+	latAll      *Histogram           // aggregate across all label sets
+	stage       *histVec[string]     // per-pipeline-stage wall (trace spans)
+	deadlineOcc *Histogram           // lane occupancy at deadline flushes
 
 	mu         sync.Mutex
 	lastEngine string
+}
+
+// LatencyKey labels one served-latency series: the four dimensions the
+// batcher-tuning analysis slices by.
+type LatencyKey struct {
+	Engine  string // resolved implementation ("residual", "batch", ...)
+	Variant string // update rule ("vanilla", "damped", "circular")
+	Warm    bool   // warm-start vs cold
+	Batched bool   // batch lane vs solo path
+}
+
+// hists lazily builds the histogram families.
+func (m *Metrics) hists() {
+	m.histOnce.Do(func() {
+		m.lat = newHistVec[LatencyKey](DefaultLatencyBounds)
+		m.latAll = NewHistogram(DefaultLatencyBounds)
+		m.stage = newHistVec[string](DefaultLatencyBounds)
+		// Occupancy is 1..K lanes; unit-ish buckets cover any plausible K.
+		m.deadlineOcc = NewHistogram([]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})
+	})
+}
+
+// ObserveStage records one pipeline stage's wall time (seconds) into
+// the stage histogram family — the tracer feeds every finished trace's
+// spans through here.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.hists()
+	m.stage.at(stage).Observe(seconds)
 }
 
 // Emit implements Probe.
@@ -104,14 +146,35 @@ func (m *Metrics) Emit(e Event) {
 			}
 			m.servWallNs.Store(e.BusyNs)
 			m.servDepth.Store(e.Active)
+			m.hists()
+			key := LatencyKey{Engine: e.Impl, Variant: e.Variant, Warm: e.Warm, Batched: e.Batched}
+			if key.Engine == "" {
+				key.Engine = "unknown"
+			}
+			if key.Variant == "" {
+				key.Variant = "vanilla"
+			}
+			secs := float64(e.BusyNs) / 1e9
+			m.lat.at(key).Observe(secs)
+			m.latAll.Observe(secs)
 		case "serve.shed":
 			m.servShed.Add(1)
 			m.servDepth.Store(e.Active)
+			m.servWaiting.Store(e.Waiting)
 		case "serve.batch":
 			// One event per flush: Active carries the lane occupancy, so
 			// occupancy/flushes is the mean batch fill.
 			m.servFlushes.Add(1)
 			m.servBatched.Add(e.Active)
+			m.flushBy[e.Flush].Add(1)
+			if e.Flush == FlushDeadline {
+				// Occupancy at the deadline is the direct input to
+				// adaptive window sizing: a window that keeps expiring
+				// near-empty is too long (or K too large) for the
+				// observed arrival rate.
+				m.hists()
+				m.deadlineOcc.Observe(float64(e.Active))
+			}
 		case "serve.load":
 			m.servLoads.Add(1)
 		}
@@ -159,10 +222,17 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("credo_serve_warm_total", "Served queries that re-converged from a warm-start snapshot.", m.servWarm.Load())
 	counter("credo_serve_shed_total", "Requests rejected by admission control.", m.servShed.Load())
 	counter("credo_serve_loads_total", "Graphs loaded into the serving registry.", m.servLoads.Load())
-	counter("credo_serve_batch_flushes", "Cross-query batch flushes executed.", m.servFlushes.Load())
+	// Batch flushes carry the trigger as a label; the series sum is the
+	// former unlabeled total.
+	fmt.Fprintf(w, "# HELP credo_serve_batch_flushes Cross-query batch flushes executed, by trigger.\n# TYPE credo_serve_batch_flushes counter\n")
+	for r := FlushFull; r <= FlushDirect; r++ {
+		fmt.Fprintf(w, "credo_serve_batch_flushes{reason=%q} %d\n", r.String(), m.flushBy[r].Load())
+	}
 	counter("credo_serve_batch_occupancy", "Lanes occupied across batch flushes (occupancy/flushes = mean fill).", m.servBatched.Load())
 	gauge("credo_serve_depth", "Admission depth (in-flight + waiting) at the last serve event.", float64(m.servDepth.Load()))
+	gauge("credo_serve_waiting", "Admission waiting-line depth at the last shed.", float64(m.servWaiting.Load()))
 	gauge("credo_serve_last_wall_ns", "Wall clock of the last served query in nanoseconds.", float64(m.servWallNs.Load()))
+	m.writeHistograms(w)
 	// The residual originates as a float32; format at 32-bit precision so
 	// the exposition shows 0.0008, not the widened float64 digits.
 	fmt.Fprintf(w, "# HELP credo_last_delta Global residual norm at the last boundary.\n# TYPE credo_last_delta gauge\n")
@@ -173,6 +243,69 @@ func (m *Metrics) WriteText(w io.Writer) {
 	if engine != "" {
 		fmt.Fprintf(w, "# HELP credo_engine_info Engine of the last observed run.\n# TYPE credo_engine_info gauge\ncredo_engine_info{engine=%q} 1\n", engine)
 	}
+}
+
+// quantiles exported per latency series alongside the raw buckets.
+var latencyQuantiles = []float64{0.5, 0.95, 0.99}
+
+// writeHistograms renders the latency, stage and batch-occupancy
+// histogram families. Families that never observed anything are elided
+// entirely, so non-serving processes keep their exposition unchanged.
+func (m *Metrics) writeHistograms(w io.Writer) {
+	m.hists() // synchronizes with concurrent emitters creating the families
+	if keys := m.lat.keys(); len(keys) > 0 {
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Engine != b.Engine {
+				return a.Engine < b.Engine
+			}
+			if a.Variant != b.Variant {
+				return a.Variant < b.Variant
+			}
+			if a.Warm != b.Warm {
+				return !a.Warm
+			}
+			return !a.Batched
+		})
+		fmt.Fprintf(w, "# HELP credo_serve_latency_seconds Served query latency.\n# TYPE credo_serve_latency_seconds histogram\n")
+		for _, k := range keys {
+			m.lat.at(k).WriteProm(w, "credo_serve_latency_seconds", latencyLabels(k))
+		}
+		fmt.Fprintf(w, "# HELP credo_serve_latency_quantile_seconds Latency quantiles interpolated from the log buckets.\n# TYPE credo_serve_latency_quantile_seconds gauge\n")
+		for _, k := range keys {
+			h := m.lat.at(k)
+			for _, q := range latencyQuantiles {
+				fmt.Fprintf(w, "credo_serve_latency_quantile_seconds{%s,q=\"%g\"} %g\n",
+					latencyLabels(k), q, h.Quantile(q))
+			}
+		}
+	}
+	if keys := m.stage.keys(); len(keys) > 0 {
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP credo_serve_stage_seconds Wall time per serving-pipeline stage (trace spans).\n# TYPE credo_serve_stage_seconds histogram\n")
+		for _, k := range keys {
+			m.stage.at(k).WriteProm(w, "credo_serve_stage_seconds", fmt.Sprintf("stage=%q", k))
+		}
+	}
+	if m.deadlineOcc.Count() > 0 {
+		fmt.Fprintf(w, "# HELP credo_serve_batch_deadline_occupancy Lanes occupied when the accumulation window expired.\n# TYPE credo_serve_batch_deadline_occupancy histogram\n")
+		m.deadlineOcc.WriteProm(w, "credo_serve_batch_deadline_occupancy", "")
+	}
+}
+
+// latencyLabels renders a LatencyKey as a Prometheus label set. The
+// warm/cold and batch/solo booleans surface as the categorical names
+// the histogram contract promises.
+func latencyLabels(k LatencyKey) string {
+	start := "cold"
+	if k.Warm {
+		start = "warm"
+	}
+	path := "solo"
+	if k.Batched {
+		path = "batch"
+	}
+	return fmt.Sprintf("engine=%q,variant=%q,start=%q,path=%q", k.Engine, k.Variant, start, path)
 }
 
 // Handler returns an http.Handler serving the text exposition.
@@ -188,7 +321,20 @@ func (m *Metrics) snapshot() any {
 	m.mu.Lock()
 	engine := m.lastEngine
 	m.mu.Unlock()
+	m.hists()
+	latCount := m.latAll.Count()
+	p50, p95, p99 := m.latAll.Quantile(0.5), m.latAll.Quantile(0.95), m.latAll.Quantile(0.99)
+	flushes := map[string]int64{}
+	for r := FlushFull; r <= FlushDirect; r++ {
+		flushes[r.String()] = m.flushBy[r].Load()
+	}
 	return map[string]any{
+		"serve_latency_count":   latCount,
+		"serve_latency_p50":     p50,
+		"serve_latency_p95":     p95,
+		"serve_latency_p99":     p99,
+		"serve_flush_reasons":   flushes,
+		"serve_waiting":         m.servWaiting.Load(),
 		"runs":                  m.runs.Load(),
 		"runs_converged":        m.converged.Load(),
 		"iterations":            m.iterations.Load(),
@@ -216,20 +362,32 @@ func (m *Metrics) snapshot() any {
 	}
 }
 
-var expvarOnce sync.Once
+// The process has one /debug/vars namespace and expvar forbids
+// duplicate names, so "credo.telemetry" is registered once as an
+// indirection through this pointer: the most recently published
+// Metrics answers. A daemon publishes exactly one Metrics for its
+// lifetime; the indirection exists so tests that each build their own
+// ops server read their own instance regardless of run order.
+var (
+	expvarOnce    sync.Once
+	expvarCurrent atomic.Pointer[Metrics]
+)
 
 // PublishExpvar exposes the metrics under the "credo.telemetry" expvar
-// name (idempotent — expvar forbids duplicate names, and the process
-// has one /debug/vars namespace).
+// name, replacing any previously published instance.
 func (m *Metrics) PublishExpvar() {
+	expvarCurrent.Store(m)
 	expvarOnce.Do(func() {
-		expvar.Publish("credo.telemetry", expvar.Func(m.snapshot))
+		expvar.Publish("credo.telemetry", expvar.Func(func() any {
+			return expvarCurrent.Load().snapshot()
+		}))
 	})
 }
 
 // Server is a live telemetry endpoint: /metrics (Prometheus text),
-// /debug/vars (expvar) and /debug/pprof (runtime profiling), all from
-// the standard library.
+// /debug/vars (expvar), /debug/pprof (runtime profiling) and
+// /debug/flight (the flight recorder's retained anomalous-request
+// dumps), all from the standard library.
 type Server struct {
 	Addr string // actual listen address (useful with ":0")
 	srv  *http.Server
@@ -238,8 +396,9 @@ type Server struct {
 
 // NewServer binds addr and returns the server ready to Start. The
 // metrics probe is published to expvar as a side effect so /debug/vars
-// carries the same numbers as /metrics.
-func NewServer(addr string, m *Metrics) (*Server, error) {
+// carries the same numbers as /metrics. flight may be nil — the
+// /debug/flight route always exists and answers with an empty dump.
+func NewServer(addr string, m *Metrics, flight *FlightRecorder) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -248,6 +407,7 @@ func NewServer(addr string, m *Metrics) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", m.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/flight", flight.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

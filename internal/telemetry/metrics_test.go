@@ -57,7 +57,7 @@ func TestMetricsAccumulation(t *testing.T) {
 func TestMetricsServer(t *testing.T) {
 	var m Metrics
 	metricsStream(&m)
-	srv, err := NewServer("127.0.0.1:0", &m)
+	srv, err := NewServer("127.0.0.1:0", &m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,12 @@
 # network and a JSONL trace, then drives the public surface with curl:
 # liveness, the registry listing, a cold posterior query (validated for
 # shape and normalization with jq), a warm-start second query, the error
-# body contract, and the Prometheus counters on the ops sidecar. Finally
+# body contract, and the Prometheus counters, latency histograms and
+# flight recorder on the ops sidecar (-flight-slow-ms 0 forces every
+# traced query into the recorder, so the dump is deterministic). Finally
 # it shuts the daemon down gracefully and checks the telemetry trace is
-# well-formed JSONL covering the load and both queries.
+# well-formed JSONL covering the load, both queries and the flight
+# records.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,12 +19,14 @@ cd "$(dirname "$0")/.."
 BIN=${BIN:-./credoserved.smoke}
 LOG=${LOG:-server-smoke.log}
 TRACE=${TRACE:-server-smoke.jsonl}
-rm -f "$LOG" "$TRACE"
+FLIGHT=${FLIGHT:-server-smoke-flight.json}
+rm -f "$LOG" "$TRACE" "$FLIGHT"
 
 go build -o "$BIN" ./cmd/credoserved
 
 "$BIN" -listen 127.0.0.1:0 -ops 127.0.0.1:0 \
   -load sprinkler=bif:internal/bif/testdata/sprinkler.bif \
+  -flight-slow-ms 0 \
   -trace-out "$TRACE" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
@@ -78,9 +83,39 @@ METRICS=$(curl -fsS "http://$OPS/metrics")
 echo "$METRICS" | grep -q '^credo_serve_queries_total 2$'
 echo "$METRICS" | grep -q '^credo_serve_warm_total 1$'
 echo "$METRICS" | grep -q '^credo_serve_loads_total 1$'
-echo "$METRICS" | grep -q '^credo_serve_batch_flushes 1$'
+echo "$METRICS" | grep -q '^credo_serve_batch_flushes{reason="deadline"} 1$'
 echo "$METRICS" | grep -q '^credo_serve_batch_occupancy 1$'
 echo "ops sidecar OK"
+
+# Latency histograms: both queries land in the labelled log buckets
+# (one batched cold, one solo warm — the per-family counts sum to 2),
+# the quantile gauges render, and the span stages fed their histograms.
+echo "$METRICS" | grep -q '^credo_serve_latency_seconds_bucket{'
+[ "$(echo "$METRICS" | awk -F' ' '/^credo_serve_latency_seconds_count\{/ {sum += $2} END {print sum+0}')" = 2 ]
+echo "$METRICS" | grep -q 'credo_serve_latency_quantile_seconds{.*q="0.99"}'
+echo "$METRICS" | grep -q '^credo_serve_stage_seconds_bucket{stage="decode"'
+echo "$METRICS" | grep -q '^credo_serve_batch_deadline_occupancy_bucket'
+curl -fsS "http://$OPS/debug/vars" \
+  | jq -e '.["credo.telemetry"]
+      | .serve_latency_count == 2
+        and .serve_latency_p50 > 0
+        and .serve_latency_p95 >= .serve_latency_p50
+        and .serve_latency_p99 >= .serve_latency_p95' >/dev/null
+echo "latency histograms OK"
+
+# Flight recorder: -flight-slow-ms 0 flags every traced request, so
+# three traces were captured with their span trees — the cold query,
+# the warm query, and the bad-evidence request (its trace ends at the
+# decode error; the engine=bogus request fails before a trace starts).
+# The dump is kept as a CI artifact.
+curl -fsS "http://$OPS/debug/flight" >"$FLIGHT"
+jq -e '.captured == 3
+    and (.records | length) == 3
+    and all(.records[]; .reasons | index("slow") != null)
+    and all(.records[]; (.spans | length) > 0)
+    and any(.records[].spans[]; .name == "decode")
+    and all(.records[].spans[]; .end_ns >= .start_ns)' "$FLIGHT" >/dev/null
+echo "flight recorder OK"
 
 # Graceful shutdown on SIGTERM.
 kill "$PID"
@@ -88,12 +123,18 @@ wait "$PID"
 trap - EXIT
 
 # The trace is valid JSONL and frames the session: the startup load,
-# both queries (the second warm), and the batcher's single flush.
+# both queries (the second warm, both labelled with their impl), the
+# batcher's single deadline flush, and the flight records interleaved
+# as kind=flight lines.
 jq -es 'length > 0
     and any(.[]; .engine == "serve.load")
     and ([.[] | select(.engine == "serve.query")] | length) == 2
     and any(.[]; .engine == "serve.query" and .warm == true)
-    and ([.[] | select(.engine == "serve.batch")] | length) == 1' "$TRACE" >/dev/null
+    and all(.[] | select(.engine == "serve.query"); .impl | length > 0)
+    and ([.[] | select(.engine == "serve.batch")] | length) == 1
+    and all(.[] | select(.engine == "serve.batch"); .flush == "deadline")
+    and ([.[] | select(.kind == "flight")] | length) == 3
+    and all(.[] | select(.kind == "flight"); .spans | length > 0)' "$TRACE" >/dev/null
 echo "telemetry trace OK"
 
 echo "server smoke OK"
