@@ -60,6 +60,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzParallelRead -fuzztime=20s ./internal/mtxbp/
 	$(GO) test -fuzz=FuzzDampedKernel -fuzztime=20s ./internal/kernel/
 	$(GO) test -fuzz=FuzzQueryDecode -fuzztime=20s ./internal/serve/
+	$(GO) test -fuzz=FuzzBatchLaneEquivalence -fuzztime=20s ./internal/bp/
+	$(GO) test -fuzz=FuzzDeltaApply -fuzztime=20s ./internal/enginetest/
 
 # The CI bench-smoke job: one iteration of every benchmark, output kept,
 # plus the kernel micro-benchmarks with allocation stats and the
@@ -72,6 +74,7 @@ bench:
 	$(GO) run ./cmd/credobench -exp ingest -tier ci -o ingest.txt
 	$(GO) run ./cmd/credobench -exp robust -tier ci -o robust.txt
 	$(GO) run ./cmd/credobench -exp batch -tier ci -o batch.txt
+	$(GO) run ./cmd/credobench -exp delta -tier ci -o delta.txt
 
 # The CI telemetry-smoke step: run the sprinkler example with the probe
 # layer on and assert the JSONL event stream is well-formed and framed.
@@ -97,7 +100,7 @@ profile:
 # Remove every artifact the smoke and bench targets leave behind.
 clean:
 	rm -f bench.txt kernel-bench.txt probe-bench.txt trace-bench.txt \
-		ingest.txt robust.txt batch.txt \
+		ingest.txt robust.txt batch.txt delta.txt \
 		results_ci.txt coverage.out \
 		telemetry.jsonl server-smoke.jsonl server-smoke.log \
 		server-smoke-flight.json credoserved.smoke \

@@ -196,8 +196,8 @@ func TestBuildDataset(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 27 {
-		t.Fatalf("registry has %d experiments, want 27", len(exps))
+	if len(exps) != 28 {
+		t.Fatalf("registry has %d experiments, want 28", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {

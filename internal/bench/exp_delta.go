@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/enginetest"
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// The delta study (EXPERIMENTS.md X8): incremental re-convergence on a
+// mutating graph vs paying a full re-run after every mutation batch.
+// Seeded mutation streams — the gen.Mutations mix of edge adds, prior
+// drifts, evidence arrivals and retractions — replay against an
+// already-converged graph in batches; after each batch the delta path
+// re-converges from the frontier TakeDeltaSeeds hands back (changed
+// nodes plus out-neighbours), while the control clones the same mutated
+// graph, resets beliefs and converges cold. The expectation under test:
+// delta re-convergence cost scales with the perturbed frontier, not
+// graph size, so at bounded churn it applies strictly fewer belief
+// updates than the rebuild-and-rerun a static-graph system is forced
+// into.
+
+// deltaStats aggregates one (graph, churn, engine) stream.
+type deltaStats struct {
+	mutsPerBatch int
+	batches      int // batches that produced a non-empty frontier
+	frontier     int64
+	deltaUpd     int64
+	coldUpd      int64
+	deltaWall    time.Duration
+	coldWall     time.Duration
+	deltaConv    int
+	coldConv     int
+	maxDiff      float64 // worst delta-vs-cold fixpoint L1 gap across batches
+}
+
+// runDeltaStream converges base cold, then replays muts in batches,
+// re-converging from the delta frontier after each and racing a cold
+// full run of the identically-mutated clone as the control.
+func runDeltaStream(base *graph.Graph, eng enginetest.DeltaEngine, o bp.Options, muts []gen.Mutation, batches int) (deltaStats, error) {
+	var st deltaStats
+	g := base.Clone()
+	if res := eng.Run(g, o, nil); !res.Converged {
+		return st, fmt.Errorf("bench: %s initial cold run did not converge (delta %g)", eng.Name, res.FinalDelta)
+	}
+	per := (len(muts) + batches - 1) / batches
+	st.mutsPerBatch = per
+	for at := 0; at < len(muts); at += per {
+		end := at + per
+		if end > len(muts) {
+			end = len(muts)
+		}
+		for _, m := range muts[at:end] {
+			if err := m.Apply(g); err != nil {
+				return st, fmt.Errorf("bench: apply %s: %w", m.Kind, err)
+			}
+		}
+		seeds := g.TakeDeltaSeeds()
+		if len(seeds) == 0 {
+			continue
+		}
+		st.batches++
+		st.frontier += int64(len(seeds))
+
+		start := time.Now()
+		res := eng.Run(g, o, seeds)
+		st.deltaWall += time.Since(start)
+		st.deltaUpd += res.Ops.NodesProcessed
+		if res.Converged {
+			st.deltaConv++
+		}
+
+		// The control: what a static-graph deployment pays for the same
+		// batch — rebuild (here: clone, identical numerics) and re-run
+		// from priors.
+		c := g.Clone()
+		c.ResetBeliefs()
+		start = time.Now()
+		cres := eng.Run(c, o, nil)
+		st.coldWall += time.Since(start)
+		st.coldUpd += cres.Ops.NodesProcessed
+		if cres.Converged {
+			st.coldConv++
+		}
+		if d := float64(enginetest.MaxBeliefDiff(c, g)); d > st.maxDiff {
+			st.maxDiff = d
+		}
+	}
+	return st, nil
+}
+
+// RunDeltaStudy is the -exp delta experiment: dynamic-graph incremental
+// re-convergence vs full re-run across mutation churn rates. The
+// deterministic table (sequential residual engine, identical run to
+// run) carries the study's claim — the delta/cold update ratio stays
+// below 1x through 25% churn — and the L1 column tracks fixpoint
+// fidelity (on loopy graphs heavy churn can leave the warm path in a
+// different basin than a cold start; drift past the cross-engine
+// tolerance at high churn is a finding, not a failure). The measured
+// table adds wall clock and the parallel delta engines.
+func RunDeltaStudy(w io.Writer, cfg Config) error {
+	type deltaCase struct {
+		name string
+		g    *graph.Graph
+	}
+	var cases []deltaCase
+	side := 32
+	for side*side > cfg.Tier.MaxNodes {
+		side /= 2
+	}
+	grid, err := gen.Grid(side, side, gen.Config{Seed: cfg.Seed, States: 2, Shared: true, Keep: 0.6})
+	if err != nil {
+		return err
+	}
+	cases = append(cases, deltaCase{fmt.Sprintf("grid%dx%d", side, side), grid})
+	spec, ok := specByAbbrev("GO")
+	if !ok {
+		return fmt.Errorf("bench: missing spec GO")
+	}
+	social, err := spec.Generate(2, cfg.Tier, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	cases = append(cases, deltaCase{spec.Abbrev, social})
+
+	fmt.Fprintf(w, "delta — incremental re-convergence vs full re-run across mutation churn (tier %s, %d workers)\n",
+		cfg.Tier.Name, cfg.PoolWorkers)
+	fmt.Fprintln(w, "mutation mix: ~25% edge adds, 35% prior drifts, 25% evidence arrivals, 15% retractions")
+	fmt.Fprintln(w, "churn = mutations per batch as a percentage of nodes; 4 batches per stream")
+
+	const batches = 4
+	churns := []int{1, 5, 25}
+	engines := enginetest.DeltaEngines(cfg.PoolWorkers)
+	type row struct {
+		name     string
+		churnPct int
+		nodes    int
+		stats    map[string]deltaStats
+	}
+	var rows []row
+	for _, dc := range cases {
+		n := dc.g.NumNodes
+		for _, churn := range churns {
+			per := n * churn / 100
+			if per < 1 {
+				per = 1
+			}
+			muts := gen.Mutations(dc.g, per*batches, gen.Config{Seed: cfg.Seed + int64(churn)})
+			r := row{name: dc.name, churnPct: churn, nodes: n, stats: make(map[string]deltaStats)}
+			for _, eng := range engines {
+				st, err := runDeltaStream(dc.g, eng, cfg.Options, muts, batches)
+				if err != nil {
+					return fmt.Errorf("%s churn %d%%: %w", dc.name, churn, err)
+				}
+				r.stats[eng.Name] = st
+			}
+			rows = append(rows, r)
+		}
+	}
+
+	fmt.Fprintf(w, "\nsequential residual engine, deterministic (cold = clone, reset, full re-run per batch):\n")
+	fmt.Fprintf(w, "%-10s %6s %8s %8s %10s %12s %12s %11s %6s %9s\n",
+		"graph", "churn", "nodes", "muts/b", "frontier/b", "delta upd/b", "cold upd/b", "delta/cold", "conv", "maxL1")
+	fewer, within := 0, 0
+	for _, r := range rows {
+		st := r.stats["residual"]
+		b := int64(st.batches)
+		if b == 0 {
+			b = 1
+		}
+		if st.deltaUpd < st.coldUpd {
+			fewer++
+		}
+		if st.maxDiff <= float64(enginetest.DefaultTol) {
+			within++
+		}
+		fmt.Fprintf(w, "%-10s %5d%% %8d %8d %10d %12d %12d %11s %3d/%-2d %9.2g\n",
+			r.name, r.churnPct, r.nodes, st.mutsPerBatch,
+			st.frontier/b, st.deltaUpd/b, st.coldUpd/b,
+			fmtRatio(float64(st.deltaUpd)/float64(st.coldUpd)),
+			st.deltaConv, st.batches, st.maxDiff)
+	}
+	fmt.Fprintf(w, "delta strictly fewer updates than full re-run: %d/%d rows; within cross-engine tolerance (%.2g): %d/%d\n",
+		fewer, len(rows), float64(enginetest.DefaultTol), within, len(rows))
+
+	fmt.Fprintln(w, "\nmeasured wall-clock on this host (varies run to run; pool and relax are parallel, their update counts vary too):")
+	fmt.Fprintf(w, "%-10s %6s %12s %12s %9s %12s %12s\n",
+		"graph", "churn", "delta/b", "cold/b", "speedup", "pool Δ/b", "relax Δ/b")
+	for _, r := range rows {
+		res := r.stats["residual"]
+		b := time.Duration(res.batches)
+		if b == 0 {
+			b = 1
+		}
+		pool, relax := r.stats["poolbp"], r.stats["relaxbp"]
+		pb, rb := time.Duration(pool.batches), time.Duration(relax.batches)
+		if pb == 0 {
+			pb = 1
+		}
+		if rb == 0 {
+			rb = 1
+		}
+		fmt.Fprintf(w, "%-10s %5d%% %12s %12s %9s %12s %12s\n",
+			r.name, r.churnPct,
+			fmtDur(res.deltaWall/b), fmtDur(res.coldWall/b),
+			fmtRatio(float64(res.coldWall)/float64(res.deltaWall)),
+			fmtDur(pool.deltaWall/pb), fmtDur(relax.deltaWall/rb))
+	}
+	return nil
+}

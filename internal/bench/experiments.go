@@ -48,6 +48,7 @@ func Experiments() []Experiment {
 		{ID: "robust", Title: "convergence robustness: update-rule variants on the adversarial corpus", Run: RunRobust},
 		{ID: "batch", Title: "cross-query batched inference: K solo runs vs one K-lane SoA batch", Run: RunBatchStudy},
 		{ID: "serve", Title: "serving warm starts and batched throughput across evidence churn", Run: RunServeStudy},
+		{ID: "delta", Title: "dynamic graphs: delta-BP incremental re-convergence vs full re-run", Run: RunDeltaStudy},
 	}
 }
 

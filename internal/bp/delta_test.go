@@ -1,0 +1,174 @@
+package bp
+
+import (
+	"testing"
+
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// Delta-path scheduling tests: RunResidualFrom driven by the dynamic
+// layer's TakeDeltaSeeds frontier. The invariant under test is the
+// no-re-enqueue discipline on the delta path — the RunResidual
+// regression class of the early warm-start work, now across the
+// convergence variants: a mutation mid-stream must seed only work that
+// is genuinely above the threshold, and a re-convergence must never
+// strand a node short of the fixpoint (the damped engines' failure mode
+// before the self-re-enqueue fix).
+
+func deltaTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Synthetic(150, 450, gen.Config{Seed: 21, States: 2, Shared: true, Keep: 0.6})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return g
+}
+
+func variantOptions() map[string]Options {
+	return map[string]Options{
+		"vanilla":  {},
+		"damped":   {Variant: kernel.VariantDamped},
+		"circular": {Variant: kernel.VariantCircular},
+	}
+}
+
+// TestDeltaIdempotentMutationSchedulesNothing pins the sharp edge of the
+// no-re-enqueue rule: a mutation that does not move any belief (a prior
+// rewritten to its current value) produces a seed frontier whose
+// residuals are all below the threshold, so the delta run applies zero
+// updates — converged nodes stay out of the queue under every variant.
+func TestDeltaIdempotentMutationSchedulesNothing(t *testing.T) {
+	for name, o := range variantOptions() {
+		t.Run(name, func(t *testing.T) {
+			g := deltaTestGraph(t)
+			if res := RunResidual(g, o); !res.Converged {
+				t.Fatalf("cold run did not converge")
+			}
+			// Rewrite node 7's prior with its exact current value.
+			same := append([]float32(nil), g.Prior(7)...)
+			if err := g.UpdatePrior(7, same); err != nil {
+				t.Fatalf("UpdatePrior: %v", err)
+			}
+			seeds := g.TakeDeltaSeeds()
+			if len(seeds) == 0 {
+				t.Fatal("no seeds for a prior update")
+			}
+			res := RunResidualFrom(g, o, seeds)
+			if !res.Converged {
+				t.Fatalf("no-op delta run did not converge")
+			}
+			if res.Ops.NodesProcessed != 0 {
+				t.Errorf("no-op mutation applied %d updates, want 0", res.Ops.NodesProcessed)
+			}
+			if res.Ops.QueuePushes != 0 {
+				t.Errorf("no-op mutation pushed %d queue entries, want 0", res.Ops.QueuePushes)
+			}
+		})
+	}
+}
+
+// TestDeltaMutationStaysLocal verifies that a single local mutation
+// re-converges with a small fraction of a cold run's updates under every
+// variant: the frontier spreads only as far as residuals stay above the
+// threshold.
+func TestDeltaMutationStaysLocal(t *testing.T) {
+	for name, o := range variantOptions() {
+		t.Run(name, func(t *testing.T) {
+			g := deltaTestGraph(t)
+			cold := RunResidual(g, o)
+			if !cold.Converged {
+				t.Fatalf("cold run did not converge")
+			}
+			if err := g.SetEvidence(3, 1); err != nil {
+				t.Fatalf("SetEvidence: %v", err)
+			}
+			res := RunResidualFrom(g, o, g.TakeDeltaSeeds())
+			if !res.Converged {
+				t.Fatalf("delta run did not converge (delta %g)", res.FinalDelta)
+			}
+			if res.Ops.NodesProcessed == 0 {
+				t.Fatal("evidence mutation applied no updates")
+			}
+			if res.Ops.NodesProcessed*2 >= cold.Ops.NodesProcessed {
+				t.Errorf("delta run applied %d updates, cold run %d — not local", res.Ops.NodesProcessed, cold.Ops.NodesProcessed)
+			}
+		})
+	}
+}
+
+// TestDampedDeltaReachesFixpoint is the regression test for the damped
+// self-re-enqueue fix: a large prior swing on one node whose neighbours
+// barely move must still be carried all the way to the fixpoint, not
+// stranded d·gap short of it. Before the fix, the single seed was popped
+// once, moved (1−d) of the way, and — its neighbours staying below the
+// threshold — was never re-enqueued.
+func TestDampedDeltaReachesFixpoint(t *testing.T) {
+	g := deltaTestGraph(t)
+	o := Options{Variant: kernel.VariantDamped}
+	if res := RunResidual(g, o); !res.Converged {
+		t.Fatalf("cold run did not converge")
+	}
+	if err := g.UpdatePrior(11, []float32{0.95, 0.05}); err != nil {
+		t.Fatalf("UpdatePrior: %v", err)
+	}
+	if res := RunResidualFrom(g, o, g.TakeDeltaSeeds()); !res.Converged {
+		t.Fatalf("delta run did not converge")
+	}
+
+	// Oracle: the same damped engine, cold, on a clone of the mutated
+	// graph restarted from priors.
+	oracle := g.Clone()
+	oracle.ResetBeliefs()
+	if res := RunResidual(oracle, o); !res.Converged {
+		t.Fatalf("oracle run did not converge")
+	}
+	var worst float32
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		if d := graph.L1Diff(g.Belief(v), oracle.Belief(v)); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2e-2 {
+		t.Errorf("damped delta fixpoint off by %g — node stranded short of the fixpoint", worst)
+	}
+}
+
+// TestDeltaStructuralEdgeAddSchedulesDestination covers the structural
+// path end to end on the residual engine: adding an edge re-converges
+// the destination's region, and the merged graph's fixpoint matches a
+// cold run on the same graph.
+func TestDeltaStructuralEdgeAddSchedulesDestination(t *testing.T) {
+	for name, o := range variantOptions() {
+		t.Run(name, func(t *testing.T) {
+			g := deltaTestGraph(t)
+			if res := RunResidual(g, o); !res.Converged {
+				t.Fatalf("cold run did not converge")
+			}
+			// Strengthen node 9's pull on node 42 with a fresh edge (shared
+			// matrix mode: no per-edge matrix).
+			if err := g.AddEdgeDelta(9, 42, nil); err != nil {
+				t.Fatalf("AddEdgeDelta: %v", err)
+			}
+			seeds := g.TakeDeltaSeeds()
+			if res := RunResidualFrom(g, o, seeds); !res.Converged {
+				t.Fatalf("delta run did not converge")
+			}
+			oracle := g.Clone()
+			oracle.ResetBeliefs()
+			if res := RunResidual(oracle, o); !res.Converged {
+				t.Fatalf("oracle run did not converge")
+			}
+			var worst float32
+			for v := int32(0); v < int32(g.NumNodes); v++ {
+				if d := graph.L1Diff(g.Belief(v), oracle.Belief(v)); d > worst {
+					worst = d
+				}
+			}
+			if worst > 2e-2 {
+				t.Errorf("delta fixpoint off by %g after structural add", worst)
+			}
+		})
+	}
+}

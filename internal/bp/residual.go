@@ -119,10 +119,28 @@ func runResidual(g *graph.Graph, opts Options, sc *runScratch, seeds *[]int32) R
 		// Apply the update.
 		residualCandidate(g, &k, sc, &res, v, cand)
 		b := g.Belief(v)
+		applied := graph.L1Diff(cand, b)
 		copy(b, cand)
 		res.Ops.NodesProcessed++
 		res.Ops.MemStores += int64(s)
 		updates++
+
+		// A damped candidate moves the belief only (1−d) of the way to the
+		// recombination, so with unchanged parents the node's next residual
+		// is exactly d·applied — the node must re-enter the queue at that
+		// estimate or it is stranded d·gap short of the fixpoint whenever
+		// its neighbours stay sub-threshold (a cold start hides this behind
+		// constant neighbour refreshes; a warm start with one large local
+		// perturbation does not). The estimate only orders work: the pop
+		// recomputes the candidate from live state, and sub-threshold
+		// estimates stay out of the queue, preserving the no-re-enqueue
+		// discipline for converged nodes.
+		if d := opts.Damping; d > 0 {
+			if nr := d * applied; nr > opts.QueueThreshold {
+				pq.update(v, nr)
+				res.Ops.QueuePushes++
+			}
+		}
 
 		// Refresh the residuals of the successors only. A successor whose
 		// refreshed residual sits at or below the element threshold is

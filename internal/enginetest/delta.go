@@ -1,0 +1,229 @@
+package enginetest
+
+import (
+	"fmt"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/poolbp"
+	"credo/internal/relaxbp"
+)
+
+// This file is the dynamic-graph differential harness: delta-BP — apply
+// a mutation stream to an already-converged graph and re-converge from
+// only the delta seed frontier — against the one oracle that cannot be
+// fooled by a delta-layer bug, a cold run on an independently rebuilt
+// graph carrying the same mutations. The rebuild goes through
+// graph.Builder and Observe only, never the delta APIs, so a defect in
+// the overlay merge, the frontier computation or the retraction
+// bookkeeping shows up as a belief divergence rather than cancelling
+// out.
+
+// DeltaEngine is one row of the delta differential table: an engine that
+// can re-converge a mutated graph from its current beliefs. Run with nil
+// seeds is a cold full run; with a non-nil seed slice it must restrict
+// initial scheduling to those seeds (the sweep engines instead resume
+// from current beliefs, which subsumes any seed set).
+type DeltaEngine struct {
+	Name string
+	Run  func(g *graph.Graph, o bp.Options, seeds []int32) bp.Result
+}
+
+// DeltaEngines returns the engines supporting delta re-convergence: the
+// node-paradigm engines that schedule from beliefs. The sequential
+// residual and relaxed schedulers take the frontier directly; the pool's
+// Jacobi sweeps restart from the mutated beliefs, so a near-fixpoint
+// start converges in a handful of cheap sweeps without explicit seeds.
+// Edge-paradigm engines are excluded by design: merged overlay edges
+// start with uniform messages, which only the belief-driven engines
+// ignore.
+func DeltaEngines(workers int) []DeltaEngine {
+	return []DeltaEngine{
+		{Name: "residual", Run: func(g *graph.Graph, o bp.Options, seeds []int32) bp.Result {
+			return bp.RunResidualFrom(g, o, seeds)
+		}},
+		{Name: "poolbp", Run: func(g *graph.Graph, o bp.Options, seeds []int32) bp.Result {
+			// WorkQueue turns on the pool's active-list frontier — the sweep
+			// analogue of seed scheduling: only nodes whose inputs moved stay
+			// active, so a near-fixpoint warm start drains in a sweep or two.
+			// CheckEvery 1 keeps the batched convergence check from rounding
+			// those short runs up to the batching quantum.
+			o.WorkQueue = true
+			return poolbp.RunNode(g, poolbp.Options{Workers: workers, CheckEvery: 1, Options: o})
+		}},
+		{Name: "relaxbp", Run: func(g *graph.Graph, o bp.Options, seeds []int32) bp.Result {
+			return relaxbp.RunFrom(g, relaxbp.Options{Workers: workers, Options: o}, seeds)
+		}},
+	}
+}
+
+// RebuildMutated constructs the mutated graph from scratch: a fresh
+// build of the base case replayed through plain Builder construction —
+// base edges plus streamed edge adds in order, final priors, final
+// clamps. The result is what a cold system handed the post-mutation
+// world would build, with no delta machinery involved.
+func RebuildMutated(build func() (*graph.Graph, error), muts []gen.Mutation) (*graph.Graph, error) {
+	base, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay the stream against a flat model of the final node state.
+	// A prior drift always lands in the declared prior — on a clamped
+	// node the delta layer parks it in the retraction slot, and either
+	// the clamp survives to the end (declared prior irrelevant: Observe
+	// overwrites it) or a retraction restores it (declared prior wins).
+	prior := append([]float32(nil), base.Priors...)
+	clamp := make([]int, base.NumNodes)
+	for v := 0; v < base.NumNodes; v++ {
+		clamp[v] = -1
+		if base.Observed[v] {
+			for s, p := range base.Prior(int32(v)) {
+				if p == 1 {
+					clamp[v] = s
+				}
+			}
+		}
+	}
+	var addSrc, addDst []int32
+	var addMat []*graph.JointMatrix
+	for _, m := range muts {
+		switch m.Kind {
+		case gen.MutAddEdge:
+			addSrc = append(addSrc, m.Src)
+			addDst = append(addDst, m.Dst)
+			addMat = append(addMat, m.Mat)
+		case gen.MutPrior:
+			p := prior[int(m.Node)*base.States : (int(m.Node)+1)*base.States]
+			copy(p, m.Prior)
+			graph.Normalize(p)
+		case gen.MutEvidence:
+			clamp[m.Node] = m.State
+		case gen.MutRetract:
+			clamp[m.Node] = -1
+		}
+	}
+
+	b := graph.NewBuilder(base.States)
+	if base.Shared != nil {
+		m := *base.Shared
+		m.Data = append([]float32(nil), base.Shared.Data...)
+		m.T = nil
+		if err := b.SetShared(m); err != nil {
+			return nil, err
+		}
+	}
+	for v := 0; v < base.NumNodes; v++ {
+		name := ""
+		if v < len(base.Names) {
+			name = base.Names[v]
+		}
+		if _, err := b.AddNamedNode(name, prior[v*base.States:(v+1)*base.States]); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < base.NumEdges; e++ {
+		var mat *graph.JointMatrix
+		if base.Shared == nil {
+			mat = &base.EdgeMats[e]
+		}
+		if err := b.AddEdge(base.EdgeSrc[e], base.EdgeDst[e], mat); err != nil {
+			return nil, err
+		}
+	}
+	for i := range addSrc {
+		if err := b.AddEdge(addSrc[i], addDst[i], addMat[i]); err != nil {
+			return nil, err
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	for v, s := range clamp {
+		if s >= 0 {
+			if err := g.Observe(int32(v), s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// VerifyDelta drives one delta-BP scenario end to end: build the case,
+// converge cold, replay a seeded mutation stream in batches with a
+// frontier-seeded re-convergence after each batch, and compare the final
+// beliefs against a cold run of the same engine on the independently
+// rebuilt graph. It returns one error per violated invariant. The total
+// belief updates spent across the delta re-convergences are written to
+// deltaUpdates when non-nil (the bench experiment's measurement; the
+// correctness criterion here is fixpoint equality).
+func VerifyDelta(c Case, eng DeltaEngine, o bp.Options, seed int64, nMut, batches int, deltaUpdates *int64) []error {
+	g, err := c.Build()
+	if err != nil {
+		return []error{fmt.Errorf("%s: build: %w", c.Name, err)}
+	}
+	tol := c.Tol
+	if tol == 0 {
+		tol = DefaultTol
+	}
+	var errs []error
+	if res := eng.Run(g, o, nil); !res.Converged {
+		return append(errs, fmt.Errorf("%s/%s: initial cold run did not converge (delta %g)", c.Name, eng.Name, res.FinalDelta))
+	}
+
+	muts := gen.Mutations(g, nMut, gen.Config{Seed: seed})
+	if batches < 1 {
+		batches = 1
+	}
+	per := (len(muts) + batches - 1) / batches
+	for start := 0; start < len(muts); start += per {
+		end := start + per
+		if end > len(muts) {
+			end = len(muts)
+		}
+		for _, m := range muts[start:end] {
+			if err := m.Apply(g); err != nil {
+				return append(errs, fmt.Errorf("%s/%s: apply %s: %w", c.Name, eng.Name, m.Kind, err))
+			}
+		}
+		seeds := g.TakeDeltaSeeds()
+		if len(seeds) == 0 {
+			continue
+		}
+		res := eng.Run(g, o, seeds)
+		if deltaUpdates != nil {
+			*deltaUpdates += res.Ops.NodesProcessed
+		}
+		if !res.Converged {
+			// Competence check before blaming the delta layer: synchronous
+			// sweep engines can limit-cycle on particular mutated graphs
+			// from any start (the corpus's known oscillation behavior). The
+			// delta path is only at fault if a cold run on the very same
+			// mutated graph converges where the warm-seeded one did not.
+			probe := g.Clone()
+			probe.ResetBeliefs()
+			if cres := eng.Run(probe, o, nil); cres.Converged {
+				errs = append(errs, fmt.Errorf("%s/%s: delta re-convergence from %d seeds did not converge (delta %g) but a cold run does",
+					c.Name, eng.Name, len(seeds), res.FinalDelta))
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("%s/%s: mutated graph invalid: %w", c.Name, eng.Name, err))
+	}
+
+	oracle, err := RebuildMutated(c.Build, muts)
+	if err != nil {
+		return append(errs, fmt.Errorf("%s/%s: rebuild: %w", c.Name, eng.Name, err))
+	}
+	if res := eng.Run(oracle, o, nil); !res.Converged {
+		errs = append(errs, fmt.Errorf("%s/%s: rebuilt-graph cold run did not converge (delta %g)", c.Name, eng.Name, res.FinalDelta))
+	}
+	if d := MaxBeliefDiff(oracle, g); d > tol {
+		errs = append(errs, fmt.Errorf("%s/%s: delta fixpoint diverges from the rebuilt-cold oracle by %g (tolerance %g)",
+			c.Name, eng.Name, d, tol))
+	}
+	return errs
+}

@@ -1,0 +1,139 @@
+package enginetest
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/kernel"
+)
+
+// mutsForCase regenerates the exact mutation stream VerifyDelta replays
+// for a case and seed: gen.Mutations is deterministic given the built
+// graph's shape and the seed.
+func mutsForCase(t *testing.T, c Case, seed int64, n int) []gen.Mutation {
+	t.Helper()
+	g, err := c.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return gen.Mutations(g, n, gen.Config{Seed: seed})
+}
+
+// deltaCorpus is the corpus the delta differential runs on: the two real
+// MRFs (one with a build-time clamp, pinning that pre-stream clamps are
+// never retracted), the lattice grid, and two synthetics — shared-matrix
+// and per-edge — generated at weaker coupling than their cross-engine
+// corpus cousins. The delta setting compares a warm-started trajectory
+// (resuming from the pre-mutation fixpoint) against a cold one, which is
+// the maximal update-order freedom loopy BP allows: on the dense
+// strong-coupling synthetics the mutated graphs are demonstrably
+// bistable — a full warm re-run, not just the frontier-seeded one, lands
+// a basin away from the cold run — so, exactly as the package comment
+// prescribes for cross-engine comparison, the corpus here sticks to
+// graphs whose fixpoint stays unique under both histories.
+func deltaCorpus() []Case {
+	var cs []Case
+	for _, c := range Corpus() {
+		switch c.Name {
+		case "sprinkler-mrf", "sprinkler-mrf-observed", "grid-16x16-s2":
+			cs = append(cs, c)
+		}
+	}
+	return append(cs,
+		genCase("delta-synthetic-200x600-s2", DefaultTol, func() (*graph.Graph, error) {
+			return gen.Synthetic(200, 600, gen.Config{Seed: 33, States: 2, Shared: true, Keep: 0.6})
+		}),
+		genCase("delta-synthetic-300x900-s3", DefaultTol, func() (*graph.Graph, error) {
+			return gen.Synthetic(300, 900, gen.Config{Seed: 7, States: 3, Keep: 0.4})
+		}),
+	)
+}
+
+// deltaVariants pairs each convergence variant with options resolved the
+// way the solver stack resolves them.
+func deltaVariants() []bp.Options {
+	return []bp.Options{
+		{},
+		{Variant: kernel.VariantDamped},
+		{Variant: kernel.VariantCircular},
+	}
+}
+
+// TestDeltaMatchesRebuiltColdOracle is the acceptance pin of the dynamic
+// layer: for every delta-capable engine × convergence variant × corpus
+// case, a seeded mutation stream applied through the delta APIs and
+// re-converged from only the seed frontier must land on the same
+// fixpoint as a cold run on the independently rebuilt mutated graph.
+func TestDeltaMatchesRebuiltColdOracle(t *testing.T) {
+	for _, c := range deltaCorpus() {
+		for _, eng := range DeltaEngines(4) {
+			for _, o := range deltaVariants() {
+				o := o.ResolveVariant()
+				name := c.Name + "/" + eng.Name + "/" + o.Variant.String()
+				t.Run(name, func(t *testing.T) {
+					for _, err := range VerifyDelta(c, eng, o, 1234, 24, 4, nil) {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDeltaSpendsFewerUpdatesThanCold is the economy half of the
+// acceptance criterion, at test scale: across a batched mutation stream,
+// the delta re-convergences must spend strictly fewer belief updates in
+// total than the regime they replace — re-running the engine cold (reset
+// beliefs, schedule everything) after every batch. The full churn-sweep
+// measurement lives in credobench -exp delta.
+func TestDeltaSpendsFewerUpdatesThanCold(t *testing.T) {
+	c := deltaCorpus()[3] // delta-synthetic-200x600-s2
+	const seed, nMut, batches = 99, 20, 4
+	for _, eng := range DeltaEngines(4) {
+		t.Run(eng.Name, func(t *testing.T) {
+			g, err := c.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if res := eng.Run(g, bp.Options{}, nil); !res.Converged {
+				t.Fatalf("initial cold run did not converge")
+			}
+			muts := gen.Mutations(g, nMut, gen.Config{Seed: seed})
+			per := (len(muts) + batches - 1) / batches
+			var deltaUpdates, coldUpdates int64
+			for start := 0; start < len(muts); start += per {
+				end := start + per
+				if end > len(muts) {
+					end = len(muts)
+				}
+				for _, m := range muts[start:end] {
+					if err := m.Apply(g); err != nil {
+						t.Fatalf("apply %s: %v", m.Kind, err)
+					}
+				}
+				seeds := g.TakeDeltaSeeds()
+				if len(seeds) == 0 {
+					continue
+				}
+				// What a full re-run would pay for this batch: a cold run on
+				// the same mutated graph, from reset beliefs.
+				cold := g.Clone()
+				cold.ResetBeliefs()
+				coldUpdates += eng.Run(cold, bp.Options{}, nil).Ops.NodesProcessed
+				res := eng.Run(g, bp.Options{}, seeds)
+				deltaUpdates += res.Ops.NodesProcessed
+				if !res.Converged {
+					t.Fatalf("delta re-convergence did not converge")
+				}
+			}
+			if deltaUpdates == 0 {
+				t.Fatal("delta path recorded no updates — the mutation stream was a no-op")
+			}
+			if deltaUpdates >= coldUpdates {
+				t.Errorf("delta spent %d updates, cold re-runs spend %d — no economy", deltaUpdates, coldUpdates)
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+package features_test
+
+import (
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/features"
+	"credo/internal/gen"
+	"credo/internal/graph"
+	"credo/internal/ml"
+)
+
+func TestChurnVectorShape(t *testing.T) {
+	if len(features.ChurnNames()) != features.ChurnCount {
+		t.Fatalf("ChurnNames has %d entries, ChurnCount is %d", len(features.ChurnNames()), features.ChurnCount)
+	}
+	g, err := gen.Synthetic(50, 200, gen.Config{Seed: 1, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := features.ChurnVector(g.Stats(), 10, 3, 25)
+	if len(v) != features.ChurnCount {
+		t.Fatalf("ChurnVector has %d entries, want %d", len(v), features.ChurnCount)
+	}
+	if v[0] != 10.0/50 || v[1] != 25.0/50 || v[2] != 3.0/10 {
+		t.Errorf("fraction features wrong: got %v", v[:3])
+	}
+	// An empty batch must not divide by zero.
+	for i, x := range features.ChurnVector(g.Stats(), 0, 0, 0) {
+		if x != x || (i < 3 && x != 0) {
+			t.Errorf("empty-batch feature %s = %g", features.ChurnNames()[i], x)
+		}
+	}
+}
+
+func TestRecommendDelta(t *testing.T) {
+	g, err := gen.Synthetic(100, 300, gen.Config{Seed: 2, States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := g.Stats()
+	if !features.RecommendDelta(md, 10) {
+		t.Error("small frontier not recommended for delta re-convergence")
+	}
+	if features.RecommendDelta(md, md.NumNodes) {
+		t.Error("whole-graph frontier recommended for delta re-convergence")
+	}
+}
+
+// churnSample is one measured mutation batch: its churn vector and
+// whether frontier-seeded re-convergence actually beat the cold re-run
+// on belief updates.
+type churnSample struct {
+	x        []float64
+	deltaWon bool
+	churnPct int
+}
+
+// measureChurn replays seeded mutation streams over a graph at several
+// churn rates, one sample per batch, measuring delta vs cold updates
+// with the sequential residual engine (deterministic, so the labels are
+// stable run to run).
+func measureChurn(t *testing.T, base *graph.Graph, seed int64) []churnSample {
+	t.Helper()
+	var out []churnSample
+	md := base.Stats()
+	for _, churn := range []int{1, 5, 25} {
+		g := base.Clone()
+		if res := bp.RunResidual(g, bp.Options{}); !res.Converged {
+			t.Fatalf("initial cold run did not converge at churn %d%%", churn)
+		}
+		per := g.NumNodes * churn / 100
+		if per < 1 {
+			per = 1
+		}
+		const batches = 3
+		muts := gen.Mutations(g, per*batches, gen.Config{Seed: seed + int64(churn)})
+		for at := 0; at < len(muts); at += per {
+			end := at + per
+			if end > len(muts) {
+				end = len(muts)
+			}
+			structural := 0
+			for _, m := range muts[at:end] {
+				if err := m.Apply(g); err != nil {
+					t.Fatalf("apply %s: %v", m.Kind, err)
+				}
+				if m.Kind == gen.MutAddEdge {
+					structural++
+				}
+			}
+			seeds := g.TakeDeltaSeeds()
+			if len(seeds) == 0 {
+				continue
+			}
+			res := bp.RunResidualFrom(g, bp.Options{}, seeds)
+			cold := g.Clone()
+			cold.ResetBeliefs()
+			cres := bp.RunResidual(cold, bp.Options{})
+			out = append(out, churnSample{
+				x:        features.ChurnVector(md, end-at, structural, len(seeds)),
+				deltaWon: res.Ops.NodesProcessed < cres.Ops.NodesProcessed,
+				churnPct: churn,
+			})
+		}
+	}
+	return out
+}
+
+// TestRecommendDeltaMatchesMeasurement ties the rule to its calibration
+// ground truth: on every measured batch at ≤25% churn the delta path
+// must both be recommended (the frontier stays under the share bound)
+// and actually win on belief updates — the same invariant the -exp
+// delta study reports.
+func TestRecommendDeltaMatchesMeasurement(t *testing.T) {
+	grid, err := gen.Grid(16, 16, gen.Config{Seed: 11, States: 2, Shared: true, Keep: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := gen.Synthetic(200, 600, gen.Config{Seed: 12, States: 2, Shared: true, Keep: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*graph.Graph{"grid": grid, "synthetic": syn} {
+		md := g.Stats()
+		for _, s := range measureChurn(t, g, 77) {
+			frontier := int(s.x[1] * float64(md.NumNodes))
+			if !features.RecommendDelta(md, frontier) {
+				t.Errorf("%s churn %d%%: frontier %d of %d nodes not recommended for delta",
+					name, s.churnPct, frontier, md.NumNodes)
+			}
+			if !s.deltaWon {
+				t.Errorf("%s churn %d%%: delta re-convergence did not beat the cold re-run", name, s.churnPct)
+			}
+		}
+	}
+}
+
+// TestChurnClassifierFromMeasurement demonstrates the trained path: a
+// decision tree fit on measured (churn vector, delta-won) pairs must
+// reproduce its training labels. (Small sample, so this is a smoke
+// check of the plumbing, as with the variant classifier — the
+// threshold rule stays the default.)
+func TestChurnClassifierFromMeasurement(t *testing.T) {
+	grid, err := gen.Grid(16, 16, gen.Config{Seed: 11, States: 2, Shared: true, Keep: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := measureChurn(t, grid, 77)
+	if len(samples) < 4 {
+		t.Fatalf("only %d measured batches", len(samples))
+	}
+	var X [][]float64
+	var y []int
+	for _, s := range samples {
+		X = append(X, s.x)
+		label := 0
+		if s.deltaWon {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	tree := &ml.DecisionTree{MaxDepth: 3}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if got := tree.Predict(X[i]); got != y[i] {
+			t.Errorf("training batch %d: tree predicts %d, labeled %d", i, got, y[i])
+		}
+	}
+}

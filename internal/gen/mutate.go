@@ -1,0 +1,175 @@
+// Seeded streaming-mutation generation: the dynamic-graph counterpart of
+// the topology generators. A mutation stream stands in for the paper's
+// motivating workloads — rumor and malware propagation over networks that
+// keep changing while inference runs: contacts appear (edge adds), node
+// reputations drift (prior updates), and observations arrive and are
+// withdrawn (evidence set/retract).
+//
+// Like every generator in this package, a stream is deterministic for a
+// given seed, so the delta-vs-rebuild differential harness, the fuzzer
+// and the credobench delta experiment all replay identical histories.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"credo/internal/graph"
+)
+
+// MutationKind discriminates the four delta operations of graph's
+// dynamic layer.
+type MutationKind uint8
+
+const (
+	// MutAddEdge appends a directed edge via Graph.AddEdgeDelta.
+	MutAddEdge MutationKind = iota
+	// MutPrior replaces a node's prior via Graph.UpdatePrior.
+	MutPrior
+	// MutEvidence clamps a node via Graph.SetEvidence.
+	MutEvidence
+	// MutRetract removes a clamp via Graph.RetractEvidence.
+	MutRetract
+)
+
+// String names the kind for reports and fuzz failure messages.
+func (k MutationKind) String() string {
+	switch k {
+	case MutAddEdge:
+		return "add-edge"
+	case MutPrior:
+		return "update-prior"
+	case MutEvidence:
+		return "set-evidence"
+	case MutRetract:
+		return "retract-evidence"
+	}
+	return fmt.Sprintf("mutation(%d)", uint8(k))
+}
+
+// Mutation is one replayable delta operation. Exactly the fields of its
+// kind are meaningful: (Src, Dst, Mat) for MutAddEdge, (Node, Prior) for
+// MutPrior, (Node, State) for MutEvidence, Node for MutRetract.
+type Mutation struct {
+	Kind  MutationKind
+	Src   int32
+	Dst   int32
+	Node  int32
+	State int
+	Prior []float32
+	Mat   *graph.JointMatrix
+}
+
+// Apply replays the mutation onto a built graph through the delta layer.
+func (m Mutation) Apply(g *graph.Graph) error {
+	switch m.Kind {
+	case MutAddEdge:
+		return g.AddEdgeDelta(m.Src, m.Dst, m.Mat)
+	case MutPrior:
+		return g.UpdatePrior(m.Node, m.Prior)
+	case MutEvidence:
+		return g.SetEvidence(m.Node, m.State)
+	case MutRetract:
+		return g.RetractEvidence(m.Node)
+	}
+	return fmt.Errorf("gen: unknown mutation kind %d", m.Kind)
+}
+
+// Mutations generates a deterministic stream of n mutations, every one
+// valid against g's shape at its point in the stream: edge adds respect
+// the graph's matrix mode, evidence only lands on currently-unclamped
+// nodes, and retractions only target clamps the stream itself placed
+// (the delta layer cannot restore a pre-stream clamp's prior). The mix
+// is roughly 25% edge adds, 35% prior drifts, 25% evidence arrivals and
+// 15% retractions, degrading gracefully on graphs too saturated for a
+// drawn kind (a retraction with nothing to retract becomes a prior
+// drift). cfg contributes Seed, Keep (edge-matrix coupling) and nothing
+// else; States comes from the graph.
+func Mutations(g *graph.Graph, n int, cfg Config) []Mutation {
+	cfg.States = g.States
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nn := int32(g.NumNodes)
+	if nn == 0 {
+		return nil
+	}
+
+	observed := append([]bool(nil), g.Observed...)
+	unobserved := 0
+	for _, o := range observed {
+		if !o {
+			unobserved++
+		}
+	}
+	var retractable []int32
+
+	pickUnobserved := func() int32 {
+		for {
+			v := int32(rng.Intn(int(nn)))
+			if !observed[v] {
+				return v
+			}
+		}
+	}
+
+	muts := make([]Mutation, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		var kind MutationKind
+		switch {
+		case r < 0.25:
+			kind = MutAddEdge
+		case r < 0.60:
+			kind = MutPrior
+		case r < 0.85:
+			kind = MutEvidence
+		default:
+			kind = MutRetract
+		}
+		// Degrade saturated draws: no clamps to lift, or so few free
+		// nodes left that clamping another would freeze the graph.
+		if kind == MutRetract && len(retractable) == 0 {
+			kind = MutPrior
+		}
+		if kind == MutEvidence && unobserved <= 2 {
+			kind = MutPrior
+		}
+
+		var m Mutation
+		switch kind {
+		case MutAddEdge:
+			src := int32(rng.Intn(int(nn)))
+			dst := int32(rng.Intn(int(nn)))
+			if nn > 1 {
+				for dst == src {
+					dst = int32(rng.Intn(int(nn)))
+				}
+			}
+			var mat *graph.JointMatrix
+			if !g.SharedMatrix() {
+				jm := RandomJointMatrix(rng, g.States, cfg.Keep)
+				mat = &jm
+			}
+			m = Mutation{Kind: MutAddEdge, Src: src, Dst: dst, Mat: mat}
+		case MutPrior:
+			p := make([]float32, g.States)
+			RandomDistribution(rng, p)
+			m = Mutation{Kind: MutPrior, Node: int32(rng.Intn(int(nn))), Prior: p}
+		case MutEvidence:
+			v := pickUnobserved()
+			m = Mutation{Kind: MutEvidence, Node: v, State: rng.Intn(g.States)}
+			observed[v] = true
+			unobserved--
+			retractable = append(retractable, v)
+		case MutRetract:
+			k := rng.Intn(len(retractable))
+			v := retractable[k]
+			retractable = append(retractable[:k], retractable[k+1:]...)
+			m = Mutation{Kind: MutRetract, Node: v}
+			observed[v] = false
+			unobserved++
+		}
+		muts = append(muts, m)
+	}
+	return muts
+}

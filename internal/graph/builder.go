@@ -39,6 +39,9 @@ func (b *Builder) SetShared(m JointMatrix) error {
 	if int(m.Rows) != b.states || int(m.Cols) != b.states {
 		return fmt.Errorf("graph: shared matrix %dx%d, want %dx%d", m.Rows, m.Cols, b.states, b.states)
 	}
+	if len(m.Data) != int(m.Rows)*int(m.Cols) {
+		return fmt.Errorf("graph: shared matrix %dx%d backed by %d values", m.Rows, m.Cols, len(m.Data))
+	}
 	b.shared = &m
 	return nil
 }
@@ -157,6 +160,14 @@ func (b *Builder) SetEdgeBlock(start int, src, dst []int32, mats []JointMatrix) 
 				return fmt.Errorf("graph: edge (%d,%d) matrix %dx%d, want %dx%d",
 					src[i], dst[i], mats[i].Rows, mats[i].Cols, b.states, b.states)
 			}
+			// Shape alone is not enough: a matrix whose Data backing is
+			// shorter than Rows*Cols passes every structural check
+			// (EnsureTransposed skips empty Data) and only explodes later,
+			// inside a kernel. Reject it here, in lockstep with AddEdge.
+			if len(mats[i].Data) != int(mats[i].Rows)*int(mats[i].Cols) {
+				return fmt.Errorf("graph: edge (%d,%d) matrix %dx%d backed by %d values",
+					src[i], dst[i], mats[i].Rows, mats[i].Cols, len(mats[i].Data))
+			}
 		}
 	}
 	copy(b.src[start:], src)
@@ -185,6 +196,9 @@ func (b *Builder) AddEdge(src, dst int32, mat *JointMatrix) error {
 		}
 		if int(mat.Rows) != b.states || int(mat.Cols) != b.states {
 			return fmt.Errorf("graph: edge (%d,%d) matrix %dx%d, want %dx%d", src, dst, mat.Rows, mat.Cols, b.states, b.states)
+		}
+		if len(mat.Data) != int(mat.Rows)*int(mat.Cols) {
+			return fmt.Errorf("graph: edge (%d,%d) matrix %dx%d backed by %d values", src, dst, mat.Rows, mat.Cols, len(mat.Data))
 		}
 		b.mats = append(b.mats, *mat)
 	}

@@ -1,0 +1,458 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// equalInt32 reports whether two int32 slices match elementwise.
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeDeltaMatchesRebuild pins the incremental CSR patch against the
+// construction-path ground truth: building base edges then delta edges
+// must yield exactly the arrays a fresh Builder fed the concatenated edge
+// list produces (patchCSR, like buildCSR, keeps runs in edge-id order).
+func TestMergeDeltaMatchesRebuild(t *testing.T) {
+	m := DiagonalJointMatrix(2, 0.8)
+	base := [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+	added := [][2]int32{{3, 0}, {1, 2}, {3, 3}, {0, 3}}
+
+	g := buildDiamond(t, 2)
+	for _, e := range added {
+		if err := g.AddEdgeDelta(e[0], e[1], &m); err != nil {
+			t.Fatalf("AddEdgeDelta(%v): %v", e, err)
+		}
+	}
+	if got := g.PendingDeltaEdges(); got != len(added) {
+		t.Fatalf("PendingDeltaEdges = %d, want %d", got, len(added))
+	}
+	g.MergeDelta()
+	if got := g.PendingDeltaEdges(); got != 0 {
+		t.Fatalf("PendingDeltaEdges after merge = %d, want 0", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after merge: %v", err)
+	}
+
+	b := NewBuilder(2)
+	for i := 0; i < 4; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	for _, e := range append(append([][2]int32{}, base...), added...) {
+		if err := b.AddEdge(e[0], e[1], &m); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	want, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	if g.NumEdges != want.NumEdges {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges, want.NumEdges)
+	}
+	if !equalInt32(g.EdgeSrc, want.EdgeSrc) || !equalInt32(g.EdgeDst, want.EdgeDst) {
+		t.Errorf("edge endpoint arrays diverge from rebuild")
+	}
+	if !equalInt32(g.InOffsets, want.InOffsets) || !equalInt32(g.InEdges, want.InEdges) {
+		t.Errorf("in-CSR diverges from rebuild:\n got %v %v\nwant %v %v", g.InOffsets, g.InEdges, want.InOffsets, want.InEdges)
+	}
+	if !equalInt32(g.OutOffsets, want.OutOffsets) || !equalInt32(g.OutEdges, want.OutEdges) {
+		t.Errorf("out-CSR diverges from rebuild:\n got %v %v\nwant %v %v", g.OutOffsets, g.OutEdges, want.OutOffsets, want.OutEdges)
+	}
+	if len(g.Messages) != g.NumEdges*g.States {
+		t.Fatalf("messages length %d, want %d", len(g.Messages), g.NumEdges*g.States)
+	}
+	for e := len(base); e < g.NumEdges; e++ {
+		if g.EdgeMats[e].T == nil {
+			t.Errorf("merged edge %d matrix missing transpose", e)
+		}
+	}
+}
+
+// TestMergeDeltaSharedMatrix covers the shared-matrix mode: delta edges
+// carry no matrices and the merge must not grow EdgeMats.
+func TestMergeDeltaSharedMatrix(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.SetShared(DiagonalJointMatrix(2, 0.9)); err != nil {
+		t.Fatalf("SetShared: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	if err := b.AddEdge(0, 1, nil); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := g.AddEdgeDelta(1, 2, nil); err != nil {
+		t.Fatalf("AddEdgeDelta: %v", err)
+	}
+	m := DiagonalJointMatrix(2, 0.5)
+	if err := g.AddEdgeDelta(2, 0, &m); err == nil {
+		t.Fatal("AddEdgeDelta with matrix accepted in shared mode")
+	}
+	g.MergeDelta()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumEdges != 2 || len(g.EdgeMats) != 0 {
+		t.Fatalf("got %d edges, %d edge matrices; want 2 and 0", g.NumEdges, len(g.EdgeMats))
+	}
+}
+
+// TestAddEdgeDeltaAutoMerge verifies the cadence: the overlay never holds
+// DeltaMergeCadence pending edges.
+func TestAddEdgeDeltaAutoMerge(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.SetShared(DiagonalJointMatrix(2, 0.9)); err != nil {
+		t.Fatalf("SetShared: %v", err)
+	}
+	n := DeltaMergeCadence + 10
+	for i := 0; i < n+1; i++ {
+		if _, err := b.AddNode(nil); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdgeDelta(int32(i), int32(i+1), nil); err != nil {
+			t.Fatalf("AddEdgeDelta: %v", err)
+		}
+		if p := g.PendingDeltaEdges(); p >= DeltaMergeCadence {
+			t.Fatalf("overlay grew to %d pending edges, cadence is %d", p, DeltaMergeCadence)
+		}
+	}
+	g.MergeDelta()
+	if g.NumEdges != n {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges, n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestDeltaGenerations pins the counter protocol: every mutation bumps
+// Generation, only structural ones bump StructuralGeneration, and clones
+// carry their source's counters.
+func TestDeltaGenerations(t *testing.T) {
+	g := buildDiamond(t, 2)
+	if g.Generation() != 0 || g.StructuralGeneration() != 0 {
+		t.Fatalf("fresh graph generations %d/%d, want 0/0", g.Generation(), g.StructuralGeneration())
+	}
+	m := DiagonalJointMatrix(2, 0.8)
+	if err := g.AddEdgeDelta(3, 0, &m); err != nil {
+		t.Fatalf("AddEdgeDelta: %v", err)
+	}
+	if g.Generation() != 1 || g.StructuralGeneration() != 1 {
+		t.Fatalf("after edge add: %d/%d, want 1/1", g.Generation(), g.StructuralGeneration())
+	}
+	if err := g.UpdatePrior(1, []float32{0.9, 0.1}); err != nil {
+		t.Fatalf("UpdatePrior: %v", err)
+	}
+	if err := g.SetEvidence(2, 1); err != nil {
+		t.Fatalf("SetEvidence: %v", err)
+	}
+	if g.Generation() != 3 || g.StructuralGeneration() != 1 {
+		t.Fatalf("after numeric deltas: %d/%d, want 3/1", g.Generation(), g.StructuralGeneration())
+	}
+	// Rejected mutations must not bump anything.
+	if err := g.AddEdgeDelta(0, 99, &m); err == nil {
+		t.Fatal("out-of-range AddEdgeDelta accepted")
+	}
+	if err := g.UpdatePrior(99, []float32{1, 0}); err == nil {
+		t.Fatal("out-of-range UpdatePrior accepted")
+	}
+	if g.Generation() != 3 {
+		t.Fatalf("rejected mutations bumped generation to %d", g.Generation())
+	}
+
+	c := g.Clone()
+	if c.Generation() != 3 || c.StructuralGeneration() != 1 {
+		t.Fatalf("clone generations %d/%d, want 3/1", c.Generation(), c.StructuralGeneration())
+	}
+	// Divergence after cloning stays isolated in both directions.
+	if err := c.SetEvidence(0, 0); err != nil {
+		t.Fatalf("clone SetEvidence: %v", err)
+	}
+	if g.Generation() != 3 || g.Observed[0] {
+		t.Fatal("clone mutation leaked into source")
+	}
+	if err := g.RetractEvidence(2); err != nil {
+		t.Fatalf("RetractEvidence: %v", err)
+	}
+	if !c.Observed[2] {
+		t.Fatal("source retraction leaked into clone")
+	}
+}
+
+// TestMergeDeltaPreservesCloneView pins the copy-on-write contract that
+// the serving layer depends on: a clone taken before a merge keeps the
+// pre-merge adjacency arrays while the source moves on.
+func TestMergeDeltaPreservesCloneView(t *testing.T) {
+	g := buildDiamond(t, 2)
+	c := g.Clone()
+	m := DiagonalJointMatrix(2, 0.8)
+	if err := g.AddEdgeDelta(3, 0, &m); err != nil {
+		t.Fatalf("AddEdgeDelta: %v", err)
+	}
+	g.MergeDelta()
+	if c.NumEdges != 4 || len(c.InEdges) != 4 || c.InDegree(0) != 0 {
+		t.Fatalf("clone saw the merge: %d edges, InDegree(0)=%d", c.NumEdges, c.InDegree(0))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone Validate after source merge: %v", err)
+	}
+	if g.NumEdges != 5 || g.InDegree(0) != 1 {
+		t.Fatalf("source missed the merge: %d edges, InDegree(0)=%d", g.NumEdges, g.InDegree(0))
+	}
+}
+
+func TestUpdatePrior(t *testing.T) {
+	g := buildDiamond(t, 2)
+	// Node 0 is input-free: its fixpoint is its prior, so the belief must
+	// follow immediately (the residual engines never enqueue such nodes).
+	if err := g.UpdatePrior(0, []float32{3, 1}); err != nil {
+		t.Fatalf("UpdatePrior: %v", err)
+	}
+	if p := g.Prior(0); p[0] != 0.75 || p[1] != 0.25 {
+		t.Fatalf("prior not normalized: %v", p)
+	}
+	if b := g.Belief(0); b[0] != 0.75 || b[1] != 0.25 {
+		t.Fatalf("input-free belief did not follow prior: %v", b)
+	}
+	// Node 3 has inputs: the prior moves, the belief is left for
+	// re-convergence.
+	before := append([]float32(nil), g.Belief(3)...)
+	if err := g.UpdatePrior(3, []float32{0.9, 0.1}); err != nil {
+		t.Fatalf("UpdatePrior: %v", err)
+	}
+	if b := g.Belief(3); b[0] != before[0] || b[1] != before[1] {
+		t.Fatalf("belief of a node with inputs moved eagerly: %v", b)
+	}
+	// Errors: range and width.
+	if err := g.UpdatePrior(-1, []float32{1, 0}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if err := g.UpdatePrior(0, []float32{1, 0, 0}); err == nil {
+		t.Fatal("wrong-width prior accepted")
+	}
+}
+
+func TestEvidenceRoundTrip(t *testing.T) {
+	g := buildDiamond(t, 2)
+	orig := append([]float32(nil), g.Prior(3)...)
+	if err := g.SetEvidence(3, 1); err != nil {
+		t.Fatalf("SetEvidence: %v", err)
+	}
+	if !g.Observed[3] || g.Belief(3)[1] != 1 || g.Prior(3)[1] != 1 {
+		t.Fatalf("clamp not applied: observed=%v belief=%v prior=%v", g.Observed[3], g.Belief(3), g.Prior(3))
+	}
+	// Re-clamping keeps the original saved prior; a prior update while
+	// clamped lands in the save slot, not the live (clamped) prior.
+	if err := g.SetEvidence(3, 0); err != nil {
+		t.Fatalf("re-clamp: %v", err)
+	}
+	if err := g.RetractEvidence(3); err != nil {
+		t.Fatalf("RetractEvidence: %v", err)
+	}
+	if g.Observed[3] {
+		t.Fatal("still observed after retraction")
+	}
+	if p := g.Prior(3); p[0] != orig[0] || p[1] != orig[1] {
+		t.Fatalf("prior not restored: got %v, want %v", p, orig)
+	}
+	if b := g.Belief(3); b[0] != orig[0] || b[1] != orig[1] {
+		t.Fatalf("belief not reset to restored prior: %v", b)
+	}
+
+	// UpdatePrior while clamped: the clamp wins now, the update wins
+	// after retraction.
+	if err := g.SetEvidence(1, 0); err != nil {
+		t.Fatalf("SetEvidence: %v", err)
+	}
+	if err := g.UpdatePrior(1, []float32{0.25, 0.75}); err != nil {
+		t.Fatalf("UpdatePrior while clamped: %v", err)
+	}
+	if p := g.Prior(1); p[0] != 1 {
+		t.Fatalf("clamp lost to a prior update: %v", p)
+	}
+	if err := g.RetractEvidence(1); err != nil {
+		t.Fatalf("RetractEvidence: %v", err)
+	}
+	if p := g.Prior(1); p[0] != 0.25 || p[1] != 0.75 {
+		t.Fatalf("retraction did not restore the updated prior: %v", p)
+	}
+
+	// Errors: invalid state, unobserved retraction, and retraction of a
+	// clamp applied outside the delta layer (no saved prior exists).
+	if err := g.SetEvidence(0, 7); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	if err := g.RetractEvidence(2); err == nil {
+		t.Fatal("retracting an unobserved node succeeded")
+	}
+	if err := g.Observe(2, 0); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if err := g.RetractEvidence(2); err == nil {
+		t.Fatal("retracting a non-delta clamp succeeded")
+	}
+}
+
+func TestTakeDeltaSeeds(t *testing.T) {
+	g := buildDiamond(t, 2) // 0→1, 0→2, 1→3, 2→3
+	if s := g.TakeDeltaSeeds(); s != nil {
+		t.Fatalf("seeds on a pristine graph: %v", s)
+	}
+	if err := g.SetEvidence(0, 1); err != nil {
+		t.Fatalf("SetEvidence: %v", err)
+	}
+	// Frontier: node 0 plus its out-neighbours 1 and 2 — not 3.
+	if s := g.TakeDeltaSeeds(); !equalInt32(s, []int32{0, 1, 2}) {
+		t.Fatalf("seeds = %v, want [0 1 2]", s)
+	}
+	// Drained: the frontier belongs to exactly one re-convergence.
+	if s := g.TakeDeltaSeeds(); s != nil {
+		t.Fatalf("frontier not drained: %v", s)
+	}
+	// A structural delta changes its destination (the new parent can move
+	// it), and the frontier must reflect the merged topology: node 0's
+	// out-neighbours come from the post-merge CSR, so the pending merge
+	// has to happen inside TakeDeltaSeeds.
+	m := DiagonalJointMatrix(2, 0.8)
+	if err := g.AddEdgeDelta(3, 0, &m); err != nil {
+		t.Fatalf("AddEdgeDelta: %v", err)
+	}
+	if s := g.TakeDeltaSeeds(); !equalInt32(s, []int32{0, 1, 2}) {
+		t.Fatalf("seeds = %v, want [0 1 2]", s)
+	}
+	if g.PendingDeltaEdges() != 0 || g.NumEdges != 5 {
+		t.Fatalf("TakeDeltaSeeds did not merge: pending=%d edges=%d", g.PendingDeltaEdges(), g.NumEdges)
+	}
+	// Overlapping frontiers dedupe and sort.
+	if err := g.UpdatePrior(1, []float32{0.6, 0.4}); err != nil {
+		t.Fatalf("UpdatePrior: %v", err)
+	}
+	if err := g.UpdatePrior(2, []float32{0.6, 0.4}); err != nil {
+		t.Fatalf("UpdatePrior: %v", err)
+	}
+	if s := g.TakeDeltaSeeds(); !equalInt32(s, []int32{1, 2, 3}) {
+		t.Fatalf("seeds = %v, want [1 2 3]", s)
+	}
+}
+
+// TestBuilderEdgePathParity is the differential sweep of the three edge
+// construction paths — AddEdge, SetEdgeBlock over a reservation, and
+// AddEdgeDelta after Build — over the malformed-input corpus: the readers'
+// PR 5 parity audit, now applied to the builder. Every path must agree on
+// accept vs reject for every case.
+func TestBuilderEdgePathParity(t *testing.T) {
+	states := 2
+	good := DiagonalJointMatrix(states, 0.8)
+	wide := DiagonalJointMatrix(states+1, 0.8)
+	short := JointMatrix{Rows: uint32(states), Cols: uint32(states), Data: make([]float32, 1)}
+	empty := JointMatrix{Rows: uint32(states), Cols: uint32(states)}
+
+	cases := []struct {
+		name   string
+		src    int32
+		dst    int32
+		mat    *JointMatrix
+		shared bool
+		accept bool
+	}{
+		{"valid", 0, 1, &good, false, true},
+		{"self-loop", 1, 1, &good, false, true}, // the mtxbp readers accept self-loops; the builder matches
+		{"src out of range", -1, 1, &good, false, false},
+		{"dst out of range", 0, 99, &good, false, false},
+		{"nil matrix per-edge", 0, 1, nil, false, false},
+		{"wrong dims", 0, 1, &wide, false, false},
+		{"short data backing", 0, 1, &short, false, false},
+		{"nil data backing", 0, 1, &empty, false, false},
+		{"valid shared", 0, 1, nil, true, true},
+		{"matrix in shared mode", 0, 1, &good, true, false},
+	}
+
+	newBuilder := func(shared bool) *Builder {
+		b := NewBuilder(states)
+		if shared {
+			if err := b.SetShared(DiagonalJointMatrix(states, 0.9)); err != nil {
+				t.Fatalf("SetShared: %v", err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := b.AddNode(nil); err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+		}
+		return b
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addErr := newBuilder(tc.shared).AddEdge(tc.src, tc.dst, tc.mat)
+
+			blk := newBuilder(tc.shared)
+			start := blk.ReserveEdges(1)
+			var mats []JointMatrix
+			if tc.mat != nil {
+				mats = []JointMatrix{*tc.mat}
+			}
+			blkErr := blk.SetEdgeBlock(start, []int32{tc.src}, []int32{tc.dst}, mats)
+
+			built, err := newBuilder(tc.shared).Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			deltaErr := built.AddEdgeDelta(tc.src, tc.dst, tc.mat)
+
+			for path, got := range map[string]error{"AddEdge": addErr, "SetEdgeBlock": blkErr, "AddEdgeDelta": deltaErr} {
+				if (got == nil) != tc.accept {
+					t.Errorf("%s: got err %v, want accept=%v", path, got, tc.accept)
+				}
+			}
+		})
+	}
+}
+
+// TestSetSharedRejectsShortData closes the same hole on the shared path:
+// a shared matrix with a short backing would otherwise reach the kernels.
+func TestSetSharedRejectsShortData(t *testing.T) {
+	b := NewBuilder(2)
+	err := b.SetShared(JointMatrix{Rows: 2, Cols: 2, Data: make([]float32, 2)})
+	if err == nil {
+		t.Fatal("short shared backing accepted")
+	}
+	if want := fmt.Sprintf("backed by %d values", 2); err != nil && !contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention the backing length", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -72,6 +72,15 @@ type Graph struct {
 	// the original per-edge mode is active. Exactly one of Shared and
 	// EdgeMats is set.
 	EdgeMats []JointMatrix
+
+	// gen and structGen are the mutation generation counters maintained
+	// by the delta layer (see delta.go); read them through Generation and
+	// StructuralGeneration. dyn holds the pending structural overlay, the
+	// saved pre-clamp priors and the changed-node frontier; nil until the
+	// first delta mutation.
+	gen       uint64
+	structGen uint64
+	dyn       *graphDelta
 }
 
 // SharedMatrix reports whether the graph uses the single shared joint
@@ -155,7 +164,10 @@ func (g *Graph) ResetBeliefs() {
 }
 
 // Clone returns a deep copy of the graph. The adjacency index arrays are
-// shared (they are immutable after construction); numeric state is copied.
+// shared (they are only ever replaced wholesale, never patched in place —
+// see MergeDelta); numeric state is copied. The clone carries its source's
+// mutation generations and a deep copy of any delta-layer state, so
+// mutating either graph afterwards never leaks into the other.
 func (g *Graph) Clone() *Graph {
 	c := *g
 	c.Beliefs = append([]float32(nil), g.Beliefs...)
@@ -166,6 +178,7 @@ func (g *Graph) Clone() *Graph {
 		s := *g.Shared
 		c.Shared = &s
 	}
+	c.dyn = g.dyn.clone()
 	return &c
 }
 

@@ -267,6 +267,14 @@ func RunNode(g *graph.Graph, opts Options) bp.Result {
 					for _, e := range g.OutEdges[olo:ohi] {
 						markOnce(mark, g.EdgeDst[e])
 					}
+					// A damped update moved the belief only (1−d) of the way
+					// to the recombination, so the node itself still owes a
+					// d·gap follow-up: it must stay active even when none of
+					// its neighbours move back above the threshold, or it is
+					// stranded short of the fixpoint.
+					if o.Damping > 0 {
+						markOnce(mark, v)
+					}
 				}
 			}
 			shardDelta[sh] = d

@@ -62,6 +62,34 @@ type batcher struct {
 	mu      sync.Mutex
 	pending []*pendingQuery
 	timer   *time.Timer
+	// epoch numbers the accumulation windows: it advances every time the
+	// pending batch is taken (full flush, deadline flush or drain). The
+	// deadline timer is armed with the epoch of the window it belongs to
+	// and fires into a no-op when that window was already taken — without
+	// the stamp, a timer whose callback was already in flight when a full
+	// flush Stop()ped it would grab the NEXT window's queries (flushing
+	// them thousands of times early) and clear that window's armed timer
+	// field, cascading the same interleaving onto every later window.
+	epoch uint64
+
+	// structGen is the base's structural generation the batcher's SoA
+	// pool was built against; batcherFor retires the batcher when the
+	// base has since grown edges.
+	structGen uint64
+}
+
+// take removes and returns the accumulated window under b.mu, advancing
+// the epoch and disarming the window's timer. Every path that flushes
+// goes through here, so epoch and window stay in lockstep.
+func (b *batcher) take() []*pendingQuery {
+	batch := b.pending
+	b.pending = nil
+	b.epoch++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
 }
 
 // pendingQuery is one enqueued request: its decoded query going in, its
@@ -78,7 +106,8 @@ type pendingQuery struct {
 }
 
 func newBatcher(s *Server, r *Resident) *batcher {
-	b := &batcher{s: s, r: r, k: s.cfg.BatchK, window: s.cfg.BatchWindow}
+	b := &batcher{s: s, r: r, k: s.cfg.BatchK, window: s.cfg.BatchWindow,
+		structGen: r.structuralGeneration()}
 	b.pool.New = func() any {
 		bs, err := graph.NewBatchState(r.base, b.k)
 		if err != nil {
@@ -91,13 +120,16 @@ func newBatcher(s *Server, r *Resident) *batcher {
 }
 
 // batcherFor returns the resident's batcher, creating it on first use.
-// A resident replaced by a reload gets a fresh batcher; in-flight
-// flushes against the old resident drain independently.
+// A resident replaced by a reload — or grown by a structural delta,
+// which reshapes the SoA states the batcher pools — gets a fresh
+// batcher; in-flight flushes against the old resident drain
+// independently (retired BatchStates keep referencing the pre-merge
+// adjacency arrays, which MergeDelta never patches in place).
 func (s *Server) batcherFor(r *Resident) *batcher {
 	s.batchMu.Lock()
 	defer s.batchMu.Unlock()
 	b := s.batchers[r.Name]
-	if b == nil || b.r != r {
+	if b == nil || b.r != r || b.structGen != r.structuralGeneration() {
 		b = newBatcher(s, r)
 		s.batchers[r.Name] = b
 	}
@@ -113,17 +145,16 @@ func (b *batcher) enqueue(rq *ResolvedQuery, tr *telemetry.Trace) (*Response, er
 	b.mu.Lock()
 	b.pending = append(b.pending, p)
 	if len(b.pending) >= b.k {
-		batch := b.pending
-		b.pending = nil
-		if b.timer != nil {
-			b.timer.Stop()
-			b.timer = nil
-		}
+		batch := b.take()
 		b.mu.Unlock()
 		b.flush(batch, telemetry.FlushFull)
 	} else {
 		if len(b.pending) == 1 {
-			b.timer = time.AfterFunc(b.window, b.flushDeadline)
+			// Stamp the timer with its window: Stop() cannot un-fire a
+			// callback already in flight, so the stamp is what actually
+			// keeps a raced deadline away from later windows.
+			epoch := b.epoch
+			b.timer = time.AfterFunc(b.window, func() { b.flushDeadline(epoch) })
 		}
 		b.mu.Unlock()
 	}
@@ -131,12 +162,19 @@ func (b *batcher) enqueue(rq *ResolvedQuery, tr *telemetry.Trace) (*Response, er
 	return p.resp, p.err
 }
 
-// flushDeadline is the window-expiry path: take whatever accumulated.
-func (b *batcher) flushDeadline() {
+// flushDeadline is the window-expiry path: take whatever accumulated in
+// the window the timer was armed for. A stale epoch means that window
+// was already flushed (the Kth arrival or a drain won the race while
+// this callback was in flight) — the queries now pending belong to a
+// newer window with its own timer, so touching them here would flush
+// them early and leave their window's timer field clobbered.
+func (b *batcher) flushDeadline(epoch uint64) {
 	b.mu.Lock()
-	batch := b.pending
-	b.pending = nil
-	b.timer = nil
+	if b.epoch != epoch {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.take()
 	b.mu.Unlock()
 	if len(batch) > 0 {
 		b.flush(batch, telemetry.FlushDeadline)
@@ -147,12 +185,7 @@ func (b *batcher) flushDeadline() {
 // in-flight clients get answers instead of hung connections.
 func (b *batcher) drain() {
 	b.mu.Lock()
-	batch := b.pending
-	b.pending = nil
-	if b.timer != nil {
-		b.timer.Stop()
-		b.timer = nil
-	}
+	batch := b.take()
 	b.mu.Unlock()
 	if len(batch) > 0 {
 		b.flush(batch, telemetry.FlushShutdown)
@@ -253,10 +286,25 @@ func (b *batcher) runFlush(rqs []*ResolvedQuery, trs []*telemetry.Trace, reason 
 
 	bs := b.pool.Get().(*graph.BatchState)
 	defer b.pool.Put(bs)
+
+	// The batched engine reads the base's numeric and adjacency arrays
+	// directly (no overlay clone), so the whole flush holds the base read
+	// lock: /v1/update mutations serialize before or after it. The warm
+	// pointer is read directly rather than through snapshot() — its
+	// generation check re-acquires baseMu, and a nested RLock behind a
+	// waiting writer deadlocks.
+	b.r.baseMu.RLock()
+	defer b.r.baseMu.RUnlock()
+	gen := b.r.base.Generation()
 	bs.Reset(b.r.base)
 	bs.Used = len(rqs)
 
-	snap := b.r.snapshot()
+	b.r.warmMu.Lock()
+	snap := b.r.warm
+	b.r.warmMu.Unlock()
+	if snap != nil && snap.gen != gen {
+		snap = nil
+	}
 	laneWarm := make([]bool, len(rqs))
 	for l, rq := range rqs {
 		stage := trs[l].Span("stage")
@@ -307,7 +355,7 @@ func (b *batcher) runFlush(rqs []*ResolvedQuery, trs []*telemetry.Trace, reason 
 		}
 		flat := make([]float32, len(b.r.base.Beliefs))
 		bs.ExtractLane(l, flat)
-		b.r.storeSnapshotBeliefs(flat, rqs[l].dense)
+		b.r.storeSnapshotBeliefs(flat, rqs[l].dense, gen)
 		if laneWarm[l] {
 			b.r.warmMu.Lock()
 			b.r.warmed++

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStaleDeadlineTimerCannotTouchNewerWindow is the regression test
+// for the shutdown-drain / deadline-timer interleaving: time.Timer.Stop
+// cannot un-fire a callback already in flight, so a full flush (or a
+// drain) that races the window deadline leaves a live flushDeadline
+// behind. Before epoch stamping, that stale callback would grab the
+// NEXT window's pending queries — flushing them a full window early,
+// mislabelled as a deadline flush — and clear that window's timer
+// field, so the following first arrival armed a second timer and the
+// interleaving cascaded indefinitely. The epochs make the stale
+// callback provably a no-op; this test drives it directly (the
+// interleaving is a few-microsecond race, the callback is not).
+func TestStaleDeadlineTimerCannotTouchNewerWindow(t *testing.T) {
+	s, r := newGridServer(t, Config{BatchK: 2, BatchWindow: time.Hour})
+	b := s.batcherFor(r)
+
+	// Window 0: two arrivals, the second flushes full. The window-0
+	// deadline timer was armed with epoch 0 and then stopped — this is
+	// the timer whose callback we replay below as if Stop had lost the
+	// race.
+	type result struct {
+		resp *Response
+		err  error
+	}
+	done := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := b.enqueue(decode(t, r, `{"evidence":[{"node":"17","state":1}],"nodes":["17"]}`), nil)
+			done <- result{resp, err}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if got := <-done; got.err != nil {
+			t.Fatalf("full flush query: %v", got.err)
+		}
+	}
+	b.mu.Lock()
+	staleEpoch := b.epoch - 1 // the epoch window 0's timer carries
+	b.mu.Unlock()
+
+	// Window 1: a single arrival, waiting out its (one-hour) deadline.
+	solo := make(chan result, 1)
+	go func() {
+		resp, err := b.enqueue(decode(t, r, `{"evidence":[{"node":"40","state":0}],"nodes":["40"]}`), nil)
+		solo <- result{resp, err}
+	}()
+	waitForPending := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			b.mu.Lock()
+			got := len(b.pending)
+			b.mu.Unlock()
+			if got == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("pending never reached %d", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitForPending(1)
+
+	// The stale window-0 callback fires. It must not flush window 1's
+	// query, and it must not disarm window 1's timer.
+	b.flushDeadline(staleEpoch)
+	b.mu.Lock()
+	pending, timer := len(b.pending), b.timer
+	b.mu.Unlock()
+	if pending != 1 {
+		t.Fatalf("stale deadline callback took %d pending queries from a newer window", 1-pending)
+	}
+	if timer == nil {
+		t.Fatal("stale deadline callback disarmed the newer window's timer")
+	}
+	select {
+	case got := <-solo:
+		t.Fatalf("window-1 query answered by the stale window-0 deadline (err=%v)", got.err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The genuine window-1 deadline still flushes it.
+	b.mu.Lock()
+	liveEpoch := b.epoch
+	b.mu.Unlock()
+	b.flushDeadline(liveEpoch)
+	got := <-solo
+	if got.err != nil {
+		t.Fatalf("deadline flush: %v", got.err)
+	}
+	if got.resp == nil || !got.resp.Converged {
+		t.Fatal("deadline-flushed query did not converge")
+	}
+
+	// The admission gate is whole again: every slot taken by the flushes
+	// above was released (the leak mode when a window is flushed twice).
+	if d := s.adm.depth(); d != 0 {
+		t.Fatalf("admission depth %d after all flushes returned, want 0", d)
+	}
+}

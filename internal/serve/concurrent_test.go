@@ -115,7 +115,8 @@ func compareToOracle(resp *Response, oracle *graph.Graph, r *Resident) error {
 // never alias, and the resident base never sees a clamp.
 func TestConcurrentLeasesAreIsolated(t *testing.T) {
 	_, r := newGridServer(t, Config{})
-	a, b := r.lease(), r.lease()
+	a, _ := r.lease()
+	b, _ := r.lease()
 	if a == b {
 		t.Fatal("two live leases alias the same overlay")
 	}
@@ -129,7 +130,7 @@ func TestConcurrentLeasesAreIsolated(t *testing.T) {
 		t.Fatal("clamping one lease leaked into the base or a sibling lease")
 	}
 	r.release(a)
-	c := r.lease() // may reuse a's arrays — must come back pristine
+	c, _ := r.lease() // may reuse a's arrays — must come back pristine
 	if c.Observed[0] {
 		t.Fatal("recycled lease kept the previous query's evidence")
 	}

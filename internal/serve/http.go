@@ -24,6 +24,9 @@ import (
 //	POST /v1/load?graph=NAME   register an on-disk graph (LoadSpec body)
 //	POST /v1/query?graph=NAME&engine=E
 //	                           posterior query (evidence + nodes body)
+//	POST /v1/update?graph=NAME graph delta (updates body): mutate the
+//	                           resident in place and re-converge its
+//	                           warm snapshot from the delta frontier
 //
 // ?graph= may be omitted when exactly one graph is registered.
 func (s *Server) Handler() http.Handler {
@@ -36,27 +39,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraph)
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	return mux
 }
 
 // graphInfo is the wire shape of a registry entry.
 type graphInfo struct {
-	Name     string         `json:"name"`
-	Nodes    int            `json:"nodes"`
-	Edges    int            `json:"edges"`
-	States   int            `json:"states"`
-	Warm     bool           `json:"warm"`
-	Metadata graph.Metadata `json:"metadata"`
+	Name       string         `json:"name"`
+	Nodes      int            `json:"nodes"`
+	Edges      int            `json:"edges"`
+	States     int            `json:"states"`
+	Warm       bool           `json:"warm"`
+	Generation uint64         `json:"generation"`
+	Metadata   graph.Metadata `json:"metadata"`
 }
 
 func (s *Server) info(r *Resident) graphInfo {
+	md := r.Metadata()
 	return graphInfo{
-		Name:     r.Name,
-		Nodes:    r.md.NumNodes,
-		Edges:    r.md.NumEdges,
-		States:   r.md.States,
-		Warm:     r.HasWarm(),
-		Metadata: r.md,
+		Name:       r.Name,
+		Nodes:      md.NumNodes,
+		Edges:      md.NumEdges,
+		States:     md.States,
+		Warm:       r.HasWarm(),
+		Generation: r.Generation(),
+		Metadata:   md,
 	}
 }
 
@@ -236,6 +243,54 @@ func (s *Server) handleBatchedQuery(w http.ResponseWriter, req *http.Request, r 
 		Converged: resp.Converged,
 		Updated:   resp.Updates,
 		Iter:      int32(resp.Iterations),
+		BusyNs:    resp.WallNs,
+		Active:    s.adm.depth(),
+		Items:     s.adm.capacity(),
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleUpdate applies a delta batch to the resident and re-converges
+// its warm snapshot. The re-convergence is a propagation run, so the
+// request pays an admission slot exactly like a query; a full line
+// sheds it with the same 429 contract.
+func (s *Server) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.resident(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph (set ?graph=, see GET /v1/graphs)")
+		return
+	}
+	if !s.adm.admit() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
+		return
+	}
+	defer s.adm.release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxQueryBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read update: %v", err))
+		return
+	}
+	ru, err := r.DecodeUpdate(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.UpdateResident(r, ru)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.emit(telemetry.Event{
+		Kind:      telemetry.KindServe,
+		Engine:    "serve.update",
+		Worker:    -1,
+		Variant:   s.variant,
+		Warm:      resp.Warm,
+		Converged: resp.Converged,
+		Updated:   resp.Updates,
+		Iter:      int32(resp.Applied),
 		BusyNs:    resp.WallNs,
 		Active:    s.adm.depth(),
 		Items:     s.adm.capacity(),

@@ -287,10 +287,23 @@ func (s *Server) only() (*Resident, bool) {
 type Resident struct {
 	Name string
 
-	base      *graph.Graph
+	// baseMu orders base mutations (the /v1/update delta path) against
+	// readers. Queries hold it only while copying state out of the base —
+	// their runs happen on private overlay clones — while batch flushes
+	// hold it for the whole run, since the batched engine reads the base's
+	// adjacency arrays directly.
+	baseMu sync.RWMutex
+	base   *graph.Graph
+	names  map[string]int32
+
+	// mdMu guards the cached structural statistics, which go stale when
+	// a structural delta reshapes the base and are refreshed by the
+	// update path. A lock of its own (never held together with baseMu)
+	// so readers on the query path cannot nest read locks against a
+	// waiting base writer.
+	mdMu      sync.RWMutex
 	md        graph.Metadata
 	footprint int64
-	names     map[string]int32
 
 	pool sync.Pool
 
@@ -319,25 +332,67 @@ func NewResident(name string, g *graph.Graph) *Resident {
 	return r
 }
 
-// Metadata returns the resident's structural statistics.
-func (r *Resident) Metadata() graph.Metadata { return r.md }
-
-// HasWarm reports whether a warm-start snapshot is available.
-func (r *Resident) HasWarm() bool {
-	r.warmMu.Lock()
-	defer r.warmMu.Unlock()
-	return r.warm != nil
+// Metadata returns the resident's structural statistics — recomputed
+// after every structural delta, so edge counts and degree moments track
+// the merged graph, not the one loaded at registration.
+func (r *Resident) Metadata() graph.Metadata {
+	r.mdMu.RLock()
+	defer r.mdMu.RUnlock()
+	return r.md
 }
 
-// lease borrows an overlay clone with the base's pristine numeric state.
-func (r *Resident) lease() *graph.Graph {
+// stats returns the metadata/footprint pair the engine selector reads.
+func (r *Resident) stats() (graph.Metadata, int64) {
+	r.mdMu.RLock()
+	defer r.mdMu.RUnlock()
+	return r.md, r.footprint
+}
+
+// refreshStats publishes recomputed statistics. The caller computes
+// them (g.Stats walks the adjacency arrays) while it still holds baseMu,
+// so the walk cannot race a concurrent merge reassigning the index.
+func (r *Resident) refreshStats(md graph.Metadata, footprint int64) {
+	r.mdMu.Lock()
+	r.md = md
+	r.footprint = footprint
+	r.mdMu.Unlock()
+}
+
+// HasWarm reports whether a live warm-start snapshot is available — one
+// taken at the base's current mutation generation. A snapshot stranded
+// behind a base mutation counts as absent.
+func (r *Resident) HasWarm() bool { return r.snapshot() != nil }
+
+// Generation returns the base graph's mutation generation — the value
+// warm snapshots are keyed by.
+func (r *Resident) Generation() uint64 {
+	r.baseMu.RLock()
+	defer r.baseMu.RUnlock()
+	return r.base.Generation()
+}
+
+// structuralGeneration returns the base's structural (edge-add)
+// generation — the value the batcher's SoA pool is keyed by.
+func (r *Resident) structuralGeneration() uint64 {
+	r.baseMu.RLock()
+	defer r.baseMu.RUnlock()
+	return r.base.StructuralGeneration()
+}
+
+// lease borrows an overlay clone with the base's pristine numeric state,
+// returning it together with the base generation that state was copied
+// at — the key any fixpoint converged on the clone must be published
+// under. A clone whose shape no longer matches (the base grew edges via
+// a structural delta since the clone was pooled) is dropped for a fresh
+// structural clone of the current base.
+func (r *Resident) lease() (*graph.Graph, uint64) {
+	r.baseMu.RLock()
+	defer r.baseMu.RUnlock()
 	g := r.pool.Get().(*graph.Graph)
-	// Shapes always match within one resident; the error path is only
-	// reachable if a caller put a foreign graph into the pool.
 	if err := g.CopyStateFrom(r.base); err != nil {
 		g = r.base.Clone()
 	}
-	return g
+	return g, r.base.Generation()
 }
 
 // release returns an overlay to the lease pool.

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"credo/internal/bp"
+	"credo/internal/features"
+	"credo/internal/gen"
+	"credo/internal/graph"
+)
+
+// This file is the dynamic-graph entry of the serving layer: POST
+// /v1/update applies a batch of graph deltas — evidence arrivals and
+// retractions, prior drifts, edge adds — to the resident base in place
+// and re-converges the warm snapshot from the delta frontier, so the
+// next query warm-starts against the mutated world instead of paying a
+// cold run for it. Structural deltas (edge adds) reshape the graph;
+// they invalidate the warm snapshot and retire the resident's batcher,
+// and the next query re-converges cold.
+
+// updatePayload is the POST /v1/update body: an ordered list of delta
+// operations applied atomically per operation (a rejected operation
+// aborts the rest of the list but does not roll back the ones before
+// it — the response reports how many landed).
+type updatePayload struct {
+	Updates []updateOp `json:"updates"`
+}
+
+// updateOp is one wire-shape delta. Op selects the kind; exactly the
+// fields of that kind are read:
+//
+//	{"op":"evidence","node":N,"state":S}   clamp node N to state S
+//	{"op":"retract","node":N}              lift a previous update clamp
+//	{"op":"prior","node":N,"prior":[...]}  replace N's prior
+//	{"op":"edge","src":A,"dst":B}          add edge A->B ("mat" gives the
+//	                                       row-major joint matrix, required
+//	                                       on per-edge-matrix graphs)
+type updateOp struct {
+	Op    string    `json:"op"`
+	Node  string    `json:"node,omitempty"`
+	State *int      `json:"state,omitempty"`
+	Prior []float32 `json:"prior,omitempty"`
+	Src   string    `json:"src,omitempty"`
+	Dst   string    `json:"dst,omitempty"`
+	Mat   []float32 `json:"mat,omitempty"`
+}
+
+// ResolvedUpdate is a decoded, validated update bound to one resident.
+type ResolvedUpdate struct {
+	muts []gen.Mutation
+}
+
+// UpdateResponse is the wire shape of an applied update: how much
+// landed, where the graph's generation moved, and what the warm
+// re-convergence cost (zero updates when there was no snapshot to
+// re-converge or the delta was structural).
+type UpdateResponse struct {
+	Graph      string `json:"graph"`
+	Applied    int    `json:"applied"`
+	Generation uint64 `json:"generation"`
+	Structural bool   `json:"structural"`
+	Warm       bool   `json:"warm"`
+	Converged  bool   `json:"converged"`
+	Updates    int64  `json:"updates"`
+	WallNs     int64  `json:"wall_ns"`
+}
+
+// DecodeUpdate parses and validates an update document against the
+// resident's node space, with the same strictness contract as
+// DecodeQuery: unknown fields, trailing data, unresolvable nodes,
+// malformed distributions and unknown ops all error and never panic.
+// Validation that depends on graph state at apply time (retracting a
+// node that is not update-clamped, matrix mode mismatches) is left to
+// the delta layer.
+func (r *Resident) DecodeUpdate(data []byte) (*ResolvedUpdate, error) {
+	if len(data) > maxQueryBytes {
+		return nil, fmt.Errorf("serve: update document exceeds %d bytes", maxQueryBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p updatePayload
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("serve: decode update: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("serve: trailing data after update document")
+	}
+	if len(p.Updates) == 0 {
+		return nil, fmt.Errorf("serve: update document has no operations")
+	}
+
+	ru := &ResolvedUpdate{muts: make([]gen.Mutation, 0, len(p.Updates))}
+	states := r.base.States
+	for i, op := range p.Updates {
+		switch op.Op {
+		case "evidence":
+			v, err := r.resolveNode(op.Node)
+			if err != nil {
+				return nil, fmt.Errorf("serve: update %d: %w", i, err)
+			}
+			if op.State == nil {
+				return nil, fmt.Errorf("serve: update %d: evidence for %q has no state", i, op.Node)
+			}
+			if *op.State < 0 || *op.State >= states {
+				return nil, fmt.Errorf("serve: update %d: state %d out of range [0,%d)", i, *op.State, states)
+			}
+			ru.muts = append(ru.muts, gen.Mutation{Kind: gen.MutEvidence, Node: v, State: *op.State})
+		case "retract":
+			v, err := r.resolveNode(op.Node)
+			if err != nil {
+				return nil, fmt.Errorf("serve: update %d: %w", i, err)
+			}
+			ru.muts = append(ru.muts, gen.Mutation{Kind: gen.MutRetract, Node: v})
+		case "prior":
+			v, err := r.resolveNode(op.Node)
+			if err != nil {
+				return nil, fmt.Errorf("serve: update %d: %w", i, err)
+			}
+			if len(op.Prior) != states {
+				return nil, fmt.Errorf("serve: update %d: prior has %d entries, want %d", i, len(op.Prior), states)
+			}
+			ru.muts = append(ru.muts, gen.Mutation{
+				Kind: gen.MutPrior, Node: v,
+				Prior: append([]float32(nil), op.Prior...),
+			})
+		case "edge":
+			src, err := r.resolveNode(op.Src)
+			if err != nil {
+				return nil, fmt.Errorf("serve: update %d: src: %w", i, err)
+			}
+			dst, err := r.resolveNode(op.Dst)
+			if err != nil {
+				return nil, fmt.Errorf("serve: update %d: dst: %w", i, err)
+			}
+			var mat *graph.JointMatrix
+			if len(op.Mat) > 0 {
+				if len(op.Mat) != states*states {
+					return nil, fmt.Errorf("serve: update %d: matrix has %d entries, want %d", i, len(op.Mat), states*states)
+				}
+				mat = &graph.JointMatrix{
+					Rows: uint32(states), Cols: uint32(states),
+					Data: append([]float32(nil), op.Mat...),
+				}
+			}
+			ru.muts = append(ru.muts, gen.Mutation{Kind: gen.MutAddEdge, Src: src, Dst: dst, Mat: mat})
+		default:
+			return nil, fmt.Errorf("serve: update %d: unknown op %q (want evidence, retract, prior or edge)", i, op.Op)
+		}
+	}
+	return ru, nil
+}
+
+// UpdateResident applies the decoded delta batch to the resident's base
+// graph and refreshes the warm snapshot:
+//
+//   - Mutations land on the base under the write lock; every query
+//     leased after the unlock sees the mutated world, and the generation
+//     bump makes the pre-update warm snapshot unreachable (snapshot()
+//     keys on it), so no query can seed from the stale fixpoint.
+//   - With a warm snapshot and a non-structural delta, the snapshot is
+//     re-converged in place: an overlay adopts the old fixpoint, the
+//     delta frontier (changed nodes plus out-neighbours, from
+//     TakeDeltaSeeds) seeds bp.RunResidualFrom, and the re-converged
+//     beliefs are published under the new generation. This is the whole
+//     point of the endpoint — the mutation pays the (frontier-sized)
+//     re-convergence once, instead of every subsequent query paying a
+//     cold run.
+//   - Structural deltas drop the snapshot and leave re-convergence to
+//     the next query's cold run: merged edges reshape the overlay pool
+//     and the batcher's SoA states, both of which re-key off the
+//     structural generation.
+//
+// An operation rejected by the delta layer aborts the remainder; the
+// error reports the position, and the response path is not taken (the
+// already-applied prefix stays, observable via Applied on a later
+// successful call or the generation counter).
+func (s *Server) UpdateResident(r *Resident, ru *ResolvedUpdate) (*UpdateResponse, error) {
+	start := time.Now()
+
+	r.baseMu.Lock()
+	structBefore := r.base.StructuralGeneration()
+	applied := 0
+	var applyErr error
+	for i, m := range ru.muts {
+		if err := m.Apply(r.base); err != nil {
+			applyErr = fmt.Errorf("serve: update %d (%s): %w", i, m.Kind, err)
+			break
+		}
+		applied++
+	}
+	seeds := r.base.TakeDeltaSeeds()
+	structural := r.base.StructuralGeneration() != structBefore
+	gen := r.base.Generation()
+	var newMD graph.Metadata
+	var newFootprint int64
+	if structural {
+		// TakeDeltaSeeds merged the overlay, so the cached statistics —
+		// the registry listing, the engine selector's inputs, the churn
+		// rule's node count — describe a graph that no longer exists.
+		// Recompute under the write lock (Stats walks the just-merged
+		// adjacency arrays) and publish after it drops.
+		newMD, newFootprint = r.base.Stats(), r.base.MemoryFootprint()
+	}
+	r.baseMu.Unlock()
+	if structural {
+		r.refreshStats(newMD, newFootprint)
+	}
+	if applyErr != nil {
+		return nil, applyErr
+	}
+
+	resp := &UpdateResponse{
+		Graph:      r.Name,
+		Applied:    applied,
+		Generation: gen,
+		Structural: structural,
+	}
+	if len(seeds) == 0 {
+		// Nothing moved (every operation was a no-op rewrite); the old
+		// snapshot, if any, is still keyed to the current generation.
+		resp.Warm = r.HasWarm()
+		resp.Converged = true
+		resp.WallNs = time.Since(start).Nanoseconds()
+		return resp, nil
+	}
+
+	r.warmMu.Lock()
+	w := r.warm
+	r.warmMu.Unlock()
+	if structural || w == nil || !features.RecommendDelta(r.Metadata(), len(seeds)) {
+		// No fixpoint to carry forward (or one the reshaped graph cannot
+		// reuse lane-for-lane, or a frontier so large the churn-rate rule
+		// says re-convergence would touch most of the graph anyway): the
+		// stale snapshot is unreachable already — its generation predates
+		// gen — so just drop the storage and let the next query run cold.
+		r.InvalidateWarm()
+		resp.Converged = true
+		resp.WallNs = time.Since(start).Nanoseconds()
+		return resp, nil
+	}
+
+	// Re-converge the warm snapshot in place on an overlay: mutated base
+	// state, the snapshot's still-valid query clamps, the old fixpoint
+	// beliefs everywhere the engine will read them, and the delta
+	// frontier as seeds.
+	g, leaseGen := r.lease()
+	defer r.release(g)
+	dense := append([]int32(nil), w.evidence...)
+	for v := range dense {
+		if dense[v] < 0 {
+			continue
+		}
+		if g.Observed[v] {
+			// The update clamped this node at base level; the newer clamp
+			// wins over the snapshot's query-time evidence.
+			dense[v] = -1
+			continue
+		}
+		if err := g.Observe(int32(v), int(dense[v])); err != nil {
+			return nil, fmt.Errorf("serve: re-clamp node %d: %w", v, err)
+		}
+	}
+	for v := int32(0); v < int32(g.NumNodes); v++ {
+		// Input-free nodes keep their leased beliefs: the delta layer
+		// maintains them (prior updates land directly) and the engine
+		// never recomputes them, so the stale snapshot value must not
+		// overwrite them. Clamped nodes keep their indicators.
+		if !g.Observed[v] && g.InDegree(v) > 0 {
+			copy(g.Belief(v), w.beliefs[int(v)*g.States:(int(v)+1)*g.States])
+		}
+	}
+	opts := s.cfg.Options
+	opts.Probe = s.cfg.Probe
+	res := bp.RunResidualFrom(g, opts, seeds)
+	resp.Converged = res.Converged
+	resp.Updates = res.Ops.NodesProcessed
+	if res.Converged && leaseGen == gen {
+		r.storeSnapshotBeliefs(g.Beliefs, dense, leaseGen)
+		resp.Warm = true
+	} else {
+		// Failed to re-converge (or raced yet another update): leave the
+		// stale snapshot unreachable rather than publishing a fixpoint
+		// that is not one.
+		r.InvalidateWarm()
+	}
+	resp.WallNs = time.Since(start).Nanoseconds()
+	return resp, nil
+}

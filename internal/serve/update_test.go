@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"credo/internal/bp"
+	"credo/internal/graph"
+)
+
+// coldOracle converges a from-priors run of the resident's current base
+// under the given dense evidence and returns the graph — the reference
+// any served beliefs for that evidence are judged against.
+func coldOracle(t *testing.T, r *Resident, evidence map[int32]int) *graph.Graph {
+	t.Helper()
+	o := r.base.Clone()
+	o.ResetBeliefs()
+	for v, s := range evidence {
+		if err := o.Observe(v, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := bp.RunResidual(o, bp.Options{}); !res.Converged {
+		t.Fatalf("cold oracle did not converge (delta %g)", res.FinalDelta)
+	}
+	return o
+}
+
+// worstGap compares a response's belief map against an oracle graph.
+func worstGap(t *testing.T, r *Resident, resp *Response, oracle *graph.Graph) float64 {
+	t.Helper()
+	worst := 0.0
+	for v := int32(0); v < int32(oracle.NumNodes); v++ {
+		got, ok := resp.Beliefs[r.nodeLabel(v)]
+		if !ok {
+			t.Fatalf("response missing node %d", v)
+		}
+		for i, w := range oracle.Belief(v) {
+			if d := math.Abs(float64(got[i]) - float64(w)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestWarmSnapshotStaleAfterBaseMutation is the staleness regression
+// test: once the base graph is mutated out-of-band (not through
+// UpdateResident, which republishes a re-converged snapshot), the old
+// fixpoint must be unreachable. Before generation keying, the second
+// query here — same evidence as the first, so an empty perturbation
+// frontier — would have adopted the stale snapshot, applied zero
+// updates and served the pre-mutation posteriors verbatim.
+func TestWarmSnapshotStaleAfterBaseMutation(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	q := decode(t, r, `{"evidence":[{"node":"17","state":1}]}`)
+	first, err := s.QueryResident(r, EngineResidual, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Converged || !r.HasWarm() {
+		t.Fatalf("first query converged=%v warm-cached=%v", first.Converged, r.HasWarm())
+	}
+	genBefore := r.Generation()
+
+	// Out-of-band base mutation: an operator (or a test) reaching past
+	// the update endpoint straight into the delta layer.
+	if err := r.base.UpdatePrior(40, []float32{0.95, 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() == genBefore {
+		t.Fatal("mutation did not advance the generation")
+	}
+	if r.HasWarm() {
+		t.Fatal("stale warm snapshot still reachable after base mutation")
+	}
+
+	second, err := s.QueryResident(r, EngineResidual, decode(t, r, `{"evidence":[{"node":"17","state":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Warm {
+		t.Fatal("query after base mutation took the warm path from a stale fixpoint")
+	}
+	if !second.Converged {
+		t.Fatalf("post-mutation cold query did not converge (delta %g)", second.FinalDelta)
+	}
+	oracle := coldOracle(t, r, map[int32]int{17: 1})
+	if gap := worstGap(t, r, second, oracle); gap > float64(WarmTol) {
+		t.Errorf("post-mutation beliefs off by %g (want <= %g) — stale state leaked into the answer", gap, float64(WarmTol))
+	}
+	// The mutation seeds stay drained into nothing: the next converged
+	// query re-arms the cache at the current generation.
+	r.base.TakeDeltaSeeds()
+	if !r.HasWarm() {
+		t.Fatal("converged post-mutation query did not re-arm the warm cache")
+	}
+}
+
+// TestUpdateReconvergesWarmSnapshot drives the endpoint's whole point:
+// after a prior-drift delta, the warm snapshot has been re-converged in
+// place, the next same-evidence query is served warm with zero or near
+// zero work, and its beliefs match a cold run of the mutated graph.
+func TestUpdateReconvergesWarmSnapshot(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	q := decode(t, r, `{"evidence":[{"node":"136","state":1}]}`)
+	if _, err := s.QueryResident(r, EngineResidual, q); err != nil {
+		t.Fatal(err)
+	}
+
+	ru, err := r.DecodeUpdate([]byte(`{"updates":[
+		{"op":"prior","node":"40","prior":[0.9,0.1]},
+		{"op":"evidence","node":"200","state":0},
+		{"op":"prior","node":"41","prior":[0.2,0.8]}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.UpdateResident(r, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 3 || resp.Structural {
+		t.Fatalf("applied=%d structural=%v, want 3/false", resp.Applied, resp.Structural)
+	}
+	if !resp.Converged || !resp.Warm {
+		t.Fatalf("update did not re-converge the snapshot (converged=%v warm=%v)", resp.Converged, resp.Warm)
+	}
+	if resp.Updates == 0 {
+		t.Fatal("re-convergence applied no belief updates for a non-trivial delta")
+	}
+	if resp.Generation != r.Generation() {
+		t.Fatalf("response generation %d, resident at %d", resp.Generation, r.Generation())
+	}
+	if !r.HasWarm() {
+		t.Fatal("snapshot not re-published under the new generation")
+	}
+
+	oracle := coldOracle(t, r, map[int32]int{136: 1})
+	cold := bp.RunResidual(func() *graph.Graph {
+		g := r.base.Clone()
+		g.ResetBeliefs()
+		if err := g.Observe(136, 1); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}(), bp.Options{})
+	warm, err := s.QueryResident(r, EngineResidual, decode(t, r, `{"evidence":[{"node":"136","state":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Fatal("query after non-structural update did not take the warm path")
+	}
+	if gap := worstGap(t, r, warm, oracle); gap > float64(WarmTol) {
+		t.Errorf("warm post-update beliefs off by %g (want <= %g)", gap, float64(WarmTol))
+	}
+	if warm.Updates >= cold.Ops.NodesProcessed {
+		t.Errorf("warm post-update query applied %d updates, cold %d — warm start bought nothing",
+			warm.Updates, cold.Ops.NodesProcessed)
+	}
+}
+
+// TestUpdateStructuralInvalidatesWarm: edge adds reshape the graph, so
+// the snapshot is dropped rather than re-converged, the next query runs
+// cold, and its answer reflects the new edge.
+func TestUpdateStructuralInvalidatesWarm(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	if _, err := s.QueryResident(r, EngineResidual, decode(t, r, `{"evidence":[{"node":"17","state":1}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	edgesBefore := r.base.NumEdges
+
+	ru, err := r.DecodeUpdate([]byte(`{"updates":[{"op":"edge","src":"3","dst":"250"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.UpdateResident(r, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Structural {
+		t.Fatal("edge add not reported structural")
+	}
+	if r.HasWarm() {
+		t.Fatal("warm snapshot survived a structural delta")
+	}
+	if r.base.NumEdges != edgesBefore+1 {
+		t.Fatalf("base has %d edges, want %d", r.base.NumEdges, edgesBefore+1)
+	}
+
+	second, err := s.QueryResident(r, EngineResidual, decode(t, r, `{"evidence":[{"node":"17","state":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Warm {
+		t.Fatal("query after structural update took the warm path")
+	}
+	oracle := coldOracle(t, r, map[int32]int{17: 1})
+	if gap := worstGap(t, r, second, oracle); gap > float64(WarmTol) {
+		t.Errorf("post-structural-update beliefs off by %g (want <= %g)", gap, float64(WarmTol))
+	}
+}
+
+// TestUpdateRefreshesMetadata is the stale-statistics regression test:
+// the cached Metadata (registry listing, engine-selector inputs) is
+// computed at load, so before the refresh a structural delta left
+// /v1/graphs reporting the pre-merge edge count forever.
+func TestUpdateRefreshesMetadata(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	before := r.Metadata()
+
+	ru, err := r.DecodeUpdate([]byte(`{"updates":[{"op":"edge","src":"3","dst":"250"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.UpdateResident(r, ru); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Metadata()
+	if after.NumEdges != before.NumEdges+1 {
+		t.Fatalf("metadata reports %d edges after the edge add, want %d", after.NumEdges, before.NumEdges+1)
+	}
+
+	// A numeric delta reshapes nothing; the statistics must not churn.
+	ru, err = r.DecodeUpdate([]byte(`{"updates":[{"op":"prior","node":"17","prior":[0.9,0.1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.UpdateResident(r, ru); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Metadata().NumEdges; got != after.NumEdges {
+		t.Fatalf("numeric delta moved the edge count: %d -> %d", after.NumEdges, got)
+	}
+}
+
+// TestUpdateDecodeRejects locks the decoder's strictness contract.
+func TestUpdateDecodeRejects(t *testing.T) {
+	_, r := newGridServer(t, Config{})
+	for name, doc := range map[string]string{
+		"empty":         `{"updates":[]}`,
+		"unknown-op":    `{"updates":[{"op":"rename","node":"3"}]}`,
+		"unknown-field": `{"updates":[{"op":"prior","node":"3","prior":[0.5,0.5]}],"extra":1}`,
+		"no-state":      `{"updates":[{"op":"evidence","node":"3"}]}`,
+		"bad-state":     `{"updates":[{"op":"evidence","node":"3","state":7}]}`,
+		"bad-node":      `{"updates":[{"op":"retract","node":"nope"}]}`,
+		"short-prior":   `{"updates":[{"op":"prior","node":"3","prior":[1.0]}]}`,
+		"short-matrix":  `{"updates":[{"op":"edge","src":"3","dst":"9","mat":[0.5]}]}`,
+		"trailing":      `{"updates":[{"op":"retract","node":"3"}]}{}`,
+	} {
+		if _, err := r.DecodeUpdate([]byte(doc)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Apply-time rejection: retracting a clamp the update path never
+	// placed surfaces the delta layer's error and reports the position.
+	ru, err := r.DecodeUpdate([]byte(`{"updates":[{"op":"retract","node":"3"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if _, err := s.UpdateResident(r, ru); err == nil {
+		t.Error("retract of an unclamped node applied without error")
+	}
+}

@@ -11,34 +11,48 @@ import (
 	"credo/internal/telemetry"
 )
 
-// warmState is one converged fixpoint: the beliefs and the evidence they
-// were converged under. A stored warmState is immutable — Query builds a
-// fresh one per convergence and swaps the pointer under warmMu — so
-// readers only need the pointer.
+// warmState is one converged fixpoint: the beliefs, the evidence they
+// were converged under, and the base-graph mutation generation the run
+// observed. A stored warmState is immutable — Query builds a fresh one
+// per convergence and swaps the pointer under warmMu — so readers only
+// need the pointer.
 type warmState struct {
 	beliefs  []float32
 	evidence []int32 // dense per-node clamped state, -1 = unobserved
+	gen      uint64  // base generation the fixpoint was converged against
 }
 
-// snapshot returns the current warm state (nil when none).
+// snapshot returns the current warm state, or nil when none exists or
+// the stored one is stale — its generation differs from the base's,
+// meaning the base was mutated (a /v1/update delta, an operator edit)
+// after the fixpoint was taken. Seeding from a stale fixpoint would
+// re-converge toward the wrong graph; generation keying makes staleness
+// structurally impossible instead of a protocol the mutating paths must
+// each remember (the bug this replaces: only an explicit InvalidateWarm
+// call dropped the snapshot, and the mutation paths didn't call it).
 func (r *Resident) snapshot() *warmState {
 	r.warmMu.Lock()
 	w := r.warm
 	r.warmMu.Unlock()
+	if w == nil || w.gen != r.Generation() {
+		return nil
+	}
 	return w
 }
 
-// storeSnapshot publishes a converged fixpoint as the new warm state.
-func (r *Resident) storeSnapshot(g *graph.Graph, dense []int32) {
-	r.storeSnapshotBeliefs(g.Beliefs, dense)
+// storeSnapshot publishes a converged fixpoint as the new warm state,
+// keyed by the base generation the run leased its state at.
+func (r *Resident) storeSnapshot(g *graph.Graph, dense []int32, gen uint64) {
+	r.storeSnapshotBeliefs(g.Beliefs, dense, gen)
 }
 
 // storeSnapshotBeliefs is storeSnapshot over a bare belief array — the
 // batched path extracts one lane of its SoA state and publishes it here.
-func (r *Resident) storeSnapshotBeliefs(beliefs []float32, dense []int32) {
+func (r *Resident) storeSnapshotBeliefs(beliefs []float32, dense []int32, gen uint64) {
 	w := &warmState{
 		beliefs:  append([]float32(nil), beliefs...),
 		evidence: append([]int32(nil), dense...),
+		gen:      gen,
 	}
 	r.warmMu.Lock()
 	r.warm = w
@@ -114,7 +128,7 @@ func (s *Server) queryResident(r *Resident, engine string, rq *ResolvedQuery, tr
 	}
 	start := time.Now()
 
-	g := r.lease()
+	g, gen := r.lease()
 	defer r.release(g)
 	for _, ev := range rq.evidence {
 		if err := g.Observe(ev.node, int(ev.state)); err != nil {
@@ -130,11 +144,14 @@ func (s *Server) queryResident(r *Resident, engine string, rq *ResolvedQuery, tr
 	}
 
 	// Warm path: the residual-family engines resume from the snapshot.
+	// The snapshot must match the generation the overlay was leased at —
+	// not merely the current one — or a base mutation racing this query
+	// could pair a new-generation fixpoint with an old-generation overlay.
 	warmable := engine == EngineAuto || engine == EngineResidual || engine == EngineRelax
 	var res bp.Result
 	var label string
 	warm := false
-	if snap := r.snapshot(); warmable && snap != nil {
+	if snap := r.snapshot(); warmable && snap != nil && snap.gen == gen {
 		warm = true
 		stage := tr.Span("stage.warm")
 		changed, seeds := perturbedFrontier(g, snap.evidence, rq.dense)
@@ -164,7 +181,7 @@ func (s *Server) queryResident(r *Resident, engine string, rq *ResolvedQuery, tr
 	}
 
 	if res.Converged {
-		r.storeSnapshot(g, rq.dense)
+		r.storeSnapshot(g, rq.dense, gen)
 		if warm {
 			r.warmMu.Lock()
 			r.warmed++
@@ -208,7 +225,8 @@ func (s *Server) runCold(r *Resident, g *graph.Graph, engine string, opts bp.Opt
 	switch engine {
 	case EngineAuto:
 		sel := tr.Span("select")
-		impl = eng.Choose(r.md, r.footprint)
+		md, footprint := r.stats()
+		impl = eng.Choose(md, footprint)
 		sel.End()
 	case EngineNode:
 		impl = core.CNode

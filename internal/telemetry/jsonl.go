@@ -114,6 +114,16 @@ func (j *JSONLWriter) Emit(e Event) {
 			}
 			b = append(b, `,"batched":`...)
 			b = strconv.AppendBool(b, e.Batched)
+		case "serve.update":
+			// A graph delta batch: Iter carries the applied mutation
+			// count, Updated the belief updates of the warm snapshot's
+			// re-convergence (0 when it was invalidated instead).
+			b = append(b, `,"warm":`...)
+			b = strconv.AppendBool(b, e.Warm)
+			b = append(b, `,"converged":`...)
+			b = strconv.AppendBool(b, e.Converged)
+			b = appendInt(b, "updated", e.Updated)
+			b = appendInt(b, "applied", int64(e.Iter))
 		case "serve.shed":
 			b = appendInt(b, "retry_after_s", e.RetryAfterSec)
 			b = appendInt(b, "waiting", e.Waiting)

@@ -37,15 +37,17 @@ type Metrics struct {
 	ingestBytes atomic.Int64 // bytes consumed by the ingest chunk parsers
 	ingestLines atomic.Int64 // data lines parsed by the ingest chunk parsers
 
-	servQueries atomic.Int64 // served queries completed (serve.query)
-	servWarm    atomic.Int64 // served queries that warm-started
-	servShed    atomic.Int64 // requests rejected by admission control
-	servLoads   atomic.Int64 // graphs loaded into the serving registry
-	servDepth   atomic.Int64 // last observed admission depth (in-flight + waiting)
-	servWallNs  atomic.Int64 // wall clock of the last served query
-	servFlushes atomic.Int64 // cross-query batch flushes (serve.batch)
-	servBatched atomic.Int64 // lanes occupied across batch flushes
-	servWaiting atomic.Int64 // waiting-line depth at the last shed
+	servQueries   atomic.Int64 // served queries completed (serve.query)
+	servWarm      atomic.Int64 // served queries that warm-started
+	servUpdates   atomic.Int64 // graph delta batches applied (serve.update)
+	servMutations atomic.Int64 // mutations landed across all delta batches
+	servShed      atomic.Int64 // requests rejected by admission control
+	servLoads     atomic.Int64 // graphs loaded into the serving registry
+	servDepth     atomic.Int64 // last observed admission depth (in-flight + waiting)
+	servWallNs    atomic.Int64 // wall clock of the last served query
+	servFlushes   atomic.Int64 // cross-query batch flushes (serve.batch)
+	servBatched   atomic.Int64 // lanes occupied across batch flushes
+	servWaiting   atomic.Int64 // waiting-line depth at the last shed
 
 	// flushBy counts batch flushes by FlushReason (indexed by the
 	// reason's ordinal) — the signal adaptive -batch-window tuning needs.
@@ -177,6 +179,12 @@ func (m *Metrics) Emit(e Event) {
 			}
 		case "serve.load":
 			m.servLoads.Add(1)
+		case "serve.update":
+			// One event per applied delta batch: Iter carries the number
+			// of mutations that landed, Updated the belief updates the
+			// warm re-convergence spent.
+			m.servUpdates.Add(1)
+			m.servMutations.Add(int64(e.Iter))
 		}
 	}
 }
@@ -222,6 +230,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("credo_serve_warm_total", "Served queries that re-converged from a warm-start snapshot.", m.servWarm.Load())
 	counter("credo_serve_shed_total", "Requests rejected by admission control.", m.servShed.Load())
 	counter("credo_serve_loads_total", "Graphs loaded into the serving registry.", m.servLoads.Load())
+	counter("credo_serve_updates_total", "Graph delta batches applied to residents.", m.servUpdates.Load())
+	counter("credo_serve_mutations_total", "Mutations landed across all delta batches.", m.servMutations.Load())
 	// Batch flushes carry the trigger as a label; the series sum is the
 	// former unlabeled total.
 	fmt.Fprintf(w, "# HELP credo_serve_batch_flushes Cross-query batch flushes executed, by trigger.\n# TYPE credo_serve_batch_flushes counter\n")
@@ -351,6 +361,8 @@ func (m *Metrics) snapshot() any {
 		"serve_warm":            m.servWarm.Load(),
 		"serve_shed":            m.servShed.Load(),
 		"serve_loads":           m.servLoads.Load(),
+		"serve_updates":         m.servUpdates.Load(),
+		"serve_mutations":       m.servMutations.Load(),
 		"serve_batch_flushes":   m.servFlushes.Load(),
 		"serve_batch_occupancy": m.servBatched.Load(),
 		"serve_depth":           m.servDepth.Load(),

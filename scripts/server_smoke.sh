@@ -6,12 +6,14 @@
 # network and a JSONL trace, then drives the public surface with curl:
 # liveness, the registry listing, a cold posterior query (validated for
 # shape and normalization with jq), a warm-start second query, the error
-# body contract, and the Prometheus counters, latency histograms and
-# flight recorder on the ops sidecar (-flight-slow-ms 0 forces every
-# traced query into the recorder, so the dump is deterministic). Finally
-# it shuts the daemon down gracefully and checks the telemetry trace is
-# well-formed JSONL covering the load, both queries and the flight
-# records.
+# body contract, a graph-delta round-trip through POST /v1/update (the
+# prior drift must advance the generation and re-converge the warm
+# snapshot in place, so the query after it still warm-starts), and the
+# Prometheus counters, latency histograms and flight recorder on the
+# ops sidecar (-flight-slow-ms 0 forces every traced query into the
+# recorder, so the dump is deterministic). Finally it shuts the daemon
+# down gracefully and checks the telemetry trace is well-formed JSONL
+# covering the load, the queries, the update and the flight records.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,42 +77,73 @@ curl -s -X POST "http://$ADDR/v1/query" \
   | jq -e '.error | length > 0' >/dev/null
 echo "error contract OK"
 
-# Ops sidecar: the serve counters reflect the two successful queries,
-# one of them warm. The cold auto-engine query ran through the
-# cross-query batcher (on by default), so exactly one flush executed at
-# occupancy 1; the explicit engine=residual query took the solo path.
+# Dynamic-graph update round-trip: a prior drift lands through
+# POST /v1/update, advances the graph generation, and re-converges the
+# warm snapshot in place (non-structural, small frontier). The update
+# is visible in the registry listing, and the query after it — same
+# evidence as the warm query — still takes the warm path, now against
+# the mutated world.
+GEN0=$(curl -fsS "http://$ADDR/v1/graphs" | jq '.[0].generation')
+curl -fsS -X POST "http://$ADDR/v1/update" \
+  -H 'Content-Type: application/json' \
+  -d '{"updates":[{"op":"prior","node":"sprinkler","prior":[0.8,0.2]}]}' \
+  | jq -e '.applied == 1 and .structural == false
+      and .converged == true and .warm == true
+      and .generation > '"$GEN0" >/dev/null
+curl -fsS "http://$ADDR/v1/graphs" \
+  | jq -e '.[0].warm == true and .[0].generation > '"$GEN0" >/dev/null
+curl -fsS -X POST "http://$ADDR/v1/query?engine=residual" \
+  -H 'Content-Type: application/json' \
+  -d '{"evidence":[{"node":"wetgrass","state":1},{"node":"cloudy","state":0}],"nodes":["rain"]}' \
+  | jq -e '.converged == true and .warm == true' >/dev/null
+# A rejected update reports the error body, applies nothing.
+curl -s -X POST "http://$ADDR/v1/update" \
+  -d '{"updates":[{"op":"evidence","node":"rain","state":9}]}' \
+  | jq -e '.error | length > 0' >/dev/null
+echo "update round-trip OK"
+
+# Ops sidecar: the serve counters reflect the three successful queries
+# (two of them warm) and the one applied delta batch. The cold
+# auto-engine query ran through the cross-query batcher (on by
+# default), so exactly one flush executed at occupancy 1; the explicit
+# engine=residual queries took the solo path.
 METRICS=$(curl -fsS "http://$OPS/metrics")
-echo "$METRICS" | grep -q '^credo_serve_queries_total 2$'
-echo "$METRICS" | grep -q '^credo_serve_warm_total 1$'
+echo "$METRICS" | grep -q '^credo_serve_queries_total 3$'
+echo "$METRICS" | grep -q '^credo_serve_warm_total 2$'
 echo "$METRICS" | grep -q '^credo_serve_loads_total 1$'
+echo "$METRICS" | grep -q '^credo_serve_updates_total 1$'
+echo "$METRICS" | grep -q '^credo_serve_mutations_total 1$'
 echo "$METRICS" | grep -q '^credo_serve_batch_flushes{reason="deadline"} 1$'
 echo "$METRICS" | grep -q '^credo_serve_batch_occupancy 1$'
 echo "ops sidecar OK"
 
-# Latency histograms: both queries land in the labelled log buckets
-# (one batched cold, one solo warm — the per-family counts sum to 2),
-# the quantile gauges render, and the span stages fed their histograms.
+# Latency histograms: all three queries land in the labelled log
+# buckets (one batched cold, two solo warm — the per-family counts sum
+# to 3), the quantile gauges render, and the span stages fed their
+# histograms.
 echo "$METRICS" | grep -q '^credo_serve_latency_seconds_bucket{'
-[ "$(echo "$METRICS" | awk -F' ' '/^credo_serve_latency_seconds_count\{/ {sum += $2} END {print sum+0}')" = 2 ]
+[ "$(echo "$METRICS" | awk -F' ' '/^credo_serve_latency_seconds_count\{/ {sum += $2} END {print sum+0}')" = 3 ]
 echo "$METRICS" | grep -q 'credo_serve_latency_quantile_seconds{.*q="0.99"}'
 echo "$METRICS" | grep -q '^credo_serve_stage_seconds_bucket{stage="decode"'
 echo "$METRICS" | grep -q '^credo_serve_batch_deadline_occupancy_bucket'
 curl -fsS "http://$OPS/debug/vars" \
   | jq -e '.["credo.telemetry"]
-      | .serve_latency_count == 2
+      | .serve_latency_count == 3
+        and .serve_updates == 1
         and .serve_latency_p50 > 0
         and .serve_latency_p95 >= .serve_latency_p50
         and .serve_latency_p99 >= .serve_latency_p95' >/dev/null
 echo "latency histograms OK"
 
 # Flight recorder: -flight-slow-ms 0 flags every traced request, so
-# three traces were captured with their span trees — the cold query,
-# the warm query, and the bad-evidence request (its trace ends at the
-# decode error; the engine=bogus request fails before a trace starts).
-# The dump is kept as a CI artifact.
+# four traces were captured with their span trees — the cold query,
+# both warm queries, and the bad-evidence request (its trace ends at
+# the decode error; the engine=bogus request fails before a trace
+# starts, and the update path is untraced). The dump is kept as a CI
+# artifact.
 curl -fsS "http://$OPS/debug/flight" >"$FLIGHT"
-jq -e '.captured == 3
-    and (.records | length) == 3
+jq -e '.captured == 4
+    and (.records | length) == 4
     and all(.records[]; .reasons | index("slow") != null)
     and all(.records[]; (.spans | length) > 0)
     and any(.records[].spans[]; .name == "decode")
@@ -123,17 +156,19 @@ wait "$PID"
 trap - EXIT
 
 # The trace is valid JSONL and frames the session: the startup load,
-# both queries (the second warm, both labelled with their impl), the
-# batcher's single deadline flush, and the flight records interleaved
-# as kind=flight lines.
+# the three queries (two warm, all labelled with their impl), the
+# delta batch, the batcher's single deadline flush, and the flight
+# records interleaved as kind=flight lines.
 jq -es 'length > 0
     and any(.[]; .engine == "serve.load")
-    and ([.[] | select(.engine == "serve.query")] | length) == 2
+    and ([.[] | select(.engine == "serve.query")] | length) == 3
     and any(.[]; .engine == "serve.query" and .warm == true)
     and all(.[] | select(.engine == "serve.query"); .impl | length > 0)
+    and ([.[] | select(.engine == "serve.update")] | length) == 1
+    and all(.[] | select(.engine == "serve.update"); .warm == true and .converged == true)
     and ([.[] | select(.engine == "serve.batch")] | length) == 1
     and all(.[] | select(.engine == "serve.batch"); .flush == "deadline")
-    and ([.[] | select(.kind == "flight")] | length) == 3
+    and ([.[] | select(.kind == "flight")] | length) == 4
     and all(.[] | select(.kind == "flight"); .spans | length > 0)' "$TRACE" >/dev/null
 echo "telemetry trace OK"
 
