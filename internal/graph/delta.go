@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Dynamic-graph delta layer. Every engine in this repository was built
 // against a frozen Graph; the workloads the paper motivates (rumor and
@@ -383,10 +386,17 @@ func (g *Graph) TakeDeltaSeeds() []int32 {
 	return seeds
 }
 
-// sortInt32 sorts ascending without pulling package sort into the hot
-// path's import graph for a []int32 (sort.Slice allocates its closure;
-// seed sets are small, so insertion sort is also simply fast here).
+// sortInt32 sorts ascending. Small frontiers (the common delta case)
+// take a branch-cheap insertion sort; anything larger goes through
+// slices.Sort — TakeDeltaSeeds runs under the serving layer's base
+// write lock, and RecommendDelta admits frontiers up to 75% of the
+// node count, so a quadratic sort there would stall every query on
+// the server for a large mutation batch.
 func sortInt32(a []int32) {
+	if len(a) > 32 {
+		slices.Sort(a)
+		return
+	}
 	for i := 1; i < len(a); i++ {
 		v := a[i]
 		j := i - 1

@@ -279,6 +279,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	}
 	resp, err := s.UpdateResident(r, ru)
 	if err != nil {
+		if resp != nil {
+			// An operation was rejected after a prefix already landed (or
+			// re-convergence failed after the whole batch did): return the
+			// structured response alongside the error so the client sees
+			// Applied and Generation and can resync, instead of parsing
+			// the position out of the error string.
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusBadRequest, resp)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

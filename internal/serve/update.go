@@ -68,6 +68,11 @@ type UpdateResponse struct {
 	Converged  bool   `json:"converged"`
 	Updates    int64  `json:"updates"`
 	WallNs     int64  `json:"wall_ns"`
+	// Error is set (by the HTTP handler) when an operation was rejected
+	// mid-batch: the applied prefix stays committed, and Applied and
+	// Generation tell the client how much landed and where the graph
+	// moved, so it can resync without parsing the error string.
+	Error string `json:"error,omitempty"`
 }
 
 // DecodeUpdate parses and validates an update document against the
@@ -162,8 +167,11 @@ func (r *Resident) DecodeUpdate(data []byte) (*ResolvedUpdate, error) {
 //     leased after the unlock sees the mutated world, and the generation
 //     bump makes the pre-update warm snapshot unreachable (snapshot()
 //     keys on it), so no query can seed from the stale fixpoint.
-//   - With a warm snapshot and a non-structural delta, the snapshot is
-//     re-converged in place: an overlay adopts the old fixpoint, the
+//   - With a warm snapshot keyed to the pre-update generation (any
+//     other generation means the fixpoint does not describe the base
+//     this batch mutated — a slow query's late publication, or a racing
+//     update) and a non-structural delta, the snapshot is re-converged
+//     in place: an overlay adopts the old fixpoint, the
 //     delta frontier (changed nodes plus out-neighbours, from
 //     TakeDeltaSeeds) seeds bp.RunResidualFrom, and the re-converged
 //     beliefs are published under the new generation. This is the whole
@@ -176,13 +184,15 @@ func (r *Resident) DecodeUpdate(data []byte) (*ResolvedUpdate, error) {
 //     structural generation.
 //
 // An operation rejected by the delta layer aborts the remainder; the
-// error reports the position, and the response path is not taken (the
-// already-applied prefix stays, observable via Applied on a later
-// successful call or the generation counter).
+// error reports the position, and the returned response (non-nil even
+// on error) reports the committed prefix: Applied and Generation tell
+// the caller how much landed and where the graph moved, so a client
+// can resync without parsing the position out of the error string.
 func (s *Server) UpdateResident(r *Resident, ru *ResolvedUpdate) (*UpdateResponse, error) {
 	start := time.Now()
 
 	r.baseMu.Lock()
+	genBefore := r.base.Generation()
 	structBefore := r.base.StructuralGeneration()
 	applied := 0
 	var applyErr error
@@ -210,16 +220,24 @@ func (s *Server) UpdateResident(r *Resident, ru *ResolvedUpdate) (*UpdateRespons
 	if structural {
 		r.refreshStats(newMD, newFootprint)
 	}
-	if applyErr != nil {
-		return nil, applyErr
-	}
-
 	resp := &UpdateResponse{
 		Graph:      r.Name,
 		Applied:    applied,
 		Generation: gen,
 		Structural: structural,
 	}
+	if applyErr != nil {
+		// The applied prefix is committed and its frontier is drained, so
+		// no snapshot at or below the new generation can be carried
+		// forward — drop the storage (the generation keys already make it
+		// unreachable) and report the prefix alongside the error.
+		if gen != genBefore {
+			r.invalidateWarmThrough(gen)
+		}
+		resp.WallNs = time.Since(start).Nanoseconds()
+		return resp, applyErr
+	}
+
 	if len(seeds) == 0 {
 		// Nothing moved (every operation was a no-op rewrite); the old
 		// snapshot, if any, is still keyed to the current generation.
@@ -232,13 +250,26 @@ func (s *Server) UpdateResident(r *Resident, ru *ResolvedUpdate) (*UpdateRespons
 	r.warmMu.Lock()
 	w := r.warm
 	r.warmMu.Unlock()
+	if w != nil && w.gen != genBefore {
+		// The stored fixpoint is not one of the base this batch mutated:
+		// either it predates an earlier update whose frontier is already
+		// drained (a slow query's late publication), or a racing later
+		// update republished after our generation. Re-converging from it
+		// would publish a non-fixpoint at the current generation — the
+		// same check snapshot() applies on the query path, against the
+		// pre-update generation here because our own mutations just
+		// bumped it.
+		w = nil
+	}
 	if structural || w == nil || !features.RecommendDelta(r.Metadata(), len(seeds)) {
 		// No fixpoint to carry forward (or one the reshaped graph cannot
 		// reuse lane-for-lane, or a frontier so large the churn-rate rule
 		// says re-convergence would touch most of the graph anyway): the
-		// stale snapshot is unreachable already — its generation predates
-		// gen — so just drop the storage and let the next query run cold.
-		r.InvalidateWarm()
+		// stale snapshot is unreachable already — its generation differs
+		// from gen — so just drop the storage (without destroying a
+		// fresher snapshot a racing later update may have published) and
+		// let the next query run cold.
+		r.invalidateWarmThrough(gen)
 		resp.Converged = true
 		resp.WallNs = time.Since(start).Nanoseconds()
 		return resp, nil
@@ -262,7 +293,11 @@ func (s *Server) UpdateResident(r *Resident, ru *ResolvedUpdate) (*UpdateRespons
 			continue
 		}
 		if err := g.Observe(int32(v), int(dense[v])); err != nil {
-			return nil, fmt.Errorf("serve: re-clamp node %d: %w", v, err)
+			// The mutations are committed; only the re-convergence failed.
+			// Report the full prefix and leave the next query to run cold.
+			r.invalidateWarmThrough(gen)
+			resp.WallNs = time.Since(start).Nanoseconds()
+			return resp, fmt.Errorf("serve: re-clamp node %d: %w", v, err)
 		}
 	}
 	for v := int32(0); v < int32(g.NumNodes); v++ {
@@ -283,10 +318,10 @@ func (s *Server) UpdateResident(r *Resident, ru *ResolvedUpdate) (*UpdateRespons
 		r.storeSnapshotBeliefs(g.Beliefs, dense, leaseGen)
 		resp.Warm = true
 	} else {
-		// Failed to re-converge (or raced yet another update): leave the
-		// stale snapshot unreachable rather than publishing a fixpoint
-		// that is not one.
-		r.InvalidateWarm()
+		// Failed to re-converge (or raced yet another update): drop our
+		// stale snapshot rather than publishing a fixpoint that is not
+		// one, but keep anything fresher a racing update published.
+		r.invalidateWarmThrough(gen)
 	}
 	resp.WallNs = time.Since(start).Nanoseconds()
 	return resp, nil

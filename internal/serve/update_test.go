@@ -235,6 +235,119 @@ func TestUpdateRefreshesMetadata(t *testing.T) {
 	}
 }
 
+// TestUpdateIgnoresStaleWarmSnapshot is the stale-adoption regression
+// test. The race: a query leased at generation G converges slowly; a
+// /v1/update meanwhile moves the base to G+1 and republishes a
+// re-converged fixpoint; the late query then stores its gen-G snapshot.
+// Two defences must both hold: the monotonic store refuses to clobber
+// the fresher fixpoint, and — even if a stale snapshot is the only one
+// in storage — the update path refuses to adopt a snapshot whose
+// generation is not the pre-update base's, because the earlier update's
+// frontier is already drained and re-converging from the stale fixpoint
+// would publish beliefs that never saw that update's changes.
+func TestUpdateIgnoresStaleWarmSnapshot(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	if _, err := s.QueryResident(r, EngineResidual, decode(t, r, `{"evidence":[{"node":"17","state":1}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	r.warmMu.Lock()
+	stale := r.warm
+	r.warmMu.Unlock()
+	if stale == nil {
+		t.Fatal("first query did not arm the warm cache")
+	}
+
+	// The update clamps a node near the queried region and republishes a
+	// re-converged snapshot at the new generation.
+	ru, err := r.DecodeUpdate([]byte(`{"updates":[{"op":"evidence","node":"16","state":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.UpdateResident(r, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Warm || !resp.Converged {
+		t.Fatalf("update did not republish the snapshot (warm=%v converged=%v)", resp.Warm, resp.Converged)
+	}
+
+	// The slow query publishes late: the monotonic store must keep the
+	// fresher fixpoint.
+	r.storeSnapshotBeliefs(stale.beliefs, stale.evidence, stale.gen)
+	if snap := r.snapshot(); snap == nil || snap.gen != r.Generation() {
+		t.Fatal("late stale publication clobbered the re-converged snapshot")
+	}
+
+	// Force the hazardous precondition anyway — the stale fixpoint is
+	// the only snapshot in storage — and drive another non-structural
+	// update through. It must go cold, not seed from the stale fixpoint
+	// with only its own frontier.
+	r.InvalidateWarm()
+	r.storeSnapshotBeliefs(stale.beliefs, stale.evidence, stale.gen)
+	ru, err = r.DecodeUpdate([]byte(`{"updates":[{"op":"prior","node":"200","prior":[0.9,0.1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.UpdateResident(r, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Warm {
+		t.Fatal("update adopted a warm snapshot from a stale generation")
+	}
+	if r.HasWarm() {
+		t.Fatal("stale snapshot still reachable after the update dropped it")
+	}
+
+	// The next query runs cold against the fully-mutated base; its
+	// posteriors must reflect the first update's clamp (the information a
+	// stale-seeded re-convergence would have dropped).
+	q, err := s.QueryResident(r, EngineResidual, decode(t, r, `{"evidence":[{"node":"17","state":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Warm {
+		t.Fatal("post-update query warm-started from a stale fixpoint")
+	}
+	oracle := coldOracle(t, r, map[int32]int{17: 1})
+	if gap := worstGap(t, r, q, oracle); gap > float64(WarmTol) {
+		t.Errorf("post-update beliefs off by %g (want <= %g) — stale fixpoint leaked into the answer", gap, float64(WarmTol))
+	}
+}
+
+// TestUpdateRejectedMidBatchReportsApplied: a rejection mid-batch keeps
+// the applied prefix committed, and the structured response comes back
+// alongside the error so a client can resync from Applied and
+// Generation instead of parsing the position out of the error string.
+func TestUpdateRejectedMidBatchReportsApplied(t *testing.T) {
+	s, r := newGridServer(t, Config{})
+	genBefore := r.Generation()
+	ru, err := r.DecodeUpdate([]byte(`{"updates":[
+		{"op":"prior","node":"40","prior":[0.9,0.1]},
+		{"op":"retract","node":"41"},
+		{"op":"prior","node":"42","prior":[0.2,0.8]}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.UpdateResident(r, ru)
+	if err == nil {
+		t.Fatal("retract of an unclamped node applied without error")
+	}
+	if resp == nil {
+		t.Fatal("rejected update returned no structured response")
+	}
+	if resp.Applied != 1 {
+		t.Errorf("applied = %d, want 1 (the prefix before the rejected op)", resp.Applied)
+	}
+	if resp.Generation != r.Generation() {
+		t.Errorf("response generation %d, resident at %d", resp.Generation, r.Generation())
+	}
+	if resp.Generation == genBefore {
+		t.Error("committed prefix did not advance the generation")
+	}
+}
+
 // TestUpdateDecodeRejects locks the decoder's strictness contract.
 func TestUpdateDecodeRejects(t *testing.T) {
 	_, r := newGridServer(t, Config{})

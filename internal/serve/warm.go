@@ -47,7 +47,17 @@ func (r *Resident) storeSnapshot(g *graph.Graph, dense []int32, gen uint64) {
 }
 
 // storeSnapshotBeliefs is storeSnapshot over a bare belief array — the
-// batched path extracts one lane of its SoA state and publishes it here.
+// batched path extracts one lane of its SoA state and publishes it
+// here. Publication is monotonic in generation: a fixpoint computed
+// against a generation the base has since left behind must not clobber
+// a fresher snapshot (the race: a query leased at generation G
+// converges after a /v1/update has already moved the base to G+1 and
+// re-published — the late store would otherwise overwrite the G+1
+// fixpoint with one missing the update's changes, and the next
+// non-structural update would adopt it as its re-convergence start).
+// The comparison is against the stored snapshot rather than
+// r.Generation() because the batched flush publishes while holding
+// baseMu.RLock — a nested RLock behind a waiting writer deadlocks.
 func (r *Resident) storeSnapshotBeliefs(beliefs []float32, dense []int32, gen uint64) {
 	w := &warmState{
 		beliefs:  append([]float32(nil), beliefs...),
@@ -55,7 +65,9 @@ func (r *Resident) storeSnapshotBeliefs(beliefs []float32, dense []int32, gen ui
 		gen:      gen,
 	}
 	r.warmMu.Lock()
-	r.warm = w
+	if r.warm == nil || r.warm.gen <= gen {
+		r.warm = w
+	}
 	r.warmMu.Unlock()
 }
 
@@ -64,6 +76,19 @@ func (r *Resident) storeSnapshotBeliefs(beliefs []float32, dense []int32, gen ui
 func (r *Resident) InvalidateWarm() {
 	r.warmMu.Lock()
 	r.warm = nil
+	r.warmMu.Unlock()
+}
+
+// invalidateWarmThrough drops the warm-start snapshot only if its
+// generation is at or below gen — the update path's invalidation: it
+// must drop the snapshot it decided not to carry forward without
+// destroying a fresher one a racing later update may have published in
+// the meantime.
+func (r *Resident) invalidateWarmThrough(gen uint64) {
+	r.warmMu.Lock()
+	if r.warm != nil && r.warm.gen <= gen {
+		r.warm = nil
+	}
 	r.warmMu.Unlock()
 }
 

@@ -96,10 +96,18 @@ curl -fsS -X POST "http://$ADDR/v1/query?engine=residual" \
   -H 'Content-Type: application/json' \
   -d '{"evidence":[{"node":"wetgrass","state":1},{"node":"cloudy","state":0}],"nodes":["rain"]}' \
   | jq -e '.converged == true and .warm == true' >/dev/null
-# A rejected update reports the error body, applies nothing.
+# A malformed update is rejected at decode time: bare error body,
+# nothing applied.
 curl -s -X POST "http://$ADDR/v1/update" \
   -d '{"updates":[{"op":"evidence","node":"rain","state":9}]}' \
   | jq -e '.error | length > 0' >/dev/null
+# An operation rejected at apply time mid-batch (retracting a clamp the
+# update path never placed) leaves the applied prefix committed, and
+# the error comes back alongside the structured response — applied and
+# generation let the client resync without parsing the error string.
+curl -s -X POST "http://$ADDR/v1/update" \
+  -d '{"updates":[{"op":"prior","node":"rain","prior":[0.5,0.5]},{"op":"retract","node":"wetgrass"}]}' \
+  | jq -e '(.error | length > 0) and .applied == 1 and .generation > '"$GEN0" >/dev/null
 echo "update round-trip OK"
 
 # Ops sidecar: the serve counters reflect the three successful queries
